@@ -1,0 +1,32 @@
+//! Criterion bench for the Fig. 7 comparison: wall-clock cost of running
+//! each benchmark under the serial and parallel GrCUDA schedulers.
+//!
+//! (The *virtual-time* figures come from `cargo run -p bench --bin fig7`;
+//! this bench tracks the *library's own* execution cost so scheduler
+//! regressions show up in `cargo bench`.)
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use benchmarks::{run_grcuda, scales, Bench};
+use gpu_sim::DeviceProfile;
+use grcuda::Options;
+
+fn bench_schedulers(c: &mut Criterion) {
+    let dev = DeviceProfile::gtx1660_super();
+    let mut group = c.benchmark_group("fig7");
+    group.sample_size(10);
+    for b in Bench::ALL {
+        let spec = b.build(scales::tiny(b));
+        group.bench_with_input(BenchmarkId::new("serial", b.name()), &spec, |bch, spec| {
+            bch.iter(|| black_box(run_grcuda(spec, &dev, Options::serial(), 1).median_time()))
+        });
+        group.bench_with_input(BenchmarkId::new("parallel", b.name()), &spec, |bch, spec| {
+            bch.iter(|| black_box(run_grcuda(spec, &dev, Options::parallel(), 1).median_time()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_schedulers);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion bench for the Fig. 8 baselines: wall-clock cost of running
+//! one benchmark iteration through each execution strategy (GrCUDA
+//! scheduler, CUDA Graphs manual, CUDA Graphs capture, hand-tuned
+//! events).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use benchmarks::{
+    run_grcuda, run_graph_capture, run_graph_manual, run_handtuned, scales, Bench,
+};
+use gpu_sim::DeviceProfile;
+use grcuda::Options;
+
+fn bench_baselines(c: &mut Criterion) {
+    let dev = DeviceProfile::tesla_p100();
+    let mut group = c.benchmark_group("fig8");
+    group.sample_size(10);
+    for b in [Bench::Vec, Bench::Ml, Bench::Hits] {
+        let spec = b.build(scales::tiny(b));
+        group.bench_with_input(BenchmarkId::new("grcuda", b.name()), &spec, |bch, s| {
+            bch.iter(|| black_box(run_grcuda(s, &dev, Options::parallel(), 1).median_time()))
+        });
+        group.bench_with_input(BenchmarkId::new("graph_manual", b.name()), &spec, |bch, s| {
+            bch.iter(|| black_box(run_graph_manual(s, &dev, 1).median_time()))
+        });
+        group.bench_with_input(BenchmarkId::new("graph_capture", b.name()), &spec, |bch, s| {
+            bch.iter(|| black_box(run_graph_capture(s, &dev, 1).median_time()))
+        });
+        group.bench_with_input(BenchmarkId::new("handtuned", b.name()), &spec, |bch, s| {
+            bch.iter(|| black_box(run_handtuned(s, &dev, true, 1).median_time()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_baselines);
+criterion_main!(benches);

@@ -1,0 +1,98 @@
+//! Microbenchmarks of the runtime's own hot paths: dependency inference
+//! (DAG updates per launch), the max–min fair rate solver, the
+//! discrete-event engine, and NIDL parsing.
+//!
+//! The paper's §V-D claims "negligible scheduling overheads"; these
+//! benches put a number on our implementation of the same bookkeeping.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use dag::{ArgAccess, ComputationDag, ElementKind, Value};
+use gpu_sim::{DeviceProfile, Engine, ResourceDemand, TaskSpec};
+use grcuda::Signature;
+
+fn bench_dag(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dag");
+    for &n in &[100usize, 1000] {
+        group.bench_with_input(BenchmarkId::new("add_computation", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut dag = ComputationDag::new();
+                for i in 0..n {
+                    let v = Value((i % 8) as u64);
+                    let w = Value(((i + 1) % 8) as u64);
+                    black_box(dag.add_computation(
+                        ElementKind::Kernel,
+                        "k",
+                        vec![ArgAccess::read(v), ArgAccess::write(w)],
+                    ));
+                }
+                dag.len()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_fluid(c: &mut Criterion) {
+    let dev = DeviceProfile::tesla_p100();
+    let mut group = c.benchmark_group("fluid");
+    for &n in &[2usize, 8, 32] {
+        let demands: Vec<ResourceDemand> = (0..n)
+            .map(|i| ResourceDemand {
+                sm_frac: 0.2 + 0.05 * (i % 5) as f64,
+                dram_bps: dev.dram_bw * 0.3,
+                ..Default::default()
+            })
+            .collect();
+        group.bench_with_input(BenchmarkId::new("max_min_rates", n), &demands, |b, d| {
+            b.iter(|| black_box(gpu_sim::fluid::max_min_rates(d, &dev)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine");
+    group.sample_size(20);
+    group.bench_function("thousand_chained_kernels", |b| {
+        b.iter(|| {
+            let mut e = Engine::new(DeviceProfile::gtx1660_super());
+            let mut prev = None;
+            for i in 0..1000u32 {
+                let deps: Vec<_> = prev.into_iter().collect();
+                prev = Some(e.submit(
+                    TaskSpec::kernel(format!("k{i}"), i % 4).fluid(1e-6).sm_frac(0.3),
+                    &deps,
+                ));
+            }
+            e.sync_all();
+            black_box(e.now())
+        })
+    });
+    group.bench_function("hundred_concurrent_kernels", |b| {
+        b.iter(|| {
+            let mut e = Engine::new(DeviceProfile::gtx1660_super());
+            for i in 0..100u32 {
+                e.submit(TaskSpec::kernel(format!("k{i}"), i).fluid(1e-5).sm_frac(0.05), &[]);
+            }
+            e.sync_all();
+            black_box(e.now())
+        })
+    });
+    group.finish();
+}
+
+fn bench_nidl(c: &mut Criterion) {
+    c.bench_function("nidl_parse", |b| {
+        b.iter(|| {
+            black_box(Signature::parse(
+                "x: const pointer float, y: const pointer float, out: pointer float, \
+                 alpha: float, n: sint32",
+            ))
+        })
+    });
+}
+
+criterion_group!(benches, bench_dag, bench_fluid, bench_engine, bench_nidl);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Ablation study over the scheduler's design choices (§IV-C names each
+//! policy; DESIGN.md calls this experiment out):
+//!
+//! * child-stream policy: first-child-on-parent (paper) vs always-parent
+//!   (the "simpler policy" §IV-C mentions) vs always-new;
+//! * stream reuse: FIFO reuse (paper) vs always-create;
+//! * automatic prefetch: on (paper) vs off;
+//! * pre-Pascal visibility restriction: on (paper) vs off (GTX 960).
+//!
+//! Usage: `cargo run --release -p bench --bin ablation`
+
+use bench::{geomean, ms, render_table};
+use benchmarks::{run_grcuda, scales, Bench};
+use gpu_sim::DeviceProfile;
+use grcuda::{DepStreamPolicy, Options, PrefetchPolicy, StreamReusePolicy};
+
+fn measure(dev: &DeviceProfile, opts: Options) -> Vec<f64> {
+    Bench::ALL
+        .iter()
+        .map(|b| {
+            let spec = b.build(scales::default_scale(*b));
+            let r = run_grcuda(&spec, dev, opts, 3);
+            r.assert_ok();
+            r.median_time()
+        })
+        .collect()
+}
+
+fn main() {
+    let dev = DeviceProfile::gtx1660_super();
+    let base = measure(&dev, Options::parallel());
+
+    let variants: Vec<(&str, Options)> = vec![
+        ("paper defaults", Options::parallel()),
+        (
+            "children: always parent stream",
+            Options::parallel().with_dep_stream(DepStreamPolicy::AlwaysParent),
+        ),
+        (
+            "children: always new stream",
+            Options::parallel().with_dep_stream(DepStreamPolicy::AlwaysNew),
+        ),
+        (
+            "streams: never reuse",
+            Options::parallel().with_stream_reuse(StreamReusePolicy::AlwaysNew),
+        ),
+        ("prefetch: disabled", Options::parallel().with_prefetch(PrefetchPolicy::None)),
+    ];
+
+    let mut rows = Vec::new();
+    for (name, opts) in &variants {
+        let times = measure(&dev, *opts);
+        let rel: Vec<f64> = times.iter().zip(&base).map(|(t, b)| t / b).collect();
+        let mut row = vec![name.to_string()];
+        for (b, (t, r)) in Bench::ALL.iter().zip(times.iter().zip(&rel)) {
+            let _ = b;
+            row.push(format!("{} ({:.2}x)", ms(*t), r));
+        }
+        row.push(format!("{:.2}x", geomean(&rel)));
+        rows.push(row);
+    }
+
+    // Visibility restriction matters only on pre-Pascal devices.
+    let dev960 = DeviceProfile::gtx960();
+    let with_vis = measure(&dev960, Options::parallel());
+    let without_vis = measure(&dev960, Options::parallel().with_visibility_restriction(false));
+    let rel: Vec<f64> = without_vis.iter().zip(&with_vis).map(|(t, b)| t / b).collect();
+    let mut row = vec!["960: no visibility restriction".to_string()];
+    for (t, r) in without_vis.iter().zip(&rel) {
+        row.push(format!("{} ({:.2}x)", ms(*t), r));
+    }
+    row.push(format!("{:.2}x", geomean(&rel)));
+    rows.push(row);
+
+    println!("Ablation — each variant relative to the paper's default policies");
+    println!("(cells: median time (slowdown vs default); >1.00x = the default policy helps)");
+    let mut headers = vec!["variant"];
+    headers.extend(Bench::ALL.iter().map(|b| b.name()));
+    headers.push("geomean");
+    println!("{}", render_table(&headers, &rows));
+}

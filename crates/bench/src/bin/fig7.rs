@@ -1,0 +1,69 @@
+//! Fig. 7 — speedup of the parallel GrCUDA scheduler over the serial
+//! GrCUDA scheduler, per benchmark × device × input scale.
+//!
+//! Paper headline: geomean speedup ≈ 1.44× across the three GPUs, with
+//! the GTX 960 lowest (~1.25×) and the P100 highest (~1.61×); speedups
+//! are mostly independent of input size.
+//!
+//! Usage: `cargo run --release -p bench --bin fig7 [--quick]`
+//! (`--quick` restricts the sweep to the middle scale).
+
+use bench::{devices, geomean, iters_for, ms, render_table, sweep};
+use benchmarks::{run_grcuda, Bench};
+use grcuda::Options;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut per_device: Vec<(String, Vec<f64>)> = Vec::new();
+    let mut all: Vec<f64> = Vec::new();
+
+    for dev in devices() {
+        let mut dev_speedups = Vec::new();
+        for b in Bench::ALL {
+            let scales = sweep(b);
+            let picks: Vec<(usize, usize)> = if quick {
+                vec![(2, scales[2])]
+            } else {
+                scales.iter().copied().enumerate().collect()
+            };
+            for (rank, scale) in picks {
+                let iters = iters_for(rank);
+                let spec = b.build(scale);
+                let ser = run_grcuda(&spec, &dev, Options::serial(), iters);
+                let par = run_grcuda(&spec, &dev, Options::parallel(), iters);
+                ser.assert_ok();
+                par.assert_ok();
+                let speedup = ser.median_time() / par.median_time();
+                dev_speedups.push(speedup);
+                all.push(speedup);
+                rows.push(vec![
+                    dev.name.clone(),
+                    b.name().into(),
+                    format!("{scale}"),
+                    ms(ser.median_time()),
+                    ms(par.median_time()),
+                    format!("{speedup:.2}x"),
+                    format!("{}", par.streams_used),
+                ]);
+            }
+        }
+        per_device.push((dev.name.clone(), dev_speedups));
+    }
+
+    println!("Fig. 7 — parallel vs serial GrCUDA scheduler");
+    println!(
+        "{}",
+        render_table(
+            &["device", "bench", "scale", "serial", "parallel", "speedup", "streams"],
+            &rows
+        )
+    );
+    for (name, sp) in &per_device {
+        println!("{name}: geomean speedup {:.2}x over {} configs", geomean(sp), sp.len());
+    }
+    println!(
+        "\nOverall geomean speedup: {:.2}x  (paper: 1.44x; 960 lowest, P100 highest)",
+        geomean(&all)
+    );
+}

@@ -1,0 +1,63 @@
+//! Fig. 9 — how close the parallel scheduler gets to the theoretical
+//! contention-free execution time (critical path with solo durations and
+//! dedicated full-bandwidth transfers).
+//!
+//! Paper headline: relative execution time (bound / measured) is often
+//! around 0.7 — space-sharing costs 30–40% of the ideal — and B&S is the
+//! outlier at ~0.15–0.2 because ten concurrent streams saturate PCIe and
+//! the fp64 units.
+//!
+//! Usage: `cargo run --release -p bench --bin fig9 [--quick]`
+
+use bench::{devices, iters_for, mean, ms, render_table, sweep};
+use benchmarks::{contention_free_time_warm, run_grcuda, Bench};
+use grcuda::Options;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let mut rows = Vec::new();
+    let mut per_bench: Vec<(&str, Vec<f64>)> = Bench::ALL.iter().map(|b| (b.name(), vec![])).collect();
+
+    for dev in devices() {
+        for (bi, b) in Bench::ALL.into_iter().enumerate() {
+            let scales = sweep(b);
+            let picks: Vec<(usize, usize)> = if quick {
+                vec![(2, scales[2])]
+            } else {
+                scales.iter().copied().enumerate().collect()
+            };
+            for (rank, scale) in picks {
+                let spec = b.build(scale);
+                // Steady-state bound: warm iterations only re-transfer the
+                // streaming inputs.
+                let bound = contention_free_time_warm(&spec, &dev);
+                let par = run_grcuda(&spec, &dev, Options::parallel(), iters_for(rank));
+                par.assert_ok();
+                let rel = bound / par.median_time();
+                per_bench[bi].1.push(rel);
+                rows.push(vec![
+                    dev.name.clone(),
+                    b.name().into(),
+                    format!("{scale}"),
+                    ms(bound),
+                    ms(par.median_time()),
+                    format!("{rel:.2}"),
+                ]);
+            }
+        }
+    }
+
+    println!("Fig. 9 — parallel scheduler vs contention-free bound");
+    println!("(relative = bound / measured; 1.0 = no contention at all)");
+    println!(
+        "{}",
+        render_table(
+            &["device", "bench", "scale", "contention-free", "measured", "relative"],
+            &rows
+        )
+    );
+    for (name, rels) in &per_bench {
+        println!("{name}: mean relative {:.2}", mean(rels));
+    }
+    println!("(paper: typically ~0.6-0.8; B&S lowest at ~0.15-0.2 due to PCIe/fp64 contention)");
+}

@@ -1,0 +1,101 @@
+//! Multi-GPU scaling study — the paper's §VI future work, implemented in
+//! `grcuda::multi`: run-time data-location tracking, host-mediated
+//! migration costs, and placement policies.
+//!
+//! Two workloads bracket the design space:
+//! * **independent pricing** (B&S-style): embarrassingly parallel across
+//!   devices — round-robin placement should scale;
+//! * **dependent chain** (iterated scaling): serial data flow — locality
+//!   placement must keep it on one device, round-robin ping-pongs data
+//!   and loses.
+//!
+//! Usage: `cargo run --release -p bench --bin multi_gpu`
+
+use bench::{ms, render_table};
+use gpu_sim::{DeviceProfile, Grid};
+use grcuda::{MultiArg, MultiGpu, Options, PlacementPolicy};
+use kernels::black_scholes::BLACK_SCHOLES;
+use kernels::util::SCALE;
+
+const G: Grid = Grid { blocks: (64, 1, 1), threads: (256, 1, 1) };
+
+fn pricing(n_dev: usize, policy: PlacementPolicy) -> (f64, usize) {
+    let mut m = MultiGpu::new(DeviceProfile::tesla_p100(), n_dev, Options::parallel(), policy);
+    let n = 1 << 20;
+    for _ in 0..8 {
+        let x = m.array_f64(n);
+        let y = m.array_f64(n);
+        m.write_f64(&x, &vec![100.0; n]);
+        m.launch(
+            &BLACK_SCHOLES,
+            G,
+            &[
+                MultiArg::array(&x),
+                MultiArg::array(&y),
+                MultiArg::scalar(n as f64),
+                MultiArg::scalar(100.0),
+                MultiArg::scalar(0.02),
+                MultiArg::scalar(0.3),
+                MultiArg::scalar(1.0),
+            ],
+        )
+        .unwrap();
+    }
+    m.sync();
+    assert_eq!(m.races(), 0);
+    (m.makespan(), m.migration_stats().0)
+}
+
+fn chain(n_dev: usize, policy: PlacementPolicy) -> (f64, usize) {
+    let mut m = MultiGpu::new(DeviceProfile::tesla_p100(), n_dev, Options::parallel(), policy);
+    let n = 1 << 22;
+    let x = m.array_f32(n);
+    let y = m.array_f32(n);
+    m.write_f32(&x, &vec![1.0; n]);
+    for i in 0..12 {
+        let (src, dst) = if i % 2 == 0 { (&x, &y) } else { (&y, &x) };
+        m.launch(
+            &SCALE,
+            G,
+            &[MultiArg::array(src), MultiArg::array(dst), MultiArg::scalar(1.001), MultiArg::scalar(n as f64)],
+        )
+        .unwrap();
+    }
+    m.sync();
+    assert_eq!(m.races(), 0);
+    (m.makespan(), m.migration_stats().0)
+}
+
+fn main() {
+    let mut rows = Vec::new();
+    let single_pricing = pricing(1, PlacementPolicy::SingleGpu).0;
+    let single_chain = chain(1, PlacementPolicy::SingleGpu).0;
+    for n_dev in [1usize, 2, 4] {
+        for policy in [PlacementPolicy::RoundRobin, PlacementPolicy::LocalityAware] {
+            if n_dev == 1 && policy == PlacementPolicy::LocalityAware {
+                continue;
+            }
+            let (tp, mp) = pricing(n_dev, policy);
+            let (tc, mc) = chain(n_dev, policy);
+            rows.push(vec![
+                format!("{n_dev}"),
+                format!("{policy:?}"),
+                format!("{} ({:.2}x)", ms(tp), single_pricing / tp),
+                format!("{mp}"),
+                format!("{} ({:.2}x)", ms(tc), single_chain / tc),
+                format!("{mc}"),
+            ]);
+        }
+    }
+    println!("Multi-GPU scaling (paper §VI future work) — Tesla P100s");
+    println!(
+        "{}",
+        render_table(
+            &["GPUs", "placement", "pricing makespan (speedup)", "migr.", "chain makespan (speedup)", "migr."],
+            &rows
+        )
+    );
+    println!("(independent pricing scales with round-robin; the dependent chain");
+    println!(" gains nothing from more GPUs and round-robin placement pays");
+    println!(" host-mediated migrations — locality-aware placement avoids them)");
+}

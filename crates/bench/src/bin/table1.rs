@@ -1,0 +1,64 @@
+//! Table I — unified-memory footprint of each benchmark at the smallest
+//! and largest swept input size, per device.
+//!
+//! The paper sizes inputs to cover <10%..~90% of each GPU's memory.
+//! Functional execution on the host forces our absolute sizes down by a
+//! constant factor (see EXPERIMENTS.md), so this table reports both the
+//! raw footprints and the device-memory fraction they would occupy after
+//! rescaling by that factor.
+
+use bench::render_table;
+use benchmarks::{scales, Bench};
+use gpu_sim::DeviceProfile;
+
+/// Per-benchmark factor between the paper's top scale and ours (see
+/// `benchmarks::scales::top`).
+fn paper_factor(b: Bench) -> f64 {
+    match b {
+        Bench::Vec => 7e8 / 14e6,
+        Bench::Bs => 7e7 / 1.4e6,
+        Bench::Img => (16000.0f64 / 1200.0).powi(2),
+        Bench::Ml => 6e6 / 35e3,
+        Bench::Hits => 2e7 / 175e3,
+        Bench::Dl => (16000.0f64 / 170.0).powi(2),
+    }
+}
+
+fn gb(bytes: f64) -> String {
+    format!("{:.2} GB", bytes / 1e9)
+}
+
+fn main() {
+    let devices = DeviceProfile::paper_devices();
+    let mut rows = Vec::new();
+    for b in Bench::ALL {
+        let sw = scales::sweep(b);
+        let lo = b.build(sw[0]).footprint_bytes() as f64;
+        let hi = b.build(sw[4]).footprint_bytes() as f64;
+        let f = paper_factor(b);
+        let mut row = vec![
+            b.name().to_string(),
+            format!("{:.1} MB - {:.1} MB", lo / 1e6, hi / 1e6),
+            format!("{} - {}", gb(lo * f), gb(hi * f)),
+        ];
+        for dev in &devices {
+            row.push(format!("{:.0}%", 100.0 * hi * f / dev.mem_bytes as f64));
+        }
+        rows.push(row);
+    }
+    let mut mem_row = vec!["device memory".to_string(), String::new(), String::new()];
+    for dev in &devices {
+        mem_row.push(format!("{:.1} GB", dev.mem_bytes as f64 / 1e9));
+    }
+    rows.push(mem_row);
+
+    println!("Table I — memory footprint per benchmark (simulated sizes and paper-equivalent)");
+    println!(
+        "{}",
+        render_table(
+            &["bench", "simulated footprint", "paper-equivalent", "960 max%", "1660 max%", "P100 max%"],
+            &rows
+        )
+    );
+    println!("(paper: each benchmark swept from <10% of memory up to the largest fitting size)");
+}

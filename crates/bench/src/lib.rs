@@ -1,0 +1,125 @@
+//! # bench — experiment harness reproducing every table and figure
+//!
+//! One binary per paper artifact (run with `cargo run --release -p bench
+//! --bin <name>`):
+//!
+//! | binary | paper artifact |
+//! |---|---|
+//! | `fig1` | Fig. 1 — hand-tuned C++ speedup over serial C++ |
+//! | `fig6` | Fig. 6 — benchmark DAGs (DOT + stream assignment) |
+//! | `table1` | Table I — memory footprints per benchmark/GPU |
+//! | `fig7` | Fig. 7 — parallel vs serial GrCUDA speedup sweep |
+//! | `fig8` | Fig. 8 — GrCUDA vs CUDA Graphs baselines |
+//! | `fig9` | Fig. 9 — slowdown vs contention-free bound |
+//! | `fig10` | Fig. 10 — example execution timeline (ML) |
+//! | `fig11` | Fig. 11 — CT/TC/CC/TOT overlap fractions |
+//! | `fig12` | Fig. 12 — hardware metrics serial vs parallel |
+//!
+//! This library holds the shared experiment plumbing: iteration counts,
+//! aggregate statistics and aligned-table rendering.
+
+use benchmarks::{scales, Bench};
+use gpu_sim::DeviceProfile;
+
+/// Measured iterations per configuration. The paper uses 30 wall-clock
+/// runs; the simulator is deterministic, so a warm-up plus two measured
+/// iterations capture steady state.
+pub fn iters_for(scale_rank: usize) -> usize {
+    if scale_rank >= 3 {
+        2
+    } else {
+        3
+    }
+}
+
+/// Geometric mean.
+pub fn geomean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+/// Arithmetic mean.
+pub fn mean(xs: &[f64]) -> f64 {
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Render an aligned text table.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for r in rows {
+        for (i, c) in r.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            line.push_str(&format!("{:>w$}  ", c, w = widths[i]));
+        }
+        line.trim_end().to_string() + "\n"
+    };
+    let hdr: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    out.push_str(&fmt_row(&hdr, &widths));
+    out.push_str(&format!("{}\n", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())));
+    for r in rows {
+        out.push_str(&fmt_row(r, &widths));
+    }
+    out
+}
+
+/// The device list of the evaluation, in figure order.
+pub fn devices() -> Vec<DeviceProfile> {
+    DeviceProfile::paper_devices()
+}
+
+/// Scales swept for a benchmark, shared by Figs. 7–9.
+pub fn sweep(b: Bench) -> Vec<usize> {
+    scales::sweep(b)
+}
+
+/// Pretty milliseconds.
+pub fn ms(t: f64) -> String {
+    if t >= 0.1 {
+        format!("{:.0} ms", t * 1e3)
+    } else if t >= 1e-3 {
+        format!("{:.1} ms", t * 1e3)
+    } else {
+        format!("{:.2} ms", t * 1e3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert!((geomean(&[3.0]) - 3.0).abs() < 1e-12);
+        assert!(geomean(&[]).is_nan());
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let t = render_table(
+            &["bench", "speedup"],
+            &[vec!["VEC".into(), "2.54x".into()], vec!["HITS".into(), "1.39x".into()]],
+        );
+        assert!(t.contains("bench"));
+        assert!(t.contains("2.54x"));
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+    }
+
+    #[test]
+    fn ms_formats_ranges() {
+        assert_eq!(ms(0.25), "250 ms");
+        assert_eq!(ms(0.005), "5.0 ms");
+        assert_eq!(ms(0.0005), "0.50 ms");
+    }
+}

@@ -1,0 +1,485 @@
+//! Execution strategies: one benchmark spec, five ways to run it.
+//!
+//! All runners return a [`RunResult`] with per-iteration GPU execution
+//! times (the paper's metric: "the total amount of time spent by GPU
+//! execution, from the first kernel scheduling until the end of
+//! execution"), the last iteration's timeline, and a bit-exact
+//! validation against the sequential CPU reference.
+
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use cuda_sim::{Cuda, CudaGraph, KernelExec, StreamId, UnifiedArray};
+use gpu_sim::{DataBuffer, DeviceProfile, Timeline, TypedData};
+use grcuda::{Arg, GrCuda, Options, Signature};
+
+use crate::spec::{BenchSpec, PlanArg, PlanOp};
+
+/// Outcome of one benchmark run.
+#[derive(Debug)]
+pub struct RunResult {
+    /// GPU execution time of each iteration, seconds.
+    pub iter_times: Vec<f64>,
+    /// Timeline of the last iteration.
+    pub timeline: Timeline,
+    /// Number of data races the simulator detected (must be 0).
+    pub races: usize,
+    /// Streams that carried GPU work in the last iteration.
+    pub streams_used: usize,
+    /// Bit-exact comparison against the sequential CPU reference.
+    pub valid: Result<(), String>,
+}
+
+impl RunResult {
+    /// Median per-iteration time (the paper reports medians).
+    pub fn median_time(&self) -> f64 {
+        let mut t = self.iter_times.clone();
+        t.sort_by(|a, b| a.total_cmp(b));
+        t[t.len() / 2]
+    }
+
+    /// Panic unless the run validated and was race-free (test helper).
+    pub fn assert_ok(&self) {
+        assert_eq!(self.races, 0, "data races detected");
+        if let Err(e) = &self.valid {
+            panic!("validation failed: {e}");
+        }
+    }
+}
+
+/// The reference final state after `iters` iterations (streaming inputs
+/// are re-written with their initial contents at the top of each
+/// iteration, exactly as the runners do).
+pub fn reference_after_iters(spec: &BenchSpec, iters: usize) -> Vec<TypedData> {
+    let buffers: Vec<DataBuffer> =
+        spec.arrays.iter().map(|a| DataBuffer::new(a.init.clone())).collect();
+    for _ in 0..iters {
+        for (i, a) in spec.arrays.iter().enumerate() {
+            if a.refresh_each_iter {
+                *buffers[i].data_mut() = a.init.clone();
+            }
+        }
+        for op in &spec.ops {
+            let (bufs, scalars) = spec.op_inputs(op, &buffers);
+            (op.def.func)(&bufs, &scalars);
+        }
+    }
+    buffers.iter().map(|b| b.data().clone()).collect()
+}
+
+fn validate(spec: &BenchSpec, buffers: &[DataBuffer], iters: usize) -> Result<(), String> {
+    let reference = reference_after_iters(spec, iters);
+    for (i, (got, want)) in buffers.iter().zip(&reference).enumerate() {
+        if *got.data() != *want {
+            return Err(format!(
+                "{}: array {} (`{}`) deviates from the sequential reference",
+                spec.name, i, spec.arrays[i].name
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Per-signature read-only flags for the pointer arguments, in order.
+fn ro_flags(op: &PlanOp) -> Vec<bool> {
+    let sig = Signature::parse(op.def.nidl).expect("registered kernels parse");
+    sig.params.iter().filter(|p| p.is_pointer()).map(|p| p.is_read_only()).collect()
+}
+
+/// Build a cuda-sim launch descriptor for one op.
+fn make_exec(_spec: &BenchSpec, op: &PlanOp, arrays: &[UnifiedArray]) -> KernelExec {
+    let ro = ro_flags(op);
+    let mut buffers = Vec::new();
+    let mut accesses = Vec::new();
+    let mut scalars = Vec::new();
+    let mut p = 0usize;
+    for a in &op.args {
+        match a {
+            PlanArg::Arr(k) => {
+                buffers.push(arrays[*k].buf.clone());
+                accesses.push((arrays[*k].id, ro[p]));
+                p += 1;
+            }
+            PlanArg::Scalar(v) => scalars.push(*v),
+        }
+    }
+    let cost = (op.def.cost)(&buffers, &scalars);
+    let func = op.def.func;
+    KernelExec::new(
+        op.def.name,
+        op.grid,
+        cost,
+        buffers,
+        accesses,
+        Rc::new(move |bufs: &[DataBuffer]| func(bufs, &scalars)),
+    )
+}
+
+fn write_initial(arr: &UnifiedArray, data: &TypedData) {
+    *arr.buf.data_mut() = data.clone();
+}
+
+fn read_outputs_cuda(c: &Cuda, spec: &BenchSpec, arrays: &[UnifiedArray]) {
+    let _ = spec;
+    for (k, cnt) in &spec.outputs {
+        let bytes = cnt * elem_size(&spec.arrays[*k].init);
+        c.host_read(&arrays[*k], bytes);
+    }
+}
+
+fn elem_size(d: &TypedData) -> usize {
+    d.elem_size()
+}
+
+// ---------------------------------------------------------------------
+// GrCUDA runner (serial baseline & the paper's scheduler)
+// ---------------------------------------------------------------------
+
+/// Run the spec through the GrCUDA runtime. With
+/// [`Options::serial`] this is the paper's baseline; with
+/// [`Options::parallel`] it is the paper's contribution. Stream and
+/// dependency hints in the plan are ignored — the scheduler infers
+/// everything.
+pub fn run_grcuda(spec: &BenchSpec, dev: &DeviceProfile, options: Options, iters: usize) -> RunResult {
+    let g = GrCuda::new(dev.clone(), options);
+    let arrays: Vec<grcuda::DeviceArray> = spec
+        .arrays
+        .iter()
+        .map(|a| {
+            let arr = match &a.init {
+                TypedData::F32(v) => {
+                    let d = g.array_f32(v.len());
+                    d.copy_from_f32(v);
+                    d
+                }
+                TypedData::F64(v) => {
+                    let d = g.array_f64(v.len());
+                    d.copy_from_f64(v);
+                    d
+                }
+                TypedData::I32(v) => {
+                    let d = g.array_i32(v.len());
+                    d.copy_from_i32(v);
+                    d
+                }
+                TypedData::U8(_) => unimplemented!("no u8 benchmark arrays"),
+            };
+            arr
+        })
+        .collect();
+    let mut kernels: HashMap<&'static str, grcuda::Kernel> = HashMap::new();
+    for op in &spec.ops {
+        kernels
+            .entry(op.def.name)
+            .or_insert_with(|| g.build_kernel(op.def).expect("suite signatures parse"));
+    }
+
+    let mut iter_times = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        for (i, a) in spec.arrays.iter().enumerate() {
+            if a.refresh_each_iter {
+                match &a.init {
+                    TypedData::F32(v) => arrays[i].copy_from_f32(v),
+                    TypedData::F64(v) => arrays[i].copy_from_f64(v),
+                    TypedData::I32(v) => arrays[i].copy_from_i32(v),
+                    TypedData::U8(_) => unreachable!(),
+                }
+            }
+        }
+        g.clear_timeline();
+        for op in &spec.ops {
+            let args: Vec<Arg> = op
+                .args
+                .iter()
+                .map(|a| match a {
+                    PlanArg::Arr(k) => Arg::array(&arrays[*k]),
+                    PlanArg::Scalar(v) => Arg::scalar(*v),
+                })
+                .collect();
+            kernels[op.def.name].launch(op.grid, &args).expect("suite launches validate");
+        }
+        // Host reads end the iteration (VEC's `res = Z[0]` pattern).
+        for (k, cnt) in &spec.outputs {
+            for i in 0..*cnt {
+                match &spec.arrays[*k].init {
+                    TypedData::F32(_) => {
+                        arrays[*k].get_f32(i);
+                    }
+                    TypedData::F64(_) => {
+                        arrays[*k].get_f64(i);
+                    }
+                    TypedData::I32(_) => {
+                        arrays[*k].get_i32(i);
+                    }
+                    TypedData::U8(_) => unreachable!(),
+                }
+            }
+        }
+        g.sync();
+        iter_times.push(g.timeline().gpu_span());
+    }
+
+    let buffers: Vec<DataBuffer> = arrays.iter().map(|a| a.raw_buffer()).collect();
+    let timeline = g.timeline();
+    RunResult {
+        iter_times,
+        streams_used: timeline.streams_used(),
+        races: g.races().len(),
+        valid: validate(spec, &buffers, iters),
+        timeline,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Hand-tuned CUDA events baseline
+// ---------------------------------------------------------------------
+
+/// The "hand-optimized implementation purely based on CUDA events" of
+/// §V-D: explicit streams per the plan's Fig. 6 coloring, explicit
+/// events for every cross-stream edge, and (optionally) manual
+/// prefetching — the strongest baseline, which the paper's scheduler
+/// matches.
+pub fn run_handtuned(spec: &BenchSpec, dev: &DeviceProfile, prefetch: bool, iters: usize) -> RunResult {
+    let c = Cuda::new(dev.clone());
+    let arrays = alloc_cuda_arrays(&c, spec);
+    let execs: Vec<KernelExec> = spec.ops.iter().map(|op| make_exec(spec, op, &arrays)).collect();
+    let nstreams = spec.ops.iter().map(|o| o.stream).max().unwrap_or(0) + 1;
+    let streams: Vec<StreamId> = (0..nstreams).map(|_| c.stream_create()).collect();
+
+    // First-use stream of each array (where a skilled programmer would
+    // prefetch it).
+    let mut first_use: HashMap<usize, usize> = HashMap::new();
+    for op in &spec.ops {
+        for a in &op.args {
+            if let PlanArg::Arr(k) = a {
+                first_use.entry(*k).or_insert(op.stream);
+            }
+        }
+    }
+
+    let mut iter_times = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        refresh_cuda(&c, spec, &arrays);
+        c.clear_timeline();
+        if prefetch {
+            for (k, s) in &first_use {
+                c.prefetch_async(streams[*s], &arrays[*k]);
+            }
+        }
+        let mut events: Vec<Option<cuda_sim::EventId>> = vec![None; spec.ops.len()];
+        for (i, op) in spec.ops.iter().enumerate() {
+            for d in &op.deps {
+                if spec.ops[*d].stream != op.stream {
+                    let ev = events[*d].expect("event recorded for cross-stream parent");
+                    c.stream_wait_event(streams[op.stream], ev);
+                }
+            }
+            c.launch(streams[op.stream], &execs[i]);
+            // Record an event if any later op on another stream waits.
+            let needed = spec.ops[i + 1..]
+                .iter()
+                .any(|o| o.deps.contains(&i) && o.stream != op.stream);
+            if needed {
+                events[i] = Some(c.event_record(streams[op.stream]));
+            }
+        }
+        c.device_sync();
+        read_outputs_cuda(&c, spec, &arrays);
+        iter_times.push(c.timeline().gpu_span());
+    }
+    finish_cuda(c, spec, arrays, iter_times, iters)
+}
+
+// ---------------------------------------------------------------------
+// CUDA Graphs baselines
+// ---------------------------------------------------------------------
+
+/// CUDA Graphs with manually specified dependencies (§V-D): the graph is
+/// built once from the plan's explicit edges and replayed every
+/// iteration. Unified-memory prefetch cannot be expressed in the graph,
+/// so replays pay the fault path on Pascal+ — the paper's Fig. 8 gap.
+pub fn run_graph_manual(spec: &BenchSpec, dev: &DeviceProfile, iters: usize) -> RunResult {
+    let c = Cuda::new(dev.clone());
+    let arrays = alloc_cuda_arrays(&c, spec);
+    let mut graph = CudaGraph::new();
+    let mut nodes = Vec::with_capacity(spec.ops.len());
+    for op in &spec.ops {
+        let deps: Vec<cuda_sim::GraphNodeId> = op.deps.iter().map(|d| nodes[*d]).collect();
+        nodes.push(graph.add_kernel(make_exec(spec, op, &arrays), &deps));
+    }
+    run_graph(c, spec, arrays, graph, iters)
+}
+
+/// CUDA Graphs via stream capture (§V-D): the hand-tuned multi-stream
+/// issue is captured once (prefetches are silently not capturable) and
+/// the recorded graph is replayed every iteration.
+pub fn run_graph_capture(spec: &BenchSpec, dev: &DeviceProfile, iters: usize) -> RunResult {
+    let c = Cuda::new(dev.clone());
+    let arrays = alloc_cuda_arrays(&c, spec);
+    let execs: Vec<KernelExec> = spec.ops.iter().map(|op| make_exec(spec, op, &arrays)).collect();
+    let nstreams = spec.ops.iter().map(|o| o.stream).max().unwrap_or(0) + 1;
+    let streams: Vec<StreamId> = (0..nstreams).map(|_| c.stream_create()).collect();
+
+    c.begin_capture();
+    let mut events: Vec<Option<cuda_sim::EventId>> = vec![None; spec.ops.len()];
+    for (i, op) in spec.ops.iter().enumerate() {
+        for d in &op.deps {
+            if spec.ops[*d].stream != op.stream {
+                let ev = events[*d].expect("event recorded for cross-stream parent");
+                c.stream_wait_event(streams[op.stream], ev);
+            }
+        }
+        c.launch(streams[op.stream], &execs[i]);
+        let needed =
+            spec.ops[i + 1..].iter().any(|o| o.deps.contains(&i) && o.stream != op.stream);
+        if needed {
+            events[i] = Some(c.event_record(streams[op.stream]));
+        }
+    }
+    let graph = c.end_capture();
+    run_graph(c, spec, arrays, graph, iters)
+}
+
+fn run_graph(
+    c: Cuda,
+    spec: &BenchSpec,
+    arrays: Vec<UnifiedArray>,
+    graph: CudaGraph,
+    iters: usize,
+) -> RunResult {
+    let mut iter_times = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        refresh_cuda(&c, spec, &arrays);
+        c.clear_timeline();
+        let done = graph.launch(&c);
+        c.task_sync(done);
+        read_outputs_cuda(&c, spec, &arrays);
+        iter_times.push(c.timeline().gpu_span());
+    }
+    finish_cuda(c, spec, arrays, iter_times, iters)
+}
+
+// ---------------------------------------------------------------------
+// shared plumbing
+// ---------------------------------------------------------------------
+
+fn alloc_cuda_arrays(c: &Cuda, spec: &BenchSpec) -> Vec<UnifiedArray> {
+    spec.arrays
+        .iter()
+        .map(|a| {
+            let arr = match &a.init {
+                TypedData::F32(v) => c.alloc_f32(v.len()),
+                TypedData::F64(v) => c.alloc_f64(v.len()),
+                TypedData::I32(v) => c.alloc_i32(v.len()),
+                TypedData::U8(v) => c.alloc_u8(v.len()),
+            };
+            write_initial(&arr, &a.init);
+            arr
+        })
+        .collect()
+}
+
+fn refresh_cuda(c: &Cuda, spec: &BenchSpec, arrays: &[UnifiedArray]) {
+    for (i, a) in spec.arrays.iter().enumerate() {
+        if a.refresh_each_iter {
+            write_initial(&arrays[i], &a.init);
+            c.host_written(&arrays[i]);
+        }
+    }
+}
+
+fn finish_cuda(
+    c: Cuda,
+    spec: &BenchSpec,
+    arrays: Vec<UnifiedArray>,
+    iter_times: Vec<f64>,
+    iters: usize,
+) -> RunResult {
+    let buffers: Vec<DataBuffer> = arrays.iter().map(|a| a.buf.clone()).collect();
+    let timeline = c.timeline();
+    RunResult {
+        iter_times,
+        streams_used: timeline.streams_used(),
+        races: c.races().len(),
+        valid: validate(spec, &buffers, iters),
+        timeline,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{scales, Bench};
+
+    fn dev() -> DeviceProfile {
+        DeviceProfile::gtx1660_super()
+    }
+
+    #[test]
+    fn every_benchmark_validates_under_every_runner() {
+        for b in Bench::ALL {
+            let spec = b.build(scales::tiny(b));
+            run_grcuda(&spec, &dev(), Options::serial(), 1).assert_ok();
+            run_grcuda(&spec, &dev(), Options::parallel(), 1).assert_ok();
+            run_handtuned(&spec, &dev(), true, 1).assert_ok();
+            run_graph_manual(&spec, &dev(), 1).assert_ok();
+            run_graph_capture(&spec, &dev(), 1).assert_ok();
+        }
+    }
+
+    #[test]
+    fn multi_iteration_runs_validate() {
+        let spec = Bench::Vec.build(2048);
+        run_grcuda(&spec, &dev(), Options::parallel(), 3).assert_ok();
+        run_handtuned(&spec, &dev(), true, 3).assert_ok();
+        run_graph_manual(&spec, &dev(), 3).assert_ok();
+    }
+
+    #[test]
+    fn parallel_uses_more_streams_than_serial() {
+        // Large enough that each kernel outlives the host issue loop --
+        // at tiny scales the FIFO policy correctly reuses drained
+        // streams instead of fanning out.
+        let spec = Bench::Bs.build(100_000);
+        let ser = run_grcuda(&spec, &dev(), Options::serial(), 1);
+        let par = run_grcuda(&spec, &dev(), Options::parallel(), 1);
+        assert_eq!(ser.streams_used, 1);
+        assert!(par.streams_used >= 8, "B&S must fan out: {}", par.streams_used);
+        ser.assert_ok();
+        par.assert_ok();
+    }
+
+    #[test]
+    fn parallel_is_faster_than_serial_on_vec() {
+        let spec = Bench::Vec.build(200_000);
+        let ser = run_grcuda(&spec, &dev(), Options::serial(), 2);
+        let par = run_grcuda(&spec, &dev(), Options::parallel(), 2);
+        assert!(
+            par.median_time() < ser.median_time(),
+            "parallel {} vs serial {}",
+            par.median_time(),
+            ser.median_time()
+        );
+    }
+
+    #[test]
+    fn hits_cross_stream_sync_is_race_free_everywhere() {
+        let spec = Bench::Hits.build(512);
+        for d in DeviceProfile::paper_devices() {
+            run_grcuda(&spec, &d, Options::parallel(), 2).assert_ok();
+            run_handtuned(&spec, &d, true, 2).assert_ok();
+        }
+    }
+
+    #[test]
+    fn median_of_odd_iterations() {
+        let r = RunResult {
+            iter_times: vec![3.0, 1.0, 2.0],
+            timeline: Timeline::new(),
+            races: 0,
+            streams_used: 0,
+            valid: Ok(()),
+        };
+        assert_eq!(r.median_time(), 2.0);
+    }
+}

@@ -1,0 +1,8 @@
+//! Generators for the six benchmark plans (§V-B, Fig. 6).
+
+pub mod bs;
+pub mod dl;
+pub mod hits;
+pub mod img;
+pub mod ml;
+pub mod vec;

@@ -1,0 +1,837 @@
+//! The simulated CUDA context: streams, events, launches, unified-memory
+//! management and host synchronization.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use gpu_sim::{
+    DeviceProfile, Engine, EngineStats, RaceReport, TaskId, TaskKind, TaskSpec, Time, Timeline,
+    TypedData, ValueId,
+};
+
+use crate::exec::KernelExec;
+use crate::graph::CaptureState;
+use crate::memory::{ArrayState, Residency, UnifiedArray};
+
+/// Handle to an in-order execution stream. Stream 0 is the default
+/// stream and always exists.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StreamId(pub u32);
+
+/// Handle to a recorded event (a precise synchronization point on a
+/// stream, `cudaEventRecord` analogue).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EventId(pub(crate) u32);
+
+#[derive(Debug, Clone)]
+pub(crate) enum EventTarget {
+    /// Normal execution: the event is a completed-or-pending engine task.
+    Task(TaskId),
+    /// Recorded during stream capture: the event names a graph node.
+    CaptureNode(u32),
+}
+
+#[derive(Debug, Default)]
+struct StreamState {
+    last: Option<TaskId>,
+}
+
+pub(crate) struct Inner {
+    pub(crate) engine: Engine,
+    pub(crate) dev: DeviceProfile,
+    arrays: HashMap<ValueId, ArrayState>,
+    next_value: u64,
+    streams: Vec<StreamState>,
+    pub(crate) events: Vec<EventTarget>,
+    pub(crate) capture: Option<CaptureState>,
+    /// Bulk copies in the same direction serialize through a single DMA
+    /// copy engine, like real hardware — the reason the paper's VEC
+    /// benchmark shows zero computation/computation overlap: the second
+    /// vector's data arrives only after the first vector's copy is done.
+    last_h2d: Option<TaskId>,
+    /// Reserved for explicit D2H copy APIs (host reads currently block
+    /// the virtual host, so ordering is implicit).
+    #[allow(dead_code)]
+    last_d2h: Option<TaskId>,
+}
+
+/// A simulated CUDA device context. Cheap to clone; clones share the
+/// same device state (like sharing a `CUcontext`).
+#[derive(Clone)]
+pub struct Cuda {
+    pub(crate) inner: Rc<RefCell<Inner>>,
+}
+
+impl Cuda {
+    /// Create a context for the given device profile.
+    pub fn new(dev: DeviceProfile) -> Self {
+        let engine = Engine::new(dev.clone());
+        Cuda {
+            inner: Rc::new(RefCell::new(Inner {
+                engine,
+                dev,
+                arrays: HashMap::new(),
+                next_value: 0,
+                streams: vec![StreamState::default()], // default stream
+                events: Vec::new(),
+                capture: None,
+                last_h2d: None,
+                last_d2h: None,
+            })),
+        }
+    }
+
+    /// The device profile this context simulates.
+    pub fn device(&self) -> DeviceProfile {
+        self.inner.borrow().dev.clone()
+    }
+
+    /// Current virtual time in seconds.
+    pub fn now(&self) -> Time {
+        self.inner.borrow().engine.now()
+    }
+
+    /// The default stream.
+    pub fn default_stream(&self) -> StreamId {
+        StreamId(0)
+    }
+
+    /// Create a new independent stream.
+    pub fn stream_create(&self) -> StreamId {
+        let mut inner = self.inner.borrow_mut();
+        inner.streams.push(StreamState::default());
+        StreamId(inner.streams.len() as u32 - 1)
+    }
+
+    /// Number of streams ever created (including the default stream).
+    pub fn stream_count(&self) -> usize {
+        self.inner.borrow().streams.len()
+    }
+
+    // ------------------------------------------------------------------
+    // memory
+    // ------------------------------------------------------------------
+
+    /// Allocate a unified-memory array of `n` f32 elements (GrCUDA's
+    /// `float[n]`). Fresh allocations are host-resident.
+    pub fn alloc_f32(&self, n: usize) -> UnifiedArray {
+        self.alloc(TypedData::F32(vec![0.0; n]))
+    }
+
+    /// Allocate a unified-memory array of `n` f64 elements.
+    pub fn alloc_f64(&self, n: usize) -> UnifiedArray {
+        self.alloc(TypedData::F64(vec![0.0; n]))
+    }
+
+    /// Allocate a unified-memory array of `n` i32 elements.
+    pub fn alloc_i32(&self, n: usize) -> UnifiedArray {
+        self.alloc(TypedData::I32(vec![0; n]))
+    }
+
+    /// Allocate a unified-memory array of `n` bytes.
+    pub fn alloc_u8(&self, n: usize) -> UnifiedArray {
+        self.alloc(TypedData::U8(vec![0; n]))
+    }
+
+    fn alloc(&self, data: TypedData) -> UnifiedArray {
+        let mut inner = self.inner.borrow_mut();
+        let id = ValueId(inner.next_value);
+        inner.next_value += 1;
+        let arr = UnifiedArray::new(id, data);
+        inner
+            .arrays
+            .insert(id, ArrayState { residency: Residency::Host, bytes: arr.byte_len() });
+        arr
+    }
+
+    /// Residency of an allocation.
+    pub fn residency(&self, a: &UnifiedArray) -> Residency {
+        self.inner.borrow().arrays[&a.id].residency
+    }
+
+    /// Mark the host copy as modified (CPU wrote the array): the device
+    /// copy, if any, is invalidated. Benchmarks call this after filling
+    /// inputs. The caller is responsible for having synchronized; a
+    /// concurrent GPU user will be flagged by the race detector at the
+    /// next launch.
+    pub fn host_written(&self, a: &UnifiedArray) {
+        let mut inner = self.inner.borrow_mut();
+        inner.arrays.get_mut(&a.id).expect("unknown array").residency = Residency::Host;
+    }
+
+    /// Model the CPU touching `bytes` of the array (e.g. reading a
+    /// result). If the current copy is on the device, an on-demand
+    /// migration is simulated and the host blocks on it. Returns the
+    /// simulated cost in seconds.
+    pub fn host_read(&self, a: &UnifiedArray, bytes: usize) -> Time {
+        let mut inner = self.inner.borrow_mut();
+        let t0 = inner.engine.now();
+        let st = inner.arrays.get(&a.id).expect("unknown array").residency;
+        if !st.on_host() {
+            let dev = inner.dev.clone();
+            let spec = if dev.supports_page_faults() {
+                TaskSpec::fault_migration(
+                    TaskKind::FaultD2H,
+                    format!("umfault<-{:?}", a.id),
+                    u32::MAX,
+                    bytes as f64,
+                    &dev,
+                )
+                .reading(&[a.id])
+            } else {
+                TaskSpec::bulk_copy(
+                    TaskKind::CopyD2H,
+                    format!("d2h<-{:?}", a.id),
+                    u32::MAX,
+                    bytes as f64,
+                    &dev,
+                )
+                .reading(&[a.id])
+            };
+            let t = inner.engine.submit(spec, &[]);
+            inner.engine.sync_task(t);
+            // Whole-array state machine: after touching it the host can
+            // see it (pages migrate lazily; we charge only what was
+            // touched but flip the flag).
+            inner.arrays.get_mut(&a.id).unwrap().residency = Residency::Both;
+        }
+        inner.engine.now() - t0
+    }
+
+    // ------------------------------------------------------------------
+    // transfers
+    // ------------------------------------------------------------------
+
+    /// `cudaMemPrefetchAsync` analogue: bulk-migrate the array to the
+    /// device on `stream` at full PCIe bandwidth. Only meaningful on
+    /// fault-capable devices; a no-op if the data is already resident.
+    ///
+    /// During stream capture this records **nothing**: the CUDA Graphs
+    /// API of the paper's era cannot capture prefetches, which is the
+    /// root cause of the Fig. 8 performance gap.
+    pub fn prefetch_async(&self, stream: StreamId, a: &UnifiedArray) -> Option<TaskId> {
+        let mut inner = self.inner.borrow_mut();
+        if inner.capture.is_some() {
+            return None; // not capturable
+        }
+        if !inner.dev.supports_page_faults() {
+            return None; // no UM migration engine on pre-Pascal
+        }
+        if inner.arrays[&a.id].residency.on_device() {
+            return None;
+        }
+        let dev = inner.dev.clone();
+        let overhead = dev.host_api_overhead;
+        inner.engine.advance_host(overhead);
+        let spec = TaskSpec::bulk_copy(
+            TaskKind::CopyH2D,
+            format!("prefetch {:?}", a.id),
+            stream.0,
+            inner.arrays[&a.id].bytes as f64,
+            &dev,
+        )
+        .reading(&[a.id]);
+        let mut deps = stream_deps(&inner.streams, stream);
+        deps.extend(inner.last_h2d);
+        let t = inner.engine.submit(spec, &deps);
+        inner.streams[stream.0 as usize].last = Some(t);
+        inner.last_h2d = Some(t);
+        inner.arrays.get_mut(&a.id).unwrap().residency = Residency::Both;
+        Some(t)
+    }
+
+    // ------------------------------------------------------------------
+    // kernel launch
+    // ------------------------------------------------------------------
+
+    /// Launch a kernel on a stream (`<<<grid>>>` analogue). Returns the
+    /// engine task, or `None` while capturing (the launch became a graph
+    /// node instead).
+    ///
+    /// Unified-memory behaviour: any argument not resident on the device
+    /// is migrated first — eagerly at full bandwidth on pre-Pascal
+    /// devices, or through the slow page-fault path on Pascal+ (unless it
+    /// was prefetched).
+    pub fn launch(&self, stream: StreamId, exec: &KernelExec) -> Option<TaskId> {
+        self.launch_with_extra_deps(stream, exec, &[])
+    }
+
+    /// [`Cuda::launch`] with additional explicit dependencies (used by
+    /// the grcuda scheduler to encode cross-stream DAG edges directly).
+    pub fn launch_with_extra_deps(
+        &self,
+        stream: StreamId,
+        exec: &KernelExec,
+        extra_deps: &[TaskId],
+    ) -> Option<TaskId> {
+        let mut inner = self.inner.borrow_mut();
+        if let Some(cap) = &mut inner.capture {
+            cap.record_kernel(stream, exec);
+            return None;
+        }
+        let overhead = inner.dev.host_api_overhead;
+        inner.engine.advance_host(overhead);
+        Some(inner.submit_kernel(stream, exec, extra_deps))
+    }
+
+    // ------------------------------------------------------------------
+    // events & synchronization
+    // ------------------------------------------------------------------
+
+    /// Record an event on a stream (`cudaEventRecord`). Later,
+    /// [`Cuda::stream_wait_event`] makes another stream wait for it
+    /// without blocking the host.
+    pub fn event_record(&self, stream: StreamId) -> EventId {
+        let mut inner = self.inner.borrow_mut();
+        if inner.capture.is_some() {
+            let node = inner.capture.as_mut().unwrap().tail_of(stream);
+            inner.events.push(EventTarget::CaptureNode(node));
+            return EventId(inner.events.len() as u32 - 1);
+        }
+        let overhead = inner.dev.event_overhead;
+        inner.engine.advance_host(overhead);
+        let deps = stream_deps(&inner.streams, stream);
+        let spec = TaskSpec::marker(format!("event s{}", stream.0), stream.0);
+        let t = inner.engine.submit(spec, &deps);
+        inner.streams[stream.0 as usize].last = Some(t);
+        inner.events.push(EventTarget::Task(t));
+        EventId(inner.events.len() as u32 - 1)
+    }
+
+    /// Make all future work on `stream` wait for `event`
+    /// (`cudaStreamWaitEvent`).
+    pub fn stream_wait_event(&self, stream: StreamId, event: EventId) {
+        let mut inner = self.inner.borrow_mut();
+        if inner.capture.is_some() {
+            let target = inner.events[event.0 as usize].clone();
+            if let EventTarget::CaptureNode(n) = target {
+                inner.capture.as_mut().unwrap().add_wait(stream, n);
+            }
+            return;
+        }
+        let overhead = inner.dev.event_overhead;
+        inner.engine.advance_host(overhead);
+        let ev_task = match inner.events[event.0 as usize] {
+            EventTarget::Task(t) => t,
+            EventTarget::CaptureNode(_) => {
+                panic!("event recorded during capture used outside its graph")
+            }
+        };
+        let mut deps = stream_deps(&inner.streams, stream);
+        deps.push(ev_task);
+        let spec = TaskSpec::marker(format!("wait s{}", stream.0), stream.0);
+        let t = inner.engine.submit(spec, &deps);
+        inner.streams[stream.0 as usize].last = Some(t);
+    }
+
+    /// True once every operation enqueued on the stream has completed.
+    pub fn stream_query(&self, stream: StreamId) -> bool {
+        let inner = self.inner.borrow();
+        match inner.streams[stream.0 as usize].last {
+            None => true,
+            Some(t) => inner.engine.is_complete(t),
+        }
+    }
+
+    /// Block the host until the stream drains (`cudaStreamSynchronize`).
+    pub fn stream_sync(&self, stream: StreamId) {
+        let mut inner = self.inner.borrow_mut();
+        if let Some(t) = inner.streams[stream.0 as usize].last {
+            inner.engine.sync_task(t);
+        }
+    }
+
+    /// Block the host until a specific event completes
+    /// (`cudaEventSynchronize`).
+    pub fn event_sync(&self, event: EventId) {
+        let mut inner = self.inner.borrow_mut();
+        match inner.events[event.0 as usize] {
+            EventTarget::Task(t) => inner.engine.sync_task(t),
+            EventTarget::CaptureNode(_) => panic!("cannot sync a capture-only event"),
+        }
+    }
+
+    /// Block the host until a specific task completes.
+    pub fn task_sync(&self, t: TaskId) {
+        self.inner.borrow_mut().engine.sync_task(t);
+    }
+
+    /// True once the task completed in virtual time.
+    pub fn task_query(&self, t: TaskId) -> bool {
+        self.inner.borrow().engine.is_complete(t)
+    }
+
+    /// Block the host until the whole device drains
+    /// (`cudaDeviceSynchronize`).
+    pub fn device_sync(&self) {
+        self.inner.borrow_mut().engine.sync_all();
+    }
+
+    /// Let the host spin/compute for `dt` seconds while the device keeps
+    /// running in the background.
+    pub fn host_spin(&self, dt: Time) {
+        self.inner.borrow_mut().engine.advance_host(dt);
+    }
+
+    // ------------------------------------------------------------------
+    // introspection
+    // ------------------------------------------------------------------
+
+    /// Snapshot of the execution timeline.
+    pub fn timeline(&self) -> Timeline {
+        self.inner.borrow().engine.timeline().clone()
+    }
+
+    /// Reset the timeline between measured iterations.
+    pub fn clear_timeline(&self) {
+        self.inner.borrow_mut().engine.clear_timeline();
+    }
+
+    /// Data races detected so far.
+    pub fn races(&self) -> Vec<RaceReport> {
+        self.inner.borrow().engine.races().to_vec()
+    }
+
+    /// Engine counters.
+    pub fn stats(&self) -> EngineStats {
+        self.inner.borrow().engine.stats()
+    }
+}
+
+impl Inner {
+    /// Shared kernel-submission path (used by direct launches and graph
+    /// replays): migrate non-resident arguments, then submit the kernel
+    /// chained on the stream.
+    pub(crate) fn submit_kernel(
+        &mut self,
+        stream: StreamId,
+        exec: &KernelExec,
+        extra_deps: &[TaskId],
+    ) -> TaskId {
+        let dev = self.dev.clone();
+        // Unified-memory migrations for non-resident arguments.
+        let mut seen: Vec<ValueId> = Vec::new();
+        for (v, _) in &exec.accesses {
+            if seen.contains(v) {
+                continue;
+            }
+            seen.push(*v);
+            let st = self.arrays.get(v).expect("kernel argument not allocated here");
+            if st.residency.on_device() {
+                continue;
+            }
+            let bytes = st.bytes as f64;
+            let spec = if dev.supports_page_faults() {
+                TaskSpec::fault_migration(
+                    TaskKind::FaultH2D,
+                    format!("umfault->{v:?}"),
+                    stream.0,
+                    bytes,
+                    &dev,
+                )
+                .reading(&[*v])
+            } else {
+                TaskSpec::bulk_copy(TaskKind::CopyH2D, format!("h2d->{v:?}"), stream.0, bytes, &dev)
+                    .reading(&[*v])
+            };
+            let mut deps = stream_deps(&self.streams, stream);
+            if dev.supports_page_faults() {
+                // Fault-path migrations interleave page-by-page; they
+                // contend through the fault controller instead.
+            } else {
+                deps.extend(self.last_h2d);
+            }
+            let t = self.engine.submit(spec, &deps);
+            self.streams[stream.0 as usize].last = Some(t);
+            if !dev.supports_page_faults() {
+                self.last_h2d = Some(t);
+            }
+            self.arrays.get_mut(v).unwrap().residency = Residency::Both;
+        }
+
+        let (solo, demand) = exec.cost.solo_profile(exec.grid, &dev);
+        let mut spec = TaskSpec::kernel(exec.name.clone(), stream.0);
+        spec.fixed_latency = dev.launch_overhead;
+        spec.fluid_work = solo;
+        spec.demand = demand;
+        spec.reads = exec.reads();
+        spec.writes = exec.writes();
+        spec.meta.bytes = exec.cost.dram_bytes;
+        spec.meta.flops32 = exec.cost.flops32;
+        spec.meta.flops64 = exec.cost.flops64;
+        spec.meta.l2_bytes = exec.cost.l2_bytes;
+        spec.meta.instructions = exec.cost.instructions;
+        spec.on_complete = Some(exec.make_payload());
+
+        let mut deps = stream_deps(&self.streams, stream);
+        deps.extend_from_slice(extra_deps);
+        let t = self.engine.submit(spec, &deps);
+        self.streams[stream.0 as usize].last = Some(t);
+
+        // A kernel that writes an array makes the device copy the only
+        // current one.
+        for v in exec.writes() {
+            self.arrays.get_mut(&v).unwrap().residency = Residency::Device;
+        }
+        t
+    }
+
+    /// Ensure a stream id exists (graph replay may ask for fresh ones).
+    pub(crate) fn ensure_stream(&mut self, stream: StreamId) {
+        while self.streams.len() <= stream.0 as usize {
+            self.streams.push(StreamState::default());
+        }
+    }
+
+    pub(crate) fn fresh_stream(&mut self) -> StreamId {
+        self.streams.push(StreamState::default());
+        StreamId(self.streams.len() as u32 - 1)
+    }
+}
+
+fn stream_deps(streams: &[StreamState], stream: StreamId) -> Vec<TaskId> {
+    streams[stream.0 as usize].last.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::{Grid, KernelCost};
+    use std::rc::Rc;
+
+    fn ctx() -> Cuda {
+        Cuda::new(DeviceProfile::gtx1660_super())
+    }
+
+    fn simple_kernel(c: &Cuda, name: &str, arr: &UnifiedArray, ms: f64) -> KernelExec {
+        let _ = c;
+        KernelExec::new(
+            name,
+            Grid::d1(4096, 256),
+            KernelCost { min_time: ms * 1e-3, ..Default::default() },
+            vec![arr.buf.clone()],
+            vec![(arr.id, false)],
+            Rc::new(|_| {}),
+        )
+    }
+
+    #[test]
+    fn fresh_arrays_are_host_resident() {
+        let c = ctx();
+        let a = c.alloc_f32(1024);
+        assert_eq!(c.residency(&a), Residency::Host);
+        assert_eq!(a.len(), 1024);
+    }
+
+    #[test]
+    fn launch_migrates_then_runs() {
+        let c = ctx();
+        let a = c.alloc_f32(1 << 20);
+        let k = simple_kernel(&c, "k", &a, 1.0);
+        let t = c.launch(c.default_stream(), &k).unwrap();
+        c.task_sync(t);
+        assert_eq!(c.residency(&a), Residency::Device); // kernel wrote it
+        let tl = c.timeline();
+        // One fault migration + one kernel.
+        assert_eq!(tl.kernels().count(), 1);
+        assert_eq!(tl.transfers().count(), 1);
+        assert_eq!(tl.transfers().next().unwrap().kind, TaskKind::FaultH2D);
+    }
+
+    #[test]
+    fn prefetch_uses_bulk_copy_and_faults_disappear() {
+        let c = ctx();
+        let a = c.alloc_f32(1 << 20);
+        c.prefetch_async(c.default_stream(), &a);
+        let k = simple_kernel(&c, "k", &a, 1.0);
+        let t = c.launch(c.default_stream(), &k).unwrap();
+        c.task_sync(t);
+        let tl = c.timeline();
+        assert_eq!(tl.of_kind(TaskKind::CopyH2D).count(), 1);
+        assert_eq!(tl.of_kind(TaskKind::FaultH2D).count(), 0);
+    }
+
+    #[test]
+    fn prefetch_is_faster_than_faulting() {
+        let bytes = 64 << 20;
+        // Faulting path:
+        let c1 = ctx();
+        let a1 = c1.alloc_u8(bytes);
+        let k1 = simple_kernel(&c1, "k", &a1, 0.1);
+        let t1 = c1.launch(c1.default_stream(), &k1).unwrap();
+        c1.task_sync(t1);
+        let slow = c1.now();
+        // Prefetching path:
+        let c2 = ctx();
+        let a2 = c2.alloc_u8(bytes);
+        c2.prefetch_async(c2.default_stream(), &a2);
+        let k2 = simple_kernel(&c2, "k", &a2, 0.1);
+        let t2 = c2.launch(c2.default_stream(), &k2).unwrap();
+        c2.task_sync(t2);
+        let fast = c2.now();
+        assert!(slow > 1.5 * fast, "fault {slow} vs prefetch {fast}");
+    }
+
+    #[test]
+    fn pre_pascal_copies_eagerly_at_full_bandwidth() {
+        let c = Cuda::new(DeviceProfile::gtx960());
+        let a = c.alloc_f32(1 << 20);
+        // Prefetch is a no-op on Maxwell.
+        assert!(c.prefetch_async(c.default_stream(), &a).is_none());
+        let k = simple_kernel(&c, "k", &a, 1.0);
+        let t = c.launch(c.default_stream(), &k).unwrap();
+        c.task_sync(t);
+        let tl = c.timeline();
+        assert_eq!(tl.of_kind(TaskKind::CopyH2D).count(), 1);
+        assert_eq!(tl.of_kind(TaskKind::FaultH2D).count(), 0);
+    }
+
+    #[test]
+    fn stream_ordering_is_fifo() {
+        let c = ctx();
+        let a = c.alloc_f32(16);
+        c.prefetch_async(c.default_stream(), &a);
+        let k1 = simple_kernel(&c, "k1", &a, 1.0);
+        let k2 = simple_kernel(&c, "k2", &a, 1.0);
+        let s = c.default_stream();
+        c.launch(s, &k1);
+        let t2 = c.launch(s, &k2).unwrap();
+        c.task_sync(t2);
+        let tl = c.timeline();
+        let ks: Vec<_> = tl.kernels().collect();
+        assert_eq!(ks.len(), 2);
+        // Issue order on the same stream: k1 ends before k2 starts.
+        let k1iv = ks.iter().find(|iv| iv.label == "k1").unwrap();
+        let k2iv = ks.iter().find(|iv| iv.label == "k2").unwrap();
+        assert!(k1iv.end <= k2iv.start + 1e-12);
+    }
+
+    #[test]
+    fn events_synchronize_across_streams() {
+        let c = ctx();
+        let a = c.alloc_f32(16);
+        let b = c.alloc_f32(16);
+        c.prefetch_async(c.default_stream(), &a);
+        c.prefetch_async(c.default_stream(), &b);
+        c.device_sync();
+        let s1 = c.stream_create();
+        let s2 = c.stream_create();
+        let ka = simple_kernel(&c, "producer", &a, 2.0);
+        c.launch(s1, &ka);
+        let ev = c.event_record(s1);
+        c.stream_wait_event(s2, ev);
+        let kb = simple_kernel(&c, "consumer", &b, 1.0);
+        let t = c.launch(s2, &kb).unwrap();
+        c.task_sync(t);
+        let tl = c.timeline();
+        let prod = tl.kernels().find(|iv| iv.label == "producer").unwrap();
+        let cons = tl.kernels().find(|iv| iv.label == "consumer").unwrap();
+        assert!(cons.start >= prod.end - 1e-12, "consumer must wait for the event");
+    }
+
+    #[test]
+    fn independent_streams_overlap() {
+        let c = ctx();
+        let a = c.alloc_f32(16);
+        let b = c.alloc_f32(16);
+        c.prefetch_async(c.default_stream(), &a);
+        c.prefetch_async(c.default_stream(), &b);
+        c.device_sync();
+        let t0 = c.now();
+        let s1 = c.stream_create();
+        let s2 = c.stream_create();
+        // Two small-occupancy kernels.
+        let mk = |name: &str, arr: &UnifiedArray| {
+            KernelExec::new(
+                name,
+                Grid::d1(64, 32),
+                KernelCost { min_time: 1e-3, ..Default::default() },
+                vec![arr.buf.clone()],
+                vec![(arr.id, false)],
+                Rc::new(|_| {}),
+            )
+        };
+        c.launch(s1, &mk("a", &a));
+        c.launch(s2, &mk("b", &b));
+        c.device_sync();
+        let span = c.now() - t0;
+        assert!(span < 1.5e-3, "kernels must space-share: span = {span}");
+    }
+
+    #[test]
+    fn host_read_of_device_data_costs_a_migration() {
+        let c = ctx();
+        let a = c.alloc_f32(1 << 20);
+        let k = simple_kernel(&c, "k", &a, 0.5);
+        let t = c.launch(c.default_stream(), &k).unwrap();
+        c.task_sync(t);
+        assert_eq!(c.residency(&a), Residency::Device);
+        let dt = c.host_read(&a, 4);
+        assert!(dt > 0.0);
+        assert_eq!(c.residency(&a), Residency::Both);
+        // Second read is free.
+        assert_eq!(c.host_read(&a, 4), 0.0);
+    }
+
+    #[test]
+    fn host_written_invalidates_device_copy() {
+        let c = ctx();
+        let a = c.alloc_f32(1024);
+        let k = simple_kernel(&c, "k", &a, 0.1);
+        let t = c.launch(c.default_stream(), &k).unwrap();
+        c.task_sync(t);
+        c.host_written(&a);
+        assert_eq!(c.residency(&a), Residency::Host);
+    }
+
+    #[test]
+    fn stream_query_tracks_completion() {
+        let c = ctx();
+        let a = c.alloc_f32(16);
+        let s = c.default_stream();
+        assert!(c.stream_query(s));
+        let k = simple_kernel(&c, "k", &a, 1.0);
+        c.launch(s, &k);
+        assert!(!c.stream_query(s));
+        c.stream_sync(s);
+        assert!(c.stream_query(s));
+    }
+
+    #[test]
+    fn functional_payload_runs_at_completion() {
+        let c = ctx();
+        let a = c.alloc_f32(4);
+        let exec = KernelExec::new(
+            "fill7",
+            Grid::d1(1, 32),
+            KernelCost { min_time: 1e-4, ..Default::default() },
+            vec![a.buf.clone()],
+            vec![(a.id, false)],
+            Rc::new(|bufs: &[gpu_sim::DataBuffer]| {
+                for x in bufs[0].as_f32_mut().iter_mut() {
+                    *x = 7.0;
+                }
+            }),
+        );
+        let t = c.launch(c.default_stream(), &exec).unwrap();
+        assert_eq!(a.buf.as_f32()[0], 0.0, "not yet executed in virtual time");
+        c.task_sync(t);
+        assert_eq!(*a.buf.as_f32(), vec![7.0; 4]);
+    }
+
+    #[test]
+    fn missing_sync_between_conflicting_streams_is_a_race() {
+        let c = ctx();
+        let a = c.alloc_f32(16);
+        c.prefetch_async(c.default_stream(), &a);
+        c.device_sync();
+        let s1 = c.stream_create();
+        let s2 = c.stream_create();
+        let k1 = simple_kernel(&c, "w1", &a, 1.0);
+        let k2 = simple_kernel(&c, "w2", &a, 1.0);
+        c.launch(s1, &k1);
+        c.launch(s2, &k2); // no event: both write `a` concurrently
+        c.device_sync();
+        assert!(!c.races().is_empty(), "unsynchronized writers must be flagged");
+    }
+}
+
+#[cfg(test)]
+mod edge_tests {
+    use super::*;
+    use gpu_sim::{Grid, KernelCost};
+    use std::rc::Rc;
+
+    #[test]
+    fn event_sync_blocks_until_the_event() {
+        let c = Cuda::new(DeviceProfile::gtx1660_super());
+        let a = c.alloc_f32(16);
+        c.prefetch_async(c.default_stream(), &a);
+        let k = KernelExec::new(
+            "k",
+            Grid::d1(64, 256),
+            KernelCost { min_time: 2e-3, ..Default::default() },
+            vec![a.buf.clone()],
+            vec![(a.id, false)],
+            Rc::new(|_| {}),
+        );
+        let s = c.stream_create();
+        c.launch(s, &k);
+        let ev = c.event_record(s);
+        assert!(!c.stream_query(s));
+        c.event_sync(ev);
+        assert!(c.stream_query(s));
+        assert!(c.now() >= 2e-3);
+    }
+
+    #[test]
+    fn host_spin_lets_background_work_finish() {
+        let c = Cuda::new(DeviceProfile::tesla_p100());
+        let a = c.alloc_f32(16);
+        c.prefetch_async(c.default_stream(), &a);
+        let k = KernelExec::new(
+            "k",
+            Grid::d1(64, 256),
+            KernelCost { min_time: 1e-3, ..Default::default() },
+            vec![a.buf.clone()],
+            vec![(a.id, false)],
+            Rc::new(|_| {}),
+        );
+        c.launch(c.default_stream(), &k);
+        c.host_spin(5e-3);
+        assert!(c.stream_query(c.default_stream()), "work must finish in the background");
+    }
+
+    #[test]
+    fn same_direction_copies_serialize_through_the_dma_engine() {
+        let c = Cuda::new(DeviceProfile::tesla_p100());
+        let n = 12 << 20;
+        let a = c.alloc_u8(n);
+        let b = c.alloc_u8(n);
+        let s1 = c.stream_create();
+        let s2 = c.stream_create();
+        c.prefetch_async(s1, &a);
+        c.prefetch_async(s2, &b);
+        c.device_sync();
+        let tl = c.timeline();
+        let copies: Vec<_> = tl.of_kind(gpu_sim::TaskKind::CopyH2D).collect();
+        assert_eq!(copies.len(), 2);
+        // Even on different streams, the second copy starts only after
+        // the first ends (single H2D DMA engine).
+        let (first, second) =
+            if copies[0].start <= copies[1].start { (copies[0], copies[1]) } else { (copies[1], copies[0]) };
+        assert!(second.start >= first.end - 1e-12, "copies must serialize");
+    }
+
+    #[test]
+    fn stream_count_tracks_creation() {
+        let c = Cuda::new(DeviceProfile::gtx960());
+        assert_eq!(c.stream_count(), 1); // default stream
+        c.stream_create();
+        c.stream_create();
+        assert_eq!(c.stream_count(), 3);
+    }
+
+    #[test]
+    fn residency_roundtrip_host_device_host() {
+        let c = Cuda::new(DeviceProfile::tesla_p100());
+        let a = c.alloc_f32(1024);
+        assert_eq!(c.residency(&a), Residency::Host);
+        let k = KernelExec::new(
+            "w",
+            Grid::d1(16, 64),
+            KernelCost { min_time: 1e-5, ..Default::default() },
+            vec![a.buf.clone()],
+            vec![(a.id, false)],
+            Rc::new(|_| {}),
+        );
+        let t = c.launch(c.default_stream(), &k).unwrap();
+        c.task_sync(t);
+        assert_eq!(c.residency(&a), Residency::Device);
+        c.host_read(&a, 4096);
+        assert_eq!(c.residency(&a), Residency::Both);
+        c.host_written(&a);
+        assert_eq!(c.residency(&a), Residency::Host);
+    }
+}

@@ -1,0 +1,131 @@
+//! Kernel execution descriptors.
+
+use std::rc::Rc;
+
+use gpu_sim::{DataBuffer, Grid, KernelCost, ValueId};
+
+/// The functional implementation of a launch: runs on the host buffers
+/// when the simulated kernel completes.
+pub type KernelFunc = Rc<dyn Fn(&[DataBuffer])>;
+
+/// Everything needed to execute one kernel launch: the launch
+/// configuration, the analytic cost, the argument buffers (for the
+/// functional CPU implementation) and the per-argument access modes (for
+/// dependency tracking, residency management and race detection).
+///
+/// `KernelExec` is cloneable so CUDA Graphs can replay the same launch
+/// many times; the functional implementation is shared behind an `Rc`.
+#[derive(Clone)]
+pub struct KernelExec {
+    /// Kernel name (timeline label).
+    pub name: String,
+    /// Launch configuration.
+    pub grid: Grid,
+    /// Device-independent work description.
+    pub cost: KernelCost,
+    /// Argument buffers, passed to `func` in order.
+    pub buffers: Vec<DataBuffer>,
+    /// Per-argument `(value, read_only)` access modes, index-aligned
+    /// with `buffers`.
+    pub accesses: Vec<(ValueId, bool)>,
+    /// The functional implementation: runs on the host data when the
+    /// simulated kernel completes.
+    pub func: KernelFunc,
+}
+
+impl std::fmt::Debug for KernelExec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("KernelExec")
+            .field("name", &self.name)
+            .field("grid", &self.grid)
+            .field("cost", &self.cost)
+            .field("args", &self.accesses.len())
+            .finish()
+    }
+}
+
+impl KernelExec {
+    /// Build a launch descriptor. `accesses` must be index-aligned with
+    /// `buffers`.
+    pub fn new(
+        name: impl Into<String>,
+        grid: Grid,
+        cost: KernelCost,
+        buffers: Vec<DataBuffer>,
+        accesses: Vec<(ValueId, bool)>,
+        func: KernelFunc,
+    ) -> Self {
+        assert_eq!(buffers.len(), accesses.len(), "buffers/accesses must be aligned");
+        KernelExec { name: name.into(), grid, cost, buffers, accesses, func }
+    }
+
+    /// Values this launch writes.
+    pub fn writes(&self) -> Vec<ValueId> {
+        self.accesses.iter().filter(|(_, ro)| !ro).map(|(v, _)| *v).collect()
+    }
+
+    /// Values this launch only reads.
+    pub fn reads(&self) -> Vec<ValueId> {
+        self.accesses.iter().filter(|(_, ro)| *ro).map(|(v, _)| *v).collect()
+    }
+
+    /// A closure running the functional implementation once.
+    pub fn make_payload(&self) -> Box<dyn FnOnce()> {
+        let func = Rc::clone(&self.func);
+        let buffers = self.buffers.clone();
+        Box::new(move || func(&buffers))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reads_and_writes_split_by_access_mode() {
+        let b = DataBuffer::f32_zeros(1);
+        let k = KernelExec::new(
+            "k",
+            Grid::d1(1, 32),
+            KernelCost::default(),
+            vec![b.clone(), b.clone()],
+            vec![(ValueId(0), true), (ValueId(1), false)],
+            Rc::new(|_| {}),
+        );
+        assert_eq!(k.reads(), vec![ValueId(0)]);
+        assert_eq!(k.writes(), vec![ValueId(1)]);
+    }
+
+    #[test]
+    fn payload_executes_functional_impl() {
+        let b = DataBuffer::f32_zeros(2);
+        let k = KernelExec::new(
+            "fill",
+            Grid::d1(1, 32),
+            KernelCost::default(),
+            vec![b.clone()],
+            vec![(ValueId(0), false)],
+            Rc::new(|bufs: &[DataBuffer]| {
+                for x in bufs[0].as_f32_mut().iter_mut() {
+                    *x = 9.0;
+                }
+            }),
+        );
+        k.make_payload()();
+        assert_eq!(*b.as_f32(), vec![9.0, 9.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "aligned")]
+    fn misaligned_accesses_panic() {
+        let b = DataBuffer::f32_zeros(1);
+        let _ = KernelExec::new(
+            "k",
+            Grid::d1(1, 32),
+            KernelCost::default(),
+            vec![b],
+            vec![],
+            Rc::new(|_| {}),
+        );
+    }
+}

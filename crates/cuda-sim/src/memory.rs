@@ -1,0 +1,97 @@
+//! Unified-memory arrays and their residency state machine.
+
+use gpu_sim::{DataBuffer, TypedData, ValueId};
+
+/// Where the up-to-date copy of a unified-memory allocation lives.
+///
+/// GrCUDA backs every array with CUDA Unified Memory (§IV-A), so the
+/// "transfers" the paper overlaps with computation are page migrations
+/// (on-demand or prefetched). The simulator tracks a whole-array
+/// residency state — page granularity would refine the numbers but not
+/// the scheduling behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Residency {
+    /// Only the host copy is current (freshly allocated or written by
+    /// the CPU).
+    Host,
+    /// Only the device copy is current (a kernel wrote it).
+    Device,
+    /// Both copies are current (migrated/read but not yet re-written).
+    Both,
+}
+
+impl Residency {
+    /// Is the data available to a kernel without migration?
+    pub fn on_device(self) -> bool {
+        matches!(self, Residency::Device | Residency::Both)
+    }
+
+    /// Is the data available to the CPU without migration?
+    pub fn on_host(self) -> bool {
+        matches!(self, Residency::Host | Residency::Both)
+    }
+}
+
+/// A handle to a unified-memory array: host-visible storage plus the
+/// identity used for dependency tracking. Cheap to clone; clones share
+/// storage (they are the *same* allocation).
+#[derive(Debug, Clone)]
+pub struct UnifiedArray {
+    /// Identity for dependency tracking and race detection.
+    pub id: ValueId,
+    /// Shared host-visible payload.
+    pub buf: DataBuffer,
+}
+
+impl UnifiedArray {
+    pub(crate) fn new(id: ValueId, data: TypedData) -> Self {
+        UnifiedArray { id, buf: DataBuffer::new(data) }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if the array holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Size in bytes (what a full migration moves).
+    pub fn byte_len(&self) -> usize {
+        self.buf.byte_len()
+    }
+}
+
+/// Per-allocation bookkeeping owned by the context.
+#[derive(Debug, Clone)]
+pub(crate) struct ArrayState {
+    pub residency: Residency,
+    pub bytes: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn residency_predicates() {
+        assert!(Residency::Device.on_device());
+        assert!(Residency::Both.on_device());
+        assert!(!Residency::Host.on_device());
+        assert!(Residency::Host.on_host());
+        assert!(Residency::Both.on_host());
+        assert!(!Residency::Device.on_host());
+    }
+
+    #[test]
+    fn clones_are_the_same_allocation() {
+        let a = UnifiedArray::new(ValueId(3), TypedData::F32(vec![0.0; 8]));
+        let b = a.clone();
+        b.buf.as_f32_mut()[0] = 4.0;
+        assert_eq!(a.buf.as_f32()[0], 4.0);
+        assert_eq!(a.id, b.id);
+        assert_eq!(a.byte_len(), 32);
+    }
+}

@@ -1,0 +1,72 @@
+//! Graphviz DOT export of a computation DAG, used by the `fig6` binary to
+//! render the benchmark structures of the paper's Fig. 6.
+
+use crate::graph::ComputationDag;
+
+/// Render the DAG in Graphviz DOT syntax. Vertices are labeled with
+/// their kernel name and current dependency set; edges with the value
+/// that caused the dependency (dashed for read-only uses), mirroring how
+/// the paper draws its figures.
+pub fn to_dot(dag: &ComputationDag, title: &str) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("digraph \"{}\" {{\n", escape(title)));
+    out.push_str("  rankdir=TB;\n  node [shape=ellipse, fontname=\"monospace\"];\n");
+    for v in dag.vertices() {
+        let set: Vec<String> = v.dep_set.iter().map(|x| format!("v{}", x.0)).collect();
+        out.push_str(&format!(
+            "  n{} [label=\"{}\\n{{{}}}\"{}];\n",
+            v.id.0,
+            escape(&v.label),
+            set.join(","),
+            if v.active { "" } else { ", style=dotted" },
+        ));
+    }
+    for e in dag.edges() {
+        out.push_str(&format!(
+            "  n{} -> n{} [label=\"v{}\"{}];\n",
+            e.from.0,
+            e.to.0,
+            e.value.0,
+            if e.read_only { ", style=dashed" } else { "" },
+        ));
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vertex::{ArgAccess, ElementKind, Value};
+
+    #[test]
+    fn dot_contains_vertices_and_edges() {
+        let mut dag = ComputationDag::new();
+        let (_, _) = dag.add_computation(ElementKind::Kernel, "K1", vec![ArgAccess::write(Value(0))]);
+        let (_, _) = dag.add_computation(
+            ElementKind::Kernel,
+            "K2",
+            vec![ArgAccess::read(Value(0)), ArgAccess::write(Value(1))],
+        );
+        let dot = to_dot(&dag, "t");
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("n0 ->") || dot.contains("n0 -> n1"));
+        assert!(dot.contains("K1"));
+        assert!(dot.contains("style=dashed"), "read-only edge must be dashed");
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn quotes_are_escaped() {
+        let mut dag = ComputationDag::new();
+        let (_, _) =
+            dag.add_computation(ElementKind::Kernel, "K\"x\"", vec![ArgAccess::write(Value(0))]);
+        let dot = to_dot(&dag, "a\"b");
+        assert!(dot.contains("K\\\"x\\\""));
+        assert!(dot.contains("a\\\"b"));
+    }
+}

@@ -1,0 +1,458 @@
+//! The incrementally-built computation DAG.
+
+use std::collections::HashMap;
+
+use crate::vertex::{ArgAccess, ElementKind, Value, Vertex, VertexId};
+
+/// A dependency edge, labeled (as in the paper's figures) with the value
+/// that caused it and whether the child's access is read-only.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DepEdge {
+    /// The dependency source (must execute first).
+    pub from: VertexId,
+    /// The dependent computation.
+    pub to: VertexId,
+    /// The argument value that created the dependency.
+    pub value: Value,
+    /// True if `to` only reads `value`.
+    pub read_only: bool,
+}
+
+/// Per-value ordering index: the last active writer and the active
+/// readers since that write. This is the O(1) realization of the
+/// dependency-set scan described in the paper.
+#[derive(Debug, Default, Clone)]
+struct ValueState {
+    last_writer: Option<VertexId>,
+    readers_since_write: Vec<VertexId>,
+}
+
+/// The computation DAG of §IV-A. Vertices are added one at a time as the
+/// host program issues computations; dependencies on *active* prior
+/// computations are inferred from argument overlap and returned to the
+/// caller (the scheduler), which turns them into stream/event decisions.
+#[derive(Debug, Default, Clone)]
+pub struct ComputationDag {
+    vertices: Vec<Vertex>,
+    edges: Vec<DepEdge>,
+    values: HashMap<Value, ValueState>,
+}
+
+impl ComputationDag {
+    /// An empty DAG.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of vertices ever added.
+    pub fn len(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// True if no computation was ever registered.
+    pub fn is_empty(&self) -> bool {
+        self.vertices.is_empty()
+    }
+
+    /// Look up a vertex.
+    pub fn vertex(&self, id: VertexId) -> &Vertex {
+        &self.vertices[id.0 as usize]
+    }
+
+    /// All vertices in submission order.
+    pub fn vertices(&self) -> &[Vertex] {
+        &self.vertices
+    }
+
+    /// All dependency edges in creation order.
+    pub fn edges(&self) -> &[DepEdge] {
+        &self.edges
+    }
+
+    /// The current frontier: active vertices whose dependency set is not
+    /// yet exhausted — the only vertices that can still be dependency
+    /// sources (§IV-A: "the scheduler updates the current graph
+    /// frontier").
+    pub fn frontier(&self) -> Vec<VertexId> {
+        self.vertices
+            .iter()
+            .filter(|v| v.active && !v.exhausted())
+            .map(|v| v.id)
+            .collect()
+    }
+
+    /// The dependency set of a vertex (exposed for tests that mirror the
+    /// paper's Fig. 3/4 walk-throughs).
+    pub fn dep_set(&self, id: VertexId) -> Vec<Value> {
+        self.vertex(id).dep_set.iter().copied().collect()
+    }
+
+    /// Register a new computational element and infer its dependencies.
+    ///
+    /// Returns the new vertex id and the (deduplicated) list of *active*
+    /// vertices it depends on. The rules follow the paper's Fig. 3:
+    ///
+    /// * read-only argument → depend on the value's last active writer;
+    ///   the writer's dependency set is **not** consumed;
+    /// * written argument → depend on the active readers since the last
+    ///   write if any (WAR), otherwise on the last writer (RAW/WAW);
+    ///   either way the value is consumed from all previous holders'
+    ///   dependency sets and this vertex becomes the value's writer.
+    pub fn add_computation(
+        &mut self,
+        kind: ElementKind,
+        label: impl Into<String>,
+        args: Vec<ArgAccess>,
+    ) -> (VertexId, Vec<VertexId>) {
+        let id = VertexId(self.vertices.len() as u32);
+        let vertex = Vertex::new(id, kind, label.into(), args.clone());
+        self.vertices.push(vertex);
+
+        let mut deps: Vec<VertexId> = Vec::new();
+        for arg in &args {
+            let state = self.values.entry(arg.value).or_default();
+            if arg.read_only {
+                if let Some(w) = state.last_writer {
+                    if w != id && self.is_dep_source(w, arg.value) {
+                        push_unique(&mut deps, w);
+                        self.record_edge(w, id, arg.value, true);
+                    }
+                }
+                let state = self.values.entry(arg.value).or_default();
+                state.readers_since_write.push(id);
+            } else {
+                // Writer: WAR on readers if any, else RAW/WAW on writer.
+                let readers = std::mem::take(
+                    &mut self.values.entry(arg.value).or_default().readers_since_write,
+                );
+                let prev_writer = self.values.entry(arg.value).or_default().last_writer;
+                let mut found_dep = false;
+                for r in readers {
+                    if r == id {
+                        continue;
+                    }
+                    if self.is_dep_source(r, arg.value) {
+                        push_unique(&mut deps, r);
+                        self.record_edge(r, id, arg.value, false);
+                        found_dep = true;
+                    }
+                    self.consume(r, arg.value);
+                }
+                if let Some(w) = prev_writer {
+                    if w != id {
+                        if !found_dep && self.is_dep_source(w, arg.value) {
+                            push_unique(&mut deps, w);
+                            self.record_edge(w, id, arg.value, false);
+                        }
+                        self.consume(w, arg.value);
+                    }
+                }
+                self.values.entry(arg.value).or_default().last_writer = Some(id);
+            }
+        }
+
+        for d in &deps {
+            self.vertices[d.0 as usize].children.push(id);
+        }
+        self.vertices[id.0 as usize].parents = deps.clone();
+        (id, deps)
+    }
+
+    /// Register a CPU access to a value (paper §IV-A: array accesses are
+    /// computational elements too, but accesses that cannot introduce
+    /// dependencies are executed immediately without being modeled).
+    ///
+    /// Returns `(Some(vertex), deps)` if the access conflicts with active
+    /// GPU work and had to be modeled, or `(None, vec![])` if it is free.
+    pub fn add_array_access(
+        &mut self,
+        label: impl Into<String>,
+        value: Value,
+        write: bool,
+    ) -> (Option<VertexId>, Vec<VertexId>) {
+        if !self.access_conflicts(value, write) {
+            return (None, Vec::new());
+        }
+        let arg = if write { ArgAccess::write(value) } else { ArgAccess::read(value) };
+        let (id, deps) = self.add_computation(ElementKind::ArrayAccess, label, vec![arg]);
+        (Some(id), deps)
+    }
+
+    /// Whether a CPU access to `value` would depend on active GPU work.
+    pub fn access_conflicts(&self, value: Value, write: bool) -> bool {
+        let Some(state) = self.values.get(&value) else { return false };
+        if let Some(w) = state.last_writer {
+            if self.is_dep_source(w, value) {
+                return true;
+            }
+        }
+        if write
+            && state
+                .readers_since_write
+                .iter()
+                .any(|&r| self.is_dep_source(r, value))
+            {
+                return true;
+            }
+        false
+    }
+
+    /// Mark a vertex inactive: the CPU has synchronized with it (or the
+    /// scheduler has retired it), so it can no longer be a dependency
+    /// source. Ancestors are retired transitively — if the CPU saw this
+    /// result, everything upstream is also complete.
+    pub fn retire(&mut self, id: VertexId) {
+        let mut stack = vec![id];
+        while let Some(v) = stack.pop() {
+            if !self.vertices[v.0 as usize].active {
+                continue;
+            }
+            self.vertices[v.0 as usize].active = false;
+            stack.extend(self.vertices[v.0 as usize].parents.iter().copied());
+        }
+    }
+
+    /// Retire every vertex (full-device synchronization).
+    pub fn retire_all(&mut self) {
+        for v in &mut self.vertices {
+            v.active = false;
+        }
+    }
+
+    /// Whether `v` can be a dependency source through `value`: it must be
+    /// active and still hold `value` in its dependency set.
+    fn is_dep_source(&self, v: VertexId, value: Value) -> bool {
+        let vert = &self.vertices[v.0 as usize];
+        vert.active && vert.dep_set.contains(&value)
+    }
+
+    /// Remove `value` from `v`'s dependency set (a later writer consumed
+    /// it).
+    fn consume(&mut self, v: VertexId, value: Value) {
+        self.vertices[v.0 as usize].dep_set.remove(&value);
+    }
+
+    fn record_edge(&mut self, from: VertexId, to: VertexId, value: Value, read_only: bool) {
+        self.edges.push(DepEdge { from, to, value, read_only });
+    }
+}
+
+fn push_unique(v: &mut Vec<VertexId>, x: VertexId) {
+    if !v.contains(&x) {
+        v.push(x);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const X: Value = Value(0);
+    const Y: Value = Value(1);
+    const Z: Value = Value(2);
+    const W: Value = Value(3);
+    const R: Value = Value(4);
+
+    fn kernel(dag: &mut ComputationDag, label: &str, args: Vec<ArgAccess>) -> (VertexId, Vec<VertexId>) {
+        dag.add_computation(ElementKind::Kernel, label, args)
+    }
+
+    /// Paper Fig. 3 case A: K1(X, const Y) then K2(const X, Z):
+    /// K2 read-depends on K1 through X.
+    #[test]
+    fn fig3_case_a_read_after_write() {
+        let mut dag = ComputationDag::new();
+        let (k1, d1) = kernel(&mut dag, "K1", vec![ArgAccess::write(X), ArgAccess::read(Y)]);
+        assert!(d1.is_empty());
+        let (k2, d2) = kernel(&mut dag, "K2", vec![ArgAccess::read(X), ArgAccess::write(Z)]);
+        assert_eq!(d2, vec![k1]);
+        // The read-only use does NOT consume X from K1's set.
+        assert!(dag.dep_set(k1).contains(&X));
+        let _ = k2;
+    }
+
+    /// Paper Fig. 3 case B: a third kernel *writing* X depends on the
+    /// reader K2 (WAR), not on both K1 and K2.
+    #[test]
+    fn fig3_case_b_write_after_read_depends_on_reader_only() {
+        let mut dag = ComputationDag::new();
+        let (k1, _) = kernel(&mut dag, "K1", vec![ArgAccess::write(X), ArgAccess::read(Y)]);
+        let (k2, _) = kernel(&mut dag, "K2", vec![ArgAccess::read(X), ArgAccess::write(Z)]);
+        let (_k3, d3) = kernel(&mut dag, "K3", vec![ArgAccess::write(X), ArgAccess::write(W)]);
+        assert_eq!(d3, vec![k2], "K3 must depend on the reader K2 only");
+        // The write consumed X everywhere.
+        assert!(!dag.dep_set(k1).contains(&X));
+        assert!(!dag.dep_set(k2).contains(&X));
+    }
+
+    /// Paper Fig. 3 case C: a third kernel *reading* X depends on the
+    /// writer K1 (not the reader K2), and K1's set is untouched.
+    #[test]
+    fn fig3_case_c_second_reader_depends_on_writer() {
+        let mut dag = ComputationDag::new();
+        let (k1, _) = kernel(&mut dag, "K1", vec![ArgAccess::write(X), ArgAccess::read(Y)]);
+        let (_k2, _) = kernel(&mut dag, "K2", vec![ArgAccess::read(X), ArgAccess::write(Z)]);
+        let (_k3, d3) = kernel(&mut dag, "K3", vec![ArgAccess::read(X), ArgAccess::write(W)]);
+        assert_eq!(d3, vec![k1], "second reader hangs off the writer");
+        assert!(dag.dep_set(k1).contains(&X), "K1's set is not updated");
+    }
+
+    /// Paper §IV-A text after Fig. 3: "if a new kernel requires X as
+    /// read-only argument, it will depend on K1, otherwise it will depend
+    /// on both K2 and K3, and all dependency sets will be updated."
+    #[test]
+    fn fig3_follow_up_writer_depends_on_both_readers() {
+        let mut dag = ComputationDag::new();
+        let (k1, _) = kernel(&mut dag, "K1", vec![ArgAccess::write(X), ArgAccess::read(Y)]);
+        let (k2, _) = kernel(&mut dag, "K2", vec![ArgAccess::read(X), ArgAccess::write(Z)]);
+        let (k3, _) = kernel(&mut dag, "K3", vec![ArgAccess::read(X), ArgAccess::write(W)]);
+        let (_k4, d4) = kernel(&mut dag, "K4", vec![ArgAccess::write(X)]);
+        assert_eq!(d4, vec![k2, k3]);
+        for k in [k1, k2, k3] {
+            assert!(!dag.dep_set(k).contains(&X));
+        }
+    }
+
+    /// Paper Fig. 4: the VEC benchmark walk-through. K1(X), K1(Y) are
+    /// independent; K2(const X, const Y, Z) depends on both; the CPU
+    /// access to Z depends on K2.
+    #[test]
+    fn fig4_vec_walkthrough() {
+        let mut dag = ComputationDag::new();
+        let (k1x, d1) = kernel(&mut dag, "K1(X)", vec![ArgAccess::write(X)]);
+        let (k1y, d2) = kernel(&mut dag, "K1(Y)", vec![ArgAccess::write(Y)]);
+        assert!(d1.is_empty() && d2.is_empty(), "the two squares are independent");
+        let (k2, d3) = kernel(
+            &mut dag,
+            "K2",
+            vec![ArgAccess::read(X), ArgAccess::read(Y), ArgAccess::write(Z)],
+        );
+        assert_eq!(d3, vec![k1x, k1y]);
+        // CPU reads Z[0]: must be modeled and depend on K2.
+        let (v, deps) = dag.add_array_access("Z[0]", Z, false);
+        assert!(v.is_some());
+        assert_eq!(deps, vec![k2]);
+    }
+
+    /// Paper Fig. 2: the ML pipeline has two independent branches joined
+    /// by the ensemble kernel.
+    #[test]
+    fn fig2_ml_pipeline_branches() {
+        let mut dag = ComputationDag::new();
+        let r1 = Value(10);
+        let r2 = Value(11);
+        // FC(X→Y), then NB(Y→R1) and NO(Y→Z) read Y concurrently,
+        // RI(Z→R2), EN(R1,R2→R).
+        let (fc, _) = kernel(&mut dag, "FC", vec![ArgAccess::read(X), ArgAccess::write(Y)]);
+        let (nb, dnb) = kernel(&mut dag, "NB", vec![ArgAccess::read(Y), ArgAccess::write(r1)]);
+        let (no, dno) = kernel(&mut dag, "NO", vec![ArgAccess::read(Y), ArgAccess::write(Z)]);
+        assert_eq!(dnb, vec![fc]);
+        assert_eq!(dno, vec![fc], "NO depends on FC, not on NB — branches are parallel");
+        let (ri, dri) = kernel(&mut dag, "RI", vec![ArgAccess::read(Z), ArgAccess::write(r2)]);
+        assert_eq!(dri, vec![no]);
+        let (_en, den) = kernel(
+            &mut dag,
+            "EN",
+            vec![ArgAccess::read(r1), ArgAccess::read(r2), ArgAccess::write(R)],
+        );
+        assert_eq!(den, vec![nb, ri]);
+    }
+
+    #[test]
+    fn consecutive_cpu_accesses_are_free_when_gpu_idle() {
+        let mut dag = ComputationDag::new();
+        // No GPU computation yet: access is immediate, unmodeled.
+        let (v, deps) = dag.add_array_access("X[0]", X, true);
+        assert!(v.is_none() && deps.is_empty());
+        assert!(dag.is_empty());
+    }
+
+    #[test]
+    fn cpu_read_does_not_conflict_with_prior_cpu_reads() {
+        let mut dag = ComputationDag::new();
+        let (_k, _) = kernel(&mut dag, "K", vec![ArgAccess::write(X)]);
+        let (a1, _) = dag.add_array_access("X[0]", X, false);
+        assert!(a1.is_some());
+        // Retire the chain: the CPU has synced with the kernel.
+        dag.retire(a1.unwrap());
+        // A second read no longer conflicts.
+        let (a2, deps) = dag.add_array_access("X[1]", X, false);
+        assert!(a2.is_none(), "consecutive accesses are executed immediately: {deps:?}");
+    }
+
+    #[test]
+    fn retire_is_transitive_to_ancestors() {
+        let mut dag = ComputationDag::new();
+        let (k1, _) = kernel(&mut dag, "K1", vec![ArgAccess::write(X)]);
+        let (k2, _) = kernel(&mut dag, "K2", vec![ArgAccess::read(X), ArgAccess::write(Y)]);
+        let (k3, _) = kernel(&mut dag, "K3", vec![ArgAccess::read(Y), ArgAccess::write(Z)]);
+        dag.retire(k3);
+        assert!(!dag.vertex(k1).active);
+        assert!(!dag.vertex(k2).active);
+        assert!(!dag.vertex(k3).active);
+        // New reader of X needs no dependency: everything retired.
+        let (_k4, d4) = kernel(&mut dag, "K4", vec![ArgAccess::read(X), ArgAccess::write(W)]);
+        assert!(d4.is_empty());
+    }
+
+    #[test]
+    fn exhausted_vertices_leave_the_frontier() {
+        let mut dag = ComputationDag::new();
+        let (k1, _) = kernel(&mut dag, "K1", vec![ArgAccess::write(X)]);
+        assert_eq!(dag.frontier(), vec![k1]);
+        let (k2, _) = kernel(&mut dag, "K2", vec![ArgAccess::write(X), ArgAccess::write(Y)]);
+        // K1's only dep-set entry was consumed by the writer K2.
+        assert!(dag.vertex(k1).exhausted());
+        assert_eq!(dag.frontier(), vec![k2]);
+    }
+
+    #[test]
+    fn first_child_ordering_is_recorded() {
+        let mut dag = ComputationDag::new();
+        let (k1, _) = kernel(&mut dag, "K1", vec![ArgAccess::write(X)]);
+        let (k2, _) = kernel(&mut dag, "K2", vec![ArgAccess::read(X), ArgAccess::write(Y)]);
+        let (k3, _) = kernel(&mut dag, "K3", vec![ArgAccess::read(X), ArgAccess::write(Z)]);
+        assert_eq!(dag.vertex(k1).children, vec![k2, k3]);
+    }
+
+    #[test]
+    fn edges_are_labeled_with_the_causing_value() {
+        let mut dag = ComputationDag::new();
+        let (k1, _) = kernel(&mut dag, "K1", vec![ArgAccess::write(X)]);
+        let (k2, _) = kernel(&mut dag, "K2", vec![ArgAccess::read(X), ArgAccess::write(Y)]);
+        let e = dag.edges();
+        assert_eq!(e.len(), 1);
+        assert_eq!(e[0].from, k1);
+        assert_eq!(e[0].to, k2);
+        assert_eq!(e[0].value, X);
+        assert!(e[0].read_only);
+    }
+
+    #[test]
+    fn same_value_written_twice_by_same_kernel_is_single_dep() {
+        let mut dag = ComputationDag::new();
+        let (k1, _) = kernel(&mut dag, "K1", vec![ArgAccess::write(X)]);
+        let (_k2, d2) = kernel(
+            &mut dag,
+            "K2",
+            vec![ArgAccess::write(X), ArgAccess::read(X)],
+        );
+        assert_eq!(d2, vec![k1]);
+    }
+
+    #[test]
+    fn deps_only_point_backwards() {
+        let mut dag = ComputationDag::new();
+        for i in 0..20u64 {
+            let v = Value(i % 3);
+            let (id, deps) = kernel(
+                &mut dag,
+                "k",
+                vec![if i % 2 == 0 { ArgAccess::write(v) } else { ArgAccess::read(v) }],
+            );
+            for d in deps {
+                assert!(d < id);
+            }
+        }
+    }
+}

@@ -1,0 +1,212 @@
+//! Property-based tests of the dependency-inference algebra.
+//!
+//! The central claim of the paper's scheduler is: *any execution order
+//! consistent with the inferred dependencies is observationally equivalent
+//! to sequential execution*. We check it on randomly generated programs
+//! with an abstract machine whose writes mix the identities of everything
+//! the computation read — so any missed RAW, WAR, or WAW edge changes the
+//! final state with overwhelming probability.
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+use crate::graph::ComputationDag;
+use crate::vertex::{ArgAccess, ElementKind, Value, VertexId};
+
+/// One randomly generated computation: which values it touches and how.
+#[derive(Debug, Clone)]
+struct Op {
+    args: Vec<ArgAccess>,
+}
+
+fn op_strategy(num_values: u64) -> impl Strategy<Value = Op> {
+    proptest::collection::vec(
+        (0..num_values, proptest::bool::ANY),
+        1..4,
+    )
+    .prop_map(|pairs| {
+        let mut args: Vec<ArgAccess> = Vec::new();
+        for (v, ro) in pairs {
+            let value = Value(v);
+            // Keep one access per value: a write subsumes a read.
+            if let Some(a) = args.iter_mut().find(|a| a.value == value) {
+                a.read_only &= ro;
+            } else {
+                args.push(ArgAccess { value, read_only: ro });
+            }
+        }
+        Op { args }
+    })
+}
+
+/// Deterministic mixing function for the abstract machine.
+fn mix(a: u64, b: u64) -> u64 {
+    // splitmix64-style avalanche over the pair.
+    let mut x = a.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(b);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58476D1CE4E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D049BB133111EB);
+    x ^ (x >> 31)
+}
+
+/// Execute `ops[i]` against the abstract state: every written value
+/// receives a digest of the op id and of all argument values read.
+fn exec(i: usize, op: &Op, state: &mut HashMap<Value, u64>) {
+    let mut digest = i as u64 + 1;
+    for a in &op.args {
+        digest = mix(digest, *state.get(&a.value).unwrap_or(&0));
+    }
+    for a in &op.args {
+        if !a.read_only {
+            state.insert(a.value, digest);
+        }
+    }
+}
+
+/// Build the DAG for `ops` and return each op's dependency list.
+fn infer_deps(ops: &[Op]) -> Vec<Vec<VertexId>> {
+    let mut dag = ComputationDag::new();
+    ops.iter()
+        .map(|op| dag.add_computation(ElementKind::Kernel, "op", op.args.clone()).1)
+        .collect()
+}
+
+/// Run ops in an arbitrary topological order of the inferred DAG,
+/// greedily preferring the *highest* ready id — maximally different from
+/// submission order, so ordering bugs surface.
+fn exec_reverse_greedy(ops: &[Op], deps: &[Vec<VertexId>]) -> HashMap<Value, u64> {
+    let n = ops.len();
+    let mut remaining: Vec<usize> = deps.iter().map(|d| d.len()).collect();
+    let mut children: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (i, ds) in deps.iter().enumerate() {
+        for d in ds {
+            children[d.0 as usize].push(i);
+        }
+    }
+    let mut done = vec![false; n];
+    let mut state = HashMap::new();
+    for _ in 0..n {
+        let next = (0..n)
+            .rev()
+            .find(|&i| !done[i] && remaining[i] == 0)
+            .expect("inferred DAG must always have a ready vertex (acyclic)");
+        exec(next, &ops[next], &mut state);
+        done[next] = true;
+        for &c in &children[next] {
+            remaining[c] -= 1;
+        }
+    }
+    state
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Any dependency-respecting order is equivalent to program order.
+    #[test]
+    fn scheduler_preserves_sequential_semantics(
+        ops in proptest::collection::vec(op_strategy(5), 1..24)
+    ) {
+        let deps = infer_deps(&ops);
+        let mut seq_state = HashMap::new();
+        for (i, op) in ops.iter().enumerate() {
+            exec(i, op, &mut seq_state);
+        }
+        let dag_state = exec_reverse_greedy(&ops, &deps);
+        prop_assert_eq!(seq_state, dag_state);
+    }
+
+    /// Dependencies always point to earlier computations: the DAG is
+    /// acyclic by construction.
+    #[test]
+    fn dependencies_point_backwards(
+        ops in proptest::collection::vec(op_strategy(4), 1..32)
+    ) {
+        let deps = infer_deps(&ops);
+        for (i, ds) in deps.iter().enumerate() {
+            for d in ds {
+                prop_assert!((d.0 as usize) < i);
+            }
+            // And are duplicate-free.
+            let mut sorted = ds.clone();
+            sorted.sort();
+            sorted.dedup();
+            prop_assert_eq!(sorted.len(), ds.len());
+        }
+    }
+
+    /// Dependency sets only ever shrink, and read-only children never
+    /// shrink their parent's set.
+    #[test]
+    fn dep_sets_shrink_monotonically(
+        ops in proptest::collection::vec(op_strategy(4), 2..24)
+    ) {
+        let mut dag = ComputationDag::new();
+        let mut ids = Vec::new();
+        let mut prev_sizes: Vec<usize> = Vec::new();
+        for op in &ops {
+            let all_read_only = op.args.iter().all(|a| a.read_only);
+            let before: Vec<usize> =
+                ids.iter().map(|&id| dag.dep_set(id).len()).collect();
+            let (id, _) = dag.add_computation(ElementKind::Kernel, "op", op.args.clone());
+            let after: Vec<usize> =
+                ids.iter().map(|&id| dag.dep_set(id).len()).collect();
+            for (b, a) in before.iter().zip(&after) {
+                prop_assert!(a <= b, "dependency set grew");
+                if all_read_only {
+                    prop_assert_eq!(a, b, "read-only op consumed a parent set entry");
+                }
+            }
+            ids.push(id);
+            prev_sizes = after;
+        }
+        let _ = prev_sizes;
+    }
+
+    /// The frontier only contains active, non-exhausted vertices, and a
+    /// full retire empties it.
+    #[test]
+    fn frontier_invariants(
+        ops in proptest::collection::vec(op_strategy(4), 1..24)
+    ) {
+        let mut dag = ComputationDag::new();
+        for op in &ops {
+            let _ = dag.add_computation(ElementKind::Kernel, "op", op.args.clone());
+            for id in dag.frontier() {
+                let v = dag.vertex(id);
+                prop_assert!(v.active && !v.exhausted());
+            }
+        }
+        dag.retire_all();
+        prop_assert!(dag.frontier().is_empty());
+        // After a full retire nothing produces dependencies.
+        let (_, deps) = dag.add_computation(
+            ElementKind::Kernel,
+            "probe",
+            vec![ArgAccess::write(Value(0)), ArgAccess::write(Value(1))],
+        );
+        prop_assert!(deps.is_empty());
+    }
+
+    /// Two consecutive read-only users of the same value are never made
+    /// dependent on each other (the concurrency the paper's Fig. 3 is
+    /// designed to expose).
+    #[test]
+    fn readers_are_mutually_independent(n_readers in 2usize..8) {
+        let mut dag = ComputationDag::new();
+        let (w, _) = dag.add_computation(
+            ElementKind::Kernel, "W", vec![ArgAccess::write(Value(0))]);
+        let mut reader_ids = Vec::new();
+        for i in 0..n_readers {
+            let out = Value(100 + i as u64);
+            let (id, deps) = dag.add_computation(
+                ElementKind::Kernel,
+                "R",
+                vec![ArgAccess::read(Value(0)), ArgAccess::write(out)],
+            );
+            prop_assert_eq!(deps, vec![w], "every reader depends on the writer only");
+            reader_ids.push(id);
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! Vertices of the computation DAG.
+
+use std::collections::BTreeSet;
+
+/// Identifier of a computational element inside one [`crate::ComputationDag`].
+/// Monotonically increasing in submission order, so `a.0 < b.0` iff `a`
+/// was submitted before `b` — the property that makes the graph acyclic
+/// by construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VertexId(pub u32);
+
+/// Identifier of a data value (a managed array) referenced by arguments.
+/// This mirrors `gpu_sim::ValueId`; the crate is kept dependency-free so
+/// the DAG logic can be tested in isolation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Value(pub u64);
+
+/// What kind of computational element a vertex represents (§IV-A lists
+/// exactly these three).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ElementKind {
+    /// A GPU kernel execution.
+    Kernel,
+    /// A CPU access (read or write) to a managed unified-memory array.
+    ArrayAccess,
+    /// A pre-registered library function (e.g. RAPIDS); scheduled
+    /// synchronously when it does not expose stream choice.
+    Library,
+}
+
+/// One argument of a computational element: which value it touches and
+/// whether the access is read-only (`const`/`in` NIDL annotations).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArgAccess {
+    /// The value (managed array) accessed.
+    pub value: Value,
+    /// True if the element only reads the value. Scalars passed by copy
+    /// are never registered as arguments at all (paper Fig. 4: "scalar
+    /// value passed by copy, ignored for dependencies").
+    pub read_only: bool,
+}
+
+impl ArgAccess {
+    /// A read-only (const) argument.
+    pub fn read(value: Value) -> Self {
+        ArgAccess { value, read_only: true }
+    }
+
+    /// A read-write argument (the conservative default when no
+    /// annotation is given).
+    pub fn write(value: Value) -> Self {
+        ArgAccess { value, read_only: false }
+    }
+}
+
+/// A computational element in the DAG.
+#[derive(Debug, Clone)]
+pub struct Vertex {
+    /// This vertex's id.
+    pub id: VertexId,
+    /// Element class.
+    pub kind: ElementKind,
+    /// Display label (kernel name etc.).
+    pub label: String,
+    /// The argument list the element was created with.
+    pub args: Vec<ArgAccess>,
+    /// The *dependency set*: values through which this vertex can still
+    /// introduce dependencies on future computations. Starts as all
+    /// argument values; shrinks as later writers consume them.
+    pub dep_set: BTreeSet<Value>,
+    /// Direct parents (dependencies), deduplicated, in discovery order.
+    pub parents: Vec<VertexId>,
+    /// Direct children (dependents), in creation order. The stream
+    /// manager schedules the *first* child on the parent's stream.
+    pub children: Vec<VertexId>,
+    /// Whether the vertex is still *active*: not yet synchronized by the
+    /// CPU. Only active vertices can be dependency sources.
+    pub active: bool,
+}
+
+impl Vertex {
+    pub(crate) fn new(id: VertexId, kind: ElementKind, label: String, args: Vec<ArgAccess>) -> Self {
+        let dep_set = args.iter().map(|a| a.value).collect();
+        Vertex { id, kind, label, args, dep_set, parents: Vec::new(), children: Vec::new(), active: true }
+    }
+
+    /// True once the dependency set is empty: the vertex "can no longer
+    /// introduce dependencies" (§IV-A) and leaves the frontier.
+    pub fn exhausted(&self) -> bool {
+        self.dep_set.is_empty()
+    }
+
+    /// Whether this vertex writes the given value.
+    pub fn writes(&self, v: Value) -> bool {
+        self.args.iter().any(|a| a.value == v && !a.read_only)
+    }
+
+    /// Whether this vertex reads (only) the given value.
+    pub fn reads_only(&self, v: Value) -> bool {
+        self.args.iter().any(|a| a.value == v && a.read_only)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_vertex_dep_set_is_all_args() {
+        let v = Vertex::new(
+            VertexId(0),
+            ElementKind::Kernel,
+            "k".into(),
+            vec![ArgAccess::write(Value(1)), ArgAccess::read(Value(2))],
+        );
+        assert_eq!(v.dep_set.len(), 2);
+        assert!(v.dep_set.contains(&Value(1)) && v.dep_set.contains(&Value(2)));
+        assert!(!v.exhausted());
+        assert!(v.active);
+    }
+
+    #[test]
+    fn access_predicates() {
+        let v = Vertex::new(
+            VertexId(0),
+            ElementKind::Kernel,
+            "k".into(),
+            vec![ArgAccess::write(Value(1)), ArgAccess::read(Value(2))],
+        );
+        assert!(v.writes(Value(1)));
+        assert!(!v.writes(Value(2)));
+        assert!(v.reads_only(Value(2)));
+        assert!(!v.reads_only(Value(1)));
+        assert!(!v.writes(Value(3)));
+    }
+
+    #[test]
+    fn duplicate_arg_values_collapse_in_dep_set() {
+        let v = Vertex::new(
+            VertexId(0),
+            ElementKind::Kernel,
+            "k".into(),
+            vec![ArgAccess::read(Value(1)), ArgAccess::write(Value(1))],
+        );
+        assert_eq!(v.dep_set.len(), 1);
+    }
+}

@@ -1,0 +1,629 @@
+//! The discrete-event fluid-rate execution engine.
+//!
+//! Tasks are submitted with explicit dependency edges (the `cuda-sim`
+//! layer builds streams and events out of these edges). A task's life:
+//!
+//! ```text
+//! submitted --deps done--> ready --fixed latency--> active --work done--> complete
+//! ```
+//!
+//! While *active*, a task progresses at the max–min fair rate computed by
+//! [`crate::fluid`] over the currently active set; rates are recomputed
+//! whenever the active set changes. The engine advances virtual time only
+//! when asked: [`Engine::advance_host`] models the host doing `dt` worth
+//! of its own work while the GPU runs in the background, and
+//! [`Engine::sync_task`]/[`Engine::sync_all`] block the virtual host until
+//! work completes — exactly the two ways a real CUDA host program
+//! experiences time.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::fluid::max_min_rates;
+use crate::profile::DeviceProfile;
+use crate::race::{check_conflict, RaceReport};
+use crate::task::{ResourceDemand, TaskKind, TaskMeta, TaskSpec};
+use crate::timeline::{Interval, Timeline};
+use crate::Time;
+
+/// Handle to a submitted task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TaskId(pub u32);
+
+/// Totally-ordered wrapper for event times (f64 has no `Ord`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct TimeKey(Time);
+
+impl Eq for TimeKey {}
+impl PartialOrd for TimeKey {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for TimeKey {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Phase {
+    /// Waiting on `n` incomplete dependencies.
+    Waiting(usize),
+    /// Dependencies satisfied; fixed-latency phase until the stored time.
+    Latent,
+    /// In the fluid phase with this much solo-time work remaining.
+    Active(f64),
+    /// Finished.
+    Done,
+}
+
+struct TaskState {
+    kind: TaskKind,
+    label: String,
+    stream: u32,
+    fixed_latency: Time,
+    fluid_work: Time,
+    demand: ResourceDemand,
+    reads: Vec<crate::data::ValueId>,
+    writes: Vec<crate::data::ValueId>,
+    on_complete: Option<Box<dyn FnOnce()>>,
+    meta: TaskMeta,
+    phase: Phase,
+    dependents: Vec<TaskId>,
+    /// When the task became ready (start of its timeline interval).
+    started: Time,
+}
+
+/// Aggregate counters exposed for quick sanity checks and stats tables.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EngineStats {
+    /// Tasks submitted so far.
+    pub submitted: usize,
+    /// Tasks completed so far.
+    pub completed: usize,
+    /// Sum of kernel interval durations (includes overlap).
+    pub kernel_time: Time,
+    /// Sum of transfer interval durations (includes overlap).
+    pub transfer_time: Time,
+    /// Number of data races detected.
+    pub races: usize,
+}
+
+/// The simulator engine. See the [crate docs](crate) for the model.
+pub struct Engine {
+    dev: DeviceProfile,
+    now: Time,
+    tasks: Vec<TaskState>,
+    /// Task indices currently in the fluid phase.
+    active: Vec<u32>,
+    /// Cached rates aligned with `active`; rebuilt when `rates_dirty`.
+    rates: Vec<f64>,
+    rates_dirty: bool,
+    /// Pending activation events: (time, task) min-heap.
+    latent: BinaryHeap<Reverse<(TimeKey, u32)>>,
+    timeline: Timeline,
+    races: Vec<RaceReport>,
+    stats: EngineStats,
+}
+
+impl Engine {
+    /// A fresh engine for the given device, at virtual time zero.
+    pub fn new(dev: DeviceProfile) -> Self {
+        Engine {
+            dev,
+            now: 0.0,
+            tasks: Vec::new(),
+            active: Vec::new(),
+            rates: Vec::new(),
+            rates_dirty: false,
+            latent: BinaryHeap::new(),
+            timeline: Timeline::new(),
+            races: Vec::new(),
+            stats: EngineStats::default(),
+        }
+    }
+
+    /// The device this engine simulates.
+    pub fn device(&self) -> &DeviceProfile {
+        &self.dev
+    }
+
+    /// Current virtual time in seconds.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Submit a task that may start once every task in `deps` has
+    /// completed. Already-completed dependencies are allowed. Returns the
+    /// task's handle.
+    pub fn submit(&mut self, spec: TaskSpec, deps: &[TaskId]) -> TaskId {
+        let id = TaskId(self.tasks.len() as u32);
+        let open_deps = deps
+            .iter()
+            .filter(|d| !matches!(self.tasks[d.0 as usize].phase, Phase::Done))
+            .count();
+        self.tasks.push(TaskState {
+            kind: spec.kind,
+            label: spec.label,
+            stream: spec.stream,
+            fixed_latency: spec.fixed_latency,
+            fluid_work: spec.fluid_work,
+            demand: spec.demand,
+            reads: spec.reads,
+            writes: spec.writes,
+            on_complete: spec.on_complete,
+            meta: spec.meta,
+            phase: Phase::Waiting(open_deps),
+            dependents: Vec::new(),
+            started: 0.0,
+        });
+        for d in deps {
+            let dt = &mut self.tasks[d.0 as usize];
+            if !matches!(dt.phase, Phase::Done) {
+                // A task may legitimately depend on the same parent via
+                // several arguments; count it once.
+                if !dt.dependents.contains(&id) {
+                    dt.dependents.push(id);
+                } else if let Phase::Waiting(n) = &mut self.tasks[id.0 as usize].phase {
+                    *n -= 1;
+                }
+            }
+        }
+        self.stats.submitted += 1;
+        if matches!(self.tasks[id.0 as usize].phase, Phase::Waiting(0)) {
+            self.make_ready(id);
+        }
+        id
+    }
+
+    /// True once the task has completed in virtual time.
+    pub fn is_complete(&self, t: TaskId) -> bool {
+        matches!(self.tasks[t.0 as usize].phase, Phase::Done)
+    }
+
+    /// Number of submitted-but-unfinished tasks.
+    pub fn pending(&self) -> usize {
+        self.stats.submitted - self.stats.completed
+    }
+
+    /// The recorded execution timeline.
+    pub fn timeline(&self) -> &Timeline {
+        &self.timeline
+    }
+
+    /// Reset the timeline (e.g. after a warm-up iteration) without
+    /// touching task state. Virtual time keeps running.
+    pub fn clear_timeline(&mut self) {
+        self.timeline.clear();
+    }
+
+    /// All data races detected so far.
+    pub fn races(&self) -> &[RaceReport] {
+        &self.races
+    }
+
+    /// Aggregate counters.
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    /// Let the virtual host spend `dt` seconds of its own time (API call
+    /// overhead, host computation). GPU-side work progresses in the
+    /// background during the same window.
+    pub fn advance_host(&mut self, dt: Time) {
+        let target = self.now + dt;
+        self.run(Some(target), None);
+        self.now = target;
+    }
+
+    /// Block the virtual host until `t` completes.
+    ///
+    /// # Panics
+    /// Panics on deadlock — i.e. if no further event can complete `t`.
+    pub fn sync_task(&mut self, t: TaskId) {
+        self.run(None, Some(t));
+    }
+
+    /// Block the virtual host until every submitted task has completed.
+    pub fn sync_all(&mut self) {
+        while self.stats.completed < self.stats.submitted {
+            // Drive on the lowest-id unfinished task for determinism.
+            let next = self
+                .tasks
+                .iter()
+                .position(|t| !matches!(t.phase, Phase::Done))
+                .expect("pending count disagrees with phases");
+            self.sync_task(TaskId(next as u32));
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // internals
+    // ------------------------------------------------------------------
+
+    /// Mark a task ready: record its start, run race detection against
+    /// every currently-running task, and schedule its activation event.
+    fn make_ready(&mut self, id: TaskId) {
+        let i = id.0 as usize;
+        self.tasks[i].started = self.now;
+        self.detect_races(i);
+        let at = self.now + self.tasks[i].fixed_latency;
+        self.tasks[i].phase = Phase::Latent;
+        self.latent.push(Reverse((TimeKey(at), id.0)));
+    }
+
+    fn detect_races(&mut self, new_idx: usize) {
+        if self.tasks[new_idx].reads.is_empty() && self.tasks[new_idx].writes.is_empty() {
+            return;
+        }
+        let mut found: Vec<RaceReport> = Vec::new();
+        for (j, other) in self.tasks.iter().enumerate() {
+            if j == new_idx {
+                continue;
+            }
+            if !matches!(other.phase, Phase::Latent | Phase::Active(_)) {
+                continue;
+            }
+            if let Some(r) = check_conflict(
+                self.now,
+                &other.label,
+                &other.reads,
+                &other.writes,
+                &self.tasks[new_idx].label,
+                &self.tasks[new_idx].reads,
+                &self.tasks[new_idx].writes,
+            ) {
+                found.push(r);
+            }
+        }
+        self.stats.races += found.len();
+        self.races.extend(found);
+    }
+
+    fn refresh_rates(&mut self) {
+        if !self.rates_dirty {
+            return;
+        }
+        let demands: Vec<ResourceDemand> =
+            self.active.iter().map(|&i| self.tasks[i as usize].demand).collect();
+        self.rates = max_min_rates(&demands, &self.dev);
+        self.rates_dirty = false;
+    }
+
+    /// Earliest fluid completion under current rates, if any task is
+    /// active. Ties resolved toward the lowest task id by scan order.
+    fn next_completion(&self) -> Option<(Time, u32)> {
+        let mut best: Option<(Time, u32)> = None;
+        for (k, &i) in self.active.iter().enumerate() {
+            let remaining = match self.tasks[i as usize].phase {
+                Phase::Active(r) => r,
+                _ => unreachable!("active list holds non-active task"),
+            };
+            let t = self.now + remaining / self.rates[k];
+            if best.is_none_or(|(bt, bi)| t < bt || (t == bt && i < bi)) {
+                best = Some((t, i));
+            }
+        }
+        best
+    }
+
+    /// Integrate fluid progress forward to absolute time `t`.
+    fn integrate_to(&mut self, t: Time) {
+        let dt = t - self.now;
+        if dt <= 0.0 {
+            self.now = t.max(self.now);
+            return;
+        }
+        for (k, &i) in self.active.iter().enumerate() {
+            if let Phase::Active(r) = &mut self.tasks[i as usize].phase {
+                *r = (*r - self.rates[k] * dt).max(0.0);
+            }
+        }
+        self.now = t;
+    }
+
+    fn complete(&mut self, idx: u32) {
+        let i = idx as usize;
+        self.tasks[i].phase = Phase::Done;
+        self.stats.completed += 1;
+        let iv = Interval {
+            task: idx,
+            kind: self.tasks[i].kind,
+            stream: self.tasks[i].stream,
+            label: self.tasks[i].label.clone(),
+            start: self.tasks[i].started,
+            end: self.now,
+            meta: self.tasks[i].meta,
+        };
+        match iv.kind {
+            TaskKind::Kernel => self.stats.kernel_time += iv.duration(),
+            k if k.is_transfer() => self.stats.transfer_time += iv.duration(),
+            _ => {}
+        }
+        self.timeline.push(iv);
+        if let Some(f) = self.tasks[i].on_complete.take() {
+            f();
+        }
+        let dependents = std::mem::take(&mut self.tasks[i].dependents);
+        for d in dependents {
+            let ready = {
+                match &mut self.tasks[d.0 as usize].phase {
+                    Phase::Waiting(n) => {
+                        *n -= 1;
+                        *n == 0
+                    }
+                    _ => unreachable!("dependent not in waiting phase"),
+                }
+            };
+            if ready {
+                self.make_ready(d);
+            }
+        }
+    }
+
+    /// Run the event loop until `target` time (if given) or until `stop`
+    /// completes (if given). At least one must be provided.
+    fn run(&mut self, target: Option<Time>, stop: Option<TaskId>) {
+        assert!(target.is_some() || stop.is_some());
+        loop {
+            if let Some(s) = stop {
+                if self.is_complete(s) {
+                    return;
+                }
+            }
+            self.refresh_rates();
+            let completion = self.next_completion();
+            let activation = self.latent.peek().map(|Reverse((t, i))| (t.0, *i));
+
+            // Pick the earliest event; activations win ties so that a
+            // zero-length task activates before anything completes "past"
+            // it at the same instant.
+            let event = match (activation, completion) {
+                (None, None) => None,
+                (Some(a), None) => Some((a, true)),
+                (None, Some(c)) => Some((c, false)),
+                (Some(a), Some(c)) => {
+                    if a.0 <= c.0 {
+                        Some((a, true))
+                    } else {
+                        Some((c, false))
+                    }
+                }
+            };
+
+            match event {
+                None => {
+                    // Nothing in flight.
+                    if let Some(t) = target {
+                        self.now = self.now.max(t);
+                        return;
+                    }
+                    let s = stop.unwrap();
+                    panic!(
+                        "simulation deadlock: task {:?} (`{}`) can never complete \
+                         (no runnable events; a dependency was never satisfied)",
+                        s,
+                        self.tasks[s.0 as usize].label
+                    );
+                }
+                Some(((et, idx), is_activation)) => {
+                    if let Some(t) = target {
+                        if et > t {
+                            // Target falls before the next event:
+                            // integrate partially and stop.
+                            self.integrate_to(t);
+                            return;
+                        }
+                    }
+                    self.integrate_to(et);
+                    if is_activation {
+                        self.latent.pop();
+                        let i = idx as usize;
+                        debug_assert!(matches!(self.tasks[i].phase, Phase::Latent));
+                        if self.tasks[i].fluid_work > 0.0 {
+                            self.tasks[i].phase = Phase::Active(self.tasks[i].fluid_work);
+                            self.active.push(idx);
+                            self.rates_dirty = true;
+                        } else {
+                            self.complete(idx);
+                        }
+                    } else {
+                        // A fluid completion: the chosen task's remaining
+                        // work reached zero (up to float error).
+                        self.active.retain(|&i| i != idx);
+                        self.rates_dirty = true;
+                        self.complete(idx);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::TaskSpec;
+
+    fn dev() -> DeviceProfile {
+        DeviceProfile::gtx1660_super()
+    }
+
+    #[test]
+    fn single_task_takes_latency_plus_work() {
+        let mut e = Engine::new(dev());
+        let t = e.submit(TaskSpec::kernel("k", 0).latency(1e-6).fluid(1e-3).sm_frac(0.5), &[]);
+        e.sync_task(t);
+        assert!((e.now() - 1.001e-3).abs() < 1e-12);
+        assert_eq!(e.timeline().intervals().len(), 1);
+        let iv = &e.timeline().intervals()[0];
+        assert_eq!(iv.start, 0.0);
+        assert!((iv.end - 1.001e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dependent_tasks_serialize() {
+        let mut e = Engine::new(dev());
+        let a = e.submit(TaskSpec::kernel("a", 0).fluid(1e-3).sm_frac(1.0), &[]);
+        let b = e.submit(TaskSpec::kernel("b", 0).fluid(1e-3).sm_frac(1.0), &[a]);
+        e.sync_task(b);
+        assert!((e.now() - 2e-3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn independent_small_kernels_space_share() {
+        let mut e = Engine::new(dev());
+        let a = e.submit(TaskSpec::kernel("a", 0).fluid(1e-3).sm_frac(0.4), &[]);
+        let b = e.submit(TaskSpec::kernel("b", 1).fluid(1e-3).sm_frac(0.4), &[]);
+        e.sync_task(a);
+        e.sync_task(b);
+        assert!((e.now() - 1e-3).abs() < 1e-9, "now = {}", e.now());
+    }
+
+    #[test]
+    fn full_kernels_contend_and_take_double() {
+        let mut e = Engine::new(dev());
+        let a = e.submit(TaskSpec::kernel("a", 0).fluid(1e-3).sm_frac(1.0), &[]);
+        let b = e.submit(TaskSpec::kernel("b", 1).fluid(1e-3).sm_frac(1.0), &[]);
+        e.sync_task(b);
+        // Both run at rate 0.5 → both finish at 2 ms.
+        assert!((e.now() - 2e-3).abs() < 1e-9, "now = {}", e.now());
+        let _ = a;
+    }
+
+    #[test]
+    fn staggered_contention_integrates_correctly() {
+        // a: 2 ms of work; b arrives via dependency-free submit after we
+        // advance 1 ms. a runs solo for 1 ms (half done), then shares for
+        // the rest: remaining 1 ms at rate 0.5 → 2 ms more. Total 3 ms.
+        let mut e = Engine::new(dev());
+        let a = e.submit(TaskSpec::kernel("a", 0).fluid(2e-3).sm_frac(1.0), &[]);
+        e.advance_host(1e-3);
+        let b = e.submit(TaskSpec::kernel("b", 1).fluid(1e-3).sm_frac(1.0), &[]);
+        e.sync_task(a);
+        assert!((e.now() - 3e-3).abs() < 1e-9, "a done at {}", e.now());
+        e.sync_task(b);
+        // b: rate 0.5 from 1ms to 3ms (1 ms progress), then solo for 0 ms
+        // remaining... b has 1 ms work: 0.5*(3-1)=1 ms done at t=3 ms too.
+        assert!((e.now() - 3e-3).abs() < 1e-9, "b done at {}", e.now());
+    }
+
+    #[test]
+    fn transfer_and_kernel_overlap() {
+        let d = dev();
+        let mut e = Engine::new(d.clone());
+        let c = e.submit(TaskSpec::bulk_copy(TaskKind::CopyH2D, "x", 1, d.pcie_bw * 1e-3, &d), &[]);
+        let k = e.submit(TaskSpec::kernel("k", 0).fluid(1e-3).sm_frac(1.0), &[]);
+        e.sync_task(c);
+        e.sync_task(k);
+        // Full overlap: elapsed ≈ 1 ms + copy launch overhead.
+        assert!(e.now() < 1.2e-3, "now = {}", e.now());
+    }
+
+    #[test]
+    fn marker_tasks_complete_instantly_and_chain() {
+        let mut e = Engine::new(dev());
+        let a = e.submit(TaskSpec::kernel("a", 0).fluid(1e-3).sm_frac(0.1), &[]);
+        let m = e.submit(TaskSpec::marker("ev", 0), &[a]);
+        let b = e.submit(TaskSpec::kernel("b", 1).fluid(1e-3).sm_frac(0.1), &[m]);
+        e.sync_task(b);
+        assert!((e.now() - 2e-3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dep_on_completed_task_is_satisfied() {
+        let mut e = Engine::new(dev());
+        let a = e.submit(TaskSpec::kernel("a", 0).fluid(1e-4).sm_frac(0.1), &[]);
+        e.sync_task(a);
+        let b = e.submit(TaskSpec::kernel("b", 0).fluid(1e-4).sm_frac(0.1), &[a]);
+        e.sync_task(b);
+        assert!(e.is_complete(b));
+    }
+
+    #[test]
+    fn duplicate_deps_counted_once() {
+        let mut e = Engine::new(dev());
+        let a = e.submit(TaskSpec::kernel("a", 0).fluid(1e-4).sm_frac(0.1), &[]);
+        let b = e.submit(TaskSpec::kernel("b", 0).fluid(1e-4).sm_frac(0.1), &[a, a, a]);
+        e.sync_task(b);
+        assert!(e.is_complete(b));
+    }
+
+    #[test]
+    fn advance_host_runs_background_work() {
+        let mut e = Engine::new(dev());
+        let a = e.submit(TaskSpec::kernel("a", 0).fluid(1e-3).sm_frac(0.5), &[]);
+        assert!(!e.is_complete(a));
+        e.advance_host(2e-3);
+        assert!(e.is_complete(a));
+        assert_eq!(e.now(), 2e-3);
+    }
+
+    #[test]
+    fn on_complete_payload_runs_once() {
+        use std::cell::Cell;
+        use std::rc::Rc;
+        let hits = Rc::new(Cell::new(0));
+        let h = hits.clone();
+        let mut e = Engine::new(dev());
+        let a = e.submit(
+            TaskSpec::kernel("a", 0).fluid(1e-4).sm_frac(0.1).payload(move || h.set(h.get() + 1)),
+            &[],
+        );
+        e.sync_task(a);
+        e.sync_all();
+        assert_eq!(hits.get(), 1);
+    }
+
+    #[test]
+    fn race_detection_fires_for_unsynchronized_conflict() {
+        use crate::data::ValueId;
+        let mut e = Engine::new(dev());
+        let v = ValueId(1);
+        let _ = e.submit(TaskSpec::kernel("w1", 0).fluid(1e-3).sm_frac(0.1).writing(&[v]), &[]);
+        let _ = e.submit(TaskSpec::kernel("w2", 1).fluid(1e-3).sm_frac(0.1).writing(&[v]), &[]);
+        e.sync_all();
+        assert_eq!(e.races().len(), 1);
+        assert!(e.races()[0].write_write);
+    }
+
+    #[test]
+    fn race_detection_silent_when_dependency_exists() {
+        use crate::data::ValueId;
+        let mut e = Engine::new(dev());
+        let v = ValueId(1);
+        let a = e.submit(TaskSpec::kernel("w1", 0).fluid(1e-3).sm_frac(0.1).writing(&[v]), &[]);
+        let _ = e.submit(TaskSpec::kernel("w2", 1).fluid(1e-3).sm_frac(0.1).writing(&[v]), &[a]);
+        e.sync_all();
+        assert!(e.races().is_empty());
+    }
+
+    // Note on deadlocks: `submit` only accepts dependencies on tasks that
+    // already exist, so a dependency cycle cannot be constructed through
+    // the public API and the `run` deadlock panic is a defensive internal
+    // invariant rather than a reachable user-facing state.
+
+    #[test]
+    fn stats_accumulate() {
+        let d = dev();
+        let mut e = Engine::new(d.clone());
+        let c = e.submit(TaskSpec::bulk_copy(TaskKind::CopyH2D, "x", 0, d.pcie_bw * 1e-3, &d), &[]);
+        let k = e.submit(TaskSpec::kernel("k", 0).fluid(2e-3).sm_frac(0.5), &[c]);
+        e.sync_task(k);
+        let s = e.stats();
+        assert_eq!(s.submitted, 2);
+        assert_eq!(s.completed, 2);
+        assert!(s.kernel_time > 0.0 && s.transfer_time > 0.0);
+    }
+
+    #[test]
+    fn timeline_clear_preserves_task_state() {
+        let mut e = Engine::new(dev());
+        let a = e.submit(TaskSpec::kernel("a", 0).fluid(1e-4).sm_frac(0.1), &[]);
+        e.sync_task(a);
+        e.clear_timeline();
+        assert!(e.timeline().intervals().is_empty());
+        assert!(e.is_complete(a));
+    }
+}

@@ -1,0 +1,263 @@
+//! Max–min fair rate allocation by progressive filling.
+//!
+//! At any instant the engine has a set of *active* tasks, each with a
+//! [`ResourceDemand`] describing the share of every device resource it
+//! would consume when running at full (solo) speed, i.e. rate `x = 1`.
+//! The allocator assigns each task a rate `x_i ∈ (0, 1]` such that for
+//! every resource `r`: `Σ_i x_i · d_i[r] ≤ cap[r]`, using the classic
+//! progressive-filling algorithm: grow all rates uniformly; when a
+//! resource saturates, freeze every task using it at the current level;
+//! repeat with the remaining capacity.
+//!
+//! This is the "fluid" in the fluid-rate simulator: it is what makes
+//! space-sharing (two half-machine kernels at full speed) and contention
+//! (two bandwidth-bound kernels at half speed) fall out of one mechanism,
+//! matching the phenomena measured in the paper's §V-E.
+
+use crate::task::{capacities, ResourceDemand, NUM_RESOURCES};
+use crate::profile::DeviceProfile;
+
+/// Compute max–min fair rates for `demands` on device `dev`.
+///
+/// Returns one rate in `(0, 1]` per task. A task with an all-zero demand
+/// vector (e.g. a host task) gets rate 1.
+pub fn max_min_rates(demands: &[ResourceDemand], dev: &DeviceProfile) -> Vec<f64> {
+    let caps = capacities(dev);
+    let dvecs: Vec<[f64; NUM_RESOURCES]> = demands.iter().map(|d| d.as_vec()).collect();
+    max_min_rates_raw(&dvecs, &caps)
+}
+
+/// Progressive filling over raw demand vectors — separated out for unit
+/// and property testing against arbitrary capacity vectors.
+pub fn max_min_rates_raw(demands: &[[f64; NUM_RESOURCES]], caps: &[f64; NUM_RESOURCES]) -> Vec<f64> {
+    let n = demands.len();
+    let mut rates = vec![0.0f64; n];
+    if n == 0 {
+        return rates;
+    }
+    let mut frozen = vec![false; n];
+    // Residual capacity after subtracting frozen tasks' consumption.
+    let mut residual = *caps;
+
+    loop {
+        // Uniform growth level `t` for all unfrozen tasks, bounded by the
+        // most congested resource and by the solo ceiling of 1.0.
+        let mut t = 1.0f64;
+        let mut binding: Option<usize> = None;
+        for r in 0..NUM_RESOURCES {
+            let load: f64 =
+                (0..n).filter(|&i| !frozen[i]).map(|i| demands[i][r]).sum();
+            if load <= 0.0 {
+                continue;
+            }
+            let limit = (residual[r] / load).max(0.0);
+            if limit < t {
+                t = limit;
+                binding = Some(r);
+            }
+        }
+
+        match binding {
+            None => {
+                // No resource binds before the solo ceiling: everyone
+                // unfrozen runs at full speed.
+                for i in 0..n {
+                    if !frozen[i] {
+                        rates[i] = 1.0;
+                    }
+                }
+                break;
+            }
+            Some(r) => {
+                // Freeze every unfrozen task that uses the binding
+                // resource at level `t`; charge its usage to residual.
+                let mut any = false;
+                for i in 0..n {
+                    if !frozen[i] && demands[i][r] > 0.0 {
+                        frozen[i] = true;
+                        rates[i] = t;
+                        any = true;
+                        for (res, d) in residual.iter_mut().zip(demands[i].iter()) {
+                            *res -= t * d;
+                        }
+                    }
+                }
+                debug_assert!(any, "binding resource with no users");
+                if frozen.iter().all(|&f| f) {
+                    break;
+                }
+            }
+        }
+    }
+    // Numerical guard: tasks must always make progress, and never exceed
+    // solo speed.
+    for x in &mut rates {
+        *x = x.clamp(1e-9, 1.0);
+    }
+    rates
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::ResourceDemand;
+
+    fn dev() -> DeviceProfile {
+        DeviceProfile::gtx1660_super()
+    }
+
+    fn sm(frac: f64) -> ResourceDemand {
+        ResourceDemand { sm_frac: frac, ..Default::default() }
+    }
+
+    fn dram(bps: f64) -> ResourceDemand {
+        ResourceDemand { dram_bps: bps, ..Default::default() }
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(max_min_rates(&[], &dev()).is_empty());
+    }
+
+    #[test]
+    fn single_task_runs_solo() {
+        let r = max_min_rates(&[sm(1.0)], &dev());
+        assert_eq!(r, vec![1.0]);
+    }
+
+    #[test]
+    fn space_sharing_two_small_kernels() {
+        // Two kernels that each fill 30% of the SMs co-run at full speed.
+        let r = max_min_rates(&[sm(0.3), sm(0.3)], &dev());
+        assert_eq!(r, vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn contention_two_full_kernels() {
+        // Two full-machine kernels each get half the machine.
+        let r = max_min_rates(&[sm(1.0), sm(1.0)], &dev());
+        assert!((r[0] - 0.5).abs() < 1e-12);
+        assert!((r[1] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn asymmetric_contention_is_proportional_on_one_resource() {
+        // 0.8 + 0.8 SM demand: level t = 1 / 1.6 = 0.625 for both.
+        let r = max_min_rates(&[sm(0.8), sm(0.8)], &dev());
+        assert!((r[0] - 0.625).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_min_protects_light_users() {
+        // Task 0 saturates DRAM; task 1 barely uses it and mostly needs
+        // SMs. Max-min: they first grow together until DRAM binds; both
+        // use DRAM so both freeze — but task 1's demand is tiny so the
+        // level is nearly 1.
+        let d = dev();
+        let heavy = dram(d.dram_bw);
+        let light = ResourceDemand { sm_frac: 0.2, dram_bps: d.dram_bw * 0.01, ..Default::default() };
+        let r = max_min_rates(&[heavy, light], &d);
+        // level t = cap / (1.01 * cap) ≈ 0.990
+        assert!(r[0] > 0.98 && r[0] < 1.0);
+        assert!(r[1] > 0.98);
+    }
+
+    #[test]
+    fn non_users_of_the_binding_resource_keep_growing() {
+        let d = dev();
+        // Two DRAM-saturating tasks and one pure-compute task: the
+        // compute task must still run at full speed.
+        let r = max_min_rates(&[dram(d.dram_bw), dram(d.dram_bw), sm(0.4)], &d);
+        assert!((r[0] - 0.5).abs() < 1e-12);
+        assert!((r[1] - 0.5).abs() < 1e-12);
+        assert_eq!(r[2], 1.0);
+    }
+
+    #[test]
+    fn transfer_and_kernel_do_not_contend() {
+        let d = dev();
+        let copy = ResourceDemand { h2d_bps: d.pcie_bw, ..Default::default() };
+        let kern = ResourceDemand { sm_frac: 1.0, dram_bps: d.dram_bw * 0.5, ..Default::default() };
+        let r = max_min_rates(&[copy, kern], &d);
+        assert_eq!(r, vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn fault_controller_serializes_migrations() {
+        let d = dev();
+        let fault = ResourceDemand { fault_frac: 1.0, h2d_bps: d.fault_bw, ..Default::default() };
+        let r = max_min_rates(&[fault, fault], &d);
+        assert!((r[0] - 0.5).abs() < 1e-12);
+        assert!((r[1] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_demand_tasks_run_free() {
+        let r = max_min_rates(&[ResourceDemand::default(), sm(1.0), sm(1.0)], &dev());
+        assert_eq!(r[0], 1.0);
+        assert!((r[1] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ten_way_pcie_contention_matches_bs_benchmark_shape() {
+        // B&S issues 10 independent H2D transfers; each should get a
+        // tenth of the link.
+        let d = dev();
+        let copy = ResourceDemand { h2d_bps: d.pcie_bw, ..Default::default() };
+        let r = max_min_rates(&vec![copy; 10], &d);
+        for x in r {
+            assert!((x - 0.1).abs() < 1e-12);
+        }
+    }
+}
+
+#[cfg(test)]
+mod prop {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn demand_strategy() -> impl Strategy<Value = [f64; NUM_RESOURCES]> {
+        proptest::array::uniform7(0.0f64..1.0)
+    }
+
+    proptest! {
+        /// Allocated rates never violate any capacity constraint and are
+        /// always within (0, 1].
+        #[test]
+        fn rates_are_feasible(demands in proptest::collection::vec(demand_strategy(), 0..12)) {
+            // Capacities fixed at 1.0 per resource; demands in [0,1) so a
+            // single task is always feasible solo.
+            let caps = [1.0; NUM_RESOURCES];
+            let rates = max_min_rates_raw(&demands, &caps);
+            prop_assert_eq!(rates.len(), demands.len());
+            for r in 0..NUM_RESOURCES {
+                let used: f64 = demands.iter().zip(&rates).map(|(d, x)| d[r] * x).sum();
+                prop_assert!(used <= 1.0 + 1e-6, "resource {} over capacity: {}", r, used);
+            }
+            for (x, d) in rates.iter().zip(&demands) {
+                prop_assert!(*x > 0.0 && *x <= 1.0);
+                // A task contending on nothing must run at full speed.
+                if d.iter().all(|&v| v == 0.0) {
+                    prop_assert_eq!(*x, 1.0);
+                }
+            }
+        }
+
+        /// Adding a task never increases anyone's rate (monotonicity of
+        /// progressive filling).
+        #[test]
+        fn adding_load_never_speeds_others_up(
+            base in proptest::collection::vec(demand_strategy(), 1..8),
+            extra in demand_strategy(),
+        ) {
+            let caps = [1.0; NUM_RESOURCES];
+            let before = max_min_rates_raw(&base, &caps);
+            let mut bigger = base.clone();
+            bigger.push(extra);
+            let after = max_min_rates_raw(&bigger, &caps);
+            for i in 0..base.len() {
+                prop_assert!(after[i] <= before[i] + 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! Property tests of the discrete-event engine: conservation laws and
+//! determinism that must hold for any workload.
+
+use proptest::prelude::*;
+
+use crate::engine::{Engine, TaskId};
+use crate::profile::DeviceProfile;
+use crate::task::TaskSpec;
+
+/// A randomly-shaped workload: per task, (fluid work µs, SM fraction %,
+/// dependency back-offsets).
+#[derive(Debug, Clone)]
+struct RandomTask {
+    work_us: u32,
+    sm_pct: u32,
+    dep_offsets: Vec<usize>,
+}
+
+fn tasks_strategy() -> impl Strategy<Value = Vec<RandomTask>> {
+    proptest::collection::vec(
+        (1u32..500, 1u32..100, proptest::collection::vec(1usize..4, 0..3)),
+        1..24,
+    )
+    .prop_map(|v| {
+        v.into_iter()
+            .map(|(work_us, sm_pct, dep_offsets)| RandomTask { work_us, sm_pct, dep_offsets })
+            .collect()
+    })
+}
+
+/// Submit the workload and return (makespan, per-task (start, end)
+/// indexed by submission order).
+fn run(tasks: &[RandomTask], dev: DeviceProfile) -> (f64, Vec<(f64, f64)>) {
+    let mut e = Engine::new(dev);
+    let mut ids: Vec<TaskId> = Vec::new();
+    for (i, t) in tasks.iter().enumerate() {
+        let deps: Vec<TaskId> = t
+            .dep_offsets
+            .iter()
+            .filter_map(|&off| i.checked_sub(off).map(|j| ids[j]))
+            .collect();
+        let spec = TaskSpec::kernel(format!("k{i}"), i as u32)
+            .fluid(t.work_us as f64 * 1e-6)
+            .sm_frac(t.sm_pct as f64 / 100.0);
+        ids.push(e.submit(spec, &deps));
+    }
+    e.sync_all();
+    let mut spans = vec![(0.0, 0.0); tasks.len()];
+    for iv in e.timeline().intervals() {
+        spans[iv.task as usize] = (iv.start, iv.end);
+    }
+    (e.now(), spans)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Makespan is bounded below by the longest task and above by the
+    /// serial sum (work conservation: sharing never creates or destroys
+    /// work).
+    #[test]
+    fn makespan_is_bounded(tasks in tasks_strategy()) {
+        let (makespan, spans) = run(&tasks, DeviceProfile::gtx1660_super());
+        let longest = tasks.iter().map(|t| t.work_us as f64 * 1e-6).fold(0.0, f64::max);
+        let total: f64 = tasks.iter().map(|t| t.work_us as f64 * 1e-6).sum();
+        prop_assert!(makespan >= longest - 1e-12, "{makespan} < longest {longest}");
+        prop_assert!(makespan <= total + 1e-9, "{makespan} > serial sum {total}");
+        prop_assert_eq!(spans.len(), tasks.len());
+    }
+
+    /// Every task runs at least as long as its solo duration (contention
+    /// only slows things down), and intervals are well-formed.
+    #[test]
+    fn contention_never_speeds_a_task_up(tasks in tasks_strategy()) {
+        let (_, spans) = run(&tasks, DeviceProfile::tesla_p100());
+        for (i, ((s, e), t)) in spans.iter().zip(&tasks).enumerate() {
+            let dur = e - s;
+            let solo = t.work_us as f64 * 1e-6;
+            prop_assert!(dur >= solo - 1e-12, "task {i} beat its solo time: {dur} < {solo}");
+            prop_assert!(e >= s);
+        }
+    }
+
+    /// The engine is deterministic: same workload, same timeline.
+    #[test]
+    fn engine_is_deterministic(tasks in tasks_strategy()) {
+        let a = run(&tasks, DeviceProfile::gtx960());
+        let b = run(&tasks, DeviceProfile::gtx960());
+        prop_assert_eq!(a.0, b.0);
+        prop_assert_eq!(a.1, b.1);
+    }
+
+    /// Dependencies are respected: a task never starts before each of
+    /// its dependencies ends.
+    #[test]
+    fn dependencies_order_execution(tasks in tasks_strategy()) {
+        let mut e = Engine::new(DeviceProfile::gtx1660_super());
+        let mut ids = Vec::new();
+        for (i, t) in tasks.iter().enumerate() {
+            let deps: Vec<TaskId> = t
+                .dep_offsets
+                .iter()
+                .filter_map(|&off| i.checked_sub(off).map(|j| ids[j]))
+                .collect();
+            let spec = TaskSpec::kernel(format!("k{i}"), i as u32)
+                .fluid(t.work_us as f64 * 1e-6)
+                .sm_frac(t.sm_pct as f64 / 100.0);
+            ids.push(e.submit(spec, &deps));
+        }
+        e.sync_all();
+        let mut span_of = vec![(0.0f64, 0.0f64); tasks.len()];
+        for iv in e.timeline().intervals() {
+            span_of[iv.task as usize] = (iv.start, iv.end);
+        }
+        for (i, t) in tasks.iter().enumerate() {
+            for &off in &t.dep_offsets {
+                if let Some(j) = i.checked_sub(off) {
+                    prop_assert!(
+                        span_of[i].0 >= span_of[j].1 - 1e-12,
+                        "task {i} started at {} before dep {j} ended at {}",
+                        span_of[i].0,
+                        span_of[j].1
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,308 @@
+//! Task descriptions submitted to the [`crate::engine::Engine`].
+
+use crate::data::ValueId;
+use crate::profile::DeviceProfile;
+use crate::Time;
+
+/// What kind of operation a task models. Drives timeline classification
+/// (the overlap metrics of the paper's Fig. 10/11 distinguish kernel
+/// computation from the two transfer directions).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TaskKind {
+    /// A GPU kernel execution.
+    Kernel,
+    /// Bulk host→device copy (explicit copy or unified-memory prefetch).
+    CopyH2D,
+    /// Bulk device→host copy.
+    CopyD2H,
+    /// On-demand unified-memory migration to the device (page-fault path).
+    FaultH2D,
+    /// On-demand unified-memory migration back to the host.
+    FaultD2H,
+    /// Host-side computation occupying only the CPU.
+    Host,
+    /// Zero-duration synchronization marker (CUDA event analogue).
+    Marker,
+}
+
+impl TaskKind {
+    /// True for the two bulk-copy and two fault-migration kinds.
+    pub fn is_transfer(self) -> bool {
+        matches!(
+            self,
+            TaskKind::CopyH2D | TaskKind::CopyD2H | TaskKind::FaultH2D | TaskKind::FaultD2H
+        )
+    }
+
+    /// True if the transfer moves data toward the device.
+    pub fn is_h2d(self) -> bool {
+        matches!(self, TaskKind::CopyH2D | TaskKind::FaultH2D)
+    }
+}
+
+/// Full-rate demand a task places on each shared device resource.
+///
+/// Units: `sm_frac` and `fault_frac` are fractions of a unit-capacity
+/// resource; the rest are bytes/s or FLOP/s. A task running at fluid rate
+/// `x ∈ (0, 1]` consumes `x * demand` of each resource.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ResourceDemand {
+    /// Fraction of SM resident-thread capacity.
+    pub sm_frac: f64,
+    /// Device-memory bandwidth demand, bytes/s.
+    pub dram_bps: f64,
+    /// L2 bandwidth demand, bytes/s.
+    pub l2_bps: f64,
+    /// Double-precision throughput demand, FLOP/s.
+    pub fp64_flops: f64,
+    /// PCIe host→device bandwidth demand, bytes/s.
+    pub h2d_bps: f64,
+    /// PCIe device→host bandwidth demand, bytes/s.
+    pub d2h_bps: f64,
+    /// Fraction of the unified-memory fault controller.
+    pub fault_frac: f64,
+}
+
+/// The shared-resource index space used by the fluid solver.
+/// Order matters only internally.
+pub(crate) const NUM_RESOURCES: usize = 7;
+
+impl ResourceDemand {
+    /// Demand as a fixed-size vector aligned with [`capacities`].
+    pub(crate) fn as_vec(&self) -> [f64; NUM_RESOURCES] {
+        [
+            self.sm_frac,
+            self.dram_bps,
+            self.l2_bps,
+            self.fp64_flops,
+            self.h2d_bps,
+            self.d2h_bps,
+            self.fault_frac,
+        ]
+    }
+}
+
+/// Resource capacities of a device, aligned with [`ResourceDemand::as_vec`].
+pub(crate) fn capacities(dev: &DeviceProfile) -> [f64; NUM_RESOURCES] {
+    [1.0, dev.dram_bw, dev.l2_bw, dev.fp64_flops, dev.pcie_bw, dev.pcie_bw, 1.0]
+}
+
+/// Extra bookkeeping carried by a task for the metrics crate: the raw
+/// quantities behind the hardware-utilization figures (Fig. 12).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct TaskMeta {
+    /// Bytes moved (transfers) or exchanged with DRAM (kernels).
+    pub bytes: f64,
+    /// Single-precision FLOPs executed.
+    pub flops32: f64,
+    /// Double-precision FLOPs executed.
+    pub flops64: f64,
+    /// L2 bytes exchanged.
+    pub l2_bytes: f64,
+    /// Instructions executed.
+    pub instructions: f64,
+}
+
+/// A unit of simulated work. Construct with the builder-style helpers and
+/// submit via [`crate::engine::Engine::submit`].
+pub struct TaskSpec {
+    /// Operation class.
+    pub kind: TaskKind,
+    /// Display label (kernel name, "H2D x", ...).
+    pub label: String,
+    /// Stream attribution for the timeline (purely presentational; actual
+    /// ordering comes from the dependency edges the caller supplies).
+    pub stream: u32,
+    /// Contention-independent setup latency (launch overhead etc.).
+    pub fixed_latency: Time,
+    /// Solo duration of the contention-scaled phase.
+    pub fluid_work: Time,
+    /// Full-rate resource demand during the fluid phase.
+    pub demand: ResourceDemand,
+    /// Values read (race detector).
+    pub reads: Vec<ValueId>,
+    /// Values written (race detector).
+    pub writes: Vec<ValueId>,
+    /// Functional payload executed at completion time (runs the kernel's
+    /// CPU implementation, flips memory residency, ...).
+    pub on_complete: Option<Box<dyn FnOnce()>>,
+    /// Raw counters for hardware metrics.
+    pub meta: TaskMeta,
+}
+
+impl std::fmt::Debug for TaskSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TaskSpec")
+            .field("kind", &self.kind)
+            .field("label", &self.label)
+            .field("stream", &self.stream)
+            .field("fixed_latency", &self.fixed_latency)
+            .field("fluid_work", &self.fluid_work)
+            .field("demand", &self.demand)
+            .field("has_payload", &self.on_complete.is_some())
+            .finish()
+    }
+}
+
+impl TaskSpec {
+    /// A blank task of the given kind on a presentation stream.
+    pub fn new(kind: TaskKind, label: impl Into<String>, stream: u32) -> Self {
+        TaskSpec {
+            kind,
+            label: label.into(),
+            stream,
+            fixed_latency: 0.0,
+            fluid_work: 0.0,
+            demand: ResourceDemand::default(),
+            reads: Vec::new(),
+            writes: Vec::new(),
+            on_complete: None,
+            meta: TaskMeta::default(),
+        }
+    }
+
+    /// Shorthand for a kernel task.
+    pub fn kernel(label: impl Into<String>, stream: u32) -> Self {
+        Self::new(TaskKind::Kernel, label, stream)
+    }
+
+    /// Shorthand for a zero-duration marker (event analogue).
+    pub fn marker(label: impl Into<String>, stream: u32) -> Self {
+        Self::new(TaskKind::Marker, label, stream)
+    }
+
+    /// Shorthand for a host-side computation of duration `d`.
+    pub fn host(label: impl Into<String>, d: Time) -> Self {
+        let mut t = Self::new(TaskKind::Host, label, u32::MAX);
+        t.fixed_latency = d;
+        t
+    }
+
+    /// A bulk PCIe transfer of `bytes` in the given direction at full
+    /// link rate, plus the launch overhead of the copy call.
+    pub fn bulk_copy(
+        kind: TaskKind,
+        label: impl Into<String>,
+        stream: u32,
+        bytes: f64,
+        dev: &DeviceProfile,
+    ) -> Self {
+        assert!(kind.is_transfer(), "bulk_copy needs a transfer kind");
+        let mut t = Self::new(kind, label, stream);
+        t.fixed_latency = dev.launch_overhead;
+        t.fluid_work = bytes / dev.pcie_bw;
+        if kind.is_h2d() {
+            t.demand.h2d_bps = dev.pcie_bw;
+        } else {
+            t.demand.d2h_bps = dev.pcie_bw;
+        }
+        t.meta.bytes = bytes;
+        t
+    }
+
+    /// An on-demand unified-memory migration of `bytes`: slower than a
+    /// bulk copy and serialized through the fault controller, which is
+    /// the bottleneck the paper observes when prefetching is disabled.
+    pub fn fault_migration(
+        kind: TaskKind,
+        label: impl Into<String>,
+        stream: u32,
+        bytes: f64,
+        dev: &DeviceProfile,
+    ) -> Self {
+        assert!(kind.is_transfer(), "fault_migration needs a transfer kind");
+        let mut t = Self::new(kind, label, stream);
+        t.fixed_latency = dev.fault_latency;
+        t.fluid_work = bytes / dev.fault_bw;
+        t.demand.fault_frac = 1.0; // exclusive use of the fault controller
+        if kind.is_h2d() {
+            t.demand.h2d_bps = dev.fault_bw;
+        } else {
+            t.demand.d2h_bps = dev.fault_bw;
+        }
+        t.meta.bytes = bytes;
+        t
+    }
+
+    // ----- builder-style setters used heavily in tests and examples -----
+
+    /// Set the fluid-phase solo duration.
+    pub fn fluid(mut self, seconds: Time) -> Self {
+        self.fluid_work = seconds;
+        self
+    }
+
+    /// Set the fixed setup latency.
+    pub fn latency(mut self, seconds: Time) -> Self {
+        self.fixed_latency = seconds;
+        self
+    }
+
+    /// Set the SM-fraction demand.
+    pub fn sm_frac(mut self, f: f64) -> Self {
+        self.demand.sm_frac = f;
+        self
+    }
+
+    /// Set the DRAM-bandwidth demand (bytes/s at full rate).
+    pub fn dram(mut self, bps: f64) -> Self {
+        self.demand.dram_bps = bps;
+        self
+    }
+
+    /// Declare values read by this task.
+    pub fn reading(mut self, vs: &[ValueId]) -> Self {
+        self.reads.extend_from_slice(vs);
+        self
+    }
+
+    /// Declare values written by this task.
+    pub fn writing(mut self, vs: &[ValueId]) -> Self {
+        self.writes.extend_from_slice(vs);
+        self
+    }
+
+    /// Attach a functional payload to run at completion.
+    pub fn payload(mut self, f: impl FnOnce() + 'static) -> Self {
+        self.on_complete = Some(Box::new(f));
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bulk_copy_duration_is_bytes_over_link() {
+        let dev = DeviceProfile::tesla_p100();
+        let t = TaskSpec::bulk_copy(TaskKind::CopyH2D, "x", 0, 12e9, &dev);
+        assert!((t.fluid_work - 1.0).abs() < 1e-9);
+        assert_eq!(t.demand.h2d_bps, dev.pcie_bw);
+        assert_eq!(t.demand.d2h_bps, 0.0);
+    }
+
+    #[test]
+    fn fault_migration_is_slower_and_exclusive() {
+        let dev = DeviceProfile::tesla_p100();
+        let bulk = TaskSpec::bulk_copy(TaskKind::CopyH2D, "x", 0, 1e9, &dev);
+        let fault = TaskSpec::fault_migration(TaskKind::FaultH2D, "x", 0, 1e9, &dev);
+        assert!(fault.fluid_work > bulk.fluid_work);
+        assert_eq!(fault.demand.fault_frac, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "transfer kind")]
+    fn bulk_copy_rejects_kernel_kind() {
+        let dev = DeviceProfile::gtx960();
+        let _ = TaskSpec::bulk_copy(TaskKind::Kernel, "x", 0, 1.0, &dev);
+    }
+
+    #[test]
+    fn kind_predicates() {
+        assert!(TaskKind::FaultH2D.is_transfer());
+        assert!(TaskKind::FaultH2D.is_h2d());
+        assert!(!TaskKind::CopyD2H.is_h2d());
+        assert!(!TaskKind::Kernel.is_transfer());
+    }
+}

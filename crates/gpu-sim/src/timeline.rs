@@ -1,0 +1,186 @@
+//! Execution-timeline recording.
+//!
+//! Every completed task leaves an [`Interval`] behind. The `metrics`
+//! crate post-processes these intervals into the overlap fractions
+//! (CT/TC/CC/TOT) of the paper's Fig. 10–11 and into the per-benchmark
+//! hardware-utilization numbers of Fig. 12; the `bench` crate renders them
+//! as the ASCII execution timeline of Fig. 10.
+
+use crate::task::{TaskKind, TaskMeta};
+use crate::Time;
+
+/// One completed task on the simulated timeline.
+#[derive(Debug, Clone)]
+pub struct Interval {
+    /// Engine-assigned task id.
+    pub task: u32,
+    /// Operation class.
+    pub kind: TaskKind,
+    /// Presentation stream the operation ran on.
+    pub stream: u32,
+    /// Display label.
+    pub label: String,
+    /// When the task became ready and started its fixed-latency phase.
+    pub start: Time,
+    /// When the task completed.
+    pub end: Time,
+    /// Raw hardware counters.
+    pub meta: TaskMeta,
+}
+
+impl Interval {
+    /// Interval duration in seconds.
+    pub fn duration(&self) -> Time {
+        self.end - self.start
+    }
+}
+
+/// An append-only record of completed tasks, ordered by completion time.
+#[derive(Debug, Default, Clone)]
+pub struct Timeline {
+    intervals: Vec<Interval>,
+}
+
+impl Timeline {
+    /// Create an empty timeline.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a completed task.
+    pub(crate) fn push(&mut self, iv: Interval) {
+        self.intervals.push(iv);
+    }
+
+    /// Append a synthetic interval — for building timelines by hand in
+    /// tests and analysis tools (the engine uses the internal path).
+    pub fn push_for_test(&mut self, iv: Interval) {
+        self.intervals.push(iv);
+    }
+
+    /// All recorded intervals, in completion order.
+    pub fn intervals(&self) -> &[Interval] {
+        &self.intervals
+    }
+
+    /// Intervals of a given kind.
+    pub fn of_kind(&self, kind: TaskKind) -> impl Iterator<Item = &Interval> {
+        self.intervals.iter().filter(move |iv| iv.kind == kind)
+    }
+
+    /// Kernel intervals.
+    pub fn kernels(&self) -> impl Iterator<Item = &Interval> {
+        self.intervals.iter().filter(|iv| iv.kind == TaskKind::Kernel)
+    }
+
+    /// Transfer intervals (bulk copies and fault migrations, both
+    /// directions).
+    pub fn transfers(&self) -> impl Iterator<Item = &Interval> {
+        self.intervals.iter().filter(|iv| iv.kind.is_transfer())
+    }
+
+    /// Earliest start over all GPU-side intervals (kernels + transfers),
+    /// i.e. the paper's "first kernel scheduling" instant.
+    pub fn gpu_start(&self) -> Option<Time> {
+        self.intervals
+            .iter()
+            .filter(|iv| iv.kind == TaskKind::Kernel || iv.kind.is_transfer())
+            .map(|iv| iv.start)
+            .fold(None, |m, t| Some(m.map_or(t, |m: f64| m.min(t))))
+    }
+
+    /// Latest end over all GPU-side intervals.
+    pub fn gpu_end(&self) -> Option<Time> {
+        self.intervals
+            .iter()
+            .filter(|iv| iv.kind == TaskKind::Kernel || iv.kind.is_transfer())
+            .map(|iv| iv.end)
+            .fold(None, |m, t| Some(m.map_or(t, |m: f64| m.max(t))))
+    }
+
+    /// GPU execution time as the paper defines it (§V-A): from the first
+    /// kernel/transfer start to the last completion. Zero when no GPU
+    /// work was recorded.
+    pub fn gpu_span(&self) -> Time {
+        match (self.gpu_start(), self.gpu_end()) {
+            (Some(s), Some(e)) => e - s,
+            _ => 0.0,
+        }
+    }
+
+    /// Number of distinct presentation streams that carried GPU work.
+    /// Host-driven operations (stream `u32::MAX`, e.g. CPU-access page
+    /// migrations) are not counted.
+    pub fn streams_used(&self) -> usize {
+        let mut ids: Vec<u32> = self
+            .intervals
+            .iter()
+            .filter(|iv| {
+                (iv.kind == TaskKind::Kernel || iv.kind.is_transfer()) && iv.stream != u32::MAX
+            })
+            .map(|iv| iv.stream)
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids.len()
+    }
+
+    /// Drop all recorded intervals (used between benchmark iterations).
+    pub fn clear(&mut self) {
+        self.intervals.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iv(kind: TaskKind, stream: u32, start: Time, end: Time) -> Interval {
+        Interval {
+            task: 0,
+            kind,
+            stream,
+            label: String::new(),
+            start,
+            end,
+            meta: TaskMeta::default(),
+        }
+    }
+
+    #[test]
+    fn span_covers_kernels_and_transfers_only() {
+        let mut t = Timeline::new();
+        t.push(iv(TaskKind::Host, 9, 0.0, 10.0)); // host work ignored
+        t.push(iv(TaskKind::CopyH2D, 0, 1.0, 2.0));
+        t.push(iv(TaskKind::Kernel, 0, 2.0, 5.0));
+        assert_eq!(t.gpu_start(), Some(1.0));
+        assert_eq!(t.gpu_end(), Some(5.0));
+        assert_eq!(t.gpu_span(), 4.0);
+    }
+
+    #[test]
+    fn empty_timeline_has_zero_span() {
+        let t = Timeline::new();
+        assert_eq!(t.gpu_span(), 0.0);
+        assert_eq!(t.gpu_start(), None);
+    }
+
+    #[test]
+    fn stream_count_dedupes() {
+        let mut t = Timeline::new();
+        t.push(iv(TaskKind::Kernel, 0, 0.0, 1.0));
+        t.push(iv(TaskKind::Kernel, 1, 0.0, 1.0));
+        t.push(iv(TaskKind::Kernel, 0, 1.0, 2.0));
+        assert_eq!(t.streams_used(), 2);
+    }
+
+    #[test]
+    fn kind_filters() {
+        let mut t = Timeline::new();
+        t.push(iv(TaskKind::Kernel, 0, 0.0, 1.0));
+        t.push(iv(TaskKind::FaultH2D, 0, 0.0, 1.0));
+        t.push(iv(TaskKind::CopyD2H, 0, 0.0, 1.0));
+        assert_eq!(t.kernels().count(), 1);
+        assert_eq!(t.transfers().count(), 2);
+    }
+}

@@ -1,0 +1,101 @@
+//! Managed device arrays with intercepted CPU accesses.
+//!
+//! GrCUDA arrays are backed by unified memory (§IV-A): the CPU can read
+//! or write elements at any time, and the runtime models conflicting
+//! accesses as computational elements so that "if the access introduces a
+//! data dependency on a GPU computation, the scheduler ensures that the
+//! CPU waits for that computation to end". Accesses with no conflicts are
+//! executed immediately, without DAG bookkeeping.
+
+use cuda_sim::UnifiedArray;
+
+use crate::context::GrCuda;
+
+/// A managed array bound to a [`GrCuda`] context. Cheap to clone; clones
+/// are the same allocation.
+#[derive(Clone)]
+pub struct DeviceArray {
+    pub(crate) ctx: GrCuda,
+    pub(crate) arr: UnifiedArray,
+}
+
+impl std::fmt::Debug for DeviceArray {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DeviceArray")
+            .field("id", &self.arr.id)
+            .field("len", &self.arr.len())
+            .field("type", &self.arr.buf.type_name())
+            .finish()
+    }
+}
+
+macro_rules! typed_array_api {
+    ($get:ident, $set:ident, $fill:ident, $copy_from:ident, $to_vec:ident, $as_ref:ident, $as_mut:ident, $ty:ty, $elem:expr) => {
+        /// Read one element; synchronizes with any GPU work producing it.
+        pub fn $get(&self, i: usize) -> $ty {
+            self.ctx.host_access(&self.arr, $elem, false);
+            self.arr.buf.$as_ref()[i]
+        }
+
+        /// Write one element; synchronizes with any GPU work using the
+        /// array and invalidates the device copy.
+        pub fn $set(&self, i: usize, v: $ty) {
+            self.ctx.host_access(&self.arr, $elem, true);
+            self.arr.buf.$as_mut()[i] = v;
+        }
+
+        /// Fill the whole array from the CPU.
+        pub fn $fill(&self, v: $ty) {
+            self.ctx.host_access(&self.arr, self.arr.byte_len(), true);
+            for x in self.arr.buf.$as_mut().iter_mut() {
+                *x = v;
+            }
+        }
+
+        /// Copy a slice into the array from the CPU.
+        pub fn $copy_from(&self, src: &[$ty]) {
+            self.ctx.host_access(&self.arr, src.len() * $elem, true);
+            self.arr.buf.$as_mut()[..src.len()].copy_from_slice(src);
+        }
+
+        /// Copy the whole array out to a `Vec`; synchronizes first.
+        pub fn $to_vec(&self) -> Vec<$ty> {
+            self.ctx.host_access(&self.arr, self.arr.byte_len(), false);
+            self.arr.buf.$as_ref().clone()
+        }
+    };
+}
+
+impl DeviceArray {
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.arr.len()
+    }
+
+    /// True if the array holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.arr.is_empty()
+    }
+
+    /// Size in bytes.
+    pub fn byte_len(&self) -> usize {
+        self.arr.byte_len()
+    }
+
+    /// NIDL element-type name (`float`, `double`, `sint32`, `char`).
+    pub fn type_name(&self) -> &'static str {
+        self.arr.buf.type_name()
+    }
+
+    /// The raw host-visible buffer, bypassing synchronization — for
+    /// validators and analysis tools that inspect final state after a
+    /// full [`crate::GrCuda::sync`]. Normal code should use the typed
+    /// accessors, which synchronize with in-flight GPU work.
+    pub fn raw_buffer(&self) -> gpu_sim::DataBuffer {
+        self.arr.buf.clone()
+    }
+
+    typed_array_api!(get_f32, set_f32, fill_f32, copy_from_f32, to_vec_f32, as_f32, as_f32_mut, f32, 4);
+    typed_array_api!(get_f64, set_f64, fill_f64, copy_from_f64, to_vec_f64, as_f64, as_f64_mut, f64, 8);
+    typed_array_api!(get_i32, set_i32, fill_i32, copy_from_i32, to_vec_i32, as_i32, as_i32_mut, i32, 4);
+}

@@ -1,0 +1,194 @@
+//! Kernel handles and launch arguments.
+
+use std::fmt;
+
+use gpu_sim::Grid;
+use kernels::KernelDef;
+
+use crate::array::DeviceArray;
+use crate::context::GrCuda;
+use crate::nidl::{NidlParam, Signature};
+
+/// A launch argument: a managed array or a scalar passed by copy.
+///
+/// Scalars are "ignored for dependencies" (paper Fig. 4) — only array
+/// arguments participate in DAG construction.
+#[derive(Clone)]
+pub enum Arg {
+    /// A managed device array.
+    Array(DeviceArray),
+    /// A scalar (sizes, coefficients). All scalars ride as `f64` and are
+    /// converted by the kernel's functional implementation.
+    Scalar(f64),
+}
+
+impl Arg {
+    /// Wrap an array argument.
+    pub fn array(a: &DeviceArray) -> Arg {
+        Arg::Array(a.clone())
+    }
+
+    /// Wrap a scalar argument.
+    pub fn scalar(v: f64) -> Arg {
+        Arg::Scalar(v)
+    }
+}
+
+/// Errors raised when a launch does not match the kernel's NIDL
+/// signature.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LaunchError {
+    /// Wrong number of arguments.
+    ArityMismatch {
+        /// Kernel name.
+        kernel: String,
+        /// Parameters the signature declares.
+        expected: usize,
+        /// Arguments supplied.
+        got: usize,
+    },
+    /// An array was passed where a scalar was declared, or vice versa.
+    KindMismatch {
+        /// Kernel name.
+        kernel: String,
+        /// Zero-based parameter index.
+        index: usize,
+    },
+    /// An array's element type does not match the declared pointer type.
+    TypeMismatch {
+        /// Kernel name.
+        kernel: String,
+        /// Zero-based parameter index.
+        index: usize,
+        /// Type the signature declares.
+        expected: String,
+        /// Element type of the array supplied.
+        got: String,
+    },
+}
+
+impl fmt::Display for LaunchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LaunchError::ArityMismatch { kernel, expected, got } => {
+                write!(f, "kernel `{kernel}` takes {expected} arguments, got {got}")
+            }
+            LaunchError::KindMismatch { kernel, index } => {
+                write!(f, "kernel `{kernel}` argument {index}: array/scalar kind mismatch")
+            }
+            LaunchError::TypeMismatch { kernel, index, expected, got } => write!(
+                f,
+                "kernel `{kernel}` argument {index}: expected {expected} array, got {got}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LaunchError {}
+
+/// A compiled kernel bound to a [`GrCuda`] context — what GrCUDA's
+/// `buildkernel` returns. Launch it like a CUDA kernel:
+/// `k.launch(grid, &[args...])`.
+#[derive(Clone)]
+pub struct Kernel {
+    pub(crate) ctx: GrCuda,
+    pub(crate) def: KernelDef,
+    pub(crate) sig: Signature,
+}
+
+impl fmt::Debug for Kernel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Kernel").field("name", &self.def.name).field("nidl", &self.def.nidl).finish()
+    }
+}
+
+impl Kernel {
+    /// Kernel name.
+    pub fn name(&self) -> &'static str {
+        self.def.name
+    }
+
+    /// Parsed signature.
+    pub fn signature(&self) -> &Signature {
+        &self.sig
+    }
+
+    /// Validate arguments against the NIDL signature and hand the launch
+    /// to the scheduler. Returns when the launch is *scheduled* (parallel
+    /// policy) or *complete* (serial policy).
+    pub fn launch(&self, grid: Grid, args: &[Arg]) -> Result<(), LaunchError> {
+        self.validate(args)?;
+        self.ctx.launch_validated(self, grid, args, dag::ElementKind::Kernel);
+        Ok(())
+    }
+
+    /// Launch as a pre-registered library call (same scheduling, tagged
+    /// as [`dag::ElementKind::Library`] in the DAG).
+    pub(crate) fn launch_as_library(&self, grid: Grid, args: &[Arg]) -> Result<(), LaunchError> {
+        self.validate(args)?;
+        self.ctx.launch_validated(self, grid, args, dag::ElementKind::Library);
+        Ok(())
+    }
+
+    /// Launch with an **autotuned** 1-D block size (the paper's §VI
+    /// future-work heuristic: "estimating the ideal block size based on
+    /// data size and previous executions"). The runtime's per-kernel
+    /// history first explores the candidate block sizes for this input
+    /// magnitude, then exploits the fastest observed one. Call
+    /// [`crate::GrCuda::sync`] (or `harvest_history`) between launches so
+    /// measurements reach the tuner. Returns the grid it chose.
+    ///
+    /// `blocks` is the fixed 1-D block count (the paper tunes only the
+    /// threads-per-block dimension).
+    pub fn launch_autotuned(&self, blocks: u32, args: &[Arg]) -> Result<Grid, LaunchError> {
+        self.validate(args)?;
+        let elements = args
+            .iter()
+            .filter_map(|a| match a {
+                Arg::Array(arr) => Some(arr.len()),
+                Arg::Scalar(_) => None,
+            })
+            .max()
+            .unwrap_or(0);
+        let bs = self.ctx.choose_block_size(self.def.name, elements);
+        let grid = Grid::d1(blocks, bs);
+        self.ctx.launch_validated(self, grid, args, dag::ElementKind::Kernel);
+        Ok(grid)
+    }
+
+    /// Check arity, kinds and element types.
+    fn validate(&self, args: &[Arg]) -> Result<(), LaunchError> {
+        if args.len() != self.sig.params.len() {
+            return Err(LaunchError::ArityMismatch {
+                kernel: self.def.name.into(),
+                expected: self.sig.params.len(),
+                got: args.len(),
+            });
+        }
+        for (i, (p, a)) in self.sig.params.iter().zip(args).enumerate() {
+            match (p, a) {
+                (NidlParam::Pointer { ty, .. }, Arg::Array(arr)) => {
+                    if let Some(expected) = ty.buffer_type_name() {
+                        let got = arr.type_name();
+                        if got != expected {
+                            return Err(LaunchError::TypeMismatch {
+                                kernel: self.def.name.into(),
+                                index: i,
+                                expected: expected.into(),
+                                got: got.into(),
+                            });
+                        }
+                    }
+                }
+                (NidlParam::Scalar { .. }, Arg::Scalar(_)) => {}
+                _ => {
+                    return Err(LaunchError::KindMismatch {
+                        kernel: self.def.name.into(),
+                        index: i,
+                    })
+                }
+            }
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,511 @@
+//! Multi-GPU scheduling — the paper's stated future work (§VI):
+//! "we plan to extend our technique to multiple GPUs: the problem is
+//! significantly harder, as it requires to compute data location and
+//! migration costs at run time to identify the optimal scheduling."
+//!
+//! This module implements exactly that first step: a [`MultiGpu`]
+//! front-end over several per-device [`GrCuda`] runtimes that
+//!
+//! * tracks the **location** of every managed array's current copy,
+//! * computes host-mediated **migration costs** at launch time (no
+//!   peer-to-peer link is assumed — data moves device → host → device
+//!   through the simulated PCIe paths, with all the synchronization the
+//!   single-GPU scheduler would enforce),
+//! * and places each computation by a pluggable [`PlacementPolicy`]:
+//!   round-robin, or locality-aware ("run where most argument bytes
+//!   already live, break ties toward the least-loaded device").
+//!
+//! Each device keeps its own virtual clock; the *makespan* of a workload
+//! is the maximum elapsed time over devices. Because migrations pass
+//! through the host (which blocks on the source device), causality
+//! between devices is preserved.
+
+use gpu_sim::{DeviceProfile, Grid, Time, TypedData};
+use kernels::KernelDef;
+
+use crate::array::DeviceArray;
+use crate::context::GrCuda;
+use crate::kernel::{Arg, LaunchError};
+use crate::nidl::{NidlParam, Signature};
+use crate::options::Options;
+
+/// How the multi-GPU scheduler assigns computations to devices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlacementPolicy {
+    /// Cycle through the devices regardless of data location.
+    RoundRobin,
+    /// Place each computation on the device that already holds the most
+    /// argument bytes; ties go to the device with the earliest virtual
+    /// clock (least loaded).
+    LocalityAware,
+    /// Everything on device 0 (the single-GPU baseline for scaling
+    /// studies).
+    SingleGpu,
+}
+
+/// A managed array replicated across the devices, with one *current*
+/// copy. Cloning shares the replica set.
+#[derive(Clone)]
+pub struct MultiArray {
+    key: usize,
+    replicas: Vec<DeviceArray>,
+}
+
+impl MultiArray {
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.replicas[0].len()
+    }
+
+    /// True if the array holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.replicas[0].is_empty()
+    }
+
+    /// Size in bytes.
+    pub fn byte_len(&self) -> usize {
+        self.replicas[0].byte_len()
+    }
+}
+
+/// Where an array's authoritative copy lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Loc {
+    /// Fresh host data (staged in replica 0's host buffer): any device
+    /// can take it with a plain H2D transfer — placement-neutral.
+    Host,
+    /// A kernel on this device produced the current copy.
+    Device(usize),
+}
+
+struct ArrayState {
+    location: Loc,
+    /// Devices whose host buffer already holds the current host copy
+    /// (valid while `location == Loc::Host`); avoids redundant staging
+    /// and the device-copy invalidation it would cause.
+    staged: Vec<usize>,
+}
+
+/// A multi-device scheduling front-end (see the module docs).
+pub struct MultiGpu {
+    devices: Vec<GrCuda>,
+    policy: PlacementPolicy,
+    arrays: Vec<ArrayState>,
+    next_rr: usize,
+    migrations: usize,
+    migrated_bytes: usize,
+    start: Vec<Time>,
+}
+
+impl MultiGpu {
+    /// Create a front-end over `n` identical devices.
+    pub fn new(dev: DeviceProfile, n: usize, options: Options, policy: PlacementPolicy) -> Self {
+        assert!(n >= 1, "need at least one device");
+        let devices: Vec<GrCuda> = (0..n).map(|_| GrCuda::new(dev.clone(), options)).collect();
+        let start = devices.iter().map(|d| d.now()).collect();
+        MultiGpu {
+            devices,
+            policy,
+            arrays: Vec::new(),
+            next_rr: 0,
+            migrations: 0,
+            migrated_bytes: 0,
+            start,
+        }
+    }
+
+    /// Number of devices.
+    pub fn device_count(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Allocate a managed `float[n]` array (current copy on device 0).
+    pub fn array_f32(&mut self, n: usize) -> MultiArray {
+        self.alloc(|d| d.array_f32(n))
+    }
+
+    /// Allocate a managed `double[n]` array.
+    pub fn array_f64(&mut self, n: usize) -> MultiArray {
+        self.alloc(|d| d.array_f64(n))
+    }
+
+    /// Allocate a managed `sint32[n]` array.
+    pub fn array_i32(&mut self, n: usize) -> MultiArray {
+        self.alloc(|d| d.array_i32(n))
+    }
+
+    fn alloc(&mut self, f: impl Fn(&GrCuda) -> DeviceArray) -> MultiArray {
+        let key = self.arrays.len();
+        let replicas: Vec<DeviceArray> = self.devices.iter().map(f).collect();
+        self.arrays.push(ArrayState { location: Loc::Host, staged: vec![0] });
+        MultiArray { key, replicas }
+    }
+
+    /// Write data into the array from the host (lands on device 0's
+    /// replica; other replicas become stale).
+    pub fn write_f32(&mut self, a: &MultiArray, data: &[f32]) {
+        a.replicas[0].copy_from_f32(data);
+        let st = &mut self.arrays[a.key];
+        st.location = Loc::Host;
+        st.staged = vec![0];
+    }
+
+    /// Write f64 data from the host.
+    pub fn write_f64(&mut self, a: &MultiArray, data: &[f64]) {
+        a.replicas[0].copy_from_f64(data);
+        let st = &mut self.arrays[a.key];
+        st.location = Loc::Host;
+        st.staged = vec![0];
+    }
+
+    /// Read the array back to the host from its current location
+    /// (synchronizes the owning device's producing chain).
+    pub fn read_f32(&self, a: &MultiArray) -> Vec<f32> {
+        a.replicas[self.owner(a)].to_vec_f32()
+    }
+
+    /// Read one element from the current location.
+    pub fn get_f32(&self, a: &MultiArray, i: usize) -> f32 {
+        a.replicas[self.owner(a)].get_f32(i)
+    }
+
+    /// Read f64 data back to the host.
+    pub fn read_f64(&self, a: &MultiArray) -> Vec<f64> {
+        a.replicas[self.owner(a)].to_vec_f64()
+    }
+
+    fn owner(&self, a: &MultiArray) -> usize {
+        match self.arrays[a.key].location {
+            Loc::Host => 0,
+            Loc::Device(d) => d,
+        }
+    }
+
+    /// Launch a kernel on the device chosen by the placement policy,
+    /// migrating any remotely-located argument first. Returns the chosen
+    /// device index.
+    pub fn launch(
+        &mut self,
+        def: &KernelDef,
+        grid: Grid,
+        args: &[MultiArg],
+    ) -> Result<usize, LaunchError> {
+        let sig = Signature::parse(def.nidl).expect("registered signatures parse");
+        let target = self.choose_device(args);
+
+        // Stage or migrate arguments whose current copy lives elsewhere.
+        for a in args {
+            if let MultiArg::Array(arr) = a {
+                match self.arrays[arr.key].location {
+                    Loc::Host => {
+                        // Host data: stage into the target's host buffer
+                        // once (a memcpy; the H2D transfer itself is
+                        // charged by the target runtime at launch).
+                        if !self.arrays[arr.key].staged.contains(&target) {
+                            self.stage(arr, 0, target);
+                            self.arrays[arr.key].staged.push(target);
+                        }
+                    }
+                    Loc::Device(d) if d != target => self.migrate(arr, d, target),
+                    Loc::Device(_) => {}
+                }
+            }
+        }
+
+        // Build the single-GPU argument list against the target replicas.
+        let dev_args: Vec<Arg> = args
+            .iter()
+            .map(|a| match a {
+                MultiArg::Array(arr) => Arg::array(&arr.replicas[target]),
+                MultiArg::Scalar(v) => Arg::scalar(*v),
+            })
+            .collect();
+        let kernel = self.devices[target].build_kernel(def).expect("signature parses");
+        kernel.launch(grid, &dev_args)?;
+
+        // Written arrays now live on the target.
+        let mut p = 0usize;
+        for a in args {
+            if let MultiArg::Array(arr) = a {
+                if !sig_pointer_ro(&sig, p) {
+                    self.arrays[arr.key].location = Loc::Device(target);
+                }
+                p += 1;
+            }
+        }
+        Ok(target)
+    }
+
+    fn choose_device(&mut self, args: &[MultiArg]) -> usize {
+        match self.policy {
+            PlacementPolicy::SingleGpu => 0,
+            PlacementPolicy::RoundRobin => {
+                let d = self.next_rr % self.devices.len();
+                self.next_rr += 1;
+                d
+            }
+            PlacementPolicy::LocalityAware => {
+                let mut local_bytes = vec![0usize; self.devices.len()];
+                for a in args {
+                    if let MultiArg::Array(arr) = a {
+                        // Host-resident data is placement-neutral.
+                        if let Loc::Device(d) = self.arrays[arr.key].location {
+                            local_bytes[d] += arr.byte_len();
+                        }
+                    }
+                }
+                // Most local bytes; ties to the earliest clock.
+                (0..self.devices.len())
+                    .max_by(|&i, &j| {
+                        local_bytes[i]
+                            .cmp(&local_bytes[j])
+                            .then(self.devices[j].now().total_cmp(&self.devices[i].now()))
+                    })
+                    .unwrap_or(0)
+            }
+        }
+    }
+
+    /// Host-mediated migration: read from the source device (blocking on
+    /// its producing chain), write into the target replica. Costs are
+    /// charged on both devices' PCIe paths by the underlying runtimes.
+    fn migrate(&mut self, arr: &MultiArray, from: usize, to: usize) {
+        let bytes = arr.byte_len();
+        let is = |f: fn(&TypedData) -> bool| f(&arr.replicas[from].raw_buffer().data());
+        if is(|d| matches!(d, TypedData::F32(_))) {
+            let data = arr.replicas[from].to_vec_f32();
+            arr.replicas[to].copy_from_f32(&data);
+        } else if is(|d| matches!(d, TypedData::F64(_))) {
+            let data = arr.replicas[from].to_vec_f64();
+            arr.replicas[to].copy_from_f64(&data);
+        } else if is(|d| matches!(d, TypedData::I32(_))) {
+            let data = arr.replicas[from].to_vec_i32();
+            arr.replicas[to].copy_from_i32(&data);
+        } else {
+            unimplemented!("no u8 multi-GPU arrays");
+        }
+        self.arrays[arr.key].location = Loc::Device(to);
+        self.migrations += 1;
+        self.migrated_bytes += bytes;
+    }
+
+    /// Host-to-host staging of fresh input data between runtimes' host
+    /// buffers (no device involved — not a migration).
+    fn stage(&mut self, arr: &MultiArray, from: usize, to: usize) {
+        let src = arr.replicas[from].raw_buffer();
+        let data = src.data().clone();
+        match &data {
+            TypedData::F32(v) => arr.replicas[to].copy_from_f32(v),
+            TypedData::F64(v) => arr.replicas[to].copy_from_f64(v),
+            TypedData::I32(v) => arr.replicas[to].copy_from_i32(v),
+            TypedData::U8(_) => unimplemented!("no u8 multi-GPU arrays"),
+        }
+    }
+
+    /// Synchronize every device.
+    pub fn sync(&self) {
+        for d in &self.devices {
+            d.sync();
+        }
+    }
+
+    /// Makespan so far: the maximum elapsed virtual time over devices.
+    pub fn makespan(&self) -> Time {
+        self.devices.iter().zip(&self.start).map(|(d, s)| d.now() - s).fold(0.0, f64::max)
+    }
+
+    /// `(migration count, migrated bytes)` — the run-time migration cost
+    /// accounting §VI calls for.
+    pub fn migration_stats(&self) -> (usize, usize) {
+        (self.migrations, self.migrated_bytes)
+    }
+
+    /// Total data races across devices (must be zero).
+    pub fn races(&self) -> usize {
+        self.devices.iter().map(|d| d.races().len()).sum()
+    }
+
+    /// Per-device elapsed virtual times (load-balance diagnostics).
+    pub fn device_times(&self) -> Vec<Time> {
+        self.devices.iter().zip(&self.start).map(|(d, s)| d.now() - s).collect()
+    }
+}
+
+fn sig_pointer_ro(sig: &Signature, pointer_index: usize) -> bool {
+    sig.params
+        .iter()
+        .filter_map(|p| match p {
+            NidlParam::Pointer { read_only, .. } => Some(*read_only),
+            NidlParam::Scalar { .. } => None,
+        })
+        .nth(pointer_index)
+        .unwrap_or(false)
+}
+
+/// A multi-GPU launch argument.
+#[derive(Clone)]
+pub enum MultiArg {
+    /// A managed multi-device array.
+    Array(MultiArray),
+    /// A scalar by copy.
+    Scalar(f64),
+}
+
+impl MultiArg {
+    /// Wrap an array argument.
+    pub fn array(a: &MultiArray) -> Self {
+        MultiArg::Array(a.clone())
+    }
+
+    /// Wrap a scalar argument.
+    pub fn scalar(v: f64) -> Self {
+        MultiArg::Scalar(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kernels::black_scholes::BLACK_SCHOLES;
+    use kernels::util::{AXPY, SCALE};
+
+    fn mgpu(n: usize, policy: PlacementPolicy) -> MultiGpu {
+        MultiGpu::new(DeviceProfile::tesla_p100(), n, Options::parallel(), policy)
+    }
+
+    const G: Grid = Grid { blocks: (64, 1, 1), threads: (256, 1, 1) };
+
+    fn bs_args(x: &MultiArray, y: &MultiArray, n: usize) -> Vec<MultiArg> {
+        vec![
+            MultiArg::array(x),
+            MultiArg::array(y),
+            MultiArg::scalar(n as f64),
+            MultiArg::scalar(100.0),
+            MultiArg::scalar(0.02),
+            MultiArg::scalar(0.3),
+            MultiArg::scalar(1.0),
+        ]
+    }
+
+    #[test]
+    fn independent_work_spreads_round_robin() {
+        let mut m = mgpu(2, PlacementPolicy::RoundRobin);
+        let n = 1 << 18;
+        let arrays: Vec<(MultiArray, MultiArray)> = (0..4)
+            .map(|_| {
+                let x = m.array_f64(n);
+                let y = m.array_f64(n);
+                m.write_f64(&x, &vec![100.0; n]);
+                (x, y)
+            })
+            .collect();
+        let mut placements = Vec::new();
+        for (x, y) in &arrays {
+            placements.push(m.launch(&BLACK_SCHOLES, G, &bs_args(x, y, n)).unwrap());
+        }
+        m.sync();
+        assert_eq!(placements, vec![0, 1, 0, 1]);
+        assert_eq!(m.races(), 0);
+        for (_, y) in &arrays {
+            assert!(m.read_f64(y).iter().all(|&p| p > 0.0));
+        }
+    }
+
+    #[test]
+    fn locality_aware_keeps_chains_on_one_device() {
+        let mut m = mgpu(2, PlacementPolicy::LocalityAware);
+        let n = 1 << 16;
+        let x = m.array_f32(n);
+        let y = m.array_f32(n);
+        m.write_f32(&x, &vec![1.0; n]);
+        let nf = n as f64;
+        let d1 = m
+            .launch(
+                &SCALE,
+                G,
+                &[MultiArg::array(&x), MultiArg::array(&y), MultiArg::scalar(2.0), MultiArg::scalar(nf)],
+            )
+            .unwrap();
+        let d2 = m
+            .launch(
+                &AXPY,
+                G,
+                &[MultiArg::array(&x), MultiArg::array(&y), MultiArg::scalar(1.0), MultiArg::scalar(nf)],
+            )
+            .unwrap();
+        assert_eq!(d1, d2, "locality-aware placement must not migrate the chain");
+        assert_eq!(m.migration_stats().0, 0);
+        m.sync();
+        assert_eq!(m.get_f32(&y, 7), 3.0);
+    }
+
+    #[test]
+    fn round_robin_pays_migrations_on_dependent_chains() {
+        let mut m = mgpu(2, PlacementPolicy::RoundRobin);
+        let n = 1 << 16;
+        let x = m.array_f32(n);
+        let y = m.array_f32(n);
+        m.write_f32(&x, &vec![1.0; n]);
+        let nf = n as f64;
+        m.launch(
+            &SCALE,
+            G,
+            &[MultiArg::array(&x), MultiArg::array(&y), MultiArg::scalar(2.0), MultiArg::scalar(nf)],
+        )
+        .unwrap();
+        m.launch(
+            &AXPY,
+            G,
+            &[MultiArg::array(&x), MultiArg::array(&y), MultiArg::scalar(1.0), MultiArg::scalar(nf)],
+        )
+        .unwrap();
+        let (migs, bytes) = m.migration_stats();
+        assert!(migs >= 1, "round-robin must migrate the dependent data");
+        assert!(bytes >= n * 4);
+        m.sync();
+        assert_eq!(m.get_f32(&y, 7), 3.0, "migration must preserve values");
+        assert_eq!(m.races(), 0);
+    }
+
+    #[test]
+    fn two_gpus_scale_independent_throughput() {
+        let run = |n_dev: usize| -> f64 {
+            let policy = if n_dev == 1 {
+                PlacementPolicy::SingleGpu
+            } else {
+                PlacementPolicy::RoundRobin
+            };
+            let mut m = mgpu(n_dev, policy);
+            let n = 1 << 20;
+            for _ in 0..4 {
+                let x = m.array_f64(n);
+                let y = m.array_f64(n);
+                m.write_f64(&x, &vec![100.0; n]);
+                m.launch(&BLACK_SCHOLES, G, &bs_args(&x, &y, n)).unwrap();
+            }
+            m.sync();
+            m.makespan()
+        };
+        let one = run(1);
+        let two = run(2);
+        assert!(two < 0.75 * one, "2 GPUs must be markedly faster: {two} vs {one}");
+    }
+
+    #[test]
+    fn single_gpu_policy_matches_plain_grcuda_semantics() {
+        let mut m = mgpu(3, PlacementPolicy::SingleGpu);
+        let n = 4096;
+        let x = m.array_f32(n);
+        let y = m.array_f32(n);
+        m.write_f32(&x, &vec![3.0; n]);
+        m.launch(
+            &SCALE,
+            G,
+            &[MultiArg::array(&x), MultiArg::array(&y), MultiArg::scalar(2.0), MultiArg::scalar(n as f64)],
+        )
+        .unwrap();
+        assert_eq!(m.get_f32(&y, 0), 6.0);
+        assert_eq!(m.device_times().len(), 3);
+        assert_eq!(m.migration_stats().0, 0);
+    }
+}

@@ -1,0 +1,167 @@
+//! End-to-end property tests: random programs through the *full* stack
+//! (scheduler → streams/events → engine → functional execution) must be
+//! observationally equivalent to serial execution and race-free.
+//!
+//! This is the whole paper's claim quantified over program space, not
+//! just over the six benchmarks.
+
+use proptest::prelude::*;
+
+use gpu_sim::{DeviceProfile, Grid};
+use kernels::util::{AXPY, COPY_F32, DOT, SCALE};
+use kernels::KernelDef;
+
+use crate::{Arg, GrCuda, Options};
+
+const N_ARRAYS: usize = 4;
+const ARRAY_LEN: usize = 257; // odd on purpose: catches off-by-ones
+
+/// One random program step over a small pool of arrays.
+#[derive(Debug, Clone, Copy)]
+enum Step {
+    /// `dst ← a · src` (reads src, writes dst).
+    Scale { src: usize, dst: usize, a: i32 },
+    /// `dst ← a · src + dst` (reads src, read-writes dst).
+    Axpy { src: usize, dst: usize, a: i32 },
+    /// `dst ← src`.
+    Copy { src: usize, dst: usize },
+    /// `dst[0] ← aᵀ·b` (reads a and b — possibly the same array).
+    Dot { a: usize, b: usize, dst: usize },
+    /// Host reads element `i` of array `arr` (forces precise sync).
+    HostRead { arr: usize, i: usize },
+    /// Host overwrites array `arr` with a constant.
+    HostFill { arr: usize, v: i32 },
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    // Writable destinations must differ from read sources: the kernels'
+    // functional implementations (like most real CUDA kernels) do not
+    // support aliased in/out pointers, and GrCUDA's managed environment
+    // is what rules aliasing out in the first place (§IV-A).
+    let arr = 0..N_ARRAYS;
+    let distinct = |s: usize, d: usize| if s == d { (s, (d + 1) % N_ARRAYS) } else { (s, d) };
+    prop_oneof![
+        (arr.clone(), arr.clone(), -3..4i32).prop_map(move |(s, d, a)| {
+            let (src, dst) = distinct(s, d);
+            Step::Scale { src, dst, a }
+        }),
+        (arr.clone(), arr.clone(), -3..4i32).prop_map(move |(s, d, a)| {
+            let (src, dst) = distinct(s, d);
+            Step::Axpy { src, dst, a }
+        }),
+        (arr.clone(), arr.clone()).prop_map(move |(s, d)| {
+            let (src, dst) = distinct(s, d);
+            Step::Copy { src, dst }
+        }),
+        (arr.clone(), arr.clone(), arr.clone()).prop_map(move |(a, b, d)| {
+            // `a` and `b` may alias (both read-only); `dst` must differ.
+            let dst = if d == a || d == b { (a.max(b) + 1) % N_ARRAYS } else { d };
+            let dst = if dst == a || dst == b { (dst + 1) % N_ARRAYS } else { dst };
+            Step::Dot { a, b, dst }
+        }),
+        (arr.clone(), 0..ARRAY_LEN).prop_map(|(a, i)| Step::HostRead { arr: a, i }),
+        (arr, -2..3i32).prop_map(|(a, v)| Step::HostFill { arr: a, v }),
+    ]
+}
+
+/// Execute a program and return the final contents of every array.
+fn run_program(steps: &[Step], opts: Options, dev: DeviceProfile) -> (Vec<Vec<f32>>, usize) {
+    let g = GrCuda::new(dev, opts);
+    let arrays: Vec<_> = (0..N_ARRAYS).map(|_| g.array_f32(ARRAY_LEN)).collect();
+    for (i, a) in arrays.iter().enumerate() {
+        let init: Vec<f32> = (0..ARRAY_LEN).map(|j| ((i * 31 + j * 7) % 11) as f32 - 5.0).collect();
+        a.copy_from_f32(&init);
+    }
+    let grid = Grid::d1(16, 64);
+    let nf = ARRAY_LEN as f64;
+    let k = |def: &KernelDef| g.build_kernel(def).unwrap();
+    let (scale, axpy, copy, dot) = (k(&SCALE), k(&AXPY), k(&COPY_F32), k(&DOT));
+
+    for s in steps {
+        match *s {
+            Step::Scale { src, dst, a } => scale
+                .launch(
+                    grid,
+                    &[
+                        Arg::array(&arrays[src]),
+                        Arg::array(&arrays[dst]),
+                        Arg::scalar(a as f64),
+                        Arg::scalar(nf),
+                    ],
+                )
+                .unwrap(),
+            Step::Axpy { src, dst, a } => axpy
+                .launch(
+                    grid,
+                    &[
+                        Arg::array(&arrays[src]),
+                        Arg::array(&arrays[dst]),
+                        Arg::scalar(a as f64),
+                        Arg::scalar(nf),
+                    ],
+                )
+                .unwrap(),
+            Step::Copy { src, dst } => copy
+                .launch(grid, &[Arg::array(&arrays[src]), Arg::array(&arrays[dst]), Arg::scalar(nf)])
+                .unwrap(),
+            Step::Dot { a, b, dst } => dot
+                .launch(
+                    grid,
+                    &[
+                        Arg::array(&arrays[a]),
+                        Arg::array(&arrays[b]),
+                        Arg::array(&arrays[dst]),
+                        Arg::scalar(nf),
+                    ],
+                )
+                .unwrap(),
+            Step::HostRead { arr, i } => {
+                let _ = arrays[arr].get_f32(i);
+            }
+            Step::HostFill { arr, v } => {
+                arrays[arr].fill_f32(v as f32);
+            }
+        }
+    }
+    g.sync();
+    let races = g.races().len();
+    (arrays.iter().map(|a| a.to_vec_f32()).collect(), races)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any random program produces the same results under the parallel
+    /// scheduler as under serial execution, with no data races, on every
+    /// device generation (Maxwell's eager-copy path included).
+    #[test]
+    fn parallel_equals_serial_on_random_programs(
+        steps in proptest::collection::vec(step_strategy(), 1..24),
+        dev_idx in 0..3usize,
+    ) {
+        let dev = DeviceProfile::paper_devices()[dev_idx].clone();
+        let (serial, races_s) = run_program(&steps, Options::serial(), dev.clone());
+        let (parallel, races_p) = run_program(&steps, Options::parallel(), dev);
+        prop_assert_eq!(races_s, 0);
+        prop_assert_eq!(races_p, 0, "parallel scheduler raced on {:?}", steps);
+        prop_assert_eq!(serial, parallel, "results diverged on {:?}", steps);
+    }
+
+    /// All stream policies agree with each other.
+    #[test]
+    fn all_policies_agree_on_random_programs(
+        steps in proptest::collection::vec(step_strategy(), 1..16),
+    ) {
+        use crate::{DepStreamPolicy, StreamReusePolicy};
+        let dev = DeviceProfile::tesla_p100();
+        let (baseline, _) = run_program(&steps, Options::serial(), dev.clone());
+        for dep in [DepStreamPolicy::FirstChildOnParent, DepStreamPolicy::AlwaysParent, DepStreamPolicy::AlwaysNew] {
+            for reuse in [StreamReusePolicy::FifoReuse, StreamReusePolicy::AlwaysNew] {
+                let opts = Options::parallel().with_dep_stream(dep).with_stream_reuse(reuse);
+                let (got, races) = run_program(&steps, opts, dev.clone());
+                prop_assert_eq!(races, 0, "{:?}/{:?}", dep, reuse);
+                prop_assert_eq!(&got, &baseline, "{:?}/{:?} diverged", dep, reuse);
+            }
+        }
+    }
+}

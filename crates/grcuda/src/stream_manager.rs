@@ -1,0 +1,215 @@
+//! The CUDA stream manager (§IV-C).
+//!
+//! "In our scheduler, the allocation and management of streams are
+//! performed transparently by a stream manager. [...] Existing streams
+//! are managed in FIFO order, and new streams are created only if no
+//! currently empty stream is available to schedule a given computation.
+//! If a computation has multiple children, the first child is scheduled
+//! on the parent's stream to minimize synchronization events, while
+//! following children are scheduled on other streams."
+
+use std::collections::HashMap;
+
+use cuda_sim::{Cuda, StreamId};
+use dag::VertexId;
+
+use crate::options::{DepStreamPolicy, StreamReusePolicy};
+
+/// Stream allocation and reuse, plus the bookkeeping needed for the
+/// first-child rule.
+#[derive(Debug)]
+pub struct StreamManager {
+    dep_policy: DepStreamPolicy,
+    reuse_policy: StreamReusePolicy,
+    /// Streams this manager has created, in creation (FIFO) order.
+    pool: Vec<StreamId>,
+    /// Parents whose stream has already been claimed by a child.
+    claimed: HashMap<VertexId, ()>,
+    /// How many streams were created in total (stat for the tests and
+    /// the Fig. 6 stream-count checks).
+    created: usize,
+}
+
+impl StreamManager {
+    /// A manager with the given policies and an empty pool.
+    pub fn new(dep_policy: DepStreamPolicy, reuse_policy: StreamReusePolicy) -> Self {
+        StreamManager { dep_policy, reuse_policy, pool: Vec::new(), claimed: HashMap::new(), created: 0 }
+    }
+
+    /// Total streams created so far.
+    pub fn streams_created(&self) -> usize {
+        self.created
+    }
+
+    /// Pick the stream for a new computation.
+    ///
+    /// * `deps` — the computation's parents, in discovery order;
+    /// * `stream_of` — the stream each parent ran on;
+    /// * `cuda` — used to poll stream emptiness for FIFO reuse.
+    pub fn assign(
+        &mut self,
+        vertex: VertexId,
+        deps: &[VertexId],
+        stream_of: &HashMap<VertexId, StreamId>,
+        cuda: &Cuda,
+    ) -> StreamId {
+        let _ = vertex;
+        // Rule 1: inherit a parent's stream.
+        match self.dep_policy {
+            DepStreamPolicy::FirstChildOnParent => {
+                for d in deps {
+                    if let Some(&s) = stream_of.get(d) {
+                        if !self.claimed.contains_key(d) {
+                            self.claimed.insert(*d, ());
+                            return s;
+                        }
+                    }
+                }
+            }
+            DepStreamPolicy::AlwaysParent => {
+                if let Some(d) = deps.first() {
+                    if let Some(&s) = stream_of.get(d) {
+                        return s;
+                    }
+                }
+            }
+            DepStreamPolicy::AlwaysNew => {}
+        }
+        // Rule 2: reuse an empty stream from the pool (FIFO), else create.
+        if self.reuse_policy == StreamReusePolicy::FifoReuse {
+            // A stream is reusable when everything enqueued on it has
+            // completed; the runtime discovers this by polling events,
+            // exactly like GrCUDA does with cudaEventQuery.
+            if let Some(&s) = self.pool.iter().find(|&&s| cuda.stream_query(s)) {
+                return s;
+            }
+        }
+        let s = cuda.stream_create();
+        self.pool.push(s);
+        self.created += 1;
+        s
+    }
+
+    /// Forget first-child claims for retired vertices (their streams are
+    /// candidates for reuse through the emptiness poll anyway; this just
+    /// bounds the map).
+    pub fn forget(&mut self, vertices: &[VertexId]) {
+        for v in vertices {
+            self.claimed.remove(v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::DeviceProfile;
+
+    fn cuda() -> Cuda {
+        Cuda::new(DeviceProfile::gtx1660_super())
+    }
+
+    fn mgr() -> StreamManager {
+        StreamManager::new(DepStreamPolicy::FirstChildOnParent, StreamReusePolicy::FifoReuse)
+    }
+
+    #[test]
+    fn independent_computations_get_distinct_streams() {
+        let c = cuda();
+        let mut m = mgr();
+        let map = HashMap::new();
+        let s1 = m.assign(VertexId(0), &[], &map, &c);
+        // Make s1 busy so it cannot be reused.
+        let a = c.alloc_f32(16);
+        let k = cuda_sim::KernelExec::new(
+            "busy",
+            gpu_sim::Grid::d1(1, 32),
+            gpu_sim::KernelCost { min_time: 1.0, ..Default::default() },
+            vec![a.buf.clone()],
+            vec![(a.id, false)],
+            std::rc::Rc::new(|_| {}),
+        );
+        c.launch(s1, &k);
+        let s2 = m.assign(VertexId(1), &[], &map, &c);
+        assert_ne!(s1, s2);
+        assert_eq!(m.streams_created(), 2);
+    }
+
+    fn make_busy(c: &Cuda, s: StreamId) {
+        let a = c.alloc_f32(16);
+        let k = cuda_sim::KernelExec::new(
+            "busy",
+            gpu_sim::Grid::d1(1, 32),
+            gpu_sim::KernelCost { min_time: 1.0, ..Default::default() },
+            vec![a.buf.clone()],
+            vec![(a.id, false)],
+            std::rc::Rc::new(|_| {}),
+        );
+        c.launch(s, &k);
+    }
+
+    #[test]
+    fn first_child_inherits_parent_stream_second_does_not() {
+        let c = cuda();
+        let mut m = mgr();
+        let mut map = HashMap::new();
+        let p = VertexId(0);
+        let sp = m.assign(p, &[], &map, &c);
+        map.insert(p, sp);
+        make_busy(&c, sp); // the parent kernel is running on sp
+        let s_child1 = m.assign(VertexId(1), &[p], &map, &c);
+        assert_eq!(s_child1, sp, "first child rides the parent's stream");
+        let s_child2 = m.assign(VertexId(2), &[p], &map, &c);
+        assert_ne!(s_child2, sp, "second child must go elsewhere");
+    }
+
+    #[test]
+    fn empty_streams_are_reused_in_fifo_order() {
+        let c = cuda();
+        let mut m = mgr();
+        let map = HashMap::new();
+        let s1 = m.assign(VertexId(0), &[], &map, &c);
+        // Nothing was ever launched on s1 → it is empty → reused.
+        let s2 = m.assign(VertexId(1), &[], &map, &c);
+        assert_eq!(s1, s2);
+        assert_eq!(m.streams_created(), 1);
+    }
+
+    #[test]
+    fn always_parent_policy_reuses_for_every_child() {
+        let c = cuda();
+        let mut m = StreamManager::new(DepStreamPolicy::AlwaysParent, StreamReusePolicy::FifoReuse);
+        let mut map = HashMap::new();
+        let p = VertexId(0);
+        let sp = m.assign(p, &[], &map, &c);
+        map.insert(p, sp);
+        assert_eq!(m.assign(VertexId(1), &[p], &map, &c), sp);
+        assert_eq!(m.assign(VertexId(2), &[p], &map, &c), sp);
+    }
+
+    #[test]
+    fn always_new_reuse_policy_never_reuses() {
+        let c = cuda();
+        let mut m = StreamManager::new(DepStreamPolicy::AlwaysNew, StreamReusePolicy::AlwaysNew);
+        let map = HashMap::new();
+        let s1 = m.assign(VertexId(0), &[], &map, &c);
+        let s2 = m.assign(VertexId(1), &[], &map, &c);
+        assert_ne!(s1, s2);
+        assert_eq!(m.streams_created(), 2);
+    }
+
+    #[test]
+    fn forget_clears_claims() {
+        let c = cuda();
+        let mut m = mgr();
+        let mut map = HashMap::new();
+        let p = VertexId(0);
+        let sp = m.assign(p, &[], &map, &c);
+        map.insert(p, sp);
+        let _ = m.assign(VertexId(1), &[p], &map, &c); // claims p's stream
+        m.forget(&[p]);
+        // After forgetting, a new child may claim the parent stream again.
+        let s = m.assign(VertexId(2), &[p], &map, &c);
+        assert_eq!(s, sp);
+    }
+}

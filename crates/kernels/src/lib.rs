@@ -1,0 +1,157 @@
+//! # kernels — the paper's 33 benchmark kernels
+//!
+//! The paper evaluates its scheduler on "6 benchmarks and a total of 33
+//! different kernels representing common GPU workloads" (§V-B). Each
+//! kernel here has two halves:
+//!
+//! * a **functional implementation** (`func`): a plain CPU routine over
+//!   [`DataBuffer`]s that produces the same numbers the CUDA kernel
+//!   would. It runs when the simulated launch completes, so every
+//!   experiment's output is checkable against a reference;
+//! * a **cost model** (`cost`): a [`KernelCost`] derived from the actual
+//!   argument sizes (flops, DRAM/L2 bytes, instructions, latency floor)
+//!   that the simulator turns into a device-specific duration and
+//!   resource demand.
+//!
+//! Kernels are grouped by benchmark: [`vec_ops`] (VEC), [`black_scholes`]
+//! (B&S), [`image`] (IMG), [`ml`] (ML ensemble), [`hits`] (HITS),
+//! [`dl`] (deep learning), plus a few generic [`util`] kernels.
+//!
+//! The original CUDA sources the paper derives its kernels from are
+//! cited in §V-B (NVIDIA samples, LightSpMV, an open-source Gaussian
+//! blur); the functional implementations here are written from the same
+//! specifications.
+
+pub mod black_scholes;
+pub mod dl;
+pub mod helpers;
+pub mod hits;
+pub mod image;
+pub mod ml;
+pub mod util;
+pub mod vec_ops;
+
+use gpu_sim::{DataBuffer, KernelCost};
+
+/// A kernel's functional implementation: buffers in declaration order
+/// plus the scalar arguments of the launch.
+pub type KernelFn = fn(&[DataBuffer], &[f64]);
+
+/// A kernel's cost model: same inputs, returns the analytic work
+/// description.
+pub type CostFn = fn(&[DataBuffer], &[f64]) -> KernelCost;
+
+/// A registered kernel: what GrCUDA's `buildkernel` would return after
+/// NVRTC compilation, minus the PTX.
+#[derive(Clone, Copy)]
+pub struct KernelDef {
+    /// Kernel name (appears on timelines and in figures).
+    pub name: &'static str,
+    /// NIDL signature string, exactly as a GrCUDA user would write it
+    /// (`const pointer float` marks read-only arrays — the annotation
+    /// the scheduler's Fig. 3 rules rely on).
+    pub nidl: &'static str,
+    /// Functional CPU implementation.
+    pub func: KernelFn,
+    /// Analytic cost model.
+    pub cost: CostFn,
+}
+
+impl std::fmt::Debug for KernelDef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("KernelDef").field("name", &self.name).field("nidl", &self.nidl).finish()
+    }
+}
+
+/// Every kernel in the suite, for registry-driven tests and docs.
+pub fn all_kernels() -> Vec<&'static KernelDef> {
+    vec![
+        // VEC
+        &vec_ops::SQUARE,
+        &vec_ops::REDUCE_SUM_DIFF,
+        // B&S
+        &black_scholes::BLACK_SCHOLES,
+        // IMG
+        &image::GAUSSIAN_BLUR,
+        &image::SOBEL,
+        &image::MAXIMUM,
+        &image::MINIMUM,
+        &image::EXTEND,
+        &image::UNSHARPEN,
+        &image::COMBINE,
+        &image::COPY_IMG,
+        // ML
+        &ml::RR_NORMALIZE,
+        &ml::RR_MATMUL,
+        &ml::RR_ADD_INTERCEPT,
+        &ml::SOFTMAX,
+        &ml::NB_MATMUL,
+        &ml::NB_ROW_MAX,
+        &ml::NB_LSE,
+        &ml::NB_EXP,
+        &ml::ARGMAX_COMBINE,
+        // HITS
+        &hits::SPMV,
+        &hits::SUM_REDUCE,
+        &hits::DIVIDE,
+        // DL
+        &dl::CONV2D,
+        &dl::POOL2D,
+        &dl::GAP,
+        &dl::CONCAT,
+        &dl::DENSE,
+        // util
+        &util::MEMSET_F32,
+        &util::AXPY,
+        &util::SCALE,
+        &util::DOT,
+        &util::COPY_F32,
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_33_kernels() {
+        // The paper reports "a total of 33 different kernels".
+        assert_eq!(all_kernels().len(), 33);
+    }
+
+    #[test]
+    fn kernel_names_are_unique() {
+        let mut names: Vec<&str> = all_kernels().iter().map(|k| k.name).collect();
+        names.sort_unstable();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(names.len(), before);
+    }
+
+    #[test]
+    fn every_kernel_has_a_nonempty_signature() {
+        for k in all_kernels() {
+            assert!(!k.nidl.is_empty(), "{} has no signature", k.name);
+            assert!(k.nidl.contains("pointer"), "{} takes no arrays?", k.name);
+        }
+    }
+
+    #[test]
+    fn every_cost_model_is_finite_and_nonnegative() {
+        // Smoke-check the cost models on small representative inputs via
+        // each module's own tests; here just assert the registry wiring
+        // does not alias functions accidentally.
+        let ks = all_kernels();
+        for (i, a) in ks.iter().enumerate() {
+            for b in ks.iter().skip(i + 1) {
+                assert!(
+                    !(a.func as usize == b.func as usize && a.name != b.name)
+                        || a.nidl == b.nidl,
+                    "{} and {} share an implementation unexpectedly",
+                    a.name,
+                    b.name
+                );
+            }
+        }
+    }
+}

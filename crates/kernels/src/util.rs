@@ -1,0 +1,165 @@
+//! Generic utility kernels.
+//!
+//! These round out the suite (several paper benchmarks use small helper
+//! launches for initialization and staging) and are handy in unit tests
+//! and examples that need a kernel without benchmark baggage.
+
+use gpu_sim::{DataBuffer, KernelCost};
+
+use crate::helpers::{reduction_f32, s, streaming_f32};
+use crate::KernelDef;
+
+/// `memset_f32(x, value, n)`: fill with a constant.
+pub static MEMSET_F32: KernelDef = KernelDef {
+    name: "memset_f32",
+    nidl: "pointer float, float, sint32",
+    func: memset_func,
+    cost: memset_cost,
+};
+
+fn memset_func(bufs: &[DataBuffer], scalars: &[f64]) {
+    let value = scalars[0] as f32;
+    let n = s(scalars[1]);
+    for v in bufs[0].as_f32_mut().iter_mut().take(n) {
+        *v = value;
+    }
+}
+
+fn memset_cost(bufs: &[DataBuffer], _scalars: &[f64]) -> KernelCost {
+    streaming_f32(0.0, bufs[0].len() as f64, 0.0)
+}
+
+/// `axpy(x, y, a, n)`: y ← a·x + y.
+pub static AXPY: KernelDef = KernelDef {
+    name: "axpy",
+    nidl: "const pointer float, pointer float, float, sint32",
+    func: axpy_func,
+    cost: axpy_cost,
+};
+
+fn axpy_func(bufs: &[DataBuffer], scalars: &[f64]) {
+    let a = scalars[0] as f32;
+    let n = s(scalars[1]);
+    let x = bufs[0].as_f32();
+    let mut y = bufs[1].as_f32_mut();
+    for i in 0..n {
+        y[i] += a * x[i];
+    }
+}
+
+fn axpy_cost(bufs: &[DataBuffer], _scalars: &[f64]) -> KernelCost {
+    let n = bufs[0].len() as f64;
+    streaming_f32(2.0 * n, n, 2.0)
+}
+
+/// `scale(x, out, a, n)`: out ← a·x.
+pub static SCALE: KernelDef = KernelDef {
+    name: "scale",
+    nidl: "const pointer float, pointer float, float, sint32",
+    func: scale_func,
+    cost: scale_cost,
+};
+
+fn scale_func(bufs: &[DataBuffer], scalars: &[f64]) {
+    let a = scalars[0] as f32;
+    let n = s(scalars[1]);
+    let x = bufs[0].as_f32();
+    let mut out = bufs[1].as_f32_mut();
+    for i in 0..n {
+        out[i] = a * x[i];
+    }
+}
+
+fn scale_cost(bufs: &[DataBuffer], _scalars: &[f64]) -> KernelCost {
+    let n = bufs[0].len() as f64;
+    streaming_f32(n, n, 1.0)
+}
+
+/// `dot(x, y, out, n)`: `out[0] ← xᵀy`.
+pub static DOT: KernelDef = KernelDef {
+    name: "dot",
+    nidl: "const pointer float, const pointer float, pointer float, sint32",
+    func: dot_func,
+    cost: dot_cost,
+};
+
+fn dot_func(bufs: &[DataBuffer], scalars: &[f64]) {
+    let n = s(scalars[0]);
+    let x = bufs[0].as_f32();
+    let y = bufs[1].as_f32();
+    let acc: f64 = x.iter().zip(y.iter()).take(n).map(|(&a, &b)| a as f64 * b as f64).sum();
+    bufs[2].as_f32_mut()[0] = acc as f32;
+}
+
+fn dot_cost(bufs: &[DataBuffer], _scalars: &[f64]) -> KernelCost {
+    reduction_f32(2.0 * bufs[0].len() as f64, 1.0)
+}
+
+/// `copy_f32(x, out, n)`: plain copy.
+pub static COPY_F32: KernelDef = KernelDef {
+    name: "copy_f32",
+    nidl: "const pointer float, pointer float, sint32",
+    func: copy_func,
+    cost: copy_cost,
+};
+
+fn copy_func(bufs: &[DataBuffer], scalars: &[f64]) {
+    let n = s(scalars[0]);
+    let x = bufs[0].as_f32();
+    bufs[1].as_f32_mut()[..n].copy_from_slice(&x[..n]);
+}
+
+fn copy_cost(bufs: &[DataBuffer], _scalars: &[f64]) -> KernelCost {
+    let n = bufs[0].len() as f64;
+    streaming_f32(n, n, 0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::TypedData;
+
+    fn buf(v: Vec<f32>) -> DataBuffer {
+        DataBuffer::new(TypedData::F32(v))
+    }
+
+    #[test]
+    fn memset_fills() {
+        let x = DataBuffer::f32_zeros(3);
+        memset_func(std::slice::from_ref(&x), &[2.5, 3.0]);
+        assert_eq!(*x.as_f32(), vec![2.5; 3]);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let x = buf(vec![1.0, 2.0]);
+        let y = buf(vec![10.0, 20.0]);
+        axpy_func(&[x, y.clone()], &[3.0, 2.0]);
+        assert_eq!(*y.as_f32(), vec![13.0, 26.0]);
+    }
+
+    #[test]
+    fn scale_scales() {
+        let x = buf(vec![1.0, -2.0]);
+        let out = DataBuffer::f32_zeros(2);
+        scale_func(&[x, out.clone()], &[0.5, 2.0]);
+        assert_eq!(*out.as_f32(), vec![0.5, -1.0]);
+    }
+
+    #[test]
+    fn dot_computes_inner_product() {
+        let x = buf(vec![1.0, 2.0, 3.0]);
+        let y = buf(vec![4.0, 5.0, 6.0]);
+        let out = DataBuffer::f32_zeros(1);
+        dot_func(&[x, y, out.clone()], &[3.0]);
+        assert_eq!(out.as_f32()[0], 32.0);
+    }
+
+    #[test]
+    fn copy_respects_prefix_length() {
+        let x = buf(vec![1.0, 2.0, 3.0]);
+        let out = DataBuffer::f32_zeros(3);
+        copy_func(&[x, out.clone()], &[2.0]);
+        assert_eq!(*out.as_f32(), vec![1.0, 2.0, 0.0]);
+    }
+}

@@ -1,0 +1,124 @@
+//! VEC — Vector Squares (paper §V-B, Fig. 4).
+//!
+//! "A simple benchmark that measures a basic case of task-level
+//! parallelism and computes the sum of differences of 2 squared vectors."
+//! Derived from NVIDIA's *Faster Parallel Reductions on Kepler* pattern:
+//! two independent element-wise squares followed by a fused
+//! difference-and-reduce.
+
+use gpu_sim::{DataBuffer, KernelCost};
+
+use crate::helpers::{reduction_f32, s, streaming_f32};
+use crate::KernelDef;
+
+/// `square(x, n)`: `x[i] ← x[i]²` in place (paper Fig. 4's K1).
+pub static SQUARE: KernelDef = KernelDef {
+    name: "square",
+    nidl: "pointer float, sint32",
+    func: square_func,
+    cost: square_cost,
+};
+
+fn square_func(bufs: &[DataBuffer], scalars: &[f64]) {
+    let n = s(scalars[0]);
+    let mut x = bufs[0].as_f32_mut();
+    for v in x.iter_mut().take(n) {
+        *v *= *v;
+    }
+}
+
+fn square_cost(bufs: &[DataBuffer], _scalars: &[f64]) -> KernelCost {
+    let n = bufs[0].len() as f64;
+    // read + write each element, 1 multiply.
+    streaming_f32(n, n, 1.0)
+}
+
+/// `reduce_sum_diff(x, y, z, n)`: `z[0] ← Σ (x[i] − y[i])` with x and y
+/// read-only (paper Fig. 4's K2, `const ptr, const ptr, ptr, sint32`).
+pub static REDUCE_SUM_DIFF: KernelDef = KernelDef {
+    name: "reduce_sum_diff",
+    nidl: "const pointer float, const pointer float, pointer float, sint32",
+    func: reduce_func,
+    cost: reduce_cost,
+};
+
+fn reduce_func(bufs: &[DataBuffer], scalars: &[f64]) {
+    let n = s(scalars[0]);
+    let x = bufs[0].as_f32();
+    let y = bufs[1].as_f32();
+    // f64 accumulator mirrors the shared-memory tree reduction's
+    // stability rather than naive f32 serial summation.
+    let acc: f64 = x
+        .iter()
+        .zip(y.iter())
+        .take(n)
+        .map(|(&a, &b)| (a - b) as f64)
+        .sum();
+    bufs[2].as_f32_mut()[0] = acc as f32;
+}
+
+fn reduce_cost(bufs: &[DataBuffer], _scalars: &[f64]) -> KernelCost {
+    let n = bufs[0].len() as f64;
+    // Reads two arrays, one subtract + one add per element.
+    let mut c = reduction_f32(2.0 * n, 1.0);
+    c.flops32 = 2.0 * n;
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn square_squares_in_place() {
+        let x = DataBuffer::new(gpu_sim::TypedData::F32(vec![1.0, -2.0, 3.0]));
+        square_func(std::slice::from_ref(&x), &[3.0]);
+        assert_eq!(*x.as_f32(), vec![1.0, 4.0, 9.0]);
+    }
+
+    #[test]
+    fn square_respects_n() {
+        let x = DataBuffer::new(gpu_sim::TypedData::F32(vec![2.0, 2.0]));
+        square_func(std::slice::from_ref(&x), &[1.0]);
+        assert_eq!(*x.as_f32(), vec![4.0, 2.0]);
+    }
+
+    #[test]
+    fn reduce_computes_sum_of_differences() {
+        let x = DataBuffer::new(gpu_sim::TypedData::F32(vec![4.0, 9.0, 16.0]));
+        let y = DataBuffer::new(gpu_sim::TypedData::F32(vec![1.0, 1.0, 1.0]));
+        let z = DataBuffer::f32_zeros(1);
+        reduce_func(&[x, y, z.clone()], &[3.0]);
+        assert_eq!(z.as_f32()[0], 26.0);
+    }
+
+    #[test]
+    fn vec_end_to_end_matches_closed_form() {
+        // sum((i²) - (i²)) over identical inputs = 0.
+        let n = 1000;
+        let data: Vec<f32> = (0..n).map(|i| i as f32 * 0.01).collect();
+        let x = DataBuffer::new(gpu_sim::TypedData::F32(data.clone()));
+        let y = DataBuffer::new(gpu_sim::TypedData::F32(data));
+        let z = DataBuffer::f32_zeros(1);
+        square_func(std::slice::from_ref(&x), &[n as f64]);
+        square_func(std::slice::from_ref(&y), &[n as f64]);
+        reduce_func(&[x, y, z.clone()], &[n as f64]);
+        assert!(z.as_f32()[0].abs() < 1e-3);
+    }
+
+    #[test]
+    fn costs_scale_with_input() {
+        let small = DataBuffer::f32_zeros(1_000);
+        let large = DataBuffer::f32_zeros(1_000_000);
+        let cs = square_cost(&[small], &[1e3]);
+        let cl = square_cost(&[large], &[1e6]);
+        assert!(cl.dram_bytes > 900.0 * cs.dram_bytes);
+    }
+
+    #[test]
+    fn reduce_cost_has_latency_floor() {
+        let x = DataBuffer::f32_zeros(1 << 20);
+        let c = reduce_cost(&[x.clone(), x.clone(), DataBuffer::f32_zeros(1)], &[(1 << 20) as f64]);
+        assert!(c.min_time > 0.0);
+    }
+}

@@ -1,0 +1,85 @@
+//! Streaming option pricing — the paper's B&S benchmark as a service
+//! loop: batches of spot prices for 10 stocks arrive continuously, and
+//! the runtime overlaps each batch's transfer with the previous batch's
+//! pricing.
+//!
+//! Shows the paper's §V-F observation live: on the Tesla P100 (20×
+//! the fp64 rate of the GTX 1660 Super) the computation hides entirely
+//! under the PCIe transfers, so the parallel scheduler prices at line
+//! rate; on the consumer part the fp64 units are the bottleneck.
+//!
+//! Run: `cargo run --release --example streaming_options`
+
+use gpu_sim::{DeviceProfile, Grid};
+use grcuda::{Arg, GrCuda, Options};
+use kernels::black_scholes::BLACK_SCHOLES;
+
+const STOCKS: usize = 10;
+const BATCH: usize = 200_000;
+const BATCHES: usize = 4;
+
+fn run(dev: DeviceProfile, options: Options) -> (f64, usize, f32) {
+    let g = GrCuda::new(dev, options);
+    let grid = Grid::d1(64, 256);
+    let bs = g.build_kernel(&BLACK_SCHOLES).unwrap();
+
+    let spots: Vec<_> = (0..STOCKS).map(|_| g.array_f64(BATCH)).collect();
+    let prices: Vec<_> = (0..STOCKS).map(|_| g.array_f64(BATCH)).collect();
+
+    let t0 = g.now();
+    let mut checksum = 0.0f32;
+    for batch in 0..BATCHES {
+        // "New market data arrives": the host rewrites the inputs.
+        for (s, arr) in spots.iter().enumerate() {
+            let base = 60.0 + 10.0 * s as f64 + batch as f64;
+            let data: Vec<f64> = (0..BATCH).map(|i| base + (i % 100) as f64 * 0.3).collect();
+            arr.copy_from_f64(&data);
+        }
+        // Ten independent pricing kernels — the scheduler fans them out
+        // over ten streams and overlaps their H2D transfers.
+        for s in 0..STOCKS {
+            bs.launch(
+                grid,
+                &[
+                    Arg::array(&spots[s]),
+                    Arg::array(&prices[s]),
+                    Arg::scalar(BATCH as f64),
+                    Arg::scalar(100.0), // strike
+                    Arg::scalar(0.02),  // rate
+                    Arg::scalar(0.30),  // volatility
+                    Arg::scalar(1.0),   // expiry
+                ],
+            )
+            .unwrap();
+        }
+        // The desk reads one quote per stock: precise synchronization.
+        for p in &prices {
+            checksum += p.get_f64(0) as f32;
+        }
+    }
+    g.sync();
+    let elapsed = g.now() - t0;
+    assert!(g.races().is_empty());
+    (elapsed, g.streams_created(), checksum)
+}
+
+fn main() {
+    println!(
+        "Pricing {BATCHES} batches x {STOCKS} stocks x {BATCH} options (double precision)\n"
+    );
+    for dev in [DeviceProfile::gtx1660_super(), DeviceProfile::tesla_p100()] {
+        let name = dev.name.clone();
+        let (serial, _, c1) = run(dev.clone(), Options::serial());
+        let (parallel, streams, c2) = run(dev, Options::parallel());
+        assert_eq!(c1, c2, "schedulers must price identically");
+        println!(
+            "{name:>16}: serial {:7.1} ms | parallel {:7.1} ms | speedup {:.2}x | {} streams",
+            serial * 1e3,
+            parallel * 1e3,
+            serial / parallel,
+            streams,
+        );
+    }
+    println!("\n(paper: B&S speedup grows with fp64 capability — the P100 masks all");
+    println!(" computation under the transfers, the GTX 1660 Super cannot)");
+}

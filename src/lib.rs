@@ -1,0 +1,24 @@
+//! # grcuda-suite — umbrella package
+//!
+//! This package hosts the cross-crate integration tests (`tests/`) and
+//! the runnable examples (`examples/`) of the grcuda-rs reproduction.
+//! The actual library lives in the workspace crates:
+//!
+//! * [`gpu_sim`] — the discrete-event fluid-rate GPU simulator;
+//! * [`cuda_sim`] — the CUDA-shaped API (streams, events, UM, graphs);
+//! * [`dag`] — dependency-set based DAG construction;
+//! * [`grcuda`] — **the paper's runtime scheduler**;
+//! * [`kernels`] — the 33 benchmark kernels;
+//! * [`benchmarks`] — the 6 task-parallel benchmarks and their runners;
+//! * [`metrics`] — overlap/hardware/critical-path analysis.
+//!
+//! Start at [`grcuda::GrCuda`] or run `cargo run --release --example
+//! quickstart`.
+
+pub use benchmarks;
+pub use cuda_sim;
+pub use dag;
+pub use gpu_sim;
+pub use grcuda;
+pub use kernels;
+pub use metrics;

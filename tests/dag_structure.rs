@@ -1,0 +1,144 @@
+//! Integration: the DAGs the scheduler *infers* from argument overlap
+//! match the structures the paper draws in Fig. 6 — without ever being
+//! told the plan's explicit edges.
+
+use benchmarks::{scales, Bench, PlanArg};
+use gpu_sim::DeviceProfile;
+use grcuda::{Arg, GrCuda, Options};
+
+/// Replay a benchmark through the scheduler and return (DAG size,
+/// inferred edges as (from, to) pairs over op indices).
+fn inferred_structure(b: Bench) -> (usize, Vec<(usize, usize)>) {
+    let spec = b.build(scales::tiny(b));
+    let g = GrCuda::new(DeviceProfile::tesla_p100(), Options::parallel());
+    let arrays: Vec<_> = spec
+        .arrays
+        .iter()
+        .map(|a| match &a.init {
+            gpu_sim::TypedData::F32(v) => {
+                let d = g.array_f32(v.len());
+                d.copy_from_f32(v);
+                d
+            }
+            gpu_sim::TypedData::F64(v) => {
+                let d = g.array_f64(v.len());
+                d.copy_from_f64(v);
+                d
+            }
+            gpu_sim::TypedData::I32(v) => {
+                let d = g.array_i32(v.len());
+                d.copy_from_i32(v);
+                d
+            }
+            gpu_sim::TypedData::U8(_) => unreachable!(),
+        })
+        .collect();
+    // Vertex ids of kernel ops, in launch order. (CPU writes during
+    // init may also appear in the DAG; we only map kernels.)
+    let base = g.dag_len();
+    for op in &spec.ops {
+        let k = g.build_kernel(op.def).unwrap();
+        let args: Vec<Arg> = op
+            .args
+            .iter()
+            .map(|a| match a {
+                PlanArg::Arr(i) => Arg::array(&arrays[*i]),
+                PlanArg::Scalar(v) => Arg::scalar(*v),
+            })
+            .collect();
+        k.launch(op.grid, &args).unwrap();
+    }
+    g.sync();
+    let dot = g.dag_dot("t");
+    // Parse edges "nA -> nB" back out of the DOT dump and keep those
+    // between kernel vertices.
+    let mut edges = Vec::new();
+    for line in dot.lines() {
+        if let Some((a, rest)) = line.trim().strip_prefix('n').and_then(|l| l.split_once(" -> n")) {
+            let to: usize = rest
+                .split(|c: char| !c.is_ascii_digit())
+                .next()
+                .unwrap()
+                .parse()
+                .unwrap();
+            let from: usize = a.parse().unwrap();
+            if from >= base && to >= base {
+                edges.push((from - base, to - base));
+            }
+        }
+    }
+    (g.dag_len(), edges)
+}
+
+#[test]
+fn vec_edges_match_fig4() {
+    let (_, edges) = inferred_structure(Bench::Vec);
+    // reduce (op 2) depends on both squares (ops 0 and 1); squares are
+    // independent.
+    assert!(edges.contains(&(0, 2)));
+    assert!(edges.contains(&(1, 2)));
+    assert!(!edges.contains(&(0, 1)) && !edges.contains(&(1, 0)));
+}
+
+#[test]
+fn bs_has_no_edges_at_all() {
+    let (_, edges) = inferred_structure(Bench::Bs);
+    assert!(edges.is_empty(), "B&S kernels are independent: {edges:?}");
+}
+
+#[test]
+fn inferred_edges_cover_every_planned_edge() {
+    // The scheduler must discover at least the dependencies the plan
+    // declares (it may add equivalent transitive edges but must never
+    // miss a required ordering).
+    for b in Bench::ALL {
+        let spec = b.build(scales::tiny(b));
+        let (_, edges) = inferred_structure(b);
+        for (i, op) in spec.ops.iter().enumerate() {
+            for &d in &op.deps {
+                let direct = edges.contains(&(d, i));
+                let transitive = reachable(&edges, d, i);
+                assert!(
+                    direct || transitive,
+                    "{}: planned edge {d} -> {i} not enforced (edges: {edges:?})",
+                    b.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn ml_branches_share_no_edges_until_the_join() {
+    let (_, edges) = inferred_structure(Bench::Ml);
+    // RR branch ops: 0, 2, 4, 6; NB branch ops: 1, 3, 5, 7; join: 8.
+    let rr = [0usize, 2, 4, 6];
+    let nb = [1usize, 3, 5, 7];
+    for &a in &rr {
+        for &b in &nb {
+            assert!(
+                !edges.contains(&(a, b)) && !edges.contains(&(b, a)),
+                "branches must be independent: found edge between {a} and {b}"
+            );
+        }
+    }
+    assert!(edges.contains(&(6, 8)) || reachable(&edges, 6, 8));
+    assert!(edges.contains(&(7, 8)) || reachable(&edges, 7, 8));
+}
+
+fn reachable(edges: &[(usize, usize)], from: usize, to: usize) -> bool {
+    let mut stack = vec![from];
+    let mut seen = vec![from];
+    while let Some(x) = stack.pop() {
+        for &(a, b) in edges {
+            if a == x && !seen.contains(&b) {
+                if b == to {
+                    return true;
+                }
+                seen.push(b);
+                stack.push(b);
+            }
+        }
+    }
+    false
+}

@@ -1,0 +1,96 @@
+//! Integration: every stream-management policy combination (§IV-C) is
+//! correct; policies only change performance, never results.
+
+use benchmarks::{run_grcuda, scales, Bench};
+use gpu_sim::DeviceProfile;
+use grcuda::{DepStreamPolicy, Options, PrefetchPolicy, StreamReusePolicy};
+
+#[test]
+fn every_policy_combination_is_correct() {
+    let dev = DeviceProfile::tesla_p100();
+    let spec = Bench::Ml.build(scales::tiny(Bench::Ml));
+    for dep in [
+        DepStreamPolicy::FirstChildOnParent,
+        DepStreamPolicy::AlwaysParent,
+        DepStreamPolicy::AlwaysNew,
+    ] {
+        for reuse in [StreamReusePolicy::FifoReuse, StreamReusePolicy::AlwaysNew] {
+            for pf in [PrefetchPolicy::Auto, PrefetchPolicy::None] {
+                let opts = Options::parallel()
+                    .with_dep_stream(dep)
+                    .with_stream_reuse(reuse)
+                    .with_prefetch(pf);
+                let r = run_grcuda(&spec, &dev, opts, 2);
+                assert_eq!(r.races, 0, "{dep:?}/{reuse:?}/{pf:?}");
+                r.valid.unwrap_or_else(|e| panic!("{dep:?}/{reuse:?}/{pf:?}: {e}"));
+            }
+        }
+    }
+}
+
+#[test]
+fn visibility_restriction_toggle_is_correct_on_maxwell() {
+    let dev = DeviceProfile::gtx960();
+    for b in [Bench::Vec, Bench::Hits] {
+        let spec = b.build(scales::tiny(b));
+        for vis in [true, false] {
+            let opts = Options::parallel().with_visibility_restriction(vis);
+            run_grcuda(&spec, &dev, opts, 2).assert_ok();
+        }
+    }
+}
+
+#[test]
+fn disabling_prefetch_hurts_streaming_performance() {
+    // §V-C: "disabling automatic prefetching is not recommended:
+    // concurrent kernel execution turns the page fault controller into
+    // the main bottleneck".
+    let dev = DeviceProfile::tesla_p100();
+    let spec = Bench::Vec.build(800_000);
+    let auto = run_grcuda(&spec, &dev, Options::parallel(), 3);
+    let none =
+        run_grcuda(&spec, &dev, Options::parallel().with_prefetch(PrefetchPolicy::None), 3);
+    auto.assert_ok();
+    none.assert_ok();
+    assert!(
+        none.median_time() > 1.15 * auto.median_time(),
+        "faulting must be slower: {} vs {}",
+        none.median_time(),
+        auto.median_time()
+    );
+}
+
+#[test]
+fn single_stream_child_policy_reduces_concurrency() {
+    let dev = DeviceProfile::tesla_p100();
+    let spec = Bench::Img.build(160);
+    let multi = run_grcuda(&spec, &dev, Options::parallel(), 2);
+    let single = run_grcuda(
+        &spec,
+        &dev,
+        Options::parallel().with_dep_stream(DepStreamPolicy::AlwaysParent),
+        2,
+    );
+    multi.assert_ok();
+    single.assert_ok();
+    assert!(
+        multi.streams_used >= single.streams_used,
+        "first-child policy must not use fewer streams than always-parent"
+    );
+}
+
+#[test]
+fn always_new_stream_policy_creates_more_streams() {
+    let dev = DeviceProfile::tesla_p100();
+    let spec = Bench::Bs.build(scales::tiny(Bench::Bs) * 16);
+    let fifo = run_grcuda(&spec, &dev, Options::parallel(), 2);
+    let fresh = run_grcuda(
+        &spec,
+        &dev,
+        Options::parallel().with_stream_reuse(StreamReusePolicy::AlwaysNew),
+        2,
+    );
+    fifo.assert_ok();
+    fresh.assert_ok();
+    assert!(fresh.streams_used >= fifo.streams_used);
+}
