@@ -21,9 +21,13 @@ fn bench_schedulers(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("serial", b.name()), &spec, |bch, spec| {
             bch.iter(|| black_box(run_grcuda(spec, &dev, Options::serial(), 1).median_time()))
         });
-        group.bench_with_input(BenchmarkId::new("parallel", b.name()), &spec, |bch, spec| {
-            bch.iter(|| black_box(run_grcuda(spec, &dev, Options::parallel(), 1).median_time()))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("parallel", b.name()),
+            &spec,
+            |bch, spec| {
+                bch.iter(|| black_box(run_grcuda(spec, &dev, Options::parallel(), 1).median_time()))
+            },
+        );
     }
     group.finish();
 }

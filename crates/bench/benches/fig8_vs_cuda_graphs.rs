@@ -6,9 +6,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
-use benchmarks::{
-    run_grcuda, run_graph_capture, run_graph_manual, run_handtuned, scales, Bench,
-};
+use benchmarks::{run_graph_capture, run_graph_manual, run_grcuda, run_handtuned, scales, Bench};
 use gpu_sim::DeviceProfile;
 use grcuda::Options;
 
@@ -21,12 +19,16 @@ fn bench_baselines(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("grcuda", b.name()), &spec, |bch, s| {
             bch.iter(|| black_box(run_grcuda(s, &dev, Options::parallel(), 1).median_time()))
         });
-        group.bench_with_input(BenchmarkId::new("graph_manual", b.name()), &spec, |bch, s| {
-            bch.iter(|| black_box(run_graph_manual(s, &dev, 1).median_time()))
-        });
-        group.bench_with_input(BenchmarkId::new("graph_capture", b.name()), &spec, |bch, s| {
-            bch.iter(|| black_box(run_graph_capture(s, &dev, 1).median_time()))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("graph_manual", b.name()),
+            &spec,
+            |bch, s| bch.iter(|| black_box(run_graph_manual(s, &dev, 1).median_time())),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("graph_capture", b.name()),
+            &spec,
+            |bch, s| bch.iter(|| black_box(run_graph_capture(s, &dev, 1).median_time())),
+        );
         group.bench_with_input(BenchmarkId::new("handtuned", b.name()), &spec, |bch, s| {
             bch.iter(|| black_box(run_handtuned(s, &dev, true, 1).median_time()))
         });

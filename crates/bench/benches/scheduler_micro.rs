@@ -61,10 +61,14 @@ fn bench_engine(c: &mut Criterion) {
             let mut prev = None;
             for i in 0..1000u32 {
                 let deps: Vec<_> = prev.into_iter().collect();
-                prev = Some(e.submit(
-                    TaskSpec::kernel(format!("k{i}"), i % 4).fluid(1e-6).sm_frac(0.3),
-                    &deps,
-                ));
+                prev = Some(
+                    e.submit(
+                        TaskSpec::kernel(format!("k{i}"), i % 4)
+                            .fluid(1e-6)
+                            .sm_frac(0.3),
+                        &deps,
+                    ),
+                );
             }
             e.sync_all();
             black_box(e.now())
@@ -74,7 +78,12 @@ fn bench_engine(c: &mut Criterion) {
         b.iter(|| {
             let mut e = Engine::new(DeviceProfile::gtx1660_super());
             for i in 0..100u32 {
-                e.submit(TaskSpec::kernel(format!("k{i}"), i).fluid(1e-5).sm_frac(0.05), &[]);
+                e.submit(
+                    TaskSpec::kernel(format!("k{i}"), i)
+                        .fluid(1e-5)
+                        .sm_frac(0.05),
+                    &[],
+                );
             }
             e.sync_all();
             black_box(e.now())

@@ -44,7 +44,10 @@ fn main() {
             "streams: never reuse",
             Options::parallel().with_stream_reuse(StreamReusePolicy::AlwaysNew),
         ),
-        ("prefetch: disabled", Options::parallel().with_prefetch(PrefetchPolicy::None)),
+        (
+            "prefetch: disabled",
+            Options::parallel().with_prefetch(PrefetchPolicy::None),
+        ),
     ];
 
     let mut rows = Vec::new();
@@ -63,8 +66,15 @@ fn main() {
     // Visibility restriction matters only on pre-Pascal devices.
     let dev960 = DeviceProfile::gtx960();
     let with_vis = measure(&dev960, Options::parallel());
-    let without_vis = measure(&dev960, Options::parallel().with_visibility_restriction(false));
-    let rel: Vec<f64> = without_vis.iter().zip(&with_vis).map(|(t, b)| t / b).collect();
+    let without_vis = measure(
+        &dev960,
+        Options::parallel().with_visibility_restriction(false),
+    );
+    let rel: Vec<f64> = without_vis
+        .iter()
+        .zip(&with_vis)
+        .map(|(t, b)| t / b)
+        .collect();
     let mut row = vec!["960: no visibility restriction".to_string()];
     for (t, r) in without_vis.iter().zip(&rel) {
         row.push(format!("{} ({:.2}x)", ms(*t), r));

@@ -29,12 +29,21 @@ fn main() {
     // Tuning loop: exploration (6 rounds) + a few exploitation rounds.
     for round in 0..9 {
         let _ = round;
-        square.launch_autotuned(64, &[Arg::array(&x), Arg::scalar(n as f64)]).unwrap();
-        square.launch_autotuned(64, &[Arg::array(&y), Arg::scalar(n as f64)]).unwrap();
+        square
+            .launch_autotuned(64, &[Arg::array(&x), Arg::scalar(n as f64)])
+            .unwrap();
+        square
+            .launch_autotuned(64, &[Arg::array(&y), Arg::scalar(n as f64)])
+            .unwrap();
         reduce
             .launch_autotuned(
                 64,
-                &[Arg::array(&x), Arg::array(&y), Arg::array(&z), Arg::scalar(n as f64)],
+                &[
+                    Arg::array(&x),
+                    Arg::array(&y),
+                    Arg::array(&z),
+                    Arg::scalar(n as f64),
+                ],
             )
             .unwrap();
         g.sync(); // harvest measurements into the history
@@ -54,7 +63,10 @@ fn main() {
     }
     println!("Block-size autotuner after 9 rounds (input: {n} elements, 64 blocks)");
     let mut headers = vec!["kernel", "chosen"];
-    let labels: Vec<String> = CANDIDATE_BLOCK_SIZES.iter().map(|b| format!("bs={b}")).collect();
+    let labels: Vec<String> = CANDIDATE_BLOCK_SIZES
+        .iter()
+        .map(|b| format!("bs={b}"))
+        .collect();
     headers.extend(labels.iter().map(|s| s.as_str()));
     println!("{}", render_table(&headers, &rows));
 

@@ -53,9 +53,15 @@ fn main() {
     println!("Fig. 1 — hand-tuned CUDA (streams+events+prefetch) vs serial CUDA");
     println!(
         "{}",
-        render_table(&["device", "bench", "serial C++", "hand-tuned", "speedup"], &rows)
+        render_table(
+            &["device", "bench", "serial C++", "hand-tuned", "speedup"],
+            &rows
+        )
     );
     for (name, sp) in &per_dev {
-        println!("{name}: geomean speedup {:.2}x (paper: 1660 = 1.51x, P100 = 1.62x)", geomean(sp));
+        println!(
+            "{name}: geomean speedup {:.2}x (paper: 1660 = 1.51x, P100 = 1.62x)",
+            geomean(sp)
+        );
     }
 }

@@ -37,7 +37,10 @@ fn main() {
     println!("Fig. 11 — transfer/computation overlap under the parallel scheduler");
     println!(
         "{}",
-        render_table(&["device", "bench", "CT", "TC", "CC", "TOT", "speedup", "parallel"], &rows)
+        render_table(
+            &["device", "bench", "CT", "TC", "CC", "TOT", "speedup", "parallel"],
+            &rows
+        )
     );
     println!("(paper: VEC has CC = 0 — its speedup is pure transfer overlap; IMG and ML");
     println!(" derive speedup from CC; B&S's CT and speedup grow with device fp64 power)");

@@ -28,18 +28,36 @@ fn main() {
         let hp = HardwareMetrics::from_timeline(&par.timeline, &dev);
         rows.push(vec![
             b.name().into(),
-            format!("{:.1} / {:.1}", hs.dram_throughput / 1e9, hp.dram_throughput / 1e9),
-            format!("{:.1} / {:.1}", hs.l2_throughput / 1e9, hp.l2_throughput / 1e9),
+            format!(
+                "{:.1} / {:.1}",
+                hs.dram_throughput / 1e9,
+                hp.dram_throughput / 1e9
+            ),
+            format!(
+                "{:.1} / {:.1}",
+                hs.l2_throughput / 1e9,
+                hp.l2_throughput / 1e9
+            ),
             format!("{:.3} / {:.3}", hs.ipc, hp.ipc),
             format!("{:.1} / {:.1}", hs.gflops, hp.gflops),
             format!("{:.2}x", hp.dram_throughput / hs.dram_throughput.max(1e-9)),
         ]);
     }
-    println!("Fig. 12 — hardware metrics on the {} (serial / parallel)", dev.name);
+    println!(
+        "Fig. 12 — hardware metrics on the {} (serial / parallel)",
+        dev.name
+    );
     println!(
         "{}",
         render_table(
-            &["bench", "DRAM GB/s", "L2 GB/s", "IPC", "GFLOPS", "throughput gain"],
+            &[
+                "bench",
+                "DRAM GB/s",
+                "L2 GB/s",
+                "IPC",
+                "GFLOPS",
+                "throughput gain"
+            ],
             &rows
         )
     );

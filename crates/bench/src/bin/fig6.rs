@@ -19,7 +19,12 @@ fn main() {
         // Observe stream fan-out at a realistic scale (at tiny scales
         // kernels drain before the next launch and FIFO reuse correctly
         // collapses the streams).
-        let res = run_grcuda(&b.build(scales::default_scale(b)), &dev, Options::parallel(), 1);
+        let res = run_grcuda(
+            &b.build(scales::default_scale(b)),
+            &dev,
+            Options::parallel(),
+            1,
+        );
         let spec = b.build(scales::tiny(b));
         res.assert_ok();
         // Rebuild the DAG alone (no timing) for the DOT dump.
@@ -63,7 +68,13 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["bench", "kernels/iter", "paper streams", "scheduler streams", "DAG vertices"],
+            &[
+                "bench",
+                "kernels/iter",
+                "paper streams",
+                "scheduler streams",
+                "DAG vertices"
+            ],
             &rows
         )
     );

@@ -60,7 +60,11 @@ fn main() {
         )
     );
     for (name, sp) in &per_device {
-        println!("{name}: geomean speedup {:.2}x over {} configs", geomean(sp), sp.len());
+        println!(
+            "{name}: geomean speedup {:.2}x over {} configs",
+            geomean(sp),
+            sp.len()
+        );
     }
     println!(
         "\nOverall geomean speedup: {:.2}x  (paper: 1.44x; 960 lowest, P100 highest)",

@@ -13,7 +13,7 @@
 //! Usage: `cargo run --release -p bench --bin fig8 [--quick]`
 
 use bench::{devices, geomean, iters_for, ms, render_table, sweep};
-use benchmarks::{run_grcuda, run_graph_capture, run_graph_manual, run_handtuned, Bench};
+use benchmarks::{run_graph_capture, run_graph_manual, run_grcuda, run_handtuned, Bench};
 use grcuda::Options;
 
 fn main() {
@@ -42,8 +42,11 @@ fn main() {
                     r.assert_ok();
                 }
                 let t = gr.median_time();
-                let (sm, sc, se) =
-                    (gm.median_time() / t, gc.median_time() / t, ht.median_time() / t);
+                let (sm, sc, se) = (
+                    gm.median_time() / t,
+                    gc.median_time() / t,
+                    ht.median_time() / t,
+                );
                 vs_manual.push(sm);
                 vs_capture.push(sc);
                 vs_events.push(se);
@@ -65,13 +68,30 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["device", "bench", "scale", "GrCUDA", "vs Graphs+manual", "vs Graphs+capture", "vs hand-tuned events"],
+            &[
+                "device",
+                "bench",
+                "scale",
+                "GrCUDA",
+                "vs Graphs+manual",
+                "vs Graphs+capture",
+                "vs hand-tuned events"
+            ],
             &rows
         )
     );
-    println!("geomean vs CUDA Graphs (manual deps):   {:.2}x", geomean(&vs_manual));
-    println!("geomean vs CUDA Graphs (capture):       {:.2}x", geomean(&vs_capture));
-    println!("geomean vs hand-tuned events+prefetch:  {:.2}x", geomean(&vs_events));
+    println!(
+        "geomean vs CUDA Graphs (manual deps):   {:.2}x",
+        geomean(&vs_manual)
+    );
+    println!(
+        "geomean vs CUDA Graphs (capture):       {:.2}x",
+        geomean(&vs_capture)
+    );
+    println!(
+        "geomean vs hand-tuned events+prefetch:  {:.2}x",
+        geomean(&vs_events)
+    );
     println!("(paper: faster than both Graphs variants on fault-capable GPUs — the graphs");
     println!(" cannot prefetch — and at parity with the hand-tuned events baseline)");
 }

@@ -16,7 +16,8 @@ use grcuda::Options;
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let mut rows = Vec::new();
-    let mut per_bench: Vec<(&str, Vec<f64>)> = Bench::ALL.iter().map(|b| (b.name(), vec![])).collect();
+    let mut per_bench: Vec<(&str, Vec<f64>)> =
+        Bench::ALL.iter().map(|b| (b.name(), vec![])).collect();
 
     for dev in devices() {
         for (bi, b) in Bench::ALL.into_iter().enumerate() {
@@ -52,7 +53,14 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["device", "bench", "scale", "contention-free", "measured", "relative"],
+            &[
+                "device",
+                "bench",
+                "scale",
+                "contention-free",
+                "measured",
+                "relative"
+            ],
             &rows
         )
     );

@@ -17,10 +17,18 @@ use grcuda::{MultiArg, MultiGpu, Options, PlacementPolicy};
 use kernels::black_scholes::BLACK_SCHOLES;
 use kernels::util::SCALE;
 
-const G: Grid = Grid { blocks: (64, 1, 1), threads: (256, 1, 1) };
+const G: Grid = Grid {
+    blocks: (64, 1, 1),
+    threads: (256, 1, 1),
+};
 
 fn pricing(n_dev: usize, policy: PlacementPolicy) -> (f64, usize) {
-    let mut m = MultiGpu::new(DeviceProfile::tesla_p100(), n_dev, Options::parallel(), policy);
+    let mut m = MultiGpu::new(
+        DeviceProfile::tesla_p100(),
+        n_dev,
+        Options::parallel(),
+        policy,
+    );
     let n = 1 << 20;
     for _ in 0..8 {
         let x = m.array_f64(n);
@@ -47,7 +55,12 @@ fn pricing(n_dev: usize, policy: PlacementPolicy) -> (f64, usize) {
 }
 
 fn chain(n_dev: usize, policy: PlacementPolicy) -> (f64, usize) {
-    let mut m = MultiGpu::new(DeviceProfile::tesla_p100(), n_dev, Options::parallel(), policy);
+    let mut m = MultiGpu::new(
+        DeviceProfile::tesla_p100(),
+        n_dev,
+        Options::parallel(),
+        policy,
+    );
     let n = 1 << 22;
     let x = m.array_f32(n);
     let y = m.array_f32(n);
@@ -57,7 +70,12 @@ fn chain(n_dev: usize, policy: PlacementPolicy) -> (f64, usize) {
         m.launch(
             &SCALE,
             G,
-            &[MultiArg::array(src), MultiArg::array(dst), MultiArg::scalar(1.001), MultiArg::scalar(n as f64)],
+            &[
+                MultiArg::array(src),
+                MultiArg::array(dst),
+                MultiArg::scalar(1.001),
+                MultiArg::scalar(n as f64),
+            ],
         )
         .unwrap();
     }
@@ -91,7 +109,14 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["GPUs", "placement", "pricing makespan (speedup)", "migr.", "chain makespan (speedup)", "migr."],
+            &[
+                "GPUs",
+                "placement",
+                "pricing makespan (speedup)",
+                "migr.",
+                "chain makespan (speedup)",
+                "migr."
+            ],
             &rows
         )
     );

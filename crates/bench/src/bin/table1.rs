@@ -56,7 +56,14 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["bench", "simulated footprint", "paper-equivalent", "960 max%", "1660 max%", "P100 max%"],
+            &[
+                "bench",
+                "simulated footprint",
+                "paper-equivalent",
+                "960 max%",
+                "1660 max%",
+                "P100 max%"
+            ],
             &rows
         )
     );

@@ -65,7 +65,10 @@ pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
     };
     let hdr: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
     out.push_str(&fmt_row(&hdr, &widths));
-    out.push_str(&format!("{}\n", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())));
+    out.push_str(&format!(
+        "{}\n",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+    ));
     for r in rows {
         out.push_str(&fmt_row(r, &widths));
     }
@@ -108,7 +111,10 @@ mod tests {
     fn table_renders_aligned() {
         let t = render_table(
             &["bench", "speedup"],
-            &[vec!["VEC".into(), "2.54x".into()], vec!["HITS".into(), "1.39x".into()]],
+            &[
+                vec!["VEC".into(), "2.54x".into()],
+                vec!["HITS".into(), "1.39x".into()],
+            ],
         );
         assert!(t.contains("bench"));
         assert!(t.contains("2.54x"));

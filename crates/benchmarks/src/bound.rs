@@ -30,8 +30,11 @@ pub fn contention_free_time_warm(spec: &BenchSpec, dev: &DeviceProfile) -> f64 {
 }
 
 fn bound_impl(spec: &BenchSpec, dev: &DeviceProfile, warm: bool) -> f64 {
-    let buffers: Vec<gpu_sim::DataBuffer> =
-        spec.arrays.iter().map(|a| gpu_sim::DataBuffer::new(a.init.clone())).collect();
+    let buffers: Vec<gpu_sim::DataBuffer> = spec
+        .arrays
+        .iter()
+        .map(|a| gpu_sim::DataBuffer::new(a.init.clone()))
+        .collect();
 
     let mut nodes: Vec<PathNode> = Vec::new();
     // One transfer node per array, created lazily at first use.
@@ -63,7 +66,10 @@ fn bound_impl(spec: &BenchSpec, dev: &DeviceProfile, warm: bool) -> f64 {
         let (bufs, scalars) = spec.op_inputs(op, &buffers);
         let cost = (op.def.cost)(&bufs, &scalars);
         let (solo, _) = cost.solo_profile(op.grid, dev);
-        nodes.push(PathNode { duration: solo + dev.launch_overhead, deps });
+        nodes.push(PathNode {
+            duration: solo + dev.launch_overhead,
+            deps,
+        });
         op_node.push(nodes.len() - 1);
     }
     critical_path(&nodes)
@@ -101,8 +107,11 @@ mod tests {
         let dev = DeviceProfile::tesla_p100();
         let spec = Bench::Img.build(64);
         let bound = contention_free_time(&spec, &dev);
-        let buffers: Vec<gpu_sim::DataBuffer> =
-            spec.arrays.iter().map(|a| gpu_sim::DataBuffer::new(a.init.clone())).collect();
+        let buffers: Vec<gpu_sim::DataBuffer> = spec
+            .arrays
+            .iter()
+            .map(|a| gpu_sim::DataBuffer::new(a.init.clone()))
+            .collect();
         let serial_sum: f64 = spec
             .ops
             .iter()

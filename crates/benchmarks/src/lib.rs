@@ -26,7 +26,7 @@ pub mod spec;
 pub mod suite;
 
 pub use bound::{contention_free_time, contention_free_time_warm};
-pub use runners::{run_grcuda, run_graph_capture, run_graph_manual, run_handtuned, RunResult};
+pub use runners::{run_graph_capture, run_graph_manual, run_grcuda, run_handtuned, RunResult};
 pub use spec::{ArraySpec, BenchSpec, PlanArg, PlanOp};
 
 /// The six benchmarks, in the paper's figure order.
@@ -48,8 +48,14 @@ pub enum Bench {
 
 impl Bench {
     /// All benchmarks in figure order.
-    pub const ALL: [Bench; 6] =
-        [Bench::Vec, Bench::Bs, Bench::Img, Bench::Ml, Bench::Hits, Bench::Dl];
+    pub const ALL: [Bench; 6] = [
+        Bench::Vec,
+        Bench::Bs,
+        Bench::Img,
+        Bench::Ml,
+        Bench::Hits,
+        Bench::Dl,
+    ];
 
     /// Short name as used in the paper's figures.
     pub fn name(self) -> &'static str {

@@ -51,8 +51,11 @@ impl RunResult {
 /// are re-written with their initial contents at the top of each
 /// iteration, exactly as the runners do).
 pub fn reference_after_iters(spec: &BenchSpec, iters: usize) -> Vec<TypedData> {
-    let buffers: Vec<DataBuffer> =
-        spec.arrays.iter().map(|a| DataBuffer::new(a.init.clone())).collect();
+    let buffers: Vec<DataBuffer> = spec
+        .arrays
+        .iter()
+        .map(|a| DataBuffer::new(a.init.clone()))
+        .collect();
     for _ in 0..iters {
         for (i, a) in spec.arrays.iter().enumerate() {
             if a.refresh_each_iter {
@@ -83,7 +86,11 @@ fn validate(spec: &BenchSpec, buffers: &[DataBuffer], iters: usize) -> Result<()
 /// Per-signature read-only flags for the pointer arguments, in order.
 fn ro_flags(op: &PlanOp) -> Vec<bool> {
     let sig = Signature::parse(op.def.nidl).expect("registered kernels parse");
-    sig.params.iter().filter(|p| p.is_pointer()).map(|p| p.is_read_only()).collect()
+    sig.params
+        .iter()
+        .filter(|p| p.is_pointer())
+        .map(|p| p.is_read_only())
+        .collect()
 }
 
 /// Build a cuda-sim launch descriptor for one op.
@@ -140,7 +147,12 @@ fn elem_size(d: &TypedData) -> usize {
 /// [`Options::parallel`] it is the paper's contribution. Stream and
 /// dependency hints in the plan are ignored — the scheduler infers
 /// everything.
-pub fn run_grcuda(spec: &BenchSpec, dev: &DeviceProfile, options: Options, iters: usize) -> RunResult {
+pub fn run_grcuda(
+    spec: &BenchSpec,
+    dev: &DeviceProfile,
+    options: Options,
+    iters: usize,
+) -> RunResult {
     let g = GrCuda::new(dev.clone(), options);
     let arrays: Vec<grcuda::DeviceArray> = spec
         .arrays
@@ -196,7 +208,9 @@ pub fn run_grcuda(spec: &BenchSpec, dev: &DeviceProfile, options: Options, iters
                     PlanArg::Scalar(v) => Arg::scalar(*v),
                 })
                 .collect();
-            kernels[op.def.name].launch(op.grid, &args).expect("suite launches validate");
+            kernels[op.def.name]
+                .launch(op.grid, &args)
+                .expect("suite launches validate");
         }
         // Host reads end the iteration (VEC's `res = Z[0]` pattern).
         for (k, cnt) in &spec.outputs {
@@ -239,10 +253,19 @@ pub fn run_grcuda(spec: &BenchSpec, dev: &DeviceProfile, options: Options, iters
 /// events for every cross-stream edge, and (optionally) manual
 /// prefetching — the strongest baseline, which the paper's scheduler
 /// matches.
-pub fn run_handtuned(spec: &BenchSpec, dev: &DeviceProfile, prefetch: bool, iters: usize) -> RunResult {
+pub fn run_handtuned(
+    spec: &BenchSpec,
+    dev: &DeviceProfile,
+    prefetch: bool,
+    iters: usize,
+) -> RunResult {
     let c = Cuda::new(dev.clone());
     let arrays = alloc_cuda_arrays(&c, spec);
-    let execs: Vec<KernelExec> = spec.ops.iter().map(|op| make_exec(spec, op, &arrays)).collect();
+    let execs: Vec<KernelExec> = spec
+        .ops
+        .iter()
+        .map(|op| make_exec(spec, op, &arrays))
+        .collect();
     let nstreams = spec.ops.iter().map(|o| o.stream).max().unwrap_or(0) + 1;
     let streams: Vec<StreamId> = (0..nstreams).map(|_| c.stream_create()).collect();
 
@@ -316,7 +339,11 @@ pub fn run_graph_manual(spec: &BenchSpec, dev: &DeviceProfile, iters: usize) -> 
 pub fn run_graph_capture(spec: &BenchSpec, dev: &DeviceProfile, iters: usize) -> RunResult {
     let c = Cuda::new(dev.clone());
     let arrays = alloc_cuda_arrays(&c, spec);
-    let execs: Vec<KernelExec> = spec.ops.iter().map(|op| make_exec(spec, op, &arrays)).collect();
+    let execs: Vec<KernelExec> = spec
+        .ops
+        .iter()
+        .map(|op| make_exec(spec, op, &arrays))
+        .collect();
     let nstreams = spec.ops.iter().map(|o| o.stream).max().unwrap_or(0) + 1;
     let streams: Vec<StreamId> = (0..nstreams).map(|_| c.stream_create()).collect();
 
@@ -330,8 +357,9 @@ pub fn run_graph_capture(spec: &BenchSpec, dev: &DeviceProfile, iters: usize) ->
             }
         }
         c.launch(streams[op.stream], &execs[i]);
-        let needed =
-            spec.ops[i + 1..].iter().any(|o| o.deps.contains(&i) && o.stream != op.stream);
+        let needed = spec.ops[i + 1..]
+            .iter()
+            .any(|o| o.deps.contains(&i) && o.stream != op.stream);
         if needed {
             events[i] = Some(c.event_record(streams[op.stream]));
         }
@@ -444,7 +472,11 @@ mod tests {
         let ser = run_grcuda(&spec, &dev(), Options::serial(), 1);
         let par = run_grcuda(&spec, &dev(), Options::parallel(), 1);
         assert_eq!(ser.streams_used, 1);
-        assert!(par.streams_used >= 8, "B&S must fan out: {}", par.streams_used);
+        assert!(
+            par.streams_used >= 8,
+            "B&S must fan out: {}",
+            par.streams_used
+        );
         ser.assert_ok();
         par.assert_ok();
     }

@@ -16,18 +16,21 @@ pub const SWEEP_RATIOS: [f64; 5] = [1.0 / 35.0, 4.0 / 35.0, 6.0 / 35.0, 25.0 / 3
 /// CPU-feasible while spanning >10x in footprint.
 pub fn top(b: Bench) -> usize {
     match b {
-        Bench::Vec => 14_000_000,  // elements/vector (paper: 7e8)
-        Bench::Bs => 1_400_000,    // options/stock   (paper: 7e7)
-        Bench::Img => 1200,        // pixels/side     (paper: 16e3)
-        Bench::Ml => 35_000,       // rows            (paper: 6e6)
-        Bench::Hits => 175_000,    // vertices        (paper: ~2e7)
-        Bench::Dl => 170,          // pixels/side     (paper: 16e3)
+        Bench::Vec => 14_000_000, // elements/vector (paper: 7e8)
+        Bench::Bs => 1_400_000,   // options/stock   (paper: 7e7)
+        Bench::Img => 1200,       // pixels/side     (paper: 16e3)
+        Bench::Ml => 35_000,      // rows            (paper: 6e6)
+        Bench::Hits => 175_000,   // vertices        (paper: ~2e7)
+        Bench::Dl => 170,         // pixels/side     (paper: 16e3)
     }
 }
 
 /// The five sweep scales for a benchmark.
 pub fn sweep(b: Bench) -> Vec<usize> {
-    SWEEP_RATIOS.iter().map(|r| ((top(b) as f64) * r).round().max(2.0) as usize).collect()
+    SWEEP_RATIOS
+        .iter()
+        .map(|r| ((top(b) as f64) * r).round().max(2.0) as usize)
+        .collect()
 }
 
 /// A single representative (middle) scale used by Figs. 1, 11 and 12.

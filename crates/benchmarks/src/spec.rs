@@ -106,8 +106,13 @@ impl BenchSpec {
                     return Err(format!("{}: op {i} depends forward on {d}", self.name));
                 }
             }
-            let arrays = op.args.iter().filter(|a| matches!(a, PlanArg::Arr(_))).count();
-            let nidl_ptrs = op.def.nidl.matches("pointer").count() + op.def.nidl.matches("ptr,").count();
+            let arrays = op
+                .args
+                .iter()
+                .filter(|a| matches!(a, PlanArg::Arr(_)))
+                .count();
+            let nidl_ptrs =
+                op.def.nidl.matches("pointer").count() + op.def.nidl.matches("ptr,").count();
             if arrays != nidl_ptrs && !op.def.nidl.contains("ptr") {
                 return Err(format!(
                     "{}: op {i} ({}) passes {arrays} arrays, signature wants {nidl_ptrs}",
@@ -130,8 +135,11 @@ impl BenchSpec {
     /// and return the final contents of every array — the reference any
     /// scheduler's result must match bit-for-bit.
     pub fn reference_final_state(&self) -> Vec<TypedData> {
-        let buffers: Vec<DataBuffer> =
-            self.arrays.iter().map(|a| DataBuffer::new(a.init.clone())).collect();
+        let buffers: Vec<DataBuffer> = self
+            .arrays
+            .iter()
+            .map(|a| DataBuffer::new(a.init.clone()))
+            .collect();
         for op in &self.ops {
             let (bufs, scalars) = self.op_inputs(op, &buffers);
             (op.def.func)(&bufs, &scalars);
@@ -170,7 +178,9 @@ pub struct DataGen {
 impl DataGen {
     /// Seeded generator.
     pub fn new(seed: u64) -> Self {
-        DataGen { state: seed.wrapping_mul(0x9E3779B97F4A7C15) | 1 }
+        DataGen {
+            state: seed.wrapping_mul(0x9E3779B97F4A7C15) | 1,
+        }
     }
 
     fn next(&mut self) -> u64 {
@@ -215,12 +225,21 @@ mod tests {
                     init: TypedData::F32(vec![1.0, 2.0]),
                     refresh_each_iter: false,
                 },
-                ArraySpec { name: "y", init: TypedData::F32(vec![0.0, 0.0]), refresh_each_iter: false },
+                ArraySpec {
+                    name: "y",
+                    init: TypedData::F32(vec![0.0, 0.0]),
+                    refresh_each_iter: false,
+                },
             ],
             ops: vec![PlanOp {
                 def: &SCALE,
                 grid: Grid::d1(1, 32),
-                args: vec![PlanArg::Arr(0), PlanArg::Arr(1), PlanArg::Scalar(2.0), PlanArg::Scalar(2.0)],
+                args: vec![
+                    PlanArg::Arr(0),
+                    PlanArg::Arr(1),
+                    PlanArg::Scalar(2.0),
+                    PlanArg::Scalar(2.0),
+                ],
                 stream: 0,
                 deps: vec![],
             }],

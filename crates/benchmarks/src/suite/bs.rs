@@ -56,13 +56,17 @@ pub fn build(scale: usize) -> BenchSpec {
         });
         outputs.push((STOCKS + s, 1));
     }
-    BenchSpec { name: "B&S", arrays, ops, outputs, scale }
+    BenchSpec {
+        name: "B&S",
+        arrays,
+        ops,
+        outputs,
+        scale,
+    }
 }
 
-const STOCK_NAMES: [&str; 10] =
-    ["x0", "x1", "x2", "x3", "x4", "x5", "x6", "x7", "x8", "x9"];
-const RESULT_NAMES: [&str; 10] =
-    ["y0", "y1", "y2", "y3", "y4", "y5", "y6", "y7", "y8", "y9"];
+const STOCK_NAMES: [&str; 10] = ["x0", "x1", "x2", "x3", "x4", "x5", "x6", "x7", "x8", "x9"];
+const RESULT_NAMES: [&str; 10] = ["y0", "y1", "y2", "y3", "y4", "y5", "y6", "y7", "y8", "y9"];
 
 #[cfg(test)]
 mod tests {

@@ -105,7 +105,11 @@ pub fn build(scale: usize) -> BenchSpec {
         init: TypedData::F32(gen.f32_vec(2 * C2, -0.5, 0.5)),
         refresh_each_iter: false,
     });
-    arrays.push(ArraySpec { name: "out", init: TypedData::F32(vec![0.0]), refresh_each_iter: false });
+    arrays.push(ArraySpec {
+        name: "out",
+        init: TypedData::F32(vec![0.0]),
+        refresh_each_iter: false,
+    });
 
     // Build the two towers: ops 0..5 are tower 1, 5..10 tower 2.
     let mut ops = Vec::new();
@@ -212,7 +216,13 @@ pub fn build(scale: usize) -> BenchSpec {
         deps: vec![10],
     });
 
-    BenchSpec { name: "DL", arrays, ops, outputs: vec![(out, 1)], scale: side }
+    BenchSpec {
+        name: "DL",
+        arrays,
+        ops,
+        outputs: vec![(out, 1)],
+        scale: side,
+    }
 }
 
 #[cfg(test)]

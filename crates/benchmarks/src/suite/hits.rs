@@ -29,25 +29,85 @@ pub fn build(scale: usize) -> BenchSpec {
 
     let uniform = vec![1.0f32 / n as f32; n];
     let arrays = vec![
-        /* 0 */ ArraySpec { name: "rowptr_a", init: TypedData::I32(a_mat.rowptr), refresh_each_iter: false },
-        /* 1 */ ArraySpec { name: "colidx_a", init: TypedData::I32(a_mat.colidx), refresh_each_iter: false },
-        /* 2 */ ArraySpec { name: "vals_a", init: TypedData::F32(a_mat.vals), refresh_each_iter: false },
-        /* 3 */ ArraySpec { name: "rowptr_t", init: TypedData::I32(at_mat.rowptr), refresh_each_iter: false },
-        /* 4 */ ArraySpec { name: "colidx_t", init: TypedData::I32(at_mat.colidx), refresh_each_iter: false },
-        /* 5 */ ArraySpec { name: "vals_t", init: TypedData::F32(at_mat.vals), refresh_each_iter: false },
-        /* 6 */ ArraySpec { name: "h", init: TypedData::F32(uniform.clone()), refresh_each_iter: false },
-        /* 7 */ ArraySpec { name: "a", init: TypedData::F32(uniform), refresh_each_iter: false },
-        /* 8 */ ArraySpec { name: "tmp_a", init: TypedData::F32(vec![0.0; n]), refresh_each_iter: false },
-        /* 9 */ ArraySpec { name: "tmp_h", init: TypedData::F32(vec![0.0; n]), refresh_each_iter: false },
-        /* 10 */ ArraySpec { name: "sum_a", init: TypedData::F32(vec![0.0]), refresh_each_iter: false },
-        /* 11 */ ArraySpec { name: "sum_h", init: TypedData::F32(vec![0.0]), refresh_each_iter: false },
+        /* 0 */
+        ArraySpec {
+            name: "rowptr_a",
+            init: TypedData::I32(a_mat.rowptr),
+            refresh_each_iter: false,
+        },
+        /* 1 */
+        ArraySpec {
+            name: "colidx_a",
+            init: TypedData::I32(a_mat.colidx),
+            refresh_each_iter: false,
+        },
+        /* 2 */
+        ArraySpec {
+            name: "vals_a",
+            init: TypedData::F32(a_mat.vals),
+            refresh_each_iter: false,
+        },
+        /* 3 */
+        ArraySpec {
+            name: "rowptr_t",
+            init: TypedData::I32(at_mat.rowptr),
+            refresh_each_iter: false,
+        },
+        /* 4 */
+        ArraySpec {
+            name: "colidx_t",
+            init: TypedData::I32(at_mat.colidx),
+            refresh_each_iter: false,
+        },
+        /* 5 */
+        ArraySpec {
+            name: "vals_t",
+            init: TypedData::F32(at_mat.vals),
+            refresh_each_iter: false,
+        },
+        /* 6 */
+        ArraySpec {
+            name: "h",
+            init: TypedData::F32(uniform.clone()),
+            refresh_each_iter: false,
+        },
+        /* 7 */
+        ArraySpec {
+            name: "a",
+            init: TypedData::F32(uniform),
+            refresh_each_iter: false,
+        },
+        /* 8 */
+        ArraySpec {
+            name: "tmp_a",
+            init: TypedData::F32(vec![0.0; n]),
+            refresh_each_iter: false,
+        },
+        /* 9 */
+        ArraySpec {
+            name: "tmp_h",
+            init: TypedData::F32(vec![0.0; n]),
+            refresh_each_iter: false,
+        },
+        /* 10 */
+        ArraySpec {
+            name: "sum_a",
+            init: TypedData::F32(vec![0.0]),
+            refresh_each_iter: false,
+        },
+        /* 11 */
+        ArraySpec {
+            name: "sum_h",
+            init: TypedData::F32(vec![0.0]),
+            refresh_each_iter: false,
+        },
     ];
 
     let mut ops: Vec<PlanOp> = Vec::with_capacity(ITERATIONS * 6);
     for it in 0..ITERATIONS {
         let base = it * 6;
         let prev = |k: usize| base - 6 + k; // op k of the previous iteration
-        // 0: tmp_a = Aᵀ · h         (authority update, stream 0)
+                                            // 0: tmp_a = Aᵀ · h         (authority update, stream 0)
         ops.push(PlanOp {
             def: &SPMV,
             grid,
@@ -62,7 +122,11 @@ pub fn build(scale: usize) -> BenchSpec {
             stream: 0,
             // reads h (writer: prev divide_h), rewrites tmp_a (reader:
             // prev divide_a).
-            deps: if it == 0 { vec![] } else { vec![prev(5), prev(4)] },
+            deps: if it == 0 {
+                vec![]
+            } else {
+                vec![prev(5), prev(4)]
+            },
         });
         // 1: sum_a = Σ tmp_a
         ops.push(PlanOp {
@@ -85,7 +149,11 @@ pub fn build(scale: usize) -> BenchSpec {
                 PlanArg::Scalar(nf),
             ],
             stream: 1,
-            deps: if it == 0 { vec![] } else { vec![prev(4), prev(5)] },
+            deps: if it == 0 {
+                vec![]
+            } else {
+                vec![prev(4), prev(5)]
+            },
         });
         // 3: sum_h = Σ tmp_h
         ops.push(PlanOp {
@@ -100,7 +168,12 @@ pub fn build(scale: usize) -> BenchSpec {
         ops.push(PlanOp {
             def: &DIVIDE,
             grid,
-            args: vec![PlanArg::Arr(8), PlanArg::Arr(10), PlanArg::Arr(7), PlanArg::Scalar(nf)],
+            args: vec![
+                PlanArg::Arr(8),
+                PlanArg::Arr(10),
+                PlanArg::Arr(7),
+                PlanArg::Scalar(nf),
+            ],
             stream: 0,
             deps: vec![base + 1, base + 2],
         });
@@ -108,13 +181,24 @@ pub fn build(scale: usize) -> BenchSpec {
         ops.push(PlanOp {
             def: &DIVIDE,
             grid,
-            args: vec![PlanArg::Arr(9), PlanArg::Arr(11), PlanArg::Arr(6), PlanArg::Scalar(nf)],
+            args: vec![
+                PlanArg::Arr(9),
+                PlanArg::Arr(11),
+                PlanArg::Arr(6),
+                PlanArg::Scalar(nf),
+            ],
             stream: 1,
             deps: vec![base + 3, base],
         });
     }
 
-    BenchSpec { name: "HITS", arrays, ops, outputs: vec![(7, 1), (6, 1)], scale }
+    BenchSpec {
+        name: "HITS",
+        arrays,
+        ops,
+        outputs: vec![(7, 1), (6, 1)],
+        scale,
+    }
 }
 
 #[cfg(test)]

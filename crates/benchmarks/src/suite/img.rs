@@ -51,47 +51,100 @@ pub fn build(scale: usize) -> BenchSpec {
             refresh_each_iter: false,
         },
         /* 1 */
-        ArraySpec { name: "kern3", init: TypedData::F32(gaussian_kernel(3, 1.0)), refresh_each_iter: false },
+        ArraySpec {
+            name: "kern3",
+            init: TypedData::F32(gaussian_kernel(3, 1.0)),
+            refresh_each_iter: false,
+        },
         /* 2 */
-        ArraySpec { name: "kern5", init: TypedData::F32(gaussian_kernel(5, 2.0)), refresh_each_iter: false },
+        ArraySpec {
+            name: "kern5",
+            init: TypedData::F32(gaussian_kernel(5, 2.0)),
+            refresh_each_iter: false,
+        },
         /* 3 */
-        ArraySpec { name: "kern3u", init: TypedData::F32(gaussian_kernel(3, 0.8)), refresh_each_iter: false },
+        ArraySpec {
+            name: "kern3u",
+            init: TypedData::F32(gaussian_kernel(3, 0.8)),
+            refresh_each_iter: false,
+        },
         /* 4 */
-        ArraySpec { name: "blur_small", init: TypedData::F32(vec![0.0; n]), refresh_each_iter: false },
+        ArraySpec {
+            name: "blur_small",
+            init: TypedData::F32(vec![0.0; n]),
+            refresh_each_iter: false,
+        },
         /* 5 */
-        ArraySpec { name: "blur_large", init: TypedData::F32(vec![0.0; n]), refresh_each_iter: false },
+        ArraySpec {
+            name: "blur_large",
+            init: TypedData::F32(vec![0.0; n]),
+            refresh_each_iter: false,
+        },
         /* 6 */
-        ArraySpec { name: "blur_unsharpen", init: TypedData::F32(vec![0.0; n]), refresh_each_iter: false },
+        ArraySpec {
+            name: "blur_unsharpen",
+            init: TypedData::F32(vec![0.0; n]),
+            refresh_each_iter: false,
+        },
         /* 7 */
-        ArraySpec { name: "sobel_small", init: TypedData::F32(vec![0.0; n]), refresh_each_iter: false },
+        ArraySpec {
+            name: "sobel_small",
+            init: TypedData::F32(vec![0.0; n]),
+            refresh_each_iter: false,
+        },
         /* 8 */
-        ArraySpec { name: "sobel_large", init: TypedData::F32(vec![0.0; n]), refresh_each_iter: false },
+        ArraySpec {
+            name: "sobel_large",
+            init: TypedData::F32(vec![0.0; n]),
+            refresh_each_iter: false,
+        },
         /* 9 */
-        ArraySpec { name: "minv", init: TypedData::F32(vec![0.0]), refresh_each_iter: false },
+        ArraySpec {
+            name: "minv",
+            init: TypedData::F32(vec![0.0]),
+            refresh_each_iter: false,
+        },
         /* 10 */
-        ArraySpec { name: "maxv", init: TypedData::F32(vec![0.0]), refresh_each_iter: false },
+        ArraySpec {
+            name: "maxv",
+            init: TypedData::F32(vec![0.0]),
+            refresh_each_iter: false,
+        },
         /* 11 */
-        ArraySpec { name: "unsharp", init: TypedData::F32(vec![0.0; n]), refresh_each_iter: false },
+        ArraySpec {
+            name: "unsharp",
+            init: TypedData::F32(vec![0.0; n]),
+            refresh_each_iter: false,
+        },
         /* 12 */
-        ArraySpec { name: "combine1", init: TypedData::F32(vec![0.0; n]), refresh_each_iter: false },
+        ArraySpec {
+            name: "combine1",
+            init: TypedData::F32(vec![0.0; n]),
+            refresh_each_iter: false,
+        },
         /* 13 */
-        ArraySpec { name: "result", init: TypedData::F32(vec![0.0; n]), refresh_each_iter: false },
+        ArraySpec {
+            name: "result",
+            init: TypedData::F32(vec![0.0; n]),
+            refresh_each_iter: false,
+        },
     ];
 
-    let blur = |src: usize, dst: usize, kern: usize, d: f64, stream: usize, deps: Vec<usize>| PlanOp {
-        def: &GAUSSIAN_BLUR,
-        grid: grid2,
-        args: vec![
-            PlanArg::Arr(src),
-            PlanArg::Arr(dst),
-            PlanArg::Scalar(sf),
-            PlanArg::Scalar(sf),
-            PlanArg::Arr(kern),
-            PlanArg::Scalar(d),
-        ],
-        stream,
-        deps,
-    };
+    let blur =
+        |src: usize, dst: usize, kern: usize, d: f64, stream: usize, deps: Vec<usize>| PlanOp {
+            def: &GAUSSIAN_BLUR,
+            grid: grid2,
+            args: vec![
+                PlanArg::Arr(src),
+                PlanArg::Arr(dst),
+                PlanArg::Scalar(sf),
+                PlanArg::Scalar(sf),
+                PlanArg::Arr(kern),
+                PlanArg::Scalar(d),
+            ],
+            stream,
+            deps,
+        };
 
     let ops = vec![
         /* 0 */ blur(0, 4, 1, 3.0, 0, vec![]),
@@ -101,7 +154,12 @@ pub fn build(scale: usize) -> BenchSpec {
         PlanOp {
             def: &SOBEL,
             grid: grid2,
-            args: vec![PlanArg::Arr(4), PlanArg::Arr(7), PlanArg::Scalar(sf), PlanArg::Scalar(sf)],
+            args: vec![
+                PlanArg::Arr(4),
+                PlanArg::Arr(7),
+                PlanArg::Scalar(sf),
+                PlanArg::Scalar(sf),
+            ],
             stream: 0,
             deps: vec![0],
         },
@@ -109,7 +167,12 @@ pub fn build(scale: usize) -> BenchSpec {
         PlanOp {
             def: &SOBEL,
             grid: grid2,
-            args: vec![PlanArg::Arr(5), PlanArg::Arr(8), PlanArg::Scalar(sf), PlanArg::Scalar(sf)],
+            args: vec![
+                PlanArg::Arr(5),
+                PlanArg::Arr(8),
+                PlanArg::Scalar(sf),
+                PlanArg::Scalar(sf),
+            ],
             stream: 1,
             deps: vec![1],
         },
@@ -133,7 +196,12 @@ pub fn build(scale: usize) -> BenchSpec {
         PlanOp {
             def: &EXTEND,
             grid: grid1,
-            args: vec![PlanArg::Arr(8), PlanArg::Arr(9), PlanArg::Arr(10), PlanArg::Scalar(nf)],
+            args: vec![
+                PlanArg::Arr(8),
+                PlanArg::Arr(9),
+                PlanArg::Arr(10),
+                PlanArg::Scalar(nf),
+            ],
             stream: 1,
             deps: vec![5, 6],
         },
@@ -181,7 +249,13 @@ pub fn build(scale: usize) -> BenchSpec {
         },
     ];
 
-    BenchSpec { name: "IMG", arrays, ops, outputs: vec![(13, 1)], scale }
+    BenchSpec {
+        name: "IMG",
+        arrays,
+        ops,
+        outputs: vec![(13, 1)],
+        scale,
+    }
 }
 
 #[cfg(test)]

@@ -47,16 +47,65 @@ pub fn build(scale: usize) -> BenchSpec {
 
     let arrays = vec![
         /* 0 */
-        ArraySpec { name: "X", init: TypedData::F32(x), refresh_each_iter: true },
-        /* 1 */ ArraySpec { name: "Z", init: TypedData::F32(vec![0.0; rows * FEATURES]), refresh_each_iter: false },
-        /* 2 */ ArraySpec { name: "W", init: TypedData::F32(w), refresh_each_iter: false },
-        /* 3 */ ArraySpec { name: "B", init: TypedData::F32(b), refresh_each_iter: false },
-        /* 4 */ ArraySpec { name: "R2", init: TypedData::F32(vec![0.0; rows * CLASSES]), refresh_each_iter: false },
-        /* 5 */ ArraySpec { name: "LOGP", init: TypedData::F32(logp), refresh_each_iter: false },
-        /* 6 */ ArraySpec { name: "R1", init: TypedData::F32(vec![0.0; rows * CLASSES]), refresh_each_iter: false },
-        /* 7 */ ArraySpec { name: "AMAX", init: TypedData::F32(vec![0.0; rows]), refresh_each_iter: false },
-        /* 8 */ ArraySpec { name: "LSE", init: TypedData::F32(vec![0.0; rows]), refresh_each_iter: false },
-        /* 9 */ ArraySpec { name: "OUT", init: TypedData::I32(vec![0; rows]), refresh_each_iter: false },
+        ArraySpec {
+            name: "X",
+            init: TypedData::F32(x),
+            refresh_each_iter: true,
+        },
+        /* 1 */
+        ArraySpec {
+            name: "Z",
+            init: TypedData::F32(vec![0.0; rows * FEATURES]),
+            refresh_each_iter: false,
+        },
+        /* 2 */
+        ArraySpec {
+            name: "W",
+            init: TypedData::F32(w),
+            refresh_each_iter: false,
+        },
+        /* 3 */
+        ArraySpec {
+            name: "B",
+            init: TypedData::F32(b),
+            refresh_each_iter: false,
+        },
+        /* 4 */
+        ArraySpec {
+            name: "R2",
+            init: TypedData::F32(vec![0.0; rows * CLASSES]),
+            refresh_each_iter: false,
+        },
+        /* 5 */
+        ArraySpec {
+            name: "LOGP",
+            init: TypedData::F32(logp),
+            refresh_each_iter: false,
+        },
+        /* 6 */
+        ArraySpec {
+            name: "R1",
+            init: TypedData::F32(vec![0.0; rows * CLASSES]),
+            refresh_each_iter: false,
+        },
+        /* 7 */
+        ArraySpec {
+            name: "AMAX",
+            init: TypedData::F32(vec![0.0; rows]),
+            refresh_each_iter: false,
+        },
+        /* 8 */
+        ArraySpec {
+            name: "LSE",
+            init: TypedData::F32(vec![0.0; rows]),
+            refresh_each_iter: false,
+        },
+        /* 9 */
+        ArraySpec {
+            name: "OUT",
+            init: TypedData::I32(vec![0; rows]),
+            refresh_each_iter: false,
+        },
     ];
 
     let ops = vec![
@@ -64,7 +113,12 @@ pub fn build(scale: usize) -> BenchSpec {
         PlanOp {
             def: &RR_NORMALIZE,
             grid,
-            args: vec![PlanArg::Arr(0), PlanArg::Arr(1), PlanArg::Scalar(rf), PlanArg::Scalar(ff)],
+            args: vec![
+                PlanArg::Arr(0),
+                PlanArg::Arr(1),
+                PlanArg::Scalar(rf),
+                PlanArg::Scalar(ff),
+            ],
             stream: 0,
             deps: vec![],
         },
@@ -102,7 +156,12 @@ pub fn build(scale: usize) -> BenchSpec {
         PlanOp {
             def: &NB_ROW_MAX,
             grid,
-            args: vec![PlanArg::Arr(6), PlanArg::Arr(7), PlanArg::Scalar(rf), PlanArg::Scalar(cf)],
+            args: vec![
+                PlanArg::Arr(6),
+                PlanArg::Arr(7),
+                PlanArg::Scalar(rf),
+                PlanArg::Scalar(cf),
+            ],
             stream: 1,
             deps: vec![1],
         },
@@ -110,7 +169,12 @@ pub fn build(scale: usize) -> BenchSpec {
         PlanOp {
             def: &RR_ADD_INTERCEPT,
             grid,
-            args: vec![PlanArg::Arr(4), PlanArg::Arr(3), PlanArg::Scalar(rf), PlanArg::Scalar(cf)],
+            args: vec![
+                PlanArg::Arr(4),
+                PlanArg::Arr(3),
+                PlanArg::Scalar(rf),
+                PlanArg::Scalar(cf),
+            ],
             stream: 0,
             deps: vec![2],
         },
@@ -166,7 +230,13 @@ pub fn build(scale: usize) -> BenchSpec {
         },
     ];
 
-    BenchSpec { name: "ML", arrays, ops, outputs: vec![(9, 4.min(rows))], scale }
+    BenchSpec {
+        name: "ML",
+        arrays,
+        ops,
+        outputs: vec![(9, 4.min(rows))],
+        scale,
+    }
 }
 
 #[cfg(test)]

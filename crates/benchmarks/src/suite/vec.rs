@@ -38,7 +38,11 @@ pub fn build(scale: usize) -> BenchSpec {
                 init: TypedData::F32(gen.f32_vec(scale, 0.0, 1.0)),
                 refresh_each_iter: true,
             },
-            ArraySpec { name: "Z", init: TypedData::F32(vec![0.0]), refresh_each_iter: false },
+            ArraySpec {
+                name: "Z",
+                init: TypedData::F32(vec![0.0]),
+                refresh_each_iter: false,
+            },
         ],
         ops: vec![
             PlanOp {
@@ -58,7 +62,12 @@ pub fn build(scale: usize) -> BenchSpec {
             PlanOp {
                 def: &REDUCE_SUM_DIFF,
                 grid,
-                args: vec![PlanArg::Arr(0), PlanArg::Arr(1), PlanArg::Arr(2), PlanArg::Scalar(n)],
+                args: vec![
+                    PlanArg::Arr(0),
+                    PlanArg::Arr(1),
+                    PlanArg::Arr(2),
+                    PlanArg::Scalar(n),
+                ],
                 stream: 0,
                 deps: vec![0, 1],
             },
@@ -89,8 +98,11 @@ mod tests {
             (TypedData::F32(x), TypedData::F32(y)) => (x.clone(), y.clone()),
             _ => unreachable!(),
         };
-        let expect: f64 =
-            x0.iter().zip(&y0).map(|(&a, &b)| (a * a - b * b) as f64).sum();
+        let expect: f64 = x0
+            .iter()
+            .zip(&y0)
+            .map(|(&a, &b)| (a * a - b * b) as f64)
+            .sum();
         match &final_state[2] {
             TypedData::F32(z) => assert!((z[0] as f64 - expect).abs() < 1e-2),
             _ => unreachable!(),

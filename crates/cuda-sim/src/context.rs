@@ -139,9 +139,13 @@ impl Cuda {
         let id = ValueId(inner.next_value);
         inner.next_value += 1;
         let arr = UnifiedArray::new(id, data);
-        inner
-            .arrays
-            .insert(id, ArrayState { residency: Residency::Host, bytes: arr.byte_len() });
+        inner.arrays.insert(
+            id,
+            ArrayState {
+                residency: Residency::Host,
+                bytes: arr.byte_len(),
+            },
+        );
         arr
     }
 
@@ -157,7 +161,11 @@ impl Cuda {
     /// next launch.
     pub fn host_written(&self, a: &UnifiedArray) {
         let mut inner = self.inner.borrow_mut();
-        inner.arrays.get_mut(&a.id).expect("unknown array").residency = Residency::Host;
+        inner
+            .arrays
+            .get_mut(&a.id)
+            .expect("unknown array")
+            .residency = Residency::Host;
     }
 
     /// Model the CPU touching `bytes` of the array (e.g. reading a
@@ -417,7 +425,10 @@ impl Inner {
                 continue;
             }
             seen.push(*v);
-            let st = self.arrays.get(v).expect("kernel argument not allocated here");
+            let st = self
+                .arrays
+                .get(v)
+                .expect("kernel argument not allocated here");
             if st.residency.on_device() {
                 continue;
             }
@@ -432,8 +443,14 @@ impl Inner {
                 )
                 .reading(&[*v])
             } else {
-                TaskSpec::bulk_copy(TaskKind::CopyH2D, format!("h2d->{v:?}"), stream.0, bytes, &dev)
-                    .reading(&[*v])
+                TaskSpec::bulk_copy(
+                    TaskKind::CopyH2D,
+                    format!("h2d->{v:?}"),
+                    stream.0,
+                    bytes,
+                    &dev,
+                )
+                .reading(&[*v])
             };
             let mut deps = stream_deps(&self.streams, stream);
             if dev.supports_page_faults() {
@@ -509,7 +526,10 @@ mod tests {
         KernelExec::new(
             name,
             Grid::d1(4096, 256),
-            KernelCost { min_time: ms * 1e-3, ..Default::default() },
+            KernelCost {
+                min_time: ms * 1e-3,
+                ..Default::default()
+            },
             vec![arr.buf.clone()],
             vec![(arr.id, false)],
             Rc::new(|_| {}),
@@ -627,7 +647,10 @@ mod tests {
         let tl = c.timeline();
         let prod = tl.kernels().find(|iv| iv.label == "producer").unwrap();
         let cons = tl.kernels().find(|iv| iv.label == "consumer").unwrap();
-        assert!(cons.start >= prod.end - 1e-12, "consumer must wait for the event");
+        assert!(
+            cons.start >= prod.end - 1e-12,
+            "consumer must wait for the event"
+        );
     }
 
     #[test]
@@ -646,7 +669,10 @@ mod tests {
             KernelExec::new(
                 name,
                 Grid::d1(64, 32),
-                KernelCost { min_time: 1e-3, ..Default::default() },
+                KernelCost {
+                    min_time: 1e-3,
+                    ..Default::default()
+                },
                 vec![arr.buf.clone()],
                 vec![(arr.id, false)],
                 Rc::new(|_| {}),
@@ -705,7 +731,10 @@ mod tests {
         let exec = KernelExec::new(
             "fill7",
             Grid::d1(1, 32),
-            KernelCost { min_time: 1e-4, ..Default::default() },
+            KernelCost {
+                min_time: 1e-4,
+                ..Default::default()
+            },
             vec![a.buf.clone()],
             vec![(a.id, false)],
             Rc::new(|bufs: &[gpu_sim::DataBuffer]| {
@@ -733,7 +762,10 @@ mod tests {
         c.launch(s1, &k1);
         c.launch(s2, &k2); // no event: both write `a` concurrently
         c.device_sync();
-        assert!(!c.races().is_empty(), "unsynchronized writers must be flagged");
+        assert!(
+            !c.races().is_empty(),
+            "unsynchronized writers must be flagged"
+        );
     }
 }
 
@@ -751,7 +783,10 @@ mod edge_tests {
         let k = KernelExec::new(
             "k",
             Grid::d1(64, 256),
-            KernelCost { min_time: 2e-3, ..Default::default() },
+            KernelCost {
+                min_time: 2e-3,
+                ..Default::default()
+            },
             vec![a.buf.clone()],
             vec![(a.id, false)],
             Rc::new(|_| {}),
@@ -773,14 +808,20 @@ mod edge_tests {
         let k = KernelExec::new(
             "k",
             Grid::d1(64, 256),
-            KernelCost { min_time: 1e-3, ..Default::default() },
+            KernelCost {
+                min_time: 1e-3,
+                ..Default::default()
+            },
             vec![a.buf.clone()],
             vec![(a.id, false)],
             Rc::new(|_| {}),
         );
         c.launch(c.default_stream(), &k);
         c.host_spin(5e-3);
-        assert!(c.stream_query(c.default_stream()), "work must finish in the background");
+        assert!(
+            c.stream_query(c.default_stream()),
+            "work must finish in the background"
+        );
     }
 
     #[test]
@@ -799,8 +840,11 @@ mod edge_tests {
         assert_eq!(copies.len(), 2);
         // Even on different streams, the second copy starts only after
         // the first ends (single H2D DMA engine).
-        let (first, second) =
-            if copies[0].start <= copies[1].start { (copies[0], copies[1]) } else { (copies[1], copies[0]) };
+        let (first, second) = if copies[0].start <= copies[1].start {
+            (copies[0], copies[1])
+        } else {
+            (copies[1], copies[0])
+        };
         assert!(second.start >= first.end - 1e-12, "copies must serialize");
     }
 
@@ -821,7 +865,10 @@ mod edge_tests {
         let k = KernelExec::new(
             "w",
             Grid::d1(16, 64),
-            KernelCost { min_time: 1e-5, ..Default::default() },
+            KernelCost {
+                min_time: 1e-5,
+                ..Default::default()
+            },
             vec![a.buf.clone()],
             vec![(a.id, false)],
             Rc::new(|_| {}),

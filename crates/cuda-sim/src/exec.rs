@@ -55,18 +55,37 @@ impl KernelExec {
         accesses: Vec<(ValueId, bool)>,
         func: KernelFunc,
     ) -> Self {
-        assert_eq!(buffers.len(), accesses.len(), "buffers/accesses must be aligned");
-        KernelExec { name: name.into(), grid, cost, buffers, accesses, func }
+        assert_eq!(
+            buffers.len(),
+            accesses.len(),
+            "buffers/accesses must be aligned"
+        );
+        KernelExec {
+            name: name.into(),
+            grid,
+            cost,
+            buffers,
+            accesses,
+            func,
+        }
     }
 
     /// Values this launch writes.
     pub fn writes(&self) -> Vec<ValueId> {
-        self.accesses.iter().filter(|(_, ro)| !ro).map(|(v, _)| *v).collect()
+        self.accesses
+            .iter()
+            .filter(|(_, ro)| !ro)
+            .map(|(v, _)| *v)
+            .collect()
     }
 
     /// Values this launch only reads.
     pub fn reads(&self) -> Vec<ValueId> {
-        self.accesses.iter().filter(|(_, ro)| *ro).map(|(v, _)| *v).collect()
+        self.accesses
+            .iter()
+            .filter(|(_, ro)| *ro)
+            .map(|(v, _)| *v)
+            .collect()
     }
 
     /// A closure running the functional implementation once.

@@ -64,7 +64,10 @@ impl Default for CudaGraph {
 impl CudaGraph {
     /// An empty graph for the manual-dependency API.
     pub fn new() -> Self {
-        CudaGraph { nodes: Vec::new(), instantiated: Cell::new(false) }
+        CudaGraph {
+            nodes: Vec::new(),
+            instantiated: Cell::new(false),
+        }
     }
 
     /// Add a kernel node whose execution waits for `deps`
@@ -146,8 +149,7 @@ impl CudaGraph {
             for d in &node.deps {
                 has_child[d.0 as usize] = true;
             }
-            let dep_tasks: Vec<TaskId> =
-                node.deps.iter().map(|d| task_of[d.0 as usize]).collect();
+            let dep_tasks: Vec<TaskId> = node.deps.iter().map(|d| task_of[d.0 as usize]).collect();
             let t = match &node.op {
                 GraphOp::Kernel(exec) => inner.submit_kernel(stream_of[i], exec, &dep_tasks),
                 GraphOp::Empty => {
@@ -178,7 +180,10 @@ pub(crate) struct CaptureState {
 
 impl CaptureState {
     fn new() -> Self {
-        CaptureState { nodes: Vec::new(), tails: HashMap::new() }
+        CaptureState {
+            nodes: Vec::new(),
+            tails: HashMap::new(),
+        }
     }
 
     pub(crate) fn record_kernel(&mut self, stream: StreamId, exec: &KernelExec) {
@@ -243,7 +248,10 @@ impl Cuda {
     pub fn end_capture(&self) -> CudaGraph {
         let mut inner = self.inner.borrow_mut();
         let cap = inner.capture.take().expect("no capture in progress");
-        CudaGraph { nodes: cap.nodes, instantiated: Cell::new(false) }
+        CudaGraph {
+            nodes: cap.nodes,
+            instantiated: Cell::new(false),
+        }
     }
 }
 
@@ -261,7 +269,10 @@ mod tests {
         KernelExec::new(
             name,
             Grid::d1(64, 128),
-            KernelCost { min_time: ms * 1e-3, ..Default::default() },
+            KernelCost {
+                min_time: ms * 1e-3,
+                ..Default::default()
+            },
             vec![arr.buf.clone()],
             vec![(arr.id, !write)],
             Rc::new(|_| {}),
@@ -312,7 +323,11 @@ mod tests {
         assert!(c.launch(s1, &kern("k1", &a, 1.0, true)).is_none());
         let g = c.end_capture();
         assert_eq!(g.len(), 1);
-        assert_eq!(c.timeline().kernels().count(), 0, "nothing executed during capture");
+        assert_eq!(
+            c.timeline().kernels().count(),
+            0,
+            "nothing executed during capture"
+        );
         let done = g.launch(&c);
         c.task_sync(done);
         assert_eq!(c.timeline().kernels().count(), 1);
@@ -348,13 +363,20 @@ mod tests {
         let a = c.alloc_f32(1 << 20);
         c.begin_capture();
         let s1 = c.stream_create();
-        assert!(c.prefetch_async(s1, &a).is_none(), "prefetch cannot be captured");
+        assert!(
+            c.prefetch_async(s1, &a).is_none(),
+            "prefetch cannot be captured"
+        );
         c.launch(s1, &kern("k", &a, 1.0, true));
         let g = c.end_capture();
         let done = g.launch(&c);
         c.task_sync(done);
         let tl = c.timeline();
-        assert_eq!(tl.of_kind(TaskKind::FaultH2D).count(), 1, "replay pays the fault path");
+        assert_eq!(
+            tl.of_kind(TaskKind::FaultH2D).count(),
+            1,
+            "replay pays the fault path"
+        );
         assert_eq!(tl.of_kind(TaskKind::CopyH2D).count(), 0);
     }
 
@@ -376,7 +398,10 @@ mod tests {
         let d2 = g.launch(&c);
         c.task_sync(d2);
         let second = c.now() - t1;
-        assert!(second < first, "first launch pays instantiation: {first} vs {second}");
+        assert!(
+            second < first,
+            "first launch pays instantiation: {first} vs {second}"
+        );
     }
 
     #[test]
@@ -396,7 +421,10 @@ mod tests {
         let tl = c.timeline();
         let p = tl.kernels().find(|iv| iv.label == "p").unwrap();
         let c1 = tl.kernels().find(|iv| iv.label == "c1").unwrap();
-        assert_eq!(p.stream, c1.stream, "first child reuses the parent's stream");
+        assert_eq!(
+            p.stream, c1.stream,
+            "first child reuses the parent's stream"
+        );
     }
 
     #[test]
@@ -447,7 +475,10 @@ mod edge_tests {
         let k = KernelExec::new(
             "k",
             gpu_sim::Grid::d1(1, 32),
-            gpu_sim::KernelCost { min_time: 1e-5, ..Default::default() },
+            gpu_sim::KernelCost {
+                min_time: 1e-5,
+                ..Default::default()
+            },
             vec![a.buf.clone()],
             vec![(a.id, false)],
             std::rc::Rc::new(|_| {}),
@@ -469,7 +500,10 @@ mod edge_tests {
         let bump = KernelExec::new(
             "bump",
             gpu_sim::Grid::d1(1, 32),
-            gpu_sim::KernelCost { min_time: 1e-5, ..Default::default() },
+            gpu_sim::KernelCost {
+                min_time: 1e-5,
+                ..Default::default()
+            },
             vec![a.buf.clone()],
             vec![(a.id, false)],
             std::rc::Rc::new(|bufs: &[gpu_sim::DataBuffer]| {

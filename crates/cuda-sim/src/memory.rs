@@ -45,7 +45,10 @@ pub struct UnifiedArray {
 
 impl UnifiedArray {
     pub(crate) fn new(id: ValueId, data: TypedData) -> Self {
-        UnifiedArray { id, buf: DataBuffer::new(data) }
+        UnifiedArray {
+            id,
+            buf: DataBuffer::new(data),
+        }
     }
 
     /// Number of elements.

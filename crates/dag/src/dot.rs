@@ -46,7 +46,8 @@ mod tests {
     #[test]
     fn dot_contains_vertices_and_edges() {
         let mut dag = ComputationDag::new();
-        let (_, _) = dag.add_computation(ElementKind::Kernel, "K1", vec![ArgAccess::write(Value(0))]);
+        let (_, _) =
+            dag.add_computation(ElementKind::Kernel, "K1", vec![ArgAccess::write(Value(0))]);
         let (_, _) = dag.add_computation(
             ElementKind::Kernel,
             "K2",
@@ -56,15 +57,21 @@ mod tests {
         assert!(dot.starts_with("digraph"));
         assert!(dot.contains("n0 ->") || dot.contains("n0 -> n1"));
         assert!(dot.contains("K1"));
-        assert!(dot.contains("style=dashed"), "read-only edge must be dashed");
+        assert!(
+            dot.contains("style=dashed"),
+            "read-only edge must be dashed"
+        );
         assert!(dot.ends_with("}\n"));
     }
 
     #[test]
     fn quotes_are_escaped() {
         let mut dag = ComputationDag::new();
-        let (_, _) =
-            dag.add_computation(ElementKind::Kernel, "K\"x\"", vec![ArgAccess::write(Value(0))]);
+        let (_, _) = dag.add_computation(
+            ElementKind::Kernel,
+            "K\"x\"",
+            vec![ArgAccess::write(Value(0))],
+        );
         let dot = to_dot(&dag, "a\"b");
         assert!(dot.contains("K\\\"x\\\""));
         assert!(dot.contains("a\\\"b"));

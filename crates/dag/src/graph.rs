@@ -123,7 +123,11 @@ impl ComputationDag {
             } else {
                 // Writer: WAR on readers if any, else RAW/WAW on writer.
                 let readers = std::mem::take(
-                    &mut self.values.entry(arg.value).or_default().readers_since_write,
+                    &mut self
+                        .values
+                        .entry(arg.value)
+                        .or_default()
+                        .readers_since_write,
                 );
                 let prev_writer = self.values.entry(arg.value).or_default().last_writer;
                 let mut found_dep = false;
@@ -173,14 +177,20 @@ impl ComputationDag {
         if !self.access_conflicts(value, write) {
             return (None, Vec::new());
         }
-        let arg = if write { ArgAccess::write(value) } else { ArgAccess::read(value) };
+        let arg = if write {
+            ArgAccess::write(value)
+        } else {
+            ArgAccess::read(value)
+        };
         let (id, deps) = self.add_computation(ElementKind::ArrayAccess, label, vec![arg]);
         (Some(id), deps)
     }
 
     /// Whether a CPU access to `value` would depend on active GPU work.
     pub fn access_conflicts(&self, value: Value, write: bool) -> bool {
-        let Some(state) = self.values.get(&value) else { return false };
+        let Some(state) = self.values.get(&value) else {
+            return false;
+        };
         if let Some(w) = state.last_writer {
             if self.is_dep_source(w, value) {
                 return true;
@@ -191,9 +201,9 @@ impl ComputationDag {
                 .readers_since_write
                 .iter()
                 .any(|&r| self.is_dep_source(r, value))
-            {
-                return true;
-            }
+        {
+            return true;
+        }
         false
     }
 
@@ -233,7 +243,12 @@ impl ComputationDag {
     }
 
     fn record_edge(&mut self, from: VertexId, to: VertexId, value: Value, read_only: bool) {
-        self.edges.push(DepEdge { from, to, value, read_only });
+        self.edges.push(DepEdge {
+            from,
+            to,
+            value,
+            read_only,
+        });
     }
 }
 
@@ -253,7 +268,11 @@ mod tests {
     const W: Value = Value(3);
     const R: Value = Value(4);
 
-    fn kernel(dag: &mut ComputationDag, label: &str, args: Vec<ArgAccess>) -> (VertexId, Vec<VertexId>) {
+    fn kernel(
+        dag: &mut ComputationDag,
+        label: &str,
+        args: Vec<ArgAccess>,
+    ) -> (VertexId, Vec<VertexId>) {
         dag.add_computation(ElementKind::Kernel, label, args)
     }
 
@@ -262,9 +281,17 @@ mod tests {
     #[test]
     fn fig3_case_a_read_after_write() {
         let mut dag = ComputationDag::new();
-        let (k1, d1) = kernel(&mut dag, "K1", vec![ArgAccess::write(X), ArgAccess::read(Y)]);
+        let (k1, d1) = kernel(
+            &mut dag,
+            "K1",
+            vec![ArgAccess::write(X), ArgAccess::read(Y)],
+        );
         assert!(d1.is_empty());
-        let (k2, d2) = kernel(&mut dag, "K2", vec![ArgAccess::read(X), ArgAccess::write(Z)]);
+        let (k2, d2) = kernel(
+            &mut dag,
+            "K2",
+            vec![ArgAccess::read(X), ArgAccess::write(Z)],
+        );
         assert_eq!(d2, vec![k1]);
         // The read-only use does NOT consume X from K1's set.
         assert!(dag.dep_set(k1).contains(&X));
@@ -276,9 +303,21 @@ mod tests {
     #[test]
     fn fig3_case_b_write_after_read_depends_on_reader_only() {
         let mut dag = ComputationDag::new();
-        let (k1, _) = kernel(&mut dag, "K1", vec![ArgAccess::write(X), ArgAccess::read(Y)]);
-        let (k2, _) = kernel(&mut dag, "K2", vec![ArgAccess::read(X), ArgAccess::write(Z)]);
-        let (_k3, d3) = kernel(&mut dag, "K3", vec![ArgAccess::write(X), ArgAccess::write(W)]);
+        let (k1, _) = kernel(
+            &mut dag,
+            "K1",
+            vec![ArgAccess::write(X), ArgAccess::read(Y)],
+        );
+        let (k2, _) = kernel(
+            &mut dag,
+            "K2",
+            vec![ArgAccess::read(X), ArgAccess::write(Z)],
+        );
+        let (_k3, d3) = kernel(
+            &mut dag,
+            "K3",
+            vec![ArgAccess::write(X), ArgAccess::write(W)],
+        );
         assert_eq!(d3, vec![k2], "K3 must depend on the reader K2 only");
         // The write consumed X everywhere.
         assert!(!dag.dep_set(k1).contains(&X));
@@ -290,9 +329,21 @@ mod tests {
     #[test]
     fn fig3_case_c_second_reader_depends_on_writer() {
         let mut dag = ComputationDag::new();
-        let (k1, _) = kernel(&mut dag, "K1", vec![ArgAccess::write(X), ArgAccess::read(Y)]);
-        let (_k2, _) = kernel(&mut dag, "K2", vec![ArgAccess::read(X), ArgAccess::write(Z)]);
-        let (_k3, d3) = kernel(&mut dag, "K3", vec![ArgAccess::read(X), ArgAccess::write(W)]);
+        let (k1, _) = kernel(
+            &mut dag,
+            "K1",
+            vec![ArgAccess::write(X), ArgAccess::read(Y)],
+        );
+        let (_k2, _) = kernel(
+            &mut dag,
+            "K2",
+            vec![ArgAccess::read(X), ArgAccess::write(Z)],
+        );
+        let (_k3, d3) = kernel(
+            &mut dag,
+            "K3",
+            vec![ArgAccess::read(X), ArgAccess::write(W)],
+        );
         assert_eq!(d3, vec![k1], "second reader hangs off the writer");
         assert!(dag.dep_set(k1).contains(&X), "K1's set is not updated");
     }
@@ -303,9 +354,21 @@ mod tests {
     #[test]
     fn fig3_follow_up_writer_depends_on_both_readers() {
         let mut dag = ComputationDag::new();
-        let (k1, _) = kernel(&mut dag, "K1", vec![ArgAccess::write(X), ArgAccess::read(Y)]);
-        let (k2, _) = kernel(&mut dag, "K2", vec![ArgAccess::read(X), ArgAccess::write(Z)]);
-        let (k3, _) = kernel(&mut dag, "K3", vec![ArgAccess::read(X), ArgAccess::write(W)]);
+        let (k1, _) = kernel(
+            &mut dag,
+            "K1",
+            vec![ArgAccess::write(X), ArgAccess::read(Y)],
+        );
+        let (k2, _) = kernel(
+            &mut dag,
+            "K2",
+            vec![ArgAccess::read(X), ArgAccess::write(Z)],
+        );
+        let (k3, _) = kernel(
+            &mut dag,
+            "K3",
+            vec![ArgAccess::read(X), ArgAccess::write(W)],
+        );
         let (_k4, d4) = kernel(&mut dag, "K4", vec![ArgAccess::write(X)]);
         assert_eq!(d4, vec![k2, k3]);
         for k in [k1, k2, k3] {
@@ -321,7 +384,10 @@ mod tests {
         let mut dag = ComputationDag::new();
         let (k1x, d1) = kernel(&mut dag, "K1(X)", vec![ArgAccess::write(X)]);
         let (k1y, d2) = kernel(&mut dag, "K1(Y)", vec![ArgAccess::write(Y)]);
-        assert!(d1.is_empty() && d2.is_empty(), "the two squares are independent");
+        assert!(
+            d1.is_empty() && d2.is_empty(),
+            "the two squares are independent"
+        );
         let (k2, d3) = kernel(
             &mut dag,
             "K2",
@@ -343,17 +409,41 @@ mod tests {
         let r2 = Value(11);
         // FC(X→Y), then NB(Y→R1) and NO(Y→Z) read Y concurrently,
         // RI(Z→R2), EN(R1,R2→R).
-        let (fc, _) = kernel(&mut dag, "FC", vec![ArgAccess::read(X), ArgAccess::write(Y)]);
-        let (nb, dnb) = kernel(&mut dag, "NB", vec![ArgAccess::read(Y), ArgAccess::write(r1)]);
-        let (no, dno) = kernel(&mut dag, "NO", vec![ArgAccess::read(Y), ArgAccess::write(Z)]);
+        let (fc, _) = kernel(
+            &mut dag,
+            "FC",
+            vec![ArgAccess::read(X), ArgAccess::write(Y)],
+        );
+        let (nb, dnb) = kernel(
+            &mut dag,
+            "NB",
+            vec![ArgAccess::read(Y), ArgAccess::write(r1)],
+        );
+        let (no, dno) = kernel(
+            &mut dag,
+            "NO",
+            vec![ArgAccess::read(Y), ArgAccess::write(Z)],
+        );
         assert_eq!(dnb, vec![fc]);
-        assert_eq!(dno, vec![fc], "NO depends on FC, not on NB — branches are parallel");
-        let (ri, dri) = kernel(&mut dag, "RI", vec![ArgAccess::read(Z), ArgAccess::write(r2)]);
+        assert_eq!(
+            dno,
+            vec![fc],
+            "NO depends on FC, not on NB — branches are parallel"
+        );
+        let (ri, dri) = kernel(
+            &mut dag,
+            "RI",
+            vec![ArgAccess::read(Z), ArgAccess::write(r2)],
+        );
         assert_eq!(dri, vec![no]);
         let (_en, den) = kernel(
             &mut dag,
             "EN",
-            vec![ArgAccess::read(r1), ArgAccess::read(r2), ArgAccess::write(R)],
+            vec![
+                ArgAccess::read(r1),
+                ArgAccess::read(r2),
+                ArgAccess::write(R),
+            ],
         );
         assert_eq!(den, vec![nb, ri]);
     }
@@ -377,21 +467,36 @@ mod tests {
         dag.retire(a1.unwrap());
         // A second read no longer conflicts.
         let (a2, deps) = dag.add_array_access("X[1]", X, false);
-        assert!(a2.is_none(), "consecutive accesses are executed immediately: {deps:?}");
+        assert!(
+            a2.is_none(),
+            "consecutive accesses are executed immediately: {deps:?}"
+        );
     }
 
     #[test]
     fn retire_is_transitive_to_ancestors() {
         let mut dag = ComputationDag::new();
         let (k1, _) = kernel(&mut dag, "K1", vec![ArgAccess::write(X)]);
-        let (k2, _) = kernel(&mut dag, "K2", vec![ArgAccess::read(X), ArgAccess::write(Y)]);
-        let (k3, _) = kernel(&mut dag, "K3", vec![ArgAccess::read(Y), ArgAccess::write(Z)]);
+        let (k2, _) = kernel(
+            &mut dag,
+            "K2",
+            vec![ArgAccess::read(X), ArgAccess::write(Y)],
+        );
+        let (k3, _) = kernel(
+            &mut dag,
+            "K3",
+            vec![ArgAccess::read(Y), ArgAccess::write(Z)],
+        );
         dag.retire(k3);
         assert!(!dag.vertex(k1).active);
         assert!(!dag.vertex(k2).active);
         assert!(!dag.vertex(k3).active);
         // New reader of X needs no dependency: everything retired.
-        let (_k4, d4) = kernel(&mut dag, "K4", vec![ArgAccess::read(X), ArgAccess::write(W)]);
+        let (_k4, d4) = kernel(
+            &mut dag,
+            "K4",
+            vec![ArgAccess::read(X), ArgAccess::write(W)],
+        );
         assert!(d4.is_empty());
     }
 
@@ -400,7 +505,11 @@ mod tests {
         let mut dag = ComputationDag::new();
         let (k1, _) = kernel(&mut dag, "K1", vec![ArgAccess::write(X)]);
         assert_eq!(dag.frontier(), vec![k1]);
-        let (k2, _) = kernel(&mut dag, "K2", vec![ArgAccess::write(X), ArgAccess::write(Y)]);
+        let (k2, _) = kernel(
+            &mut dag,
+            "K2",
+            vec![ArgAccess::write(X), ArgAccess::write(Y)],
+        );
         // K1's only dep-set entry was consumed by the writer K2.
         assert!(dag.vertex(k1).exhausted());
         assert_eq!(dag.frontier(), vec![k2]);
@@ -410,8 +519,16 @@ mod tests {
     fn first_child_ordering_is_recorded() {
         let mut dag = ComputationDag::new();
         let (k1, _) = kernel(&mut dag, "K1", vec![ArgAccess::write(X)]);
-        let (k2, _) = kernel(&mut dag, "K2", vec![ArgAccess::read(X), ArgAccess::write(Y)]);
-        let (k3, _) = kernel(&mut dag, "K3", vec![ArgAccess::read(X), ArgAccess::write(Z)]);
+        let (k2, _) = kernel(
+            &mut dag,
+            "K2",
+            vec![ArgAccess::read(X), ArgAccess::write(Y)],
+        );
+        let (k3, _) = kernel(
+            &mut dag,
+            "K3",
+            vec![ArgAccess::read(X), ArgAccess::write(Z)],
+        );
         assert_eq!(dag.vertex(k1).children, vec![k2, k3]);
     }
 
@@ -419,7 +536,11 @@ mod tests {
     fn edges_are_labeled_with_the_causing_value() {
         let mut dag = ComputationDag::new();
         let (k1, _) = kernel(&mut dag, "K1", vec![ArgAccess::write(X)]);
-        let (k2, _) = kernel(&mut dag, "K2", vec![ArgAccess::read(X), ArgAccess::write(Y)]);
+        let (k2, _) = kernel(
+            &mut dag,
+            "K2",
+            vec![ArgAccess::read(X), ArgAccess::write(Y)],
+        );
         let e = dag.edges();
         assert_eq!(e.len(), 1);
         assert_eq!(e[0].from, k1);
@@ -448,7 +569,11 @@ mod tests {
             let (id, deps) = kernel(
                 &mut dag,
                 "k",
-                vec![if i % 2 == 0 { ArgAccess::write(v) } else { ArgAccess::read(v) }],
+                vec![if i % 2 == 0 {
+                    ArgAccess::write(v)
+                } else {
+                    ArgAccess::read(v)
+                }],
             );
             for d in deps {
                 assert!(d < id);

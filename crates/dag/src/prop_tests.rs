@@ -20,11 +20,7 @@ struct Op {
 }
 
 fn op_strategy(num_values: u64) -> impl Strategy<Value = Op> {
-    proptest::collection::vec(
-        (0..num_values, proptest::bool::ANY),
-        1..4,
-    )
-    .prop_map(|pairs| {
+    proptest::collection::vec((0..num_values, proptest::bool::ANY), 1..4).prop_map(|pairs| {
         let mut args: Vec<ArgAccess> = Vec::new();
         for (v, ro) in pairs {
             let value = Value(v);
@@ -32,7 +28,10 @@ fn op_strategy(num_values: u64) -> impl Strategy<Value = Op> {
             if let Some(a) = args.iter_mut().find(|a| a.value == value) {
                 a.read_only &= ro;
             } else {
-                args.push(ArgAccess { value, read_only: ro });
+                args.push(ArgAccess {
+                    value,
+                    read_only: ro,
+                });
             }
         }
         Op { args }
@@ -68,7 +67,10 @@ fn exec(i: usize, op: &Op, state: &mut HashMap<Value, u64>) {
 fn infer_deps(ops: &[Op]) -> Vec<Vec<VertexId>> {
     let mut dag = ComputationDag::new();
     ops.iter()
-        .map(|op| dag.add_computation(ElementKind::Kernel, "op", op.args.clone()).1)
+        .map(|op| {
+            dag.add_computation(ElementKind::Kernel, "op", op.args.clone())
+                .1
+        })
         .collect()
 }
 

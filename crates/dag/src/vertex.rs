@@ -43,13 +43,19 @@ pub struct ArgAccess {
 impl ArgAccess {
     /// A read-only (const) argument.
     pub fn read(value: Value) -> Self {
-        ArgAccess { value, read_only: true }
+        ArgAccess {
+            value,
+            read_only: true,
+        }
     }
 
     /// A read-write argument (the conservative default when no
     /// annotation is given).
     pub fn write(value: Value) -> Self {
-        ArgAccess { value, read_only: false }
+        ArgAccess {
+            value,
+            read_only: false,
+        }
     }
 }
 
@@ -79,9 +85,23 @@ pub struct Vertex {
 }
 
 impl Vertex {
-    pub(crate) fn new(id: VertexId, kind: ElementKind, label: String, args: Vec<ArgAccess>) -> Self {
+    pub(crate) fn new(
+        id: VertexId,
+        kind: ElementKind,
+        label: String,
+        args: Vec<ArgAccess>,
+    ) -> Self {
         let dep_set = args.iter().map(|a| a.value).collect();
-        Vertex { id, kind, label, args, dep_set, parents: Vec::new(), children: Vec::new(), active: true }
+        Vertex {
+            id,
+            kind,
+            label,
+            args,
+            dep_set,
+            parents: Vec::new(),
+            children: Vec::new(),
+            active: true,
+        }
     }
 
     /// True once the dependency set is empty: the vertex "can no longer

@@ -38,17 +38,26 @@ pub struct Grid {
 impl Grid {
     /// 1-dimensional launch: `blocks` blocks of `threads` threads.
     pub fn d1(blocks: u32, threads: u32) -> Self {
-        Grid { blocks: (blocks, 1, 1), threads: (threads, 1, 1) }
+        Grid {
+            blocks: (blocks, 1, 1),
+            threads: (threads, 1, 1),
+        }
     }
 
     /// 2-dimensional launch (used by the image and DL benchmarks).
     pub fn d2(bx: u32, by: u32, tx: u32, ty: u32) -> Self {
-        Grid { blocks: (bx, by, 1), threads: (tx, ty, 1) }
+        Grid {
+            blocks: (bx, by, 1),
+            threads: (tx, ty, 1),
+        }
     }
 
     /// 3-dimensional launch (used by the DL convolutions).
     pub fn d3(b: (u32, u32, u32), t: (u32, u32, u32)) -> Self {
-        Grid { blocks: b, threads: t }
+        Grid {
+            blocks: b,
+            threads: t,
+        }
     }
 
     /// Total number of blocks in the grid.
@@ -235,7 +244,10 @@ mod tests {
     #[test]
     fn memory_bound_kernel_time_tracks_dram_bandwidth() {
         let n = 100_000_000.0; // bytes
-        let c = KernelCost { dram_bytes: n, ..Default::default() };
+        let c = KernelCost {
+            dram_bytes: n,
+            ..Default::default()
+        };
         let (solo, d) = c.solo_profile(Grid::d1(4096, 256), &dev());
         let expected = n / dev().dram_bw;
         assert!((solo - expected).abs() / expected < 1e-9);
@@ -244,7 +256,11 @@ mod tests {
 
     #[test]
     fn low_occupancy_slows_a_solo_kernel() {
-        let c = KernelCost { flops32: 1e9, dram_bytes: 1e6, ..Default::default() };
+        let c = KernelCost {
+            flops32: 1e9,
+            dram_bytes: 1e6,
+            ..Default::default()
+        };
         let (fast, _) = c.solo_profile(Grid::d1(4096, 256), &dev());
         let (slow, _) = c.solo_profile(Grid::d1(64, 32), &dev());
         assert!(slow > 3.0 * fast, "slow={slow} fast={fast}");
@@ -252,7 +268,10 @@ mod tests {
 
     #[test]
     fn fp64_dominates_on_consumer_parts_but_not_p100() {
-        let c = KernelCost { flops64: 1e9, ..Default::default() };
+        let c = KernelCost {
+            flops64: 1e9,
+            ..Default::default()
+        };
         let g = Grid::d1(4096, 256);
         let (t1660, _) = c.solo_profile(g, &DeviceProfile::gtx1660_super());
         let (tp100, _) = c.solo_profile(g, &DeviceProfile::tesla_p100());
@@ -261,7 +280,11 @@ mod tests {
 
     #[test]
     fn min_time_floor_applies() {
-        let c = KernelCost { flops32: 1.0, min_time: 5e-4, ..Default::default() };
+        let c = KernelCost {
+            flops32: 1.0,
+            min_time: 5e-4,
+            ..Default::default()
+        };
         let (solo, _) = c.solo_profile(Grid::d1(64, 256), &dev());
         assert_eq!(solo, 5e-4);
     }

@@ -108,7 +108,9 @@ macro_rules! typed_accessors {
 impl DataBuffer {
     /// Wrap typed data in a shared buffer.
     pub fn new(data: TypedData) -> Self {
-        DataBuffer { inner: Rc::new(RefCell::new(data)) }
+        DataBuffer {
+            inner: Rc::new(RefCell::new(data)),
+        }
     }
 
     /// A zero-initialized f32 buffer of `n` elements.

@@ -285,8 +285,11 @@ impl Engine {
         if !self.rates_dirty {
             return;
         }
-        let demands: Vec<ResourceDemand> =
-            self.active.iter().map(|&i| self.tasks[i as usize].demand).collect();
+        let demands: Vec<ResourceDemand> = self
+            .active
+            .iter()
+            .map(|&i| self.tasks[i as usize].demand)
+            .collect();
         self.rates = max_min_rates(&demands, &self.dev);
         self.rates_dirty = false;
     }
@@ -403,8 +406,7 @@ impl Engine {
                     panic!(
                         "simulation deadlock: task {:?} (`{}`) can never complete \
                          (no runnable events; a dependency was never satisfied)",
-                        s,
-                        self.tasks[s.0 as usize].label
+                        s, self.tasks[s.0 as usize].label
                     );
                 }
                 Some(((et, idx), is_activation)) => {
@@ -453,7 +455,13 @@ mod tests {
     #[test]
     fn single_task_takes_latency_plus_work() {
         let mut e = Engine::new(dev());
-        let t = e.submit(TaskSpec::kernel("k", 0).latency(1e-6).fluid(1e-3).sm_frac(0.5), &[]);
+        let t = e.submit(
+            TaskSpec::kernel("k", 0)
+                .latency(1e-6)
+                .fluid(1e-3)
+                .sm_frac(0.5),
+            &[],
+        );
         e.sync_task(t);
         assert!((e.now() - 1.001e-3).abs() < 1e-12);
         assert_eq!(e.timeline().intervals().len(), 1);
@@ -513,7 +521,10 @@ mod tests {
     fn transfer_and_kernel_overlap() {
         let d = dev();
         let mut e = Engine::new(d.clone());
-        let c = e.submit(TaskSpec::bulk_copy(TaskKind::CopyH2D, "x", 1, d.pcie_bw * 1e-3, &d), &[]);
+        let c = e.submit(
+            TaskSpec::bulk_copy(TaskKind::CopyH2D, "x", 1, d.pcie_bw * 1e-3, &d),
+            &[],
+        );
         let k = e.submit(TaskSpec::kernel("k", 0).fluid(1e-3).sm_frac(1.0), &[]);
         e.sync_task(c);
         e.sync_task(k);
@@ -545,7 +556,10 @@ mod tests {
     fn duplicate_deps_counted_once() {
         let mut e = Engine::new(dev());
         let a = e.submit(TaskSpec::kernel("a", 0).fluid(1e-4).sm_frac(0.1), &[]);
-        let b = e.submit(TaskSpec::kernel("b", 0).fluid(1e-4).sm_frac(0.1), &[a, a, a]);
+        let b = e.submit(
+            TaskSpec::kernel("b", 0).fluid(1e-4).sm_frac(0.1),
+            &[a, a, a],
+        );
         e.sync_task(b);
         assert!(e.is_complete(b));
     }
@@ -568,7 +582,10 @@ mod tests {
         let h = hits.clone();
         let mut e = Engine::new(dev());
         let a = e.submit(
-            TaskSpec::kernel("a", 0).fluid(1e-4).sm_frac(0.1).payload(move || h.set(h.get() + 1)),
+            TaskSpec::kernel("a", 0)
+                .fluid(1e-4)
+                .sm_frac(0.1)
+                .payload(move || h.set(h.get() + 1)),
             &[],
         );
         e.sync_task(a);
@@ -581,8 +598,20 @@ mod tests {
         use crate::data::ValueId;
         let mut e = Engine::new(dev());
         let v = ValueId(1);
-        let _ = e.submit(TaskSpec::kernel("w1", 0).fluid(1e-3).sm_frac(0.1).writing(&[v]), &[]);
-        let _ = e.submit(TaskSpec::kernel("w2", 1).fluid(1e-3).sm_frac(0.1).writing(&[v]), &[]);
+        let _ = e.submit(
+            TaskSpec::kernel("w1", 0)
+                .fluid(1e-3)
+                .sm_frac(0.1)
+                .writing(&[v]),
+            &[],
+        );
+        let _ = e.submit(
+            TaskSpec::kernel("w2", 1)
+                .fluid(1e-3)
+                .sm_frac(0.1)
+                .writing(&[v]),
+            &[],
+        );
         e.sync_all();
         assert_eq!(e.races().len(), 1);
         assert!(e.races()[0].write_write);
@@ -593,8 +622,20 @@ mod tests {
         use crate::data::ValueId;
         let mut e = Engine::new(dev());
         let v = ValueId(1);
-        let a = e.submit(TaskSpec::kernel("w1", 0).fluid(1e-3).sm_frac(0.1).writing(&[v]), &[]);
-        let _ = e.submit(TaskSpec::kernel("w2", 1).fluid(1e-3).sm_frac(0.1).writing(&[v]), &[a]);
+        let a = e.submit(
+            TaskSpec::kernel("w1", 0)
+                .fluid(1e-3)
+                .sm_frac(0.1)
+                .writing(&[v]),
+            &[],
+        );
+        let _ = e.submit(
+            TaskSpec::kernel("w2", 1)
+                .fluid(1e-3)
+                .sm_frac(0.1)
+                .writing(&[v]),
+            &[a],
+        );
         e.sync_all();
         assert!(e.races().is_empty());
     }
@@ -608,7 +649,10 @@ mod tests {
     fn stats_accumulate() {
         let d = dev();
         let mut e = Engine::new(d.clone());
-        let c = e.submit(TaskSpec::bulk_copy(TaskKind::CopyH2D, "x", 0, d.pcie_bw * 1e-3, &d), &[]);
+        let c = e.submit(
+            TaskSpec::bulk_copy(TaskKind::CopyH2D, "x", 0, d.pcie_bw * 1e-3, &d),
+            &[],
+        );
         let k = e.submit(TaskSpec::kernel("k", 0).fluid(2e-3).sm_frac(0.5), &[c]);
         e.sync_task(k);
         let s = e.stats();

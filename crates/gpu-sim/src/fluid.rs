@@ -14,8 +14,8 @@
 //! (two bandwidth-bound kernels at half speed) fall out of one mechanism,
 //! matching the phenomena measured in the paper's §V-E.
 
-use crate::task::{capacities, ResourceDemand, NUM_RESOURCES};
 use crate::profile::DeviceProfile;
+use crate::task::{capacities, ResourceDemand, NUM_RESOURCES};
 
 /// Compute max–min fair rates for `demands` on device `dev`.
 ///
@@ -29,7 +29,10 @@ pub fn max_min_rates(demands: &[ResourceDemand], dev: &DeviceProfile) -> Vec<f64
 
 /// Progressive filling over raw demand vectors — separated out for unit
 /// and property testing against arbitrary capacity vectors.
-pub fn max_min_rates_raw(demands: &[[f64; NUM_RESOURCES]], caps: &[f64; NUM_RESOURCES]) -> Vec<f64> {
+pub fn max_min_rates_raw(
+    demands: &[[f64; NUM_RESOURCES]],
+    caps: &[f64; NUM_RESOURCES],
+) -> Vec<f64> {
     let n = demands.len();
     let mut rates = vec![0.0f64; n];
     if n == 0 {
@@ -45,8 +48,7 @@ pub fn max_min_rates_raw(demands: &[[f64; NUM_RESOURCES]], caps: &[f64; NUM_RESO
         let mut t = 1.0f64;
         let mut binding: Option<usize> = None;
         for r in 0..NUM_RESOURCES {
-            let load: f64 =
-                (0..n).filter(|&i| !frozen[i]).map(|i| demands[i][r]).sum();
+            let load: f64 = (0..n).filter(|&i| !frozen[i]).map(|i| demands[i][r]).sum();
             if load <= 0.0 {
                 continue;
             }
@@ -107,11 +109,17 @@ mod tests {
     }
 
     fn sm(frac: f64) -> ResourceDemand {
-        ResourceDemand { sm_frac: frac, ..Default::default() }
+        ResourceDemand {
+            sm_frac: frac,
+            ..Default::default()
+        }
     }
 
     fn dram(bps: f64) -> ResourceDemand {
-        ResourceDemand { dram_bps: bps, ..Default::default() }
+        ResourceDemand {
+            dram_bps: bps,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -155,7 +163,11 @@ mod tests {
         // level is nearly 1.
         let d = dev();
         let heavy = dram(d.dram_bw);
-        let light = ResourceDemand { sm_frac: 0.2, dram_bps: d.dram_bw * 0.01, ..Default::default() };
+        let light = ResourceDemand {
+            sm_frac: 0.2,
+            dram_bps: d.dram_bw * 0.01,
+            ..Default::default()
+        };
         let r = max_min_rates(&[heavy, light], &d);
         // level t = cap / (1.01 * cap) ≈ 0.990
         assert!(r[0] > 0.98 && r[0] < 1.0);
@@ -176,8 +188,15 @@ mod tests {
     #[test]
     fn transfer_and_kernel_do_not_contend() {
         let d = dev();
-        let copy = ResourceDemand { h2d_bps: d.pcie_bw, ..Default::default() };
-        let kern = ResourceDemand { sm_frac: 1.0, dram_bps: d.dram_bw * 0.5, ..Default::default() };
+        let copy = ResourceDemand {
+            h2d_bps: d.pcie_bw,
+            ..Default::default()
+        };
+        let kern = ResourceDemand {
+            sm_frac: 1.0,
+            dram_bps: d.dram_bw * 0.5,
+            ..Default::default()
+        };
         let r = max_min_rates(&[copy, kern], &d);
         assert_eq!(r, vec![1.0, 1.0]);
     }
@@ -185,7 +204,11 @@ mod tests {
     #[test]
     fn fault_controller_serializes_migrations() {
         let d = dev();
-        let fault = ResourceDemand { fault_frac: 1.0, h2d_bps: d.fault_bw, ..Default::default() };
+        let fault = ResourceDemand {
+            fault_frac: 1.0,
+            h2d_bps: d.fault_bw,
+            ..Default::default()
+        };
         let r = max_min_rates(&[fault, fault], &d);
         assert!((r[0] - 0.5).abs() < 1e-12);
         assert!((r[1] - 0.5).abs() < 1e-12);
@@ -203,7 +226,10 @@ mod tests {
         // B&S issues 10 independent H2D transfers; each should get a
         // tenth of the link.
         let d = dev();
-        let copy = ResourceDemand { h2d_bps: d.pcie_bw, ..Default::default() };
+        let copy = ResourceDemand {
+            h2d_bps: d.pcie_bw,
+            ..Default::default()
+        };
         let r = max_min_rates(&vec![copy; 10], &d);
         for x in r {
             assert!((x - 0.1).abs() < 1e-12);

@@ -18,12 +18,20 @@ struct RandomTask {
 
 fn tasks_strategy() -> impl Strategy<Value = Vec<RandomTask>> {
     proptest::collection::vec(
-        (1u32..500, 1u32..100, proptest::collection::vec(1usize..4, 0..3)),
+        (
+            1u32..500,
+            1u32..100,
+            proptest::collection::vec(1usize..4, 0..3),
+        ),
         1..24,
     )
     .prop_map(|v| {
         v.into_iter()
-            .map(|(work_us, sm_pct, dep_offsets)| RandomTask { work_us, sm_pct, dep_offsets })
+            .map(|(work_us, sm_pct, dep_offsets)| RandomTask {
+                work_us,
+                sm_pct,
+                dep_offsets,
+            })
             .collect()
     })
 }

@@ -37,7 +37,11 @@ impl std::fmt::Display for RaceReport {
             self.value,
             self.first,
             self.second,
-            if self.write_write { "write/write" } else { "read/write" }
+            if self.write_write {
+                "write/write"
+            } else {
+                "read/write"
+            }
         )
     }
 }

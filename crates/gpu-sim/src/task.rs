@@ -84,7 +84,15 @@ impl ResourceDemand {
 
 /// Resource capacities of a device, aligned with [`ResourceDemand::as_vec`].
 pub(crate) fn capacities(dev: &DeviceProfile) -> [f64; NUM_RESOURCES] {
-    [1.0, dev.dram_bw, dev.l2_bw, dev.fp64_flops, dev.pcie_bw, dev.pcie_bw, 1.0]
+    [
+        1.0,
+        dev.dram_bw,
+        dev.l2_bw,
+        dev.fp64_flops,
+        dev.pcie_bw,
+        dev.pcie_bw,
+        1.0,
+    ]
 }
 
 /// Extra bookkeeping carried by a task for the metrics crate: the raw

@@ -70,7 +70,9 @@ impl Timeline {
 
     /// Kernel intervals.
     pub fn kernels(&self) -> impl Iterator<Item = &Interval> {
-        self.intervals.iter().filter(|iv| iv.kind == TaskKind::Kernel)
+        self.intervals
+            .iter()
+            .filter(|iv| iv.kind == TaskKind::Kernel)
     }
 
     /// Transfer intervals (bulk copies and fault migrations, both

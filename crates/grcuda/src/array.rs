@@ -95,7 +95,37 @@ impl DeviceArray {
         self.arr.buf.clone()
     }
 
-    typed_array_api!(get_f32, set_f32, fill_f32, copy_from_f32, to_vec_f32, as_f32, as_f32_mut, f32, 4);
-    typed_array_api!(get_f64, set_f64, fill_f64, copy_from_f64, to_vec_f64, as_f64, as_f64_mut, f64, 8);
-    typed_array_api!(get_i32, set_i32, fill_i32, copy_from_i32, to_vec_i32, as_i32, as_i32_mut, i32, 4);
+    typed_array_api!(
+        get_f32,
+        set_f32,
+        fill_f32,
+        copy_from_f32,
+        to_vec_f32,
+        as_f32,
+        as_f32_mut,
+        f32,
+        4
+    );
+    typed_array_api!(
+        get_f64,
+        set_f64,
+        fill_f64,
+        copy_from_f64,
+        to_vec_f64,
+        as_f64,
+        as_f64_mut,
+        f64,
+        8
+    );
+    typed_array_api!(
+        get_i32,
+        set_i32,
+        fill_i32,
+        copy_from_i32,
+        to_vec_i32,
+        as_i32,
+        as_i32_mut,
+        i32,
+        4
+    );
 }

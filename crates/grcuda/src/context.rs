@@ -88,22 +88,34 @@ impl GrCuda {
 
     /// Allocate a managed `float[n]` array.
     pub fn array_f32(&self, n: usize) -> DeviceArray {
-        DeviceArray { ctx: self.clone(), arr: self.inner.borrow().cuda.alloc_f32(n) }
+        DeviceArray {
+            ctx: self.clone(),
+            arr: self.inner.borrow().cuda.alloc_f32(n),
+        }
     }
 
     /// Allocate a managed `double[n]` array.
     pub fn array_f64(&self, n: usize) -> DeviceArray {
-        DeviceArray { ctx: self.clone(), arr: self.inner.borrow().cuda.alloc_f64(n) }
+        DeviceArray {
+            ctx: self.clone(),
+            arr: self.inner.borrow().cuda.alloc_f64(n),
+        }
     }
 
     /// Allocate a managed `sint32[n]` array.
     pub fn array_i32(&self, n: usize) -> DeviceArray {
-        DeviceArray { ctx: self.clone(), arr: self.inner.borrow().cuda.alloc_i32(n) }
+        DeviceArray {
+            ctx: self.clone(),
+            arr: self.inner.borrow().cuda.alloc_i32(n),
+        }
     }
 
     /// Allocate a managed `char[n]` array.
     pub fn array_u8(&self, n: usize) -> DeviceArray {
-        DeviceArray { ctx: self.clone(), arr: self.inner.borrow().cuda.alloc_u8(n) }
+        DeviceArray {
+            ctx: self.clone(),
+            arr: self.inner.borrow().cuda.alloc_u8(n),
+        }
     }
 
     // ------------------------------------------------------------------
@@ -114,7 +126,11 @@ impl GrCuda {
     /// its NIDL signature (GrCUDA's `buildkernel(code, name, signature)`).
     pub fn build_kernel(&self, def: &KernelDef) -> Result<Kernel, NidlError> {
         let sig = Signature::parse(def.nidl)?;
-        Ok(Kernel { ctx: self.clone(), def: *def, sig })
+        Ok(Kernel {
+            ctx: self.clone(),
+            def: *def,
+            sig,
+        })
     }
 
     // ------------------------------------------------------------------
@@ -144,19 +160,33 @@ impl GrCuda {
     /// The autotuner's current best block size for a kernel at a given
     /// input magnitude (None until it has data).
     pub fn best_block_size(&self, kernel: &str, elements: usize) -> Option<u32> {
-        self.inner.borrow().history.best_block_size(kernel, elements)
+        self.inner
+            .borrow()
+            .history
+            .best_block_size(kernel, elements)
     }
 
     /// The block size the autotuner would pick right now
     /// (explore-then-exploit; 256 with no information).
     pub(crate) fn choose_block_size(&self, kernel: &str, elements: usize) -> u32 {
-        self.inner.borrow().history.choose_block_size(kernel, elements, 256)
+        self.inner
+            .borrow()
+            .history
+            .choose_block_size(kernel, elements, 256)
     }
 
     /// Mean measured duration of a (kernel, block size) pair at this
     /// input magnitude, if any executions were recorded.
-    pub fn mean_kernel_duration(&self, kernel: &str, block_size: u32, elements: usize) -> Option<Time> {
-        self.inner.borrow().history.mean_duration(kernel, block_size, elements)
+    pub fn mean_kernel_duration(
+        &self,
+        kernel: &str,
+        block_size: u32,
+        elements: usize,
+    ) -> Option<Time> {
+        self.inner
+            .borrow()
+            .history
+            .mean_duration(kernel, block_size, elements)
     }
 
     /// Execution timeline snapshot.
@@ -207,7 +237,13 @@ impl GrCuda {
 
     /// Launch a validated kernel or library call (called by
     /// [`Kernel::launch`] and [`crate::Library::call`]).
-    pub(crate) fn launch_validated(&self, kernel: &Kernel, grid: Grid, args: &[Arg], kind: ElementKind) {
+    pub(crate) fn launch_validated(
+        &self,
+        kernel: &Kernel,
+        grid: Grid,
+        args: &[Arg],
+        kind: ElementKind,
+    ) {
         let mut ctx = self.inner.borrow_mut();
         let dev = ctx.cuda.device();
 
@@ -223,7 +259,10 @@ impl GrCuda {
                     buffers.push(arr.arr.buf.clone());
                     arrays.push(arr.arr.clone());
                     accesses.push((arr.arr.id, *read_only));
-                    dag_args.push(ArgAccess { value: Value(arr.arr.id.0), read_only: *read_only });
+                    dag_args.push(ArgAccess {
+                        value: Value(arr.arr.id.0),
+                        read_only: *read_only,
+                    });
                 }
                 (NidlParam::Scalar { .. }, Arg::Scalar(v)) => scalars.push(*v),
                 _ => unreachable!("validated launch"),
@@ -257,14 +296,18 @@ impl GrCuda {
                 // overheads" of §V-D — present, but small).
                 ctx.cuda.host_spin(dev.sched_overhead);
 
-                let (vid, mut deps) =
-                    ctx.dag.add_computation(kind, kernel.def.name, dag_args);
+                let (vid, mut deps) = ctx.dag.add_computation(kind, kernel.def.name, dag_args);
                 if !ctx.options.infer_dependencies {
                     // Failure injection: pretend nothing depends on
                     // anything. The race detector will object.
                     deps.clear();
                 }
-                let Ctx { streams, vertex_stream, cuda, .. } = &mut *ctx;
+                let Ctx {
+                    streams,
+                    vertex_stream,
+                    cuda,
+                    ..
+                } = &mut *ctx;
                 let stream = streams.assign(vid, &deps, vertex_stream, cuda);
 
                 // Automatic prefetch (§IV-C): bulk-migrate non-resident
@@ -326,8 +369,7 @@ impl GrCuda {
                     // synchronize only the streams that are currently
                     // operating on this data."
                     let label = if write { "cpu-write" } else { "cpu-read" };
-                    let (vertex, deps) =
-                        ctx.dag.add_array_access(label, Value(arr.id.0), write);
+                    let (vertex, deps) = ctx.dag.add_array_access(label, Value(arr.id.0), write);
                     if let Some(v) = vertex {
                         for d in &deps {
                             if let Some(&t) = ctx.vertex_task.get(d) {
@@ -360,7 +402,8 @@ impl Ctx {
                 continue;
             }
             if let Some((grid, elements)) = self.launch_info.remove(&iv.task) {
-                self.history.record(&iv.label, grid, elements, iv.duration());
+                self.history
+                    .record(&iv.label, grid, elements, iv.duration());
             }
             hi = Some(hi.map_or(iv.task, |h| h.max(iv.task)));
         }
@@ -383,7 +426,10 @@ mod tests {
         parallel(DeviceProfile::tesla_p100())
     }
 
-    const G: Grid = Grid { blocks: (64, 1, 1), threads: (256, 1, 1) };
+    const G: Grid = Grid {
+        blocks: (64, 1, 1),
+        threads: (256, 1, 1),
+    };
 
     #[test]
     fn quickstart_vec_produces_correct_result() {
@@ -398,14 +444,27 @@ mod tests {
                 y.fill_f32(2.0);
                 let sq = g.build_kernel(&SQUARE).unwrap();
                 let red = g.build_kernel(&REDUCE_SUM_DIFF).unwrap();
-                sq.launch(G, &[Arg::array(&x), Arg::scalar(n as f64)]).unwrap();
-                sq.launch(G, &[Arg::array(&y), Arg::scalar(n as f64)]).unwrap();
+                sq.launch(G, &[Arg::array(&x), Arg::scalar(n as f64)])
+                    .unwrap();
+                sq.launch(G, &[Arg::array(&y), Arg::scalar(n as f64)])
+                    .unwrap();
                 red.launch(
                     G,
-                    &[Arg::array(&x), Arg::array(&y), Arg::array(&z), Arg::scalar(n as f64)],
+                    &[
+                        Arg::array(&x),
+                        Arg::array(&y),
+                        Arg::array(&z),
+                        Arg::scalar(n as f64),
+                    ],
                 )
                 .unwrap();
-                assert_eq!(z.get_f32(0), (n as f32) * 5.0, "{} {:?}", dev.name, opts.schedule);
+                assert_eq!(
+                    z.get_f32(0),
+                    (n as f32) * 5.0,
+                    "{} {:?}",
+                    dev.name,
+                    opts.schedule
+                );
                 assert!(g.races().is_empty(), "{}", dev.name);
             }
         }
@@ -418,8 +477,10 @@ mod tests {
         let x = g.array_f32(n);
         let y = g.array_f32(n);
         let sq = g.build_kernel(&SQUARE).unwrap();
-        sq.launch(G, &[Arg::array(&x), Arg::scalar(n as f64)]).unwrap();
-        sq.launch(G, &[Arg::array(&y), Arg::scalar(n as f64)]).unwrap();
+        sq.launch(G, &[Arg::array(&x), Arg::scalar(n as f64)])
+            .unwrap();
+        sq.launch(G, &[Arg::array(&y), Arg::scalar(n as f64)])
+            .unwrap();
         g.sync();
         let tl = g.timeline();
         let streams: std::collections::HashSet<u32> = tl.kernels().map(|iv| iv.stream).collect();
@@ -436,15 +497,34 @@ mod tests {
         x.fill_f32(1.0);
         let sc = g.build_kernel(&SCALE).unwrap();
         let ax = g.build_kernel(&AXPY).unwrap();
-        sc.launch(G, &[Arg::array(&x), Arg::array(&y), Arg::scalar(2.0), Arg::scalar(n as f64)])
-            .unwrap();
-        ax.launch(G, &[Arg::array(&x), Arg::array(&y), Arg::scalar(1.0), Arg::scalar(n as f64)])
-            .unwrap();
+        sc.launch(
+            G,
+            &[
+                Arg::array(&x),
+                Arg::array(&y),
+                Arg::scalar(2.0),
+                Arg::scalar(n as f64),
+            ],
+        )
+        .unwrap();
+        ax.launch(
+            G,
+            &[
+                Arg::array(&x),
+                Arg::array(&y),
+                Arg::scalar(1.0),
+                Arg::scalar(n as f64),
+            ],
+        )
+        .unwrap();
         g.sync();
         let tl = g.timeline();
         let ks: Vec<_> = tl.kernels().collect();
         assert_eq!(ks.len(), 2);
-        assert_eq!(ks[0].stream, ks[1].stream, "first child rides the parent's stream");
+        assert_eq!(
+            ks[0].stream, ks[1].stream,
+            "first child rides the parent's stream"
+        );
         assert_eq!(g.streams_created(), 1);
     }
 
@@ -460,7 +540,8 @@ mod tests {
             let sq = g.build_kernel(&SQUARE).unwrap();
             let t0 = g.now();
             for a in &arrays {
-                sq.launch(Grid::d1(64, 32), &[Arg::array(a), Arg::scalar(n as f64)]).unwrap();
+                sq.launch(Grid::d1(64, 32), &[Arg::array(a), Arg::scalar(n as f64)])
+                    .unwrap();
             }
             g.sync();
             g.now() - t0
@@ -478,14 +559,25 @@ mod tests {
         let y = g.array_f32(n);
         let sq = g.build_kernel(&SQUARE).unwrap();
         // Long kernel on y's stream, short on x's.
-        sq.launch(Grid::d1(4096, 256), &[Arg::array(&x), Arg::scalar(n as f64)]).unwrap();
-        sq.launch(Grid::d1(4096, 256), &[Arg::array(&y), Arg::scalar(n as f64)]).unwrap();
+        sq.launch(
+            Grid::d1(4096, 256),
+            &[Arg::array(&x), Arg::scalar(n as f64)],
+        )
+        .unwrap();
+        sq.launch(
+            Grid::d1(4096, 256),
+            &[Arg::array(&y), Arg::scalar(n as f64)],
+        )
+        .unwrap();
         let _ = x.get_f32(0);
         // Reading x must not force y's kernel to be complete... but both
         // kernels are similar here; instead assert correctness + no race
         // and that the DAG modeled the access.
         assert!(g.races().is_empty());
-        assert!(g.dag_len() >= 3, "access was modeled as a computational element");
+        assert!(
+            g.dag_len() >= 3,
+            "access was modeled as a computational element"
+        );
         g.sync();
     }
 
@@ -507,10 +599,26 @@ mod tests {
         x.fill_f32(2.0);
         let sc = g.build_kernel(&SCALE).unwrap();
         // Two kernels read x concurrently.
-        sc.launch(G, &[Arg::array(&x), Arg::array(&o1), Arg::scalar(2.0), Arg::scalar(n as f64)])
-            .unwrap();
-        sc.launch(G, &[Arg::array(&x), Arg::array(&o2), Arg::scalar(3.0), Arg::scalar(n as f64)])
-            .unwrap();
+        sc.launch(
+            G,
+            &[
+                Arg::array(&x),
+                Arg::array(&o1),
+                Arg::scalar(2.0),
+                Arg::scalar(n as f64),
+            ],
+        )
+        .unwrap();
+        sc.launch(
+            G,
+            &[
+                Arg::array(&x),
+                Arg::array(&o2),
+                Arg::scalar(3.0),
+                Arg::scalar(n as f64),
+            ],
+        )
+        .unwrap();
         g.sync();
         let tl = g.timeline();
         let streams: std::collections::HashSet<u32> = tl.kernels().map(|iv| iv.stream).collect();
@@ -527,8 +635,10 @@ mod tests {
         let x = g.array_f32(n);
         let y = g.array_f32(n);
         let sq = g.build_kernel(&SQUARE).unwrap();
-        sq.launch(G, &[Arg::array(&x), Arg::scalar(n as f64)]).unwrap();
-        sq.launch(G, &[Arg::array(&y), Arg::scalar(n as f64)]).unwrap();
+        sq.launch(G, &[Arg::array(&x), Arg::scalar(n as f64)])
+            .unwrap();
+        sq.launch(G, &[Arg::array(&y), Arg::scalar(n as f64)])
+            .unwrap();
         let tl = g.timeline();
         assert_eq!(tl.streams_used(), 1);
         assert_eq!(g.streams_created(), 0);
@@ -544,7 +654,8 @@ mod tests {
             let x = g.array_f32(n);
             x.fill_f32(1.0);
             let sq = g.build_kernel(&SQUARE).unwrap();
-            sq.launch(G, &[Arg::array(&x), Arg::scalar(n as f64)]).unwrap();
+            sq.launch(G, &[Arg::array(&x), Arg::scalar(n as f64)])
+                .unwrap();
             g.sync();
             let tl = g.timeline();
             let bulk = tl.of_kind(TaskKind::CopyH2D).count();
@@ -566,7 +677,8 @@ mod tests {
         let x = g.array_f32(n);
         x.fill_f32(1.0);
         let sq = g.build_kernel(&SQUARE).unwrap();
-        sq.launch(G, &[Arg::array(&x), Arg::scalar(n as f64)]).unwrap();
+        sq.launch(G, &[Arg::array(&x), Arg::scalar(n as f64)])
+            .unwrap();
         g.sync();
         assert!(g.timeline().of_kind(TaskKind::FaultH2D).count() >= 1);
     }
@@ -585,14 +697,27 @@ mod tests {
         y.fill_f32(1.0);
         let sq = g.build_kernel(&SQUARE).unwrap();
         let red = g.build_kernel(&REDUCE_SUM_DIFF).unwrap();
-        sq.launch(G, &[Arg::array(&x), Arg::scalar(n as f64)]).unwrap();
-        sq.launch(G, &[Arg::array(&y), Arg::scalar(n as f64)]).unwrap();
-        red.launch(G, &[Arg::array(&x), Arg::array(&y), Arg::array(&z), Arg::scalar(n as f64)])
+        sq.launch(G, &[Arg::array(&x), Arg::scalar(n as f64)])
             .unwrap();
+        sq.launch(G, &[Arg::array(&y), Arg::scalar(n as f64)])
+            .unwrap();
+        red.launch(
+            G,
+            &[
+                Arg::array(&x),
+                Arg::array(&y),
+                Arg::array(&z),
+                Arg::scalar(n as f64),
+            ],
+        )
+        .unwrap();
         let res = z.get_f32(0);
         assert_eq!(res, 0.0);
         let tl = g.timeline();
-        let k2 = tl.kernels().find(|iv| iv.label == "reduce_sum_diff").unwrap();
+        let k2 = tl
+            .kernels()
+            .find(|iv| iv.label == "reduce_sum_diff")
+            .unwrap();
         let k1s: Vec<_> = tl.kernels().filter(|iv| iv.label == "square").collect();
         assert_eq!(k1s.len(), 2);
         // K2 runs on the same stream as one of the K1s (first-child rule).
@@ -613,13 +738,18 @@ mod tests {
         let x = g.array_f32(n);
         let y = g.array_f32(n);
         let sq = g.build_kernel(&SQUARE).unwrap();
-        sq.launch(G, &[Arg::array(&x), Arg::scalar(n as f64)]).unwrap();
-        sq.launch(G, &[Arg::array(&y), Arg::scalar(n as f64)]).unwrap();
+        sq.launch(G, &[Arg::array(&x), Arg::scalar(n as f64)])
+            .unwrap();
+        sq.launch(G, &[Arg::array(&y), Arg::scalar(n as f64)])
+            .unwrap();
         // Touch an unrelated array: still forces a device sync.
         let w = g.array_f32(4);
         let _ = w.get_f32(0);
         let st = g.stats();
-        assert_eq!(st.completed, st.submitted, "device fully drained by the access");
+        assert_eq!(
+            st.completed, st.submitted,
+            "device fully drained by the access"
+        );
     }
 
     #[test]
@@ -644,7 +774,8 @@ mod tests {
             Err(crate::LaunchError::TypeMismatch { .. })
         ));
         // Correct call goes through.
-        ms.launch(G, &[Arg::array(&x), Arg::scalar(5.0), Arg::scalar(8.0)]).unwrap();
+        ms.launch(G, &[Arg::array(&x), Arg::scalar(5.0), Arg::scalar(8.0)])
+            .unwrap();
         assert_eq!(x.get_f32(3), 5.0);
     }
 
@@ -658,9 +789,18 @@ mod tests {
         a.fill_f32(2.0);
         let cp = g.build_kernel(&COPY_F32).unwrap();
         let dt = g.build_kernel(&DOT).unwrap();
-        cp.launch(G, &[Arg::array(&a), Arg::array(&b), Arg::scalar(n as f64)]).unwrap();
-        dt.launch(G, &[Arg::array(&a), Arg::array(&b), Arg::array(&out), Arg::scalar(n as f64)])
+        cp.launch(G, &[Arg::array(&a), Arg::array(&b), Arg::scalar(n as f64)])
             .unwrap();
+        dt.launch(
+            G,
+            &[
+                Arg::array(&a),
+                Arg::array(&b),
+                Arg::array(&out),
+                Arg::scalar(n as f64),
+            ],
+        )
+        .unwrap();
         assert_eq!(out.get_f32(0), (n as f32) * 4.0);
         assert!(g.races().is_empty());
     }
@@ -673,7 +813,8 @@ mod tests {
         for _ in 0..5 {
             let x = g.array_f32(n);
             x.fill_f32(1.0);
-            sq.launch(G, &[Arg::array(&x), Arg::scalar(n as f64)]).unwrap();
+            sq.launch(G, &[Arg::array(&x), Arg::scalar(n as f64)])
+                .unwrap();
             g.sync();
         }
         // One stream suffices: after each sync it is empty and reused.

@@ -52,11 +52,14 @@ impl KernelHistory {
         if grid.threads.1 != 1 || grid.threads.2 != 1 {
             return;
         }
-        self.records.entry(kernel.to_string()).or_default().push(ExecutionRecord {
-            block_size: grid.threads.0,
-            size_bucket: size_bucket(elements),
-            duration,
-        });
+        self.records
+            .entry(kernel.to_string())
+            .or_default()
+            .push(ExecutionRecord {
+                block_size: grid.threads.0,
+                size_bucket: size_bucket(elements),
+                duration,
+            });
     }
 
     /// Number of recorded executions for a kernel.
@@ -72,10 +75,16 @@ impl KernelHistory {
             .records
             .get(kernel)
             .map(|v| {
-                v.iter().filter(|r| r.size_bucket == bucket).map(|r| r.block_size).collect()
+                v.iter()
+                    .filter(|r| r.size_bucket == bucket)
+                    .map(|r| r.block_size)
+                    .collect()
             })
             .unwrap_or_default();
-        CANDIDATE_BLOCK_SIZES.iter().copied().find(|b| !tried.contains(b))
+        CANDIDATE_BLOCK_SIZES
+            .iter()
+            .copied()
+            .find(|b| !tried.contains(b))
     }
 
     /// The block size with the lowest mean measured duration for this
@@ -89,8 +98,10 @@ impl KernelHistory {
             e.0 += r.duration;
             e.1 += 1;
         }
-        let mut means: Vec<(u32, f64)> =
-            by_block.into_iter().map(|(b, (sum, n))| (b, sum / n as f64)).collect();
+        let mut means: Vec<(u32, f64)> = by_block
+            .into_iter()
+            .map(|(b, (sum, n))| (b, sum / n as f64))
+            .collect();
         // Deterministic tie-break: equal means prefer the larger block
         // (better occupancy headroom for co-running kernels).
         means.sort_by(|a, b| a.1.total_cmp(&b.1).then(b.0.cmp(&a.0)));
@@ -150,8 +161,14 @@ mod tests {
     fn exploitation_picks_the_fastest() {
         let mut h = KernelHistory::new();
         let n = 1 << 20;
-        for (bs, d) in [(32u32, 3e-3), (64, 2e-3), (128, 1e-3), (256, 0.5e-3), (512, 0.8e-3), (1024, 2e-3)]
-        {
+        for (bs, d) in [
+            (32u32, 3e-3),
+            (64, 2e-3),
+            (128, 1e-3),
+            (256, 0.5e-3),
+            (512, 0.8e-3),
+            (1024, 2e-3),
+        ] {
             h.record("k", Grid::d1(64, bs), n, d);
         }
         assert_eq!(h.best_block_size("k", n), Some(256));
@@ -162,7 +179,11 @@ mod tests {
     fn different_sizes_are_tuned_independently() {
         let mut h = KernelHistory::new();
         h.record("k", Grid::d1(64, 32), 1 << 10, 1e-6);
-        assert_eq!(h.unexplored("k", 1 << 20), Some(32), "new bucket restarts exploration");
+        assert_eq!(
+            h.unexplored("k", 1 << 20),
+            Some(32),
+            "new bucket restarts exploration"
+        );
         assert_eq!(h.best_block_size("k", 1 << 10), Some(32));
     }
 

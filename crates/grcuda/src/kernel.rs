@@ -70,13 +70,25 @@ pub enum LaunchError {
 impl fmt::Display for LaunchError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            LaunchError::ArityMismatch { kernel, expected, got } => {
+            LaunchError::ArityMismatch {
+                kernel,
+                expected,
+                got,
+            } => {
                 write!(f, "kernel `{kernel}` takes {expected} arguments, got {got}")
             }
             LaunchError::KindMismatch { kernel, index } => {
-                write!(f, "kernel `{kernel}` argument {index}: array/scalar kind mismatch")
+                write!(
+                    f,
+                    "kernel `{kernel}` argument {index}: array/scalar kind mismatch"
+                )
             }
-            LaunchError::TypeMismatch { kernel, index, expected, got } => write!(
+            LaunchError::TypeMismatch {
+                kernel,
+                index,
+                expected,
+                got,
+            } => write!(
                 f,
                 "kernel `{kernel}` argument {index}: expected {expected} array, got {got}"
             ),
@@ -98,7 +110,10 @@ pub struct Kernel {
 
 impl fmt::Debug for Kernel {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("Kernel").field("name", &self.def.name).field("nidl", &self.def.nidl).finish()
+        f.debug_struct("Kernel")
+            .field("name", &self.def.name)
+            .field("nidl", &self.def.nidl)
+            .finish()
     }
 }
 
@@ -118,7 +133,8 @@ impl Kernel {
     /// policy) or *complete* (serial policy).
     pub fn launch(&self, grid: Grid, args: &[Arg]) -> Result<(), LaunchError> {
         self.validate(args)?;
-        self.ctx.launch_validated(self, grid, args, dag::ElementKind::Kernel);
+        self.ctx
+            .launch_validated(self, grid, args, dag::ElementKind::Kernel);
         Ok(())
     }
 
@@ -126,7 +142,8 @@ impl Kernel {
     /// as [`dag::ElementKind::Library`] in the DAG).
     pub(crate) fn launch_as_library(&self, grid: Grid, args: &[Arg]) -> Result<(), LaunchError> {
         self.validate(args)?;
-        self.ctx.launch_validated(self, grid, args, dag::ElementKind::Library);
+        self.ctx
+            .launch_validated(self, grid, args, dag::ElementKind::Library);
         Ok(())
     }
 
@@ -152,7 +169,8 @@ impl Kernel {
             .unwrap_or(0);
         let bs = self.ctx.choose_block_size(self.def.name, elements);
         let grid = Grid::d1(blocks, bs);
-        self.ctx.launch_validated(self, grid, args, dag::ElementKind::Kernel);
+        self.ctx
+            .launch_validated(self, grid, args, dag::ElementKind::Kernel);
         Ok(grid)
     }
 

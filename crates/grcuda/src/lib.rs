@@ -59,9 +59,9 @@ pub mod stream_manager;
 pub use array::DeviceArray;
 pub use context::GrCuda;
 pub use history::KernelHistory;
-pub use multi::{MultiArg, MultiArray, MultiGpu, PlacementPolicy};
 pub use kernel::{Arg, Kernel, LaunchError};
 pub use library::Library;
+pub use multi::{MultiArg, MultiArray, MultiGpu, PlacementPolicy};
 pub use nidl::{NidlError, NidlParam, NidlType, Signature};
 pub use options::{DepStreamPolicy, Options, PrefetchPolicy, SchedulePolicy, StreamReusePolicy};
 

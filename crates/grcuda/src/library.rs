@@ -45,7 +45,11 @@ impl GrCuda {
         grid: Grid,
         stream_aware: bool,
     ) -> Result<Library, crate::NidlError> {
-        Ok(Library { kernel: self.build_kernel(def)?, grid, stream_aware })
+        Ok(Library {
+            kernel: self.build_kernel(def)?,
+            grid,
+            stream_aware,
+        })
     }
 }
 
@@ -89,7 +93,10 @@ mod tests {
         GrCuda::new(DeviceProfile::tesla_p100(), Options::parallel())
     }
 
-    const G: Grid = Grid { blocks: (64, 1, 1), threads: (256, 1, 1) };
+    const G: Grid = Grid {
+        blocks: (64, 1, 1),
+        threads: (256, 1, 1),
+    };
 
     #[test]
     fn stream_aware_library_overlaps_with_kernels() {
@@ -130,7 +137,10 @@ mod tests {
         assert_eq!(ks.len(), 2);
         // The second call may not start before the first ends, even
         // though the arguments are independent.
-        assert!(ks[1].start >= ks[0].end - 1e-12, "oblivious library must act as a barrier");
+        assert!(
+            ks[1].start >= ks[0].end - 1e-12,
+            "oblivious library must act as a barrier"
+        );
         assert_eq!(x.get_f32(0), 4.0);
         assert_eq!(y.get_f32(0), 9.0);
     }
@@ -148,10 +158,23 @@ mod tests {
         let scale = g.build_kernel(&SCALE).unwrap();
         let cublas_dot = g.register_library(&DOT, G, true).unwrap();
         scale
-            .launch(G, &[Arg::array(&x), Arg::array(&y), Arg::scalar(3.0), Arg::scalar(n as f64)])
+            .launch(
+                G,
+                &[
+                    Arg::array(&x),
+                    Arg::array(&y),
+                    Arg::scalar(3.0),
+                    Arg::scalar(n as f64),
+                ],
+            )
             .unwrap();
         cublas_dot
-            .call(&[Arg::array(&x), Arg::array(&y), Arg::array(&out), Arg::scalar(n as f64)])
+            .call(&[
+                Arg::array(&x),
+                Arg::array(&y),
+                Arg::array(&out),
+                Arg::scalar(n as f64),
+            ])
             .unwrap();
         assert_eq!(out.get_f32(0), n as f32 * 3.0);
         assert!(g.races().is_empty());

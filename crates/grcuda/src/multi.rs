@@ -137,7 +137,10 @@ impl MultiGpu {
     fn alloc(&mut self, f: impl Fn(&GrCuda) -> DeviceArray) -> MultiArray {
         let key = self.arrays.len();
         let replicas: Vec<DeviceArray> = self.devices.iter().map(f).collect();
-        self.arrays.push(ArrayState { location: Loc::Host, staged: vec![0] });
+        self.arrays.push(ArrayState {
+            location: Loc::Host,
+            staged: vec![0],
+        });
         MultiArray { key, replicas }
     }
 
@@ -220,7 +223,9 @@ impl MultiGpu {
                 MultiArg::Scalar(v) => Arg::scalar(*v),
             })
             .collect();
-        let kernel = self.devices[target].build_kernel(def).expect("signature parses");
+        let kernel = self.devices[target]
+            .build_kernel(def)
+            .expect("signature parses");
         kernel.launch(grid, &dev_args)?;
 
         // Written arrays now live on the target.
@@ -311,7 +316,11 @@ impl MultiGpu {
 
     /// Makespan so far: the maximum elapsed virtual time over devices.
     pub fn makespan(&self) -> Time {
-        self.devices.iter().zip(&self.start).map(|(d, s)| d.now() - s).fold(0.0, f64::max)
+        self.devices
+            .iter()
+            .zip(&self.start)
+            .map(|(d, s)| d.now() - s)
+            .fold(0.0, f64::max)
     }
 
     /// `(migration count, migrated bytes)` — the run-time migration cost
@@ -327,7 +336,11 @@ impl MultiGpu {
 
     /// Per-device elapsed virtual times (load-balance diagnostics).
     pub fn device_times(&self) -> Vec<Time> {
-        self.devices.iter().zip(&self.start).map(|(d, s)| d.now() - s).collect()
+        self.devices
+            .iter()
+            .zip(&self.start)
+            .map(|(d, s)| d.now() - s)
+            .collect()
     }
 }
 
@@ -373,7 +386,10 @@ mod tests {
         MultiGpu::new(DeviceProfile::tesla_p100(), n, Options::parallel(), policy)
     }
 
-    const G: Grid = Grid { blocks: (64, 1, 1), threads: (256, 1, 1) };
+    const G: Grid = Grid {
+        blocks: (64, 1, 1),
+        threads: (256, 1, 1),
+    };
 
     fn bs_args(x: &MultiArray, y: &MultiArray, n: usize) -> Vec<MultiArg> {
         vec![
@@ -423,17 +439,30 @@ mod tests {
             .launch(
                 &SCALE,
                 G,
-                &[MultiArg::array(&x), MultiArg::array(&y), MultiArg::scalar(2.0), MultiArg::scalar(nf)],
+                &[
+                    MultiArg::array(&x),
+                    MultiArg::array(&y),
+                    MultiArg::scalar(2.0),
+                    MultiArg::scalar(nf),
+                ],
             )
             .unwrap();
         let d2 = m
             .launch(
                 &AXPY,
                 G,
-                &[MultiArg::array(&x), MultiArg::array(&y), MultiArg::scalar(1.0), MultiArg::scalar(nf)],
+                &[
+                    MultiArg::array(&x),
+                    MultiArg::array(&y),
+                    MultiArg::scalar(1.0),
+                    MultiArg::scalar(nf),
+                ],
             )
             .unwrap();
-        assert_eq!(d1, d2, "locality-aware placement must not migrate the chain");
+        assert_eq!(
+            d1, d2,
+            "locality-aware placement must not migrate the chain"
+        );
         assert_eq!(m.migration_stats().0, 0);
         m.sync();
         assert_eq!(m.get_f32(&y, 7), 3.0);
@@ -450,13 +479,23 @@ mod tests {
         m.launch(
             &SCALE,
             G,
-            &[MultiArg::array(&x), MultiArg::array(&y), MultiArg::scalar(2.0), MultiArg::scalar(nf)],
+            &[
+                MultiArg::array(&x),
+                MultiArg::array(&y),
+                MultiArg::scalar(2.0),
+                MultiArg::scalar(nf),
+            ],
         )
         .unwrap();
         m.launch(
             &AXPY,
             G,
-            &[MultiArg::array(&x), MultiArg::array(&y), MultiArg::scalar(1.0), MultiArg::scalar(nf)],
+            &[
+                MultiArg::array(&x),
+                MultiArg::array(&y),
+                MultiArg::scalar(1.0),
+                MultiArg::scalar(nf),
+            ],
         )
         .unwrap();
         let (migs, bytes) = m.migration_stats();
@@ -488,7 +527,10 @@ mod tests {
         };
         let one = run(1);
         let two = run(2);
-        assert!(two < 0.75 * one, "2 GPUs must be markedly faster: {two} vs {one}");
+        assert!(
+            two < 0.75 * one,
+            "2 GPUs must be markedly faster: {two} vs {one}"
+        );
     }
 
     #[test]
@@ -501,7 +543,12 @@ mod tests {
         m.launch(
             &SCALE,
             G,
-            &[MultiArg::array(&x), MultiArg::array(&y), MultiArg::scalar(2.0), MultiArg::scalar(n as f64)],
+            &[
+                MultiArg::array(&x),
+                MultiArg::array(&y),
+                MultiArg::scalar(2.0),
+                MultiArg::scalar(n as f64),
+            ],
         )
         .unwrap();
         assert_eq!(m.get_f32(&y, 0), 6.0);

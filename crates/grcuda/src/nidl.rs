@@ -109,7 +109,13 @@ impl NidlParam {
 
     /// Is this parameter a read-only pointer?
     pub fn is_read_only(&self) -> bool {
-        matches!(self, NidlParam::Pointer { read_only: true, .. })
+        matches!(
+            self,
+            NidlParam::Pointer {
+                read_only: true,
+                ..
+            }
+        )
     }
 }
 
@@ -142,7 +148,9 @@ impl Signature {
         for (i, raw) in s.split(',').enumerate() {
             let raw = raw.trim();
             if raw.is_empty() {
-                return Err(NidlError { message: format!("parameter {i} is empty in `{s}`") });
+                return Err(NidlError {
+                    message: format!("parameter {i} is empty in `{s}`"),
+                });
             }
             params.push(Self::parse_param(raw, i)?);
         }
@@ -178,7 +186,9 @@ impl Signature {
                     }
                     None => {
                         return Err(NidlError {
-                            message: format!("unknown token `{other}` in parameter {index} `{raw}`"),
+                            message: format!(
+                                "unknown token `{other}` in parameter {index} `{raw}`"
+                            ),
                         })
                     }
                 },
@@ -188,7 +198,11 @@ impl Signature {
             message: format!("parameter {index} `{raw}` has no type"),
         })?;
         if is_pointer {
-            Ok(NidlParam::Pointer { name, ty, read_only })
+            Ok(NidlParam::Pointer {
+                name,
+                ty,
+                read_only,
+            })
         } else {
             if read_only {
                 return Err(NidlError {
@@ -252,7 +266,9 @@ mod tests {
     fn parses_named_params_and_in_qualifier() {
         let sig = Signature::parse("x: in pointer float, n: sint32").unwrap();
         match &sig.params[0] {
-            NidlParam::Pointer { name, read_only, .. } => {
+            NidlParam::Pointer {
+                name, read_only, ..
+            } => {
                 assert_eq!(name.as_deref(), Some("x"));
                 assert!(read_only);
             }
@@ -301,6 +317,69 @@ mod tests {
             let sig = Signature::parse(k.nidl)
                 .unwrap_or_else(|e| panic!("{} signature invalid: {e}", k.name));
             assert!(sig.pointer_count() > 0, "{} takes no arrays", k.name);
+        }
+    }
+
+    /// The point of the `const`/`in` annotations (§IV-D, Fig. 3 case C):
+    /// a signature's read-only flags feed dependency inference, and
+    /// computations that only *read* a value must never be ordered
+    /// against each other — only against the value's last writer.
+    #[test]
+    fn const_annotated_args_create_no_edges_between_readers() {
+        use dag::{ArgAccess, ComputationDag, ElementKind, Value};
+
+        // `out, n` writer followed by `in, out, n` readers, as NIDL
+        // declares them.
+        let writer_sig = Signature::parse("ptr, sint32").unwrap();
+        let reader_sig = Signature::parse("const ptr, ptr, sint32").unwrap();
+
+        // Dependency inference sees exactly one ArgAccess per pointer
+        // param, read-only iff the signature says `const`/`in`.
+        let accesses = |sig: &Signature, values: &[u64]| -> Vec<ArgAccess> {
+            sig.params
+                .iter()
+                .filter(|p| p.is_pointer())
+                .zip(values)
+                .map(|(p, &v)| ArgAccess {
+                    value: Value(v),
+                    read_only: p.is_read_only(),
+                })
+                .collect()
+        };
+
+        let mut g = ComputationDag::new();
+        // K0 writes value 0; readers K1..K4 each read value 0 and write
+        // their own private output (values 1..=4).
+        let (writer, _) = g.add_computation(ElementKind::Kernel, "W", accesses(&writer_sig, &[0]));
+        let mut readers = Vec::new();
+        for out in 1..=4u64 {
+            let (id, deps) =
+                g.add_computation(ElementKind::Kernel, "R", accesses(&reader_sig, &[0, out]));
+            assert_eq!(
+                deps,
+                vec![writer],
+                "a const-annotated read must depend on the writer and nothing else"
+            );
+            readers.push(id);
+        }
+
+        // Contrast: without the `const` annotation the same launches are
+        // treated as writes and serialize into a chain (correct but
+        // parallelism-free — "not specifying arguments as read-only does
+        // not affect correctness").
+        let plain_sig = Signature::parse("ptr, ptr, sint32").unwrap();
+        let mut g2 = ComputationDag::new();
+        let (w2, _) = g2.add_computation(ElementKind::Kernel, "W", accesses(&writer_sig, &[0]));
+        let mut prev = w2;
+        for out in 1..=4u64 {
+            let (id, deps) =
+                g2.add_computation(ElementKind::Kernel, "R", accesses(&plain_sig, &[0, out]));
+            assert_eq!(
+                deps,
+                vec![prev],
+                "without const, each op must wait for the previous accessor"
+            );
+            prev = id;
         }
     }
 

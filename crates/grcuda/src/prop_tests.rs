@@ -39,7 +39,13 @@ fn step_strategy() -> impl Strategy<Value = Step> {
     // support aliased in/out pointers, and GrCUDA's managed environment
     // is what rules aliasing out in the first place (§IV-A).
     let arr = 0..N_ARRAYS;
-    let distinct = |s: usize, d: usize| if s == d { (s, (d + 1) % N_ARRAYS) } else { (s, d) };
+    let distinct = |s: usize, d: usize| {
+        if s == d {
+            (s, (d + 1) % N_ARRAYS)
+        } else {
+            (s, d)
+        }
+    };
     prop_oneof![
         (arr.clone(), arr.clone(), -3..4i32).prop_map(move |(s, d, a)| {
             let (src, dst) = distinct(s, d);
@@ -55,8 +61,16 @@ fn step_strategy() -> impl Strategy<Value = Step> {
         }),
         (arr.clone(), arr.clone(), arr.clone()).prop_map(move |(a, b, d)| {
             // `a` and `b` may alias (both read-only); `dst` must differ.
-            let dst = if d == a || d == b { (a.max(b) + 1) % N_ARRAYS } else { d };
-            let dst = if dst == a || dst == b { (dst + 1) % N_ARRAYS } else { dst };
+            let dst = if d == a || d == b {
+                (a.max(b) + 1) % N_ARRAYS
+            } else {
+                d
+            };
+            let dst = if dst == a || dst == b {
+                (dst + 1) % N_ARRAYS
+            } else {
+                dst
+            };
             Step::Dot { a, b, dst }
         }),
         (arr.clone(), 0..ARRAY_LEN).prop_map(|(a, i)| Step::HostRead { arr: a, i }),
@@ -69,7 +83,9 @@ fn run_program(steps: &[Step], opts: Options, dev: DeviceProfile) -> (Vec<Vec<f3
     let g = GrCuda::new(dev, opts);
     let arrays: Vec<_> = (0..N_ARRAYS).map(|_| g.array_f32(ARRAY_LEN)).collect();
     for (i, a) in arrays.iter().enumerate() {
-        let init: Vec<f32> = (0..ARRAY_LEN).map(|j| ((i * 31 + j * 7) % 11) as f32 - 5.0).collect();
+        let init: Vec<f32> = (0..ARRAY_LEN)
+            .map(|j| ((i * 31 + j * 7) % 11) as f32 - 5.0)
+            .collect();
         a.copy_from_f32(&init);
     }
     let grid = Grid::d1(16, 64);
@@ -102,7 +118,14 @@ fn run_program(steps: &[Step], opts: Options, dev: DeviceProfile) -> (Vec<Vec<f3
                 )
                 .unwrap(),
             Step::Copy { src, dst } => copy
-                .launch(grid, &[Arg::array(&arrays[src]), Arg::array(&arrays[dst]), Arg::scalar(nf)])
+                .launch(
+                    grid,
+                    &[
+                        Arg::array(&arrays[src]),
+                        Arg::array(&arrays[dst]),
+                        Arg::scalar(nf),
+                    ],
+                )
                 .unwrap(),
             Step::Dot { a, b, dst } => dot
                 .launch(

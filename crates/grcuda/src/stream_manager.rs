@@ -33,7 +33,13 @@ pub struct StreamManager {
 impl StreamManager {
     /// A manager with the given policies and an empty pool.
     pub fn new(dep_policy: DepStreamPolicy, reuse_policy: StreamReusePolicy) -> Self {
-        StreamManager { dep_policy, reuse_policy, pool: Vec::new(), claimed: HashMap::new(), created: 0 }
+        StreamManager {
+            dep_policy,
+            reuse_policy,
+            pool: Vec::new(),
+            claimed: HashMap::new(),
+            created: 0,
+        }
     }
 
     /// Total streams created so far.
@@ -110,7 +116,10 @@ mod tests {
     }
 
     fn mgr() -> StreamManager {
-        StreamManager::new(DepStreamPolicy::FirstChildOnParent, StreamReusePolicy::FifoReuse)
+        StreamManager::new(
+            DepStreamPolicy::FirstChildOnParent,
+            StreamReusePolicy::FifoReuse,
+        )
     }
 
     #[test]
@@ -124,7 +133,10 @@ mod tests {
         let k = cuda_sim::KernelExec::new(
             "busy",
             gpu_sim::Grid::d1(1, 32),
-            gpu_sim::KernelCost { min_time: 1.0, ..Default::default() },
+            gpu_sim::KernelCost {
+                min_time: 1.0,
+                ..Default::default()
+            },
             vec![a.buf.clone()],
             vec![(a.id, false)],
             std::rc::Rc::new(|_| {}),
@@ -140,7 +152,10 @@ mod tests {
         let k = cuda_sim::KernelExec::new(
             "busy",
             gpu_sim::Grid::d1(1, 32),
-            gpu_sim::KernelCost { min_time: 1.0, ..Default::default() },
+            gpu_sim::KernelCost {
+                min_time: 1.0,
+                ..Default::default()
+            },
             vec![a.buf.clone()],
             vec![(a.id, false)],
             std::rc::Rc::new(|_| {}),
@@ -196,6 +211,92 @@ mod tests {
         let s2 = m.assign(VertexId(1), &[], &map, &c);
         assert_ne!(s1, s2);
         assert_eq!(m.streams_created(), 2);
+    }
+
+    #[test]
+    fn fifo_reuse_picks_the_oldest_empty_stream() {
+        let c = cuda();
+        let mut m = mgr();
+        let map = HashMap::new();
+        // Force three distinct streams into the pool by keeping each busy
+        // while the next one is assigned.
+        let s1 = m.assign(VertexId(0), &[], &map, &c);
+        make_busy(&c, s1);
+        let s2 = m.assign(VertexId(1), &[], &map, &c);
+        make_busy(&c, s2);
+        let s3 = m.assign(VertexId(2), &[], &map, &c);
+        make_busy(&c, s3);
+        assert_eq!(m.streams_created(), 3);
+        // Drain the device: every stream is now empty, so the manager
+        // must hand back the *first-created* stream ("existing streams
+        // are managed in FIFO order", §IV-C).
+        c.device_sync();
+        assert_eq!(m.assign(VertexId(3), &[], &map, &c), s1);
+        assert_eq!(m.streams_created(), 3, "reuse must not create streams");
+    }
+
+    #[test]
+    fn busy_streams_become_reusable_after_drain() {
+        let c = cuda();
+        let mut m = mgr();
+        let map = HashMap::new();
+        let s1 = m.assign(VertexId(0), &[], &map, &c);
+        make_busy(&c, s1);
+        // While s1 is busy a new stream is created...
+        let s2 = m.assign(VertexId(1), &[], &map, &c);
+        assert_ne!(s1, s2);
+        // ...but once the work completes, s1 is reusable again and no
+        // further streams are needed.
+        c.device_sync();
+        let s3 = m.assign(VertexId(2), &[], &map, &c);
+        assert_eq!(s3, s1);
+        assert_eq!(m.streams_created(), 2);
+    }
+
+    #[test]
+    fn child_of_two_parents_claims_first_unclaimed_parent() {
+        let c = cuda();
+        let mut m = mgr();
+        let mut map = HashMap::new();
+        let (pa, pb) = (VertexId(0), VertexId(1));
+        let sa = m.assign(pa, &[], &map, &c);
+        map.insert(pa, sa);
+        make_busy(&c, sa);
+        let sb = m.assign(pb, &[], &map, &c);
+        map.insert(pb, sb);
+        make_busy(&c, sb);
+        assert_ne!(sa, sb);
+        // First child of A takes A's stream.
+        assert_eq!(m.assign(VertexId(2), &[pa], &map, &c), sa);
+        // A join of (A, B): A's stream is already claimed, so the join
+        // inherits B's stream rather than allocating a new one.
+        assert_eq!(m.assign(VertexId(3), &[pa, pb], &map, &c), sb);
+        assert_eq!(m.streams_created(), 2);
+    }
+
+    #[test]
+    fn first_child_rule_tracks_claims_per_parent() {
+        let c = cuda();
+        let mut m = mgr();
+        let mut map = HashMap::new();
+        // Two independent parents on two busy streams.
+        let (pa, pb) = (VertexId(0), VertexId(1));
+        let sa = m.assign(pa, &[], &map, &c);
+        map.insert(pa, sa);
+        make_busy(&c, sa);
+        let sb = m.assign(pb, &[], &map, &c);
+        map.insert(pb, sb);
+        make_busy(&c, sb);
+        // Each parent's first child inherits that parent's stream —
+        // claims are per-parent, not global.
+        assert_eq!(m.assign(VertexId(2), &[pa], &map, &c), sa);
+        assert_eq!(m.assign(VertexId(3), &[pb], &map, &c), sb);
+        // Both streams claimed and busy: a further child of either
+        // parent gets a brand-new stream.
+        let s_new = m.assign(VertexId(4), &[pa], &map, &c);
+        assert_ne!(s_new, sa);
+        assert_ne!(s_new, sb);
+        assert_eq!(m.streams_created(), 3);
     }
 
     #[test]

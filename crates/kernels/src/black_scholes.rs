@@ -108,7 +108,10 @@ mod tests {
     fn deep_in_the_money_tends_to_intrinsic_value() {
         let p = price(300.0, 100.0, 0.02, 0.3, 1.0);
         let intrinsic = 300.0 - 100.0 * (-0.02f64).exp();
-        assert!((p - intrinsic).abs() < 0.5, "p = {p}, intrinsic = {intrinsic}");
+        assert!(
+            (p - intrinsic).abs() < 0.5,
+            "p = {p}, intrinsic = {intrinsic}"
+        );
     }
 
     #[test]
@@ -117,7 +120,10 @@ mod tests {
         let y = DataBuffer::f64_zeros(3);
         bs_func(&[x, y.clone()], &[3.0]);
         let out = y.as_f64();
-        assert!(out[0] < out[1] && out[1] < out[2], "call price increases with spot");
+        assert!(
+            out[0] < out[1] && out[1] < out[2],
+            "call price increases with spot"
+        );
     }
 
     #[test]

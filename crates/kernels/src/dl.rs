@@ -74,8 +74,12 @@ fn conv2d_cost(bufs: &[DataBuffer], scalars: &[f64]) -> KernelCost {
     // The inefficiency models the unoptimized direct convolution the
     // benchmark uses (no Winograd/implicit GEMM), calibrated against
     // the paper's DL serial times.
-    cached_f32(bufs[0].len() as f64 + bufs[2].len() as f64, out_c * k, flops)
-        .with_inefficiency(8.0)
+    cached_f32(
+        bufs[0].len() as f64 + bufs[2].len() as f64,
+        out_c * k,
+        flops,
+    )
+    .with_inefficiency(8.0)
 }
 
 /// `pool2d(x, y, c, h, w)`: 2×2 average pooling, stride 2.
@@ -173,7 +177,12 @@ fn dense_func(bufs: &[DataBuffer], scalars: &[f64]) {
     let n = s(scalars[0]);
     let x = bufs[0].as_f32();
     let w = bufs[1].as_f32();
-    let acc: f64 = x.iter().zip(w.iter()).take(n).map(|(&a, &b)| a as f64 * b as f64).sum();
+    let acc: f64 = x
+        .iter()
+        .zip(w.iter())
+        .take(n)
+        .map(|(&a, &b)| a as f64 * b as f64)
+        .sum();
     bufs[2].as_f32_mut()[0] = (1.0 / (1.0 + (-acc).exp())) as f32;
 }
 
@@ -206,7 +215,10 @@ mod tests {
         let w = buf(vec![1.0]);
         let y = DataBuffer::f32_zeros(9);
         conv2d_func(&[x, w, y.clone()], &[1.0, 3.0, 3.0, 1.0, 1.0]);
-        assert_eq!(*y.as_f32(), vec![0.0, 2.0, 0.0, 4.0, 0.0, 6.0, 0.0, 8.0, 0.0]);
+        assert_eq!(
+            *y.as_f32(),
+            vec![0.0, 2.0, 0.0, 4.0, 0.0, 6.0, 0.0, 8.0, 0.0]
+        );
     }
 
     #[test]

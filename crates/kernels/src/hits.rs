@@ -123,7 +123,10 @@ pub fn random_graph_csr(n: usize, deg: usize, seed: u64) -> (Csr, Csr) {
             edges.push((r, c));
         }
     }
-    (Csr::from_edges(n, &edges), Csr::from_edges(n, &transpose(&edges)))
+    (
+        Csr::from_edges(n, &edges),
+        Csr::from_edges(n, &transpose(&edges)),
+    )
 }
 
 fn transpose(edges: &[(usize, usize)]) -> Vec<(usize, usize)> {
@@ -159,7 +162,11 @@ impl Csr {
             colidx[cursor[r] as usize] = c as i32;
             cursor[r] += 1;
         }
-        Csr { rowptr, colidx, vals: vec![1.0; edges.len()] }
+        Csr {
+            rowptr,
+            colidx,
+            vals: vec![1.0; edges.len()],
+        }
     }
 
     /// Number of rows.
@@ -201,7 +208,13 @@ mod tests {
         let m = Csr::from_edges(3, &[(0, 1), (0, 2), (2, 0)]);
         let y = DataBuffer::f32_zeros(3);
         spmv_func(
-            &[b_i32(m.rowptr), b_i32(m.colidx), b_f32(m.vals), b_f32(vec![1.0, 2.0, 3.0]), y.clone()],
+            &[
+                b_i32(m.rowptr),
+                b_i32(m.colidx),
+                b_f32(m.vals),
+                b_f32(vec![1.0, 2.0, 3.0]),
+                y.clone(),
+            ],
             &[3.0],
         );
         assert_eq!(*y.as_f32(), vec![5.0, 0.0, 1.0]);
@@ -266,7 +279,10 @@ mod tests {
         }
         assert!((h[0] - 1.0).abs() < 1e-5, "hub score concentrates: {h:?}");
         for i in 1..n {
-            assert!((a[i] - 0.25).abs() < 1e-5, "authority spreads evenly: {a:?}");
+            assert!(
+                (a[i] - 0.25).abs() < 1e-5,
+                "authority spreads evenly: {a:?}"
+            );
         }
         assert!(a[0] < 1e-6);
     }

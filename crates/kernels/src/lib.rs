@@ -59,7 +59,10 @@ pub struct KernelDef {
 
 impl std::fmt::Debug for KernelDef {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("KernelDef").field("name", &self.name).field("nidl", &self.nidl).finish()
+        f.debug_struct("KernelDef")
+            .field("name", &self.name)
+            .field("nidl", &self.nidl)
+            .finish()
     }
 }
 
@@ -145,8 +148,7 @@ mod tests {
         for (i, a) in ks.iter().enumerate() {
             for b in ks.iter().skip(i + 1) {
                 assert!(
-                    !(a.func as usize == b.func as usize && a.name != b.name)
-                        || a.nidl == b.nidl,
+                    !(a.func as usize == b.func as usize && a.name != b.name) || a.nidl == b.nidl,
                     "{} and {} share an implementation unexpectedly",
                     a.name,
                     b.name

@@ -294,14 +294,16 @@ mod tests {
     fn normalize_zero_means_unit_variance() {
         let rows = 50;
         let features = 3;
-        let data: Vec<f32> =
-            (0..rows * features).map(|i| ((i * 37) % 17) as f32 - 5.0).collect();
+        let data: Vec<f32> = (0..rows * features)
+            .map(|i| ((i * 37) % 17) as f32 - 5.0)
+            .collect();
         let x = buf(data);
         let z = DataBuffer::f32_zeros(rows * features);
         rr_normalize_func(&[x, z.clone()], &[rows as f64, features as f64]);
         let zv = z.as_f32();
         for j in 0..features {
-            let mean: f64 = (0..rows).map(|i| zv[i * features + j] as f64).sum::<f64>() / rows as f64;
+            let mean: f64 =
+                (0..rows).map(|i| zv[i * features + j] as f64).sum::<f64>() / rows as f64;
             let var: f64 = (0..rows)
                 .map(|i| (zv[i * features + j] as f64 - mean).powi(2))
                 .sum::<f64>()
@@ -358,7 +360,10 @@ mod tests {
         let amax = DataBuffer::f32_zeros(rows);
         let lse = DataBuffer::f32_zeros(rows);
         nb_row_max_func(&[m.clone(), amax.clone()], &[rows as f64, classes as f64]);
-        nb_lse_func(&[m.clone(), amax.clone(), lse.clone()], &[rows as f64, classes as f64]);
+        nb_lse_func(
+            &[m.clone(), amax.clone(), lse.clone()],
+            &[rows as f64, classes as f64],
+        );
         nb_exp_func(&[m.clone(), amax, lse], &[rows as f64, classes as f64]);
         let v = m.as_f32();
         for i in 0..rows {

@@ -87,7 +87,12 @@ fn dot_func(bufs: &[DataBuffer], scalars: &[f64]) {
     let n = s(scalars[0]);
     let x = bufs[0].as_f32();
     let y = bufs[1].as_f32();
-    let acc: f64 = x.iter().zip(y.iter()).take(n).map(|(&a, &b)| a as f64 * b as f64).sum();
+    let acc: f64 = x
+        .iter()
+        .zip(y.iter())
+        .take(n)
+        .map(|(&a, &b)| a as f64 * b as f64)
+        .sum();
     bufs[2].as_f32_mut()[0] = acc as f32;
 }
 

@@ -118,7 +118,10 @@ mod tests {
     #[test]
     fn reduce_cost_has_latency_floor() {
         let x = DataBuffer::f32_zeros(1 << 20);
-        let c = reduce_cost(&[x.clone(), x.clone(), DataBuffer::f32_zeros(1)], &[(1 << 20) as f64]);
+        let c = reduce_cost(
+            &[x.clone(), x.clone(), DataBuffer::f32_zeros(1)],
+            &[(1 << 20) as f64],
+        );
         assert!(c.min_time > 0.0);
     }
 }

@@ -18,15 +18,15 @@ pub fn render_timeline(tl: &Timeline, width: usize) -> String {
     let t1 = tl.gpu_end().unwrap();
     let span = (t1 - t0).max(1e-12);
     let scale = |t: f64| -> usize {
-        (((t - t0) / span) * (width as f64 - 1.0)).round().clamp(0.0, width as f64 - 1.0) as usize
+        (((t - t0) / span) * (width as f64 - 1.0))
+            .round()
+            .clamp(0.0, width as f64 - 1.0) as usize
     };
 
     // Collect GPU streams in first-use order.
     let mut streams: Vec<u32> = Vec::new();
     for iv in tl.intervals() {
-        if (iv.kind == TaskKind::Kernel || iv.kind.is_transfer())
-            && !streams.contains(&iv.stream)
-        {
+        if (iv.kind == TaskKind::Kernel || iv.kind.is_transfer()) && !streams.contains(&iv.stream) {
             streams.push(iv.stream);
         }
     }
@@ -62,7 +62,11 @@ pub fn render_timeline(tl: &Timeline, width: usize) -> String {
                 }
             }
         }
-        let name = if s == u32::MAX { "host".to_string() } else { format!("s{s:<3}") };
+        let name = if s == u32::MAX {
+            "host".to_string()
+        } else {
+            format!("s{s:<3}")
+        };
         out.push_str(&format!("{name:>5} |{}|\n", String::from_utf8_lossy(&row)));
     }
     out.push_str("       ('#'/text = kernel, '>' = H2D, '<' = D2H, 'f' = UM fault)\n");
@@ -75,7 +79,15 @@ mod tests {
     use gpu_sim::{Interval, TaskMeta};
 
     fn iv(kind: TaskKind, stream: u32, start: f64, end: f64, label: &str) -> Interval {
-        Interval { task: 0, kind, stream, label: label.into(), start, end, meta: TaskMeta::default() }
+        Interval {
+            task: 0,
+            kind,
+            stream,
+            label: label.into(),
+            start,
+            end,
+            meta: TaskMeta::default(),
+        }
     }
 
     #[test]

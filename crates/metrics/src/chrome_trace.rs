@@ -27,7 +27,11 @@ pub fn to_chrome_trace(tl: &Timeline, process_name: &str) -> String {
     streams.sort_unstable();
     streams.dedup();
     for &s in &streams {
-        let name = if s == u32::MAX { "host".to_string() } else { format!("stream {s}") };
+        let name = if s == u32::MAX {
+            "host".to_string()
+        } else {
+            format!("stream {s}")
+        };
         out.push_str(&format!(
             ",\n  {{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{},\
              \"args\":{{\"name\":\"{name}\"}}}}",
@@ -86,7 +90,10 @@ mod tests {
             label: label.into(),
             start,
             end,
-            meta: TaskMeta { bytes: 128.0, ..Default::default() },
+            meta: TaskMeta {
+                bytes: 128.0,
+                ..Default::default()
+            },
         }
     }
 

@@ -42,7 +42,10 @@ mod tests {
     use super::*;
 
     fn n(duration: f64, deps: &[usize]) -> PathNode {
-        PathNode { duration, deps: deps.to_vec() }
+        PathNode {
+            duration,
+            deps: deps.to_vec(),
+        }
     }
 
     #[test]

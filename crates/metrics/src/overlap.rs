@@ -41,11 +41,15 @@ impl OverlapMetrics {
 
         // CT: for each kernel interval, the portion covered by the
         // transfer union.
-        let ct_time: f64 =
-            kernels.iter().map(|&k| overlap_with(k, &transfer_union)).sum();
+        let ct_time: f64 = kernels
+            .iter()
+            .map(|&k| overlap_with(k, &transfer_union))
+            .sum();
         // TC: symmetric.
-        let tc_time: f64 =
-            transfers.iter().map(|&t| overlap_with(t, &kernel_union)).sum();
+        let tc_time: f64 = transfers
+            .iter()
+            .map(|&t| overlap_with(t, &kernel_union))
+            .sum();
         // CC: kernel time covered by at least two kernels, counted per
         // covered instant ("the overlap is counted only once").
         let cc_time = covered_at_least(&kernels, 2);

@@ -60,33 +60,98 @@ fn main() {
 
     for _round in 0..8 {
         // Authority chain: a' = normalize(Aᵀ h)
-        spmv.launch(grid, &[Arg::array(&t_rp), Arg::array(&t_ci), Arg::array(&t_va), Arg::array(&h), Arg::array(&tmp_a), Arg::scalar(nf)]).unwrap();
-        sum.launch(grid, &[Arg::array(&tmp_a), Arg::array(&sum_a), Arg::scalar(nf)]).unwrap();
+        spmv.launch(
+            grid,
+            &[
+                Arg::array(&t_rp),
+                Arg::array(&t_ci),
+                Arg::array(&t_va),
+                Arg::array(&h),
+                Arg::array(&tmp_a),
+                Arg::scalar(nf),
+            ],
+        )
+        .unwrap();
+        sum.launch(
+            grid,
+            &[Arg::array(&tmp_a), Arg::array(&sum_a), Arg::scalar(nf)],
+        )
+        .unwrap();
         // Hub chain: h' = normalize(A a) — reads the OLD a concurrently.
-        spmv.launch(grid, &[Arg::array(&a_rp), Arg::array(&a_ci), Arg::array(&a_va), Arg::array(&a), Arg::array(&tmp_h), Arg::scalar(nf)]).unwrap();
-        sum.launch(grid, &[Arg::array(&tmp_h), Arg::array(&sum_h), Arg::scalar(nf)]).unwrap();
+        spmv.launch(
+            grid,
+            &[
+                Arg::array(&a_rp),
+                Arg::array(&a_ci),
+                Arg::array(&a_va),
+                Arg::array(&a),
+                Arg::array(&tmp_h),
+                Arg::scalar(nf),
+            ],
+        )
+        .unwrap();
+        sum.launch(
+            grid,
+            &[Arg::array(&tmp_h), Arg::array(&sum_h), Arg::scalar(nf)],
+        )
+        .unwrap();
         // The divides write a/h, which the *other* chain read above:
         // write-after-read edges across streams, inferred automatically.
-        div.launch(grid, &[Arg::array(&tmp_a), Arg::array(&sum_a), Arg::array(&a), Arg::scalar(nf)]).unwrap();
-        div.launch(grid, &[Arg::array(&tmp_h), Arg::array(&sum_h), Arg::array(&h), Arg::scalar(nf)]).unwrap();
+        div.launch(
+            grid,
+            &[
+                Arg::array(&tmp_a),
+                Arg::array(&sum_a),
+                Arg::array(&a),
+                Arg::scalar(nf),
+            ],
+        )
+        .unwrap();
+        div.launch(
+            grid,
+            &[
+                Arg::array(&tmp_h),
+                Arg::array(&sum_h),
+                Arg::array(&h),
+                Arg::scalar(nf),
+            ],
+        )
+        .unwrap();
     }
 
     let hubs = h.to_vec_f32();
     let auths = a.to_vec_f32();
     g.sync();
-    assert!(g.races().is_empty(), "cross-stream WAR edges must be synchronized");
+    assert!(
+        g.races().is_empty(),
+        "cross-stream WAR edges must be synchronized"
+    );
 
     let top = |v: &[f32]| -> usize {
-        v.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).map(|(i, _)| i).unwrap()
+        v.iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i)
+            .unwrap()
     };
     println!("hub scores:       {hubs:.2?}");
     println!("authority scores: {auths:.2?}");
-    println!("top hub = page {}   top authority = page {}", top(&hubs), top(&auths));
+    println!(
+        "top hub = page {}   top authority = page {}",
+        top(&hubs),
+        top(&auths)
+    );
     assert_eq!(top(&hubs), 0, "the directory page must be the top hub");
     // Authorities are the pages the strong hubs point at: the even
     // pages are linked by BOTH directories, so one of them must win.
     let ta = top(&auths);
-    assert!(ta >= 2 && ta % 2 == 0, "top authority must be a doubly-linked page, got {ta}");
-    println!("\nDAG after 8 iterations: {} computational elements, {} streams, 0 races",
-        g.dag_len(), g.timeline().streams_used());
+    assert!(
+        ta >= 2 && ta % 2 == 0,
+        "top authority must be a doubly-linked page, got {ta}"
+    );
+    println!(
+        "\nDAG after 8 iterations: {} computational elements, {} streams, 0 races",
+        g.dag_len(),
+        g.timeline().streams_used()
+    );
 }

@@ -11,7 +11,9 @@
 
 use gpu_sim::{DeviceProfile, Grid};
 use grcuda::{Arg, DeviceArray, GrCuda, Options};
-use kernels::image::{gaussian_kernel, COMBINE, EXTEND, GAUSSIAN_BLUR, MAXIMUM, MINIMUM, SOBEL, UNSHARPEN};
+use kernels::image::{
+    gaussian_kernel, COMBINE, EXTEND, GAUSSIAN_BLUR, MAXIMUM, MINIMUM, SOBEL, UNSHARPEN,
+};
 use metrics::render_timeline;
 
 const SIDE: usize = 512;
@@ -56,7 +58,11 @@ fn main() {
     // (The paper: "selecting the appropriate kernel is done simply
     // through conditional statements in the host language".)
     let high_detail = std::env::args().any(|a| a == "--high-detail");
-    let (d_small, sigma_small) = if high_detail { (3usize, 0.8) } else { (5usize, 1.5) };
+    let (d_small, sigma_small) = if high_detail {
+        (3usize, 0.8)
+    } else {
+        (5usize, 1.5)
+    };
 
     let k_small = g.array_f32(d_small * d_small);
     k_small.copy_from_f32(&gaussian_kernel(d_small, sigma_small));
@@ -68,7 +74,14 @@ fn main() {
     let blur_call = |dst: &DeviceArray, kern: &DeviceArray, d: usize| {
         blur.launch(
             grid2,
-            &[Arg::array(&img), Arg::array(dst), Arg::scalar(sf), Arg::scalar(sf), Arg::array(kern), Arg::scalar(d as f64)],
+            &[
+                Arg::array(&img),
+                Arg::array(dst),
+                Arg::scalar(sf),
+                Arg::scalar(sf),
+                Arg::array(kern),
+                Arg::scalar(d as f64),
+            ],
         )
         .unwrap();
     };
@@ -77,31 +90,112 @@ fn main() {
     blur_call(&blur_small, &k_small, d_small);
     blur_call(&blur_large, &k_large, 5);
     blur_call(&blur_unsharp, &k_unsharp, 3);
-    sobel.launch(grid2, &[Arg::array(&blur_small), Arg::array(&sobel_small), Arg::scalar(sf), Arg::scalar(sf)]).unwrap();
-    sobel.launch(grid2, &[Arg::array(&blur_large), Arg::array(&sobel_large), Arg::scalar(sf), Arg::scalar(sf)]).unwrap();
-    maximum.launch(grid1, &[Arg::array(&sobel_large), Arg::array(&maxv), Arg::scalar(nf)]).unwrap();
-    minimum.launch(grid1, &[Arg::array(&sobel_large), Arg::array(&minv), Arg::scalar(nf)]).unwrap();
-    extend.launch(grid1, &[Arg::array(&sobel_large), Arg::array(&minv), Arg::array(&maxv), Arg::scalar(nf)]).unwrap();
+    sobel
+        .launch(
+            grid2,
+            &[
+                Arg::array(&blur_small),
+                Arg::array(&sobel_small),
+                Arg::scalar(sf),
+                Arg::scalar(sf),
+            ],
+        )
+        .unwrap();
+    sobel
+        .launch(
+            grid2,
+            &[
+                Arg::array(&blur_large),
+                Arg::array(&sobel_large),
+                Arg::scalar(sf),
+                Arg::scalar(sf),
+            ],
+        )
+        .unwrap();
+    maximum
+        .launch(
+            grid1,
+            &[Arg::array(&sobel_large), Arg::array(&maxv), Arg::scalar(nf)],
+        )
+        .unwrap();
+    minimum
+        .launch(
+            grid1,
+            &[Arg::array(&sobel_large), Arg::array(&minv), Arg::scalar(nf)],
+        )
+        .unwrap();
+    extend
+        .launch(
+            grid1,
+            &[
+                Arg::array(&sobel_large),
+                Arg::array(&minv),
+                Arg::array(&maxv),
+                Arg::scalar(nf),
+            ],
+        )
+        .unwrap();
     unsharpen
-        .launch(grid1, &[Arg::array(&img), Arg::array(&blur_unsharp), Arg::array(&unsharp), Arg::scalar(0.5), Arg::scalar(nf)])
+        .launch(
+            grid1,
+            &[
+                Arg::array(&img),
+                Arg::array(&blur_unsharp),
+                Arg::array(&unsharp),
+                Arg::scalar(0.5),
+                Arg::scalar(nf),
+            ],
+        )
         .unwrap();
     combine
-        .launch(grid1, &[Arg::array(&unsharp), Arg::array(&blur_small), Arg::array(&sobel_small), Arg::array(&combine1), Arg::scalar(nf)])
+        .launch(
+            grid1,
+            &[
+                Arg::array(&unsharp),
+                Arg::array(&blur_small),
+                Arg::array(&sobel_small),
+                Arg::array(&combine1),
+                Arg::scalar(nf),
+            ],
+        )
         .unwrap();
     combine
-        .launch(grid1, &[Arg::array(&combine1), Arg::array(&blur_large), Arg::array(&sobel_large), Arg::array(&result), Arg::scalar(nf)])
+        .launch(
+            grid1,
+            &[
+                Arg::array(&combine1),
+                Arg::array(&blur_large),
+                Arg::array(&sobel_large),
+                Arg::array(&result),
+                Arg::scalar(nf),
+            ],
+        )
         .unwrap();
 
     // Reading a pixel synchronizes the whole pipeline behind it.
     let center = result.get_f32(256 * SIDE + 256);
     let corner = result.get_f32(0);
-    println!("kernel variant: {}", if high_detail { "high-detail (3x3)" } else { "standard (5x5)" });
+    println!(
+        "kernel variant: {}",
+        if high_detail {
+            "high-detail (3x3)"
+        } else {
+            "standard (5x5)"
+        }
+    );
     println!("sharpened center pixel = {center:.3}, corner = {corner:.3}");
-    assert!(center > corner, "the subject must be enhanced relative to background");
+    assert!(
+        center > corner,
+        "the subject must be enhanced relative to background"
+    );
 
     g.sync();
     println!("\nTimeline (the paper's Fig. 6 IMG runs this on 4 streams):");
     println!("{}", render_timeline(&g.timeline(), 100));
-    println!("streams: {}   races: {}", g.timeline().streams_used(), g.races().len());
+    println!(
+        "streams: {}   races: {}",
+        g.timeline().streams_used(),
+        g.races().len()
+    );
     assert!(g.races().is_empty());
 }

@@ -31,9 +31,12 @@ fn main() {
     let w = g.array_f32(CLASSES * FEATURES);
     let b = g.array_f32(CLASSES);
     let logp = g.array_f32(CLASSES * FEATURES);
-    for (arr, seed, lo, hi) in
-        [(&x, 11u64, 0.0f32, 4.0f32), (&w, 12, -1.0, 1.0), (&b, 13, -0.5, 0.5), (&logp, 14, -3.0, -0.01)]
-    {
+    for (arr, seed, lo, hi) in [
+        (&x, 11u64, 0.0f32, 4.0f32),
+        (&w, 12, -1.0, 1.0),
+        (&b, 13, -0.5, 0.5),
+        (&logp, 14, -3.0, -0.01),
+    ] {
         let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
         let data: Vec<f32> = (0..arr.len())
             .map(|_| {
@@ -56,26 +59,105 @@ fn main() {
     let k = |def| g.build_kernel(def).unwrap();
 
     // Ridge-regression branch (Fig. 2's right branch).
-    k(&RR_NORMALIZE).launch(grid, &[Arg::array(&x), Arg::array(&z), Arg::scalar(rf), Arg::scalar(ff)]).unwrap();
+    k(&RR_NORMALIZE)
+        .launch(
+            grid,
+            &[
+                Arg::array(&x),
+                Arg::array(&z),
+                Arg::scalar(rf),
+                Arg::scalar(ff),
+            ],
+        )
+        .unwrap();
     // Naïve Bayes branch starts immediately: it reads X read-only.
     k(&NB_MATMUL)
-        .launch(grid, &[Arg::array(&x), Arg::array(&logp), Arg::array(&r1), Arg::scalar(rf), Arg::scalar(ff), Arg::scalar(cf)])
+        .launch(
+            grid,
+            &[
+                Arg::array(&x),
+                Arg::array(&logp),
+                Arg::array(&r1),
+                Arg::scalar(rf),
+                Arg::scalar(ff),
+                Arg::scalar(cf),
+            ],
+        )
         .unwrap();
     k(&RR_MATMUL)
-        .launch(grid, &[Arg::array(&z), Arg::array(&w), Arg::array(&r2), Arg::scalar(rf), Arg::scalar(ff), Arg::scalar(cf)])
+        .launch(
+            grid,
+            &[
+                Arg::array(&z),
+                Arg::array(&w),
+                Arg::array(&r2),
+                Arg::scalar(rf),
+                Arg::scalar(ff),
+                Arg::scalar(cf),
+            ],
+        )
         .unwrap();
-    k(&NB_ROW_MAX).launch(grid, &[Arg::array(&r1), Arg::array(&amax), Arg::scalar(rf), Arg::scalar(cf)]).unwrap();
-    k(&RR_ADD_INTERCEPT).launch(grid, &[Arg::array(&r2), Arg::array(&b), Arg::scalar(rf), Arg::scalar(cf)]).unwrap();
+    k(&NB_ROW_MAX)
+        .launch(
+            grid,
+            &[
+                Arg::array(&r1),
+                Arg::array(&amax),
+                Arg::scalar(rf),
+                Arg::scalar(cf),
+            ],
+        )
+        .unwrap();
+    k(&RR_ADD_INTERCEPT)
+        .launch(
+            grid,
+            &[
+                Arg::array(&r2),
+                Arg::array(&b),
+                Arg::scalar(rf),
+                Arg::scalar(cf),
+            ],
+        )
+        .unwrap();
     k(&NB_LSE)
-        .launch(grid, &[Arg::array(&r1), Arg::array(&amax), Arg::array(&lse), Arg::scalar(rf), Arg::scalar(cf)])
+        .launch(
+            grid,
+            &[
+                Arg::array(&r1),
+                Arg::array(&amax),
+                Arg::array(&lse),
+                Arg::scalar(rf),
+                Arg::scalar(cf),
+            ],
+        )
         .unwrap();
-    k(&SOFTMAX).launch(grid, &[Arg::array(&r2), Arg::scalar(rf), Arg::scalar(cf)]).unwrap();
+    k(&SOFTMAX)
+        .launch(grid, &[Arg::array(&r2), Arg::scalar(rf), Arg::scalar(cf)])
+        .unwrap();
     k(&NB_EXP)
-        .launch(grid, &[Arg::array(&r1), Arg::array(&amax), Arg::array(&lse), Arg::scalar(rf), Arg::scalar(cf)])
+        .launch(
+            grid,
+            &[
+                Arg::array(&r1),
+                Arg::array(&amax),
+                Arg::array(&lse),
+                Arg::scalar(rf),
+                Arg::scalar(cf),
+            ],
+        )
         .unwrap();
     // Ensemble: average the two posteriors, pick the winner.
     k(&ARGMAX_COMBINE)
-        .launch(grid, &[Arg::array(&r1), Arg::array(&r2), Arg::array(&out), Arg::scalar(rf), Arg::scalar(cf)])
+        .launch(
+            grid,
+            &[
+                Arg::array(&r1),
+                Arg::array(&r2),
+                Arg::array(&out),
+                Arg::scalar(rf),
+                Arg::scalar(cf),
+            ],
+        )
         .unwrap();
 
     // Reading predictions synchronizes both branches.

@@ -15,10 +15,18 @@ use kernels::util::AXPY;
 
 const BOOKS: usize = 8;
 const OPTIONS_PER_BOOK: usize = 1 << 20;
-const G: Grid = Grid { blocks: (64, 1, 1), threads: (256, 1, 1) };
+const G: Grid = Grid {
+    blocks: (64, 1, 1),
+    threads: (256, 1, 1),
+};
 
 fn price_books(gpus: usize, policy: PlacementPolicy) -> (f64, usize, f32) {
-    let mut m = MultiGpu::new(DeviceProfile::tesla_p100(), gpus, Options::parallel(), policy);
+    let mut m = MultiGpu::new(
+        DeviceProfile::tesla_p100(),
+        gpus,
+        Options::parallel(),
+        policy,
+    );
     let n = OPTIONS_PER_BOOK;
 
     // Independent books: one pricing kernel each.
@@ -26,7 +34,9 @@ fn price_books(gpus: usize, policy: PlacementPolicy) -> (f64, usize, f32) {
         .map(|b| {
             let spots = m.array_f64(n);
             let prices = m.array_f64(n);
-            let data: Vec<f64> = (0..n).map(|i| 80.0 + (b * 5) as f64 + (i % 50) as f64).collect();
+            let data: Vec<f64> = (0..n)
+                .map(|i| 80.0 + (b * 5) as f64 + (i % 50) as f64)
+                .collect();
             m.write_f64(&spots, &data);
             (spots, prices)
         })
@@ -54,7 +64,12 @@ fn price_books(gpus: usize, policy: PlacementPolicy) -> (f64, usize, f32) {
 }
 
 fn dependent_chain(gpus: usize, policy: PlacementPolicy) -> (f64, usize) {
-    let mut m = MultiGpu::new(DeviceProfile::tesla_p100(), gpus, Options::parallel(), policy);
+    let mut m = MultiGpu::new(
+        DeviceProfile::tesla_p100(),
+        gpus,
+        Options::parallel(),
+        policy,
+    );
     let n = 1 << 21;
     let acc = m.array_f32(n);
     let delta = m.array_f32(n);
@@ -66,7 +81,12 @@ fn dependent_chain(gpus: usize, policy: PlacementPolicy) -> (f64, usize) {
         m.launch(
             &AXPY,
             G,
-            &[MultiArg::array(&delta), MultiArg::array(&acc), MultiArg::scalar(1.0), MultiArg::scalar(n as f64)],
+            &[
+                MultiArg::array(&delta),
+                MultiArg::array(&acc),
+                MultiArg::scalar(1.0),
+                MultiArg::scalar(n as f64),
+            ],
         )
         .unwrap();
     }
@@ -93,8 +113,14 @@ fn main() {
     let (t_loc, m_loc) = dependent_chain(4, PlacementPolicy::LocalityAware);
     let (t_rr, m_rr) = dependent_chain(4, PlacementPolicy::RoundRobin);
     println!("  1 GPU               : {:7.2} ms", t1 * 1e3);
-    println!("  4 GPUs, locality    : {:7.2} ms, {m_loc} migrations", t_loc * 1e3);
-    println!("  4 GPUs, round-robin : {:7.2} ms, {m_rr} migrations  <- data ping-pong!", t_rr * 1e3);
+    println!(
+        "  4 GPUs, locality    : {:7.2} ms, {m_loc} migrations",
+        t_loc * 1e3
+    );
+    println!(
+        "  4 GPUs, round-robin : {:7.2} ms, {m_rr} migrations  <- data ping-pong!",
+        t_rr * 1e3
+    );
     assert!(m_loc < m_rr, "locality-aware placement must migrate less");
     println!("\n(the paper's §VI: multi-GPU scheduling 'requires to compute data");
     println!(" location and migration costs at run time' — exactly what this does)");

@@ -30,20 +30,41 @@ fn main() {
 
     // Fig. 4 (C): launch as if serial; the scheduler parallelizes.
     let grid = Grid::d1(64, 256);
-    square.launch(grid, &[Arg::array(&x), Arg::scalar(n as f64)]).unwrap();
-    square.launch(grid, &[Arg::array(&y), Arg::scalar(n as f64)]).unwrap();
+    square
+        .launch(grid, &[Arg::array(&x), Arg::scalar(n as f64)])
+        .unwrap();
+    square
+        .launch(grid, &[Arg::array(&y), Arg::scalar(n as f64)])
+        .unwrap();
     reduce
-        .launch(grid, &[Arg::array(&x), Arg::array(&y), Arg::array(&z), Arg::scalar(n as f64)])
+        .launch(
+            grid,
+            &[
+                Arg::array(&x),
+                Arg::array(&y),
+                Arg::array(&z),
+                Arg::scalar(n as f64),
+            ],
+        )
         .unwrap();
 
     // Fig. 4 (D): the CPU access synchronizes exactly what it needs.
     let res = z.get_f32(0);
-    println!("sum of squared differences = {res}  (expected {})", n as f32 * 5.0);
+    println!(
+        "sum of squared differences = {res}  (expected {})",
+        n as f32 * 5.0
+    );
     assert_eq!(res, n as f32 * 5.0);
 
     g.sync();
-    println!("\nInferred computation DAG (Graphviz):\n{}", g.dag_dot("VEC"));
-    println!("Execution timeline:\n{}", render_timeline(&g.timeline(), 90));
+    println!(
+        "\nInferred computation DAG (Graphviz):\n{}",
+        g.dag_dot("VEC")
+    );
+    println!(
+        "Execution timeline:\n{}",
+        render_timeline(&g.timeline(), 90)
+    );
     println!("streams created by the scheduler: {}", g.streams_created());
     println!("data races detected: {}", g.races().len());
     assert!(g.races().is_empty());

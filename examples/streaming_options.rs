@@ -64,9 +64,7 @@ fn run(dev: DeviceProfile, options: Options) -> (f64, usize, f32) {
 }
 
 fn main() {
-    println!(
-        "Pricing {BATCHES} batches x {STOCKS} stocks x {BATCH} options (double precision)\n"
-    );
+    println!("Pricing {BATCHES} batches x {STOCKS} stocks x {BATCH} options (double precision)\n");
     for dev in [DeviceProfile::gtx1660_super(), DeviceProfile::tesla_p100()] {
         let name = dev.name.clone();
         let (serial, _, c1) = run(dev.clone(), Options::serial());

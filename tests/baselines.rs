@@ -2,7 +2,7 @@
 //! events, CUDA Graphs manual, CUDA Graphs capture) compute exactly the
 //! same results as the GrCUDA scheduler, race-free.
 
-use benchmarks::{run_grcuda, run_graph_capture, run_graph_manual, run_handtuned, scales, Bench};
+use benchmarks::{run_graph_capture, run_graph_manual, run_grcuda, run_handtuned, scales, Bench};
 use gpu_sim::DeviceProfile;
 use grcuda::Options;
 
@@ -38,7 +38,10 @@ fn graph_replay_is_deterministic() {
     let b = run_graph_manual(&spec, &dev, 3);
     a.assert_ok();
     b.assert_ok();
-    assert_eq!(a.iter_times, b.iter_times, "simulation must be deterministic");
+    assert_eq!(
+        a.iter_times, b.iter_times,
+        "simulation must be deterministic"
+    );
 }
 
 #[test]

@@ -54,7 +54,11 @@ fn inferred_structure(b: Bench) -> (usize, Vec<(usize, usize)>) {
     // between kernel vertices.
     let mut edges = Vec::new();
     for line in dot.lines() {
-        if let Some((a, rest)) = line.trim().strip_prefix('n').and_then(|l| l.split_once(" -> n")) {
+        if let Some((a, rest)) = line
+            .trim()
+            .strip_prefix('n')
+            .and_then(|l| l.split_once(" -> n"))
+        {
             let to: usize = rest
                 .split(|c: char| !c.is_ascii_digit())
                 .next()

@@ -2,9 +2,7 @@
 //! the reproduction (coarse versions of Figs. 1, 7, 8, 9, 11, 12 — the
 //! full regenerators live in `crates/bench`).
 
-use benchmarks::{
-    contention_free_time_warm, run_grcuda, run_graph_manual, run_handtuned, Bench,
-};
+use benchmarks::{contention_free_time_warm, run_graph_manual, run_grcuda, run_handtuned, Bench};
 use gpu_sim::DeviceProfile;
 use grcuda::Options;
 use metrics::{HardwareMetrics, OverlapMetrics};
@@ -33,12 +31,21 @@ fn fig7_parallel_beats_serial_on_fault_capable_devices() {
             ser.assert_ok();
             par.assert_ok();
             let speedup = ser.median_time() / par.median_time();
-            assert!(speedup > 0.95, "{} on {}: parallel slower ({speedup:.2})", b.name(), dev.name);
+            assert!(
+                speedup > 0.95,
+                "{} on {}: parallel slower ({speedup:.2})",
+                b.name(),
+                dev.name
+            );
             if speedup > 1.1 {
                 wins += 1;
             }
         }
-        assert!(wins >= 4, "{}: expected clear wins on most benchmarks, got {wins}", dev.name);
+        assert!(
+            wins >= 4,
+            "{}: expected clear wins on most benchmarks, got {wins}",
+            dev.name
+        );
     }
 }
 
@@ -71,9 +78,15 @@ fn fig8_grcuda_beats_graphs_on_streaming_and_matches_events() {
     gr.assert_ok();
     gm.assert_ok();
     ht.assert_ok();
-    assert!(gm.median_time() / gr.median_time() > 1.1, "graphs must lose (no prefetch)");
+    assert!(
+        gm.median_time() / gr.median_time() > 1.1,
+        "graphs must lose (no prefetch)"
+    );
     let parity = gr.median_time() / ht.median_time();
-    assert!((0.8..1.25).contains(&parity), "events parity violated: {parity:.2}");
+    assert!(
+        (0.8..1.25).contains(&parity),
+        "events parity violated: {parity:.2}"
+    );
 }
 
 #[test]
@@ -86,13 +99,21 @@ fn fig9_bound_is_a_lower_bound_and_bs_contends_hardest() {
         let par = run_grcuda(&spec, &dev, Options::parallel(), 2);
         par.assert_ok();
         let rel = bound / par.median_time();
-        assert!(rel <= 1.05, "{}: measured beat the contention-free bound ({rel:.2})", b.name());
+        assert!(
+            rel <= 1.05,
+            "{}: measured beat the contention-free bound ({rel:.2})",
+            b.name()
+        );
         rels.push((b, rel));
     }
     let bs_rel = rels.iter().find(|(b, _)| *b == Bench::Bs).unwrap().1;
     for (b, rel) in &rels {
         if *b != Bench::Bs {
-            assert!(bs_rel <= *rel + 0.05, "B&S must contend hardest: {bs_rel:.2} vs {} {rel:.2}", b.name());
+            assert!(
+                bs_rel <= *rel + 0.05,
+                "B&S must contend hardest: {bs_rel:.2} vs {} {rel:.2}",
+                b.name()
+            );
         }
     }
 }
@@ -104,8 +125,16 @@ fn fig11_vec_speedup_is_pure_transfer_overlap() {
     let par = run_grcuda(&spec, &dev, Options::parallel(), 2);
     par.assert_ok();
     let m = OverlapMetrics::from_timeline(&par.timeline);
-    assert!(m.cc < 0.05, "VEC computation must not overlap computation: CC = {:.2}", m.cc);
-    assert!(m.ct > 0.1, "VEC kernels must overlap transfers: CT = {:.2}", m.ct);
+    assert!(
+        m.cc < 0.05,
+        "VEC computation must not overlap computation: CC = {:.2}",
+        m.cc
+    );
+    assert!(
+        m.ct > 0.1,
+        "VEC kernels must overlap transfers: CT = {:.2}",
+        m.ct
+    );
 }
 
 #[test]
@@ -116,7 +145,12 @@ fn fig11_img_and_ml_overlap_computation() {
         let par = run_grcuda(&spec, &dev, Options::parallel(), 2);
         par.assert_ok();
         let m = OverlapMetrics::from_timeline(&par.timeline);
-        assert!(m.cc > 0.15, "{} must show CC overlap: {:.2}", b.name(), m.cc);
+        assert!(
+            m.cc > 0.15,
+            "{} must show CC overlap: {:.2}",
+            b.name(),
+            m.cc
+        );
     }
 }
 

@@ -18,17 +18,25 @@ fn autotuner_explores_then_converges() {
     let mut chosen = Vec::new();
     // Exploration phase: 6 candidate block sizes.
     for _ in 0..6 {
-        let grid = sq.launch_autotuned(64, &[Arg::array(&x), Arg::scalar(n as f64)]).unwrap();
+        let grid = sq
+            .launch_autotuned(64, &[Arg::array(&x), Arg::scalar(n as f64)])
+            .unwrap();
         chosen.push(grid.threads.0);
         g.sync(); // harvest the measurement
     }
     let mut explored = chosen.clone();
     explored.sort_unstable();
     explored.dedup();
-    assert_eq!(explored.len(), 6, "all candidates must be explored once: {chosen:?}");
+    assert_eq!(
+        explored.len(),
+        6,
+        "all candidates must be explored once: {chosen:?}"
+    );
 
     // Exploitation phase: converges to a single choice...
-    let grid = sq.launch_autotuned(64, &[Arg::array(&x), Arg::scalar(n as f64)]).unwrap();
+    let grid = sq
+        .launch_autotuned(64, &[Arg::array(&x), Arg::scalar(n as f64)])
+        .unwrap();
     g.sync();
     let exploit = grid.threads.0;
     // (the extra sample may shift means among near-ties, so compare the
@@ -36,7 +44,10 @@ fn autotuner_explores_then_converges() {
     // it stays the argmin forever)
     // ...and the choice is sane: with 64 blocks fixed, larger blocks fill
     // the machine better, so the winner must not be the smallest.
-    assert!(exploit >= 128, "autotuner picked a degenerate block size {exploit}");
+    assert!(
+        exploit >= 128,
+        "autotuner picked a degenerate block size {exploit}"
+    );
 
     // And the tuned configuration is at least as fast as the worst one.
     let worst = grcuda::history::CANDIDATE_BLOCK_SIZES
@@ -58,7 +69,12 @@ fn history_tracks_per_kernel_samples() {
     for _ in 0..3 {
         sc.launch(
             gpu_sim::Grid::d1(64, 256),
-            &[Arg::array(&x), Arg::array(&y), Arg::scalar(2.0), Arg::scalar(n as f64)],
+            &[
+                Arg::array(&x),
+                Arg::array(&y),
+                Arg::scalar(2.0),
+                Arg::scalar(n as f64),
+            ],
         )
         .unwrap();
         g.sync();
@@ -98,13 +114,21 @@ fn multi_gpu_locality_beats_round_robin_on_chains() {
     let (t_rr, m_rr) = run(PlacementPolicy::RoundRobin);
     assert_eq!(m_local, 0);
     assert!(m_rr >= 3, "round-robin must migrate: {m_rr}");
-    assert!(t_local < t_rr, "locality {t_local} must beat round-robin {t_rr}");
+    assert!(
+        t_local < t_rr,
+        "locality {t_local} must beat round-robin {t_rr}"
+    );
 }
 
 #[test]
 fn multi_gpu_results_are_policy_independent() {
     let run = |policy: PlacementPolicy| -> Vec<f32> {
-        let mut m = MultiGpu::new(DeviceProfile::gtx1660_super(), 3, Options::parallel(), policy);
+        let mut m = MultiGpu::new(
+            DeviceProfile::gtx1660_super(),
+            3,
+            Options::parallel(),
+            policy,
+        );
         let n = 4096;
         let x = m.array_f32(n);
         let y = m.array_f32(n);
@@ -113,13 +137,23 @@ fn multi_gpu_results_are_policy_independent() {
             m.launch(
                 &SCALE,
                 gpu_sim::Grid::d1(64, 256),
-                &[MultiArg::array(&x), MultiArg::array(&y), MultiArg::scalar(2.0), MultiArg::scalar(n as f64)],
+                &[
+                    MultiArg::array(&x),
+                    MultiArg::array(&y),
+                    MultiArg::scalar(2.0),
+                    MultiArg::scalar(n as f64),
+                ],
             )
             .unwrap();
             m.launch(
                 &SCALE,
                 gpu_sim::Grid::d1(64, 256),
-                &[MultiArg::array(&y), MultiArg::array(&x), MultiArg::scalar(0.5), MultiArg::scalar(n as f64)],
+                &[
+                    MultiArg::array(&y),
+                    MultiArg::array(&x),
+                    MultiArg::scalar(0.5),
+                    MultiArg::scalar(n as f64),
+                ],
             )
             .unwrap();
         }

@@ -18,7 +18,10 @@ fn broken_scheduler_races_on_vec() {
     // square(X) and reduce(X, Y, Z) run concurrently without the edge.
     let spec = Bench::Vec.build(200_000);
     let r = run_grcuda(&spec, &DeviceProfile::tesla_p100(), broken(), 1);
-    assert!(r.races > 0, "the race detector must flag the missing dependency");
+    assert!(
+        r.races > 0,
+        "the race detector must flag the missing dependency"
+    );
 }
 
 #[test]
@@ -29,7 +32,11 @@ fn broken_scheduler_races_on_every_dependent_benchmark() {
         let scale = scales::tiny(b) * 8;
         let spec = b.build(scale);
         let r = run_grcuda(&spec, &DeviceProfile::tesla_p100(), broken(), 1);
-        assert!(r.races > 0, "{}: no race detected with inference disabled", b.name());
+        assert!(
+            r.races > 0,
+            "{}: no race detected with inference disabled",
+            b.name()
+        );
     }
 }
 
@@ -40,7 +47,10 @@ fn independent_benchmark_survives_broken_scheduler() {
     // over-reporting.
     let spec = Bench::Bs.build(scales::tiny(Bench::Bs) * 8);
     let r = run_grcuda(&spec, &DeviceProfile::tesla_p100(), broken(), 1);
-    assert_eq!(r.races, 0, "B&S kernels are independent — no races expected");
+    assert_eq!(
+        r.races, 0,
+        "B&S kernels are independent — no races expected"
+    );
     r.valid.expect("independent kernels stay correct");
 }
 

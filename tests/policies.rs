@@ -22,7 +22,8 @@ fn every_policy_combination_is_correct() {
                     .with_prefetch(pf);
                 let r = run_grcuda(&spec, &dev, opts, 2);
                 assert_eq!(r.races, 0, "{dep:?}/{reuse:?}/{pf:?}");
-                r.valid.unwrap_or_else(|e| panic!("{dep:?}/{reuse:?}/{pf:?}: {e}"));
+                r.valid
+                    .unwrap_or_else(|e| panic!("{dep:?}/{reuse:?}/{pf:?}: {e}"));
             }
         }
     }
@@ -48,8 +49,12 @@ fn disabling_prefetch_hurts_streaming_performance() {
     let dev = DeviceProfile::tesla_p100();
     let spec = Bench::Vec.build(800_000);
     let auto = run_grcuda(&spec, &dev, Options::parallel(), 3);
-    let none =
-        run_grcuda(&spec, &dev, Options::parallel().with_prefetch(PrefetchPolicy::None), 3);
+    let none = run_grcuda(
+        &spec,
+        &dev,
+        Options::parallel().with_prefetch(PrefetchPolicy::None),
+        3,
+    );
     auto.assert_ok();
     none.assert_ok();
     assert!(

@@ -1,0 +1,17 @@
+//! `proptest::bool` — the `ANY` coin-flip strategy.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+#[derive(Debug, Clone, Copy)]
+pub struct Any;
+
+/// Uniform `true`/`false`.
+pub const ANY: Any = Any;
+
+impl Strategy for Any {
+    type Value = bool;
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}

@@ -1,0 +1,81 @@
+//! Config, RNG, and error plumbing for the [`proptest!`](crate::proptest) macro.
+
+use std::fmt;
+
+/// Mirrors `proptest::test_runner::Config` for the fields the workspace
+/// sets (`with_cases`). Exported from the prelude as `ProptestConfig`.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl Config {
+    pub fn with_cases(cases: u32) -> Self {
+        Config { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { cases: 256 }
+    }
+}
+
+/// A failed `prop_assert*` inside a generated case.
+#[derive(Debug)]
+pub struct TestCaseError {
+    reason: String,
+}
+
+impl TestCaseError {
+    pub fn fail(reason: String) -> Self {
+        TestCaseError { reason }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.reason)
+    }
+}
+
+/// Deterministic splitmix64 generator, seeded from the test's name so
+/// every test draws an independent, reproducible stream.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn for_test(name: &str) -> Self {
+        // FNV-1a over the name: stable across runs and platforms.
+        let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+        for b in name.bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng {
+            state: h ^ 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, n)`; `n` must be non-zero. Modulo bias is
+    /// irrelevant at property-test sample sizes.
+    pub fn below(&mut self, n: usize) -> usize {
+        assert!(n > 0, "empty choice");
+        (self.next_u64() % n as u64) as usize
+    }
+
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}

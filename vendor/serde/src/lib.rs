@@ -1,0 +1,8 @@
+//! Offline stand-in for `serde`.
+//!
+//! Re-exports the no-op `Serialize`/`Deserialize` derive macros so that
+//! `use serde::{Deserialize, Serialize};` + `#[derive(...)]` compiles
+//! unchanged. Swap this path dependency for the real crates.io `serde`
+//! when the build environment has network access.
+
+pub use serde_derive::{Deserialize, Serialize};

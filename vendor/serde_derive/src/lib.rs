@@ -1,0 +1,19 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The build environment has no registry access, and nothing in this
+//! workspace actually serializes (there is no `serde_json` either) — the
+//! derives exist so profile/cost types keep the annotation the real
+//! project would carry. These macros accept the same syntax and expand
+//! to nothing.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
