@@ -1,0 +1,231 @@
+//! Long-running soak harness: bounded scheduler memory under sustained
+//! traffic.
+//!
+//! The paper evaluates the scheduler on short benchmark runs; a
+//! production service issues kernels for the life of the process. This
+//! binary drives ~100k launches (default) through the GrCUDA scheduler —
+//! cycling every benchmark suite, refreshing streaming inputs, reading
+//! outputs and syncing periodically like a request loop would — and
+//! asserts after every sync that *all* scheduler-side state (live DAG
+//! vertices, stored vertices/edges/value states, stream claims, the
+//! vertex→task / vertex→stream maps, pending launch metadata and the
+//! engine's retained task states) is bounded by the live frontier, while
+//! the lifetime counters keep growing.
+//!
+//! Run:  `cargo run --release -p bench --bin soak`
+//! CI:   `cargo run --release -p bench --bin soak -- --smoke`
+//! Args: `--launches N` (total, default 102000), `--sync-every K`
+//!       (launches between full syncs, default 64), `--smoke`
+//!       (reduced iteration count for CI).
+
+use std::time::Instant;
+
+use bench::render_table;
+use benchmarks::{
+    grcuda_arrays, read_grcuda_outputs, refresh_grcuda_arrays, scales, Bench, PlanArg,
+};
+use gpu_sim::DeviceProfile;
+use grcuda::{Arg, GrCuda, Options, SchedulerStats};
+
+struct SuiteReport {
+    name: &'static str,
+    launches: usize,
+    lifetime_vertices: usize,
+    peak_live: usize,
+    peak_stored: usize,
+    final_stored: usize,
+    wall_secs: f64,
+}
+
+/// Panic with context unless the post-sync scheduler footprint is back
+/// to the empty-frontier baseline.
+fn assert_drained(name: &str, launches: usize, st: &SchedulerStats, retained_tasks: usize) {
+    let ctx = format!("{name} after {launches} launches: {st:?}");
+    assert_eq!(st.live_vertices, 0, "live vertices leak — {ctx}");
+    assert_eq!(st.stored_vertices, 0, "stored vertices leak — {ctx}");
+    assert_eq!(st.stored_edges, 0, "edge leak — {ctx}");
+    assert_eq!(st.value_states, 0, "value-state leak — {ctx}");
+    assert_eq!(st.stream_claims, 0, "stream-claim leak — {ctx}");
+    assert_eq!(st.vertex_tasks, 0, "vertex→task leak — {ctx}");
+    assert_eq!(st.vertex_streams, 0, "vertex→stream leak — {ctx}");
+    assert_eq!(st.launch_infos, 0, "launch-info leak — {ctx}");
+    assert_eq!(retained_tasks, 0, "engine task-state leak — {ctx}");
+}
+
+fn soak_suite(b: Bench, quota: usize, sync_every: usize) -> SuiteReport {
+    let spec = b.build(scales::tiny(b));
+    let g = GrCuda::new(DeviceProfile::tesla_p100(), Options::parallel());
+    let arrays = grcuda_arrays(&g, &spec);
+    let kernels: Vec<_> = spec
+        .ops
+        .iter()
+        .map(|op| g.build_kernel(op.def).expect("suite signatures parse"))
+        .collect();
+    g.sync();
+    g.clear_timeline();
+
+    // The live frontier between syncs is at most the launches since the
+    // last sync plus the modeled CPU accesses of one request; storage may
+    // additionally hold up to one compaction threshold of retired
+    // garbage. Anything past this bound is a leak.
+    let out_reads: usize = spec.outputs.iter().map(|(_, cnt)| *cnt).sum();
+    let live_bound = sync_every + spec.ops.len() + out_reads + 8;
+    let stored_bound = 2 * live_bound + 64;
+
+    let start = Instant::now();
+    let (mut launches, mut since_sync) = (0usize, 0usize);
+    let (mut peak_live, mut peak_stored) = (0usize, 0usize);
+    'outer: loop {
+        // One service request: fresh streaming inputs, the suite's kernel
+        // chain, then the host reads its results.
+        refresh_grcuda_arrays(&spec, &arrays);
+        for (op, k) in spec.ops.iter().zip(&kernels) {
+            let args: Vec<Arg> = op
+                .args
+                .iter()
+                .map(|a| match a {
+                    PlanArg::Arr(i) => Arg::array(&arrays[*i]),
+                    PlanArg::Scalar(v) => Arg::scalar(*v),
+                })
+                .collect();
+            k.launch(op.grid, &args).expect("suite launches validate");
+            launches += 1;
+            since_sync += 1;
+            let st = g.scheduler_stats();
+            peak_live = peak_live.max(st.live_vertices);
+            peak_stored = peak_stored.max(st.stored_vertices);
+            assert!(
+                st.live_vertices <= live_bound,
+                "{}: live vertices {} exceed the frontier bound {live_bound}",
+                spec.name,
+                st.live_vertices
+            );
+            assert!(
+                st.stored_vertices <= stored_bound,
+                "{}: stored vertices {} exceed the compaction bound {stored_bound}",
+                spec.name,
+                st.stored_vertices
+            );
+            if since_sync >= sync_every {
+                g.sync();
+                g.clear_timeline();
+                assert_drained(
+                    spec.name,
+                    launches,
+                    &g.scheduler_stats(),
+                    g.stats().retained_tasks,
+                );
+                since_sync = 0;
+            }
+            if launches >= quota {
+                break 'outer;
+            }
+        }
+        // Fine-grained end of request: reads retire the producing chains
+        // without a device-wide sync.
+        read_grcuda_outputs(&spec, &arrays);
+    }
+    g.sync();
+    g.clear_timeline();
+    let st = g.scheduler_stats();
+    assert_drained(spec.name, launches, &st, g.stats().retained_tasks);
+    assert!(g.races().is_empty(), "{}: scheduler raced", spec.name);
+    assert_eq!(
+        st.lifetime_vertices,
+        g.dag_len(),
+        "lifetime gauge matches the DAG"
+    );
+    assert!(
+        st.lifetime_vertices >= launches,
+        "every launch was registered"
+    );
+
+    SuiteReport {
+        name: spec.name,
+        launches,
+        lifetime_vertices: st.lifetime_vertices,
+        peak_live,
+        peak_stored,
+        final_stored: st.stored_vertices,
+        wall_secs: start.elapsed().as_secs_f64(),
+    }
+}
+
+fn main() {
+    let mut total_launches = 102_000usize;
+    let mut sync_every = 64usize;
+    let mut explicit_launches = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--launches" => {
+                total_launches = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--launches N");
+                explicit_launches = true;
+            }
+            "--sync-every" => {
+                sync_every = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--sync-every K");
+            }
+            "--smoke" => {
+                if !explicit_launches {
+                    total_launches = 6_000;
+                }
+            }
+            other => panic!("unknown argument `{other}` (try --launches/--sync-every/--smoke)"),
+        }
+    }
+    let quota = total_launches.div_ceil(Bench::ALL.len());
+
+    println!(
+        "soak: ~{total_launches} launches over {} suites, full sync every {sync_every} launches\n",
+        Bench::ALL.len()
+    );
+    let start = Instant::now();
+    let reports: Vec<SuiteReport> = Bench::ALL
+        .iter()
+        .map(|&b| soak_suite(b, quota, sync_every))
+        .collect();
+    let wall = start.elapsed().as_secs_f64();
+
+    let rows: Vec<Vec<String>> = reports
+        .iter()
+        .map(|r| {
+            vec![
+                r.name.to_string(),
+                r.launches.to_string(),
+                r.lifetime_vertices.to_string(),
+                r.peak_live.to_string(),
+                r.peak_stored.to_string(),
+                r.final_stored.to_string(),
+                format!("{:.0}", r.launches as f64 / r.wall_secs),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &[
+                "suite",
+                "launches",
+                "lifetime vertices",
+                "peak live",
+                "peak stored",
+                "final stored",
+                "launches/s",
+            ],
+            &rows,
+        )
+    );
+
+    let launches: usize = reports.iter().map(|r| r.launches).sum();
+    println!(
+        "soak OK: {launches} launches in {wall:.2} s wall — sustained {:.0} launches/s; \
+         all scheduler maps drained to 0 after every sync",
+        launches as f64 / wall
+    );
+}

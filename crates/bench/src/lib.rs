@@ -15,6 +15,12 @@
 //! | `fig11` | Fig. 11 — CT/TC/CC/TOT overlap fractions |
 //! | `fig12` | Fig. 12 — hardware metrics serial vs parallel |
 //!
+//! Beyond the paper's artifacts, `soak` is the long-running harness: it
+//! drives ~100k launches across every suite with periodic syncs,
+//! asserts that all scheduler-side state stays bounded by the live
+//! frontier, and reports sustained launches/sec (`--smoke` runs the
+//! reduced CI variant).
+//!
 //! This library holds the shared experiment plumbing: iteration counts,
 //! aggregate statistics and aligned-table rendering.
 

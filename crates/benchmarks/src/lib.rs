@@ -26,7 +26,10 @@ pub mod spec;
 pub mod suite;
 
 pub use bound::{contention_free_time, contention_free_time_warm};
-pub use runners::{run_graph_capture, run_graph_manual, run_grcuda, run_handtuned, RunResult};
+pub use runners::{
+    grcuda_arrays, read_grcuda_outputs, refresh_grcuda_arrays, run_graph_capture, run_graph_manual,
+    run_grcuda, run_handtuned, RunResult,
+};
 pub use spec::{ArraySpec, BenchSpec, PlanArg, PlanOp};
 
 /// The six benchmarks, in the paper's figure order.

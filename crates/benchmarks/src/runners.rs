@@ -142,6 +142,75 @@ fn elem_size(d: &TypedData) -> usize {
 // GrCUDA runner (serial baseline & the paper's scheduler)
 // ---------------------------------------------------------------------
 
+/// Allocate the spec's managed arrays in a GrCUDA context and write
+/// their initial contents (shared by the runner, the soak harness and
+/// the integration tests).
+pub fn grcuda_arrays(g: &GrCuda, spec: &BenchSpec) -> Vec<grcuda::DeviceArray> {
+    spec.arrays
+        .iter()
+        .map(|a| match &a.init {
+            TypedData::F32(v) => {
+                let d = g.array_f32(v.len());
+                d.copy_from_f32(v);
+                d
+            }
+            TypedData::F64(v) => {
+                let d = g.array_f64(v.len());
+                d.copy_from_f64(v);
+                d
+            }
+            TypedData::I32(v) => {
+                let d = g.array_i32(v.len());
+                d.copy_from_i32(v);
+                d
+            }
+            TypedData::U8(v) => {
+                let d = g.array_u8(v.len());
+                d.copy_from_u8(v);
+                d
+            }
+        })
+        .collect()
+}
+
+/// Re-write streaming inputs (`refresh_each_iter`) with their initial
+/// contents, as each iteration of the paper's benchmarks does.
+pub fn refresh_grcuda_arrays(spec: &BenchSpec, arrays: &[grcuda::DeviceArray]) {
+    for (i, a) in spec.arrays.iter().enumerate() {
+        if a.refresh_each_iter {
+            match &a.init {
+                TypedData::F32(v) => arrays[i].copy_from_f32(v),
+                TypedData::F64(v) => arrays[i].copy_from_f64(v),
+                TypedData::I32(v) => arrays[i].copy_from_i32(v),
+                TypedData::U8(v) => arrays[i].copy_from_u8(v),
+            }
+        }
+    }
+}
+
+/// Perform the spec's end-of-iteration host reads (VEC's `res = Z[0]`
+/// pattern) — the fine-grained synchronization points of a request.
+pub fn read_grcuda_outputs(spec: &BenchSpec, arrays: &[grcuda::DeviceArray]) {
+    for (k, cnt) in &spec.outputs {
+        for i in 0..*cnt {
+            match &spec.arrays[*k].init {
+                TypedData::F32(_) => {
+                    arrays[*k].get_f32(i);
+                }
+                TypedData::F64(_) => {
+                    arrays[*k].get_f64(i);
+                }
+                TypedData::I32(_) => {
+                    arrays[*k].get_i32(i);
+                }
+                TypedData::U8(_) => {
+                    arrays[*k].get_u8(i);
+                }
+            }
+        }
+    }
+}
+
 /// Run the spec through the GrCUDA runtime. With
 /// [`Options::serial`] this is the paper's baseline; with
 /// [`Options::parallel`] it is the paper's contribution. Stream and
@@ -154,31 +223,7 @@ pub fn run_grcuda(
     iters: usize,
 ) -> RunResult {
     let g = GrCuda::new(dev.clone(), options);
-    let arrays: Vec<grcuda::DeviceArray> = spec
-        .arrays
-        .iter()
-        .map(|a| {
-            let arr = match &a.init {
-                TypedData::F32(v) => {
-                    let d = g.array_f32(v.len());
-                    d.copy_from_f32(v);
-                    d
-                }
-                TypedData::F64(v) => {
-                    let d = g.array_f64(v.len());
-                    d.copy_from_f64(v);
-                    d
-                }
-                TypedData::I32(v) => {
-                    let d = g.array_i32(v.len());
-                    d.copy_from_i32(v);
-                    d
-                }
-                TypedData::U8(_) => unimplemented!("no u8 benchmark arrays"),
-            };
-            arr
-        })
-        .collect();
+    let arrays = grcuda_arrays(&g, spec);
     let mut kernels: HashMap<&'static str, grcuda::Kernel> = HashMap::new();
     for op in &spec.ops {
         kernels
@@ -188,16 +233,7 @@ pub fn run_grcuda(
 
     let mut iter_times = Vec::with_capacity(iters);
     for _ in 0..iters {
-        for (i, a) in spec.arrays.iter().enumerate() {
-            if a.refresh_each_iter {
-                match &a.init {
-                    TypedData::F32(v) => arrays[i].copy_from_f32(v),
-                    TypedData::F64(v) => arrays[i].copy_from_f64(v),
-                    TypedData::I32(v) => arrays[i].copy_from_i32(v),
-                    TypedData::U8(_) => unreachable!(),
-                }
-            }
-        }
+        refresh_grcuda_arrays(spec, &arrays);
         g.clear_timeline();
         for op in &spec.ops {
             let args: Vec<Arg> = op
@@ -212,23 +248,7 @@ pub fn run_grcuda(
                 .launch(op.grid, &args)
                 .expect("suite launches validate");
         }
-        // Host reads end the iteration (VEC's `res = Z[0]` pattern).
-        for (k, cnt) in &spec.outputs {
-            for i in 0..*cnt {
-                match &spec.arrays[*k].init {
-                    TypedData::F32(_) => {
-                        arrays[*k].get_f32(i);
-                    }
-                    TypedData::F64(_) => {
-                        arrays[*k].get_f64(i);
-                    }
-                    TypedData::I32(_) => {
-                        arrays[*k].get_i32(i);
-                    }
-                    TypedData::U8(_) => unreachable!(),
-                }
-            }
-        }
+        read_grcuda_outputs(spec, &arrays);
         g.sync();
         iter_times.push(g.timeline().gpu_span());
     }
@@ -453,6 +473,49 @@ mod tests {
             run_graph_manual(&spec, &dev(), 1).assert_ok();
             run_graph_capture(&spec, &dev(), 1).assert_ok();
         }
+    }
+
+    #[test]
+    fn u8_spec_validates_under_every_runner() {
+        use crate::spec::{ArraySpec, PlanOp};
+        use gpu_sim::Grid;
+        use kernels::util::THRESHOLD_U8;
+        let n = 2048usize;
+        let spec = BenchSpec {
+            name: "U8",
+            arrays: vec![
+                ArraySpec {
+                    name: "img",
+                    init: TypedData::U8((0..n).map(|i| (i % 251) as u8).collect()),
+                    refresh_each_iter: true,
+                },
+                ArraySpec {
+                    name: "mask",
+                    init: TypedData::U8(vec![0; n]),
+                    refresh_each_iter: false,
+                },
+            ],
+            ops: vec![PlanOp {
+                def: &THRESHOLD_U8,
+                grid: Grid::d1(8, 256),
+                args: vec![
+                    PlanArg::Arr(0),
+                    PlanArg::Arr(1),
+                    PlanArg::Scalar(100.0),
+                    PlanArg::Scalar(n as f64),
+                ],
+                stream: 0,
+                deps: vec![],
+            }],
+            outputs: vec![(1, 2)],
+            scale: n,
+        };
+        spec.check_well_formed().unwrap();
+        run_grcuda(&spec, &dev(), Options::serial(), 2).assert_ok();
+        run_grcuda(&spec, &dev(), Options::parallel(), 2).assert_ok();
+        run_handtuned(&spec, &dev(), true, 2).assert_ok();
+        run_graph_manual(&spec, &dev(), 2).assert_ok();
+        run_graph_capture(&spec, &dev(), 2).assert_ok();
     }
 
     #[test]

@@ -391,6 +391,12 @@ impl Cuda {
         self.inner.borrow().engine.timeline().clone()
     }
 
+    /// Visit the execution timeline without cloning it (for frequent
+    /// bookkeeping passes like the grcuda history harvest).
+    pub fn with_timeline<R>(&self, f: impl FnOnce(&Timeline) -> R) -> R {
+        f(self.inner.borrow().engine.timeline())
+    }
+
     /// Reset the timeline between measured iterations.
     pub fn clear_timeline(&self) {
         self.inner.borrow_mut().engine.clear_timeline();

@@ -31,9 +31,27 @@ struct ValueState {
 /// host program issues computations; dependencies on *active* prior
 /// computations are inferred from argument overlap and returned to the
 /// caller (the scheduler), which turns them into stream/event decisions.
+///
+/// ## Generational storage and compaction
+///
+/// A long-running host program issues computations forever, but only the
+/// frontier of *active* vertices can ever be a dependency source. The
+/// DAG therefore stores vertices generationally: ids are allocated
+/// monotonically and never reused, while [`ComputationDag::compact`]
+/// drops fully-retired vertices (and their edges and per-value ordering
+/// state) so the resident footprint stays O(live computations) instead of
+/// O(lifetime launches). Ids of live vertices are stable across
+/// compaction; looking up a compacted id panics, exactly like looking up
+/// an id that was never allocated.
 #[derive(Debug, Default, Clone)]
 pub struct ComputationDag {
+    /// Stored vertices in ascending-id order: the live set plus retired
+    /// vertices not yet reclaimed by [`ComputationDag::compact`].
     vertices: Vec<Vertex>,
+    /// Total vertices ever registered; also the next id to allocate.
+    next_id: u32,
+    /// Count of stored vertices that are retired — compaction fuel.
+    retired_stored: usize,
     edges: Vec<DepEdge>,
     values: HashMap<Value, ValueState>,
 }
@@ -44,27 +62,61 @@ impl ComputationDag {
         Self::default()
     }
 
-    /// Number of vertices ever added.
+    /// Number of vertices ever added over the DAG's lifetime (compacted
+    /// vertices included).
     pub fn len(&self) -> usize {
-        self.vertices.len()
+        self.next_id as usize
     }
 
     /// True if no computation was ever registered.
     pub fn is_empty(&self) -> bool {
-        self.vertices.is_empty()
+        self.next_id == 0
+    }
+
+    /// Number of vertices currently stored (live frontier plus retired
+    /// vertices awaiting compaction).
+    pub fn stored_len(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Number of stored vertices still active (not yet retired).
+    pub fn live_len(&self) -> usize {
+        self.vertices.len() - self.retired_stored
+    }
+
+    /// Number of per-value ordering states currently tracked.
+    pub fn value_states_len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Storage slot of a stored vertex (ids are stored in ascending
+    /// order, so a binary search suffices).
+    fn slot(&self, id: VertexId) -> Option<usize> {
+        self.vertices.binary_search_by_key(&id, |v| v.id).ok()
+    }
+
+    /// Look up a stored vertex, or `None` if the id was compacted away
+    /// (or never allocated).
+    pub fn try_vertex(&self, id: VertexId) -> Option<&Vertex> {
+        self.slot(id).map(|i| &self.vertices[i])
     }
 
     /// Look up a vertex.
+    ///
+    /// # Panics
+    /// Panics if the vertex was reclaimed by [`ComputationDag::compact`].
     pub fn vertex(&self, id: VertexId) -> &Vertex {
-        &self.vertices[id.0 as usize]
+        self.try_vertex(id)
+            .unwrap_or_else(|| panic!("vertex {id:?} is not stored (compacted or never added)"))
     }
 
-    /// All vertices in submission order.
+    /// All stored vertices in submission order.
     pub fn vertices(&self) -> &[Vertex] {
         &self.vertices
     }
 
-    /// All dependency edges in creation order.
+    /// All stored dependency edges in creation order (edges whose
+    /// endpoints were compacted are dropped with them).
     pub fn edges(&self) -> &[DepEdge] {
         &self.edges
     }
@@ -104,7 +156,14 @@ impl ComputationDag {
         label: impl Into<String>,
         args: Vec<ArgAccess>,
     ) -> (VertexId, Vec<VertexId>) {
-        let id = VertexId(self.vertices.len() as u32);
+        let id = VertexId(self.next_id);
+        // Fail loudly rather than wrap: a wrapped id would land out of
+        // order in the ascending-sorted storage and silently break the
+        // binary-search lookups (and with them, dependency inference).
+        self.next_id = self
+            .next_id
+            .checked_add(1)
+            .expect("vertex id space exhausted (2^32 computations)");
         let vertex = Vertex::new(id, kind, label.into(), args.clone());
         self.vertices.push(vertex);
 
@@ -156,9 +215,14 @@ impl ComputationDag {
         }
 
         for d in &deps {
-            self.vertices[d.0 as usize].children.push(id);
+            if let Some(i) = self.slot(*d) {
+                self.vertices[i].children.push(id);
+            }
         }
-        self.vertices[id.0 as usize].parents = deps.clone();
+        self.vertices
+            .last_mut()
+            .expect("vertex pushed above")
+            .parents = deps.clone();
         (id, deps)
     }
 
@@ -211,15 +275,26 @@ impl ComputationDag {
     /// scheduler has retired it), so it can no longer be a dependency
     /// source. Ancestors are retired transitively — if the CPU saw this
     /// result, everything upstream is also complete.
-    pub fn retire(&mut self, id: VertexId) {
+    ///
+    /// Returns the ids of all *newly* retired vertices, so the scheduler
+    /// can reclaim its per-vertex bookkeeping (stream claims, task and
+    /// stream maps) along with them.
+    pub fn retire(&mut self, id: VertexId) -> Vec<VertexId> {
+        let mut retired = Vec::new();
         let mut stack = vec![id];
         while let Some(v) = stack.pop() {
-            if !self.vertices[v.0 as usize].active {
+            let Some(i) = self.slot(v) else {
+                continue; // already compacted away — long retired
+            };
+            if !self.vertices[i].active {
                 continue;
             }
-            self.vertices[v.0 as usize].active = false;
-            stack.extend(self.vertices[v.0 as usize].parents.iter().copied());
+            self.vertices[i].active = false;
+            self.retired_stored += 1;
+            retired.push(v);
+            stack.extend(self.vertices[i].parents.iter().copied());
         }
+        retired
     }
 
     /// Retire every vertex (full-device synchronization).
@@ -227,19 +302,65 @@ impl ComputationDag {
         for v in &mut self.vertices {
             v.active = false;
         }
+        self.retired_stored = self.vertices.len();
+    }
+
+    /// Reclaim the storage of retired vertices. Live vertices keep their
+    /// ids; edges touching a dropped vertex and per-value ordering states
+    /// that can no longer source a dependency are dropped with them.
+    /// Returns the number of vertices reclaimed.
+    pub fn compact(&mut self) -> usize {
+        if self.retired_stored == 0 {
+            return 0;
+        }
+        let dropped = self.retired_stored;
+        self.vertices.retain(|v| v.active);
+        self.retired_stored = 0;
+
+        let vertices = &self.vertices;
+        let stored = |id: VertexId| vertices.binary_search_by_key(&id, |v| v.id).is_ok();
+        self.edges.retain(|e| stored(e.from) && stored(e.to));
+
+        // A value state is only worth keeping while some referenced
+        // vertex can still introduce a dependency through the value.
+        let is_source = |id: VertexId, value: Value| {
+            vertices
+                .binary_search_by_key(&id, |v| v.id)
+                .is_ok_and(|i| vertices[i].active && vertices[i].dep_set.contains(&value))
+        };
+        self.values.retain(|&value, st| {
+            st.readers_since_write.retain(|&r| is_source(r, value));
+            if st.last_writer.is_some_and(|w| !is_source(w, value)) {
+                st.last_writer = None;
+            }
+            st.last_writer.is_some() || !st.readers_since_write.is_empty()
+        });
+        dropped
+    }
+
+    /// Compact when retired vertices dominate the stored set (amortized
+    /// O(1) per retirement). Returns the number of vertices reclaimed.
+    pub fn maybe_compact(&mut self) -> usize {
+        if self.retired_stored > 32 && self.retired_stored * 2 >= self.vertices.len() {
+            self.compact()
+        } else {
+            0
+        }
     }
 
     /// Whether `v` can be a dependency source through `value`: it must be
-    /// active and still hold `value` in its dependency set.
+    /// stored, active and still hold `value` in its dependency set.
     fn is_dep_source(&self, v: VertexId, value: Value) -> bool {
-        let vert = &self.vertices[v.0 as usize];
-        vert.active && vert.dep_set.contains(&value)
+        self.try_vertex(v)
+            .is_some_and(|vert| vert.active && vert.dep_set.contains(&value))
     }
 
     /// Remove `value` from `v`'s dependency set (a later writer consumed
     /// it).
     fn consume(&mut self, v: VertexId, value: Value) {
-        self.vertices[v.0 as usize].dep_set.remove(&value);
+        if let Some(i) = self.slot(v) {
+            self.vertices[i].dep_set.remove(&value);
+        }
     }
 
     fn record_edge(&mut self, from: VertexId, to: VertexId, value: Value, read_only: bool) {
@@ -559,6 +680,118 @@ mod tests {
             vec![ArgAccess::write(X), ArgAccess::read(X)],
         );
         assert_eq!(d2, vec![k1]);
+    }
+
+    #[test]
+    fn compact_drops_retired_and_keeps_live_ids_stable() {
+        let mut dag = ComputationDag::new();
+        let (k1, _) = kernel(&mut dag, "K1", vec![ArgAccess::write(X)]);
+        let (k2, _) = kernel(
+            &mut dag,
+            "K2",
+            vec![ArgAccess::read(X), ArgAccess::write(Y)],
+        );
+        // Retire the chain through k2, then start fresh live work.
+        let retired = dag.retire(k2);
+        assert_eq!(retired.len(), 2, "retire reports the transitive set");
+        let (k3, _) = kernel(&mut dag, "K3", vec![ArgAccess::write(Z)]);
+        assert_eq!(dag.stored_len(), 3);
+        assert_eq!(dag.compact(), 2);
+        assert_eq!(dag.stored_len(), 1);
+        assert_eq!(dag.live_len(), 1);
+        assert_eq!(dag.len(), 3, "lifetime count survives compaction");
+        // Live id is stable; compacted ids are gone.
+        assert_eq!(dag.vertex(k3).id, k3);
+        assert!(dag.try_vertex(k1).is_none());
+        assert!(dag.try_vertex(k2).is_none());
+        // New ids keep increasing past compacted ones.
+        let (k4, _) = kernel(&mut dag, "K4", vec![ArgAccess::write(W)]);
+        assert!(k4 > k3);
+    }
+
+    #[test]
+    fn compact_prunes_edges_and_value_states() {
+        let mut dag = ComputationDag::new();
+        let (_k1, _) = kernel(&mut dag, "K1", vec![ArgAccess::write(X)]);
+        let (k2, _) = kernel(
+            &mut dag,
+            "K2",
+            vec![ArgAccess::read(X), ArgAccess::write(Y)],
+        );
+        assert_eq!(dag.edges().len(), 1);
+        assert_eq!(dag.value_states_len(), 2);
+        dag.retire(k2);
+        dag.compact();
+        assert!(dag.edges().is_empty(), "edges die with their vertices");
+        assert_eq!(
+            dag.value_states_len(),
+            0,
+            "fully-retired values release their ordering state"
+        );
+        // Post-compaction accesses behave exactly as post-retire ones.
+        let (a, deps) = dag.add_array_access("X[0]", X, true);
+        assert!(a.is_none() && deps.is_empty());
+    }
+
+    #[test]
+    fn dependencies_are_identical_with_and_without_compaction() {
+        // Replay the same op sequence on two DAGs, compacting one after
+        // every retire: the inferred dependency lists must never differ.
+        let ops: Vec<(bool, u64)> = (0..60u64).map(|i| (i % 3 != 1, i % 4)).collect();
+        let mut plain = ComputationDag::new();
+        let mut compacted = ComputationDag::new();
+        for (round, chunk) in ops.chunks(6).enumerate() {
+            let mut last = None;
+            for (write, v) in chunk {
+                let arg = if *write {
+                    ArgAccess::write(Value(*v))
+                } else {
+                    ArgAccess::read(Value(*v))
+                };
+                let (i1, d1) = plain.add_computation(ElementKind::Kernel, "op", vec![arg]);
+                let (i2, d2) = compacted.add_computation(ElementKind::Kernel, "op", vec![arg]);
+                assert_eq!(i1, i2, "ids never reused, so they stay aligned");
+                assert_eq!(d1, d2, "round {round}: deps diverged");
+                last = Some(i1);
+            }
+            let last = last.unwrap();
+            plain.retire(last);
+            compacted.retire(last);
+            compacted.compact();
+        }
+        assert_eq!(plain.len(), compacted.len());
+        assert!(compacted.stored_len() <= plain.stored_len());
+    }
+
+    #[test]
+    fn storage_stays_bounded_across_retire_compact_cycles() {
+        let mut dag = ComputationDag::new();
+        for _ in 0..200 {
+            for _ in 0..8 {
+                let _ = kernel(&mut dag, "k", vec![ArgAccess::write(X), ArgAccess::read(Y)]);
+            }
+            dag.retire_all();
+            dag.compact();
+            assert_eq!(dag.stored_len(), 0);
+            assert_eq!(dag.live_len(), 0);
+            assert!(dag.edges().is_empty());
+            assert_eq!(dag.value_states_len(), 0);
+        }
+        assert_eq!(dag.len(), 1600, "lifetime count keeps growing");
+    }
+
+    #[test]
+    fn maybe_compact_waits_for_enough_garbage() {
+        let mut dag = ComputationDag::new();
+        let (k, _) = kernel(&mut dag, "K", vec![ArgAccess::write(X)]);
+        dag.retire(k);
+        assert_eq!(dag.maybe_compact(), 0, "too little garbage to bother");
+        for _ in 0..80 {
+            let (k, _) = kernel(&mut dag, "K", vec![ArgAccess::write(X)]);
+            dag.retire(k);
+        }
+        assert!(dag.maybe_compact() > 0, "mostly-dead storage compacts");
+        assert_eq!(dag.stored_len(), 0);
     }
 
     #[test]

@@ -27,6 +27,18 @@
 //! is maintained, which is what allows the host program to use arbitrary
 //! control flow (§IV-A: "The DAG is built at run time, not at
 //! compile-time or eagerly").
+//!
+//! ## Generational storage
+//!
+//! Because only the frontier matters, everything behind it is garbage: a
+//! long-running host program must not accumulate one vertex per launch
+//! forever. Vertex ids are allocated monotonically and never reused;
+//! [`ComputationDag::compact`] reclaims fully-retired vertices together
+//! with their edges and per-value ordering state, keeping live ids
+//! stable, and [`ComputationDag::maybe_compact`] triggers the same
+//! reclamation automatically once retired vertices dominate storage.
+//! Lifetime vs resident counts are exposed via [`ComputationDag::len`],
+//! [`ComputationDag::stored_len`] and [`ComputationDag::live_len`].
 
 pub mod dot;
 pub mod graph;

@@ -88,13 +88,22 @@ pub struct EngineStats {
     pub transfer_time: Time,
     /// Number of data races detected.
     pub races: usize,
+    /// Task states currently held in memory. A fully-drained engine
+    /// reclaims the completed prefix, so on a long-running service this
+    /// tracks the in-flight window, not the lifetime submission count.
+    pub retained_tasks: usize,
 }
 
 /// The simulator engine. See the [crate docs](crate) for the model.
 pub struct Engine {
     dev: DeviceProfile,
     now: Time,
+    /// States of tasks `base..base + tasks.len()`. Ids below `base`
+    /// belong to completed tasks whose state was reclaimed by
+    /// [`Engine::compact_completed`]; ids are never reused.
     tasks: Vec<TaskState>,
+    /// First task id still stored.
+    base: u32,
     /// Task indices currently in the fluid phase.
     active: Vec<u32>,
     /// Cached rates aligned with `active`; rebuilt when `rates_dirty`.
@@ -114,6 +123,7 @@ impl Engine {
             dev,
             now: 0.0,
             tasks: Vec::new(),
+            base: 0,
             active: Vec::new(),
             rates: Vec::new(),
             rates_dirty: false,
@@ -134,15 +144,24 @@ impl Engine {
         self.now
     }
 
+    /// Storage slot of a still-stored task id.
+    fn slot(&self, id: u32) -> usize {
+        debug_assert!(id >= self.base, "task {id} was reclaimed");
+        (id - self.base) as usize
+    }
+
     /// Submit a task that may start once every task in `deps` has
     /// completed. Already-completed dependencies are allowed. Returns the
     /// task's handle.
     pub fn submit(&mut self, spec: TaskSpec, deps: &[TaskId]) -> TaskId {
-        let id = TaskId(self.tasks.len() as u32);
-        let open_deps = deps
-            .iter()
-            .filter(|d| !matches!(self.tasks[d.0 as usize].phase, Phase::Done))
-            .count();
+        // Fail loudly rather than wrap: ids must stay ascending for the
+        // `slot()` offset arithmetic to hold.
+        let id = TaskId(
+            self.base
+                .checked_add(self.tasks.len() as u32)
+                .expect("task id space exhausted (2^32 tasks)"),
+        );
+        let open_deps = deps.iter().filter(|d| !self.is_complete(**d)).count();
         self.tasks.push(TaskState {
             kind: spec.kind,
             label: spec.label,
@@ -159,27 +178,50 @@ impl Engine {
             started: 0.0,
         });
         for d in deps {
-            let dt = &mut self.tasks[d.0 as usize];
-            if !matches!(dt.phase, Phase::Done) {
-                // A task may legitimately depend on the same parent via
-                // several arguments; count it once.
-                if !dt.dependents.contains(&id) {
-                    dt.dependents.push(id);
-                } else if let Phase::Waiting(n) = &mut self.tasks[id.0 as usize].phase {
+            if self.is_complete(*d) {
+                continue;
+            }
+            let slot = self.slot(d.0);
+            let dt = &mut self.tasks[slot];
+            // A task may legitimately depend on the same parent via
+            // several arguments; count it once.
+            if !dt.dependents.contains(&id) {
+                dt.dependents.push(id);
+            } else {
+                let slot = self.slot(id.0);
+                if let Phase::Waiting(n) = &mut self.tasks[slot].phase {
                     *n -= 1;
                 }
             }
         }
         self.stats.submitted += 1;
-        if matches!(self.tasks[id.0 as usize].phase, Phase::Waiting(0)) {
+        if matches!(self.tasks[self.slot(id.0)].phase, Phase::Waiting(0)) {
             self.make_ready(id);
         }
         id
     }
 
-    /// True once the task has completed in virtual time.
+    /// True once the task has completed in virtual time. Tasks whose
+    /// state was reclaimed are complete by construction.
     pub fn is_complete(&self, t: TaskId) -> bool {
-        matches!(self.tasks[t.0 as usize].phase, Phase::Done)
+        t.0 < self.base || matches!(self.tasks[self.slot(t.0)].phase, Phase::Done)
+    }
+
+    /// Reclaim the storage of the contiguous completed prefix of tasks
+    /// (their handles keep answering [`Engine::is_complete`] with
+    /// `true`). Called automatically when the device drains; harmless to
+    /// call at any time. Returns the number of task states reclaimed.
+    pub fn compact_completed(&mut self) -> usize {
+        let done = self
+            .tasks
+            .iter()
+            .take_while(|t| matches!(t.phase, Phase::Done))
+            .count();
+        if done > 0 {
+            self.tasks.drain(..done);
+            self.base += done as u32;
+        }
+        done
     }
 
     /// Number of submitted-but-unfinished tasks.
@@ -205,7 +247,9 @@ impl Engine {
 
     /// Aggregate counters.
     pub fn stats(&self) -> EngineStats {
-        self.stats
+        let mut s = self.stats;
+        s.retained_tasks = self.tasks.len();
+        s
     }
 
     /// Let the virtual host spend `dt` seconds of its own time (API call
@@ -215,6 +259,7 @@ impl Engine {
         let target = self.now + dt;
         self.run(Some(target), None);
         self.now = target;
+        self.compact_completed();
     }
 
     /// Block the virtual host until `t` completes.
@@ -223,9 +268,14 @@ impl Engine {
     /// Panics on deadlock — i.e. if no further event can complete `t`.
     pub fn sync_task(&mut self, t: TaskId) {
         self.run(None, Some(t));
+        // Amortized O(1): each task state is drained exactly once, and
+        // the scan stops at the first unfinished task — so fine-grained
+        // services (which never call `sync_all`) stay O(in-flight) too.
+        self.compact_completed();
     }
 
-    /// Block the virtual host until every submitted task has completed.
+    /// Block the virtual host until every submitted task has completed,
+    /// then reclaim their task states.
     pub fn sync_all(&mut self) {
         while self.stats.completed < self.stats.submitted {
             // Drive on the lowest-id unfinished task for determinism.
@@ -234,8 +284,9 @@ impl Engine {
                 .iter()
                 .position(|t| !matches!(t.phase, Phase::Done))
                 .expect("pending count disagrees with phases");
-            self.sync_task(TaskId(next as u32));
+            self.sync_task(TaskId(self.base + next as u32));
         }
+        self.compact_completed();
     }
 
     // ------------------------------------------------------------------
@@ -245,26 +296,37 @@ impl Engine {
     /// Mark a task ready: record its start, run race detection against
     /// every currently-running task, and schedule its activation event.
     fn make_ready(&mut self, id: TaskId) {
-        let i = id.0 as usize;
+        let i = self.slot(id.0);
         self.tasks[i].started = self.now;
-        self.detect_races(i);
+        self.detect_races(id.0);
+        let i = self.slot(id.0);
         let at = self.now + self.tasks[i].fixed_latency;
         self.tasks[i].phase = Phase::Latent;
         self.latent.push(Reverse((TimeKey(at), id.0)));
     }
 
-    fn detect_races(&mut self, new_idx: usize) {
+    fn detect_races(&mut self, new_id: u32) {
+        let new_idx = self.slot(new_id);
         if self.tasks[new_idx].reads.is_empty() && self.tasks[new_idx].writes.is_empty() {
             return;
         }
+        // Only Latent and Active tasks can race with the newcomer, and
+        // those are exactly the `latent` heap and `active` list — scan
+        // them instead of the whole lifetime task vector, so long-running
+        // services pay O(in-flight), not O(launches-ever).
         let mut found: Vec<RaceReport> = Vec::new();
-        for (j, other) in self.tasks.iter().enumerate() {
-            if j == new_idx {
+        let running: Vec<u32> = self
+            .active
+            .iter()
+            .copied()
+            .chain(self.latent.iter().map(|Reverse((_, i))| *i))
+            .collect();
+        for j in running {
+            if j == new_id {
                 continue;
             }
-            if !matches!(other.phase, Phase::Latent | Phase::Active(_)) {
-                continue;
-            }
+            let other = &self.tasks[self.slot(j)];
+            debug_assert!(matches!(other.phase, Phase::Latent | Phase::Active(_)));
             if let Some(r) = check_conflict(
                 self.now,
                 &other.label,
@@ -288,7 +350,7 @@ impl Engine {
         let demands: Vec<ResourceDemand> = self
             .active
             .iter()
-            .map(|&i| self.tasks[i as usize].demand)
+            .map(|&i| self.tasks[self.slot(i)].demand)
             .collect();
         self.rates = max_min_rates(&demands, &self.dev);
         self.rates_dirty = false;
@@ -299,7 +361,7 @@ impl Engine {
     fn next_completion(&self) -> Option<(Time, u32)> {
         let mut best: Option<(Time, u32)> = None;
         for (k, &i) in self.active.iter().enumerate() {
-            let remaining = match self.tasks[i as usize].phase {
+            let remaining = match self.tasks[self.slot(i)].phase {
                 Phase::Active(r) => r,
                 _ => unreachable!("active list holds non-active task"),
             };
@@ -318,8 +380,9 @@ impl Engine {
             self.now = t.max(self.now);
             return;
         }
+        let base = self.base;
         for (k, &i) in self.active.iter().enumerate() {
-            if let Phase::Active(r) = &mut self.tasks[i as usize].phase {
+            if let Phase::Active(r) = &mut self.tasks[(i - base) as usize].phase {
                 *r = (*r - self.rates[k] * dt).max(0.0);
             }
         }
@@ -327,7 +390,7 @@ impl Engine {
     }
 
     fn complete(&mut self, idx: u32) {
-        let i = idx as usize;
+        let i = self.slot(idx);
         self.tasks[i].phase = Phase::Done;
         self.stats.completed += 1;
         let iv = Interval {
@@ -350,8 +413,9 @@ impl Engine {
         }
         let dependents = std::mem::take(&mut self.tasks[i].dependents);
         for d in dependents {
+            let slot = self.slot(d.0);
             let ready = {
-                match &mut self.tasks[d.0 as usize].phase {
+                match &mut self.tasks[slot].phase {
                     Phase::Waiting(n) => {
                         *n -= 1;
                         *n == 0
@@ -406,7 +470,8 @@ impl Engine {
                     panic!(
                         "simulation deadlock: task {:?} (`{}`) can never complete \
                          (no runnable events; a dependency was never satisfied)",
-                        s, self.tasks[s.0 as usize].label
+                        s,
+                        self.tasks[self.slot(s.0)].label
                     );
                 }
                 Some(((et, idx), is_activation)) => {
@@ -421,7 +486,7 @@ impl Engine {
                     self.integrate_to(et);
                     if is_activation {
                         self.latent.pop();
-                        let i = idx as usize;
+                        let i = self.slot(idx);
                         debug_assert!(matches!(self.tasks[i].phase, Phase::Latent));
                         if self.tasks[i].fluid_work > 0.0 {
                             self.tasks[i].phase = Phase::Active(self.tasks[i].fluid_work);
@@ -450,6 +515,84 @@ mod tests {
 
     fn dev() -> DeviceProfile {
         DeviceProfile::gtx1660_super()
+    }
+
+    #[test]
+    fn drained_engine_reclaims_task_states() {
+        let mut e = Engine::new(dev());
+        let mut last = None;
+        for round in 0..50 {
+            for i in 0..4 {
+                let label = format!("k{round}.{i}");
+                let t = e.submit(TaskSpec::kernel(label, i).fluid(1e-4).sm_frac(0.2), &[]);
+                last = Some(t);
+            }
+            e.sync_all();
+            assert_eq!(e.stats().retained_tasks, 0, "drain reclaims everything");
+        }
+        assert_eq!(e.stats().submitted, 200);
+        assert_eq!(e.stats().completed, 200);
+        // Reclaimed handles still answer queries, and depending on them
+        // is still legal.
+        assert!(e.is_complete(last.unwrap()));
+        let t = e.submit(
+            TaskSpec::kernel("after", 0).fluid(1e-4).sm_frac(0.2),
+            &[last.unwrap()],
+        );
+        e.sync_task(t);
+        assert!(e.is_complete(t));
+    }
+
+    #[test]
+    fn compact_completed_stops_at_first_unfinished_task() {
+        let mut e = Engine::new(dev());
+        let a = e.submit(TaskSpec::kernel("a", 0).fluid(1e-4).sm_frac(1.0), &[]);
+        let b = e.submit(TaskSpec::kernel("b", 1).fluid(1e-2).sm_frac(0.1), &[]);
+        let c = e.submit(TaskSpec::kernel("c", 2).fluid(1e-4).sm_frac(0.1), &[]);
+        // sync_task(a) reclaims `a` (the completed prefix); `c` finishes
+        // later but stays fenced behind the still-running `b`.
+        e.sync_task(a);
+        assert_eq!(e.stats().retained_tasks, 2);
+        e.sync_task(c);
+        assert!(!e.is_complete(b));
+        assert_eq!(e.compact_completed(), 0, "prefix blocked by running b");
+        assert_eq!(e.stats().retained_tasks, 2);
+        e.sync_all();
+        assert_eq!(e.stats().retained_tasks, 0);
+        assert!(e.is_complete(a) && e.is_complete(b));
+    }
+
+    #[test]
+    fn races_are_detected_after_reclamation() {
+        // The race scan walks the in-flight sets; make sure reclaiming
+        // old tasks doesn't confuse the id bookkeeping.
+        let mut e = Engine::new(dev());
+        let v = crate::data::ValueId(7);
+        let t = e.submit(
+            TaskSpec::kernel("w0", 0)
+                .fluid(1e-4)
+                .sm_frac(0.2)
+                .writing(&[v]),
+            &[],
+        );
+        e.sync_task(t);
+        e.compact_completed();
+        e.submit(
+            TaskSpec::kernel("w1", 1)
+                .fluid(1e-3)
+                .sm_frac(0.2)
+                .writing(&[v]),
+            &[],
+        );
+        e.submit(
+            TaskSpec::kernel("w2", 2)
+                .fluid(1e-3)
+                .sm_frac(0.2)
+                .writing(&[v]),
+            &[],
+        );
+        e.sync_all();
+        assert_eq!(e.stats().races, 1, "concurrent writers race exactly once");
     }
 
     #[test]

@@ -128,4 +128,15 @@ impl DeviceArray {
         i32,
         4
     );
+    typed_array_api!(
+        get_u8,
+        set_u8,
+        fill_u8,
+        copy_from_u8,
+        to_vec_u8,
+        as_u8,
+        as_u8_mut,
+        u8,
+        1
+    );
 }

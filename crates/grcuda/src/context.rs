@@ -35,9 +35,47 @@ pub(crate) struct Ctx {
     /// Measured-performance history feeding the autotuner (§IV-A).
     pub history: KernelHistory,
     /// Launch metadata by engine task, consumed by the history harvest.
+    /// Entries are removed when harvested (or found orphaned), so the
+    /// map tracks in-flight launches, not every launch ever made.
     pub launch_info: HashMap<u32, (Grid, usize)>,
-    /// Highest engine task id already harvested into the history.
-    pub harvested_upto: Option<u32>,
+    /// `launch_info` size that triggers the next opportunistic harvest
+    /// on the fine-grained retire path (doubling watermark, so sync-free
+    /// services pay an amortized, not per-access, harvest cost).
+    pub harvest_floor: usize,
+    /// Timeline intervals already scanned by the harvest. Intervals are
+    /// appended in completion order, so each one is visited exactly once
+    /// over the context's lifetime (reset when the timeline is cleared).
+    pub timeline_cursor: usize,
+}
+
+/// Initial/minimum value of [`Ctx::harvest_floor`].
+const HARVEST_FLOOR_MIN: usize = 64;
+
+/// Sizes of the scheduler-side bookkeeping (§IV-B state). On a
+/// long-running service these gauges must track the *live* frontier: the
+/// lifetime counters keep growing, everything else stays bounded across
+/// launch/sync cycles.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SchedulerStats {
+    /// Computational elements ever registered in the DAG.
+    pub lifetime_vertices: usize,
+    /// DAG vertices currently stored (live + retired awaiting
+    /// compaction).
+    pub stored_vertices: usize,
+    /// Stored DAG vertices still active (not retired).
+    pub live_vertices: usize,
+    /// Dependency edges currently stored.
+    pub stored_edges: usize,
+    /// Per-value ordering states currently tracked by the DAG.
+    pub value_states: usize,
+    /// Outstanding first-child stream claims.
+    pub stream_claims: usize,
+    /// vertex → engine-task map entries.
+    pub vertex_tasks: usize,
+    /// vertex → stream map entries.
+    pub vertex_streams: usize,
+    /// Launch-metadata entries awaiting history harvest.
+    pub launch_infos: usize,
 }
 
 /// The GrCUDA runtime: allocate arrays, build kernels, launch, read
@@ -62,7 +100,8 @@ impl GrCuda {
                 vertex_stream: HashMap::new(),
                 history: KernelHistory::new(),
                 launch_info: HashMap::new(),
-                harvested_upto: None,
+                harvest_floor: HARVEST_FLOOR_MIN,
+                timeline_cursor: 0,
             })),
         }
     }
@@ -137,12 +176,15 @@ impl GrCuda {
     // synchronization & introspection
     // ------------------------------------------------------------------
 
-    /// Synchronize the whole device and retire every DAG vertex.
+    /// Synchronize the whole device, retire every DAG vertex and reclaim
+    /// all per-vertex scheduler state (DAG storage, stream claims, task
+    /// and stream maps, orphaned launch metadata) — after a `sync()` the
+    /// scheduler's footprint is back to its empty-frontier baseline no
+    /// matter how many launches preceded it.
     pub fn sync(&self) {
         let mut ctx = self.inner.borrow_mut();
         ctx.cuda.device_sync();
-        ctx.dag.retire_all();
-        ctx.harvest_history();
+        ctx.retire_everything();
     }
 
     /// Fold completed kernel executions into the per-kernel history
@@ -194,9 +236,18 @@ impl GrCuda {
         self.inner.borrow().cuda.timeline()
     }
 
-    /// Reset the timeline between measured iterations.
+    /// Reset the timeline between measured iterations. Completed kernel
+    /// intervals are harvested into the history first — dropping them
+    /// unharvested would strand their `launch_info` entries forever.
+    ///
+    /// The timeline is the one recording surface that grows with
+    /// launches until it is reset; long-running services should call
+    /// this periodically (as the `soak` harness does).
     pub fn clear_timeline(&self) {
-        self.inner.borrow().cuda.clear_timeline();
+        let mut ctx = self.inner.borrow_mut();
+        ctx.harvest_history();
+        ctx.cuda.clear_timeline();
+        ctx.timeline_cursor = 0;
     }
 
     /// Data races detected by the simulator (must stay empty — the
@@ -208,6 +259,23 @@ impl GrCuda {
     /// Engine counters.
     pub fn stats(&self) -> EngineStats {
         self.inner.borrow().cuda.stats()
+    }
+
+    /// Scheduler-side bookkeeping sizes — the memory gauges a
+    /// long-running service watches (see [`SchedulerStats`]).
+    pub fn scheduler_stats(&self) -> SchedulerStats {
+        let ctx = self.inner.borrow();
+        SchedulerStats {
+            lifetime_vertices: ctx.dag.len(),
+            stored_vertices: ctx.dag.stored_len(),
+            live_vertices: ctx.dag.live_len(),
+            stored_edges: ctx.dag.edges().len(),
+            value_states: ctx.dag.value_states_len(),
+            stream_claims: ctx.streams.claims(),
+            vertex_tasks: ctx.vertex_task.len(),
+            vertex_streams: ctx.vertex_stream.len(),
+            launch_infos: ctx.launch_info.len(),
+        }
     }
 
     /// Number of streams the stream manager has created.
@@ -343,6 +411,10 @@ impl GrCuda {
                 ctx.launch_info.insert(t.0, (grid, elements));
             }
         }
+        // Sync-free programs (serial launch loops, fine-grained parallel
+        // reads) never reach the `sync()` harvest: keep `launch_info`
+        // bounded from the launch path itself.
+        ctx.maybe_harvest();
     }
 
     /// Intercepted CPU access to a managed array (called by
@@ -361,9 +433,12 @@ impl GrCuda {
                 let pre_pascal = dev.arch == Architecture::Maxwell;
                 if pre_pascal && !ctx.options.visibility_restriction {
                     // Without the visibility trick, the CPU may not touch
-                    // managed memory while any kernel runs: full sync.
+                    // managed memory while any kernel runs: full sync —
+                    // the same retire path `sync()` takes, so stream
+                    // claims, vertex maps and history are reclaimed here
+                    // too instead of leaking until the next `sync()`.
                     ctx.cuda.device_sync();
-                    ctx.dag.retire_all();
+                    ctx.retire_everything();
                 } else {
                     // "If the CPU requires data for a computation, we
                     // synchronize only the streams that are currently
@@ -377,9 +452,16 @@ impl GrCuda {
                             }
                         }
                         // The access is synchronous: it and everything
-                        // upstream is now retired.
-                        ctx.dag.retire(v);
-                        ctx.streams.forget(&deps);
+                        // upstream is now retired — drop the per-vertex
+                        // bookkeeping of the whole retired chain, not
+                        // just the direct dependencies.
+                        let retired = ctx.dag.retire(v);
+                        ctx.streams.forget(&retired);
+                        for r in &retired {
+                            ctx.vertex_task.remove(r);
+                            ctx.vertex_stream.remove(r);
+                        }
+                        ctx.dag.maybe_compact();
                     }
                 }
             }
@@ -394,20 +476,64 @@ impl GrCuda {
 }
 
 impl Ctx {
+    /// Fold completed kernel executions into the per-kernel history.
+    ///
+    /// Harvesting is keyed by the pending `launch_info` entry — removing
+    /// it makes the pass idempotent and independent of completion order
+    /// (kernels on concurrent streams routinely finish out of task-id
+    /// order, so a high-water-mark would silently skip late stragglers).
+    /// Entries whose task completed but no longer has a timeline interval
+    /// (the timeline was cleared before they could be harvested) can
+    /// never be recorded: they are dropped so the map stays bounded.
     fn harvest_history(&mut self) {
-        let tl = self.cuda.timeline();
-        let mut hi = self.harvested_upto;
-        for iv in tl.kernels() {
-            if hi.is_some_and(|h| iv.task <= h) {
-                continue;
+        let Ctx {
+            cuda,
+            launch_info,
+            history,
+            timeline_cursor,
+            ..
+        } = self;
+        cuda.with_timeline(|tl| {
+            // Resume where the last harvest stopped: intervals are
+            // appended in completion order, so the scan is O(new
+            // completions), not O(lifetime timeline).
+            let intervals = tl.intervals();
+            for iv in &intervals[*timeline_cursor..] {
+                if iv.kind != gpu_sim::TaskKind::Kernel {
+                    continue;
+                }
+                if let Some((grid, elements)) = launch_info.remove(&iv.task) {
+                    history.record(&iv.label, grid, elements, iv.duration());
+                }
             }
-            if let Some((grid, elements)) = self.launch_info.remove(&iv.task) {
-                self.history
-                    .record(&iv.label, grid, elements, iv.duration());
-            }
-            hi = Some(hi.map_or(iv.task, |h| h.max(iv.task)));
+            *timeline_cursor = intervals.len();
+        });
+        let cuda = &self.cuda;
+        self.launch_info.retain(|&t, _| !cuda.task_query(TaskId(t)));
+    }
+
+    /// Opportunistic harvest keeping `launch_info` bounded for programs
+    /// that never call `sync()` (serial or fine-grained parallel): once
+    /// the map outgrows a doubling watermark of its post-harvest size,
+    /// completed launches are folded into the history. Called on every
+    /// launch; amortized cost is O(completions), not O(lifetime).
+    fn maybe_harvest(&mut self) {
+        if self.launch_info.len() >= self.harvest_floor {
+            self.harvest_history();
+            self.harvest_floor = (self.launch_info.len() * 2).max(HARVEST_FLOOR_MIN);
         }
-        self.harvested_upto = hi;
+    }
+
+    /// The full-synchronization retire path, shared by [`GrCuda::sync`]
+    /// and the pre-Pascal `host_access` branch: every vertex is retired,
+    /// so *all* per-vertex scheduler state can be reclaimed at once.
+    fn retire_everything(&mut self) {
+        self.dag.retire_all();
+        self.dag.compact();
+        self.streams.forget_all();
+        self.vertex_task.clear();
+        self.vertex_stream.clear();
+        self.harvest_history();
     }
 }
 
@@ -554,31 +680,53 @@ mod tests {
     #[test]
     fn cpu_read_syncs_only_the_producing_stream() {
         let g = p100();
-        let n = 1 << 22;
-        let x = g.array_f32(n);
-        let y = g.array_f32(n);
+        // Short kernel on x's stream, much longer kernel on y's.
+        let n_short = 1 << 12;
+        let n_long = 1 << 24;
+        let x = g.array_f32(n_short);
+        let y = g.array_f32(n_long);
         let sq = g.build_kernel(&SQUARE).unwrap();
-        // Long kernel on y's stream, short on x's.
         sq.launch(
-            Grid::d1(4096, 256),
-            &[Arg::array(&x), Arg::scalar(n as f64)],
+            Grid::d1(16, 256),
+            &[Arg::array(&x), Arg::scalar(n_short as f64)],
         )
         .unwrap();
         sq.launch(
             Grid::d1(4096, 256),
-            &[Arg::array(&y), Arg::scalar(n as f64)],
+            &[Arg::array(&y), Arg::scalar(n_long as f64)],
         )
         .unwrap();
         let _ = x.get_f32(0);
-        // Reading x must not force y's kernel to be complete... but both
-        // kernels are similar here; instead assert correctness + no race
-        // and that the DAG modeled the access.
-        assert!(g.races().is_empty());
+        let t_read = g.now();
+        // The access was modeled and the long kernel was NOT drained by
+        // the read: only x's producing stream was synchronized.
         assert!(
             g.dag_len() >= 3,
             "access was modeled as a computational element"
         );
+        let st = g.stats();
+        assert!(
+            st.completed < st.submitted,
+            "the long kernel must still be in flight after reading x"
+        );
         g.sync();
+        // Timeline confirms it: the short kernel ended at or before the
+        // read returned, the long one strictly after.
+        let tl = g.timeline();
+        let ks: Vec<_> = tl.kernels().collect();
+        assert_eq!(ks.len(), 2);
+        let (short, long) = if ks[0].end <= ks[1].end {
+            (ks[0].clone(), ks[1].clone())
+        } else {
+            (ks[1].clone(), ks[0].clone())
+        };
+        assert_ne!(short.stream, long.stream);
+        assert!(short.end <= t_read + 1e-12, "read waited for its producer");
+        assert!(
+            long.end > t_read,
+            "long kernel finished after the read returned: not blocked by it"
+        );
+        assert!(g.races().is_empty());
     }
 
     #[test]
@@ -803,6 +951,154 @@ mod tests {
         .unwrap();
         assert_eq!(out.get_f32(0), (n as f32) * 4.0);
         assert!(g.races().is_empty());
+    }
+
+    #[test]
+    fn history_harvest_survives_out_of_order_completion() {
+        // A long kernel is launched first (lower task id), a short one
+        // second; the short one completes first. A high-water-mark
+        // harvest would record the short kernel, advance past the long
+        // one's task id, and silently drop its sample when it completes.
+        let g = p100();
+        let n_long = 1 << 24;
+        let n_short = 1 << 12;
+        let x = g.array_f32(n_long);
+        let y = g.array_f32(n_short);
+        let sq = g.build_kernel(&SQUARE).unwrap();
+        sq.launch(
+            Grid::d1(4096, 256),
+            &[Arg::array(&x), Arg::scalar(n_long as f64)],
+        )
+        .unwrap();
+        sq.launch(
+            Grid::d1(16, 256),
+            &[Arg::array(&y), Arg::scalar(n_short as f64)],
+        )
+        .unwrap();
+        // Sync only the short kernel (fine-grained), then harvest: the
+        // short kernel's sample lands while the long one is in flight.
+        let _ = y.get_f32(0);
+        g.harvest_history();
+        assert_eq!(g.history_samples("square"), 1);
+        let st = g.stats();
+        assert!(st.completed < st.submitted, "long kernel still running");
+        // Now the long (lower-task-id) kernel completes: its sample must
+        // still be harvested.
+        g.sync();
+        assert_eq!(
+            g.history_samples("square"),
+            2,
+            "out-of-order completion must not lose history samples"
+        );
+    }
+
+    #[test]
+    fn clearing_the_timeline_does_not_strand_launch_info() {
+        let g = p100();
+        let n = 1 << 14;
+        let x = g.array_f32(n);
+        let sq = g.build_kernel(&SQUARE).unwrap();
+        for _ in 0..4 {
+            sq.launch(G, &[Arg::array(&x), Arg::scalar(n as f64)])
+                .unwrap();
+            g.sync();
+            // Clearing between iterations must neither strand metadata
+            // nor lose the samples of already-completed kernels.
+            g.clear_timeline();
+            assert_eq!(g.scheduler_stats().launch_infos, 0);
+        }
+        assert_eq!(g.history_samples("square"), 4);
+    }
+
+    #[test]
+    fn maxwell_full_sync_branch_reclaims_scheduler_state() {
+        // The pre-Pascal visibility branch takes the same retire path as
+        // `sync()`: claims, vertex maps, launch metadata and DAG storage
+        // are all reclaimed, and completed kernels reach the history.
+        let g = GrCuda::new(
+            DeviceProfile::gtx960(),
+            Options::parallel().with_visibility_restriction(false),
+        );
+        let n = 1 << 20;
+        let x = g.array_f32(n);
+        let y = g.array_f32(n);
+        let sq = g.build_kernel(&SQUARE).unwrap();
+        sq.launch(G, &[Arg::array(&x), Arg::scalar(n as f64)])
+            .unwrap();
+        sq.launch(G, &[Arg::array(&y), Arg::scalar(n as f64)])
+            .unwrap();
+        // Touching any array forces the full device sync.
+        let w = g.array_f32(4);
+        let _ = w.get_f32(0);
+        let st = g.scheduler_stats();
+        assert_eq!(st.live_vertices, 0);
+        assert_eq!(st.stored_vertices, 0);
+        assert_eq!(st.stream_claims, 0);
+        assert_eq!(st.vertex_tasks, 0);
+        assert_eq!(st.vertex_streams, 0);
+        assert_eq!(st.launch_infos, 0);
+        assert_eq!(
+            g.history_samples("square"),
+            2,
+            "full-sync branch harvests history like sync() does"
+        );
+    }
+
+    #[test]
+    fn scheduler_state_is_bounded_across_launch_sync_cycles() {
+        let g = p100();
+        let n = 1 << 14;
+        let sq = g.build_kernel(&SQUARE).unwrap();
+        let x = g.array_f32(n);
+        let y = g.array_f32(n);
+        for cycle in 0..100 {
+            x.fill_f32(1.0);
+            sq.launch(G, &[Arg::array(&x), Arg::scalar(n as f64)])
+                .unwrap();
+            sq.launch(G, &[Arg::array(&y), Arg::scalar(n as f64)])
+                .unwrap();
+            g.sync();
+            g.clear_timeline();
+            let st = g.scheduler_stats();
+            assert_eq!(st.live_vertices, 0, "cycle {cycle}");
+            assert_eq!(st.stored_vertices, 0, "cycle {cycle}");
+            assert_eq!(st.stored_edges, 0, "cycle {cycle}");
+            assert_eq!(st.value_states, 0, "cycle {cycle}");
+            assert_eq!(st.stream_claims, 0, "cycle {cycle}");
+            assert_eq!(st.vertex_tasks, 0, "cycle {cycle}");
+            assert_eq!(st.vertex_streams, 0, "cycle {cycle}");
+            assert_eq!(st.launch_infos, 0, "cycle {cycle}");
+            assert_eq!(g.stats().retained_tasks, 0, "cycle {cycle}");
+        }
+        // Lifetime counters keep the full story.
+        assert!(g.scheduler_stats().lifetime_vertices >= 200);
+        assert!(g.history_samples("square") >= 200);
+    }
+
+    #[test]
+    fn fine_grained_reads_also_reclaim_vertex_state() {
+        // No full sync() at all: every cycle retires its chain through a
+        // CPU read. The maps must still track only the live frontier.
+        let g = p100();
+        let n = 1 << 12;
+        let sq = g.build_kernel(&SQUARE).unwrap();
+        let x = g.array_f32(n);
+        for _ in 0..300 {
+            sq.launch(G, &[Arg::array(&x), Arg::scalar(n as f64)])
+                .unwrap();
+            let _ = x.get_f32(0); // retires the chain
+        }
+        let st = g.scheduler_stats();
+        assert!(st.lifetime_vertices >= 600, "launches + modeled accesses");
+        assert!(
+            st.stored_vertices <= 80,
+            "auto-compaction keeps storage near the live frontier: {st:?}"
+        );
+        assert_eq!(st.vertex_tasks, 0, "every launched vertex was retired");
+        assert_eq!(st.vertex_streams, 0);
+        assert_eq!(st.stream_claims, 0);
+        g.sync();
+        assert_eq!(g.scheduler_stats().stored_vertices, 0);
     }
 
     #[test]

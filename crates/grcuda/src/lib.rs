@@ -14,7 +14,14 @@
 //! 4. synchronizes across streams with events — never blocking the host
 //!    unless the CPU actually reads GPU-owned data,
 //! 5. prefetches unified-memory arrays automatically on fault-capable
-//!    devices, and restricts array visibility on pre-Pascal ones.
+//!    devices, and restricts array visibility on pre-Pascal ones,
+//! 6. keeps its own memory **O(live computations)**: every retire path
+//!    (full [`GrCuda::sync`], fine-grained CPU accesses, the pre-Pascal
+//!    full-sync branch) drops the retired vertices' stream claims and
+//!    vertex→task/stream entries and compacts the DAG, so a service
+//!    issuing millions of launches does not grow without bound. The
+//!    gauges are exposed via [`GrCuda::scheduler_stats`]; the `soak`
+//!    binary in `crates/bench` asserts them under sustained traffic.
 //!
 //! The host program is written *as if it were serial* — launch kernels,
 //! read array elements — and the scheduler extracts the task parallelism:
@@ -57,7 +64,7 @@ pub mod options;
 pub mod stream_manager;
 
 pub use array::DeviceArray;
-pub use context::GrCuda;
+pub use context::{GrCuda, SchedulerStats};
 pub use history::KernelHistory;
 pub use kernel::{Arg, Kernel, LaunchError};
 pub use library::Library;

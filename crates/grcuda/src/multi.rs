@@ -134,6 +134,11 @@ impl MultiGpu {
         self.alloc(|d| d.array_i32(n))
     }
 
+    /// Allocate a managed `char[n]` (byte) array.
+    pub fn array_u8(&mut self, n: usize) -> MultiArray {
+        self.alloc(|d| d.array_u8(n))
+    }
+
     fn alloc(&mut self, f: impl Fn(&GrCuda) -> DeviceArray) -> MultiArray {
         let key = self.arrays.len();
         let replicas: Vec<DeviceArray> = self.devices.iter().map(f).collect();
@@ -161,6 +166,14 @@ impl MultiGpu {
         st.staged = vec![0];
     }
 
+    /// Write byte data from the host.
+    pub fn write_u8(&mut self, a: &MultiArray, data: &[u8]) {
+        a.replicas[0].copy_from_u8(data);
+        let st = &mut self.arrays[a.key];
+        st.location = Loc::Host;
+        st.staged = vec![0];
+    }
+
     /// Read the array back to the host from its current location
     /// (synchronizes the owning device's producing chain).
     pub fn read_f32(&self, a: &MultiArray) -> Vec<f32> {
@@ -175,6 +188,16 @@ impl MultiGpu {
     /// Read f64 data back to the host.
     pub fn read_f64(&self, a: &MultiArray) -> Vec<f64> {
         a.replicas[self.owner(a)].to_vec_f64()
+    }
+
+    /// Read byte data back to the host.
+    pub fn read_u8(&self, a: &MultiArray) -> Vec<u8> {
+        a.replicas[self.owner(a)].to_vec_u8()
+    }
+
+    /// Read one byte element from the current location.
+    pub fn get_u8(&self, a: &MultiArray, i: usize) -> u8 {
+        a.replicas[self.owner(a)].get_u8(i)
     }
 
     fn owner(&self, a: &MultiArray) -> usize {
@@ -287,7 +310,8 @@ impl MultiGpu {
             let data = arr.replicas[from].to_vec_i32();
             arr.replicas[to].copy_from_i32(&data);
         } else {
-            unimplemented!("no u8 multi-GPU arrays");
+            let data = arr.replicas[from].to_vec_u8();
+            arr.replicas[to].copy_from_u8(&data);
         }
         self.arrays[arr.key].location = Loc::Device(to);
         self.migrations += 1;
@@ -303,7 +327,7 @@ impl MultiGpu {
             TypedData::F32(v) => arr.replicas[to].copy_from_f32(v),
             TypedData::F64(v) => arr.replicas[to].copy_from_f64(v),
             TypedData::I32(v) => arr.replicas[to].copy_from_i32(v),
-            TypedData::U8(_) => unimplemented!("no u8 multi-GPU arrays"),
+            TypedData::U8(v) => arr.replicas[to].copy_from_u8(v),
         }
     }
 
@@ -531,6 +555,59 @@ mod tests {
             two < 0.75 * one,
             "2 GPUs must be markedly faster: {two} vs {one}"
         );
+    }
+
+    #[test]
+    fn u8_arrays_stage_and_migrate_across_devices() {
+        use kernels::util::THRESHOLD_U8;
+        let mut m = mgpu(2, PlacementPolicy::RoundRobin);
+        let n = 4096;
+        let x = m.array_u8(n);
+        let y = m.array_u8(n);
+        let z = m.array_u8(n);
+        let input: Vec<u8> = (0..n).map(|i| (i % 256) as u8).collect();
+        m.write_u8(&x, &input);
+        let nf = n as f64;
+        // Op 1 lands on device 0 (staging the host u8 data there); op 2
+        // lands on device 1 and must *migrate* y — the chain exercises
+        // both u8 data paths.
+        let d1 = m
+            .launch(
+                &THRESHOLD_U8,
+                G,
+                &[
+                    MultiArg::array(&x),
+                    MultiArg::array(&y),
+                    MultiArg::scalar(128.0),
+                    MultiArg::scalar(nf),
+                ],
+            )
+            .unwrap();
+        let d2 = m
+            .launch(
+                &THRESHOLD_U8,
+                G,
+                &[
+                    MultiArg::array(&y),
+                    MultiArg::array(&z),
+                    MultiArg::scalar(1.0),
+                    MultiArg::scalar(nf),
+                ],
+            )
+            .unwrap();
+        assert_ne!(d1, d2, "round robin spreads the chain");
+        let (migs, bytes) = m.migration_stats();
+        assert!(migs >= 1, "dependent u8 data must migrate");
+        assert!(bytes >= n);
+        m.sync();
+        let want: Vec<u8> = input
+            .iter()
+            .map(|&v| if v >= 128 { 255u8 } else { 0 })
+            .collect();
+        assert_eq!(m.read_u8(&y), want, "migration preserved the u8 values");
+        assert!(m.read_u8(&z).iter().all(|&v| v == 0 || v == 255));
+        assert_eq!(m.get_u8(&z, 200), 255);
+        assert_eq!(m.races(), 0);
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! on the parent's stream to minimize synchronization events, while
 //! following children are scheduled on other streams."
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use cuda_sim::{Cuda, StreamId};
 use dag::VertexId;
@@ -23,8 +23,11 @@ pub struct StreamManager {
     reuse_policy: StreamReusePolicy,
     /// Streams this manager has created, in creation (FIFO) order.
     pool: Vec<StreamId>,
-    /// Parents whose stream has already been claimed by a child.
-    claimed: HashMap<VertexId, ()>,
+    /// Parents whose stream has already been claimed by a child. Entries
+    /// are dropped when the parent retires ([`StreamManager::forget`] /
+    /// [`StreamManager::forget_all`]), so the map tracks the live
+    /// frontier, not every launch ever made.
+    claimed: HashSet<VertexId>,
     /// How many streams were created in total (stat for the tests and
     /// the Fig. 6 stream-count checks).
     created: usize,
@@ -37,7 +40,7 @@ impl StreamManager {
             dep_policy,
             reuse_policy,
             pool: Vec::new(),
-            claimed: HashMap::new(),
+            claimed: HashSet::new(),
             created: 0,
         }
     }
@@ -45,6 +48,12 @@ impl StreamManager {
     /// Total streams created so far.
     pub fn streams_created(&self) -> usize {
         self.created
+    }
+
+    /// Outstanding first-child claims (a memory gauge: bounded by the
+    /// live frontier once retirement forgets claims).
+    pub fn claims(&self) -> usize {
+        self.claimed.len()
     }
 
     /// Pick the stream for a new computation.
@@ -65,8 +74,7 @@ impl StreamManager {
             DepStreamPolicy::FirstChildOnParent => {
                 for d in deps {
                     if let Some(&s) = stream_of.get(d) {
-                        if !self.claimed.contains_key(d) {
-                            self.claimed.insert(*d, ());
+                        if self.claimed.insert(*d) {
                             return s;
                         }
                     }
@@ -103,6 +111,12 @@ impl StreamManager {
         for v in vertices {
             self.claimed.remove(v);
         }
+    }
+
+    /// Forget every claim (full-device synchronization retired all
+    /// possible parents).
+    pub fn forget_all(&mut self) {
+        self.claimed.clear();
     }
 }
 

@@ -119,6 +119,52 @@ fn copy_cost(bufs: &[DataBuffer], _scalars: &[f64]) -> KernelCost {
     streaming_f32(n, n, 0.0)
 }
 
+/// `memset_u8(x, value, n)`: fill a byte (`char`) array with a constant.
+pub static MEMSET_U8: KernelDef = KernelDef {
+    name: "memset_u8",
+    nidl: "pointer char, float, sint32",
+    func: memset_u8_func,
+    cost: memset_u8_cost,
+};
+
+fn memset_u8_func(bufs: &[DataBuffer], scalars: &[f64]) {
+    let value = scalars[0] as u8;
+    let n = s(scalars[1]);
+    for v in bufs[0].as_u8_mut().iter_mut().take(n) {
+        *v = value;
+    }
+}
+
+fn memset_u8_cost(bufs: &[DataBuffer], _scalars: &[f64]) -> KernelCost {
+    // Byte elements: a quarter of the f32 streaming traffic.
+    streaming_f32(0.0, bufs[0].len() as f64 / 4.0, 0.0)
+}
+
+/// `threshold_u8(x, out, t, n)`: binarize a byte image,
+/// `out[i] = 255 if x[i] ≥ t else 0` (the staging step of 8-bit image
+/// pipelines).
+pub static THRESHOLD_U8: KernelDef = KernelDef {
+    name: "threshold_u8",
+    nidl: "const pointer char, pointer char, float, sint32",
+    func: threshold_u8_func,
+    cost: threshold_u8_cost,
+};
+
+fn threshold_u8_func(bufs: &[DataBuffer], scalars: &[f64]) {
+    let t = scalars[0] as u8;
+    let n = s(scalars[1]);
+    let x = bufs[0].as_u8();
+    let mut out = bufs[1].as_u8_mut();
+    for i in 0..n {
+        out[i] = if x[i] >= t { 255 } else { 0 };
+    }
+}
+
+fn threshold_u8_cost(bufs: &[DataBuffer], _scalars: &[f64]) -> KernelCost {
+    let n = bufs[0].len() as f64;
+    streaming_f32(n / 4.0, n / 4.0, 1.0)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -133,6 +179,21 @@ mod tests {
         let x = DataBuffer::f32_zeros(3);
         memset_func(std::slice::from_ref(&x), &[2.5, 3.0]);
         assert_eq!(*x.as_f32(), vec![2.5; 3]);
+    }
+
+    #[test]
+    fn memset_u8_fills() {
+        let x = DataBuffer::new(TypedData::U8(vec![0; 4]));
+        memset_u8_func(std::slice::from_ref(&x), &[9.0, 3.0]);
+        assert_eq!(*x.as_u8(), vec![9, 9, 9, 0]);
+    }
+
+    #[test]
+    fn threshold_u8_binarizes() {
+        let x = DataBuffer::new(TypedData::U8(vec![10, 200, 127, 128]));
+        let out = DataBuffer::new(TypedData::U8(vec![0; 4]));
+        threshold_u8_func(&[x, out.clone()], &[128.0, 4.0]);
+        assert_eq!(*out.as_u8(), vec![0, 255, 0, 255]);
     }
 
     #[test]

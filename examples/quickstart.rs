@@ -56,11 +56,11 @@ fn main() {
     );
     assert_eq!(res, n as f32 * 5.0);
 
+    // Render the DAG before syncing: `sync()` retires every vertex and
+    // compacts the graph, reclaiming the structure we want to show.
+    let dot = g.dag_dot("VEC");
     g.sync();
-    println!(
-        "\nInferred computation DAG (Graphviz):\n{}",
-        g.dag_dot("VEC")
-    );
+    println!("\nInferred computation DAG (Graphviz):\n{dot}");
     println!(
         "Execution timeline:\n{}",
         render_timeline(&g.timeline(), 90)

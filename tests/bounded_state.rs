@@ -1,0 +1,196 @@
+//! Integration: scheduler memory is O(live computations), not
+//! O(lifetime launches).
+//!
+//! Miniature of the `soak` binary (`cargo run --release -p bench --bin
+//! soak`): repeated launch/sync cycles across real benchmark suites must
+//! leave every scheduler-side map and the DAG's stored vertex set
+//! bounded by the live frontier, while the lifetime counters keep
+//! growing.
+
+use benchmarks::{grcuda_arrays, scales, Bench, PlanArg};
+use gpu_sim::DeviceProfile;
+use grcuda::{Arg, GrCuda, Options};
+
+/// Drive `cycles` full passes of a suite's kernel chain with a sync at
+/// the end of each, returning the peak stored-vertex count observed.
+fn soak(b: Bench, cycles: usize) -> usize {
+    let spec = b.build(scales::tiny(b));
+    let g = GrCuda::new(DeviceProfile::tesla_p100(), Options::parallel());
+    let arrays = grcuda_arrays(&g, &spec);
+    let kernels: Vec<_> = spec
+        .ops
+        .iter()
+        .map(|op| g.build_kernel(op.def).unwrap())
+        .collect();
+    let mut peak_stored = 0;
+    let mut launches = 0usize;
+    for cycle in 0..cycles {
+        for (op, k) in spec.ops.iter().zip(&kernels) {
+            let args: Vec<Arg> = op
+                .args
+                .iter()
+                .map(|a| match a {
+                    PlanArg::Arr(i) => Arg::array(&arrays[*i]),
+                    PlanArg::Scalar(v) => Arg::scalar(*v),
+                })
+                .collect();
+            k.launch(op.grid, &args).unwrap();
+            launches += 1;
+            peak_stored = peak_stored.max(g.scheduler_stats().stored_vertices);
+        }
+        g.sync();
+        g.clear_timeline();
+        let st = g.scheduler_stats();
+        let ctx = format!("{} cycle {cycle}: {st:?}", spec.name);
+        assert_eq!(st.live_vertices, 0, "{ctx}");
+        assert_eq!(st.stored_vertices, 0, "{ctx}");
+        assert_eq!(st.stored_edges, 0, "{ctx}");
+        assert_eq!(st.value_states, 0, "{ctx}");
+        assert_eq!(st.stream_claims, 0, "{ctx}");
+        assert_eq!(st.vertex_tasks, 0, "{ctx}");
+        assert_eq!(st.vertex_streams, 0, "{ctx}");
+        assert_eq!(st.launch_infos, 0, "{ctx}");
+        assert_eq!(g.stats().retained_tasks, 0, "{ctx}");
+    }
+    let st = g.scheduler_stats();
+    assert!(
+        st.lifetime_vertices >= launches,
+        "{}: lifetime counter kept the full story",
+        spec.name
+    );
+    assert!(g.races().is_empty());
+    peak_stored
+}
+
+#[test]
+fn every_suite_keeps_scheduler_state_bounded() {
+    for b in Bench::ALL {
+        let spec = b.build(scales::tiny(b));
+        let peak = soak(b, 25);
+        // Between syncs at most one cycle of ops is stored (live chain +
+        // retired garbage below the compaction threshold).
+        let bound = 2 * spec.ops.len() + 70;
+        assert!(
+            peak <= bound,
+            "{}: peak stored vertices {peak} exceeds bound {bound}",
+            spec.name
+        );
+    }
+}
+
+#[test]
+fn fine_grained_service_loop_stays_bounded_without_full_syncs() {
+    // A request loop that *never* calls sync(): each request's CPU read
+    // retires its chain, and auto-compaction must keep storage flat.
+    use kernels::util::SCALE;
+    let g = GrCuda::new(DeviceProfile::tesla_p100(), Options::parallel());
+    let n = 1 << 12;
+    let x = g.array_f32(n);
+    let y = g.array_f32(n);
+    let sc = g.build_kernel(&SCALE).unwrap();
+    let grid = gpu_sim::Grid::d1(16, 256);
+    let mut peak_stored = 0;
+    let mut peak_launch_infos = 0;
+    for req in 0..400 {
+        x.fill_f32(req as f32);
+        sc.launch(
+            grid,
+            &[
+                Arg::array(&x),
+                Arg::array(&y),
+                Arg::scalar(2.0),
+                Arg::scalar(n as f64),
+            ],
+        )
+        .unwrap();
+        assert_eq!(y.get_f32(7), 2.0 * req as f32);
+        let st = g.scheduler_stats();
+        peak_stored = peak_stored.max(st.stored_vertices);
+        peak_launch_infos = peak_launch_infos.max(st.launch_infos);
+        assert_eq!(st.vertex_tasks, 0, "req {req}: chain retired on read");
+        assert_eq!(st.stream_claims, 0, "req {req}");
+        assert!(
+            g.stats().retained_tasks <= 16,
+            "req {req}: engine retains completed task states on the \
+             fine-grained path: {}",
+            g.stats().retained_tasks
+        );
+    }
+    let st = g.scheduler_stats();
+    assert!(st.lifetime_vertices >= 800, "launches + modeled accesses");
+    assert!(
+        peak_stored <= 80,
+        "auto-compaction failed: peak stored {peak_stored}"
+    );
+    assert!(
+        peak_launch_infos <= 128,
+        "opportunistic harvest failed: {peak_launch_infos} launch_info entries \
+         accumulated without a sync"
+    );
+    assert!(g.races().is_empty());
+}
+
+#[test]
+fn serial_mode_launch_loop_keeps_launch_info_bounded() {
+    // The paper's serial baseline never builds a DAG, but it still
+    // records launch metadata for the history harvest: a sync-free
+    // serial service must not accumulate it forever either.
+    use kernels::util::SCALE;
+    let g = GrCuda::new(DeviceProfile::tesla_p100(), Options::serial());
+    let n = 1 << 12;
+    let x = g.array_f32(n);
+    let y = g.array_f32(n);
+    let sc = g.build_kernel(&SCALE).unwrap();
+    let grid = gpu_sim::Grid::d1(16, 256);
+    let mut peak_launch_infos = 0;
+    for req in 0..400 {
+        x.fill_f32(req as f32);
+        sc.launch(
+            grid,
+            &[
+                Arg::array(&x),
+                Arg::array(&y),
+                Arg::scalar(2.0),
+                Arg::scalar(n as f64),
+            ],
+        )
+        .unwrap();
+        assert_eq!(y.get_f32(7), 2.0 * req as f32);
+        peak_launch_infos = peak_launch_infos.max(g.scheduler_stats().launch_infos);
+    }
+    assert!(
+        peak_launch_infos <= 128,
+        "serial launch loop leaks launch_info: peak {peak_launch_infos}"
+    );
+    assert!(
+        g.history_samples("scale") >= 256,
+        "harvest kept the samples"
+    );
+}
+
+#[test]
+fn sync_after_heavy_traffic_resets_to_empty_frontier_baseline() {
+    let g = GrCuda::new(DeviceProfile::gtx1660_super(), Options::parallel());
+    use kernels::vec_ops::SQUARE;
+    let n = 1 << 10;
+    let sq = g.build_kernel(&SQUARE).unwrap();
+    let arrays: Vec<_> = (0..4).map(|_| g.array_f32(n)).collect();
+    for _ in 0..250 {
+        for a in &arrays {
+            sq.launch(
+                gpu_sim::Grid::d1(4, 256),
+                &[Arg::array(a), Arg::scalar(n as f64)],
+            )
+            .unwrap();
+        }
+        g.sync();
+    }
+    let st = g.scheduler_stats();
+    assert_eq!(st.lifetime_vertices, 1000);
+    assert_eq!(st.stored_vertices, 0);
+    assert_eq!(st.value_states, 0);
+    assert_eq!(g.stats().retained_tasks, 0);
+    // History survived the whole run (no samples lost to map pruning).
+    g.clear_timeline();
+    assert_eq!(g.history_samples("square"), 1000);
+}

@@ -11,28 +11,7 @@ use grcuda::{Arg, GrCuda, Options};
 fn inferred_structure(b: Bench) -> (usize, Vec<(usize, usize)>) {
     let spec = b.build(scales::tiny(b));
     let g = GrCuda::new(DeviceProfile::tesla_p100(), Options::parallel());
-    let arrays: Vec<_> = spec
-        .arrays
-        .iter()
-        .map(|a| match &a.init {
-            gpu_sim::TypedData::F32(v) => {
-                let d = g.array_f32(v.len());
-                d.copy_from_f32(v);
-                d
-            }
-            gpu_sim::TypedData::F64(v) => {
-                let d = g.array_f64(v.len());
-                d.copy_from_f64(v);
-                d
-            }
-            gpu_sim::TypedData::I32(v) => {
-                let d = g.array_i32(v.len());
-                d.copy_from_i32(v);
-                d
-            }
-            gpu_sim::TypedData::U8(_) => unreachable!(),
-        })
-        .collect();
+    let arrays = benchmarks::grcuda_arrays(&g, &spec);
     // Vertex ids of kernel ops, in launch order. (CPU writes during
     // init may also appear in the DAG; we only map kernels.)
     let base = g.dag_len();
@@ -48,8 +27,10 @@ fn inferred_structure(b: Bench) -> (usize, Vec<(usize, usize)>) {
             .collect();
         k.launch(op.grid, &args).unwrap();
     }
-    g.sync();
+    // Snapshot the DOT while the graph is live: `sync()` retires and
+    // *compacts* the DAG, reclaiming the very structure we want to read.
     let dot = g.dag_dot("t");
+    g.sync();
     // Parse edges "nA -> nB" back out of the DOT dump and keep those
     // between kernel vertices.
     let mut edges = Vec::new();
