@@ -27,8 +27,9 @@ pub mod suite;
 
 pub use bound::{contention_free_time, contention_free_time_warm};
 pub use runners::{
-    grcuda_arrays, read_grcuda_outputs, refresh_grcuda_arrays, run_graph_capture, run_graph_manual,
-    run_grcuda, run_handtuned, RunResult,
+    grcuda_arrays, multi_gpu_arrays, read_grcuda_outputs, read_multi_gpu_outputs,
+    refresh_grcuda_arrays, refresh_multi_gpu_arrays, run_graph_capture, run_graph_manual,
+    run_grcuda, run_handtuned, run_multi_gpu, MultiRunResult, RunResult,
 };
 pub use spec::{ArraySpec, BenchSpec, PlanArg, PlanOp};
 

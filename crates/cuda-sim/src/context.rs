@@ -35,25 +35,33 @@ pub(crate) enum EventTarget {
 #[derive(Debug, Default)]
 struct StreamState {
     last: Option<TaskId>,
+    /// Device the stream issues onto (0 on single-device contexts).
+    device: u32,
 }
 
 pub(crate) struct Inner {
     pub(crate) engine: Engine,
     pub(crate) dev: DeviceProfile,
+    n_devices: u32,
     arrays: HashMap<ValueId, ArrayState>,
     next_value: u64,
     streams: Vec<StreamState>,
     pub(crate) events: Vec<EventTarget>,
     pub(crate) capture: Option<CaptureState>,
     /// Bulk copies in the same direction serialize through a single DMA
-    /// copy engine, like real hardware — the reason the paper's VEC
-    /// benchmark shows zero computation/computation overlap: the second
-    /// vector's data arrives only after the first vector's copy is done.
-    last_h2d: Option<TaskId>,
-    /// Reserved for explicit D2H copy APIs (host reads currently block
-    /// the virtual host, so ordering is implicit).
-    #[allow(dead_code)]
-    last_d2h: Option<TaskId>,
+    /// copy engine per device, like real hardware — the reason the
+    /// paper's VEC benchmark shows zero computation/computation overlap:
+    /// the second vector's data arrives only after the first vector's
+    /// copy is done. Indexed by device.
+    last_h2d: Vec<Option<TaskId>>,
+    /// Per-device D2H DMA engine, used by the device→host leg of
+    /// cross-device migrations (host reads block the virtual host, so
+    /// their ordering is implicit).
+    last_d2h: Vec<Option<TaskId>>,
+    /// Cross-device migrations performed (count, bytes): the run-time
+    /// migration-cost accounting the paper's §VI calls for.
+    migrations: usize,
+    migrated_bytes: usize,
 }
 
 /// A simulated CUDA device context. Cheap to clone; clones share the
@@ -66,18 +74,30 @@ pub struct Cuda {
 impl Cuda {
     /// Create a context for the given device profile.
     pub fn new(dev: DeviceProfile) -> Self {
-        let engine = Engine::new(dev.clone());
+        Self::new_multi(dev, 1)
+    }
+
+    /// Create a context spanning `n` identical devices sharing one
+    /// virtual clock. Streams are created on a device
+    /// ([`Cuda::stream_create_on`]) and data moves between devices
+    /// through host-mediated migrations charged on both PCIe links.
+    pub fn new_multi(dev: DeviceProfile, n: usize) -> Self {
+        assert!(n >= 1, "need at least one device");
+        let engine = Engine::new_multi(dev.clone(), n);
         Cuda {
             inner: Rc::new(RefCell::new(Inner {
                 engine,
                 dev,
+                n_devices: n as u32,
                 arrays: HashMap::new(),
                 next_value: 0,
-                streams: vec![StreamState::default()], // default stream
+                streams: vec![StreamState::default()], // default stream, device 0
                 events: Vec::new(),
                 capture: None,
-                last_h2d: None,
-                last_d2h: None,
+                last_h2d: vec![None; n],
+                last_d2h: vec![None; n],
+                migrations: 0,
+                migrated_bytes: 0,
             })),
         }
     }
@@ -85,6 +105,27 @@ impl Cuda {
     /// The device profile this context simulates.
     pub fn device(&self) -> DeviceProfile {
         self.inner.borrow().dev.clone()
+    }
+
+    /// Number of identical devices in this context.
+    pub fn device_count(&self) -> usize {
+        self.inner.borrow().n_devices as usize
+    }
+
+    /// The device a stream issues onto.
+    pub fn stream_device(&self, stream: StreamId) -> u32 {
+        self.inner.borrow().streams[stream.0 as usize].device
+    }
+
+    /// Submitted-but-unfinished tasks on a device (in-flight load gauge).
+    pub fn device_load(&self, device: u32) -> usize {
+        self.inner.borrow().engine.device_load(device)
+    }
+
+    /// Cross-device migrations performed so far as `(count, bytes)`.
+    pub fn migration_stats(&self) -> (usize, usize) {
+        let inner = self.inner.borrow();
+        (inner.migrations, inner.migrated_bytes)
     }
 
     /// Current virtual time in seconds.
@@ -97,10 +138,16 @@ impl Cuda {
         StreamId(0)
     }
 
-    /// Create a new independent stream.
+    /// Create a new independent stream on device 0.
     pub fn stream_create(&self) -> StreamId {
+        self.stream_create_on(0)
+    }
+
+    /// Create a new independent stream on a specific device.
+    pub fn stream_create_on(&self, device: u32) -> StreamId {
         let mut inner = self.inner.borrow_mut();
-        inner.streams.push(StreamState::default());
+        assert!(device < inner.n_devices, "unknown device {device}");
+        inner.streams.push(StreamState { last: None, device });
         StreamId(inner.streams.len() as u32 - 1)
     }
 
@@ -144,6 +191,8 @@ impl Cuda {
             ArrayState {
                 residency: Residency::Host,
                 bytes: arr.byte_len(),
+                device: 0,
+                last_writer: None,
             },
         );
         arr
@@ -154,6 +203,13 @@ impl Cuda {
         self.inner.borrow().arrays[&a.id].residency
     }
 
+    /// The device holding the current device copy, if any.
+    pub fn device_residency(&self, a: &UnifiedArray) -> Option<u32> {
+        let inner = self.inner.borrow();
+        let st = &inner.arrays[&a.id];
+        st.residency.on_device().then_some(st.device)
+    }
+
     /// Mark the host copy as modified (CPU wrote the array): the device
     /// copy, if any, is invalidated. Benchmarks call this after filling
     /// inputs. The caller is responsible for having synchronized; a
@@ -161,11 +217,9 @@ impl Cuda {
     /// next launch.
     pub fn host_written(&self, a: &UnifiedArray) {
         let mut inner = self.inner.borrow_mut();
-        inner
-            .arrays
-            .get_mut(&a.id)
-            .expect("unknown array")
-            .residency = Residency::Host;
+        let st = inner.arrays.get_mut(&a.id).expect("unknown array");
+        st.residency = Residency::Host;
+        st.last_writer = None;
     }
 
     /// Model the CPU touching `bytes` of the array (e.g. reading a
@@ -175,8 +229,8 @@ impl Cuda {
     pub fn host_read(&self, a: &UnifiedArray, bytes: usize) -> Time {
         let mut inner = self.inner.borrow_mut();
         let t0 = inner.engine.now();
-        let st = inner.arrays.get(&a.id).expect("unknown array").residency;
-        if !st.on_host() {
+        let st = inner.arrays.get(&a.id).expect("unknown array").clone();
+        if !st.residency.on_host() {
             let dev = inner.dev.clone();
             let spec = if dev.supports_page_faults() {
                 TaskSpec::fault_migration(
@@ -186,6 +240,7 @@ impl Cuda {
                     bytes as f64,
                     &dev,
                 )
+                .on_device(st.device)
                 .reading(&[a.id])
             } else {
                 TaskSpec::bulk_copy(
@@ -195,9 +250,11 @@ impl Cuda {
                     bytes as f64,
                     &dev,
                 )
+                .on_device(st.device)
                 .reading(&[a.id])
             };
-            let t = inner.engine.submit(spec, &[]);
+            let deps: Vec<TaskId> = st.last_writer.into_iter().collect();
+            let t = inner.engine.submit(spec, &deps);
             inner.engine.sync_task(t);
             // Whole-array state machine: after touching it the host can
             // see it (pages migrate lazily; we charge only what was
@@ -226,26 +283,42 @@ impl Cuda {
         if !inner.dev.supports_page_faults() {
             return None; // no UM migration engine on pre-Pascal
         }
-        if inner.arrays[&a.id].residency.on_device() {
+        let target = inner.streams[stream.0 as usize].device;
+        let st = inner.arrays[&a.id].clone();
+        if st.residency.on_device() && st.device == target {
             return None;
         }
         let dev = inner.dev.clone();
         let overhead = dev.host_api_overhead;
         inner.engine.advance_host(overhead);
+        // Current copy only on another device: host-mediated migration —
+        // the D2H leg runs on the source device, chained on the producer.
+        if st.residency == Residency::Device {
+            inner.migrate_to_host(a.id);
+        }
         let spec = TaskSpec::bulk_copy(
             TaskKind::CopyH2D,
             format!("prefetch {:?}", a.id),
             stream.0,
-            inner.arrays[&a.id].bytes as f64,
+            st.bytes as f64,
             &dev,
         )
+        .on_device(target)
         .reading(&[a.id]);
         let mut deps = stream_deps(&inner.streams, stream);
-        deps.extend(inner.last_h2d);
+        deps.extend(inner.last_h2d[target as usize]);
+        // Chain on whatever produced the current host copy (a migration
+        // D2H leg, possibly still in flight behind its writer): residency
+        // flips at submission time, so the dependency carries the
+        // ordering.
+        deps.extend(inner.arrays[&a.id].last_writer);
         let t = inner.engine.submit(spec, &deps);
         inner.streams[stream.0 as usize].last = Some(t);
-        inner.last_h2d = Some(t);
-        inner.arrays.get_mut(&a.id).unwrap().residency = Residency::Both;
+        inner.last_h2d[target as usize] = Some(t);
+        let stm = inner.arrays.get_mut(&a.id).unwrap();
+        stm.residency = Residency::Both;
+        stm.device = target;
+        stm.last_writer = Some(t);
         Some(t)
     }
 
@@ -300,7 +373,8 @@ impl Cuda {
         let overhead = inner.dev.event_overhead;
         inner.engine.advance_host(overhead);
         let deps = stream_deps(&inner.streams, stream);
-        let spec = TaskSpec::marker(format!("event s{}", stream.0), stream.0);
+        let device = inner.streams[stream.0 as usize].device;
+        let spec = TaskSpec::marker(format!("event s{}", stream.0), stream.0).on_device(device);
         let t = inner.engine.submit(spec, &deps);
         inner.streams[stream.0 as usize].last = Some(t);
         inner.events.push(EventTarget::Task(t));
@@ -328,7 +402,8 @@ impl Cuda {
         };
         let mut deps = stream_deps(&inner.streams, stream);
         deps.push(ev_task);
-        let spec = TaskSpec::marker(format!("wait s{}", stream.0), stream.0);
+        let device = inner.streams[stream.0 as usize].device;
+        let spec = TaskSpec::marker(format!("wait s{}", stream.0), stream.0).on_device(device);
         let t = inner.engine.submit(spec, &deps);
         inner.streams[stream.0 as usize].last = Some(t);
     }
@@ -424,6 +499,7 @@ impl Inner {
         extra_deps: &[TaskId],
     ) -> TaskId {
         let dev = self.dev.clone();
+        let kdev = self.streams[stream.0 as usize].device;
         // Unified-memory migrations for non-resident arguments.
         let mut seen: Vec<ValueId> = Vec::new();
         for (v, _) in &exec.accesses {
@@ -434,9 +510,16 @@ impl Inner {
             let st = self
                 .arrays
                 .get(v)
-                .expect("kernel argument not allocated here");
-            if st.residency.on_device() {
+                .expect("kernel argument not allocated here")
+                .clone();
+            if st.residency.on_device() && st.device == kdev {
                 continue;
+            }
+            // Current copy only on another device: host-mediated
+            // cross-device migration (D2H on the source, then the H2D
+            // below onto this kernel's device).
+            if st.residency == Residency::Device {
+                self.migrate_to_host(*v);
             }
             let bytes = st.bytes as f64;
             let spec = if dev.supports_page_faults() {
@@ -447,6 +530,7 @@ impl Inner {
                     bytes,
                     &dev,
                 )
+                .on_device(kdev)
                 .reading(&[*v])
             } else {
                 TaskSpec::bulk_copy(
@@ -456,6 +540,7 @@ impl Inner {
                     bytes,
                     &dev,
                 )
+                .on_device(kdev)
                 .reading(&[*v])
             };
             let mut deps = stream_deps(&self.streams, stream);
@@ -463,18 +548,27 @@ impl Inner {
                 // Fault-path migrations interleave page-by-page; they
                 // contend through the fault controller instead.
             } else {
-                deps.extend(self.last_h2d);
+                deps.extend(self.last_h2d[kdev as usize]);
             }
+            // Chain on whatever produced the current host copy (possibly
+            // a migration D2H leg still queued behind its writer):
+            // residency flips at submission time, so this dependency
+            // carries the cross-device ordering.
+            deps.extend(self.arrays[v].last_writer);
             let t = self.engine.submit(spec, &deps);
             self.streams[stream.0 as usize].last = Some(t);
             if !dev.supports_page_faults() {
-                self.last_h2d = Some(t);
+                self.last_h2d[kdev as usize] = Some(t);
             }
-            self.arrays.get_mut(v).unwrap().residency = Residency::Both;
+            let stm = self.arrays.get_mut(v).unwrap();
+            stm.residency = Residency::Both;
+            stm.device = kdev;
+            stm.last_writer = Some(t);
         }
 
         let (solo, demand) = exec.cost.solo_profile(exec.grid, &dev);
         let mut spec = TaskSpec::kernel(exec.name.clone(), stream.0);
+        spec.device = kdev;
         spec.fixed_latency = dev.launch_overhead;
         spec.fluid_work = solo;
         spec.demand = demand;
@@ -495,8 +589,41 @@ impl Inner {
         // A kernel that writes an array makes the device copy the only
         // current one.
         for v in exec.writes() {
-            self.arrays.get_mut(&v).unwrap().residency = Residency::Device;
+            let st = self.arrays.get_mut(&v).unwrap();
+            st.residency = Residency::Device;
+            st.device = kdev;
+            st.last_writer = Some(t);
         }
+        t
+    }
+
+    /// Device→host leg of a cross-device migration: a bulk D2H on the
+    /// source device, chained on the task producing the current copy and
+    /// serialized through the source's D2H DMA engine. Counts toward
+    /// [`Cuda::migration_stats`]; the caller submits the H2D leg onto the
+    /// target and must depend on the returned task.
+    fn migrate_to_host(&mut self, v: ValueId) -> TaskId {
+        let st = self.arrays[&v].clone();
+        let src = st.device;
+        let dev = self.dev.clone();
+        let spec = TaskSpec::bulk_copy(
+            TaskKind::CopyD2H,
+            format!("migrate<-{v:?}"),
+            u32::MAX,
+            st.bytes as f64,
+            &dev,
+        )
+        .on_device(src)
+        .reading(&[v]);
+        let mut deps: Vec<TaskId> = st.last_writer.into_iter().collect();
+        deps.extend(self.last_d2h[src as usize]);
+        let t = self.engine.submit(spec, &deps);
+        self.last_d2h[src as usize] = Some(t);
+        self.migrations += 1;
+        self.migrated_bytes += st.bytes;
+        let stm = self.arrays.get_mut(&v).unwrap();
+        stm.residency = Residency::Both; // the host copy is current again
+        stm.last_writer = Some(t);
         t
     }
 
@@ -753,6 +880,57 @@ mod tests {
         assert_eq!(a.buf.as_f32()[0], 0.0, "not yet executed in virtual time");
         c.task_sync(t);
         assert_eq!(*a.buf.as_f32(), vec![7.0; 4]);
+    }
+
+    #[test]
+    fn cross_device_migration_is_charged_and_ordered() {
+        let c = Cuda::new_multi(DeviceProfile::tesla_p100(), 2);
+        let bytes = 4 << 20;
+        let a = c.alloc_f32(bytes / 4);
+        let s0 = c.default_stream();
+        let s1 = c.stream_create_on(1);
+        assert_eq!(c.stream_device(s0), 0);
+        assert_eq!(c.stream_device(s1), 1);
+        let k = simple_kernel(&c, "produce", &a, 1.0);
+        c.launch(s0, &k);
+        assert_eq!(c.device_residency(&a), Some(0));
+        // Consuming on device 1 must migrate device 0's copy through the
+        // host without blocking it, preserving causality.
+        let k2 = simple_kernel(&c, "consume", &a, 1.0);
+        let t = c.launch(s1, &k2).unwrap();
+        c.task_sync(t);
+        let (migs, mig_bytes) = c.migration_stats();
+        assert_eq!(migs, 1);
+        assert_eq!(mig_bytes, bytes);
+        assert!(c.races().is_empty());
+        let tl = c.timeline();
+        let prod = tl.kernels().find(|iv| iv.label == "produce").unwrap();
+        let cons = tl.kernels().find(|iv| iv.label == "consume").unwrap();
+        assert_eq!((prod.device, cons.device), (0, 1));
+        assert!(
+            cons.start >= prod.end - 1e-12,
+            "consumer must wait for the migrated data"
+        );
+        assert_eq!(c.device_residency(&a), Some(1), "kernel wrote on device 1");
+        assert_eq!(tl.devices_used(), vec![0, 1]);
+    }
+
+    #[test]
+    fn host_staged_data_reaches_other_devices_without_migration() {
+        // Fresh host data is placement-neutral: any device takes it with
+        // a plain H2D, never a cross-device migration.
+        let c = Cuda::new_multi(DeviceProfile::tesla_p100(), 2);
+        let a = c.alloc_f32(1 << 18);
+        let b = c.alloc_f32(1 << 18);
+        let s1 = c.stream_create_on(1);
+        let k = simple_kernel(&c, "k0", &a, 0.5);
+        c.launch(c.default_stream(), &k);
+        let k1 = simple_kernel(&c, "k1", &b, 0.5);
+        let t = c.launch(s1, &k1).unwrap();
+        c.task_sync(t);
+        c.device_sync();
+        assert_eq!(c.migration_stats(), (0, 0));
+        assert!(c.races().is_empty());
     }
 
     #[test]

@@ -72,6 +72,14 @@ impl UnifiedArray {
 pub(crate) struct ArrayState {
     pub residency: Residency,
     pub bytes: usize,
+    /// Which device holds the current device copy (meaningful while
+    /// `residency.on_device()`; always 0 on single-device contexts).
+    pub device: u32,
+    /// The task that produced the current copy (a writing kernel or the
+    /// transfer that last moved it). Cross-device migrations chain their
+    /// device→host leg on it so causality is preserved without blocking
+    /// the host.
+    pub last_writer: Option<gpu_sim::TaskId>,
 }
 
 #[cfg(test)]

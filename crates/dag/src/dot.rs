@@ -1,37 +1,90 @@
 //! Graphviz DOT export of a computation DAG, used by the `fig6` binary to
-//! render the benchmark structures of the paper's Fig. 6.
+//! render the benchmark structures of the paper's Fig. 6 and by the
+//! multi-GPU scheduler to visualize device placement.
 
 use crate::graph::ComputationDag;
+
+/// Fill colors cycled per device (Graphviz X11 names), chosen to stay
+/// readable with black monospace labels.
+const DEVICE_COLORS: [&str; 8] = [
+    "lightblue",
+    "palegreen",
+    "lightsalmon",
+    "plum",
+    "khaki",
+    "lightcyan",
+    "mistyrose",
+    "lightgray",
+];
 
 /// Render the DAG in Graphviz DOT syntax. Vertices are labeled with
 /// their kernel name and current dependency set; edges with the value
 /// that caused the dependency (dashed for read-only uses), mirroring how
 /// the paper draws its figures.
+///
+/// Scheduling metadata is rendered when present: vertices are filled
+/// with a per-device color (and labeled `@devN`) once a placement policy
+/// assigned them, and edges that crossed devices are drawn bold and
+/// labeled with the bytes migrated to satisfy them — making multi-GPU
+/// schedules visually debuggable.
 pub fn to_dot(dag: &ComputationDag, title: &str) -> String {
     let mut out = String::new();
     out.push_str(&format!("digraph \"{}\" {{\n", escape(title)));
     out.push_str("  rankdir=TB;\n  node [shape=ellipse, fontname=\"monospace\"];\n");
     for v in dag.vertices() {
         let set: Vec<String> = v.dep_set.iter().map(|x| format!("v{}", x.0)).collect();
+        let mut attrs = String::new();
+        let mut styles: Vec<&str> = Vec::new();
+        let label_dev = match v.device {
+            Some(d) => {
+                let color = DEVICE_COLORS[d as usize % DEVICE_COLORS.len()];
+                attrs.push_str(&format!(", fillcolor={color}"));
+                styles.push("filled");
+                format!("\\n@dev{d}")
+            }
+            None => String::new(),
+        };
+        if !v.active {
+            styles.push("dotted");
+        }
+        if !styles.is_empty() {
+            attrs.push_str(&format!(", style=\"{}\"", styles.join(",")));
+        }
         out.push_str(&format!(
-            "  n{} [label=\"{}\\n{{{}}}\"{}];\n",
+            "  n{} [label=\"{}{}\\n{{{}}}\"{}];\n",
             v.id.0,
             escape(&v.label),
+            label_dev,
             set.join(","),
-            if v.active { "" } else { ", style=dotted" },
+            attrs,
         ));
     }
     for e in dag.edges() {
+        let mut label = format!("v{}", e.value.0);
+        let mut attrs = String::new();
+        if e.migrated_bytes > 0 {
+            label.push_str(&format!("\\n{} migrated", human_bytes(e.migrated_bytes)));
+            attrs.push_str(", style=bold, color=red");
+        } else if e.read_only {
+            attrs.push_str(", style=dashed");
+        }
         out.push_str(&format!(
-            "  n{} -> n{} [label=\"v{}\"{}];\n",
-            e.from.0,
-            e.to.0,
-            e.value.0,
-            if e.read_only { ", style=dashed" } else { "" },
+            "  n{} -> n{} [label=\"{}\"{}];\n",
+            e.from.0, e.to.0, label, attrs,
         ));
     }
     out.push_str("}\n");
     out
+}
+
+fn human_bytes(b: usize) -> String {
+    if b >= 1 << 20 {
+        format!("{:.1} MiB", b as f64 / (1 << 20) as f64)
+    } else if b >= 1 << 10 {
+        format!("{:.1} KiB", b as f64 / (1 << 10) as f64)
+    } else {
+        format!("{b} B")
+    }
 }
 
 fn escape(s: &str) -> String {
@@ -75,5 +128,67 @@ mod tests {
         let dot = to_dot(&dag, "a\"b");
         assert!(dot.contains("K\\\"x\\\""));
         assert!(dot.contains("a\\\"b"));
+    }
+
+    #[test]
+    fn devices_color_vertices_and_migrations_label_edges() {
+        let mut dag = ComputationDag::new();
+        let (k1, _) =
+            dag.add_computation(ElementKind::Kernel, "K1", vec![ArgAccess::write(Value(0))]);
+        let (k2, _) = dag.add_computation(
+            ElementKind::Kernel,
+            "K2",
+            vec![ArgAccess::read(Value(0)), ArgAccess::write(Value(1))],
+        );
+        dag.set_device(k1, 0);
+        dag.set_device(k2, 1);
+        dag.annotate_migration(k2, Value(0), 4 << 20);
+        let dot = to_dot(&dag, "multi");
+        assert!(dot.contains("@dev0") && dot.contains("@dev1"));
+        assert!(dot.contains("fillcolor=lightblue"));
+        assert!(dot.contains("fillcolor=palegreen"));
+        assert!(dot.contains("4.0 MiB migrated"));
+        assert!(dot.contains("style=bold, color=red"));
+    }
+
+    #[test]
+    fn one_migration_stamps_exactly_one_edge() {
+        // A writer after two readers has two WAR edges for the same
+        // value; the single physical migration must label only the edge
+        // crossing devices, not both.
+        let mut dag = ComputationDag::new();
+        let (w, _) =
+            dag.add_computation(ElementKind::Kernel, "W", vec![ArgAccess::write(Value(0))]);
+        let (r1, _) =
+            dag.add_computation(ElementKind::Kernel, "R1", vec![ArgAccess::read(Value(0))]);
+        let (r2, _) =
+            dag.add_computation(ElementKind::Kernel, "R2", vec![ArgAccess::read(Value(0))]);
+        let (w2, _) =
+            dag.add_computation(ElementKind::Kernel, "W2", vec![ArgAccess::write(Value(0))]);
+        dag.set_device(w, 0);
+        dag.set_device(r1, 1);
+        dag.set_device(r2, 0);
+        dag.set_device(w2, 0);
+        dag.annotate_migration(w2, Value(0), 1024);
+        let stamped: Vec<_> = dag
+            .edges()
+            .iter()
+            .filter(|e| e.migrated_bytes > 0)
+            .collect();
+        assert_eq!(stamped.len(), 1, "one migration, one labeled edge");
+        assert_eq!(stamped[0].from, r1, "the cross-device parent carries it");
+        assert_eq!(stamped[0].to, w2);
+        let dot = to_dot(&dag, "t");
+        assert_eq!(dot.matches("migrated").count(), 1);
+    }
+
+    #[test]
+    fn unplaced_vertices_render_without_device_decoration() {
+        let mut dag = ComputationDag::new();
+        let (_, _) =
+            dag.add_computation(ElementKind::Kernel, "K", vec![ArgAccess::write(Value(0))]);
+        let dot = to_dot(&dag, "plain");
+        assert!(!dot.contains("@dev"));
+        assert!(!dot.contains("fillcolor"));
     }
 }

@@ -16,6 +16,10 @@ pub struct DepEdge {
     pub value: Value,
     /// True if `to` only reads `value`.
     pub read_only: bool,
+    /// Bytes migrated across devices to satisfy this edge (0 when both
+    /// endpoints ran on the same device or the data was host-staged).
+    /// Set by the scheduler via [`ComputationDag::annotate_migration`].
+    pub migrated_bytes: usize,
 }
 
 /// Per-value ordering index: the last active writer and the active
@@ -369,7 +373,42 @@ impl ComputationDag {
             to,
             value,
             read_only,
+            migrated_bytes: 0,
         });
+    }
+
+    /// Record the device a scheduler placed a vertex on (no-op if the
+    /// vertex was already compacted away).
+    pub fn set_device(&mut self, id: VertexId, device: u32) {
+        if let Some(i) = self.slot(id) {
+            self.vertices[i].device = Some(device);
+        }
+    }
+
+    /// Record that satisfying `to`'s dependency on `value` migrated
+    /// `bytes` across devices — the run-time migration-cost accounting
+    /// rendered by [`crate::to_dot`]. Exactly one incoming edge is
+    /// stamped (a writer after several readers has one WAR edge per
+    /// reader for the same value, but the data moved once): preferably
+    /// the edge whose source sits on another device, else the first
+    /// match.
+    pub fn annotate_migration(&mut self, to: VertexId, value: Value, bytes: usize) {
+        let to_device = self.try_vertex(to).and_then(|v| v.device);
+        let matches: Vec<usize> = self
+            .edges
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.to == to && e.value == value)
+            .map(|(i, _)| i)
+            .collect();
+        let cross = matches.iter().copied().find(|&i| {
+            let from = self.edges[i].from;
+            let from_device = self.try_vertex(from).and_then(|v| v.device);
+            from_device.is_some() && from_device != to_device
+        });
+        if let Some(i) = cross.or_else(|| matches.first().copied()) {
+            self.edges[i].migrated_bytes = bytes;
+        }
     }
 }
 

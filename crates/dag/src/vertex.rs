@@ -82,6 +82,13 @@ pub struct Vertex {
     /// Whether the vertex is still *active*: not yet synchronized by the
     /// CPU. Only active vertices can be dependency sources.
     pub active: bool,
+    /// Device the scheduler placed the computation on. `None` until a
+    /// placement policy assigned one — including on single-GPU runs,
+    /// where the scheduler deliberately records nothing so single-GPU
+    /// DOT renders stay undecorated. Purely diagnostic for the DAG
+    /// itself — the scheduler keys its decisions on its own maps — but
+    /// it lets [`crate::to_dot`] color multi-GPU schedules by device.
+    pub device: Option<u32>,
 }
 
 impl Vertex {
@@ -101,6 +108,7 @@ impl Vertex {
             parents: Vec::new(),
             children: Vec::new(),
             active: true,
+            device: None,
         }
     }
 

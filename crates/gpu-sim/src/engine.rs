@@ -62,6 +62,7 @@ struct TaskState {
     kind: TaskKind,
     label: String,
     stream: u32,
+    device: u32,
     fixed_latency: Time,
     fluid_work: Time,
     demand: ResourceDemand,
@@ -97,6 +98,9 @@ pub struct EngineStats {
 /// The simulator engine. See the [crate docs](crate) for the model.
 pub struct Engine {
     dev: DeviceProfile,
+    /// Number of identical devices this engine simulates. Tasks carry a
+    /// device id; only tasks on the same device share its resources.
+    n_devices: u32,
     now: Time,
     /// States of tasks `base..base + tasks.len()`. Ids below `base`
     /// belong to completed tasks whose state was reclaimed by
@@ -111,6 +115,10 @@ pub struct Engine {
     rates_dirty: bool,
     /// Pending activation events: (time, task) min-heap.
     latent: BinaryHeap<Reverse<(TimeKey, u32)>>,
+    /// Submitted-but-unfinished task count per device, maintained at
+    /// submit/complete so [`Engine::device_load`] is O(1) — placement
+    /// policies consult it on every launch.
+    inflight: Vec<usize>,
     timeline: Timeline,
     races: Vec<RaceReport>,
     stats: EngineStats,
@@ -119,8 +127,17 @@ pub struct Engine {
 impl Engine {
     /// A fresh engine for the given device, at virtual time zero.
     pub fn new(dev: DeviceProfile) -> Self {
+        Self::new_multi(dev, 1)
+    }
+
+    /// An engine simulating `n` identical devices. Tasks are placed with
+    /// [`TaskSpec::on_device`]; each device has its own resource pool, so
+    /// tasks on different devices progress independently.
+    pub fn new_multi(dev: DeviceProfile, n: usize) -> Self {
+        assert!(n >= 1, "need at least one device");
         Engine {
             dev,
+            n_devices: n as u32,
             now: 0.0,
             tasks: Vec::new(),
             base: 0,
@@ -128,6 +145,7 @@ impl Engine {
             rates: Vec::new(),
             rates_dirty: false,
             latent: BinaryHeap::new(),
+            inflight: vec![0; n],
             timeline: Timeline::new(),
             races: Vec::new(),
             stats: EngineStats::default(),
@@ -137,6 +155,18 @@ impl Engine {
     /// The device this engine simulates.
     pub fn device(&self) -> &DeviceProfile {
         &self.dev
+    }
+
+    /// Number of identical devices this engine simulates.
+    pub fn device_count(&self) -> usize {
+        self.n_devices as usize
+    }
+
+    /// Submitted-but-unfinished tasks currently placed on a device — the
+    /// in-flight load gauge the stream-aware placement policy consults
+    /// on every launch (O(1): maintained at submit/complete).
+    pub fn device_load(&self, device: u32) -> usize {
+        self.inflight.get(device as usize).copied().unwrap_or(0)
     }
 
     /// Current virtual time in seconds.
@@ -162,10 +192,17 @@ impl Engine {
                 .expect("task id space exhausted (2^32 tasks)"),
         );
         let open_deps = deps.iter().filter(|d| !self.is_complete(**d)).count();
+        assert!(
+            spec.device < self.n_devices,
+            "task placed on unknown device {}",
+            spec.device
+        );
+        let device = spec.device;
         self.tasks.push(TaskState {
             kind: spec.kind,
             label: spec.label,
             stream: spec.stream,
+            device: spec.device,
             fixed_latency: spec.fixed_latency,
             fluid_work: spec.fluid_work,
             demand: spec.demand,
@@ -195,6 +232,7 @@ impl Engine {
             }
         }
         self.stats.submitted += 1;
+        self.inflight[device as usize] += 1;
         if matches!(self.tasks[self.slot(id.0)].phase, Phase::Waiting(0)) {
             self.make_ready(id);
         }
@@ -347,12 +385,39 @@ impl Engine {
         if !self.rates_dirty {
             return;
         }
-        let demands: Vec<ResourceDemand> = self
-            .active
-            .iter()
-            .map(|&i| self.tasks[self.slot(i)].demand)
-            .collect();
-        self.rates = max_min_rates(&demands, &self.dev);
+        if self.n_devices == 1 {
+            let demands: Vec<ResourceDemand> = self
+                .active
+                .iter()
+                .map(|&i| self.tasks[self.slot(i)].demand)
+                .collect();
+            self.rates = max_min_rates(&demands, &self.dev);
+        } else {
+            // Each device has its own resource pool: solve max–min
+            // fairness per device over that device's active tasks.
+            self.rates = vec![1.0; self.active.len()];
+            let mut devices: Vec<u32> = self
+                .active
+                .iter()
+                .map(|&i| self.tasks[self.slot(i)].device)
+                .collect();
+            let positions = devices.clone();
+            devices.sort_unstable();
+            devices.dedup();
+            for d in devices {
+                let idxs: Vec<usize> = (0..self.active.len())
+                    .filter(|&k| positions[k] == d)
+                    .collect();
+                let demands: Vec<ResourceDemand> = idxs
+                    .iter()
+                    .map(|&k| self.tasks[self.slot(self.active[k])].demand)
+                    .collect();
+                let rs = max_min_rates(&demands, &self.dev);
+                for (k, r) in idxs.into_iter().zip(rs) {
+                    self.rates[k] = r;
+                }
+            }
+        }
         self.rates_dirty = false;
     }
 
@@ -393,10 +458,12 @@ impl Engine {
         let i = self.slot(idx);
         self.tasks[i].phase = Phase::Done;
         self.stats.completed += 1;
+        self.inflight[self.tasks[i].device as usize] -= 1;
         let iv = Interval {
             task: idx,
             kind: self.tasks[i].kind,
             stream: self.tasks[i].stream,
+            device: self.tasks[i].device,
             label: self.tasks[i].label.clone(),
             start: self.tasks[i].started,
             end: self.now,
@@ -593,6 +660,67 @@ mod tests {
         );
         e.sync_all();
         assert_eq!(e.stats().races, 1, "concurrent writers race exactly once");
+    }
+
+    #[test]
+    fn devices_do_not_contend_with_each_other() {
+        // Two full-machine kernels: on one device they halve each other's
+        // rate (2 ms); on two devices they run at full speed (1 ms).
+        let mut e = Engine::new_multi(dev(), 2);
+        e.submit(TaskSpec::kernel("a", 0).fluid(1e-3).sm_frac(1.0), &[]);
+        e.submit(
+            TaskSpec::kernel("b", 1)
+                .on_device(1)
+                .fluid(1e-3)
+                .sm_frac(1.0),
+            &[],
+        );
+        e.sync_all();
+        assert!((e.now() - 1e-3).abs() < 1e-9, "now = {}", e.now());
+        assert_eq!(e.timeline().devices_used(), vec![0, 1]);
+        assert!((e.timeline().device_span(0) - 1e-3).abs() < 1e-9);
+        assert_eq!(e.timeline().device_span(2), 0.0);
+    }
+
+    #[test]
+    fn same_device_tasks_still_contend_in_multi_engines() {
+        let mut e = Engine::new_multi(dev(), 4);
+        e.submit(
+            TaskSpec::kernel("a", 0)
+                .on_device(3)
+                .fluid(1e-3)
+                .sm_frac(1.0),
+            &[],
+        );
+        e.submit(
+            TaskSpec::kernel("b", 1)
+                .on_device(3)
+                .fluid(1e-3)
+                .sm_frac(1.0),
+            &[],
+        );
+        e.sync_all();
+        assert!((e.now() - 2e-3).abs() < 1e-9, "now = {}", e.now());
+    }
+
+    #[test]
+    fn device_load_tracks_in_flight_tasks() {
+        let mut e = Engine::new_multi(dev(), 2);
+        let a = e.submit(TaskSpec::kernel("a", 0).fluid(1e-3).sm_frac(0.2), &[]);
+        e.submit(
+            TaskSpec::kernel("b", 1)
+                .on_device(1)
+                .fluid(2e-3)
+                .sm_frac(0.2),
+            &[],
+        );
+        assert_eq!(e.device_load(0), 1);
+        assert_eq!(e.device_load(1), 1);
+        e.sync_task(a);
+        assert_eq!(e.device_load(0), 0);
+        assert_eq!(e.device_load(1), 1);
+        e.sync_all();
+        assert_eq!(e.device_load(1), 0);
     }
 
     #[test]

@@ -121,6 +121,9 @@ pub struct TaskSpec {
     /// Stream attribution for the timeline (purely presentational; actual
     /// ordering comes from the dependency edges the caller supplies).
     pub stream: u32,
+    /// Device the task occupies. Tasks on different devices never contend
+    /// for resources: the fluid solver allocates rates per device.
+    pub device: u32,
     /// Contention-independent setup latency (launch overhead etc.).
     pub fixed_latency: Time,
     /// Solo duration of the contention-scaled phase.
@@ -144,6 +147,7 @@ impl std::fmt::Debug for TaskSpec {
             .field("kind", &self.kind)
             .field("label", &self.label)
             .field("stream", &self.stream)
+            .field("device", &self.device)
             .field("fixed_latency", &self.fixed_latency)
             .field("fluid_work", &self.fluid_work)
             .field("demand", &self.demand)
@@ -159,6 +163,7 @@ impl TaskSpec {
             kind,
             label: label.into(),
             stream,
+            device: 0,
             fixed_latency: 0.0,
             fluid_work: 0.0,
             demand: ResourceDemand::default(),
@@ -233,6 +238,13 @@ impl TaskSpec {
     }
 
     // ----- builder-style setters used heavily in tests and examples -----
+
+    /// Place the task on a device (default 0). Only tasks on the same
+    /// device share that device's resources.
+    pub fn on_device(mut self, device: u32) -> Self {
+        self.device = device;
+        self
+    }
 
     /// Set the fluid-phase solo duration.
     pub fn fluid(mut self, seconds: Time) -> Self {

@@ -18,6 +18,8 @@ pub struct Interval {
     pub kind: TaskKind,
     /// Presentation stream the operation ran on.
     pub stream: u32,
+    /// Device the operation ran on (0 for single-device engines).
+    pub device: u32,
     /// Display label.
     pub label: String,
     /// When the task became ready and started its fixed-latency phase.
@@ -127,6 +129,50 @@ impl Timeline {
         ids.len()
     }
 
+    /// Intervals that ran on a given device.
+    pub fn of_device(&self, device: u32) -> impl Iterator<Item = &Interval> {
+        self.intervals.iter().filter(move |iv| iv.device == device)
+    }
+
+    /// Devices that carried GPU work (kernels or transfers), ascending.
+    pub fn devices_used(&self) -> Vec<u32> {
+        let mut ids: Vec<u32> = self
+            .intervals
+            .iter()
+            .filter(|iv| iv.kind == TaskKind::Kernel || iv.kind.is_transfer())
+            .map(|iv| iv.device)
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+
+    /// GPU execution span restricted to one device: from that device's
+    /// first kernel/transfer start to its last completion. Zero when the
+    /// device carried no GPU work.
+    pub fn device_span(&self, device: u32) -> Time {
+        let mut bounds: Option<(Time, Time)> = None;
+        for iv in &self.intervals {
+            if iv.device != device || !(iv.kind == TaskKind::Kernel || iv.kind.is_transfer()) {
+                continue;
+            }
+            bounds = Some(match bounds {
+                None => (iv.start, iv.end),
+                Some((s, e)) => (s.min(iv.start), e.max(iv.end)),
+            });
+        }
+        bounds.map_or(0.0, |(s, e)| e - s)
+    }
+
+    /// Sum of kernel interval durations on one device (a per-device
+    /// busy-time gauge; overlapping kernels are counted per interval).
+    pub fn device_kernel_time(&self, device: u32) -> Time {
+        self.of_device(device)
+            .filter(|iv| iv.kind == TaskKind::Kernel)
+            .map(|iv| iv.duration())
+            .sum()
+    }
+
     /// Drop all recorded intervals (used between benchmark iterations).
     pub fn clear(&mut self) {
         self.intervals.clear();
@@ -142,6 +188,7 @@ mod tests {
             task: 0,
             kind,
             stream,
+            device: 0,
             label: String::new(),
             start,
             end,

@@ -23,6 +23,7 @@ use crate::history::KernelHistory;
 use crate::kernel::{Arg, Kernel};
 use crate::nidl::{NidlError, NidlParam, Signature};
 use crate::options::{Options, PrefetchPolicy, SchedulePolicy};
+use crate::policy::{DeviceSelectionPolicy, PlacementCtx, PlacementPolicy};
 use crate::stream_manager::StreamManager;
 
 pub(crate) struct Ctx {
@@ -30,8 +31,13 @@ pub(crate) struct Ctx {
     pub options: Options,
     pub dag: ComputationDag,
     pub streams: StreamManager,
+    /// Per-vertex device placement decided by [`Ctx::placement`].
+    pub placement: Box<dyn DeviceSelectionPolicy>,
     pub vertex_task: HashMap<VertexId, TaskId>,
     pub vertex_stream: HashMap<VertexId, StreamId>,
+    /// Device each live vertex was placed on (same lifecycle as the
+    /// task/stream maps: retired with the vertex).
+    pub vertex_device: HashMap<VertexId, u32>,
     /// Measured-performance history feeding the autotuner (§IV-A).
     pub history: KernelHistory,
     /// Launch metadata by engine task, consumed by the history harvest.
@@ -74,6 +80,8 @@ pub struct SchedulerStats {
     pub vertex_tasks: usize,
     /// vertex → stream map entries.
     pub vertex_streams: usize,
+    /// vertex → device map entries.
+    pub vertex_devices: usize,
     /// Launch-metadata entries awaiting history harvest.
     pub launch_infos: usize,
 }
@@ -89,21 +97,63 @@ pub struct GrCuda {
 impl GrCuda {
     /// Create a runtime for a device with the given scheduler options.
     pub fn new(dev: DeviceProfile, options: Options) -> Self {
-        let cuda = Cuda::new(dev);
+        Self::new_multi(dev, 1, options, PlacementPolicy::SingleGpu)
+    }
+
+    /// Create a runtime spanning `n` identical devices behind one
+    /// scheduler core: one computation DAG, one stream manager with
+    /// per-device pools, one engine — so multi-GPU launches get
+    /// dependency inference, first-child stream claims, retire/compact
+    /// and [`GrCuda::scheduler_stats`] exactly like single-GPU ones. The
+    /// placement policy is consulted once per computational element with
+    /// its DAG context (parent devices, argument residency, per-device
+    /// load).
+    pub fn new_multi(
+        dev: DeviceProfile,
+        n: usize,
+        options: Options,
+        placement: PlacementPolicy,
+    ) -> Self {
+        Self::with_placement(dev, n, options, placement.build())
+    }
+
+    /// [`GrCuda::new_multi`] with a custom [`DeviceSelectionPolicy`] —
+    /// the extension point for placement strategies beyond the built-in
+    /// ones (sharding, batching, heterogeneous-device weighting, ...).
+    pub fn with_placement(
+        dev: DeviceProfile,
+        n: usize,
+        options: Options,
+        placement: Box<dyn DeviceSelectionPolicy>,
+    ) -> Self {
+        let cuda = Cuda::new_multi(dev, n);
         GrCuda {
             inner: Rc::new(RefCell::new(Ctx {
                 cuda,
                 options,
                 dag: ComputationDag::new(),
                 streams: StreamManager::new(options.dep_stream, options.stream_reuse),
+                placement,
                 vertex_task: HashMap::new(),
                 vertex_stream: HashMap::new(),
+                vertex_device: HashMap::new(),
                 history: KernelHistory::new(),
                 launch_info: HashMap::new(),
                 harvest_floor: HARVEST_FLOOR_MIN,
                 timeline_cursor: 0,
             })),
         }
+    }
+
+    /// Number of identical devices this runtime schedules.
+    pub fn device_count(&self) -> usize {
+        self.inner.borrow().cuda.device_count()
+    }
+
+    /// Cross-device migrations performed so far as `(count, bytes)` —
+    /// the run-time migration-cost accounting the paper's §VI calls for.
+    pub fn migration_stats(&self) -> (usize, usize) {
+        self.inner.borrow().cuda.migration_stats()
     }
 
     /// The device this runtime drives.
@@ -274,6 +324,7 @@ impl GrCuda {
             stream_claims: ctx.streams.claims(),
             vertex_tasks: ctx.vertex_task.len(),
             vertex_streams: ctx.vertex_stream.len(),
+            vertex_devices: ctx.vertex_device.len(),
             launch_infos: ctx.launch_info.len(),
         }
     }
@@ -304,14 +355,16 @@ impl GrCuda {
     // ------------------------------------------------------------------
 
     /// Launch a validated kernel or library call (called by
-    /// [`Kernel::launch`] and [`crate::Library::call`]).
+    /// [`Kernel::launch`] and [`crate::Library::call`]). Returns the
+    /// device the placement policy chose (always 0 on single-device
+    /// runtimes and under the serial scheduler).
     pub(crate) fn launch_validated(
         &self,
         kernel: &Kernel,
         grid: Grid,
         args: &[Arg],
         kind: ElementKind,
-    ) {
+    ) -> u32 {
         let mut ctx = self.inner.borrow_mut();
         let dev = ctx.cuda.device();
 
@@ -349,6 +402,7 @@ impl GrCuda {
             Rc::new(move |bufs: &[DataBuffer]| func(bufs, &payload_scalars)),
         );
 
+        let chosen_device;
         match ctx.options.schedule {
             SchedulePolicy::SerialSync => {
                 // The original scheduler: default stream, host blocks,
@@ -358,6 +412,7 @@ impl GrCuda {
                 ctx.cuda.task_sync(t);
                 let elements = arrays.iter().map(|a| a.len()).max().unwrap_or(0);
                 ctx.launch_info.insert(t.0, (grid, elements));
+                chosen_device = 0;
             }
             SchedulePolicy::ParallelAsync => {
                 // DAG bookkeeping cost (the "negligible scheduling
@@ -370,13 +425,71 @@ impl GrCuda {
                     // anything. The race detector will object.
                     deps.clear();
                 }
+
+                // Device selection (the policy layer): consulted with the
+                // vertex's DAG context — where the parents ran, which
+                // device already holds the argument bytes, how loaded
+                // each device is.
+                let n_dev = ctx.cuda.device_count();
+                let device = if n_dev == 1 {
+                    0
+                } else {
+                    let parent_devices: Vec<u32> = deps
+                        .iter()
+                        .filter_map(|d| ctx.vertex_device.get(d).copied())
+                        .collect();
+                    let mut resident_bytes = vec![0usize; n_dev];
+                    for arr in &arrays {
+                        if let Some(d) = ctx.cuda.device_residency(arr) {
+                            resident_bytes[d as usize] += arr.byte_len();
+                        }
+                    }
+                    let inflight: Vec<usize> =
+                        (0..n_dev as u32).map(|d| ctx.cuda.device_load(d)).collect();
+                    ctx.placement.select(&PlacementCtx {
+                        device_count: n_dev,
+                        parent_devices: &parent_devices,
+                        resident_bytes: &resident_bytes,
+                        inflight: &inflight,
+                    })
+                };
+                if n_dev > 1 {
+                    // Record the placement for the DOT render (single-GPU
+                    // graphs stay undecorated, as the paper draws them).
+                    ctx.dag.set_device(vid, device);
+                }
+                ctx.vertex_device.insert(vid, device);
+                chosen_device = device;
+
+                // Arguments whose only current copy lives on another
+                // device will cross-migrate at submission: annotate the
+                // DAG edges with the migrated bytes for the DOT render.
+                if n_dev > 1 {
+                    for arr in &arrays {
+                        if ctx.cuda.residency(arr) == cuda_sim::Residency::Device
+                            && ctx.cuda.device_residency(arr) != Some(device)
+                        {
+                            ctx.dag
+                                .annotate_migration(vid, Value(arr.id.0), arr.byte_len());
+                        }
+                    }
+                }
+
                 let Ctx {
                     streams,
                     vertex_stream,
+                    vertex_device,
                     cuda,
                     ..
                 } = &mut *ctx;
-                let stream = streams.assign(vid, &deps, vertex_stream, cuda);
+                // Stream inheritance is a same-device affair: parents on
+                // other devices synchronize through events below.
+                let same_device_deps: Vec<VertexId> = deps
+                    .iter()
+                    .copied()
+                    .filter(|d| vertex_device.get(d) == Some(&device))
+                    .collect();
+                let stream = streams.assign(vid, device, &same_device_deps, vertex_stream, cuda);
 
                 // Automatic prefetch (§IV-C): bulk-migrate non-resident
                 // arguments on the kernel's stream.
@@ -415,6 +528,7 @@ impl GrCuda {
         // reads) never reach the `sync()` harvest: keep `launch_info`
         // bounded from the launch path itself.
         ctx.maybe_harvest();
+        chosen_device
     }
 
     /// Intercepted CPU access to a managed array (called by
@@ -460,6 +574,7 @@ impl GrCuda {
                         for r in &retired {
                             ctx.vertex_task.remove(r);
                             ctx.vertex_stream.remove(r);
+                            ctx.vertex_device.remove(r);
                         }
                         ctx.dag.maybe_compact();
                     }
@@ -533,6 +648,7 @@ impl Ctx {
         self.streams.forget_all();
         self.vertex_task.clear();
         self.vertex_stream.clear();
+        self.vertex_device.clear();
         self.harvest_history();
     }
 }

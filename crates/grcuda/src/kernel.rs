@@ -132,10 +132,18 @@ impl Kernel {
     /// to the scheduler. Returns when the launch is *scheduled* (parallel
     /// policy) or *complete* (serial policy).
     pub fn launch(&self, grid: Grid, args: &[Arg]) -> Result<(), LaunchError> {
+        self.launch_placed(grid, args).map(|_| ())
+    }
+
+    /// [`Kernel::launch`], additionally reporting the device the
+    /// placement policy chose (always 0 on single-device runtimes). The
+    /// multi-GPU front-end and the placement tests use this to observe
+    /// scheduling decisions without changing them.
+    pub fn launch_placed(&self, grid: Grid, args: &[Arg]) -> Result<u32, LaunchError> {
         self.validate(args)?;
-        self.ctx
-            .launch_validated(self, grid, args, dag::ElementKind::Kernel);
-        Ok(())
+        Ok(self
+            .ctx
+            .launch_validated(self, grid, args, dag::ElementKind::Kernel))
     }
 
     /// Launch as a pre-registered library call (same scheduling, tagged

@@ -61,6 +61,7 @@ pub mod library;
 pub mod multi;
 pub mod nidl;
 pub mod options;
+pub mod policy;
 pub mod stream_manager;
 
 pub use array::DeviceArray;
@@ -68,9 +69,10 @@ pub use context::{GrCuda, SchedulerStats};
 pub use history::KernelHistory;
 pub use kernel::{Arg, Kernel, LaunchError};
 pub use library::Library;
-pub use multi::{MultiArg, MultiArray, MultiGpu, PlacementPolicy};
+pub use multi::{MultiArg, MultiArray, MultiGpu};
 pub use nidl::{NidlError, NidlParam, NidlType, Signature};
 pub use options::{DepStreamPolicy, Options, PrefetchPolicy, SchedulePolicy, StreamReusePolicy};
+pub use policy::{DeviceSelectionPolicy, PlacementCtx, PlacementPolicy, StreamRetrievalPolicy};
 
 pub use gpu_sim::{DeviceProfile, Grid};
 

@@ -1,0 +1,202 @@
+//! Device-selection policies: where each computational element runs.
+//!
+//! The paper's §VI names the hard part of multi-GPU scheduling:
+//! "it requires to compute data location and migration costs at run
+//! time to identify the optimal scheduling". The scheduler core computes
+//! exactly that context per vertex — argument residency per device,
+//! parent placement, per-device in-flight load — and hands it to a
+//! [`DeviceSelectionPolicy`] to make the call.
+
+/// Run-time context for one placement decision. All slices are indexed
+/// by device id and sized to `device_count`.
+#[derive(Debug, Clone, Copy)]
+pub struct PlacementCtx<'a> {
+    /// Number of devices available.
+    pub device_count: usize,
+    /// Devices the vertex's DAG parents were placed on, in dependency
+    /// discovery order (may contain duplicates; empty for roots).
+    pub parent_devices: &'a [u32],
+    /// Bytes of this computation's argument data currently resident on
+    /// each device (host-staged data counts for no device: it is
+    /// placement-neutral).
+    pub resident_bytes: &'a [usize],
+    /// Submitted-but-unfinished tasks per device (kernels, copies and
+    /// markers alike) — the load gauge.
+    pub inflight: &'a [usize],
+}
+
+/// Picks the device for each computational element at launch time.
+///
+/// Implementations may keep state (e.g. a round-robin cursor); the
+/// scheduler calls [`DeviceSelectionPolicy::select`] exactly once per
+/// scheduled vertex, in submission order.
+pub trait DeviceSelectionPolicy {
+    /// Short display name for tables and sweeps.
+    fn name(&self) -> &'static str;
+
+    /// Choose a device in `0..ctx.device_count`.
+    fn select(&mut self, ctx: &PlacementCtx) -> u32;
+}
+
+/// Everything on device 0 — the single-GPU baseline for scaling studies.
+#[derive(Debug, Default)]
+pub struct SingleGpu;
+
+impl DeviceSelectionPolicy for SingleGpu {
+    fn name(&self) -> &'static str {
+        "single-gpu"
+    }
+
+    fn select(&mut self, _ctx: &PlacementCtx) -> u32 {
+        0
+    }
+}
+
+/// Cycle through the devices regardless of data location.
+#[derive(Debug, Default)]
+pub struct RoundRobin {
+    next: usize,
+}
+
+impl DeviceSelectionPolicy for RoundRobin {
+    fn name(&self) -> &'static str {
+        "round-robin"
+    }
+
+    fn select(&mut self, ctx: &PlacementCtx) -> u32 {
+        let d = (self.next % ctx.device_count) as u32;
+        self.next += 1;
+        d
+    }
+}
+
+/// Minimize migrated bytes: run where the most argument bytes already
+/// live; break ties toward the least-loaded device, then the lowest id.
+#[derive(Debug, Default)]
+pub struct LocalityAware;
+
+impl DeviceSelectionPolicy for LocalityAware {
+    fn name(&self) -> &'static str {
+        "locality-aware"
+    }
+
+    fn select(&mut self, ctx: &PlacementCtx) -> u32 {
+        (0..ctx.device_count)
+            .min_by_key(|&d| (usize::MAX - ctx.resident_bytes[d], ctx.inflight[d], d))
+            .unwrap_or(0) as u32
+    }
+}
+
+/// Minimize per-device load: run on the device with the fewest in-flight
+/// tasks; break ties toward the most resident bytes, then the lowest id.
+/// The right default for embarrassingly-parallel fan-outs.
+#[derive(Debug, Default)]
+pub struct StreamAware;
+
+impl DeviceSelectionPolicy for StreamAware {
+    fn name(&self) -> &'static str {
+        "stream-aware"
+    }
+
+    fn select(&mut self, ctx: &PlacementCtx) -> u32 {
+        (0..ctx.device_count)
+            .min_by_key(|&d| (ctx.inflight[d], usize::MAX - ctx.resident_bytes[d], d))
+            .unwrap_or(0) as u32
+    }
+}
+
+/// The built-in device-selection policies, as a value (what sweeps and
+/// option parsing pass around; [`PlacementPolicy::build`] instantiates
+/// the trait object the scheduler consults).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PlacementPolicy {
+    /// Everything on device 0 (single-GPU baseline).
+    SingleGpu,
+    /// Cycle through the devices regardless of data location.
+    RoundRobin,
+    /// Place where the most argument bytes already live (min-migration).
+    LocalityAware,
+    /// Place on the least-loaded device (min-device-load).
+    StreamAware,
+}
+
+impl PlacementPolicy {
+    /// All built-in policies, in sweep order.
+    pub const ALL: [PlacementPolicy; 4] = [
+        PlacementPolicy::SingleGpu,
+        PlacementPolicy::RoundRobin,
+        PlacementPolicy::LocalityAware,
+        PlacementPolicy::StreamAware,
+    ];
+
+    /// Instantiate the policy object the scheduler core consults.
+    pub fn build(self) -> Box<dyn DeviceSelectionPolicy> {
+        match self {
+            PlacementPolicy::SingleGpu => Box::new(SingleGpu),
+            PlacementPolicy::RoundRobin => Box::new(RoundRobin::default()),
+            PlacementPolicy::LocalityAware => Box::new(LocalityAware),
+            PlacementPolicy::StreamAware => Box::new(StreamAware),
+        }
+    }
+
+    /// Short display name for tables and sweeps.
+    pub fn name(self) -> &'static str {
+        match self {
+            PlacementPolicy::SingleGpu => "single-gpu",
+            PlacementPolicy::RoundRobin => "round-robin",
+            PlacementPolicy::LocalityAware => "locality-aware",
+            PlacementPolicy::StreamAware => "stream-aware",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx<'a>(
+        resident: &'a [usize],
+        inflight: &'a [usize],
+        parents: &'a [u32],
+    ) -> PlacementCtx<'a> {
+        PlacementCtx {
+            device_count: resident.len(),
+            parent_devices: parents,
+            resident_bytes: resident,
+            inflight,
+        }
+    }
+
+    #[test]
+    fn round_robin_cycles() {
+        let mut p = RoundRobin::default();
+        let c = ctx(&[0, 0, 0], &[0, 0, 0], &[]);
+        let picks: Vec<u32> = (0..6).map(|_| p.select(&c)).collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn locality_follows_the_bytes() {
+        let mut p = LocalityAware;
+        assert_eq!(p.select(&ctx(&[0, 4096, 64], &[9, 9, 0], &[])), 1);
+        // All-host data is placement-neutral: ties break to lighter load.
+        assert_eq!(p.select(&ctx(&[0, 0, 0], &[3, 1, 2], &[])), 1);
+        // Full tie: lowest device id.
+        assert_eq!(p.select(&ctx(&[0, 0], &[2, 2], &[])), 0);
+    }
+
+    #[test]
+    fn stream_aware_balances_load() {
+        let mut p = StreamAware;
+        assert_eq!(p.select(&ctx(&[0, 0, 0], &[4, 0, 2], &[])), 1);
+        // Load tie: prefer the device that already holds data.
+        assert_eq!(p.select(&ctx(&[0, 128, 0], &[1, 1, 1], &[])), 1);
+    }
+
+    #[test]
+    fn enum_builds_matching_trait_objects() {
+        for p in PlacementPolicy::ALL {
+            assert_eq!(p.build().name(), p.name());
+        }
+    }
+}

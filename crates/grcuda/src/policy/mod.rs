@@ -1,0 +1,41 @@
+//! The scheduler's policy layer: *what* to decide is fixed by the
+//! scheduler core (one computation DAG, one stream manager, one engine
+//! spanning every device); *how* to decide is pluggable here.
+//!
+//! Two decisions are taken per computational element at launch time,
+//! each behind its own trait:
+//!
+//! * **Device selection** ([`DeviceSelectionPolicy`]) — which device runs
+//!   the computation. The policy sees the DAG context of the vertex
+//!   being scheduled: where its parents ran, how many argument bytes
+//!   already reside on each device, and each device's in-flight load.
+//!   Built-in policies: [`PlacementPolicy::SingleGpu`] (everything on
+//!   device 0), [`PlacementPolicy::RoundRobin`] (cycle regardless of
+//!   data), [`PlacementPolicy::LocalityAware`] (minimize migrated
+//!   bytes), [`PlacementPolicy::StreamAware`] (minimize per-device
+//!   load).
+//! * **Stream retrieval** ([`StreamRetrievalPolicy`]) — which CUDA
+//!   stream on the chosen device carries it. This absorbs the paper's
+//!   §IV-C policy pairs ([`crate::DepStreamPolicy`] ×
+//!   [`crate::StreamReusePolicy`]): first-child-on-parent-stream, FIFO
+//!   reuse of drained streams, create-on-demand, and the ablation
+//!   variants.
+//!
+//! The separation mirrors deterministic work-partitioning frameworks:
+//! partitioning policy is declared, execution mechanism (dependency
+//! inference, events, retire/compact, bounded state) is shared. Every
+//! device count and every policy combination produces bit-identical
+//! numeric results — policies only move work, never reorder conflicting
+//! accesses, because ordering always comes from the shared DAG.
+
+pub mod device;
+pub mod stream;
+
+pub use device::{
+    DeviceSelectionPolicy, LocalityAware, PlacementCtx, PlacementPolicy, RoundRobin, SingleGpu,
+    StreamAware,
+};
+pub use stream::{
+    make_stream_policy, ClassicStreams, ParentStream, StreamChoice, StreamRetrievalCtx,
+    StreamRetrievalPolicy,
+};

@@ -1,0 +1,202 @@
+//! Stream-retrieval policies: which stream on the chosen device carries
+//! a computation (§IV-C).
+//!
+//! This absorbs the paper's two policy axes — how children of a
+//! dependency pick streams ([`DepStreamPolicy`]) and when drained
+//! streams are recycled ([`StreamReusePolicy`]) — behind one trait the
+//! [`crate::stream_manager::StreamManager`] consults per vertex. The
+//! manager does the mechanism (per-device pools, claim bookkeeping,
+//! stream creation); the policy only makes the choice.
+
+use cuda_sim::StreamId;
+use dag::VertexId;
+
+use crate::options::{DepStreamPolicy, StreamReusePolicy};
+
+/// One same-device DAG parent of the vertex being scheduled.
+#[derive(Debug, Clone, Copy)]
+pub struct ParentStream {
+    /// The parent vertex.
+    pub vertex: VertexId,
+    /// The stream the parent ran on.
+    pub stream: StreamId,
+    /// Whether an earlier child already claimed the parent's stream
+    /// (the first-child rule claims each parent at most once).
+    pub claimed: bool,
+}
+
+/// Context for one stream-retrieval decision, restricted to the device
+/// the placement policy chose.
+#[derive(Clone, Copy)]
+pub struct StreamRetrievalCtx<'a> {
+    /// Same-device parents in dependency discovery order.
+    pub parents: &'a [ParentStream],
+    /// The device's stream pool in creation (FIFO) order.
+    pub pool: &'a [StreamId],
+    /// Whether a pooled stream has drained (a completion poll, like
+    /// `cudaEventQuery`). Lazy on purpose: policies that inherit a
+    /// parent's stream never pay for polling the pool.
+    pub is_idle: &'a dyn Fn(StreamId) -> bool,
+}
+
+/// A stream-retrieval decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamChoice {
+    /// Inherit the stream of `parents[i]`; the manager records the claim.
+    Parent(usize),
+    /// Reuse an idle pool stream.
+    Reuse(StreamId),
+    /// Create a fresh stream on the target device.
+    Create,
+}
+
+/// Picks the stream for each computational element on its chosen device.
+pub trait StreamRetrievalPolicy {
+    /// Short display name.
+    fn name(&self) -> &'static str;
+
+    /// Choose where the computation runs. `Parent(i)` must index into
+    /// `ctx.parents`; `Reuse` must name a stream from `ctx.pool` for
+    /// which `ctx.is_idle` returned true.
+    fn retrieve(&mut self, ctx: &StreamRetrievalCtx) -> StreamChoice;
+}
+
+/// The paper's §IV-C policy matrix as one parameterized implementation:
+/// a [`DepStreamPolicy`] for computations with dependencies and a
+/// [`StreamReusePolicy`] for the rest.
+#[derive(Debug, Clone, Copy)]
+pub struct ClassicStreams {
+    dep: DepStreamPolicy,
+    reuse: StreamReusePolicy,
+}
+
+impl ClassicStreams {
+    /// Combine the two §IV-C axes.
+    pub fn new(dep: DepStreamPolicy, reuse: StreamReusePolicy) -> Self {
+        ClassicStreams { dep, reuse }
+    }
+}
+
+impl StreamRetrievalPolicy for ClassicStreams {
+    fn name(&self) -> &'static str {
+        match (self.dep, self.reuse) {
+            (DepStreamPolicy::FirstChildOnParent, StreamReusePolicy::FifoReuse) => {
+                "first-child+fifo"
+            }
+            _ => "classic",
+        }
+    }
+
+    fn retrieve(&mut self, ctx: &StreamRetrievalCtx) -> StreamChoice {
+        // Rule 1: inherit a parent's stream.
+        match self.dep {
+            DepStreamPolicy::FirstChildOnParent => {
+                // "The first child is scheduled on the parent's stream to
+                // minimize synchronization events, while following
+                // children are scheduled on other streams."
+                if let Some(i) = ctx.parents.iter().position(|p| !p.claimed) {
+                    return StreamChoice::Parent(i);
+                }
+            }
+            DepStreamPolicy::AlwaysParent => {
+                if !ctx.parents.is_empty() {
+                    return StreamChoice::Parent(0);
+                }
+            }
+            DepStreamPolicy::AlwaysNew => {}
+        }
+        // Rule 2: reuse an empty stream from the pool (FIFO), else create.
+        if self.reuse == StreamReusePolicy::FifoReuse {
+            if let Some(&s) = ctx.pool.iter().find(|&&s| (ctx.is_idle)(s)) {
+                return StreamChoice::Reuse(s);
+            }
+        }
+        StreamChoice::Create
+    }
+}
+
+/// Instantiate the stream policy for a pair of §IV-C options.
+pub fn make_stream_policy(
+    dep: DepStreamPolicy,
+    reuse: StreamReusePolicy,
+) -> Box<dyn StreamRetrievalPolicy> {
+    Box::new(ClassicStreams::new(dep, reuse))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parent(v: u32, s: u32, claimed: bool) -> ParentStream {
+        ParentStream {
+            vertex: VertexId(v),
+            stream: StreamId(s),
+            claimed,
+        }
+    }
+
+    #[test]
+    fn first_child_takes_first_unclaimed_parent() {
+        let mut p = ClassicStreams::new(
+            DepStreamPolicy::FirstChildOnParent,
+            StreamReusePolicy::FifoReuse,
+        );
+        let parents = [parent(0, 1, true), parent(1, 2, false)];
+        let ctx = StreamRetrievalCtx {
+            parents: &parents,
+            pool: &[],
+            is_idle: &|_| unreachable!("inheriting a parent must not poll"),
+        };
+        assert_eq!(p.retrieve(&ctx), StreamChoice::Parent(1));
+    }
+
+    #[test]
+    fn all_parents_claimed_falls_back_to_fifo_then_create() {
+        let mut p = ClassicStreams::new(
+            DepStreamPolicy::FirstChildOnParent,
+            StreamReusePolicy::FifoReuse,
+        );
+        let parents = [parent(0, 1, true)];
+        let ctx = StreamRetrievalCtx {
+            parents: &parents,
+            pool: &[StreamId(4), StreamId(5), StreamId(6)],
+            is_idle: &|s| s != StreamId(4),
+        };
+        assert_eq!(
+            p.retrieve(&ctx),
+            StreamChoice::Reuse(StreamId(5)),
+            "oldest idle stream wins"
+        );
+        let ctx = StreamRetrievalCtx {
+            parents: &parents,
+            pool: &[StreamId(4)],
+            is_idle: &|_| false,
+        };
+        assert_eq!(p.retrieve(&ctx), StreamChoice::Create);
+    }
+
+    #[test]
+    fn always_new_ignores_parents_and_pool() {
+        let mut p = ClassicStreams::new(DepStreamPolicy::AlwaysNew, StreamReusePolicy::AlwaysNew);
+        let parents = [parent(0, 1, false)];
+        let ctx = StreamRetrievalCtx {
+            parents: &parents,
+            pool: &[StreamId(5)],
+            is_idle: &|_| true,
+        };
+        assert_eq!(p.retrieve(&ctx), StreamChoice::Create);
+    }
+
+    #[test]
+    fn always_parent_reuses_for_every_child() {
+        let mut p =
+            ClassicStreams::new(DepStreamPolicy::AlwaysParent, StreamReusePolicy::FifoReuse);
+        let parents = [parent(0, 1, true)];
+        let ctx = StreamRetrievalCtx {
+            parents: &parents,
+            pool: &[],
+            is_idle: &|_| unreachable!("always-parent must not poll"),
+        };
+        assert_eq!(p.retrieve(&ctx), StreamChoice::Parent(0));
+    }
+}

@@ -14,15 +14,19 @@ use cuda_sim::{Cuda, StreamId};
 use dag::VertexId;
 
 use crate::options::{DepStreamPolicy, StreamReusePolicy};
+use crate::policy::{
+    make_stream_policy, ParentStream, StreamChoice, StreamRetrievalCtx, StreamRetrievalPolicy,
+};
 
-/// Stream allocation and reuse, plus the bookkeeping needed for the
-/// first-child rule.
-#[derive(Debug)]
+/// Stream allocation and reuse. The *mechanism* lives here — per-device
+/// stream pools, first-child claim bookkeeping, stream creation — while
+/// the *choice* is delegated to a [`StreamRetrievalPolicy`] consulted
+/// once per scheduled vertex.
 pub struct StreamManager {
-    dep_policy: DepStreamPolicy,
-    reuse_policy: StreamReusePolicy,
-    /// Streams this manager has created, in creation (FIFO) order.
-    pool: Vec<StreamId>,
+    policy: Box<dyn StreamRetrievalPolicy>,
+    /// Streams this manager has created, per device, in creation (FIFO)
+    /// order. Streams never move between devices.
+    pools: Vec<Vec<StreamId>>,
     /// Parents whose stream has already been claimed by a child. Entries
     /// are dropped when the parent retires ([`StreamManager::forget`] /
     /// [`StreamManager::forget_all`]), so the map tracks the live
@@ -34,18 +38,23 @@ pub struct StreamManager {
 }
 
 impl StreamManager {
-    /// A manager with the given policies and an empty pool.
+    /// A manager applying the paper's §IV-C policy pair, with empty pools.
     pub fn new(dep_policy: DepStreamPolicy, reuse_policy: StreamReusePolicy) -> Self {
+        Self::with_policy(make_stream_policy(dep_policy, reuse_policy))
+    }
+
+    /// A manager driven by a custom stream-retrieval policy — the
+    /// extension point for policies beyond the paper's matrix.
+    pub fn with_policy(policy: Box<dyn StreamRetrievalPolicy>) -> Self {
         StreamManager {
-            dep_policy,
-            reuse_policy,
-            pool: Vec::new(),
+            policy,
+            pools: Vec::new(),
             claimed: HashSet::new(),
             created: 0,
         }
     }
 
-    /// Total streams created so far.
+    /// Total streams created so far (all devices).
     pub fn streams_created(&self) -> usize {
         self.created
     }
@@ -56,52 +65,60 @@ impl StreamManager {
         self.claimed.len()
     }
 
-    /// Pick the stream for a new computation.
+    /// Pick the stream for a new computation on `device`.
     ///
-    /// * `deps` — the computation's parents, in discovery order;
+    /// * `deps` — the computation's parents *on the same device*, in
+    ///   discovery order (cross-device parents synchronize through
+    ///   events, never through stream inheritance);
     /// * `stream_of` — the stream each parent ran on;
-    /// * `cuda` — used to poll stream emptiness for FIFO reuse.
+    /// * `cuda` — used to poll stream emptiness for FIFO reuse and to
+    ///   create streams on the device.
     pub fn assign(
         &mut self,
         vertex: VertexId,
+        device: u32,
         deps: &[VertexId],
         stream_of: &HashMap<VertexId, StreamId>,
         cuda: &Cuda,
     ) -> StreamId {
         let _ = vertex;
-        // Rule 1: inherit a parent's stream.
-        match self.dep_policy {
-            DepStreamPolicy::FirstChildOnParent => {
-                for d in deps {
-                    if let Some(&s) = stream_of.get(d) {
-                        if self.claimed.insert(*d) {
-                            return s;
-                        }
-                    }
-                }
-            }
-            DepStreamPolicy::AlwaysParent => {
-                if let Some(d) = deps.first() {
-                    if let Some(&s) = stream_of.get(d) {
-                        return s;
-                    }
-                }
-            }
-            DepStreamPolicy::AlwaysNew => {}
+        while self.pools.len() <= device as usize {
+            self.pools.push(Vec::new());
         }
-        // Rule 2: reuse an empty stream from the pool (FIFO), else create.
-        if self.reuse_policy == StreamReusePolicy::FifoReuse {
-            // A stream is reusable when everything enqueued on it has
-            // completed; the runtime discovers this by polling events,
-            // exactly like GrCUDA does with cudaEventQuery.
-            if let Some(&s) = self.pool.iter().find(|&&s| cuda.stream_query(s)) {
-                return s;
+        let parents: Vec<ParentStream> = deps
+            .iter()
+            .filter_map(|d| {
+                stream_of.get(d).map(|&s| ParentStream {
+                    vertex: *d,
+                    stream: s,
+                    claimed: self.claimed.contains(d),
+                })
+            })
+            .collect();
+        // A stream is reusable when everything enqueued on it has
+        // completed; the runtime discovers this by polling events,
+        // exactly like GrCUDA does with cudaEventQuery. The poll is
+        // handed to the policy as a lazy predicate so launches that
+        // inherit a parent's stream never pay for it.
+        let is_idle = |s: StreamId| cuda.stream_query(s);
+        let ctx = StreamRetrievalCtx {
+            parents: &parents,
+            pool: &self.pools[device as usize],
+            is_idle: &is_idle,
+        };
+        match self.policy.retrieve(&ctx) {
+            StreamChoice::Parent(i) => {
+                self.claimed.insert(parents[i].vertex);
+                parents[i].stream
+            }
+            StreamChoice::Reuse(s) => s,
+            StreamChoice::Create => {
+                let s = cuda.stream_create_on(device);
+                self.pools[device as usize].push(s);
+                self.created += 1;
+                s
             }
         }
-        let s = cuda.stream_create();
-        self.pool.push(s);
-        self.created += 1;
-        s
     }
 
     /// Forget first-child claims for retired vertices (their streams are
@@ -141,7 +158,7 @@ mod tests {
         let c = cuda();
         let mut m = mgr();
         let map = HashMap::new();
-        let s1 = m.assign(VertexId(0), &[], &map, &c);
+        let s1 = m.assign(VertexId(0), 0, &[], &map, &c);
         // Make s1 busy so it cannot be reused.
         let a = c.alloc_f32(16);
         let k = cuda_sim::KernelExec::new(
@@ -156,7 +173,7 @@ mod tests {
             std::rc::Rc::new(|_| {}),
         );
         c.launch(s1, &k);
-        let s2 = m.assign(VertexId(1), &[], &map, &c);
+        let s2 = m.assign(VertexId(1), 0, &[], &map, &c);
         assert_ne!(s1, s2);
         assert_eq!(m.streams_created(), 2);
     }
@@ -183,12 +200,12 @@ mod tests {
         let mut m = mgr();
         let mut map = HashMap::new();
         let p = VertexId(0);
-        let sp = m.assign(p, &[], &map, &c);
+        let sp = m.assign(p, 0, &[], &map, &c);
         map.insert(p, sp);
         make_busy(&c, sp); // the parent kernel is running on sp
-        let s_child1 = m.assign(VertexId(1), &[p], &map, &c);
+        let s_child1 = m.assign(VertexId(1), 0, &[p], &map, &c);
         assert_eq!(s_child1, sp, "first child rides the parent's stream");
-        let s_child2 = m.assign(VertexId(2), &[p], &map, &c);
+        let s_child2 = m.assign(VertexId(2), 0, &[p], &map, &c);
         assert_ne!(s_child2, sp, "second child must go elsewhere");
     }
 
@@ -197,9 +214,9 @@ mod tests {
         let c = cuda();
         let mut m = mgr();
         let map = HashMap::new();
-        let s1 = m.assign(VertexId(0), &[], &map, &c);
+        let s1 = m.assign(VertexId(0), 0, &[], &map, &c);
         // Nothing was ever launched on s1 → it is empty → reused.
-        let s2 = m.assign(VertexId(1), &[], &map, &c);
+        let s2 = m.assign(VertexId(1), 0, &[], &map, &c);
         assert_eq!(s1, s2);
         assert_eq!(m.streams_created(), 1);
     }
@@ -210,10 +227,10 @@ mod tests {
         let mut m = StreamManager::new(DepStreamPolicy::AlwaysParent, StreamReusePolicy::FifoReuse);
         let mut map = HashMap::new();
         let p = VertexId(0);
-        let sp = m.assign(p, &[], &map, &c);
+        let sp = m.assign(p, 0, &[], &map, &c);
         map.insert(p, sp);
-        assert_eq!(m.assign(VertexId(1), &[p], &map, &c), sp);
-        assert_eq!(m.assign(VertexId(2), &[p], &map, &c), sp);
+        assert_eq!(m.assign(VertexId(1), 0, &[p], &map, &c), sp);
+        assert_eq!(m.assign(VertexId(2), 0, &[p], &map, &c), sp);
     }
 
     #[test]
@@ -221,8 +238,8 @@ mod tests {
         let c = cuda();
         let mut m = StreamManager::new(DepStreamPolicy::AlwaysNew, StreamReusePolicy::AlwaysNew);
         let map = HashMap::new();
-        let s1 = m.assign(VertexId(0), &[], &map, &c);
-        let s2 = m.assign(VertexId(1), &[], &map, &c);
+        let s1 = m.assign(VertexId(0), 0, &[], &map, &c);
+        let s2 = m.assign(VertexId(1), 0, &[], &map, &c);
         assert_ne!(s1, s2);
         assert_eq!(m.streams_created(), 2);
     }
@@ -234,18 +251,18 @@ mod tests {
         let map = HashMap::new();
         // Force three distinct streams into the pool by keeping each busy
         // while the next one is assigned.
-        let s1 = m.assign(VertexId(0), &[], &map, &c);
+        let s1 = m.assign(VertexId(0), 0, &[], &map, &c);
         make_busy(&c, s1);
-        let s2 = m.assign(VertexId(1), &[], &map, &c);
+        let s2 = m.assign(VertexId(1), 0, &[], &map, &c);
         make_busy(&c, s2);
-        let s3 = m.assign(VertexId(2), &[], &map, &c);
+        let s3 = m.assign(VertexId(2), 0, &[], &map, &c);
         make_busy(&c, s3);
         assert_eq!(m.streams_created(), 3);
         // Drain the device: every stream is now empty, so the manager
         // must hand back the *first-created* stream ("existing streams
         // are managed in FIFO order", §IV-C).
         c.device_sync();
-        assert_eq!(m.assign(VertexId(3), &[], &map, &c), s1);
+        assert_eq!(m.assign(VertexId(3), 0, &[], &map, &c), s1);
         assert_eq!(m.streams_created(), 3, "reuse must not create streams");
     }
 
@@ -254,15 +271,15 @@ mod tests {
         let c = cuda();
         let mut m = mgr();
         let map = HashMap::new();
-        let s1 = m.assign(VertexId(0), &[], &map, &c);
+        let s1 = m.assign(VertexId(0), 0, &[], &map, &c);
         make_busy(&c, s1);
         // While s1 is busy a new stream is created...
-        let s2 = m.assign(VertexId(1), &[], &map, &c);
+        let s2 = m.assign(VertexId(1), 0, &[], &map, &c);
         assert_ne!(s1, s2);
         // ...but once the work completes, s1 is reusable again and no
         // further streams are needed.
         c.device_sync();
-        let s3 = m.assign(VertexId(2), &[], &map, &c);
+        let s3 = m.assign(VertexId(2), 0, &[], &map, &c);
         assert_eq!(s3, s1);
         assert_eq!(m.streams_created(), 2);
     }
@@ -273,18 +290,18 @@ mod tests {
         let mut m = mgr();
         let mut map = HashMap::new();
         let (pa, pb) = (VertexId(0), VertexId(1));
-        let sa = m.assign(pa, &[], &map, &c);
+        let sa = m.assign(pa, 0, &[], &map, &c);
         map.insert(pa, sa);
         make_busy(&c, sa);
-        let sb = m.assign(pb, &[], &map, &c);
+        let sb = m.assign(pb, 0, &[], &map, &c);
         map.insert(pb, sb);
         make_busy(&c, sb);
         assert_ne!(sa, sb);
         // First child of A takes A's stream.
-        assert_eq!(m.assign(VertexId(2), &[pa], &map, &c), sa);
+        assert_eq!(m.assign(VertexId(2), 0, &[pa], &map, &c), sa);
         // A join of (A, B): A's stream is already claimed, so the join
         // inherits B's stream rather than allocating a new one.
-        assert_eq!(m.assign(VertexId(3), &[pa, pb], &map, &c), sb);
+        assert_eq!(m.assign(VertexId(3), 0, &[pa, pb], &map, &c), sb);
         assert_eq!(m.streams_created(), 2);
     }
 
@@ -295,19 +312,19 @@ mod tests {
         let mut map = HashMap::new();
         // Two independent parents on two busy streams.
         let (pa, pb) = (VertexId(0), VertexId(1));
-        let sa = m.assign(pa, &[], &map, &c);
+        let sa = m.assign(pa, 0, &[], &map, &c);
         map.insert(pa, sa);
         make_busy(&c, sa);
-        let sb = m.assign(pb, &[], &map, &c);
+        let sb = m.assign(pb, 0, &[], &map, &c);
         map.insert(pb, sb);
         make_busy(&c, sb);
         // Each parent's first child inherits that parent's stream —
         // claims are per-parent, not global.
-        assert_eq!(m.assign(VertexId(2), &[pa], &map, &c), sa);
-        assert_eq!(m.assign(VertexId(3), &[pb], &map, &c), sb);
+        assert_eq!(m.assign(VertexId(2), 0, &[pa], &map, &c), sa);
+        assert_eq!(m.assign(VertexId(3), 0, &[pb], &map, &c), sb);
         // Both streams claimed and busy: a further child of either
         // parent gets a brand-new stream.
-        let s_new = m.assign(VertexId(4), &[pa], &map, &c);
+        let s_new = m.assign(VertexId(4), 0, &[pa], &map, &c);
         assert_ne!(s_new, sa);
         assert_ne!(s_new, sb);
         assert_eq!(m.streams_created(), 3);
@@ -319,12 +336,12 @@ mod tests {
         let mut m = mgr();
         let mut map = HashMap::new();
         let p = VertexId(0);
-        let sp = m.assign(p, &[], &map, &c);
+        let sp = m.assign(p, 0, &[], &map, &c);
         map.insert(p, sp);
-        let _ = m.assign(VertexId(1), &[p], &map, &c); // claims p's stream
+        let _ = m.assign(VertexId(1), 0, &[p], &map, &c); // claims p's stream
         m.forget(&[p]);
         // After forgetting, a new child may claim the parent stream again.
-        let s = m.assign(VertexId(2), &[p], &map, &c);
+        let s = m.assign(VertexId(2), 0, &[p], &map, &c);
         assert_eq!(s, sp);
     }
 }

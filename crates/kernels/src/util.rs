@@ -119,6 +119,31 @@ fn copy_cost(bufs: &[DataBuffer], _scalars: &[f64]) -> KernelCost {
     streaming_f32(n, n, 0.0)
 }
 
+/// `scale_i32(x, out, a, n)`: out ← a·x over 32-bit integers (saturating
+/// at the i32 range like real integer SIMD lanes would wrap — we
+/// saturate to keep results deterministic and comparison-friendly).
+pub static SCALE_I32: KernelDef = KernelDef {
+    name: "scale_i32",
+    nidl: "const pointer sint32, pointer sint32, float, sint32",
+    func: scale_i32_func,
+    cost: scale_i32_cost,
+};
+
+fn scale_i32_func(bufs: &[DataBuffer], scalars: &[f64]) {
+    let a = scalars[0] as i64;
+    let n = s(scalars[1]);
+    let x = bufs[0].as_i32();
+    let mut out = bufs[1].as_i32_mut();
+    for i in 0..n {
+        out[i] = (a * x[i] as i64).clamp(i32::MIN as i64, i32::MAX as i64) as i32;
+    }
+}
+
+fn scale_i32_cost(bufs: &[DataBuffer], _scalars: &[f64]) -> KernelCost {
+    let n = bufs[0].len() as f64;
+    streaming_f32(n, n, 1.0)
+}
+
 /// `memset_u8(x, value, n)`: fill a byte (`char`) array with a constant.
 pub static MEMSET_U8: KernelDef = KernelDef {
     name: "memset_u8",
@@ -194,6 +219,14 @@ mod tests {
         let out = DataBuffer::new(TypedData::U8(vec![0; 4]));
         threshold_u8_func(&[x, out.clone()], &[128.0, 4.0]);
         assert_eq!(*out.as_u8(), vec![0, 255, 0, 255]);
+    }
+
+    #[test]
+    fn scale_i32_scales_and_saturates() {
+        let x = DataBuffer::new(TypedData::I32(vec![1, -2, i32::MAX]));
+        let out = DataBuffer::new(TypedData::I32(vec![0; 3]));
+        scale_i32_func(&[x, out.clone()], &[3.0, 3.0]);
+        assert_eq!(*out.as_i32(), vec![3, -6, i32::MAX]);
     }
 
     #[test]

@@ -83,6 +83,7 @@ mod tests {
             task: 0,
             kind,
             stream,
+            device: 0,
             label: label.into(),
             start,
             end,

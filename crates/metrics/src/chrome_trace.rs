@@ -87,6 +87,7 @@ mod tests {
             task: 7,
             kind,
             stream,
+            device: 0,
             label: label.into(),
             start,
             end,

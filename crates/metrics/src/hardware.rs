@@ -69,6 +69,7 @@ mod tests {
             task: 0,
             kind: TaskKind::Kernel,
             stream: 0,
+            device: 0,
             label: "k".into(),
             start,
             end,

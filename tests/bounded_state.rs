@@ -169,6 +169,74 @@ fn serial_mode_launch_loop_keeps_launch_info_bounded() {
 }
 
 #[test]
+fn multi_gpu_soak_drains_all_scheduler_maps_after_every_sync() {
+    // The unified MultiGpu path rides the exact same scheduler core, so
+    // the same bounded-state guarantee must hold with work spread over
+    // several devices: after each sync, every per-vertex map — including
+    // the vertex→device placements — is back to the empty-frontier
+    // baseline, whatever the placement policy.
+    use benchmarks::{multi_gpu_arrays, read_multi_gpu_outputs, refresh_multi_gpu_arrays};
+    use grcuda::{MultiArg, MultiGpu, PlacementPolicy};
+
+    for policy in [
+        PlacementPolicy::RoundRobin,
+        PlacementPolicy::LocalityAware,
+        PlacementPolicy::StreamAware,
+    ] {
+        for b in [Bench::Vec, Bench::Ml] {
+            let spec = b.build(scales::tiny(b));
+            let mut m = MultiGpu::new(DeviceProfile::tesla_p100(), 2, Options::parallel(), policy);
+            let arrays = multi_gpu_arrays(&mut m, &spec);
+            let mut launches = 0usize;
+            let mut peak_stored = 0usize;
+            for cycle in 0..20 {
+                refresh_multi_gpu_arrays(&mut m, &spec, &arrays);
+                for op in &spec.ops {
+                    let args: Vec<MultiArg> = op
+                        .args
+                        .iter()
+                        .map(|a| match a {
+                            PlanArg::Arr(i) => MultiArg::array(&arrays[*i]),
+                            PlanArg::Scalar(v) => MultiArg::scalar(*v),
+                        })
+                        .collect();
+                    m.launch(op.def, op.grid, &args).unwrap();
+                    launches += 1;
+                    peak_stored = peak_stored.max(m.scheduler_stats().stored_vertices);
+                }
+                read_multi_gpu_outputs(&m, &spec, &arrays);
+                m.sync();
+                m.clear_timeline();
+                let st = m.scheduler_stats();
+                let ctx = format!("{} {policy:?} cycle {cycle}: {st:?}", spec.name);
+                assert_eq!(st.live_vertices, 0, "{ctx}");
+                assert_eq!(st.stored_vertices, 0, "{ctx}");
+                assert_eq!(st.stored_edges, 0, "{ctx}");
+                assert_eq!(st.value_states, 0, "{ctx}");
+                assert_eq!(st.stream_claims, 0, "{ctx}");
+                assert_eq!(st.vertex_tasks, 0, "{ctx}");
+                assert_eq!(st.vertex_streams, 0, "{ctx}");
+                assert_eq!(st.vertex_devices, 0, "{ctx}");
+                assert_eq!(st.launch_infos, 0, "{ctx}");
+                assert_eq!(m.stats().retained_tasks, 0, "{ctx}");
+            }
+            let st = m.scheduler_stats();
+            assert!(
+                st.lifetime_vertices >= launches,
+                "{}: lifetime counter kept the full story",
+                spec.name
+            );
+            assert!(
+                peak_stored <= 2 * spec.ops.len() + 70,
+                "{} {policy:?}: peak stored {peak_stored}",
+                spec.name
+            );
+            assert_eq!(m.races(), 0, "{} {policy:?}", spec.name);
+        }
+    }
+}
+
+#[test]
 fn sync_after_heavy_traffic_resets_to_empty_frontier_baseline() {
     let g = GrCuda::new(DeviceProfile::gtx1660_super(), Options::parallel());
     use kernels::vec_ops::SQUARE;

@@ -1,9 +1,13 @@
-//! Integration: every stream-management policy combination (§IV-C) is
-//! correct; policies only change performance, never results.
+//! Integration: every stream-management policy combination (§IV-C) and
+//! every device-selection policy is correct; policies only change
+//! performance and placement, never results.
 
-use benchmarks::{run_grcuda, scales, Bench};
-use gpu_sim::DeviceProfile;
-use grcuda::{DepStreamPolicy, Options, PrefetchPolicy, StreamReusePolicy};
+use benchmarks::{run_grcuda, run_multi_gpu, scales, Bench};
+use gpu_sim::{DeviceProfile, Grid};
+use grcuda::{
+    DepStreamPolicy, MultiArg, MultiGpu, Options, PlacementPolicy, PrefetchPolicy,
+    StreamReusePolicy,
+};
 
 #[test]
 fn every_policy_combination_is_correct() {
@@ -82,6 +86,126 @@ fn single_stream_child_policy_reduces_concurrency() {
         multi.streams_used >= single.streams_used,
         "first-child policy must not use fewer streams than always-parent"
     );
+}
+
+/// Drive a strictly serial kernel chain through a 2-device scheduler and
+/// report `(migration count, migrated bytes, final y[7])`.
+fn dependent_chain(policy: PlacementPolicy) -> (usize, usize, f32) {
+    let mut m = MultiGpu::new(DeviceProfile::tesla_p100(), 2, Options::parallel(), policy);
+    let n = 1 << 18;
+    let x = m.array_f32(n);
+    let y = m.array_f32(n);
+    m.write_f32(&x, &vec![1.0; n]);
+    use kernels::util::SCALE;
+    for i in 0..8 {
+        let (src, dst) = if i % 2 == 0 { (&x, &y) } else { (&y, &x) };
+        m.launch(
+            &SCALE,
+            Grid::d1(64, 256),
+            &[
+                MultiArg::array(src),
+                MultiArg::array(dst),
+                MultiArg::scalar(2.0),
+                MultiArg::scalar(n as f64),
+            ],
+        )
+        .unwrap();
+    }
+    m.sync();
+    assert_eq!(m.races(), 0);
+    let (migs, bytes) = m.migration_stats();
+    (migs, bytes, m.get_f32(&y, 7))
+}
+
+#[test]
+fn locality_aware_beats_round_robin_on_a_dependent_chain() {
+    // The chain has zero parallelism: the only thing placement can do is
+    // avoid moving data. Locality-aware must migrate strictly fewer
+    // bytes than round-robin — and both must compute the same numbers.
+    let (rr_migs, rr_bytes, rr_val) = dependent_chain(PlacementPolicy::RoundRobin);
+    let (loc_migs, loc_bytes, loc_val) = dependent_chain(PlacementPolicy::LocalityAware);
+    assert!(
+        rr_migs >= 4,
+        "round-robin must ping-pong the chain: {rr_migs}"
+    );
+    assert_eq!(loc_migs, 0, "locality-aware must keep the chain in place");
+    assert!(
+        loc_bytes < rr_bytes,
+        "locality-aware must migrate strictly fewer bytes: {loc_bytes} vs {rr_bytes}"
+    );
+    assert_eq!(rr_val, loc_val, "placement must not change results");
+    assert_eq!(rr_val, 128.0, "2^7 after 8 doublings read from y");
+}
+
+#[test]
+fn stream_aware_balances_an_embarrassingly_parallel_fanout() {
+    // 8 independent pricing kernels on 4 devices: min-device-load
+    // placement must reach every device and spread the work evenly.
+    use kernels::black_scholes::BLACK_SCHOLES;
+    let mut m = MultiGpu::new(
+        DeviceProfile::tesla_p100(),
+        4,
+        Options::parallel(),
+        PlacementPolicy::StreamAware,
+    );
+    let n = 1 << 18;
+    let mut counts = vec![0usize; 4];
+    for _ in 0..8 {
+        let x = m.array_f64(n);
+        let y = m.array_f64(n);
+        m.write_f64(&x, &vec![100.0; n]);
+        let d = m
+            .launch(
+                &BLACK_SCHOLES,
+                Grid::d1(64, 256),
+                &[
+                    MultiArg::array(&x),
+                    MultiArg::array(&y),
+                    MultiArg::scalar(n as f64),
+                    MultiArg::scalar(100.0),
+                    MultiArg::scalar(0.02),
+                    MultiArg::scalar(0.3),
+                    MultiArg::scalar(1.0),
+                ],
+            )
+            .unwrap();
+        counts[d] += 1;
+    }
+    m.sync();
+    assert_eq!(m.races(), 0);
+    assert!(
+        counts.iter().all(|&c| c >= 1),
+        "every device must carry work: {counts:?}"
+    );
+    let (min, max) = (counts.iter().min().unwrap(), counts.iter().max().unwrap());
+    assert!(
+        max - min <= 1,
+        "fan-out must balance across devices: {counts:?}"
+    );
+    // The balance shows on the per-device timeline gauges too.
+    let times = m.device_times();
+    assert_eq!(times.len(), 4);
+    assert!(times.iter().all(|&t| t > 0.0), "{times:?}");
+}
+
+#[test]
+fn placement_policies_compute_identical_results_on_every_suite() {
+    // The acceptance bar of the unified scheduler: for every benchmark
+    // suite, the numeric results under SingleGpu, RoundRobin,
+    // LocalityAware and StreamAware are identical (each run is verified
+    // bit-exactly against the same sequential CPU reference).
+    let dev = DeviceProfile::tesla_p100();
+    for b in Bench::ALL {
+        let spec = b.build(scales::tiny(b));
+        for policy in PlacementPolicy::ALL {
+            let r = run_multi_gpu(&spec, &dev, Options::parallel(), 4, policy, 2);
+            assert_eq!(r.run.races, 0, "{} {policy:?}", spec.name);
+            r.run
+                .valid
+                .as_ref()
+                .unwrap_or_else(|e| panic!("{} {policy:?}: {e}", spec.name));
+        }
+    }
 }
 
 #[test]
