@@ -1,0 +1,124 @@
+//! CI perf-regression gate: compare a freshly-measured `BENCH_sched.json`
+//! against the committed `BENCH_baseline.json` and fail on regressions.
+//!
+//! Usage:
+//! `cargo run --release -p bench --bin bench_gate -- CURRENT BASELINE
+//! [--tolerance 0.15]`
+//!
+//! Both files are the flat metric maps written by `soak --json` and
+//! `multi_gpu --json`. For every metric in the baseline:
+//!
+//! * keys whose first segment is `wall` are wall-clock measurements —
+//!   machine-dependent, so they are printed for context but never gated;
+//! * keys containing `launches_per_s` or `overlap` are higher-is-better;
+//!   everything else (makespans, migrated bytes, migration counts) is
+//!   lower-is-better;
+//! * the gate fails (exit 1) when any gated metric regresses by more
+//!   than the tolerance (default 15%) relative to the baseline.
+//!
+//! Gated metrics are simulated-virtual-time quantities, so they are
+//! deterministic: a regression is a real behavior change, not noise. To
+//! refresh the baseline after an intentional change, copy the freshly
+//! produced `BENCH_sched.json` over `BENCH_baseline.json` and commit it.
+
+use bench::read_bench_json;
+
+/// True for metrics where larger values are better. Work counts (e.g.
+/// `soak.launches`) gate upward too: the dangerous direction for "how
+/// much the benchmark measured" is down, not up.
+fn higher_is_better(key: &str) -> bool {
+    key.contains("launches_per_s") || key.contains("overlap") || key.ends_with(".launches")
+}
+
+/// True for wall-clock metrics: recorded, never gated.
+fn informational(key: &str) -> bool {
+    key.starts_with("wall.")
+}
+
+fn load(path: &str) -> Vec<(String, f64)> {
+    let content = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read benchmark file {path}: {e}"));
+    read_bench_json(&content).unwrap_or_else(|e| panic!("cannot parse {path}: {e}"))
+}
+
+fn main() {
+    let mut tolerance = 0.15f64;
+    let mut files: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--tolerance" => {
+                tolerance = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--tolerance FRACTION");
+            }
+            other => files.push(other.to_string()),
+        }
+    }
+    let [current_path, baseline_path] = files.as_slice() else {
+        panic!("usage: bench_gate CURRENT BASELINE [--tolerance 0.15]");
+    };
+    let current = load(current_path);
+    let baseline = load(baseline_path);
+    let lookup = |entries: &[(String, f64)], key: &str| -> Option<f64> {
+        entries.iter().find(|(k, _)| k == key).map(|(_, v)| *v)
+    };
+
+    let mut failures = Vec::new();
+    let mut gated = 0usize;
+    for (key, base) in &baseline {
+        let Some(cur) = lookup(&current, key) else {
+            if informational(key) {
+                println!("  (wall) {key}: missing from current run");
+            } else {
+                failures.push(format!("{key}: present in baseline but not measured"));
+            }
+            continue;
+        };
+        if informational(key) {
+            println!("  (wall) {key}: {cur:.3} (baseline {base:.3}, not gated)");
+            continue;
+        }
+        gated += 1;
+        // Regression = worse than baseline beyond tolerance, in the
+        // metric's own direction. Tiny baselines gate on the absolute
+        // epsilon implied by them (a 0 baseline only fails if current
+        // is meaningfully nonzero the wrong way).
+        let (worse, ratio) = if higher_is_better(key) {
+            (cur < base * (1.0 - tolerance), cur / base.max(1e-12))
+        } else {
+            (cur > base * (1.0 + tolerance) + 1e-9, cur / base.max(1e-12))
+        };
+        let marker = if worse { "FAIL" } else { "ok" };
+        println!("  [{marker}] {key}: {cur:.4} vs baseline {base:.4} ({ratio:.2}x)");
+        if worse {
+            failures.push(format!(
+                "{key}: {cur:.4} vs baseline {base:.4} ({}% tolerance)",
+                tolerance * 100.0
+            ));
+        }
+    }
+    for (key, _) in &current {
+        if lookup(&baseline, key).is_none() && !informational(key) {
+            println!("  (new) {key}: not in baseline — refresh BENCH_baseline.json to track it");
+        }
+    }
+
+    if failures.is_empty() {
+        println!(
+            "RESULT bench_gate ok gated={gated} tolerance={}%",
+            tolerance * 100.0
+        );
+    } else {
+        eprintln!("\nbench_gate: {} regression(s):", failures.len());
+        for f in &failures {
+            eprintln!("  {f}");
+        }
+        eprintln!(
+            "\nIf the change is intentional, refresh the baseline:\n  \
+             cp {current_path} {baseline_path}  # then commit it"
+        );
+        std::process::exit(1);
+    }
+}

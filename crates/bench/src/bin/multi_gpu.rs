@@ -1,13 +1,20 @@
 //! Multi-GPU scaling study — the paper's §VI future work on the unified
 //! scheduler core: one computation DAG, one stream manager and one
 //! engine span 1–4 simulated devices, with placement decided per-kernel
-//! by a pluggable `DeviceSelectionPolicy`.
+//! by a pluggable `DeviceSelectionPolicy` over a selectable interconnect
+//! `Topology`.
 //!
-//! Three parts:
+//! Four parts:
 //! * **policy sweep** — every benchmark suite × 1/2/4 devices × every
 //!   placement policy, each run validated bit-exactly against the
 //!   sequential CPU reference (so all policies/device counts provably
 //!   compute identical results) and required to be race-free;
+//! * **topology sweep** — the transfer-chain workload across every
+//!   interconnect preset × round-robin/locality/transfer-aware: same
+//!   DAG, different machine. Asserts the tentpole acceptance bar: on
+//!   the NVLink-pair machine, transfer-aware placement yields strictly
+//!   lower makespan and strictly fewer host-link bytes than both
+//!   round-robin and byte-count locality;
 //! * **independent pricing** (B&S-style): embarrassingly parallel across
 //!   devices — round-robin and stream-aware placement scale;
 //! * **dependent chain** (iterated scaling): serial data flow —
@@ -15,15 +22,19 @@
 //!   ping-pongs data and pays host-mediated migrations. The sweep
 //!   asserts locality-aware migrates strictly fewer bytes.
 //!
-//! Usage: `cargo run --release -p bench --bin multi_gpu [-- --smoke]`
-//! (`--smoke` shrinks scales/iterations for CI).
+//! Usage: `cargo run --release -p bench --bin multi_gpu [-- --smoke]
+//! [--json FILE]` (`--smoke` shrinks scales/iterations for CI; `--json`
+//! merges machine-readable metrics into a flat `BENCH_sched.json`-style
+//! file). Every section also prints one-line `RESULT ...` records so CI
+//! logs show throughput at a glance.
 
-use bench::{ms, render_table};
-use benchmarks::{run_multi_gpu, scales, Bench};
-use gpu_sim::{DeviceProfile, Grid};
+use bench::{ms, render_table, write_bench_json};
+use benchmarks::{run_multi_gpu, scales, transfer_chain, Bench, TransferChainResult};
+use gpu_sim::{DeviceProfile, Grid, Topology, TopologyKind};
 use grcuda::{MultiArg, MultiGpu, Options, PlacementPolicy};
 use kernels::black_scholes::BLACK_SCHOLES;
 use kernels::util::SCALE;
+use metrics::OverlapMetrics;
 
 const G: Grid = Grid {
     blocks: (64, 1, 1),
@@ -124,7 +135,7 @@ fn policy_sweep(smoke: bool) {
                     spec.name.to_string(),
                     format!("{n_dev}"),
                     policy.name().to_string(),
-                    format!("{:.3}", ms(r.run.median_time())),
+                    ms(r.run.median_time()),
                     format!("{}", r.devices_used),
                     format!("{migs} ({} KiB)", bytes / 1024),
                 ]);
@@ -149,11 +160,175 @@ fn policy_sweep(smoke: bool) {
     println!(" reference — placement policies move work, never change results)\n");
 }
 
+/// Transfer-chain workload across every interconnect preset and the
+/// three placement policies whose contrast it was built for. Returns
+/// the machine-readable metrics and asserts the acceptance bar.
+fn topology_sweep(smoke: bool) -> Vec<(String, f64)> {
+    let n = if smoke { 1 << 18 } else { 1 << 20 };
+    let iters = 8;
+    let policies = [
+        PlacementPolicy::RoundRobin,
+        PlacementPolicy::LocalityAware,
+        PlacementPolicy::TransferAware,
+    ];
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+    let mut results: std::collections::HashMap<
+        (TopologyKind, PlacementPolicy),
+        TransferChainResult,
+    > = std::collections::HashMap::new();
+    let mut checksum = None;
+    for topo in TopologyKind::ALL {
+        for policy in policies {
+            let r = transfer_chain(policy, topo, n, iters);
+            assert_eq!(r.races, 0, "{} {} raced", topo.name(), policy.name());
+            match checksum {
+                None => checksum = Some(r.checksum),
+                Some(c) => assert_eq!(
+                    r.checksum,
+                    c,
+                    "{} {} changed the numbers",
+                    topo.name(),
+                    policy.name()
+                ),
+            }
+            rows.push(vec![
+                topo.name().to_string(),
+                policy.name().to_string(),
+                ms(r.makespan),
+                format!("{:.1}", r.host_link_bytes / (1 << 20) as f64),
+                format!("{} ({} KiB)", r.migrations.0, r.migrations.1 / 1024),
+                format!("{} ({} KiB)", r.p2p_migrations.0, r.p2p_migrations.1 / 1024),
+            ]);
+            println!(
+                "RESULT multi_gpu chain topo={} policy={} makespan_ms={:.3} \
+                 host_link_mib={:.1} migrations={} p2p_migrations={}",
+                topo.name(),
+                policy.name(),
+                r.makespan * 1e3,
+                r.host_link_bytes / (1 << 20) as f64,
+                r.migrations.0,
+                r.p2p_migrations.0,
+            );
+            let prefix = format!("chain.{}.{}", topo.name(), policy.name());
+            json.push((format!("{prefix}.makespan_ms"), r.makespan * 1e3));
+            json.push((
+                format!("{prefix}.host_link_mib"),
+                r.host_link_bytes / (1 << 20) as f64,
+            ));
+            json.push((format!("{prefix}.migrations"), r.migrations.0 as f64));
+            results.insert((topo, policy), r);
+        }
+    }
+    println!(
+        "\nTopology sweep: transfer chain x interconnects (same DAG, different machine)\n{}",
+        render_table(
+            &[
+                "topology",
+                "policy",
+                "makespan",
+                "host-link MiB",
+                "migrations",
+                "p2p migrations"
+            ],
+            &rows
+        )
+    );
+
+    // Migrated bytes by link on the NVLink-pair machine (the CI
+    // trajectory records these so link-routing regressions show up).
+    let topo = Topology::preset(
+        TopologyKind::NvlinkPair,
+        benchmarks::TRANSFER_CHAIN_DEVICES,
+        &DeviceProfile::tesla_p100(),
+    );
+    for policy in [
+        PlacementPolicy::LocalityAware,
+        PlacementPolicy::TransferAware,
+    ] {
+        let r = &results[&(TopologyKind::NvlinkPair, policy)];
+        for (i, link) in topo.links().iter().enumerate() {
+            json.push((
+                format!(
+                    "chain.nvlink-pair.{}.link.{}_mib",
+                    policy.name(),
+                    link.label()
+                ),
+                r.link_traffic[i].0 / (1 << 20) as f64,
+            ));
+        }
+    }
+
+    // The tentpole acceptance bar.
+    let rr = &results[&(TopologyKind::NvlinkPair, PlacementPolicy::RoundRobin)];
+    let loc = &results[&(TopologyKind::NvlinkPair, PlacementPolicy::LocalityAware)];
+    let ta = &results[&(TopologyKind::NvlinkPair, PlacementPolicy::TransferAware)];
+    assert!(
+        ta.makespan < loc.makespan && ta.makespan < rr.makespan,
+        "transfer-aware must yield strictly lower makespan on nvlink-pair: \
+         ta {} vs locality {} / round-robin {}",
+        ta.makespan,
+        loc.makespan,
+        rr.makespan
+    );
+    assert!(
+        ta.host_link_bytes < loc.host_link_bytes && ta.host_link_bytes < rr.host_link_bytes,
+        "transfer-aware must move strictly fewer host-link bytes on nvlink-pair: \
+         ta {} vs locality {} / round-robin {}",
+        ta.host_link_bytes,
+        loc.host_link_bytes,
+        rr.host_link_bytes
+    );
+    println!("(acceptance: on nvlink-pair, transfer-aware beat round-robin and");
+    println!(" byte-count locality on both makespan and host-link bytes, asserted)\n");
+    json
+}
+
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
+    let mut smoke = false;
+    let mut json_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--json" => json_path = Some(args.next().expect("--json FILE")),
+            other => panic!("unknown argument `{other}` (try --smoke/--json FILE)"),
+        }
+    }
+    let wall_start = std::time::Instant::now();
+    let mut json: Vec<(String, f64)> = Vec::new();
 
     println!("Policy sweep: suites x 1/2/4 devices x placement policies\n");
     policy_sweep(smoke);
+
+    json.extend(topology_sweep(smoke));
+
+    // Scheduler-quality gauge for the trajectory: how much transfer time
+    // hides behind computation on a migration-heavy 4-device run.
+    {
+        let spec = Bench::Vec.build(if smoke {
+            scales::tiny(Bench::Vec)
+        } else {
+            scales::sweep(Bench::Vec)[1]
+        });
+        let r = run_multi_gpu(
+            &spec,
+            &DeviceProfile::tesla_p100(),
+            Options::parallel(),
+            4,
+            PlacementPolicy::StreamAware,
+            2,
+        );
+        r.run.valid.as_ref().expect("sweep run validates");
+        let ov = OverlapMetrics::from_timeline(&r.run.timeline);
+        println!(
+            "RESULT multi_gpu overlap suite=VEC devices=4 tc_pct={:.1} tot_pct={:.1}",
+            ov.tc * 100.0,
+            ov.tot * 100.0
+        );
+        json.push(("sweep.vec4.overlap_tc_pct".to_string(), ov.tc * 100.0));
+        json.push(("sweep.vec4.overlap_tot_pct".to_string(), ov.tot * 100.0));
+    }
 
     let npricing = if smoke { 1 << 17 } else { 1 << 20 };
     let nchain = if smoke { 1 << 19 } else { 1 << 22 };
@@ -215,5 +390,12 @@ fn main() {
     println!(" dependent chain gains nothing from more GPUs and round-robin");
     println!(" placement pays host-mediated migrations — locality-aware");
     println!(" placement avoids them: strictly fewer bytes, asserted above)");
-    println!("\nmulti_gpu OK");
+
+    let wall = wall_start.elapsed().as_secs_f64();
+    json.push(("wall.multi_gpu.wall_s".to_string(), wall));
+    if let Some(path) = json_path {
+        write_bench_json(&path, &json).expect("write bench json");
+        println!("\nwrote {} metrics to {path}", json.len());
+    }
+    println!("\nRESULT multi_gpu ok wall_s={wall:.2}");
 }

@@ -13,14 +13,22 @@
 //! the lifetime counters keep growing.
 //!
 //! Run:  `cargo run --release -p bench --bin soak`
-//! CI:   `cargo run --release -p bench --bin soak -- --smoke`
+//! CI:   `cargo run --release -p bench --bin soak -- --smoke --json BENCH_sched.json`
 //! Args: `--launches N` (total, default 102000), `--sync-every K`
 //!       (launches between full syncs, default 64), `--smoke`
-//!       (reduced iteration count for CI).
+//!       (reduced iteration count for CI), `--json FILE` (merge
+//!       machine-readable metrics into a flat benchmark-JSON file).
+//!
+//! On success the last line is a one-line machine-readable record —
+//! `RESULT soak ok launches=.. wall_s=.. launches_per_s=..
+//! virtual_launches_per_s=..` — so CI logs show throughput at a glance.
+//! `launches_per_s` is wall-clock (machine-dependent, informational);
+//! `virtual_launches_per_s` is simulated-time throughput and fully
+//! deterministic, which is what the CI regression gate tracks.
 
 use std::time::Instant;
 
-use bench::render_table;
+use bench::{render_table, write_bench_json};
 use benchmarks::{
     grcuda_arrays, read_grcuda_outputs, refresh_grcuda_arrays, scales, Bench, PlanArg,
 };
@@ -35,6 +43,8 @@ struct SuiteReport {
     peak_stored: usize,
     final_stored: usize,
     wall_secs: f64,
+    /// Simulated seconds of GPU time the suite's launches spanned.
+    virtual_secs: f64,
 }
 
 /// Panic with context unless the post-sync scheduler footprint is back
@@ -148,6 +158,7 @@ fn soak_suite(b: Bench, quota: usize, sync_every: usize) -> SuiteReport {
         peak_stored,
         final_stored: st.stored_vertices,
         wall_secs: start.elapsed().as_secs_f64(),
+        virtual_secs: g.now(),
     }
 }
 
@@ -155,6 +166,7 @@ fn main() {
     let mut total_launches = 102_000usize;
     let mut sync_every = 64usize;
     let mut explicit_launches = false;
+    let mut json_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -176,7 +188,10 @@ fn main() {
                     total_launches = 6_000;
                 }
             }
-            other => panic!("unknown argument `{other}` (try --launches/--sync-every/--smoke)"),
+            "--json" => json_path = Some(args.next().expect("--json FILE")),
+            other => panic!(
+                "unknown argument `{other}` (try --launches/--sync-every/--smoke/--json FILE)"
+            ),
         }
     }
     let quota = total_launches.div_ceil(Bench::ALL.len());
@@ -223,9 +238,25 @@ fn main() {
     );
 
     let launches: usize = reports.iter().map(|r| r.launches).sum();
+    let virtual_secs: f64 = reports.iter().map(|r| r.virtual_secs).sum();
+    let wall_rate = launches as f64 / wall;
+    let virtual_rate = launches as f64 / virtual_secs;
     println!(
-        "soak OK: {launches} launches in {wall:.2} s wall — sustained {:.0} launches/s; \
-         all scheduler maps drained to 0 after every sync",
-        launches as f64 / wall
+        "soak OK: {launches} launches in {wall:.2} s wall — sustained {wall_rate:.0} launches/s \
+         ({virtual_rate:.0}/simulated s); all scheduler maps drained to 0 after every sync"
+    );
+    if let Some(path) = json_path {
+        let metrics = vec![
+            ("soak.launches".to_string(), launches as f64),
+            ("soak.virtual_launches_per_s".to_string(), virtual_rate),
+            ("wall.soak.launches_per_s".to_string(), wall_rate),
+            ("wall.soak.wall_s".to_string(), wall),
+        ];
+        write_bench_json(&path, &metrics).expect("write bench json");
+        println!("wrote {} metrics to {path}", metrics.len());
+    }
+    println!(
+        "RESULT soak ok launches={launches} wall_s={wall:.2} \
+         launches_per_s={wall_rate:.0} virtual_launches_per_s={virtual_rate:.0}"
     );
 }

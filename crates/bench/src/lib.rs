@@ -91,6 +91,81 @@ pub fn sweep(b: Bench) -> Vec<usize> {
     scales::sweep(b)
 }
 
+// ---------------------------------------------------------------------
+// Flat benchmark-JSON files (the CI perf-regression trajectory)
+// ---------------------------------------------------------------------
+//
+// `BENCH_sched.json` is a flat `{"metric.name": number, ...}` map — no
+// nesting, so the committed baseline diffs cleanly and the gate needs no
+// JSON dependency (the vendored serde stand-ins are no-ops). Keys whose
+// first segment is `wall` are wall-clock measurements: recorded for the
+// artifact but exempt from the regression gate, which only compares
+// deterministic virtual-time metrics.
+
+/// Parse a flat `{"key": number}` JSON map written by [`write_bench_json`].
+pub fn read_bench_json(content: &str) -> Result<Vec<(String, f64)>, String> {
+    let body = content.trim();
+    let body = body
+        .strip_prefix('{')
+        .and_then(|b| b.strip_suffix('}'))
+        .ok_or_else(|| "expected a top-level JSON object".to_string())?;
+    let mut out = Vec::new();
+    for entry in body.split(',') {
+        let entry = entry.trim();
+        if entry.is_empty() {
+            continue;
+        }
+        let (key, value) = entry
+            .split_once(':')
+            .ok_or_else(|| format!("malformed entry `{entry}`"))?;
+        let key = key
+            .trim()
+            .strip_prefix('"')
+            .and_then(|k| k.strip_suffix('"'))
+            .ok_or_else(|| format!("unquoted key in `{entry}`"))?;
+        let value: f64 = value
+            .trim()
+            .parse()
+            .map_err(|e| format!("bad number in `{entry}`: {e}"))?;
+        out.push((key.to_string(), value));
+    }
+    Ok(out)
+}
+
+/// Render a flat metric map as the JSON format [`read_bench_json`]
+/// parses, keys sorted for stable diffs.
+pub fn render_bench_json(entries: &[(String, f64)]) -> String {
+    let mut sorted: Vec<&(String, f64)> = entries.iter().collect();
+    sorted.sort_by(|a, b| a.0.cmp(&b.0));
+    let mut out = String::from("{\n");
+    for (i, (k, v)) in sorted.iter().enumerate() {
+        out.push_str(&format!("  \"{k}\": {v}"));
+        out.push_str(if i + 1 < sorted.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Merge `entries` into the flat JSON file at `path` (new keys win),
+/// creating it if absent — so `soak --json F` and `multi_gpu --json F`
+/// build one combined `BENCH_sched.json`.
+pub fn write_bench_json(path: &str, entries: &[(String, f64)]) -> std::io::Result<()> {
+    let mut merged: Vec<(String, f64)> = match std::fs::read_to_string(path) {
+        Ok(existing) => read_bench_json(&existing)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+        Err(e) => return Err(e),
+    };
+    for (k, v) in entries {
+        if let Some(slot) = merged.iter_mut().find(|(mk, _)| mk == k) {
+            slot.1 = *v;
+        } else {
+            merged.push((k.clone(), *v));
+        }
+    }
+    std::fs::write(path, render_bench_json(&merged))
+}
+
 /// Pretty milliseconds.
 pub fn ms(t: f64) -> String {
     if t >= 0.1 {
@@ -133,5 +208,40 @@ mod tests {
         assert_eq!(ms(0.25), "250 ms");
         assert_eq!(ms(0.005), "5.0 ms");
         assert_eq!(ms(0.0005), "0.50 ms");
+    }
+
+    #[test]
+    fn bench_json_round_trips() {
+        let entries = vec![
+            ("chain.nvlink-pair.makespan_ms".to_string(), 7.479),
+            ("wall.soak.launches_per_s".to_string(), 24000.0),
+        ];
+        let rendered = render_bench_json(&entries);
+        let parsed = read_bench_json(&rendered).unwrap();
+        let mut sorted = entries.clone();
+        sorted.sort_by(|a, b| a.0.cmp(&b.0));
+        assert_eq!(parsed, sorted);
+        assert!(read_bench_json("not json").is_err());
+        assert!(read_bench_json("{\"k\": nope}").is_err());
+        assert_eq!(read_bench_json("{}").unwrap(), vec![]);
+    }
+
+    #[test]
+    fn bench_json_files_merge_new_keys_over_old() {
+        let path = std::env::temp_dir().join("bench_json_merge_test.json");
+        let path = path.to_str().unwrap();
+        let _ = std::fs::remove_file(path);
+        write_bench_json(path, &[("a.x".to_string(), 1.0), ("b.y".to_string(), 2.0)]).unwrap();
+        write_bench_json(path, &[("b.y".to_string(), 3.0), ("c.z".to_string(), 4.0)]).unwrap();
+        let merged = read_bench_json(&std::fs::read_to_string(path).unwrap()).unwrap();
+        assert_eq!(
+            merged,
+            vec![
+                ("a.x".to_string(), 1.0),
+                ("b.y".to_string(), 3.0),
+                ("c.z".to_string(), 4.0),
+            ]
+        );
+        let _ = std::fs::remove_file(path);
     }
 }

@@ -24,14 +24,16 @@ pub mod runners;
 pub mod scales;
 pub mod spec;
 pub mod suite;
+pub mod transfer;
 
 pub use bound::{contention_free_time, contention_free_time_warm};
 pub use runners::{
     grcuda_arrays, multi_gpu_arrays, read_grcuda_outputs, read_multi_gpu_outputs,
     refresh_grcuda_arrays, refresh_multi_gpu_arrays, run_graph_capture, run_graph_manual,
-    run_grcuda, run_handtuned, run_multi_gpu, MultiRunResult, RunResult,
+    run_grcuda, run_handtuned, run_multi_gpu, run_multi_gpu_topo, MultiRunResult, RunResult,
 };
 pub use spec::{ArraySpec, BenchSpec, PlanArg, PlanOp};
+pub use transfer::{transfer_chain, TransferChainResult, TRANSFER_CHAIN_DEVICES};
 
 /// The six benchmarks, in the paper's figure order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]

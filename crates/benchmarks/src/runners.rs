@@ -369,7 +369,31 @@ pub fn run_multi_gpu(
     policy: PlacementPolicy,
     iters: usize,
 ) -> MultiRunResult {
-    let mut m = MultiGpu::new(dev.clone(), n_devices, options, policy);
+    run_multi_gpu_topo(
+        spec,
+        dev,
+        options,
+        n_devices,
+        policy,
+        grcuda::TopologyKind::PcieOnly,
+        iters,
+    )
+}
+
+/// [`run_multi_gpu`] on an explicit interconnect preset — the same DAG
+/// scheduled on a different machine. Validation is topology-independent:
+/// links change transfer routes and timing, never results.
+#[allow(clippy::too_many_arguments)]
+pub fn run_multi_gpu_topo(
+    spec: &BenchSpec,
+    dev: &DeviceProfile,
+    options: Options,
+    n_devices: usize,
+    policy: PlacementPolicy,
+    topology: grcuda::TopologyKind,
+    iters: usize,
+) -> MultiRunResult {
+    let mut m = MultiGpu::with_topology(dev.clone(), n_devices, options, policy, topology);
     let arrays = multi_gpu_arrays(&mut m, spec);
 
     let mut iter_times = Vec::with_capacity(iters);

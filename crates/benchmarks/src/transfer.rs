@@ -1,0 +1,202 @@
+//! The *transfer chain*: the dependent-chain workload that separates
+//! byte-count locality from transfer-cost awareness on a real
+//! interconnect.
+//!
+//! Per iteration, on 4 devices:
+//!
+//! 1. a fresh host input `A` is written (streaming request data);
+//! 2. `warm` (SCALE) folds `A` into a scratch array `T` — every policy
+//!    anchors this to device 0, and the H2D of `A` leaves a valid host
+//!    copy behind (`A` is read-only);
+//! 3. `state` (PIN) advances the chain state `S` against a large weight
+//!    array `W2` anchored to device 2 — the other island of an
+//!    NVLink-pair machine;
+//! 4. `join` (JOIN) samples `A` and `S` into a small output `J`.
+//!
+//! The join is the interesting decision. `A` is slightly bigger than
+//! `S`, so byte-count [`grcuda::PlacementPolicy::LocalityAware`] places
+//! the join next to `A` on device 0 — dragging `S` across the island
+//! boundary through the host (two PCIe legs) *every iteration*, and
+//! paying them again when `state` pulls `S` back. Transfer-cost-aware
+//! placement sees that `A` still has a valid host copy (one H2D leg
+//! anywhere) while moving `S` costs a host-mediated round trip, and runs
+//! the join next to `S` on device 2 instead.
+//! [`grcuda::PlacementPolicy::RoundRobin`] ignores data entirely and
+//! additionally drags the big anchor weights around.
+
+use gpu_sim::{DeviceProfile, Grid};
+use grcuda::{MultiArg, MultiArray, MultiGpu, Options, PlacementPolicy, TopologyKind};
+use kernels::util::{JOIN, PIN, SCALE};
+use kernels::vec_ops::SQUARE;
+
+/// Devices the workload is shaped for (two NVLink islands on the
+/// `nvlink-pair` preset).
+pub const TRANSFER_CHAIN_DEVICES: usize = 4;
+
+/// What one transfer-chain run measured.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransferChainResult {
+    /// Simulated makespan in seconds.
+    pub makespan: f64,
+    /// Total cross-device migrations `(count, bytes)`.
+    pub migrations: (usize, usize),
+    /// Migrations that went over peer links `(count, bytes)`.
+    pub p2p_migrations: (usize, usize),
+    /// Bytes moved over the host (PCIe) links, staging included.
+    pub host_link_bytes: f64,
+    /// Per-link `(bytes, transfers)`, indexed like the topology's links.
+    pub link_traffic: Vec<(f64, usize)>,
+    /// Checksum over the outputs — identical across policies and
+    /// topologies (placement moves work, never changes results).
+    pub checksum: f64,
+    /// Data races observed (must be 0).
+    pub races: usize,
+}
+
+/// Run the transfer chain under a placement policy on an interconnect
+/// preset. `n` is the element count of the input array `A` (the other
+/// arrays scale from it); `iters` the number of chain iterations.
+pub fn transfer_chain(
+    policy: PlacementPolicy,
+    topology: TopologyKind,
+    n: usize,
+    iters: usize,
+) -> TransferChainResult {
+    let grid = Grid::d1(64, 256);
+    let mut m = MultiGpu::with_topology(
+        DeviceProfile::tesla_p100(),
+        TRANSFER_CHAIN_DEVICES,
+        Options::parallel(),
+        policy,
+        topology,
+    );
+    let sn = n * 3 / 4; // state is slightly smaller than the input
+    let wn = n * 3 / 2; // anchor weights dominate any argument set
+    let jn = 1024.min(n);
+
+    // Anchor weights: all-host data is placement-neutral, so the load
+    // tie-break lands W0..W3 on devices 0..3 for every policy (and
+    // round-robin cycles onto the same devices). After this, W2 pins the
+    // chain state's island.
+    let ws: Vec<MultiArray> = (0..TRANSFER_CHAIN_DEVICES)
+        .map(|i| {
+            let w = m.array_f32(wn);
+            m.write_f32(&w, &vec![0.5 + 0.25 * i as f32; wn]);
+            m.launch(
+                &SQUARE,
+                grid,
+                &[MultiArg::array(&w), MultiArg::scalar(wn as f64)],
+            )
+            .unwrap();
+            w
+        })
+        .collect();
+    m.sync();
+
+    let a = m.array_f32(n);
+    let t = m.array_f32(n);
+    let s = m.array_f32(sn);
+    let j = m.array_f32(jn);
+    m.write_f32(&s, &vec![1.0; sn]);
+
+    for iter in 0..iters {
+        // Fresh streaming input each iteration.
+        m.write_f32(&a, &vec![1.0 + 0.001 * iter as f32; n]);
+        m.launch(
+            &SCALE,
+            grid,
+            &[
+                MultiArg::array(&a),
+                MultiArg::array(&t),
+                MultiArg::scalar(1.0001),
+                MultiArg::scalar(n as f64),
+            ],
+        )
+        .unwrap();
+        m.launch(
+            &PIN,
+            grid,
+            &[
+                MultiArg::array(&ws[2]),
+                MultiArg::array(&s),
+                MultiArg::scalar(wn as f64),
+                MultiArg::scalar(sn as f64),
+            ],
+        )
+        .unwrap();
+        m.launch(
+            &JOIN,
+            grid,
+            &[
+                MultiArg::array(&a),
+                MultiArg::array(&s),
+                MultiArg::array(&j),
+                MultiArg::scalar(n as f64),
+                MultiArg::scalar(sn as f64),
+                MultiArg::scalar(jn as f64),
+            ],
+        )
+        .unwrap();
+    }
+    m.sync();
+
+    let checksum = m
+        .read_f32(&j)
+        .iter()
+        .chain(m.read_f32(&s).iter())
+        .map(|&x| x as f64)
+        .sum::<f64>()
+        + m.read_f32(&t)[..16.min(n)]
+            .iter()
+            .map(|&x| x as f64)
+            .sum::<f64>();
+
+    TransferChainResult {
+        makespan: m.makespan(),
+        migrations: m.migration_stats(),
+        p2p_migrations: m.p2p_migration_stats(),
+        host_link_bytes: m.host_link_bytes(),
+        link_traffic: m.link_traffic(),
+        checksum,
+        races: m.races(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_chain_is_deterministic_and_race_free() {
+        let a = transfer_chain(
+            PlacementPolicy::TransferAware,
+            TopologyKind::NvlinkPair,
+            4096,
+            3,
+        );
+        let b = transfer_chain(
+            PlacementPolicy::TransferAware,
+            TopologyKind::NvlinkPair,
+            4096,
+            3,
+        );
+        assert_eq!(a, b);
+        assert_eq!(a.races, 0);
+        assert!(a.checksum.is_finite());
+    }
+
+    #[test]
+    fn results_are_identical_across_policies_and_topologies() {
+        let reference = transfer_chain(PlacementPolicy::SingleGpu, TopologyKind::PcieOnly, 4096, 3);
+        for topo in TopologyKind::ALL {
+            for policy in PlacementPolicy::ALL {
+                let r = transfer_chain(policy, topo, 4096, 3);
+                assert_eq!(r.races, 0, "{policy:?} on {topo:?} raced");
+                assert_eq!(
+                    r.checksum, reference.checksum,
+                    "{policy:?} on {topo:?} changed the numbers"
+                );
+            }
+        }
+    }
+}

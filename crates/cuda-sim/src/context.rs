@@ -7,7 +7,7 @@ use std::rc::Rc;
 
 use gpu_sim::{
     DeviceProfile, Engine, EngineStats, RaceReport, TaskId, TaskKind, TaskSpec, Time, Timeline,
-    TypedData, ValueId,
+    Topology, TopologyKind, TypedData, ValueId,
 };
 
 use crate::exec::KernelExec;
@@ -58,10 +58,21 @@ pub(crate) struct Inner {
     /// cross-device migrations (host reads block the virtual host, so
     /// their ordering is implicit).
     last_d2h: Vec<Option<TaskId>>,
+    /// Per-link, per-direction P2P DMA engine: same-direction peer
+    /// copies on one link serialize like bulk copies do on the host
+    /// links; opposite directions run concurrently and contend on the
+    /// link's aggregate bandwidth in the rate solver. Indexed by link
+    /// id; `[0]` is low→high device order, `[1]` the reverse.
+    last_p2p: Vec<[Option<TaskId>; 2]>,
     /// Cross-device migrations performed (count, bytes): the run-time
-    /// migration-cost accounting the paper's §VI calls for.
+    /// migration-cost accounting the paper's §VI calls for. Counts both
+    /// peer-to-peer and host-mediated migrations.
     migrations: usize,
     migrated_bytes: usize,
+    /// The subset of `migrations`/`migrated_bytes` that went over a
+    /// direct peer link instead of staging through the host.
+    p2p_migrations: usize,
+    p2p_migrated_bytes: usize,
 }
 
 /// A simulated CUDA device context. Cheap to clone; clones share the
@@ -78,12 +89,28 @@ impl Cuda {
     }
 
     /// Create a context spanning `n` identical devices sharing one
-    /// virtual clock. Streams are created on a device
-    /// ([`Cuda::stream_create_on`]) and data moves between devices
-    /// through host-mediated migrations charged on both PCIe links.
+    /// virtual clock, connected by host (PCIe) links only. Streams are
+    /// created on a device ([`Cuda::stream_create_on`]) and data moves
+    /// between devices through host-mediated migrations charged on both
+    /// PCIe links.
     pub fn new_multi(dev: DeviceProfile, n: usize) -> Self {
-        assert!(n >= 1, "need at least one device");
-        let engine = Engine::new_multi(dev.clone(), n);
+        Self::new_multi_topo(dev, n, TopologyKind::PcieOnly)
+    }
+
+    /// [`Cuda::new_multi`] with an explicit interconnect preset. Where
+    /// the topology has a direct device↔device link, cross-device
+    /// migrations use peer-to-peer DMA over that link (charged to it and
+    /// contending on it); device pairs without a link fall back to
+    /// host-mediated staging over both PCIe links.
+    pub fn new_multi_topo(dev: DeviceProfile, n: usize, kind: TopologyKind) -> Self {
+        Self::with_topology(dev.clone(), Topology::preset(kind, n, &dev))
+    }
+
+    /// [`Cuda::new_multi`] over a fully custom [`Topology`].
+    pub fn with_topology(dev: DeviceProfile, topo: Topology) -> Self {
+        let n = topo.device_count();
+        let n_links = topo.links().len();
+        let engine = Engine::with_topology(dev.clone(), topo);
         Cuda {
             inner: Rc::new(RefCell::new(Inner {
                 engine,
@@ -96,8 +123,11 @@ impl Cuda {
                 capture: None,
                 last_h2d: vec![None; n],
                 last_d2h: vec![None; n],
+                last_p2p: vec![[None; 2]; n_links],
                 migrations: 0,
                 migrated_bytes: 0,
+                p2p_migrations: 0,
+                p2p_migrated_bytes: 0,
             })),
         }
     }
@@ -122,10 +152,91 @@ impl Cuda {
         self.inner.borrow().engine.device_load(device)
     }
 
-    /// Cross-device migrations performed so far as `(count, bytes)`.
+    /// Cross-device migrations performed so far as `(count, bytes)`,
+    /// peer-to-peer and host-mediated combined.
     pub fn migration_stats(&self) -> (usize, usize) {
         let inner = self.inner.borrow();
         (inner.migrations, inner.migrated_bytes)
+    }
+
+    /// Cross-device migrations that went over a direct peer link, as
+    /// `(count, bytes)`.
+    pub fn p2p_migration_stats(&self) -> (usize, usize) {
+        let inner = self.inner.borrow();
+        (inner.p2p_migrations, inner.p2p_migrated_bytes)
+    }
+
+    /// Cross-device migrations that staged through the host, as
+    /// `(count, bytes)`.
+    pub fn host_migration_stats(&self) -> (usize, usize) {
+        let inner = self.inner.borrow();
+        (
+            inner.migrations - inner.p2p_migrations,
+            inner.migrated_bytes - inner.p2p_migrated_bytes,
+        )
+    }
+
+    /// The interconnect topology of this context.
+    pub fn topology(&self) -> Topology {
+        self.inner.borrow().engine.topology().clone()
+    }
+
+    /// True if the topology has a direct peer link between two devices.
+    pub fn has_p2p(&self, a: u32, b: u32) -> bool {
+        self.inner
+            .borrow()
+            .engine
+            .topology()
+            .d2d_link(a, b)
+            .is_some()
+    }
+
+    /// Lifetime `(bytes, transfers)` per link, indexed like
+    /// [`Topology::links`] — host links first, then peer links. Includes
+    /// input staging and host reads, not just migrations.
+    pub fn link_traffic(&self) -> Vec<(f64, usize)> {
+        self.inner.borrow().engine.link_traffic()
+    }
+
+    /// Total bytes moved over the host (PCIe) links so far, in either
+    /// direction: staging, host reads, and the legs of host-mediated
+    /// migrations. The gauge transfer-aware placement tries to minimize.
+    pub fn host_link_bytes(&self) -> f64 {
+        let inner = self.inner.borrow();
+        let traffic = inner.engine.link_traffic();
+        (0..inner.n_devices as usize).map(|d| traffic[d].0).sum()
+    }
+
+    /// Estimated time to make an array's data resident on `target`,
+    /// given where its current copy lives and the links available:
+    /// `0` when already resident, `bytes / host-link bandwidth` when a
+    /// valid host copy exists, `bytes / peer-link bandwidth (+ latency)`
+    /// over a direct link, and two full host-link legs for host-mediated
+    /// migrations. This is the per-candidate cost the transfer-aware
+    /// placement policy minimizes — transfer *time*, not raw bytes.
+    pub fn transfer_time_estimate(&self, a: &UnifiedArray, target: u32) -> Time {
+        let inner = self.inner.borrow();
+        let st = &inner.arrays[&a.id];
+        let bytes = st.bytes as f64;
+        let topo = inner.engine.topology();
+        let host = topo.link(topo.host_link(target));
+        // Every leg carries its link's fixed latency, so small-array
+        // estimates do not spuriously favor a host-mediated route (two
+        // legs, two setups) over a low-latency peer link.
+        let host_leg = host.latency + bytes / host.bandwidth;
+        match st.residency {
+            Residency::Host => host_leg,
+            Residency::Both if st.device == target => 0.0,
+            Residency::Both => host_leg,
+            Residency::Device if st.device == target => 0.0,
+            Residency::Device => match topo.d2d_link(st.device, target) {
+                Some(l) => {
+                    let link = topo.link(l);
+                    link.latency + bytes / link.bandwidth
+                }
+                None => 2.0 * host_leg,
+            },
+        }
     }
 
     /// Current virtual time in seconds.
@@ -291,9 +402,13 @@ impl Cuda {
         let dev = inner.dev.clone();
         let overhead = dev.host_api_overhead;
         inner.engine.advance_host(overhead);
-        // Current copy only on another device: host-mediated migration —
-        // the D2H leg runs on the source device, chained on the producer.
+        // Current copy only on another device: direct peer-to-peer DMA
+        // when the topology has a link, host-mediated migration (the D2H
+        // leg on the source device, chained on the producer) otherwise.
         if st.residency == Residency::Device {
+            if let Some(t) = inner.p2p_migrate(a.id, target, stream) {
+                return Some(t);
+            }
             inner.migrate_to_host(a.id);
         }
         let spec = TaskSpec::bulk_copy(
@@ -515,10 +630,15 @@ impl Inner {
             if st.residency.on_device() && st.device == kdev {
                 continue;
             }
-            // Current copy only on another device: host-mediated
-            // cross-device migration (D2H on the source, then the H2D
-            // below onto this kernel's device).
+            // Current copy only on another device: direct peer-to-peer
+            // DMA when the topology links the two devices (no host
+            // involvement, no H2D leg), else a host-mediated migration
+            // (D2H on the source, then the H2D below onto this kernel's
+            // device).
             if st.residency == Residency::Device {
+                if self.p2p_migrate(*v, kdev, stream).is_some() {
+                    continue;
+                }
                 self.migrate_to_host(*v);
             }
             let bytes = st.bytes as f64;
@@ -595,6 +715,45 @@ impl Inner {
             st.last_writer = Some(t);
         }
         t
+    }
+
+    /// Direct device→device migration over a peer link, if the topology
+    /// has one between the source and `dst` (returns `None` otherwise).
+    /// The copy is chained on the consuming stream, on the producer of
+    /// the current copy, and on the link's same-direction DMA engine; it
+    /// contends with opposite-direction traffic on the link's aggregate
+    /// bandwidth in the rate solver. Counts toward
+    /// [`Cuda::migration_stats`] and [`Cuda::p2p_migration_stats`].
+    fn p2p_migrate(&mut self, v: ValueId, dst: u32, stream: StreamId) -> Option<TaskId> {
+        let st = self.arrays[&v].clone();
+        let src = st.device;
+        let lid = self.engine.topology().d2d_link(src, dst)?;
+        let link = self.engine.topology().link(lid).clone();
+        let dir = (src > dst) as usize;
+        let spec = TaskSpec::p2p_copy(
+            format!("p2p {v:?} d{src}->d{dst}"),
+            stream.0,
+            st.bytes as f64,
+            lid,
+            &link,
+        )
+        .on_device(dst)
+        .reading(&[v]);
+        let mut deps = stream_deps(&self.streams, stream);
+        deps.extend(self.last_p2p[lid.0 as usize][dir]);
+        deps.extend(st.last_writer);
+        let t = self.engine.submit(spec, &deps);
+        self.streams[stream.0 as usize].last = Some(t);
+        self.last_p2p[lid.0 as usize][dir] = Some(t);
+        self.migrations += 1;
+        self.migrated_bytes += st.bytes;
+        self.p2p_migrations += 1;
+        self.p2p_migrated_bytes += st.bytes;
+        let stm = self.arrays.get_mut(&v).unwrap();
+        stm.residency = Residency::Device; // the host copy stays stale
+        stm.device = dst;
+        stm.last_writer = Some(t);
+        Some(t)
     }
 
     /// Device→host leg of a cross-device migration: a bulk D2H on the
@@ -913,6 +1072,162 @@ mod tests {
         );
         assert_eq!(c.device_residency(&a), Some(1), "kernel wrote on device 1");
         assert_eq!(tl.devices_used(), vec![0, 1]);
+    }
+
+    #[test]
+    fn linked_devices_migrate_peer_to_peer() {
+        // Same producer/consumer chain as the host-mediated test, but on
+        // an NVLink pair: one direct P2P copy, no D2H staging leg, and
+        // the data arrives strictly faster than over the host path.
+        let run = |kind: TopologyKind| {
+            let c = Cuda::new_multi_topo(DeviceProfile::tesla_p100(), 2, kind);
+            let bytes = 16 << 20;
+            let a = c.alloc_f32(bytes / 4);
+            let s1 = c.stream_create_on(1);
+            let k = simple_kernel(&c, "produce", &a, 1.0);
+            c.launch(c.default_stream(), &k);
+            let k2 = simple_kernel(&c, "consume", &a, 1.0);
+            let t = c.launch(s1, &k2).unwrap();
+            c.task_sync(t);
+            assert!(c.races().is_empty());
+            c
+        };
+        let host = run(TopologyKind::PcieOnly);
+        let p2p = run(TopologyKind::NvlinkPair);
+
+        assert_eq!(host.p2p_migration_stats(), (0, 0));
+        assert_eq!(host.migration_stats(), host.host_migration_stats());
+        let tl = host.timeline();
+        assert_eq!(tl.of_kind(TaskKind::CopyP2P).count(), 0);
+        assert!(tl.of_kind(TaskKind::CopyD2H).count() >= 1, "staging leg");
+
+        assert_eq!(p2p.migration_stats(), (1, 16 << 20));
+        assert_eq!(p2p.p2p_migration_stats(), (1, 16 << 20));
+        assert_eq!(p2p.host_migration_stats(), (0, 0));
+        let tl = p2p.timeline();
+        assert_eq!(tl.of_kind(TaskKind::CopyP2P).count(), 1);
+        assert_eq!(tl.of_kind(TaskKind::CopyD2H).count(), 0, "no staging");
+        let copy = tl.of_kind(TaskKind::CopyP2P).next().unwrap();
+        let lid = p2p.topology().d2d_link(0, 1).unwrap();
+        assert_eq!(copy.link, Some(lid.0));
+        // Ordering held: consumer waits for the P2P copy.
+        let prod = tl.kernels().find(|iv| iv.label == "produce").unwrap();
+        let cons = tl.kernels().find(|iv| iv.label == "consume").unwrap();
+        assert!(copy.start >= prod.end - 1e-12);
+        assert!(cons.start >= copy.end - 1e-12);
+        // And the whole chain finishes sooner than host-mediated.
+        assert!(
+            p2p.now() < host.now(),
+            "p2p {} vs host-mediated {}",
+            p2p.now(),
+            host.now()
+        );
+        // Migration traffic landed on the peer link, not the host links.
+        let traffic = p2p.link_traffic();
+        assert_eq!(traffic[lid.0 as usize].1, 1);
+        assert!((traffic[lid.0 as usize].0 - (16 << 20) as f64).abs() < 0.5);
+        assert!(
+            p2p.host_link_bytes() < host.host_link_bytes(),
+            "p2p must take migration bytes off the host links"
+        );
+    }
+
+    #[test]
+    fn prefetch_uses_the_peer_link_when_available() {
+        let c = Cuda::new_multi_topo(DeviceProfile::tesla_p100(), 2, TopologyKind::FullyConnected);
+        let a = c.alloc_f32(1 << 20);
+        let s1 = c.stream_create_on(1);
+        let k = simple_kernel(&c, "produce", &a, 0.5);
+        c.launch(c.default_stream(), &k);
+        assert_eq!(c.device_residency(&a), Some(0));
+        let t = c.prefetch_async(s1, &a).expect("cross-device prefetch");
+        c.task_sync(t);
+        assert_eq!(c.device_residency(&a), Some(1));
+        assert_eq!(
+            c.residency(&a),
+            Residency::Device,
+            "p2p leaves the host copy stale"
+        );
+        let tl = c.timeline();
+        assert_eq!(tl.of_kind(TaskKind::CopyP2P).count(), 1);
+        assert_eq!(tl.of_kind(TaskKind::CopyD2H).count(), 0);
+        assert_eq!(c.p2p_migration_stats().0, 1);
+    }
+
+    #[test]
+    fn transfer_time_estimates_follow_the_links() {
+        let c = Cuda::new_multi_topo(DeviceProfile::tesla_p100(), 4, TopologyKind::NvlinkPair);
+        let dev = c.device();
+        let n = 1 << 20;
+        let bytes = (n * 4) as f64;
+        let host_leg = gpu_sim::topology::HOST_LINK_LATENCY + bytes / dev.pcie_bw;
+        let a = c.alloc_f32(n);
+        // Host-resident: one H2D leg (latency + transfer) to any device.
+        for d in 0..4 {
+            assert!((c.transfer_time_estimate(&a, d) - host_leg).abs() < 1e-12);
+        }
+        // Device-only on dev 0 after a writing kernel.
+        let k = simple_kernel(&c, "w", &a, 0.1);
+        let t = c.launch(c.default_stream(), &k).unwrap();
+        c.task_sync(t);
+        assert_eq!(c.transfer_time_estimate(&a, 0), 0.0);
+        let linked = c.transfer_time_estimate(&a, 1);
+        let crossed = c.transfer_time_estimate(&a, 2);
+        assert!(
+            linked < host_leg,
+            "nvlink beats even one PCIe leg: {linked}"
+        );
+        assert!(
+            (crossed - 2.0 * host_leg).abs() < 1e-12,
+            "host-mediated pays both legs, setup latency included"
+        );
+        // After a host read the copy is valid on both sides: one H2D leg
+        // to anywhere else, free where it lives.
+        c.host_read(&a, n * 4);
+        assert_eq!(c.transfer_time_estimate(&a, 0), 0.0);
+        assert!((c.transfer_time_estimate(&a, 2) - host_leg).abs() < 1e-12);
+        // Small arrays: the peer link's low latency must keep the direct
+        // hop cheaper than a host-mediated round trip.
+        let small = c.alloc_f32(64);
+        let ks = simple_kernel(&c, "ws", &small, 0.01);
+        let ts = c.launch(c.default_stream(), &ks).unwrap();
+        c.task_sync(ts);
+        assert!(
+            c.transfer_time_estimate(&small, 1) < c.transfer_time_estimate(&small, 2),
+            "linked hop must beat the two-leg host route even for tiny arrays"
+        );
+    }
+
+    #[test]
+    fn same_link_same_direction_p2p_copies_serialize() {
+        let c = Cuda::new_multi_topo(DeviceProfile::tesla_p100(), 2, TopologyKind::NvlinkPair);
+        let n = 4 << 20;
+        let a = c.alloc_f32(n / 4);
+        let b = c.alloc_f32(n / 4);
+        let s0 = c.default_stream();
+        let s0b = c.stream_create_on(0);
+        let ka = simple_kernel(&c, "wa", &a, 0.1);
+        let kb = simple_kernel(&c, "wb", &b, 0.1);
+        c.launch(s0, &ka);
+        c.launch(s0b, &kb);
+        c.device_sync();
+        let s1 = c.stream_create_on(1);
+        let s1b = c.stream_create_on(1);
+        c.prefetch_async(s1, &a);
+        c.prefetch_async(s1b, &b);
+        c.device_sync();
+        let tl = c.timeline();
+        let copies: Vec<_> = tl.of_kind(TaskKind::CopyP2P).collect();
+        assert_eq!(copies.len(), 2);
+        let (first, second) = if copies[0].start <= copies[1].start {
+            (copies[0], copies[1])
+        } else {
+            (copies[1], copies[0])
+        };
+        assert!(
+            second.start >= first.end - 1e-12,
+            "same-direction peer copies share one DMA engine"
+        );
     }
 
     #[test]

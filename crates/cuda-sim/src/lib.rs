@@ -36,4 +36,6 @@ pub use exec::KernelExec;
 pub use graph::{CudaGraph, GraphNodeId};
 pub use memory::{Residency, UnifiedArray};
 
-pub use gpu_sim::{DeviceProfile, Grid, KernelCost, TaskId, Time};
+pub use gpu_sim::{
+    DeviceProfile, Endpoint, Grid, KernelCost, Link, LinkId, TaskId, Time, Topology, TopologyKind,
+};

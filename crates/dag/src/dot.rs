@@ -25,8 +25,10 @@ const DEVICE_COLORS: [&str; 8] = [
 /// Scheduling metadata is rendered when present: vertices are filled
 /// with a per-device color (and labeled `@devN`) once a placement policy
 /// assigned them, and edges that crossed devices are drawn bold and
-/// labeled with the bytes migrated to satisfy them — making multi-GPU
-/// schedules visually debuggable.
+/// labeled with the bytes migrated to satisfy them — red with a `via
+/// host` tag when the move staged through the host, blue with a `p2p`
+/// tag when it went over a direct peer link — making multi-GPU schedules
+/// and interconnect usage visually debuggable.
 pub fn to_dot(dag: &ComputationDag, title: &str) -> String {
     let mut out = String::new();
     out.push_str(&format!("digraph \"{}\" {{\n", escape(title)));
@@ -63,8 +65,19 @@ pub fn to_dot(dag: &ComputationDag, title: &str) -> String {
         let mut label = format!("v{}", e.value.0);
         let mut attrs = String::new();
         if e.migrated_bytes > 0 {
-            label.push_str(&format!("\\n{} migrated", human_bytes(e.migrated_bytes)));
-            attrs.push_str(", style=bold, color=red");
+            if e.p2p {
+                label.push_str(&format!(
+                    "\\n{} migrated (p2p)",
+                    human_bytes(e.migrated_bytes)
+                ));
+                attrs.push_str(", style=bold, color=blue");
+            } else {
+                label.push_str(&format!(
+                    "\\n{} migrated (via host)",
+                    human_bytes(e.migrated_bytes)
+                ));
+                attrs.push_str(", style=bold, color=red");
+            }
         } else if e.read_only {
             attrs.push_str(", style=dashed");
         }
@@ -142,13 +155,50 @@ mod tests {
         );
         dag.set_device(k1, 0);
         dag.set_device(k2, 1);
-        dag.annotate_migration(k2, Value(0), 4 << 20);
+        dag.annotate_migration(k2, Value(0), 4 << 20, false);
         let dot = to_dot(&dag, "multi");
         assert!(dot.contains("@dev0") && dot.contains("@dev1"));
         assert!(dot.contains("fillcolor=lightblue"));
         assert!(dot.contains("fillcolor=palegreen"));
-        assert!(dot.contains("4.0 MiB migrated"));
+        assert!(dot.contains("4.0 MiB migrated (via host)"));
         assert!(dot.contains("style=bold, color=red"));
+        assert!(!dot.contains("color=blue"), "no p2p edge was annotated");
+    }
+
+    #[test]
+    fn p2p_and_host_migration_edges_are_styled_differently() {
+        // A three-step chain whose first hop crosses an NVLink (P2P) and
+        // whose second crosses islands (host-mediated): the render must
+        // distinguish them by color and tag, with byte labels on both.
+        let mut dag = ComputationDag::new();
+        let (k1, _) =
+            dag.add_computation(ElementKind::Kernel, "K1", vec![ArgAccess::write(Value(0))]);
+        let (k2, _) = dag.add_computation(
+            ElementKind::Kernel,
+            "K2",
+            vec![ArgAccess::read(Value(0)), ArgAccess::write(Value(1))],
+        );
+        let (k3, _) = dag.add_computation(
+            ElementKind::Kernel,
+            "K3",
+            vec![ArgAccess::read(Value(1)), ArgAccess::write(Value(2))],
+        );
+        dag.set_device(k1, 0);
+        dag.set_device(k2, 1);
+        dag.set_device(k3, 2);
+        dag.annotate_migration(k2, Value(0), 4 << 20, true);
+        dag.annotate_migration(k3, Value(1), 3 << 10, false);
+        let p2p_edges: Vec<_> = dag.edges().iter().filter(|e| e.p2p).collect();
+        assert_eq!(p2p_edges.len(), 1);
+        assert_eq!((p2p_edges[0].from, p2p_edges[0].to), (k1, k2));
+        let dot = to_dot(&dag, "links");
+        assert!(dot.contains("4.0 MiB migrated (p2p)"));
+        assert!(dot.contains("style=bold, color=blue"));
+        assert!(dot.contains("3.0 KiB migrated (via host)"));
+        assert!(dot.contains("style=bold, color=red"));
+        // Styling is per edge, not global: exactly one of each.
+        assert_eq!(dot.matches("color=blue").count(), 1);
+        assert_eq!(dot.matches("color=red").count(), 1);
     }
 
     #[test]
@@ -169,7 +219,7 @@ mod tests {
         dag.set_device(r1, 1);
         dag.set_device(r2, 0);
         dag.set_device(w2, 0);
-        dag.annotate_migration(w2, Value(0), 1024);
+        dag.annotate_migration(w2, Value(0), 1024, false);
         let stamped: Vec<_> = dag
             .edges()
             .iter()

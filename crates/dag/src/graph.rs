@@ -20,6 +20,10 @@ pub struct DepEdge {
     /// endpoints ran on the same device or the data was host-staged).
     /// Set by the scheduler via [`ComputationDag::annotate_migration`].
     pub migrated_bytes: usize,
+    /// True when the migration went over a direct peer-to-peer link;
+    /// false for host-mediated migrations (meaningful only when
+    /// `migrated_bytes > 0`).
+    pub p2p: bool,
 }
 
 /// Per-value ordering index: the last active writer and the active
@@ -374,6 +378,7 @@ impl ComputationDag {
             value,
             read_only,
             migrated_bytes: 0,
+            p2p: false,
         });
     }
 
@@ -387,12 +392,14 @@ impl ComputationDag {
 
     /// Record that satisfying `to`'s dependency on `value` migrated
     /// `bytes` across devices — the run-time migration-cost accounting
-    /// rendered by [`crate::to_dot`]. Exactly one incoming edge is
-    /// stamped (a writer after several readers has one WAR edge per
+    /// rendered by [`crate::to_dot`]. `p2p` records whether the move
+    /// went over a direct peer link or staged through the host (the two
+    /// are styled differently in the render). Exactly one incoming edge
+    /// is stamped (a writer after several readers has one WAR edge per
     /// reader for the same value, but the data moved once): preferably
     /// the edge whose source sits on another device, else the first
     /// match.
-    pub fn annotate_migration(&mut self, to: VertexId, value: Value, bytes: usize) {
+    pub fn annotate_migration(&mut self, to: VertexId, value: Value, bytes: usize, p2p: bool) {
         let to_device = self.try_vertex(to).and_then(|v| v.device);
         let matches: Vec<usize> = self
             .edges
@@ -408,6 +415,7 @@ impl ComputationDag {
         });
         if let Some(i) = cross.or_else(|| matches.first().copied()) {
             self.edges[i].migrated_bytes = bytes;
+            self.edges[i].p2p = p2p;
         }
     }
 }

@@ -195,6 +195,7 @@ impl KernelCost {
             h2d_bps: 0.0,
             d2h_bps: 0.0,
             fault_frac: 0.0,
+            link_bps: 0.0,
         };
         (solo, demand)
     }

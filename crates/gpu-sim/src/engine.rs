@@ -19,11 +19,12 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-use crate::fluid::max_min_rates;
+use crate::fluid::{max_min_rates, max_min_rates_vec};
 use crate::profile::DeviceProfile;
 use crate::race::{check_conflict, RaceReport};
-use crate::task::{ResourceDemand, TaskKind, TaskMeta, TaskSpec};
+use crate::task::{capacities, ResourceDemand, TaskKind, TaskMeta, TaskSpec, NUM_RESOURCES};
 use crate::timeline::{Interval, Timeline};
+use crate::topology::{LinkId, Topology};
 use crate::Time;
 
 /// Handle to a submitted task.
@@ -63,6 +64,7 @@ struct TaskState {
     label: String,
     stream: u32,
     device: u32,
+    link: Option<LinkId>,
     fixed_latency: Time,
     fluid_work: Time,
     demand: ResourceDemand,
@@ -101,6 +103,16 @@ pub struct Engine {
     /// Number of identical devices this engine simulates. Tasks carry a
     /// device id; only tasks on the same device share its resources.
     n_devices: u32,
+    /// The interconnect: host links plus any peer links. Link capacities
+    /// join the per-device resources in the rate solve whenever a task
+    /// in the active set occupies a link.
+    topo: Topology,
+    /// Bytes moved over each link so far (host links by transfer
+    /// direction/device, peer links by task attribution). Indexed like
+    /// [`Topology::links`]; survives [`Engine::clear_timeline`].
+    link_bytes: Vec<f64>,
+    /// Transfers completed per link, aligned with `link_bytes`.
+    link_transfers: Vec<usize>,
     now: Time,
     /// States of tasks `base..base + tasks.len()`. Ids below `base`
     /// belong to completed tasks whose state was reclaimed by
@@ -130,14 +142,43 @@ impl Engine {
         Self::new_multi(dev, 1)
     }
 
-    /// An engine simulating `n` identical devices. Tasks are placed with
-    /// [`TaskSpec::on_device`]; each device has its own resource pool, so
-    /// tasks on different devices progress independently.
+    /// An engine simulating `n` identical devices over host (PCIe) links
+    /// only. Tasks are placed with [`TaskSpec::on_device`]; each device
+    /// has its own resource pool, so tasks on different devices progress
+    /// independently.
     pub fn new_multi(dev: DeviceProfile, n: usize) -> Self {
-        assert!(n >= 1, "need at least one device");
+        let topo = Topology::pcie_only(n, &dev);
+        Self::with_topology(dev, topo)
+    }
+
+    /// An engine spanning the devices of an explicit interconnect
+    /// [`Topology`]. Peer links become machine-wide resources in the
+    /// fluid solver: concurrent [`TaskSpec::p2p_copy`] tasks on the same
+    /// link share its aggregate bandwidth, whichever devices they run on.
+    pub fn with_topology(dev: DeviceProfile, topo: Topology) -> Self {
+        let n = topo.device_count();
+        let n_links = topo.links().len();
+        // Host-side copies are timed against the device profile's PCIe
+        // bandwidth (bulk-copy specs and the per-device h2d/d2h
+        // capacities both come from `dev.pcie_bw`), so a topology whose
+        // host links claim a different rate would be silently ignored —
+        // fail loudly instead. The presets always satisfy this.
+        for d in 0..n as u32 {
+            let host_bw = topo.link(topo.host_link(d)).bandwidth;
+            assert!(
+                (host_bw - dev.pcie_bw).abs() < 1e-6 * dev.pcie_bw,
+                "host link of device {d} declares {host_bw} B/s but the device \
+                 profile's PCIe bandwidth is {} B/s — host transfers are timed \
+                 against the profile, so the two must match",
+                dev.pcie_bw
+            );
+        }
         Engine {
             dev,
             n_devices: n as u32,
+            topo,
+            link_bytes: vec![0.0; n_links],
+            link_transfers: vec![0; n_links],
             now: 0.0,
             tasks: Vec::new(),
             base: 0,
@@ -160,6 +201,22 @@ impl Engine {
     /// Number of identical devices this engine simulates.
     pub fn device_count(&self) -> usize {
         self.n_devices as usize
+    }
+
+    /// The interconnect topology this engine simulates.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Lifetime `(bytes, transfers)` moved over each link, indexed like
+    /// [`Topology::links`] (host links first, then peer links). Unlike
+    /// the timeline this is never cleared.
+    pub fn link_traffic(&self) -> Vec<(f64, usize)> {
+        self.link_bytes
+            .iter()
+            .zip(&self.link_transfers)
+            .map(|(&b, &t)| (b, t))
+            .collect()
     }
 
     /// Submitted-but-unfinished tasks currently placed on a device — the
@@ -197,12 +254,19 @@ impl Engine {
             "task placed on unknown device {}",
             spec.device
         );
+        if let Some(l) = spec.link {
+            assert!(
+                (l.0 as usize) < self.topo.links().len(),
+                "task placed on unknown link {l:?}"
+            );
+        }
         let device = spec.device;
         self.tasks.push(TaskState {
             kind: spec.kind,
             label: spec.label,
             stream: spec.stream,
             device: spec.device,
+            link: spec.link,
             fixed_latency: spec.fixed_latency,
             fluid_work: spec.fluid_work,
             demand: spec.demand,
@@ -385,7 +449,38 @@ impl Engine {
         if !self.rates_dirty {
             return;
         }
-        if self.n_devices == 1 {
+        let any_link = self
+            .active
+            .iter()
+            .any(|&i| self.tasks[self.slot(i)].link.is_some());
+        if any_link {
+            // Link occupants couple devices together: solve globally over
+            // one resource space of per-device blocks plus one slot per
+            // link. Demand vectors are small (devices × 7 + links) and the
+            // active set is the in-flight window, so this stays cheap.
+            let n_dev = self.n_devices as usize;
+            let dev_caps = capacities(&self.dev);
+            let mut caps = Vec::with_capacity(n_dev * NUM_RESOURCES + self.topo.links().len());
+            for _ in 0..n_dev {
+                caps.extend_from_slice(&dev_caps);
+            }
+            caps.extend(self.topo.links().iter().map(|l| l.bandwidth));
+            let demands: Vec<Vec<f64>> = self
+                .active
+                .iter()
+                .map(|&i| {
+                    let t = &self.tasks[self.slot(i)];
+                    let mut d = vec![0.0; caps.len()];
+                    let base = t.device as usize * NUM_RESOURCES;
+                    d[base..base + NUM_RESOURCES].copy_from_slice(&t.demand.as_vec());
+                    if let Some(l) = t.link {
+                        d[n_dev * NUM_RESOURCES + l.0 as usize] = t.demand.link_bps;
+                    }
+                    d
+                })
+                .collect();
+            self.rates = max_min_rates_vec(&demands, &caps);
+        } else if self.n_devices == 1 {
             let demands: Vec<ResourceDemand> = self
                 .active
                 .iter()
@@ -459,11 +554,21 @@ impl Engine {
         self.tasks[i].phase = Phase::Done;
         self.stats.completed += 1;
         self.inflight[self.tasks[i].device as usize] -= 1;
+        // Transfers are attributed to the link they moved over: peer
+        // copies carry their link explicitly; host-side copies and fault
+        // migrations use their device's host link.
+        let link = match self.tasks[i].kind {
+            k if k.is_transfer() => self.tasks[i]
+                .link
+                .or_else(|| Some(self.topo.host_link(self.tasks[i].device))),
+            _ => self.tasks[i].link,
+        };
         let iv = Interval {
             task: idx,
             kind: self.tasks[i].kind,
             stream: self.tasks[i].stream,
             device: self.tasks[i].device,
+            link: link.map(|l| l.0),
             label: self.tasks[i].label.clone(),
             start: self.tasks[i].started,
             end: self.now,
@@ -473,6 +578,12 @@ impl Engine {
             TaskKind::Kernel => self.stats.kernel_time += iv.duration(),
             k if k.is_transfer() => self.stats.transfer_time += iv.duration(),
             _ => {}
+        }
+        if iv.kind.is_transfer() {
+            if let Some(l) = link {
+                self.link_bytes[l.0 as usize] += iv.meta.bytes;
+                self.link_transfers[l.0 as usize] += 1;
+            }
         }
         self.timeline.push(iv);
         if let Some(f) = self.tasks[i].on_complete.take() {
@@ -701,6 +812,76 @@ mod tests {
         );
         e.sync_all();
         assert!((e.now() - 2e-3).abs() < 1e-9, "now = {}", e.now());
+    }
+
+    #[test]
+    fn p2p_copies_contend_on_their_link_across_devices() {
+        use crate::topology::{Topology, TopologyKind};
+        let d = dev();
+        let topo = Topology::preset(TopologyKind::FullyConnected, 4, &d);
+        let l01 = topo.d2d_link(0, 1).unwrap();
+        let l23 = topo.d2d_link(2, 3).unwrap();
+        let bw = topo.link(l01).bandwidth;
+        let lat = topo.link(l01).latency;
+        let mut e = Engine::with_topology(d, topo.clone());
+        // Two copies share link 0-1 even though they sit on different
+        // devices; a third copy on link 2-3 is unaffected.
+        let a = e.submit(
+            TaskSpec::p2p_copy("a", 0, bw * 1e-3, l01, topo.link(l01)).on_device(0),
+            &[],
+        );
+        let b = e.submit(
+            TaskSpec::p2p_copy("b", 1, bw * 1e-3, l01, topo.link(l01)).on_device(1),
+            &[],
+        );
+        let c = e.submit(
+            TaskSpec::p2p_copy("c", 2, bw * 1e-3, l23, topo.link(l23)).on_device(2),
+            &[],
+        );
+        e.sync_task(c);
+        assert!(
+            (e.now() - (lat + 1e-3)).abs() < 1e-9,
+            "solo link: c at {}",
+            e.now()
+        );
+        e.sync_task(a);
+        e.sync_task(b);
+        assert!(
+            (e.now() - (lat + 2e-3)).abs() < 1e-9,
+            "shared link halves both: {}",
+            e.now()
+        );
+        // Link traffic is attributed per link; host links stay idle.
+        let traffic = e.link_traffic();
+        assert_eq!(traffic[l01.0 as usize], (2.0 * bw * 1e-3, 2));
+        assert_eq!(traffic[l23.0 as usize], (bw * 1e-3, 1));
+        for (h, t) in traffic.iter().take(4).enumerate() {
+            assert_eq!(*t, (0.0, 0), "host link {h} must be idle");
+        }
+        // Timeline intervals carry the link attribution.
+        assert_eq!(e.timeline().of_link(l01.0).count(), 2);
+        assert!(e
+            .timeline()
+            .transfers()
+            .all(|iv| iv.kind == TaskKind::CopyP2P));
+    }
+
+    #[test]
+    fn host_transfers_are_charged_to_their_device_host_link() {
+        let d = dev();
+        let mut e = Engine::new_multi(d.clone(), 2);
+        let c0 = e.submit(TaskSpec::bulk_copy(TaskKind::CopyH2D, "x", 0, 1e6, &d), &[]);
+        let c1 = e.submit(
+            TaskSpec::bulk_copy(TaskKind::CopyD2H, "y", 1, 2e6, &d).on_device(1),
+            &[],
+        );
+        e.sync_task(c0);
+        e.sync_task(c1);
+        let traffic = e.link_traffic();
+        assert_eq!(traffic[0], (1e6, 1));
+        assert_eq!(traffic[1], (2e6, 1));
+        assert_eq!(e.timeline().of_link(0).count(), 1);
+        assert_eq!(e.timeline().of_link(1).count(), 1);
     }
 
     #[test]

@@ -33,26 +33,48 @@ pub fn max_min_rates_raw(
     demands: &[[f64; NUM_RESOURCES]],
     caps: &[f64; NUM_RESOURCES],
 ) -> Vec<f64> {
+    progressive_fill(demands, caps)
+}
+
+/// Progressive filling over variable-length demand vectors: the global
+/// form used when interconnect links join the per-device resources in
+/// one solve (a peer link is shared by tasks on *different* devices, so
+/// link contention cannot be solved per device). All demand vectors must
+/// have the same length as `caps`.
+pub fn max_min_rates_vec(demands: &[Vec<f64>], caps: &[f64]) -> Vec<f64> {
+    progressive_fill(demands, caps)
+}
+
+/// The shared progressive-filling core, generic over the demand-vector
+/// storage so the fixed-width per-device path stays allocation-free (it
+/// runs on every rate refresh of the engine's hottest loop) while the
+/// global link-aware path can use dynamically-sized vectors.
+fn progressive_fill<D: AsRef<[f64]>>(demands: &[D], caps: &[f64]) -> Vec<f64> {
     let n = demands.len();
+    let nr = caps.len();
     let mut rates = vec![0.0f64; n];
     if n == 0 {
         return rates;
     }
+    debug_assert!(demands.iter().all(|d| d.as_ref().len() == nr));
     let mut frozen = vec![false; n];
     // Residual capacity after subtracting frozen tasks' consumption.
-    let mut residual = *caps;
+    let mut residual = caps.to_vec();
 
     loop {
         // Uniform growth level `t` for all unfrozen tasks, bounded by the
         // most congested resource and by the solo ceiling of 1.0.
         let mut t = 1.0f64;
         let mut binding: Option<usize> = None;
-        for r in 0..NUM_RESOURCES {
-            let load: f64 = (0..n).filter(|&i| !frozen[i]).map(|i| demands[i][r]).sum();
+        for (r, res) in residual.iter().enumerate().take(nr) {
+            let load: f64 = (0..n)
+                .filter(|&i| !frozen[i])
+                .map(|i| demands[i].as_ref()[r])
+                .sum();
             if load <= 0.0 {
                 continue;
             }
-            let limit = (residual[r] / load).max(0.0);
+            let limit = (res / load).max(0.0);
             if limit < t {
                 t = limit;
                 binding = Some(r);
@@ -75,11 +97,11 @@ pub fn max_min_rates_raw(
                 // resource at level `t`; charge its usage to residual.
                 let mut any = false;
                 for i in 0..n {
-                    if !frozen[i] && demands[i][r] > 0.0 {
+                    if !frozen[i] && demands[i].as_ref()[r] > 0.0 {
                         frozen[i] = true;
                         rates[i] = t;
                         any = true;
-                        for (res, d) in residual.iter_mut().zip(demands[i].iter()) {
+                        for (res, d) in residual.iter_mut().zip(demands[i].as_ref().iter()) {
                             *res -= t * d;
                         }
                     }
@@ -234,6 +256,35 @@ mod tests {
         for x in r {
             assert!((x - 0.1).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn global_solve_shares_a_link_across_devices() {
+        // Resource space: [dev0 sm, dev1 sm, link]. Two kernels on
+        // different devices run free; two copies on the shared link
+        // halve each other; a copy on another link would be unaffected.
+        let caps = vec![1.0, 1.0, 1.0];
+        let demands = vec![
+            vec![1.0, 0.0, 0.0], // kernel on dev0
+            vec![0.0, 1.0, 0.0], // kernel on dev1
+            vec![0.0, 0.0, 1.0], // p2p copy on the link
+            vec![0.0, 0.0, 1.0], // opposite-direction copy, same link
+        ];
+        let r = max_min_rates_vec(&demands, &caps);
+        assert_eq!(r[0], 1.0);
+        assert_eq!(r[1], 1.0);
+        assert!((r[2] - 0.5).abs() < 1e-12);
+        assert!((r[3] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn global_solve_matches_fixed_width_solver() {
+        let d = dev();
+        let demands = [sm(1.0), sm(0.3), dram(d.dram_bw)];
+        let fixed = max_min_rates(&demands, &d);
+        let caps = crate::task::capacities(&d).to_vec();
+        let dvecs: Vec<Vec<f64>> = demands.iter().map(|x| x.as_vec().to_vec()).collect();
+        assert_eq!(fixed, max_min_rates_vec(&dvecs, &caps));
     }
 }
 

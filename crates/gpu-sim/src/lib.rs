@@ -65,6 +65,7 @@ mod prop_tests;
 pub mod race;
 pub mod task;
 pub mod timeline;
+pub mod topology;
 
 pub use cost::{Grid, KernelCost};
 pub use data::{DataBuffer, TypedData, ValueId};
@@ -73,6 +74,7 @@ pub use profile::{Architecture, DeviceProfile};
 pub use race::RaceReport;
 pub use task::{ResourceDemand, TaskKind, TaskMeta, TaskSpec};
 pub use timeline::{Interval, Timeline};
+pub use topology::{Endpoint, Link, LinkId, Topology, TopologyKind};
 
 /// Virtual time, in seconds.
 pub type Time = f64;

@@ -15,6 +15,8 @@ pub enum TaskKind {
     CopyH2D,
     /// Bulk device→host copy.
     CopyD2H,
+    /// Direct device→device copy over a peer-to-peer interconnect link.
+    CopyP2P,
     /// On-demand unified-memory migration to the device (page-fault path).
     FaultH2D,
     /// On-demand unified-memory migration back to the host.
@@ -26,17 +28,26 @@ pub enum TaskKind {
 }
 
 impl TaskKind {
-    /// True for the two bulk-copy and two fault-migration kinds.
+    /// True for the bulk-copy, peer-to-peer and fault-migration kinds.
     pub fn is_transfer(self) -> bool {
         matches!(
             self,
-            TaskKind::CopyH2D | TaskKind::CopyD2H | TaskKind::FaultH2D | TaskKind::FaultD2H
+            TaskKind::CopyH2D
+                | TaskKind::CopyD2H
+                | TaskKind::CopyP2P
+                | TaskKind::FaultH2D
+                | TaskKind::FaultD2H
         )
     }
 
     /// True if the transfer moves data toward the device.
     pub fn is_h2d(self) -> bool {
         matches!(self, TaskKind::CopyH2D | TaskKind::FaultH2D)
+    }
+
+    /// True for a direct device→device transfer.
+    pub fn is_p2p(self) -> bool {
+        matches!(self, TaskKind::CopyP2P)
     }
 }
 
@@ -61,6 +72,12 @@ pub struct ResourceDemand {
     pub d2h_bps: f64,
     /// Fraction of the unified-memory fault controller.
     pub fault_frac: f64,
+    /// Interconnect-link bandwidth demand, bytes/s, charged to the link
+    /// named by [`TaskSpec::link`]. Links are machine-wide resources (a
+    /// peer link is shared by both of its devices), so this component is
+    /// solved globally rather than per device, outside the fixed
+    /// per-device resource vector.
+    pub link_bps: f64,
 }
 
 /// The shared-resource index space used by the fluid solver.
@@ -122,8 +139,12 @@ pub struct TaskSpec {
     /// ordering comes from the dependency edges the caller supplies).
     pub stream: u32,
     /// Device the task occupies. Tasks on different devices never contend
-    /// for resources: the fluid solver allocates rates per device.
+    /// for device resources: the fluid solver allocates rates per device.
     pub device: u32,
+    /// Interconnect link the task occupies, if any (peer-to-peer
+    /// copies). Link capacity is shared machine-wide: tasks on the same
+    /// link contend even when they run on different devices.
+    pub link: Option<crate::topology::LinkId>,
     /// Contention-independent setup latency (launch overhead etc.).
     pub fixed_latency: Time,
     /// Solo duration of the contention-scaled phase.
@@ -148,6 +169,7 @@ impl std::fmt::Debug for TaskSpec {
             .field("label", &self.label)
             .field("stream", &self.stream)
             .field("device", &self.device)
+            .field("link", &self.link)
             .field("fixed_latency", &self.fixed_latency)
             .field("fluid_work", &self.fluid_work)
             .field("demand", &self.demand)
@@ -164,6 +186,7 @@ impl TaskSpec {
             label: label.into(),
             stream,
             device: 0,
+            link: None,
             fixed_latency: 0.0,
             fluid_work: 0.0,
             demand: ResourceDemand::default(),
@@ -209,6 +232,26 @@ impl TaskSpec {
         } else {
             t.demand.d2h_bps = dev.pcie_bw;
         }
+        t.meta.bytes = bytes;
+        t
+    }
+
+    /// A direct device→device copy of `bytes` over an interconnect link
+    /// at the link's full rate. Concurrent copies on the same link share
+    /// its aggregate bandwidth in the fluid solver; copies on different
+    /// links are independent.
+    pub fn p2p_copy(
+        label: impl Into<String>,
+        stream: u32,
+        bytes: f64,
+        link_id: crate::topology::LinkId,
+        link: &crate::topology::Link,
+    ) -> Self {
+        let mut t = Self::new(TaskKind::CopyP2P, label, stream);
+        t.link = Some(link_id);
+        t.fixed_latency = link.latency;
+        t.fluid_work = bytes / link.bandwidth;
+        t.demand.link_bps = link.bandwidth;
         t.meta.bytes = bytes;
         t
     }
@@ -324,5 +367,28 @@ mod tests {
         assert!(TaskKind::FaultH2D.is_h2d());
         assert!(!TaskKind::CopyD2H.is_h2d());
         assert!(!TaskKind::Kernel.is_transfer());
+        assert!(TaskKind::CopyP2P.is_transfer());
+        assert!(TaskKind::CopyP2P.is_p2p());
+        assert!(!TaskKind::CopyP2P.is_h2d());
+        assert!(!TaskKind::CopyH2D.is_p2p());
+    }
+
+    #[test]
+    fn p2p_copy_charges_the_link() {
+        use crate::topology::{Topology, TopologyKind};
+        let dev = DeviceProfile::tesla_p100();
+        let topo = Topology::preset(TopologyKind::FullyConnected, 2, &dev);
+        let lid = topo.d2d_link(0, 1).unwrap();
+        let link = topo.link(lid);
+        let t = TaskSpec::p2p_copy("x", 0, link.bandwidth, lid, link);
+        assert_eq!(t.kind, TaskKind::CopyP2P);
+        assert_eq!(t.link, Some(lid));
+        assert!((t.fluid_work - 1.0).abs() < 1e-9);
+        assert_eq!(t.demand.link_bps, link.bandwidth);
+        assert_eq!(t.demand.h2d_bps, 0.0, "peer copies bypass the host links");
+        assert_eq!(t.demand.d2h_bps, 0.0);
+        // Much faster than the host-mediated pair of PCIe legs.
+        let host = TaskSpec::bulk_copy(TaskKind::CopyD2H, "x", 0, link.bandwidth, &dev);
+        assert!(t.fluid_work < host.fluid_work);
     }
 }

@@ -20,6 +20,11 @@ pub struct Interval {
     pub stream: u32,
     /// Device the operation ran on (0 for single-device engines).
     pub device: u32,
+    /// Interconnect link a transfer moved over (index into the engine's
+    /// [`crate::topology::Topology::links`]): the peer link for P2P
+    /// copies, the device's host link for bulk copies and fault
+    /// migrations, `None` for non-transfers.
+    pub link: Option<u32>,
     /// Display label.
     pub label: String,
     /// When the task became ready and started its fixed-latency phase.
@@ -134,6 +139,13 @@ impl Timeline {
         self.intervals.iter().filter(move |iv| iv.device == device)
     }
 
+    /// Transfer intervals that moved over a given interconnect link.
+    pub fn of_link(&self, link: u32) -> impl Iterator<Item = &Interval> {
+        self.intervals
+            .iter()
+            .filter(move |iv| iv.link == Some(link))
+    }
+
     /// Devices that carried GPU work (kernels or transfers), ascending.
     pub fn devices_used(&self) -> Vec<u32> {
         let mut ids: Vec<u32> = self
@@ -189,6 +201,7 @@ mod tests {
             kind,
             stream,
             device: 0,
+            link: None,
             label: String::new(),
             start,
             end,

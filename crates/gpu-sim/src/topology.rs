@@ -1,0 +1,343 @@
+//! Interconnect-topology model: the links data moves over.
+//!
+//! The engine's per-device resource pools model what happens *inside* a
+//! device; a [`Topology`] models what happens *between* them. Every
+//! device always has a host link (PCIe); presets additionally wire
+//! device↔device links (NVLink-style) that migrations can use for
+//! direct peer-to-peer DMA instead of staging through the host.
+//!
+//! Links are first-class resources in the fluid rate solver: every
+//! transfer is charged to the link it moves over, and concurrent
+//! transfers on the same link share its bandwidth max–min fairly. A
+//! device-to-device link is modeled with a single aggregate capacity for
+//! both directions (the common way NVLink bandwidth is quoted).
+
+use crate::profile::DeviceProfile;
+use crate::Time;
+
+/// Default bandwidth of a device↔device (NVLink-style) link, bytes/s.
+/// Roughly the aggregate NVLink 1.0 bandwidth of the paper's era —
+/// a bit over 3× the PCIe 3.0 x16 link the presets pair it with.
+pub const NVLINK_BW: f64 = 40.0e9;
+
+/// Default one-way latency charged per peer-to-peer transfer.
+pub const NVLINK_LATENCY: Time = 5e-6;
+
+/// Default latency of a host link transfer setup (matched by the bulk
+/// copy launch overhead the host links already charge).
+pub const HOST_LINK_LATENCY: Time = 4e-6;
+
+/// Handle to a link in a [`Topology`] (index into [`Topology::links`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LinkId(pub u32);
+
+/// One endpoint of a link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Endpoint {
+    /// The host (CPU + system memory).
+    Host,
+    /// A GPU device.
+    Device(u32),
+}
+
+/// A bidirectional interconnect link with an aggregate capacity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Link {
+    /// One endpoint (the host for host links, the lower device id for
+    /// device↔device links).
+    pub a: Endpoint,
+    /// The other endpoint.
+    pub b: Endpoint,
+    /// Aggregate bandwidth in bytes/s shared by all transfers in flight
+    /// on this link.
+    pub bandwidth: f64,
+    /// Fixed per-transfer setup latency.
+    pub latency: Time,
+}
+
+impl Link {
+    /// Human-readable label (`host-d0`, `d0-d1`, ...), used by metrics
+    /// tables and DOT renders.
+    pub fn label(&self) -> String {
+        let end = |e: Endpoint| match e {
+            Endpoint::Host => "host".to_string(),
+            Endpoint::Device(d) => format!("d{d}"),
+        };
+        format!("{}-{}", end(self.a), end(self.b))
+    }
+
+    /// True for a device↔device (peer-to-peer capable) link.
+    pub fn is_d2d(&self) -> bool {
+        matches!((self.a, self.b), (Endpoint::Device(_), Endpoint::Device(_)))
+    }
+}
+
+/// The built-in interconnect presets, selectable at context
+/// construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TopologyKind {
+    /// Host links only: every cross-device move stages through the host
+    /// (the pre-P2P baseline, and the default).
+    PcieOnly,
+    /// NVLink between device pairs `(0,1)`, `(2,3)`, ...: fast islands
+    /// of two, host-mediated across islands.
+    NvlinkPair,
+    /// NVLink between every device pair (an NVSwitch-style machine).
+    FullyConnected,
+    /// NVLink ring: device `i` connects to `(i+1) % n`.
+    Ring,
+}
+
+impl TopologyKind {
+    /// All presets, in sweep order.
+    pub const ALL: [TopologyKind; 4] = [
+        TopologyKind::PcieOnly,
+        TopologyKind::NvlinkPair,
+        TopologyKind::FullyConnected,
+        TopologyKind::Ring,
+    ];
+
+    /// Short display name for tables and sweeps.
+    pub fn name(self) -> &'static str {
+        match self {
+            TopologyKind::PcieOnly => "pcie-only",
+            TopologyKind::NvlinkPair => "nvlink-pair",
+            TopologyKind::FullyConnected => "fully-connected",
+            TopologyKind::Ring => "ring",
+        }
+    }
+
+    /// Parse a sweep/CLI name produced by [`TopologyKind::name`].
+    pub fn parse(s: &str) -> Option<TopologyKind> {
+        TopologyKind::ALL.into_iter().find(|k| k.name() == s)
+    }
+}
+
+/// The interconnect of a simulated machine: `n` devices, one host link
+/// per device, plus the preset's device↔device links.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Topology {
+    kind: TopologyKind,
+    n_devices: u32,
+    /// Links `0..n_devices` are the host links (link `d` serves device
+    /// `d`); the rest are device↔device links.
+    links: Vec<Link>,
+}
+
+impl Topology {
+    /// Build a preset topology for `n` devices, with host links at the
+    /// device's PCIe bandwidth and NVLink-class device↔device links.
+    pub fn preset(kind: TopologyKind, n: usize, dev: &DeviceProfile) -> Self {
+        Self::with_bandwidths(kind, n, dev.pcie_bw, NVLINK_BW)
+    }
+
+    /// Host-links-only topology (what [`TopologyKind::PcieOnly`] builds).
+    pub fn pcie_only(n: usize, dev: &DeviceProfile) -> Self {
+        Self::preset(TopologyKind::PcieOnly, n, dev)
+    }
+
+    /// Build a preset with explicit host-link and peer-link bandwidths.
+    ///
+    /// `host_bw` must match the PCIe bandwidth of the device profile the
+    /// engine runs with (host transfers are timed against the profile;
+    /// `Engine::with_topology` asserts the two agree). The presets pass
+    /// `dev.pcie_bw`, which always satisfies this.
+    pub fn with_bandwidths(kind: TopologyKind, n: usize, host_bw: f64, d2d_bw: f64) -> Self {
+        assert!(n >= 1, "need at least one device");
+        assert!(host_bw > 0.0 && d2d_bw > 0.0, "bandwidths must be positive");
+        let mut links: Vec<Link> = (0..n as u32)
+            .map(|d| Link {
+                a: Endpoint::Host,
+                b: Endpoint::Device(d),
+                bandwidth: host_bw,
+                latency: HOST_LINK_LATENCY,
+            })
+            .collect();
+        let mut pair = |a: u32, b: u32| {
+            links.push(Link {
+                a: Endpoint::Device(a.min(b)),
+                b: Endpoint::Device(a.max(b)),
+                bandwidth: d2d_bw,
+                latency: NVLINK_LATENCY,
+            });
+        };
+        match kind {
+            TopologyKind::PcieOnly => {}
+            TopologyKind::NvlinkPair => {
+                let mut d = 0;
+                while d + 1 < n as u32 {
+                    pair(d, d + 1);
+                    d += 2;
+                }
+            }
+            TopologyKind::FullyConnected => {
+                for a in 0..n as u32 {
+                    for b in (a + 1)..n as u32 {
+                        pair(a, b);
+                    }
+                }
+            }
+            TopologyKind::Ring => {
+                // A ring over n >= 3 devices; for n == 2 the ring
+                // degenerates to the single pair link (not two parallel
+                // links), and a 1-device ring has no peers at all.
+                if n == 2 {
+                    pair(0, 1);
+                } else if n >= 3 {
+                    for d in 0..n as u32 {
+                        pair(d, (d + 1) % n as u32);
+                    }
+                }
+            }
+        }
+        Topology {
+            kind,
+            n_devices: n as u32,
+            links,
+        }
+    }
+
+    /// Which preset built this topology.
+    pub fn kind(&self) -> TopologyKind {
+        self.kind
+    }
+
+    /// Number of devices spanned.
+    pub fn device_count(&self) -> usize {
+        self.n_devices as usize
+    }
+
+    /// Every link, host links first (link `d` is device `d`'s host
+    /// link), then the device↔device links.
+    pub fn links(&self) -> &[Link] {
+        &self.links
+    }
+
+    /// A link by handle.
+    pub fn link(&self, id: LinkId) -> &Link {
+        &self.links[id.0 as usize]
+    }
+
+    /// The host link of a device.
+    pub fn host_link(&self, device: u32) -> LinkId {
+        assert!(device < self.n_devices, "unknown device {device}");
+        LinkId(device)
+    }
+
+    /// The direct device↔device link between two devices, if the
+    /// topology has one (peer-to-peer DMA is possible exactly when it
+    /// does).
+    pub fn d2d_link(&self, a: u32, b: u32) -> Option<LinkId> {
+        if a == b {
+            return None;
+        }
+        let (lo, hi) = (Endpoint::Device(a.min(b)), Endpoint::Device(a.max(b)));
+        self.links
+            .iter()
+            .position(|l| l.a == lo && l.b == hi)
+            .map(|i| LinkId(i as u32))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn topo(kind: TopologyKind, n: usize) -> Topology {
+        Topology::preset(kind, n, &DeviceProfile::tesla_p100())
+    }
+
+    /// The expected device↔device pairs of each preset — the round-trip
+    /// check that construction yields exactly the advertised link set.
+    fn d2d_pairs(t: &Topology) -> Vec<(u32, u32)> {
+        t.links()
+            .iter()
+            .filter_map(|l| match (l.a, l.b) {
+                (Endpoint::Device(a), Endpoint::Device(b)) => Some((a, b)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn every_preset_has_one_host_link_per_device() {
+        for kind in TopologyKind::ALL {
+            for n in [1usize, 2, 3, 4, 8] {
+                let t = topo(kind, n);
+                assert_eq!(t.device_count(), n);
+                for d in 0..n as u32 {
+                    let l = t.link(t.host_link(d));
+                    assert_eq!(l.a, Endpoint::Host);
+                    assert_eq!(l.b, Endpoint::Device(d));
+                    assert!(!l.is_d2d());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pcie_only_has_no_peer_links() {
+        let t = topo(TopologyKind::PcieOnly, 4);
+        assert!(d2d_pairs(&t).is_empty());
+        assert_eq!(t.d2d_link(0, 1), None);
+        assert_eq!(t.links().len(), 4);
+    }
+
+    #[test]
+    fn nvlink_pair_wires_even_odd_islands() {
+        let t = topo(TopologyKind::NvlinkPair, 4);
+        assert_eq!(d2d_pairs(&t), vec![(0, 1), (2, 3)]);
+        assert!(t.d2d_link(0, 1).is_some());
+        assert!(t.d2d_link(1, 0).is_some(), "links are bidirectional");
+        assert_eq!(t.d2d_link(1, 2), None, "cross-island is host-mediated");
+        assert_eq!(t.d2d_link(0, 3), None);
+        // Odd device counts leave the last device with its host link only.
+        let t3 = topo(TopologyKind::NvlinkPair, 3);
+        assert_eq!(d2d_pairs(&t3), vec![(0, 1)]);
+    }
+
+    #[test]
+    fn fully_connected_wires_every_pair() {
+        let t = topo(TopologyKind::FullyConnected, 4);
+        assert_eq!(
+            d2d_pairs(&t),
+            vec![(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]
+        );
+        for a in 0..4 {
+            for b in 0..4 {
+                assert_eq!(t.d2d_link(a, b).is_some(), a != b);
+            }
+        }
+    }
+
+    #[test]
+    fn ring_wires_neighbors_only() {
+        let t = topo(TopologyKind::Ring, 4);
+        assert_eq!(d2d_pairs(&t), vec![(0, 1), (1, 2), (2, 3), (0, 3)]);
+        assert!(t.d2d_link(3, 0).is_some(), "the ring closes");
+        assert_eq!(t.d2d_link(0, 2), None, "no chord links");
+        // Two-device ring degenerates to one pair link, not two.
+        assert_eq!(d2d_pairs(&topo(TopologyKind::Ring, 2)), vec![(0, 1)]);
+        // One device: no peers.
+        assert!(d2d_pairs(&topo(TopologyKind::Ring, 1)).is_empty());
+    }
+
+    #[test]
+    fn peer_links_are_faster_than_host_links() {
+        let t = topo(TopologyKind::FullyConnected, 2);
+        let host = t.link(t.host_link(0));
+        let peer = t.link(t.d2d_link(0, 1).unwrap());
+        assert!(peer.bandwidth > 2.0 * host.bandwidth);
+        assert_eq!(peer.label(), "d0-d1");
+        assert_eq!(host.label(), "host-d0");
+    }
+
+    #[test]
+    fn kind_names_round_trip() {
+        for kind in TopologyKind::ALL {
+            assert_eq!(TopologyKind::parse(kind.name()), Some(kind));
+            assert_eq!(topo(kind, 4).kind(), kind);
+        }
+        assert_eq!(TopologyKind::parse("nope"), None);
+    }
+}

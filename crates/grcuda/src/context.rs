@@ -15,6 +15,7 @@ use cuda_sim::{Cuda, KernelExec, StreamId, UnifiedArray};
 use dag::{ArgAccess, ComputationDag, ElementKind, Value, VertexId};
 use gpu_sim::{
     Architecture, DataBuffer, DeviceProfile, EngineStats, Grid, RaceReport, TaskId, Time, Timeline,
+    Topology, TopologyKind,
 };
 use kernels::KernelDef;
 
@@ -117,6 +118,21 @@ impl GrCuda {
         Self::with_placement(dev, n, options, placement.build())
     }
 
+    /// [`GrCuda::new_multi`] with an explicit interconnect preset. The
+    /// topology decides how cross-device migrations travel (direct P2P
+    /// DMA over peer links, host-mediated staging otherwise) and feeds
+    /// the per-candidate transfer-time estimates the placement policy
+    /// sees ([`PlacementCtx::est_transfer_time`]).
+    pub fn new_multi_topo(
+        dev: DeviceProfile,
+        n: usize,
+        options: Options,
+        placement: PlacementPolicy,
+        topology: TopologyKind,
+    ) -> Self {
+        Self::with_placement_topo(dev, n, options, placement.build(), topology)
+    }
+
     /// [`GrCuda::new_multi`] with a custom [`DeviceSelectionPolicy`] —
     /// the extension point for placement strategies beyond the built-in
     /// ones (sharding, batching, heterogeneous-device weighting, ...).
@@ -126,7 +142,18 @@ impl GrCuda {
         options: Options,
         placement: Box<dyn DeviceSelectionPolicy>,
     ) -> Self {
-        let cuda = Cuda::new_multi(dev, n);
+        Self::with_placement_topo(dev, n, options, placement, TopologyKind::PcieOnly)
+    }
+
+    /// Custom placement policy *and* interconnect preset.
+    pub fn with_placement_topo(
+        dev: DeviceProfile,
+        n: usize,
+        options: Options,
+        placement: Box<dyn DeviceSelectionPolicy>,
+        topology: TopologyKind,
+    ) -> Self {
+        let cuda = Cuda::new_multi_topo(dev, n, topology);
         GrCuda {
             inner: Rc::new(RefCell::new(Ctx {
                 cuda,
@@ -152,8 +179,40 @@ impl GrCuda {
 
     /// Cross-device migrations performed so far as `(count, bytes)` —
     /// the run-time migration-cost accounting the paper's §VI calls for.
+    /// Peer-to-peer and host-mediated migrations combined; see
+    /// [`GrCuda::p2p_migration_stats`] / [`GrCuda::host_migration_stats`]
+    /// for the split.
     pub fn migration_stats(&self) -> (usize, usize) {
         self.inner.borrow().cuda.migration_stats()
+    }
+
+    /// Cross-device migrations that went over a direct peer link, as
+    /// `(count, bytes)`.
+    pub fn p2p_migration_stats(&self) -> (usize, usize) {
+        self.inner.borrow().cuda.p2p_migration_stats()
+    }
+
+    /// Cross-device migrations that staged through the host, as
+    /// `(count, bytes)`.
+    pub fn host_migration_stats(&self) -> (usize, usize) {
+        self.inner.borrow().cuda.host_migration_stats()
+    }
+
+    /// The interconnect topology this runtime schedules over.
+    pub fn topology(&self) -> Topology {
+        self.inner.borrow().cuda.topology()
+    }
+
+    /// Lifetime `(bytes, transfers)` per interconnect link, indexed like
+    /// [`Topology::links`] (host links first, then peer links).
+    pub fn link_traffic(&self) -> Vec<(f64, usize)> {
+        self.inner.borrow().cuda.link_traffic()
+    }
+
+    /// Total bytes moved over the host (PCIe) links in either direction
+    /// — staging, host reads, and host-mediated migration legs.
+    pub fn host_link_bytes(&self) -> f64 {
+        self.inner.borrow().cuda.host_link_bytes()
     }
 
     /// The device this runtime drives.
@@ -439,9 +498,22 @@ impl GrCuda {
                         .filter_map(|d| ctx.vertex_device.get(d).copied())
                         .collect();
                     let mut resident_bytes = vec![0usize; n_dev];
+                    // Per-candidate estimated transfer time: what moving
+                    // this computation's arguments to each device would
+                    // cost over the actual links (each distinct array
+                    // counted once, duplicates skipped).
+                    let mut est_transfer_time = vec![0f64; n_dev];
+                    let mut seen: Vec<gpu_sim::ValueId> = Vec::new();
                     for arr in &arrays {
+                        if seen.contains(&arr.id) {
+                            continue;
+                        }
+                        seen.push(arr.id);
                         if let Some(d) = ctx.cuda.device_residency(arr) {
                             resident_bytes[d as usize] += arr.byte_len();
+                        }
+                        for (d, est) in est_transfer_time.iter_mut().enumerate() {
+                            *est += ctx.cuda.transfer_time_estimate(arr, d as u32);
                         }
                     }
                     let inflight: Vec<usize> =
@@ -450,6 +522,7 @@ impl GrCuda {
                         device_count: n_dev,
                         parent_devices: &parent_devices,
                         resident_bytes: &resident_bytes,
+                        est_transfer_time: &est_transfer_time,
                         inflight: &inflight,
                     })
                 };
@@ -463,14 +536,17 @@ impl GrCuda {
 
                 // Arguments whose only current copy lives on another
                 // device will cross-migrate at submission: annotate the
-                // DAG edges with the migrated bytes for the DOT render.
+                // DAG edges with the migrated bytes and route (direct
+                // P2P vs staged through the host) for the DOT render.
                 if n_dev > 1 {
                     for arr in &arrays {
                         if ctx.cuda.residency(arr) == cuda_sim::Residency::Device
                             && ctx.cuda.device_residency(arr) != Some(device)
                         {
+                            let src = ctx.cuda.device_residency(arr).unwrap_or(0);
+                            let p2p = ctx.cuda.has_p2p(src, device);
                             ctx.dag
-                                .annotate_migration(vid, Value(arr.id.0), arr.byte_len());
+                                .annotate_migration(vid, Value(arr.id.0), arr.byte_len(), p2p);
                         }
                     }
                 }

@@ -74,7 +74,7 @@ pub use nidl::{NidlError, NidlParam, NidlType, Signature};
 pub use options::{DepStreamPolicy, Options, PrefetchPolicy, SchedulePolicy, StreamReusePolicy};
 pub use policy::{DeviceSelectionPolicy, PlacementCtx, PlacementPolicy, StreamRetrievalPolicy};
 
-pub use gpu_sim::{DeviceProfile, Grid};
+pub use gpu_sim::{DeviceProfile, Grid, Topology, TopologyKind};
 
 #[cfg(test)]
 mod prop_tests;

@@ -16,13 +16,15 @@
 //! move work).
 //!
 //! Data location and migration costs are tracked by the unified-memory
-//! layer: an argument whose only current copy lives on another device is
-//! migrated through the host (device→host on the source, host→device on
-//! the target, chained on the producing kernel — no peer-to-peer link is
-//! assumed), charged on both PCIe paths and counted in
-//! [`MultiGpu::migration_stats`].
+//! layer: an argument whose only current copy lives on another device
+//! migrates over the machine's interconnect [`Topology`] — direct
+//! peer-to-peer DMA where a device↔device link exists (NVLink pair,
+//! fully-connected, ring presets), host-mediated staging (device→host on
+//! the source, host→device on the target, chained on the producing
+//! kernel) otherwise — charged to the actual links and counted in
+//! [`MultiGpu::migration_stats`] / [`MultiGpu::link_traffic`].
 
-use gpu_sim::{DeviceProfile, EngineStats, Grid, Time};
+use gpu_sim::{DeviceProfile, EngineStats, Grid, Time, Topology, TopologyKind};
 use kernels::KernelDef;
 
 use crate::array::DeviceArray;
@@ -97,9 +99,24 @@ pub struct MultiGpu {
 
 impl MultiGpu {
     /// Create a front-end over `n` identical devices scheduled by one
-    /// DAG/stream-manager core under the given placement policy.
+    /// DAG/stream-manager core under the given placement policy, with
+    /// host (PCIe) links only.
     pub fn new(dev: DeviceProfile, n: usize, options: Options, policy: PlacementPolicy) -> Self {
-        let g = GrCuda::new_multi(dev, n, options, policy);
+        Self::with_topology(dev, n, options, policy, TopologyKind::PcieOnly)
+    }
+
+    /// [`MultiGpu::new`] on an explicit interconnect preset: the same
+    /// DAG scheduled on a different machine. Peer links carry direct
+    /// P2P migrations and feed the transfer-time estimates the placement
+    /// policy sees.
+    pub fn with_topology(
+        dev: DeviceProfile,
+        n: usize,
+        options: Options,
+        policy: PlacementPolicy,
+        topology: TopologyKind,
+    ) -> Self {
+        let g = GrCuda::new_multi_topo(dev, n, options, policy, topology);
         let start = g.now();
         MultiGpu { g, start }
     }
@@ -215,9 +232,35 @@ impl MultiGpu {
     }
 
     /// `(migration count, migrated bytes)` — the run-time migration cost
-    /// accounting §VI calls for.
+    /// accounting §VI calls for (P2P and host-mediated combined).
     pub fn migration_stats(&self) -> (usize, usize) {
         self.g.migration_stats()
+    }
+
+    /// Migrations that went over a direct peer link, as `(count, bytes)`.
+    pub fn p2p_migration_stats(&self) -> (usize, usize) {
+        self.g.p2p_migration_stats()
+    }
+
+    /// Migrations that staged through the host, as `(count, bytes)`.
+    pub fn host_migration_stats(&self) -> (usize, usize) {
+        self.g.host_migration_stats()
+    }
+
+    /// The interconnect topology this front-end schedules over.
+    pub fn topology(&self) -> Topology {
+        self.g.topology()
+    }
+
+    /// Lifetime `(bytes, transfers)` per link, indexed like
+    /// [`Topology::links`].
+    pub fn link_traffic(&self) -> Vec<(f64, usize)> {
+        self.g.link_traffic()
+    }
+
+    /// Total bytes moved over the host (PCIe) links in either direction.
+    pub fn host_link_bytes(&self) -> f64 {
+        self.g.host_link_bytes()
     }
 
     /// Total data races across devices (must be zero).

@@ -20,6 +20,13 @@ pub struct PlacementCtx<'a> {
     /// each device (host-staged data counts for no device: it is
     /// placement-neutral).
     pub resident_bytes: &'a [usize],
+    /// Estimated seconds to make every argument resident on each
+    /// candidate device, given where the copies live and the
+    /// interconnect links available: `bytes / link bandwidth` over the
+    /// best path, two host-link legs when a migration must stage through
+    /// the host, zero for data already in place. Unlike
+    /// `resident_bytes`, this sees link *speed*, not just byte counts.
+    pub est_transfer_time: &'a [f64],
     /// Submitted-but-unfinished tasks per device (kernels, copies and
     /// markers alike) — the load gauge.
     pub inflight: &'a [usize],
@@ -105,6 +112,36 @@ impl DeviceSelectionPolicy for StreamAware {
     }
 }
 
+/// Minimize estimated transfer *time*: run where moving the arguments
+/// costs the least, given link bandwidths — a fast peer link makes a
+/// remote replica cheap, a host-mediated migration makes it expensive,
+/// and a still-valid host copy costs one H2D leg anywhere. Ties break
+/// toward the least-loaded device, then the lowest id.
+///
+/// This is the cost-aware refinement of [`LocalityAware`]: byte counting
+/// treats every remote byte the same, so it happily drags data over two
+/// PCIe legs to chase a slightly larger replica that a single cheap leg
+/// (or an NVLink hop) would have avoided.
+#[derive(Debug, Default)]
+pub struct TransferAware;
+
+impl DeviceSelectionPolicy for TransferAware {
+    fn name(&self) -> &'static str {
+        "transfer-aware"
+    }
+
+    fn select(&mut self, ctx: &PlacementCtx) -> u32 {
+        (0..ctx.device_count)
+            .min_by(|&a, &b| {
+                ctx.est_transfer_time[a]
+                    .total_cmp(&ctx.est_transfer_time[b])
+                    .then(ctx.inflight[a].cmp(&ctx.inflight[b]))
+                    .then(a.cmp(&b))
+            })
+            .unwrap_or(0) as u32
+    }
+}
+
 /// The built-in device-selection policies, as a value (what sweeps and
 /// option parsing pass around; [`PlacementPolicy::build`] instantiates
 /// the trait object the scheduler consults).
@@ -116,16 +153,20 @@ pub enum PlacementPolicy {
     RoundRobin,
     /// Place where the most argument bytes already live (min-migration).
     LocalityAware,
+    /// Place where the estimated transfer time is lowest (cost-aware:
+    /// sees link bandwidths, not just byte counts).
+    TransferAware,
     /// Place on the least-loaded device (min-device-load).
     StreamAware,
 }
 
 impl PlacementPolicy {
     /// All built-in policies, in sweep order.
-    pub const ALL: [PlacementPolicy; 4] = [
+    pub const ALL: [PlacementPolicy; 5] = [
         PlacementPolicy::SingleGpu,
         PlacementPolicy::RoundRobin,
         PlacementPolicy::LocalityAware,
+        PlacementPolicy::TransferAware,
         PlacementPolicy::StreamAware,
     ];
 
@@ -135,6 +176,7 @@ impl PlacementPolicy {
             PlacementPolicy::SingleGpu => Box::new(SingleGpu),
             PlacementPolicy::RoundRobin => Box::new(RoundRobin::default()),
             PlacementPolicy::LocalityAware => Box::new(LocalityAware),
+            PlacementPolicy::TransferAware => Box::new(TransferAware),
             PlacementPolicy::StreamAware => Box::new(StreamAware),
         }
     }
@@ -145,6 +187,7 @@ impl PlacementPolicy {
             PlacementPolicy::SingleGpu => "single-gpu",
             PlacementPolicy::RoundRobin => "round-robin",
             PlacementPolicy::LocalityAware => "locality-aware",
+            PlacementPolicy::TransferAware => "transfer-aware",
             PlacementPolicy::StreamAware => "stream-aware",
         }
     }
@@ -153,6 +196,10 @@ impl PlacementPolicy {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Zero transfer estimates everywhere: the byte/load policies under
+    /// test ignore them.
+    const FREE: [f64; 4] = [0.0; 4];
 
     fn ctx<'a>(
         resident: &'a [usize],
@@ -163,6 +210,7 @@ mod tests {
             device_count: resident.len(),
             parent_devices: parents,
             resident_bytes: resident,
+            est_transfer_time: &FREE[..resident.len()],
             inflight,
         }
     }
@@ -194,9 +242,49 @@ mod tests {
     }
 
     #[test]
+    fn transfer_aware_follows_the_cheapest_link_not_the_most_bytes() {
+        let mut p = TransferAware;
+        // Device 1 holds more bytes, but reaching it costs a
+        // host-mediated migration; device 0's data comes over a cheap
+        // link. Byte counting would pick 1; cost-aware picks 0.
+        let c = PlacementCtx {
+            device_count: 2,
+            parent_devices: &[],
+            resident_bytes: &[1024, 4096],
+            est_transfer_time: &[0.2e-3, 1.5e-3],
+            inflight: &[5, 0],
+        };
+        assert_eq!(p.select(&c), 0);
+        let mut loc = LocalityAware;
+        assert_eq!(loc.select(&c), 1, "byte counting chases the bigger pile");
+    }
+
+    #[test]
+    fn transfer_aware_breaks_cost_ties_by_load_then_id() {
+        let mut p = TransferAware;
+        let c = PlacementCtx {
+            device_count: 3,
+            parent_devices: &[],
+            resident_bytes: &[0, 0, 0],
+            est_transfer_time: &[1e-3, 1e-3, 1e-3],
+            inflight: &[2, 1, 2],
+        };
+        assert_eq!(p.select(&c), 1);
+        let c2 = PlacementCtx {
+            device_count: 3,
+            parent_devices: &[],
+            resident_bytes: &[0, 0, 0],
+            est_transfer_time: &[1e-3, 1e-3, 1e-3],
+            inflight: &[2, 2, 2],
+        };
+        assert_eq!(p.select(&c2), 0, "full tie goes to the lowest id");
+    }
+
+    #[test]
     fn enum_builds_matching_trait_objects() {
         for p in PlacementPolicy::ALL {
             assert_eq!(p.build().name(), p.name());
         }
+        assert_eq!(PlacementPolicy::ALL.len(), 5);
     }
 }

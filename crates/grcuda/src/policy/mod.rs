@@ -12,8 +12,9 @@
 //!   Built-in policies: [`PlacementPolicy::SingleGpu`] (everything on
 //!   device 0), [`PlacementPolicy::RoundRobin`] (cycle regardless of
 //!   data), [`PlacementPolicy::LocalityAware`] (minimize migrated
-//!   bytes), [`PlacementPolicy::StreamAware`] (minimize per-device
-//!   load).
+//!   bytes), [`PlacementPolicy::TransferAware`] (minimize estimated
+//!   transfer time given the interconnect's link bandwidths),
+//!   [`PlacementPolicy::StreamAware`] (minimize per-device load).
 //! * **Stream retrieval** ([`StreamRetrievalPolicy`]) — which CUDA
 //!   stream on the chosen device carries it. This absorbs the paper's
 //!   §IV-C policy pairs ([`crate::DepStreamPolicy`] ×
@@ -33,7 +34,7 @@ pub mod stream;
 
 pub use device::{
     DeviceSelectionPolicy, LocalityAware, PlacementCtx, PlacementPolicy, RoundRobin, SingleGpu,
-    StreamAware,
+    StreamAware, TransferAware,
 };
 pub use stream::{
     make_stream_policy, ClassicStreams, ParentStream, StreamChoice, StreamRetrievalCtx,

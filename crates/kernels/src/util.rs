@@ -100,6 +100,68 @@ fn dot_cost(bufs: &[DataBuffer], _scalars: &[f64]) -> KernelCost {
     reduction_f32(2.0 * bufs[0].len() as f64, 1.0)
 }
 
+/// `pin(w, s, wn, sn)`: fold a large read-only weight array into a
+/// smaller state array, `s[i] ← 0.5·s[i] + 1e-6·w[i mod wn]`. The
+/// weight/state lengths are independent, which makes it the building
+/// block of workloads that *anchor* a chain to a device: whichever
+/// device holds `w` dominates both the byte count and the transfer cost
+/// of this kernel, so every placement policy keeps it (and therefore
+/// `s`) there.
+pub static PIN: KernelDef = KernelDef {
+    name: "pin",
+    nidl: "const pointer float, pointer float, sint32, sint32",
+    func: pin_func,
+    cost: pin_cost,
+};
+
+fn pin_func(bufs: &[DataBuffer], scalars: &[f64]) {
+    let wn = s(scalars[0]);
+    let sn = s(scalars[1]);
+    let w = bufs[0].as_f32();
+    let mut st = bufs[1].as_f32_mut();
+    for i in 0..sn {
+        st[i] = 0.5 * st[i] + 1e-6 * w[i % wn];
+    }
+}
+
+fn pin_cost(bufs: &[DataBuffer], _scalars: &[f64]) -> KernelCost {
+    let wn = bufs[0].len() as f64;
+    let sn = bufs[1].len() as f64;
+    streaming_f32(wn + sn, sn, 2.0)
+}
+
+/// `join_sample(a, s, j, an, sn, jn)`: sample two read-only inputs of
+/// independent lengths into a small output,
+/// `j[i] ← a[(3i+1) mod an] + s[(5i+2) mod sn]`. The mixed-length join
+/// every fork/join workload needs — and the kernel whose placement
+/// separates byte-count locality from transfer-cost awareness, because
+/// its inputs typically live on different devices behind different
+/// links.
+pub static JOIN: KernelDef = KernelDef {
+    name: "join_sample",
+    nidl: "const pointer float, const pointer float, pointer float, sint32, sint32, sint32",
+    func: join_func,
+    cost: join_cost,
+};
+
+fn join_func(bufs: &[DataBuffer], scalars: &[f64]) {
+    let an = s(scalars[0]);
+    let sn = s(scalars[1]);
+    let jn = s(scalars[2]);
+    let a = bufs[0].as_f32();
+    let st = bufs[1].as_f32();
+    let mut j = bufs[2].as_f32_mut();
+    for i in 0..jn {
+        j[i] = a[(3 * i + 1) % an] + st[(5 * i + 2) % sn];
+    }
+}
+
+fn join_cost(bufs: &[DataBuffer], _scalars: &[f64]) -> KernelCost {
+    let reads = (bufs[0].len() + bufs[1].len()) as f64;
+    let writes = bufs[2].len() as f64;
+    streaming_f32(reads, writes, 1.0)
+}
+
 /// `copy_f32(x, out, n)`: plain copy.
 pub static COPY_F32: KernelDef = KernelDef {
     name: "copy_f32",

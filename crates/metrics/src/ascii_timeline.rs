@@ -48,6 +48,7 @@ pub fn render_timeline(tl: &Timeline, width: usize) -> String {
                 TaskKind::Kernel => b'#',
                 TaskKind::CopyH2D => b'>',
                 TaskKind::CopyD2H => b'<',
+                TaskKind::CopyP2P => b'=',
                 TaskKind::FaultH2D | TaskKind::FaultD2H => b'f',
                 _ => b'?',
             };
@@ -84,6 +85,7 @@ mod tests {
             kind,
             stream,
             device: 0,
+            link: None,
             label: label.into(),
             start,
             end,

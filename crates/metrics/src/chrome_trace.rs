@@ -46,6 +46,7 @@ pub fn to_chrome_trace(tl: &Timeline, process_name: &str) -> String {
             TaskKind::Kernel => "kernel",
             TaskKind::CopyH2D => "h2d",
             TaskKind::CopyD2H => "d2h",
+            TaskKind::CopyP2P => "p2p",
             TaskKind::FaultH2D | TaskKind::FaultD2H => "um-fault",
             _ => "other",
         };
@@ -88,6 +89,7 @@ mod tests {
             kind,
             stream,
             device: 0,
+            link: None,
             label: label.into(),
             start,
             end,

@@ -122,6 +122,7 @@ mod tests {
                 kind: TaskKind::Kernel,
                 stream: i as u32,
                 device,
+                link: None,
                 label: format!("k{i}"),
                 start,
                 end,

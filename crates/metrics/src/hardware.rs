@@ -70,6 +70,7 @@ mod tests {
             kind: TaskKind::Kernel,
             stream: 0,
             device: 0,
+            link: None,
             label: "k".into(),
             start,
             end,

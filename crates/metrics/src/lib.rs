@@ -10,6 +10,8 @@
 //!   combined with the execution timeline;
 //! * [`mod@critical_path`] — the contention-free execution-time bound of
 //!   Fig. 9 (longest dependency path using solo durations);
+//! * [`links`] — per-interconnect-link usage (busy time, bytes,
+//!   utilization) over host and peer links;
 //! * [`ascii_timeline`] — the Fig. 10-style execution timeline rendering;
 //! * [`chrome_trace`] — Perfetto/`chrome://tracing` JSON export of the
 //!   same timelines.
@@ -19,10 +21,12 @@ pub mod chrome_trace;
 pub mod critical_path;
 pub mod hardware;
 pub mod interval_ops;
+pub mod links;
 pub mod overlap;
 
 pub use ascii_timeline::render_timeline;
 pub use chrome_trace::to_chrome_trace;
 pub use critical_path::critical_path;
 pub use hardware::HardwareMetrics;
+pub use links::{link_usage, LinkUsage};
 pub use overlap::OverlapMetrics;

@@ -1,0 +1,119 @@
+//! Per-link interconnect usage: how busy each link was and how many
+//! bytes moved over it.
+//!
+//! Complements the overlap metrics: where [`crate::overlap`] asks how
+//! much transfer time hid behind computation, this asks *which wires*
+//! the transfers used — the host PCIe links or the peer (NVLink-style)
+//! links of the machine's [`Topology`] — and how saturated each was over
+//! the GPU execution span.
+
+use gpu_sim::{Time, Timeline, Topology};
+
+use crate::interval_ops::{measure, union, Span};
+
+/// Usage of one interconnect link over a timeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkUsage {
+    /// Index into [`Topology::links`].
+    pub link: u32,
+    /// Human-readable link name (`host-d0`, `d0-d1`, ...).
+    pub label: String,
+    /// True for a device↔device (peer) link.
+    pub is_d2d: bool,
+    /// Transfers completed on this link.
+    pub transfers: usize,
+    /// Bytes moved over this link.
+    pub bytes: f64,
+    /// Wall (virtual) time the link carried at least one transfer.
+    pub busy: Time,
+    /// `busy` as a fraction of the timeline's GPU execution span
+    /// (0 when the span is empty).
+    pub utilization: f64,
+}
+
+/// Per-link usage over a timeline, one entry per topology link in link
+/// order (host links first). Transfers are attributed by the engine:
+/// peer copies to their peer link, bulk copies and fault migrations to
+/// their device's host link.
+pub fn link_usage(tl: &Timeline, topo: &Topology) -> Vec<LinkUsage> {
+    let span = tl.gpu_span();
+    topo.links()
+        .iter()
+        .enumerate()
+        .map(|(i, l)| {
+            let spans: Vec<Span> = tl.of_link(i as u32).map(|iv| (iv.start, iv.end)).collect();
+            let transfers = spans.len();
+            let bytes: f64 = tl.of_link(i as u32).map(|iv| iv.meta.bytes).sum();
+            let busy = measure(&union(spans));
+            LinkUsage {
+                link: i as u32,
+                label: l.label(),
+                is_d2d: l.is_d2d(),
+                transfers,
+                bytes,
+                busy,
+                utilization: if span > 0.0 { busy / span } else { 0.0 },
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::{DeviceProfile, Interval, TaskKind, TaskMeta, TopologyKind};
+
+    fn iv(kind: TaskKind, device: u32, link: Option<u32>, start: f64, end: f64) -> Interval {
+        Interval {
+            task: 0,
+            kind,
+            stream: 0,
+            device,
+            link,
+            label: String::new(),
+            start,
+            end,
+            meta: TaskMeta {
+                bytes: 100.0,
+                ..Default::default()
+            },
+        }
+    }
+
+    #[test]
+    fn usage_splits_host_and_peer_links() {
+        let topo = Topology::preset(TopologyKind::NvlinkPair, 2, &DeviceProfile::tesla_p100());
+        let peer = topo.d2d_link(0, 1).unwrap().0;
+        let mut tl = Timeline::new();
+        // Two overlapping copies on host link 0 (busy 3s), one peer copy.
+        tl.push_for_test(iv(TaskKind::CopyH2D, 0, Some(0), 0.0, 2.0));
+        tl.push_for_test(iv(TaskKind::CopyH2D, 0, Some(0), 1.0, 3.0));
+        tl.push_for_test(iv(TaskKind::CopyP2P, 1, Some(peer), 2.0, 4.0));
+        let usage = link_usage(&tl, &topo);
+        assert_eq!(usage.len(), 3);
+        assert_eq!(usage[0].label, "host-d0");
+        assert!(!usage[0].is_d2d);
+        assert_eq!(usage[0].transfers, 2);
+        assert_eq!(usage[0].bytes, 200.0);
+        assert_eq!(usage[0].busy, 3.0, "overlap is not double-counted");
+        assert_eq!(usage[1].transfers, 0, "host link 1 idle");
+        let p = &usage[peer as usize];
+        assert_eq!(p.label, "d0-d1");
+        assert!(p.is_d2d);
+        assert_eq!(p.transfers, 1);
+        assert_eq!(p.busy, 2.0);
+        // Span is 4s: utilizations follow.
+        assert!((usage[0].utilization - 0.75).abs() < 1e-12);
+        assert!((p.utilization - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_timeline_yields_zero_usage() {
+        let topo = Topology::pcie_only(2, &DeviceProfile::tesla_p100());
+        let usage = link_usage(&Timeline::new(), &topo);
+        assert_eq!(usage.len(), 2);
+        assert!(usage
+            .iter()
+            .all(|u| u.transfers == 0 && u.bytes == 0.0 && u.busy == 0.0 && u.utilization == 0.0));
+    }
+}

@@ -120,6 +120,7 @@ mod tests {
                 kind,
                 stream: i as u32,
                 device: 0,
+                link: None,
                 label: format!("op{i}"),
                 start,
                 end,
@@ -215,6 +216,7 @@ mod tests {
                 kind,
                 stream: i as u32,
                 device,
+                link: None,
                 label: format!("op{i}"),
                 start,
                 end,

@@ -2,8 +2,8 @@
 //! every device-selection policy is correct; policies only change
 //! performance and placement, never results.
 
-use benchmarks::{run_grcuda, run_multi_gpu, scales, Bench};
-use gpu_sim::{DeviceProfile, Grid};
+use benchmarks::{run_grcuda, run_multi_gpu, scales, transfer_chain, Bench};
+use gpu_sim::{DeviceProfile, Grid, TopologyKind};
 use grcuda::{
     DepStreamPolicy, MultiArg, MultiGpu, Options, PlacementPolicy, PrefetchPolicy,
     StreamReusePolicy,
@@ -135,6 +135,84 @@ fn locality_aware_beats_round_robin_on_a_dependent_chain() {
     );
     assert_eq!(rr_val, loc_val, "placement must not change results");
     assert_eq!(rr_val, 128.0, "2^7 after 8 doublings read from y");
+}
+
+#[test]
+fn transfer_aware_beats_byte_count_locality_on_an_nvlink_pair() {
+    // The tentpole acceptance check: on the dependent transfer-chain
+    // workload over an NVLink-pair machine, cost-aware placement must
+    // yield strictly lower simulated makespan AND strictly fewer
+    // host-link bytes than both round-robin and byte-count locality —
+    // while all three compute identical results.
+    let n = 1 << 18;
+    let iters = 8;
+    let run = |p| transfer_chain(p, TopologyKind::NvlinkPair, n, iters);
+    let rr = run(PlacementPolicy::RoundRobin);
+    let loc = run(PlacementPolicy::LocalityAware);
+    let ta = run(PlacementPolicy::TransferAware);
+    for (name, r) in [("round-robin", &rr), ("locality", &loc), ("transfer", &ta)] {
+        assert_eq!(r.races, 0, "{name} raced");
+    }
+    assert!(
+        ta.makespan < loc.makespan,
+        "transfer-aware must beat byte-count locality on makespan: {} vs {}",
+        ta.makespan,
+        loc.makespan
+    );
+    assert!(
+        ta.makespan < rr.makespan,
+        "transfer-aware must beat round-robin on makespan: {} vs {}",
+        ta.makespan,
+        rr.makespan
+    );
+    assert!(
+        ta.host_link_bytes < loc.host_link_bytes,
+        "transfer-aware must move fewer bytes over the host links than \
+         locality: {} vs {}",
+        ta.host_link_bytes,
+        loc.host_link_bytes
+    );
+    assert!(
+        ta.host_link_bytes < rr.host_link_bytes,
+        "transfer-aware must move fewer bytes over the host links than \
+         round-robin: {} vs {}",
+        ta.host_link_bytes,
+        rr.host_link_bytes
+    );
+    // Byte-count locality pays host-mediated round trips for the chain
+    // state every iteration; cost-aware placement avoids migrating it at
+    // all (it moves the host-backed input instead, one cheap leg).
+    assert!(loc.migrations.0 >= iters, "locality ping-pongs the state");
+    assert_eq!(ta.migrations, (0, 0), "transfer-aware pins the state");
+    // Placement must never change the numbers.
+    assert_eq!(ta.checksum, rr.checksum);
+    assert_eq!(ta.checksum, loc.checksum);
+}
+
+#[test]
+fn peer_links_accelerate_migration_heavy_schedules() {
+    // Same policy, same DAG, different machine: a fully-connected
+    // interconnect must strictly beat PCIe-only staging for a placement
+    // that migrates every iteration, and its migrations must actually
+    // ride the peer links.
+    let n = 1 << 18;
+    let run = |t| transfer_chain(PlacementPolicy::LocalityAware, t, n, 8);
+    let pcie = run(TopologyKind::PcieOnly);
+    let nvswitch = run(TopologyKind::FullyConnected);
+    assert!(pcie.migrations.0 > 0, "the workload must migrate under LA");
+    assert_eq!(pcie.p2p_migrations, (0, 0));
+    assert_eq!(
+        nvswitch.p2p_migrations.0, nvswitch.migrations.0,
+        "every migration uses a peer link when all pairs are wired"
+    );
+    assert!(
+        nvswitch.makespan < pcie.makespan,
+        "peer links must shorten the schedule: {} vs {}",
+        nvswitch.makespan,
+        pcie.makespan
+    );
+    assert!(nvswitch.host_link_bytes < pcie.host_link_bytes);
+    assert_eq!(nvswitch.checksum, pcie.checksum);
 }
 
 #[test]

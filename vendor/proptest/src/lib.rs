@@ -2,7 +2,7 @@
 //!
 //! The build environment has no registry access, so this crate
 //! re-implements the slice of proptest's API that the workspace's
-//! property tests use: the [`Strategy`] trait with `prop_map`, range /
+//! property tests use: the [`strategy::Strategy`] trait with `prop_map`, range /
 //! tuple / `collection::vec` / `array::uniform7` / `bool::ANY`
 //! strategies, [`prop_oneof!`], and the [`proptest!`] /
 //! [`prop_assert!`] / [`prop_assert_eq!`] macros.
