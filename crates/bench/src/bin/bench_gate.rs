@@ -27,7 +27,10 @@ use bench::read_bench_json;
 /// `soak.launches`) gate upward too: the dangerous direction for "how
 /// much the benchmark measured" is down, not up.
 fn higher_is_better(key: &str) -> bool {
-    key.contains("launches_per_s") || key.contains("overlap") || key.ends_with(".launches")
+    key.contains("launches_per_s")
+        || key.contains("overlap")
+        || key.contains("hit_pct")
+        || key.ends_with(".launches")
 }
 
 /// True for wall-clock metrics: recorded, never gated.

@@ -4,11 +4,16 @@
 //! by a pluggable `DeviceSelectionPolicy` over a selectable interconnect
 //! `Topology`.
 //!
-//! Four parts:
+//! Five parts:
 //! * **policy sweep** — every benchmark suite × 1/2/4 devices × every
 //!   placement policy, each run validated bit-exactly against the
 //!   sequential CPU reference (so all policies/device counts provably
 //!   compute identical results) and required to be race-free;
+//! * **oversubscription sweep** — the finite-device-memory suite
+//!   (working set ~2× one device's capacity): capacity-aware
+//!   scheduling (memory-aware placement + cost-aware eviction) must
+//!   strictly beat capacity-blind scheduling (transfer-aware + LRU) on
+//!   both makespan and spilled bytes, with bit-identical results;
 //! * **topology sweep** — the transfer-chain workload across every
 //!   interconnect preset × round-robin/locality/transfer-aware: same
 //!   DAG, different machine. Asserts the tentpole acceptance bar: on
@@ -29,7 +34,10 @@
 //! logs show throughput at a glance.
 
 use bench::{ms, render_table, write_bench_json};
-use benchmarks::{run_multi_gpu, scales, transfer_chain, Bench, TransferChainResult};
+use benchmarks::{
+    oversub_capacity, oversub_configs, oversubscribe, run_multi_gpu, scales, transfer_chain, Bench,
+    OversubResult, TransferChainResult,
+};
 use gpu_sim::{DeviceProfile, Grid, Topology, TopologyKind};
 use grcuda::{MultiArg, MultiGpu, Options, PlacementPolicy};
 use kernels::black_scholes::BLACK_SCHOLES;
@@ -284,6 +292,94 @@ fn topology_sweep(smoke: bool) -> Vec<(String, f64)> {
     json
 }
 
+/// The finite-device-memory suite: capacity-aware vs capacity-blind
+/// scheduling under a working set ~2× one device's capacity. Returns
+/// machine-readable metrics and asserts the acceptance bar.
+fn oversubscribe_sweep(smoke: bool) -> Vec<(String, f64)> {
+    let n = if smoke { 1 << 16 } else { 1 << 18 };
+    let iters = if smoke { 2 } else { 4 };
+    let capacity = oversub_capacity(n);
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+    let mut results: Vec<(&'static str, OversubResult)> = Vec::new();
+    let mut checksum = None;
+    for (label, policy, eviction) in oversub_configs() {
+        let r = oversubscribe(policy, eviction, Some(capacity), n, iters);
+        assert_eq!(r.races, 0, "{label} raced");
+        match checksum {
+            None => checksum = Some(r.checksum),
+            Some(c) => assert_eq!(r.checksum, c, "{label} changed the numbers"),
+        }
+        let mib = |b: usize| b as f64 / (1 << 20) as f64;
+        rows.push(vec![
+            label.to_string(),
+            ms(r.makespan),
+            format!("{}", r.evictions),
+            format!("{:.2}", mib(r.spilled_bytes)),
+            format!("{:.0}%", r.prefetch_hit_rate * 100.0),
+            format!(
+                "{:.1} / {:.1}",
+                mib(r.peak_resident[0]),
+                mib(r.peak_resident[1])
+            ),
+        ]);
+        println!(
+            "RESULT multi_gpu oversub config={label} makespan_ms={:.3} \
+             evictions={} spilled_mib={:.2} prefetch_hit_pct={:.1}",
+            r.makespan * 1e3,
+            r.evictions,
+            mib(r.spilled_bytes),
+            r.prefetch_hit_rate * 100.0,
+        );
+        json.push((format!("oversub.{label}.makespan_ms"), r.makespan * 1e3));
+        json.push((format!("oversub.{label}.evictions"), r.evictions as f64));
+        json.push((format!("oversub.{label}.spilled_mib"), mib(r.spilled_bytes)));
+        json.push((
+            format!("oversub.{label}.prefetch_hit_pct"),
+            r.prefetch_hit_rate * 100.0,
+        ));
+        results.push((label, r));
+    }
+    println!(
+        "\nOversubscription sweep: working set ~2x one device's capacity \
+         ({:.1} MiB/device)\n{}",
+        capacity as f64 / (1 << 20) as f64,
+        render_table(
+            &[
+                "config",
+                "makespan",
+                "evictions",
+                "spilled MiB",
+                "prefetch hits",
+                "peak resident MiB d0/d1"
+            ],
+            &rows
+        )
+    );
+
+    // The acceptance bar: capacity-aware strictly beats capacity-blind
+    // on both makespan and spilled bytes.
+    let aware = &results[0].1;
+    let blind = &results[1].1;
+    assert!(
+        aware.makespan < blind.makespan,
+        "memory-aware + cost-aware eviction must yield strictly lower \
+         makespan than transfer-aware + LRU: {} vs {}",
+        aware.makespan,
+        blind.makespan
+    );
+    assert!(
+        aware.spilled_bytes < blind.spilled_bytes,
+        "memory-aware + cost-aware eviction must spill strictly fewer \
+         bytes: {} vs {}",
+        aware.spilled_bytes,
+        blind.spilled_bytes
+    );
+    println!("(acceptance: capacity-aware beat capacity-blind on both makespan");
+    println!(" and spilled bytes under oversubscription, asserted)\n");
+    json
+}
+
 fn main() {
     let mut smoke = false;
     let mut json_path: Option<String> = None;
@@ -302,6 +398,7 @@ fn main() {
     policy_sweep(smoke);
 
     json.extend(topology_sweep(smoke));
+    json.extend(oversubscribe_sweep(smoke));
 
     // Scheduler-quality gauge for the trajectory: how much transfer time
     // hides behind computation on a migration-heavy 4-device run.

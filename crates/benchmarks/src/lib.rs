@@ -20,6 +20,7 @@
 //! simulator's race detector must stay silent.
 
 pub mod bound;
+pub mod oversub;
 pub mod runners;
 pub mod scales;
 pub mod spec;
@@ -27,6 +28,9 @@ pub mod suite;
 pub mod transfer;
 
 pub use bound::{contention_free_time, contention_free_time_warm};
+pub use oversub::{
+    oversub_capacity, oversub_configs, oversubscribe, OversubResult, OVERSUB_DEVICES,
+};
 pub use runners::{
     grcuda_arrays, multi_gpu_arrays, read_grcuda_outputs, read_multi_gpu_outputs,
     refresh_grcuda_arrays, refresh_multi_gpu_arrays, run_graph_capture, run_graph_manual,

@@ -1,0 +1,260 @@
+//! The *oversubscription* suite: a working set ~2× one device's memory,
+//! streamed through a kernel chain that mixes clean (read-only weight)
+//! and dirty (written state) arrays — the workload that separates
+//! capacity-aware scheduling from capacity-blind scheduling.
+//!
+//! Structure, per iteration and per state `j` (8 states on 2 devices):
+//!
+//! 1. `pin(anchor, state_j)` — a small shared read-only anchor array is
+//!    folded into the state. The anchor is the *glue*: once it lands on
+//!    a device, transfer-time estimates make that device look free for
+//!    every subsequent launch;
+//! 2. `join_sample(weight_{j mod 4}, state_j, out_j)` — a large
+//!    read-only weight and the freshly-written state are sampled into a
+//!    tiny output.
+//!
+//! States are always dirty (the `pin` write invalidates their host
+//! copy); weights stay clean after their first H2D (read-only). The
+//! full working set (8 states + 4 weights + anchor) is roughly twice
+//! the per-device capacity, so *someone* must be evicted on every pass.
+//!
+//! The contrast the suite is built for:
+//!
+//! * [`grcuda::PlacementPolicy::TransferAware`] chases the anchor onto
+//!   one device — its cost estimate says "everything important is
+//!   already here" — and thrashes that device's memory, while LRU
+//!   eviction keeps picking the oldest *dirty* state: every eviction
+//!   pays a device→host spill copy and every reuse a re-fetch.
+//! * [`grcuda::PlacementPolicy::MemoryAware`] skips devices whose free
+//!   memory cannot hold the launch (spreading states across both
+//!   devices), and cost-aware eviction
+//!   ([`gpu_sim::EvictionPolicy::CostAware`]) prefers dropping clean
+//!   weights — zero spill traffic, one cheap re-fetch leg — so spilled
+//!   bytes collapse and the makespan with them.
+
+use gpu_sim::memgr::{EvictionPolicy, MemoryConfig};
+use gpu_sim::{DeviceProfile, Grid};
+use grcuda::{MultiArg, MultiArray, MultiGpu, Options, PlacementPolicy, TopologyKind};
+use kernels::util::{JOIN, PIN};
+
+/// Devices the workload is shaped for.
+pub const OVERSUB_DEVICES: usize = 2;
+
+/// Number of mutable state arrays (the streamed working set).
+const N_STATES: usize = 8;
+/// Number of read-only weight arrays shared by the joins.
+const N_WEIGHTS: usize = 4;
+
+/// The per-device capacity the suite runs under for state arrays of
+/// `n` f32 elements: 5½ state-sized arrays plus the anchor — about half
+/// the full working set (8 states + 4 weights ≈ 12 state-sizes).
+pub fn oversub_capacity(n: usize) -> usize {
+    let state_bytes = 4 * n;
+    5 * state_bytes + state_bytes / 2 + anchor_bytes(n)
+}
+
+fn anchor_bytes(n: usize) -> usize {
+    n // n/4 f32 elements
+}
+
+/// What one oversubscription run measured.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OversubResult {
+    /// Simulated makespan in seconds.
+    pub makespan: f64,
+    /// Device copies evicted (clean drops included).
+    pub evictions: usize,
+    /// Bytes moved device→host by eviction spill copies.
+    pub spilled_bytes: usize,
+    /// Peak resident bytes per device.
+    pub peak_resident: Vec<usize>,
+    /// Prefetches issued / hits / skipped-for-headroom.
+    pub prefetch: (usize, usize, usize),
+    /// Hits over issued prefetches.
+    pub prefetch_hit_rate: f64,
+    /// Bytes moved over the host (PCIe) links, spills included.
+    pub host_link_bytes: f64,
+    /// Checksum over states and outputs — identical across every
+    /// placement policy, eviction policy and capacity (scheduling moves
+    /// work and data, never changes results).
+    pub checksum: f64,
+    /// Data races observed (must be 0).
+    pub races: usize,
+}
+
+/// Run the oversubscription suite under a placement policy and an
+/// eviction policy, with per-device capacity `capacity` (use
+/// [`oversub_capacity`] for the standard ~2× oversubscription, or
+/// `None` for the unlimited baseline). `n` is the state-array element
+/// count; `iters` the number of full passes over the working set.
+pub fn oversubscribe(
+    policy: PlacementPolicy,
+    eviction: EvictionPolicy,
+    capacity: Option<usize>,
+    n: usize,
+    iters: usize,
+) -> OversubResult {
+    let grid = Grid::d1(64, 256);
+    let memory = MemoryConfig { capacity, eviction };
+    let mut m = MultiGpu::with_memory(
+        DeviceProfile::tesla_p100(),
+        OVERSUB_DEVICES,
+        Options::parallel(),
+        policy,
+        TopologyKind::PcieOnly,
+        memory,
+    );
+    let an = anchor_bytes(n) / 4; // anchor element count
+    let jn = 256.min(n);
+
+    let anchor = m.array_f32(an);
+    m.write_f32(&anchor, &vec![2.0; an]);
+    let weights: Vec<MultiArray> = (0..N_WEIGHTS)
+        .map(|i| {
+            let w = m.array_f32(n);
+            m.write_f32(&w, &vec![1.0 + i as f32; n]);
+            w
+        })
+        .collect();
+    let states: Vec<MultiArray> = (0..N_STATES)
+        .map(|i| {
+            let s = m.array_f32(n);
+            m.write_f32(&s, &vec![0.5 + 0.125 * i as f32; n]);
+            s
+        })
+        .collect();
+    let outs: Vec<MultiArray> = (0..N_STATES).map(|_| m.array_f32(jn)).collect();
+
+    for _iter in 0..iters {
+        for j in 0..N_STATES {
+            m.launch(
+                &PIN,
+                grid,
+                &[
+                    MultiArg::array(&anchor),
+                    MultiArg::array(&states[j]),
+                    MultiArg::scalar(an as f64),
+                    MultiArg::scalar(n as f64),
+                ],
+            )
+            .unwrap();
+            m.launch(
+                &JOIN,
+                grid,
+                &[
+                    MultiArg::array(&weights[j % N_WEIGHTS]),
+                    MultiArg::array(&states[j]),
+                    MultiArg::array(&outs[j]),
+                    MultiArg::scalar(n as f64),
+                    MultiArg::scalar(n as f64),
+                    MultiArg::scalar(jn as f64),
+                ],
+            )
+            .unwrap();
+        }
+    }
+    m.sync();
+
+    let checksum = states
+        .iter()
+        .chain(outs.iter())
+        .flat_map(|a| m.read_f32(a))
+        .map(|x| x as f64)
+        .sum::<f64>();
+    let st = m.memory_stats();
+    OversubResult {
+        makespan: m.makespan(),
+        evictions: st.evictions,
+        spilled_bytes: st.spilled_bytes,
+        peak_resident: st.peak_resident.clone(),
+        prefetch: (st.prefetch_issued, st.prefetch_hits, st.prefetch_skipped),
+        prefetch_hit_rate: st.prefetch_hit_rate(),
+        host_link_bytes: m.host_link_bytes(),
+        checksum,
+        races: m.races(),
+    }
+}
+
+/// The suite's two headline configurations, for sweeps and CI:
+/// capacity-aware (MemoryAware placement + cost-aware eviction) vs
+/// capacity-blind (TransferAware placement + LRU eviction).
+pub fn oversub_configs() -> [(&'static str, PlacementPolicy, EvictionPolicy); 2] {
+    [
+        (
+            "memory-aware+cost",
+            PlacementPolicy::MemoryAware,
+            EvictionPolicy::CostAware,
+        ),
+        (
+            "transfer-aware+lru",
+            PlacementPolicy::TransferAware,
+            EvictionPolicy::Lru,
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const N: usize = 1 << 14;
+
+    #[test]
+    fn oversubscribe_is_deterministic_and_race_free() {
+        let run = || {
+            oversubscribe(
+                PlacementPolicy::MemoryAware,
+                EvictionPolicy::CostAware,
+                Some(oversub_capacity(N)),
+                N,
+                2,
+            )
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b);
+        assert_eq!(a.races, 0);
+        assert!(a.checksum.is_finite());
+        for &p in &a.peak_resident {
+            assert!(p <= oversub_capacity(N), "capacity held: {a:?}");
+        }
+    }
+
+    #[test]
+    fn results_are_identical_across_policies_and_capacities() {
+        // The unlimited run is the ground truth; every finite-capacity
+        // policy combination must reproduce its numbers bit-exactly —
+        // eviction and placement move data, never change it.
+        let reference = oversubscribe(PlacementPolicy::SingleGpu, EvictionPolicy::Lru, None, N, 2);
+        assert_eq!(reference.evictions, 0, "unlimited capacity never evicts");
+        assert_eq!(reference.spilled_bytes, 0);
+        for policy in [
+            PlacementPolicy::MemoryAware,
+            PlacementPolicy::TransferAware,
+            PlacementPolicy::RoundRobin,
+            PlacementPolicy::StreamAware,
+        ] {
+            for eviction in EvictionPolicy::ALL {
+                let r = oversubscribe(policy, eviction, Some(oversub_capacity(N)), N, 2);
+                assert_eq!(r.races, 0, "{policy:?}/{eviction:?} raced");
+                assert_eq!(
+                    r.checksum, reference.checksum,
+                    "{policy:?}/{eviction:?} changed the numbers"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn the_working_set_actually_oversubscribes() {
+        let r = oversubscribe(
+            PlacementPolicy::TransferAware,
+            EvictionPolicy::Lru,
+            Some(oversub_capacity(N)),
+            N,
+            2,
+        );
+        assert!(r.evictions > 0, "the suite must create memory pressure");
+        assert!(r.spilled_bytes > 0, "LRU must spill dirty states");
+    }
+}

@@ -2,9 +2,10 @@
 //! management and host synchronization.
 
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::rc::Rc;
 
+use gpu_sim::memgr::{MemoryManager, MemoryStats};
 use gpu_sim::{
     DeviceProfile, Engine, EngineStats, RaceReport, TaskId, TaskKind, TaskSpec, Time, Timeline,
     Topology, TopologyKind, TypedData, ValueId,
@@ -12,7 +13,7 @@ use gpu_sim::{
 
 use crate::exec::KernelExec;
 use crate::graph::CaptureState;
-use crate::memory::{ArrayState, Residency, UnifiedArray};
+use crate::memory::{ArrayState, MemEvent, MemEventKind, Residency, UnifiedArray};
 
 /// Handle to an in-order execution stream. Stream 0 is the default
 /// stream and always exists.
@@ -73,6 +74,19 @@ pub(crate) struct Inner {
     /// direct peer link instead of staging through the host.
     p2p_migrations: usize,
     p2p_migrated_bytes: usize,
+    /// Capacity accounting, eviction-victim selection and prefetch
+    /// bookkeeping (built from the topology's [`gpu_sim::MemoryConfig`];
+    /// unlimited by default, in which case every check is a no-op).
+    memgr: MemoryManager,
+    /// Arrays brought in by a prefetch and not yet consumed by a kernel
+    /// on that device — the set prefetch *hits* are counted against.
+    /// Indexed by device.
+    prefetched: Vec<HashSet<ValueId>>,
+    /// Eviction/prefetch events awaiting [`Cuda::take_mem_events`]
+    /// (recorded only while enabled, so raw contexts that never drain
+    /// them stay bounded).
+    mem_events: Vec<MemEvent>,
+    record_mem_events: bool,
 }
 
 /// A simulated CUDA device context. Cheap to clone; clones share the
@@ -106,10 +120,14 @@ impl Cuda {
         Self::with_topology(dev.clone(), Topology::preset(kind, n, &dev))
     }
 
-    /// [`Cuda::new_multi`] over a fully custom [`Topology`].
+    /// [`Cuda::new_multi`] over a fully custom [`Topology`]. The
+    /// topology's [`gpu_sim::MemoryConfig`] gives every device its
+    /// finite memory: allocations and migrations that would exceed it
+    /// evict resident arrays back to the host as real copy tasks.
     pub fn with_topology(dev: DeviceProfile, topo: Topology) -> Self {
         let n = topo.device_count();
         let n_links = topo.links().len();
+        let memgr = MemoryManager::new(n, topo.memory_config().clone());
         let engine = Engine::with_topology(dev.clone(), topo);
         Cuda {
             inner: Rc::new(RefCell::new(Inner {
@@ -128,6 +146,10 @@ impl Cuda {
                 migrated_bytes: 0,
                 p2p_migrations: 0,
                 p2p_migrated_bytes: 0,
+                memgr,
+                prefetched: vec![HashSet::new(); n],
+                mem_events: Vec::new(),
+                record_mem_events: false,
             })),
         }
     }
@@ -179,6 +201,49 @@ impl Cuda {
     /// The interconnect topology of this context.
     pub fn topology(&self) -> Topology {
         self.inner.borrow().engine.topology().clone()
+    }
+
+    /// Memory gauges of the capacity-aware memory manager: per-device
+    /// resident and peak-resident bytes, evictions, spilled bytes,
+    /// prefetch hit accounting.
+    pub fn memory_stats(&self) -> MemoryStats {
+        self.inner.borrow().memgr.stats()
+    }
+
+    /// True when the topology configures a finite per-device capacity.
+    pub fn memory_limited(&self) -> bool {
+        self.inner.borrow().memgr.is_limited()
+    }
+
+    /// The configured per-device capacity (`None` = unlimited).
+    pub fn device_capacity(&self) -> Option<usize> {
+        self.inner.borrow().memgr.capacity(0)
+    }
+
+    /// Free device-memory bytes on a device (`usize::MAX` when
+    /// unlimited) — the headroom gauge memory-aware placement consults.
+    pub fn free_device_bytes(&self, device: u32) -> usize {
+        self.inner.borrow().memgr.free_bytes(device)
+    }
+
+    /// Per-device `(time, resident bytes)` step samples, recorded while
+    /// a finite capacity is configured. Cleared by
+    /// [`Cuda::clear_timeline`], like the execution timeline.
+    pub fn memory_timeline(&self) -> Vec<Vec<(Time, usize)>> {
+        self.inner.borrow().memgr.timeline().to_vec()
+    }
+
+    /// Enable (or disable) recording of eviction/prefetch
+    /// [`MemEvent`]s. Off by default so contexts that never drain them
+    /// stay bounded; the grcuda scheduler enables it and drains after
+    /// every launch to annotate its DAG.
+    pub fn record_mem_events(&self, on: bool) {
+        self.inner.borrow_mut().record_mem_events = on;
+    }
+
+    /// Drain the recorded eviction/prefetch events.
+    pub fn take_mem_events(&self) -> Vec<MemEvent> {
+        std::mem::take(&mut self.inner.borrow_mut().mem_events)
     }
 
     /// True if the topology has a direct peer link between two devices.
@@ -304,6 +369,7 @@ impl Cuda {
                 bytes: arr.byte_len(),
                 device: 0,
                 last_writer: None,
+                resident_cell: arr.resident.clone(),
             },
         );
         arr
@@ -329,8 +395,16 @@ impl Cuda {
     pub fn host_written(&self, a: &UnifiedArray) {
         let mut inner = self.inner.borrow_mut();
         let st = inner.arrays.get_mut(&a.id).expect("unknown array");
+        st.bytes = a.byte_len();
+        let old = st.residency.on_device().then_some(st.device);
         st.residency = Residency::Host;
         st.last_writer = None;
+        if let Some(d) = old {
+            let now = inner.engine.now();
+            inner.memgr.remove(d, a.id, now);
+            inner.prefetched[d as usize].remove(&a.id);
+        }
+        inner.sync_residency_cell(a.id);
     }
 
     /// Model the CPU touching `bytes` of the array (e.g. reading a
@@ -340,8 +414,17 @@ impl Cuda {
     pub fn host_read(&self, a: &UnifiedArray, bytes: usize) -> Time {
         let mut inner = self.inner.borrow_mut();
         let t0 = inner.engine.now();
+        inner.arrays.get_mut(&a.id).expect("unknown array").bytes = a.byte_len();
         let st = inner.arrays.get(&a.id).expect("unknown array").clone();
-        if !st.residency.on_host() {
+        if st.residency == Residency::Host {
+            // Host-only data is immediately readable — unless an
+            // eviction spill is still carrying it back, in which case
+            // the host blocks on the spill copy (already charged to the
+            // host link; no second migration is paid).
+            if let Some(w) = st.last_writer {
+                inner.engine.sync_task(w);
+            }
+        } else if !st.residency.on_host() {
             let dev = inner.dev.clone();
             let spec = if dev.supports_page_faults() {
                 TaskSpec::fault_migration(
@@ -395,8 +478,16 @@ impl Cuda {
             return None; // no UM migration engine on pre-Pascal
         }
         let target = inner.streams[stream.0 as usize].device;
+        inner.arrays.get_mut(&a.id).expect("unknown array").bytes = a.byte_len();
         let st = inner.arrays[&a.id].clone();
         if st.residency.on_device() && st.device == target {
+            return None;
+        }
+        // Capacity admission: prefetches are opportunistic — they use
+        // headroom but never evict anything. Without headroom the copy
+        // is left to the launch-time migration, which may.
+        let free = inner.memgr.free_bytes(target);
+        if !inner.memgr.prefetcher.admit(free, st.bytes) {
             return None;
         }
         let dev = inner.dev.clone();
@@ -407,6 +498,7 @@ impl Cuda {
         // leg on the source device, chained on the producer) otherwise.
         if st.residency == Residency::Device {
             if let Some(t) = inner.p2p_migrate(a.id, target, stream) {
+                inner.note_prefetched(target, a.id, st.bytes);
                 return Some(t);
             }
             inner.migrate_to_host(a.id);
@@ -430,10 +522,16 @@ impl Cuda {
         let t = inner.engine.submit(spec, &deps);
         inner.streams[stream.0 as usize].last = Some(t);
         inner.last_h2d[target as usize] = Some(t);
-        let stm = inner.arrays.get_mut(&a.id).unwrap();
-        stm.residency = Residency::Both;
-        stm.device = target;
-        stm.last_writer = Some(t);
+        let old = {
+            let stm = inner.arrays.get_mut(&a.id).unwrap();
+            let old = stm.residency.on_device().then_some(stm.device);
+            stm.residency = Residency::Both;
+            stm.device = target;
+            stm.last_writer = Some(t);
+            old
+        };
+        inner.move_resident_record(a.id, old, target, st.bytes);
+        inner.note_prefetched(target, a.id, st.bytes);
         Some(t)
     }
 
@@ -587,9 +685,12 @@ impl Cuda {
         f(self.inner.borrow().engine.timeline())
     }
 
-    /// Reset the timeline between measured iterations.
+    /// Reset the timeline between measured iterations (the memory
+    /// manager's resident-bytes samples are cleared with it).
     pub fn clear_timeline(&self) {
-        self.inner.borrow_mut().engine.clear_timeline();
+        let mut inner = self.inner.borrow_mut();
+        inner.engine.clear_timeline();
+        inner.memgr.clear_timeline();
     }
 
     /// Data races detected so far.
@@ -615,21 +716,33 @@ impl Inner {
     ) -> TaskId {
         let dev = self.dev.clone();
         let kdev = self.streams[stream.0 as usize].device;
-        // Unified-memory migrations for non-resident arguments.
-        let mut seen: Vec<ValueId> = Vec::new();
+        // Unified-memory migrations for non-resident arguments. The
+        // kernel's own argument set is pinned: making room for one
+        // argument must never evict a sibling.
+        let mut pinned: Vec<ValueId> = Vec::new();
         for (v, _) in &exec.accesses {
-            if seen.contains(v) {
-                continue;
+            if !pinned.contains(v) {
+                pinned.push(*v);
             }
-            seen.push(*v);
+        }
+        for v in &pinned {
             let st = self
                 .arrays
                 .get(v)
                 .expect("kernel argument not allocated here")
                 .clone();
             if st.residency.on_device() && st.device == kdev {
+                // Already in place: bump the LRU clock, and credit the
+                // prefetcher if a prefetch put it there.
+                self.memgr.touch(kdev, *v);
+                if self.prefetched[kdev as usize].remove(v) {
+                    self.memgr.prefetcher.note_hit();
+                }
                 continue;
             }
+            // The argument is about to land on this kernel's device:
+            // spill victims first if it would not fit.
+            self.ensure_fit(kdev, *v, st.bytes, &pinned);
             // Current copy only on another device: direct peer-to-peer
             // DMA when the topology links the two devices (no host
             // involvement, no H2D leg), else a host-mediated migration
@@ -680,10 +793,15 @@ impl Inner {
             if !dev.supports_page_faults() {
                 self.last_h2d[kdev as usize] = Some(t);
             }
-            let stm = self.arrays.get_mut(v).unwrap();
-            stm.residency = Residency::Both;
-            stm.device = kdev;
-            stm.last_writer = Some(t);
+            let old = {
+                let stm = self.arrays.get_mut(v).unwrap();
+                let old = stm.residency.on_device().then_some(stm.device);
+                stm.residency = Residency::Both;
+                stm.device = kdev;
+                stm.last_writer = Some(t);
+                old
+            };
+            self.move_resident_record(*v, old, kdev, st.bytes);
         }
 
         let (solo, demand) = exec.cost.solo_profile(exec.grid, &dev);
@@ -713,6 +831,7 @@ impl Inner {
             st.residency = Residency::Device;
             st.device = kdev;
             st.last_writer = Some(t);
+            self.sync_residency_cell(v);
         }
         t
     }
@@ -749,10 +868,13 @@ impl Inner {
         self.migrated_bytes += st.bytes;
         self.p2p_migrations += 1;
         self.p2p_migrated_bytes += st.bytes;
-        let stm = self.arrays.get_mut(&v).unwrap();
-        stm.residency = Residency::Device; // the host copy stays stale
-        stm.device = dst;
-        stm.last_writer = Some(t);
+        {
+            let stm = self.arrays.get_mut(&v).unwrap();
+            stm.residency = Residency::Device; // the host copy stays stale
+            stm.device = dst;
+            stm.last_writer = Some(t);
+        }
+        self.move_resident_record(v, Some(src), dst, st.bytes);
         Some(t)
     }
 
@@ -784,6 +906,158 @@ impl Inner {
         stm.residency = Residency::Both; // the host copy is current again
         stm.last_writer = Some(t);
         t
+    }
+
+    // ------------------------------------------------------------------
+    // finite device memory
+    // ------------------------------------------------------------------
+
+    /// Mirror the residency state machine into the shared cell behind
+    /// [`UnifiedArray::resident_device`].
+    fn sync_residency_cell(&self, v: ValueId) {
+        let st = &self.arrays[&v];
+        st.resident_cell
+            .set(st.residency.on_device().then_some(st.device));
+    }
+
+    /// Update the memory manager after a device copy moved from `old`
+    /// (if any) to `new`: the old record (and any pending prefetch
+    /// credit there) is dropped, the new one inserted.
+    fn move_resident_record(&mut self, v: ValueId, old: Option<u32>, new: u32, bytes: usize) {
+        let now = self.engine.now();
+        if let Some(od) = old {
+            if od != new {
+                self.memgr.remove(od, v, now);
+                self.prefetched[od as usize].remove(&v);
+            }
+        }
+        self.memgr.insert(new, v, bytes, now);
+        self.sync_residency_cell(v);
+    }
+
+    /// Mark an array as prefetch-resident on a device (a later kernel
+    /// finding it there counts as a prefetch hit) and record the event.
+    fn note_prefetched(&mut self, device: u32, v: ValueId, bytes: usize) {
+        self.prefetched[device as usize].insert(v);
+        if self.record_mem_events {
+            self.mem_events.push(MemEvent {
+                value: v,
+                bytes,
+                device,
+                kind: MemEventKind::Prefetched,
+            });
+        }
+    }
+
+    /// Make room for `bytes` of new resident data on `device`, spilling
+    /// victims chosen by the configured eviction policy. `pinned`
+    /// values (the launching kernel's own arguments) are never evicted.
+    /// A no-op under unlimited capacity or when the data already fits.
+    ///
+    /// # Panics
+    /// Panics with an out-of-memory report when the device cannot hold
+    /// the data even after evicting everything evictable. The grcuda
+    /// layer raises a recoverable `LaunchError::OutOfMemory` before
+    /// reaching this point whenever no device can fit the launch.
+    fn ensure_fit(&mut self, device: u32, incoming: ValueId, bytes: usize, pinned: &[ValueId]) {
+        let need = self.memgr.shortfall(device, bytes);
+        if need == 0 {
+            return;
+        }
+        let victims = {
+            let Inner {
+                memgr,
+                arrays,
+                engine,
+                ..
+            } = self;
+            let topo = engine.topology();
+            let link = topo.link(topo.host_link(device));
+            let leg = |b: usize| link.latency + b as f64 / link.bandwidth;
+            // Cost-aware victim pricing: a still-valid host copy makes
+            // the spill free (the device copy is just dropped) and the
+            // possible re-fetch one host-link leg; dirty data pays the
+            // spill leg too — both over the device's actual link.
+            memgr.select_victims(device, need, pinned, |vid, vbytes| {
+                let refetch = leg(vbytes);
+                match arrays[&vid].residency {
+                    Residency::Device => leg(vbytes) + refetch,
+                    _ => refetch,
+                }
+            })
+        };
+        let freed: usize = victims.iter().map(|vic| vic.bytes).sum();
+        let cap = self
+            .memgr
+            .capacity(device)
+            .expect("shortfall implies a capacity");
+        assert!(
+            self.memgr.resident_bytes(device) - freed + bytes <= cap,
+            "OutOfMemory: device {device} cannot fit array {incoming:?} \
+             ({bytes} B): capacity {cap} B, resident {} B of which only \
+             {freed} B are evictable (the rest is pinned by the launch)",
+            self.memgr.resident_bytes(device),
+        );
+        for victim in victims {
+            self.evict(device, victim.value);
+        }
+    }
+
+    /// Evict one array's device copy. Dirty copies (no valid host copy)
+    /// are spilled by a real device→host bulk copy that contends on the
+    /// host link and serializes through the device's D2H DMA engine,
+    /// chained on whatever produced the copy; clean copies are dropped
+    /// free. Either way the array becomes host-resident, and its next
+    /// kernel use pays a fresh migration chained on the spill.
+    fn evict(&mut self, device: u32, v: ValueId) {
+        let st = self.arrays[&v].clone();
+        debug_assert!(st.residency.on_device() && st.device == device);
+        let spilled = if st.residency == Residency::Device {
+            let dev = self.dev.clone();
+            let spec = TaskSpec::bulk_copy(
+                TaskKind::CopyD2H,
+                format!("evict<-{v:?}"),
+                u32::MAX,
+                st.bytes as f64,
+                &dev,
+            )
+            .on_device(device)
+            .reading(&[v]);
+            let mut deps: Vec<TaskId> = st.last_writer.into_iter().collect();
+            deps.extend(self.last_d2h[device as usize]);
+            let t = self.engine.submit(spec, &deps);
+            self.last_d2h[device as usize] = Some(t);
+            let stm = self.arrays.get_mut(&v).unwrap();
+            stm.residency = Residency::Host;
+            // The spill is the host copy's producer: host reads block on
+            // it, and the next migration of this array chains after it.
+            stm.last_writer = Some(t);
+            st.bytes
+        } else {
+            // A valid host copy exists: drop the device copy for free.
+            // The host copy never depended on the task that produced
+            // the device copy (an H2D/prefetch), so clear `last_writer`
+            // — a later host read must not block on it.
+            let stm = self.arrays.get_mut(&v).unwrap();
+            stm.residency = Residency::Host;
+            stm.last_writer = None;
+            0
+        };
+        let now = self.engine.now();
+        self.memgr.remove(device, v, now);
+        self.memgr.record_eviction(spilled);
+        self.prefetched[device as usize].remove(&v);
+        self.sync_residency_cell(v);
+        if self.record_mem_events {
+            self.mem_events.push(MemEvent {
+                value: v,
+                bytes: st.bytes,
+                device,
+                kind: MemEventKind::Evicted {
+                    spilled: spilled > 0,
+                },
+            });
+        }
     }
 
     /// Ensure a stream id exists (graph replay may ask for fresh ones).
@@ -1246,6 +1520,281 @@ mod tests {
         c.device_sync();
         assert_eq!(c.migration_stats(), (0, 0));
         assert!(c.races().is_empty());
+    }
+
+    fn limited_ctx(capacity: usize, policy: gpu_sim::EvictionPolicy) -> Cuda {
+        let dev = DeviceProfile::tesla_p100();
+        let topo = gpu_sim::Topology::preset(TopologyKind::PcieOnly, 1, &dev)
+            .with_memory(gpu_sim::MemoryConfig::with_capacity(capacity).with_eviction(policy));
+        Cuda::with_topology(dev, topo)
+    }
+
+    #[test]
+    fn oversubscription_evicts_and_refetches_correct_values() {
+        // Capacity fits two of the three arrays: the third launch must
+        // evict, and later re-use must re-fetch — with correct numbers.
+        let n = 1 << 10; // 4 KiB per array
+        let c = limited_ctx(2 * 4 * n, gpu_sim::EvictionPolicy::Lru);
+        let arrays: Vec<_> = (0..3).map(|_| c.alloc_f32(n)).collect();
+        let s = c.default_stream();
+        for round in 0..2 {
+            for (i, a) in arrays.iter().enumerate() {
+                let exec = KernelExec::new(
+                    "inc",
+                    Grid::d1(4, 256),
+                    KernelCost {
+                        min_time: 1e-4,
+                        ..Default::default()
+                    },
+                    vec![a.buf.clone()],
+                    vec![(a.id, false)],
+                    Rc::new(|bufs: &[gpu_sim::DataBuffer]| {
+                        for x in bufs[0].as_f32_mut().iter_mut() {
+                            *x += 1.0;
+                        }
+                    }),
+                );
+                let t = c.launch(s, &exec).unwrap();
+                c.task_sync(t);
+                assert_eq!(a.resident_device(), Some(0), "round {round} array {i}");
+                let st = c.memory_stats();
+                assert!(st.resident_bytes[0] <= 2 * 4 * n);
+            }
+        }
+        let st = c.memory_stats();
+        assert!(st.evictions >= 3, "three-array cycle must thrash: {st:?}");
+        assert!(
+            st.spilled_bytes >= 4 * n,
+            "dirty copies must spill over the host link: {st:?}"
+        );
+        assert_eq!(st.peak_resident[0], 2 * 4 * n);
+        // The spills are real timeline transfers, and the numbers are
+        // exactly two increments per element despite the thrashing.
+        let tl = c.timeline();
+        assert!(tl
+            .transfers()
+            .any(|iv| iv.label.starts_with("evict<-") && iv.kind == TaskKind::CopyD2H));
+        for a in &arrays {
+            c.host_read(a, 4 * n);
+            assert_eq!(a.buf.as_f32()[7], 2.0);
+        }
+        assert!(c.races().is_empty());
+        // The resident-bytes timeline recorded the pressure.
+        let mt = c.memory_timeline();
+        assert!(mt[0].iter().any(|&(_, b)| b == 2 * 4 * n));
+        assert!(mt[0].windows(2).all(|w| w[0].0 <= w[1].0), "time-ordered");
+    }
+
+    #[test]
+    fn clean_copies_are_dropped_free_dirty_ones_spill() {
+        let n = 1 << 10;
+        let bytes = 4 * n;
+        // Room for exactly one array.
+        let c = limited_ctx(bytes, gpu_sim::EvictionPolicy::CostAware);
+        let clean = c.alloc_f32(n);
+        let dirty = c.alloc_f32(n);
+        let s = c.default_stream();
+        // `clean` is prefetched (Both: valid host copy), then `dirty` is
+        // written by a kernel — evicting `clean` must move zero bytes.
+        c.prefetch_async(s, &clean);
+        let k = simple_kernel(&c, "w", &dirty, 0.1);
+        let t = c.launch(s, &k).unwrap();
+        c.task_sync(t);
+        let st = c.memory_stats();
+        assert_eq!(st.evictions, 1);
+        assert_eq!(st.spilled_bytes, 0, "clean eviction is a free drop");
+        assert_eq!(clean.resident_device(), None);
+        assert_eq!(dirty.resident_device(), Some(0));
+        // Now the dirty array is the victim: its eviction must spill.
+        let k2 = simple_kernel(&c, "w2", &clean, 0.1);
+        let t2 = c.launch(s, &k2).unwrap();
+        c.task_sync(t2);
+        let st = c.memory_stats();
+        assert_eq!(st.evictions, 2);
+        assert_eq!(st.spilled_bytes, bytes, "dirty eviction pays a D2H spill");
+        assert_eq!(
+            c.timeline()
+                .transfers()
+                .filter(|iv| iv.label.starts_with("evict<-"))
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn cost_aware_eviction_prefers_clean_victims_over_lru_order() {
+        let n = 1 << 10;
+        let bytes = 4 * n;
+        let run = |policy| {
+            let c = limited_ctx(2 * bytes, policy);
+            let s = c.default_stream();
+            let clean = c.alloc_f32(n);
+            let dirty = c.alloc_f32(n);
+            let third = c.alloc_f32(n);
+            // Dirty first (kernel write), clean second (prefetch): LRU
+            // order says evict `dirty`, cost order says drop `clean`.
+            let k = simple_kernel(&c, "w", &dirty, 0.1);
+            let t = c.launch(s, &k).unwrap();
+            c.task_sync(t);
+            c.prefetch_async(s, &clean);
+            c.device_sync();
+            let k3 = simple_kernel(&c, "w3", &third, 0.1);
+            let t3 = c.launch(s, &k3).unwrap();
+            c.task_sync(t3);
+            c.memory_stats()
+        };
+        let lru = run(gpu_sim::EvictionPolicy::Lru);
+        assert_eq!(lru.evictions, 1);
+        assert_eq!(lru.spilled_bytes, bytes, "LRU evicts the dirty array");
+        let cost = run(gpu_sim::EvictionPolicy::CostAware);
+        assert_eq!(cost.evictions, 1);
+        assert_eq!(cost.spilled_bytes, 0, "cost-aware drops the clean copy");
+    }
+
+    #[test]
+    fn largest_first_frees_with_fewest_victims() {
+        let small = 1 << 8;
+        let big = 1 << 11;
+        let c = limited_ctx(4 * (small + big), gpu_sim::EvictionPolicy::LargestFirst);
+        let s = c.default_stream();
+        let a_small = c.alloc_f32(small);
+        let a_big = c.alloc_f32(big);
+        c.prefetch_async(s, &a_small);
+        c.prefetch_async(s, &a_big);
+        c.device_sync();
+        // A mid-sized incomer: largest-first evicts only the big array.
+        let mid = c.alloc_f32(1 << 10);
+        c.prefetch_async(s, &mid); // no headroom: prefetch skipped
+        assert_eq!(mid.resident_device(), None);
+        let k = simple_kernel(&c, "w", &mid, 0.1);
+        let t = c.launch(s, &k).unwrap();
+        c.task_sync(t);
+        let st = c.memory_stats();
+        assert_eq!(st.evictions, 1);
+        assert_eq!(a_big.resident_device(), None, "big victim goes first");
+        assert_eq!(a_small.resident_device(), Some(0));
+        assert_eq!(st.prefetch_skipped, 1, "headroom-less prefetch skipped");
+    }
+
+    #[test]
+    fn prefetch_hits_are_counted_at_launch() {
+        let c = limited_ctx(1 << 20, gpu_sim::EvictionPolicy::Lru);
+        let a = c.alloc_f32(1 << 10);
+        let s = c.default_stream();
+        c.prefetch_async(s, &a);
+        let st = c.memory_stats();
+        assert_eq!((st.prefetch_issued, st.prefetch_hits), (1, 0));
+        let k = simple_kernel(&c, "k", &a, 0.1);
+        let t = c.launch(s, &k).unwrap();
+        c.task_sync(t);
+        let st = c.memory_stats();
+        assert_eq!(st.prefetch_hits, 1);
+        assert!((st.prefetch_hit_rate() - 1.0).abs() < 1e-12);
+        // A second launch of the same (now resident) array is not
+        // another hit: the credit is consumed once.
+        let k2 = simple_kernel(&c, "k2", &a, 0.1);
+        let t2 = c.launch(s, &k2).unwrap();
+        c.task_sync(t2);
+        assert_eq!(c.memory_stats().prefetch_hits, 1);
+    }
+
+    #[test]
+    fn host_read_of_spilled_array_waits_for_the_spill() {
+        let n = 1 << 20; // 4 MiB arrays, big enough to time
+        let c = limited_ctx(4 * n, gpu_sim::EvictionPolicy::Lru);
+        let s = c.default_stream();
+        let a = c.alloc_f32(n);
+        let b = c.alloc_f32(n);
+        let k = simple_kernel(&c, "wa", &a, 0.1);
+        c.launch(s, &k);
+        // Launching on b evicts dirty a: the spill D2H is now in flight.
+        let k2 = simple_kernel(&c, "wb", &b, 0.1);
+        c.launch(s, &k2);
+        assert_eq!(c.residency(&a), Residency::Host, "a was spilled");
+        let t0 = c.now();
+        let dt = c.host_read(&a, 4);
+        assert!(
+            dt > 0.0 && c.now() > t0,
+            "the read must block until the spill copy lands"
+        );
+        c.device_sync();
+        // Exactly two transfers ever involve `a`: its initial fault
+        // migration in and the eviction spill out — the blocked read
+        // charged no third one.
+        let tl = c.timeline();
+        let a_label = format!("{:?}", a.id);
+        assert_eq!(
+            tl.transfers()
+                .filter(|iv| iv.label.contains(&a_label))
+                .count(),
+            2
+        );
+        assert!(c.races().is_empty());
+    }
+
+    #[test]
+    fn unlimited_contexts_never_evict_and_skip_sampling() {
+        let c = ctx();
+        let a = c.alloc_f32(1 << 20);
+        c.prefetch_async(c.default_stream(), &a);
+        c.device_sync();
+        assert!(!c.memory_limited());
+        assert_eq!(c.free_device_bytes(0), usize::MAX);
+        let st = c.memory_stats();
+        assert_eq!(st.evictions, 0);
+        assert_eq!(st.capacity, None);
+        assert_eq!(st.resident_bytes[0], 4 << 20, "residency is still tracked");
+        assert!(
+            c.memory_timeline()[0].is_empty(),
+            "no samples when unlimited"
+        );
+        assert_eq!(a.resident_device(), Some(0));
+    }
+
+    #[test]
+    fn mem_events_record_evictions_and_prefetches_when_enabled() {
+        use crate::memory::MemEventKind;
+        let n = 1 << 10;
+        let c = limited_ctx(4 * n, gpu_sim::EvictionPolicy::Lru);
+        let s = c.default_stream();
+        let a = c.alloc_f32(n);
+        let b = c.alloc_f32(n);
+        // Disabled by default: nothing accumulates.
+        c.prefetch_async(s, &a);
+        assert!(c.take_mem_events().is_empty());
+        c.record_mem_events(true);
+        let k = simple_kernel(&c, "wb", &b, 0.1);
+        let t = c.launch(s, &k).unwrap();
+        c.task_sync(t);
+        let events = c.take_mem_events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].value, a.id);
+        assert_eq!(
+            events[0].kind,
+            MemEventKind::Evicted { spilled: false },
+            "the prefetched copy was clean"
+        );
+        assert!(c.take_mem_events().is_empty(), "take drains");
+        // Free the device (invalidate b's copy) so the next prefetch
+        // has headroom and is actually issued — and recorded.
+        c.host_written(&b);
+        c.prefetch_async(s, &a);
+        let events = c.take_mem_events();
+        assert!(events
+            .iter()
+            .any(|e| e.kind == MemEventKind::Prefetched && e.value == a.id));
+    }
+
+    #[test]
+    fn a_single_array_larger_than_capacity_fails_loudly() {
+        let c = limited_ctx(1 << 10, gpu_sim::EvictionPolicy::Lru);
+        let a = c.alloc_f32(1 << 10); // 4 KiB > 1 KiB capacity
+        let k = simple_kernel(&c, "k", &a, 0.1);
+        let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            c.launch(c.default_stream(), &k)
+        }));
+        let msg = *res.unwrap_err().downcast::<String>().unwrap();
+        assert!(msg.contains("OutOfMemory"), "got: {msg}");
     }
 
     #[test]

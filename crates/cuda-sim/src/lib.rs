@@ -34,8 +34,12 @@ pub mod memory;
 pub use context::{Cuda, EventId, StreamId};
 pub use exec::KernelExec;
 pub use graph::{CudaGraph, GraphNodeId};
-pub use memory::{Residency, UnifiedArray};
+pub use memory::{MemEvent, MemEventKind, Residency, UnifiedArray};
 
 pub use gpu_sim::{
-    DeviceProfile, Endpoint, Grid, KernelCost, Link, LinkId, TaskId, Time, Topology, TopologyKind,
+    DeviceProfile, Endpoint, EvictionPolicy, Grid, KernelCost, Link, LinkId, MemoryConfig,
+    MemoryStats, TaskId, Time, Topology, TopologyKind,
 };
+
+#[cfg(test)]
+mod prop_tests;

@@ -1,5 +1,8 @@
 //! Unified-memory arrays and their residency state machine.
 
+use std::cell::Cell;
+use std::rc::Rc;
+
 use gpu_sim::{DataBuffer, TypedData, ValueId};
 
 /// Where the up-to-date copy of a unified-memory allocation lives.
@@ -41,6 +44,10 @@ pub struct UnifiedArray {
     pub id: ValueId,
     /// Shared host-visible payload.
     pub buf: DataBuffer,
+    /// Device currently holding the device copy, mirrored from the
+    /// context's residency state machine on every transition (shared by
+    /// clones, like the allocation itself).
+    pub(crate) resident: Rc<Cell<Option<u32>>>,
 }
 
 impl UnifiedArray {
@@ -48,7 +55,17 @@ impl UnifiedArray {
         UnifiedArray {
             id,
             buf: DataBuffer::new(data),
+            resident: Rc::new(Cell::new(None)),
         }
+    }
+
+    /// The device holding the current device copy, if any — `None` for
+    /// host-only data (fresh allocations, CPU-written or evicted
+    /// arrays). Kept in sync by the owning context on every residency
+    /// transition; handy for tests that assert placement without
+    /// holding the context.
+    pub fn resident_device(&self) -> Option<u32> {
+        self.resident.get()
     }
 
     /// Number of elements.
@@ -71,15 +88,52 @@ impl UnifiedArray {
 #[derive(Debug, Clone)]
 pub(crate) struct ArrayState {
     pub residency: Residency,
+    /// Size in bytes — re-synced from the backing buffer on every
+    /// residency transition so capacity accounting can never drift from
+    /// the allocation it describes.
     pub bytes: usize,
     /// Which device holds the current device copy (meaningful while
     /// `residency.on_device()`; always 0 on single-device contexts).
     pub device: u32,
-    /// The task that produced the current copy (a writing kernel or the
-    /// transfer that last moved it). Cross-device migrations chain their
+    /// The task that produced the current copy (a writing kernel, the
+    /// transfer that last moved it, or the eviction spill that pushed it
+    /// back to the host). Cross-device migrations chain their
     /// device→host leg on it so causality is preserved without blocking
     /// the host.
     pub last_writer: Option<gpu_sim::TaskId>,
+    /// Mirror of the residency device shared with the user-facing
+    /// [`UnifiedArray`] handles (see [`UnifiedArray::resident_device`]).
+    pub resident_cell: Rc<Cell<Option<u32>>>,
+}
+
+/// What the memory manager did to an allocation — drained by the layer
+/// above (the grcuda scheduler annotates its computation DAG with these
+/// so `to_dot` renders eviction and prefetch traffic).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemEvent {
+    /// The allocation involved.
+    pub value: ValueId,
+    /// Its size in bytes.
+    pub bytes: usize,
+    /// The device the event happened on.
+    pub device: u32,
+    /// What happened.
+    pub kind: MemEventKind,
+}
+
+/// The kind of a [`MemEvent`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemEventKind {
+    /// The device copy was evicted to make room. `spilled` is true when
+    /// a real device→host copy moved the data (the host copy was
+    /// stale); false when the device copy was simply dropped (a valid
+    /// host copy already existed).
+    Evicted {
+        /// True when the eviction paid a device→host spill copy.
+        spilled: bool,
+    },
+    /// The allocation was bulk-prefetched ahead of a launch.
+    Prefetched,
 }
 
 #[cfg(test)]

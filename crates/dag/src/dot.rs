@@ -2,7 +2,7 @@
 //! render the benchmark structures of the paper's Fig. 6 and by the
 //! multi-GPU scheduler to visualize device placement.
 
-use crate::graph::ComputationDag;
+use crate::graph::{ComputationDag, MemNoteKind};
 
 /// Fill colors cycled per device (Graphviz X11 names), chosen to stay
 /// readable with black monospace labels.
@@ -29,6 +29,13 @@ const DEVICE_COLORS: [&str; 8] = [
 /// host` tag when the move staged through the host, blue with a `p2p`
 /// tag when it went over a direct peer link — making multi-GPU schedules
 /// and interconnect usage visually debuggable.
+///
+/// Under a finite device-memory configuration the memory manager's
+/// actions are rendered too: each eviction a computation forced appears
+/// as an orange note node with a dotted edge *from* the vertex
+/// (`spilled` when a real device→host copy moved the data, `dropped`
+/// for free drops of clean copies), and each ahead-of-launch prefetch
+/// as a green note node with a dotted edge *into* the vertex.
 pub fn to_dot(dag: &ComputationDag, title: &str) -> String {
     let mut out = String::new();
     out.push_str(&format!("digraph \"{}\" {{\n", escape(title)));
@@ -85,6 +92,34 @@ pub fn to_dot(dag: &ComputationDag, title: &str) -> String {
             "  n{} -> n{} [label=\"{}\"{}];\n",
             e.from.0, e.to.0, label, attrs,
         ));
+    }
+    for (i, note) in dag.mem_notes().iter().enumerate() {
+        let size = human_bytes(note.bytes);
+        match note.kind {
+            MemNoteKind::Evicted { spilled } => {
+                let how = if spilled { "spilled" } else { "dropped" };
+                out.push_str(&format!(
+                    "  mem{i} [label=\"evict v{}\\n{size} {how}\", shape=note, \
+                     fontname=\"monospace\", color=orange];\n",
+                    note.value.0,
+                ));
+                out.push_str(&format!(
+                    "  n{} -> mem{i} [style=dotted, color=orange];\n",
+                    note.vertex.0,
+                ));
+            }
+            MemNoteKind::Prefetched => {
+                out.push_str(&format!(
+                    "  mem{i} [label=\"prefetch v{}\\n{size}\", shape=note, \
+                     fontname=\"monospace\", color=green];\n",
+                    note.value.0,
+                ));
+                out.push_str(&format!(
+                    "  mem{i} -> n{} [style=dotted, color=green];\n",
+                    note.vertex.0,
+                ));
+            }
+        }
     }
     out.push_str("}\n");
     out
@@ -230,6 +265,42 @@ mod tests {
         assert_eq!(stamped[0].to, w2);
         let dot = to_dot(&dag, "t");
         assert_eq!(dot.matches("migrated").count(), 1);
+    }
+
+    #[test]
+    fn eviction_and_prefetch_notes_render_as_aux_nodes() {
+        let mut dag = ComputationDag::new();
+        let (k1, _) =
+            dag.add_computation(ElementKind::Kernel, "K1", vec![ArgAccess::write(Value(0))]);
+        let (k2, _) =
+            dag.add_computation(ElementKind::Kernel, "K2", vec![ArgAccess::write(Value(1))]);
+        dag.annotate_prefetch(k1, Value(0), 2 << 20);
+        dag.annotate_evict(k2, Value(0), 2 << 20, true);
+        dag.annotate_evict(k2, Value(2), 512, false);
+        assert_eq!(dag.mem_notes().len(), 3);
+        let dot = to_dot(&dag, "mem");
+        assert!(dot.contains("prefetch v0\\n2.0 MiB"));
+        assert!(dot.contains("evict v0\\n2.0 MiB spilled"));
+        assert!(dot.contains("evict v2\\n512 B dropped"));
+        assert!(dot.contains("color=green") && dot.contains("color=orange"));
+        // Direction: prefetch feeds the vertex, eviction hangs off it.
+        assert!(dot.contains("mem0 -> n0"));
+        assert!(dot.contains("n1 -> mem1"));
+        // Compaction prunes notes with their vertices.
+        let mut dag2 = dag.clone();
+        dag2.retire(k2);
+        dag2.retire(k1);
+        dag2.compact();
+        assert!(dag2.mem_notes().is_empty());
+        assert!(!to_dot(&dag2, "mem").contains("evict"));
+    }
+
+    #[test]
+    fn notes_for_unknown_vertices_are_ignored() {
+        let mut dag = ComputationDag::new();
+        dag.annotate_evict(crate::vertex::VertexId(7), Value(0), 64, false);
+        dag.annotate_prefetch(crate::vertex::VertexId(7), Value(0), 64);
+        assert!(dag.mem_notes().is_empty());
     }
 
     #[test]

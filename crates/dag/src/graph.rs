@@ -26,6 +26,37 @@ pub struct DepEdge {
     pub p2p: bool,
 }
 
+/// A memory-manager action attributed to a computation — the eviction
+/// and prefetch traffic a capacity-limited scheduler generated while
+/// placing it, recorded via [`ComputationDag::annotate_evict`] /
+/// [`ComputationDag::annotate_prefetch`] and rendered by
+/// [`crate::to_dot`] as auxiliary nodes hanging off the vertex.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemNote {
+    /// The computation whose scheduling caused the action.
+    pub vertex: VertexId,
+    /// The array involved.
+    pub value: Value,
+    /// Its size in bytes.
+    pub bytes: usize,
+    /// What happened.
+    pub kind: MemNoteKind,
+}
+
+/// The kind of a [`MemNote`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemNoteKind {
+    /// A resident array was evicted to make room for this computation's
+    /// arguments; `spilled` is true when a real device→host copy moved
+    /// the data (false for free drops of still-valid host copies).
+    Evicted {
+        /// Whether the eviction paid a spill copy.
+        spilled: bool,
+    },
+    /// An argument was bulk-prefetched ahead of this launch.
+    Prefetched,
+}
+
 /// Per-value ordering index: the last active writer and the active
 /// readers since that write. This is the O(1) realization of the
 /// dependency-set scan described in the paper.
@@ -62,6 +93,9 @@ pub struct ComputationDag {
     retired_stored: usize,
     edges: Vec<DepEdge>,
     values: HashMap<Value, ValueState>,
+    /// Eviction/prefetch annotations, pruned with their vertices on
+    /// compaction so they stay O(live computations) too.
+    mem_notes: Vec<MemNote>,
 }
 
 impl ComputationDag {
@@ -328,6 +362,7 @@ impl ComputationDag {
         let vertices = &self.vertices;
         let stored = |id: VertexId| vertices.binary_search_by_key(&id, |v| v.id).is_ok();
         self.edges.retain(|e| stored(e.from) && stored(e.to));
+        self.mem_notes.retain(|n| stored(n.vertex));
 
         // A value state is only worth keeping while some referenced
         // vertex can still introduce a dependency through the value.
@@ -417,6 +452,41 @@ impl ComputationDag {
             self.edges[i].migrated_bytes = bytes;
             self.edges[i].p2p = p2p;
         }
+    }
+
+    /// Record that placing `vertex` evicted `value` (`bytes` big) from
+    /// its device; `spilled` distinguishes a real device→host spill copy
+    /// from a free drop. Rendered by [`crate::to_dot`]. No-op for
+    /// compacted vertices.
+    pub fn annotate_evict(&mut self, vertex: VertexId, value: Value, bytes: usize, spilled: bool) {
+        if self.slot(vertex).is_some() {
+            self.mem_notes.push(MemNote {
+                vertex,
+                value,
+                bytes,
+                kind: MemNoteKind::Evicted { spilled },
+            });
+        }
+    }
+
+    /// Record that `value` (`bytes` big) was bulk-prefetched ahead of
+    /// `vertex`'s launch. Rendered by [`crate::to_dot`]. No-op for
+    /// compacted vertices.
+    pub fn annotate_prefetch(&mut self, vertex: VertexId, value: Value, bytes: usize) {
+        if self.slot(vertex).is_some() {
+            self.mem_notes.push(MemNote {
+                vertex,
+                value,
+                bytes,
+                kind: MemNoteKind::Prefetched,
+            });
+        }
+    }
+
+    /// The stored eviction/prefetch annotations (pruned with their
+    /// vertices on compaction).
+    pub fn mem_notes(&self) -> &[MemNote] {
+        &self.mem_notes
     }
 }
 

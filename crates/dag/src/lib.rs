@@ -45,7 +45,7 @@ pub mod graph;
 pub mod vertex;
 
 pub use dot::to_dot;
-pub use graph::{ComputationDag, DepEdge};
+pub use graph::{ComputationDag, DepEdge, MemNote, MemNoteKind};
 pub use vertex::{ArgAccess, ElementKind, Value, Vertex, VertexId};
 
 #[cfg(test)]

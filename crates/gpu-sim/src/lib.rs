@@ -59,6 +59,7 @@ pub mod cost;
 pub mod data;
 pub mod engine;
 pub mod fluid;
+pub mod memory_manager;
 pub mod profile;
 #[cfg(test)]
 mod prop_tests;
@@ -67,9 +68,14 @@ pub mod task;
 pub mod timeline;
 pub mod topology;
 
+/// Shorthand for the capacity-aware memory-manager module (the name the
+/// layers above import it by).
+pub use memory_manager as memgr;
+
 pub use cost::{Grid, KernelCost};
 pub use data::{DataBuffer, TypedData, ValueId};
 pub use engine::{Engine, EngineStats, TaskId};
+pub use memory_manager::{EvictionPolicy, MemoryConfig, MemoryManager, MemoryStats};
 pub use profile::{Architecture, DeviceProfile};
 pub use race::RaceReport;
 pub use task::{ResourceDemand, TaskKind, TaskMeta, TaskSpec};

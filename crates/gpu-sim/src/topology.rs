@@ -12,6 +12,7 @@
 //! device-to-device link is modeled with a single aggregate capacity for
 //! both directions (the common way NVLink bandwidth is quoted).
 
+use crate::memory_manager::MemoryConfig;
 use crate::profile::DeviceProfile;
 use crate::Time;
 
@@ -122,6 +123,10 @@ pub struct Topology {
     /// Links `0..n_devices` are the host links (link `d` serves device
     /// `d`); the rest are device↔device links.
     links: Vec<Link>,
+    /// Device-memory capacities and eviction policy (the machine
+    /// description owns its memories as well as its links). Default
+    /// unlimited.
+    memory: MemoryConfig,
 }
 
 impl Topology {
@@ -194,7 +199,22 @@ impl Topology {
             kind,
             n_devices: n as u32,
             links,
+            memory: MemoryConfig::default(),
         }
+    }
+
+    /// Give every device a finite memory (builder-style): capacity and
+    /// eviction policy for the capacity-aware memory manager
+    /// ([`crate::memgr`]). The default is unlimited, which reproduces
+    /// the infinite-memory behavior bit-identically.
+    pub fn with_memory(mut self, memory: MemoryConfig) -> Self {
+        self.memory = memory;
+        self
+    }
+
+    /// The device-memory configuration of this machine.
+    pub fn memory_config(&self) -> &MemoryConfig {
+        &self.memory
     }
 
     /// Which preset built this topology.

@@ -11,8 +11,9 @@ use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
 
-use cuda_sim::{Cuda, KernelExec, StreamId, UnifiedArray};
+use cuda_sim::{Cuda, KernelExec, MemEventKind, StreamId, UnifiedArray};
 use dag::{ArgAccess, ComputationDag, ElementKind, Value, VertexId};
+use gpu_sim::memgr::{MemoryConfig, MemoryStats};
 use gpu_sim::{
     Architecture, DataBuffer, DeviceProfile, EngineStats, Grid, RaceReport, TaskId, Time, Timeline,
     Topology, TopologyKind,
@@ -21,7 +22,7 @@ use kernels::KernelDef;
 
 use crate::array::DeviceArray;
 use crate::history::KernelHistory;
-use crate::kernel::{Arg, Kernel};
+use crate::kernel::{Arg, Kernel, LaunchError};
 use crate::nidl::{NidlError, NidlParam, Signature};
 use crate::options::{Options, PrefetchPolicy, SchedulePolicy};
 use crate::policy::{DeviceSelectionPolicy, PlacementCtx, PlacementPolicy};
@@ -62,7 +63,7 @@ const HARVEST_FLOOR_MIN: usize = 64;
 /// long-running service these gauges must track the *live* frontier: the
 /// lifetime counters keep growing, everything else stays bounded across
 /// launch/sync cycles.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SchedulerStats {
     /// Computational elements ever registered in the DAG.
     pub lifetime_vertices: usize,
@@ -85,6 +86,12 @@ pub struct SchedulerStats {
     pub vertex_devices: usize,
     /// Launch-metadata entries awaiting history harvest.
     pub launch_infos: usize,
+    /// Device-memory gauges from the capacity-aware memory manager:
+    /// per-device resident/peak bytes, evictions, spilled bytes and
+    /// prefetch hit accounting. With the default unlimited capacity the
+    /// eviction/spill counters stay zero; residency and prefetch
+    /// accounting are tracked either way.
+    pub memory: MemoryStats,
 }
 
 /// The GrCUDA runtime: allocate arrays, build kernels, launch, read
@@ -145,6 +152,27 @@ impl GrCuda {
         Self::with_placement_topo(dev, n, options, placement, TopologyKind::PcieOnly)
     }
 
+    /// [`GrCuda::new_multi_topo`] with a finite device-memory
+    /// configuration: every device gets `memory.capacity` bytes, and
+    /// launches whose arguments exceed the headroom evict resident
+    /// arrays under `memory.eviction` (spill copies contend on the
+    /// interconnect like any other transfer). The placement policy sees
+    /// per-device free bytes ([`PlacementCtx::free_bytes`]);
+    /// [`PlacementPolicy::MemoryAware`] is built for exactly this
+    /// setting.
+    pub fn new_multi_mem(
+        dev: DeviceProfile,
+        n: usize,
+        options: Options,
+        placement: PlacementPolicy,
+        topology: TopologyKind,
+        memory: MemoryConfig,
+    ) -> Self {
+        let topo = Topology::preset(topology, n, &dev).with_memory(memory);
+        let cuda = Cuda::with_topology(dev, topo);
+        Self::from_cuda(cuda, options, placement.build())
+    }
+
     /// Custom placement policy *and* interconnect preset.
     pub fn with_placement_topo(
         dev: DeviceProfile,
@@ -154,6 +182,15 @@ impl GrCuda {
         topology: TopologyKind,
     ) -> Self {
         let cuda = Cuda::new_multi_topo(dev, n, topology);
+        Self::from_cuda(cuda, options, placement)
+    }
+
+    /// Shared constructor tail over a ready [`Cuda`] context.
+    fn from_cuda(cuda: Cuda, options: Options, placement: Box<dyn DeviceSelectionPolicy>) -> Self {
+        // The scheduler drains eviction/prefetch events after every
+        // launch to annotate its DAG; recording is safe to leave on
+        // because the drain keeps the buffer bounded.
+        cuda.record_mem_events(true);
         GrCuda {
             inner: Rc::new(RefCell::new(Ctx {
                 cuda,
@@ -213,6 +250,20 @@ impl GrCuda {
     /// — staging, host reads, and host-mediated migration legs.
     pub fn host_link_bytes(&self) -> f64 {
         self.inner.borrow().cuda.host_link_bytes()
+    }
+
+    /// Device-memory gauges of the capacity-aware memory manager (the
+    /// `memory` section of [`GrCuda::scheduler_stats`], standalone).
+    pub fn memory_stats(&self) -> MemoryStats {
+        self.inner.borrow().cuda.memory_stats()
+    }
+
+    /// Per-device `(time, resident bytes)` step samples recorded while
+    /// a finite capacity is configured — feed them to
+    /// `metrics::MemoryTimeline` for peak/mean pressure analysis.
+    /// Cleared by [`GrCuda::clear_timeline`].
+    pub fn memory_timeline(&self) -> Vec<Vec<(Time, usize)>> {
+        self.inner.borrow().cuda.memory_timeline()
     }
 
     /// The device this runtime drives.
@@ -385,6 +436,7 @@ impl GrCuda {
             vertex_streams: ctx.vertex_stream.len(),
             vertex_devices: ctx.vertex_device.len(),
             launch_infos: ctx.launch_info.len(),
+            memory: ctx.cuda.memory_stats(),
         }
     }
 
@@ -416,14 +468,16 @@ impl GrCuda {
     /// Launch a validated kernel or library call (called by
     /// [`Kernel::launch`] and [`crate::Library::call`]). Returns the
     /// device the placement policy chose (always 0 on single-device
-    /// runtimes and under the serial scheduler).
+    /// runtimes and under the serial scheduler), or a loud
+    /// [`LaunchError::OutOfMemory`] when no device's memory can hold
+    /// the argument set even after evicting everything else.
     pub(crate) fn launch_validated(
         &self,
         kernel: &Kernel,
         grid: Grid,
         args: &[Arg],
         kind: ElementKind,
-    ) -> u32 {
+    ) -> Result<u32, LaunchError> {
         let mut ctx = self.inner.borrow_mut();
         let dev = ctx.cuda.device();
 
@@ -449,6 +503,30 @@ impl GrCuda {
             }
         }
 
+        // Total distinct argument bytes: what must be resident on the
+        // chosen device for the kernel to run. Nothing can fit a launch
+        // whose arguments alone exceed a device's whole memory —
+        // that is a recoverable error, not a scheduling problem.
+        let mut arg_bytes = 0usize;
+        {
+            let mut seen: Vec<gpu_sim::ValueId> = Vec::new();
+            for arr in &arrays {
+                if !seen.contains(&arr.id) {
+                    seen.push(arr.id);
+                    arg_bytes += arr.byte_len();
+                }
+            }
+        }
+        if let Some(capacity) = ctx.cuda.device_capacity() {
+            if arg_bytes > capacity {
+                return Err(LaunchError::OutOfMemory {
+                    kernel: kernel.def.name.into(),
+                    needed: arg_bytes,
+                    capacity,
+                });
+            }
+        }
+
         let cost = (kernel.def.cost)(&buffers, &scalars);
         let func = kernel.def.func;
         let payload_scalars = scalars.clone();
@@ -471,6 +549,9 @@ impl GrCuda {
                 ctx.cuda.task_sync(t);
                 let elements = arrays.iter().map(|a| a.len()).max().unwrap_or(0);
                 ctx.launch_info.insert(t.0, (grid, elements));
+                // No DAG to annotate in serial mode: drop the events so
+                // the buffer stays bounded.
+                ctx.cuda.take_mem_events();
                 chosen_device = 0;
             }
             SchedulePolicy::ParallelAsync => {
@@ -518,12 +599,17 @@ impl GrCuda {
                     }
                     let inflight: Vec<usize> =
                         (0..n_dev as u32).map(|d| ctx.cuda.device_load(d)).collect();
+                    let free_bytes: Vec<usize> = (0..n_dev as u32)
+                        .map(|d| ctx.cuda.free_device_bytes(d))
+                        .collect();
                     ctx.placement.select(&PlacementCtx {
                         device_count: n_dev,
                         parent_devices: &parent_devices,
                         resident_bytes: &resident_bytes,
                         est_transfer_time: &est_transfer_time,
                         inflight: &inflight,
+                        free_bytes: &free_bytes,
+                        arg_bytes,
                     })
                 };
                 if n_dev > 1 {
@@ -598,13 +684,28 @@ impl GrCuda {
                 ctx.vertex_stream.insert(vid, stream);
                 let elements = arrays.iter().map(|a| a.len()).max().unwrap_or(0);
                 ctx.launch_info.insert(t.0, (grid, elements));
+                // Annotate the DAG with what the memory manager did
+                // while placing this computation — the evictions it
+                // forced and the prefetches issued ahead of it —
+                // rendered by `dag::to_dot` as orange/green note nodes.
+                for ev in ctx.cuda.take_mem_events() {
+                    match ev.kind {
+                        MemEventKind::Evicted { spilled } => {
+                            ctx.dag
+                                .annotate_evict(vid, Value(ev.value.0), ev.bytes, spilled)
+                        }
+                        MemEventKind::Prefetched => {
+                            ctx.dag.annotate_prefetch(vid, Value(ev.value.0), ev.bytes)
+                        }
+                    }
+                }
             }
         }
         // Sync-free programs (serial launch loops, fine-grained parallel
         // reads) never reach the `sync()` harvest: keep `launch_info`
         // bounded from the launch path itself.
         ctx.maybe_harvest();
-        chosen_device
+        Ok(chosen_device)
     }
 
     /// Intercepted CPU access to a managed array (called by

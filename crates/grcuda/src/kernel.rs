@@ -65,6 +65,17 @@ pub enum LaunchError {
         /// Element type of the array supplied.
         got: String,
     },
+    /// The launch's argument set is larger than any device's memory:
+    /// even evicting every other resident array could not make it fit.
+    /// Raised only under a finite [`gpu_sim::MemoryConfig`] capacity.
+    OutOfMemory {
+        /// Kernel name.
+        kernel: String,
+        /// Total distinct argument bytes the launch needs resident.
+        needed: usize,
+        /// The per-device capacity none of the devices can stretch.
+        capacity: usize,
+    },
 }
 
 impl fmt::Display for LaunchError {
@@ -91,6 +102,15 @@ impl fmt::Display for LaunchError {
             } => write!(
                 f,
                 "kernel `{kernel}` argument {index}: expected {expected} array, got {got}"
+            ),
+            LaunchError::OutOfMemory {
+                kernel,
+                needed,
+                capacity,
+            } => write!(
+                f,
+                "kernel `{kernel}` is out of memory: its arguments need {needed} \
+                 bytes resident but every device caps at {capacity} bytes"
             ),
         }
     }
@@ -141,9 +161,8 @@ impl Kernel {
     /// scheduling decisions without changing them.
     pub fn launch_placed(&self, grid: Grid, args: &[Arg]) -> Result<u32, LaunchError> {
         self.validate(args)?;
-        Ok(self
-            .ctx
-            .launch_validated(self, grid, args, dag::ElementKind::Kernel))
+        self.ctx
+            .launch_validated(self, grid, args, dag::ElementKind::Kernel)
     }
 
     /// Launch as a pre-registered library call (same scheduling, tagged
@@ -151,7 +170,7 @@ impl Kernel {
     pub(crate) fn launch_as_library(&self, grid: Grid, args: &[Arg]) -> Result<(), LaunchError> {
         self.validate(args)?;
         self.ctx
-            .launch_validated(self, grid, args, dag::ElementKind::Library);
+            .launch_validated(self, grid, args, dag::ElementKind::Library)?;
         Ok(())
     }
 
@@ -178,7 +197,7 @@ impl Kernel {
         let bs = self.ctx.choose_block_size(self.def.name, elements);
         let grid = Grid::d1(blocks, bs);
         self.ctx
-            .launch_validated(self, grid, args, dag::ElementKind::Kernel);
+            .launch_validated(self, grid, args, dag::ElementKind::Kernel)?;
         Ok(grid)
     }
 

@@ -72,9 +72,13 @@ pub use library::Library;
 pub use multi::{MultiArg, MultiArray, MultiGpu};
 pub use nidl::{NidlError, NidlParam, NidlType, Signature};
 pub use options::{DepStreamPolicy, Options, PrefetchPolicy, SchedulePolicy, StreamReusePolicy};
-pub use policy::{DeviceSelectionPolicy, PlacementCtx, PlacementPolicy, StreamRetrievalPolicy};
+pub use policy::{
+    DeviceSelectionPolicy, MemoryAware, PlacementCtx, PlacementPolicy, StreamRetrievalPolicy,
+};
 
-pub use gpu_sim::{DeviceProfile, Grid, Topology, TopologyKind};
+pub use gpu_sim::{
+    DeviceProfile, EvictionPolicy, Grid, MemoryConfig, MemoryStats, Topology, TopologyKind,
+};
 
 #[cfg(test)]
 mod prop_tests;

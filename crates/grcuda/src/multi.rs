@@ -121,6 +121,24 @@ impl MultiGpu {
         MultiGpu { g, start }
     }
 
+    /// [`MultiGpu::with_topology`] with **finite device memory**: every
+    /// device gets `memory.capacity` bytes, oversubscribing launches
+    /// evict resident arrays under `memory.eviction`, and the placement
+    /// policy sees per-device free bytes
+    /// ([`crate::PlacementCtx::free_bytes`]).
+    pub fn with_memory(
+        dev: DeviceProfile,
+        n: usize,
+        options: Options,
+        policy: PlacementPolicy,
+        topology: TopologyKind,
+        memory: gpu_sim::MemoryConfig,
+    ) -> Self {
+        let g = GrCuda::new_multi_mem(dev, n, options, policy, topology, memory);
+        let start = g.now();
+        MultiGpu { g, start }
+    }
+
     /// The unified runtime underneath (full single-GPU API surface:
     /// kernels, history, timeline, DAG dumps, ...).
     pub fn runtime(&self) -> &GrCuda {
@@ -261,6 +279,19 @@ impl MultiGpu {
     /// Total bytes moved over the host (PCIe) links in either direction.
     pub fn host_link_bytes(&self) -> f64 {
         self.g.host_link_bytes()
+    }
+
+    /// Device-memory gauges: per-device resident/peak bytes, evictions,
+    /// spilled bytes, prefetch hit accounting (see
+    /// [`gpu_sim::MemoryStats`]).
+    pub fn memory_stats(&self) -> gpu_sim::MemoryStats {
+        self.g.memory_stats()
+    }
+
+    /// Per-device `(time, resident bytes)` step samples recorded under
+    /// a finite capacity (see [`GrCuda::memory_timeline`]).
+    pub fn memory_timeline(&self) -> Vec<Vec<(Time, usize)>> {
+        self.g.memory_timeline()
     }
 
     /// Total data races across devices (must be zero).

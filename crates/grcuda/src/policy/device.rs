@@ -30,6 +30,28 @@ pub struct PlacementCtx<'a> {
     /// Submitted-but-unfinished tasks per device (kernels, copies and
     /// markers alike) — the load gauge.
     pub inflight: &'a [usize],
+    /// Free device-memory bytes per device (`usize::MAX` when the
+    /// machine has no capacity limit) — the headroom gauge
+    /// capacity-aware placement consults.
+    pub free_bytes: &'a [usize],
+    /// Total bytes of this computation's distinct array arguments (what
+    /// must be resident, somewhere, for it to run).
+    pub arg_bytes: usize,
+}
+
+impl PlacementCtx<'_> {
+    /// Bytes that would have to *newly* land on a device to run this
+    /// computation there: the argument set minus what is already
+    /// resident on it.
+    pub fn needed_bytes(&self, device: usize) -> usize {
+        self.arg_bytes.saturating_sub(self.resident_bytes[device])
+    }
+
+    /// True when the computation's arguments fit the device's current
+    /// headroom without evicting anything.
+    pub fn fits(&self, device: usize) -> bool {
+        self.needed_bytes(device) <= self.free_bytes[device]
+    }
 }
 
 /// Picks the device for each computational element at launch time.
@@ -142,6 +164,50 @@ impl DeviceSelectionPolicy for TransferAware {
     }
 }
 
+/// Capacity-aware placement for finite device memory: *skip devices
+/// where the arguments do not fit* (running there would evict live data
+/// and thrash), then choose the cheapest fitting device by estimated
+/// transfer time (ties → load → id). When no device has the headroom,
+/// it degrades gracefully to the device with the most free bytes —
+/// eviction is then unavoidable, so pressure is at least minimized.
+///
+/// This is what [`TransferAware`] is missing under oversubscription:
+/// transfer-time estimates say "free, the data is resident" while every
+/// launch on the full device silently evicts someone else's working
+/// set.
+#[derive(Debug, Default)]
+pub struct MemoryAware;
+
+impl DeviceSelectionPolicy for MemoryAware {
+    fn name(&self) -> &'static str {
+        "memory-aware"
+    }
+
+    fn select(&mut self, ctx: &PlacementCtx) -> u32 {
+        let fitting = (0..ctx.device_count)
+            .filter(|&d| ctx.fits(d))
+            .min_by(|&a, &b| {
+                ctx.est_transfer_time[a]
+                    .total_cmp(&ctx.est_transfer_time[b])
+                    .then(ctx.inflight[a].cmp(&ctx.inflight[b]))
+                    .then(a.cmp(&b))
+            });
+        match fitting {
+            Some(d) => d as u32,
+            // Nothing fits: evicting is unavoidable, go where the
+            // pressure is lowest (ties → cheapest transfer → id).
+            None => (0..ctx.device_count)
+                .min_by(|&a, &b| {
+                    ctx.free_bytes[b]
+                        .cmp(&ctx.free_bytes[a])
+                        .then(ctx.est_transfer_time[a].total_cmp(&ctx.est_transfer_time[b]))
+                        .then(a.cmp(&b))
+                })
+                .unwrap_or(0) as u32,
+        }
+    }
+}
+
 /// The built-in device-selection policies, as a value (what sweeps and
 /// option parsing pass around; [`PlacementPolicy::build`] instantiates
 /// the trait object the scheduler consults).
@@ -158,16 +224,21 @@ pub enum PlacementPolicy {
     TransferAware,
     /// Place on the least-loaded device (min-device-load).
     StreamAware,
+    /// Skip devices whose free memory cannot hold the arguments,
+    /// tie-break by transfer cost (capacity-aware: sees device memory,
+    /// not just links and load).
+    MemoryAware,
 }
 
 impl PlacementPolicy {
     /// All built-in policies, in sweep order.
-    pub const ALL: [PlacementPolicy; 5] = [
+    pub const ALL: [PlacementPolicy; 6] = [
         PlacementPolicy::SingleGpu,
         PlacementPolicy::RoundRobin,
         PlacementPolicy::LocalityAware,
         PlacementPolicy::TransferAware,
         PlacementPolicy::StreamAware,
+        PlacementPolicy::MemoryAware,
     ];
 
     /// Instantiate the policy object the scheduler core consults.
@@ -178,6 +249,7 @@ impl PlacementPolicy {
             PlacementPolicy::LocalityAware => Box::new(LocalityAware),
             PlacementPolicy::TransferAware => Box::new(TransferAware),
             PlacementPolicy::StreamAware => Box::new(StreamAware),
+            PlacementPolicy::MemoryAware => Box::new(MemoryAware),
         }
     }
 
@@ -189,6 +261,7 @@ impl PlacementPolicy {
             PlacementPolicy::LocalityAware => "locality-aware",
             PlacementPolicy::TransferAware => "transfer-aware",
             PlacementPolicy::StreamAware => "stream-aware",
+            PlacementPolicy::MemoryAware => "memory-aware",
         }
     }
 }
@@ -200,6 +273,8 @@ mod tests {
     /// Zero transfer estimates everywhere: the byte/load policies under
     /// test ignore them.
     const FREE: [f64; 4] = [0.0; 4];
+    /// Unlimited headroom everywhere, likewise.
+    const ROOMY: [usize; 4] = [usize::MAX; 4];
 
     fn ctx<'a>(
         resident: &'a [usize],
@@ -212,6 +287,8 @@ mod tests {
             resident_bytes: resident,
             est_transfer_time: &FREE[..resident.len()],
             inflight,
+            free_bytes: &ROOMY[..resident.len()],
+            arg_bytes: 0,
         }
     }
 
@@ -253,6 +330,8 @@ mod tests {
             resident_bytes: &[1024, 4096],
             est_transfer_time: &[0.2e-3, 1.5e-3],
             inflight: &[5, 0],
+            free_bytes: &ROOMY[..2],
+            arg_bytes: 0,
         };
         assert_eq!(p.select(&c), 0);
         let mut loc = LocalityAware;
@@ -268,6 +347,8 @@ mod tests {
             resident_bytes: &[0, 0, 0],
             est_transfer_time: &[1e-3, 1e-3, 1e-3],
             inflight: &[2, 1, 2],
+            free_bytes: &ROOMY[..3],
+            arg_bytes: 0,
         };
         assert_eq!(p.select(&c), 1);
         let c2 = PlacementCtx {
@@ -276,8 +357,67 @@ mod tests {
             resident_bytes: &[0, 0, 0],
             est_transfer_time: &[1e-3, 1e-3, 1e-3],
             inflight: &[2, 2, 2],
+            free_bytes: &ROOMY[..3],
+            arg_bytes: 0,
         };
         assert_eq!(p.select(&c2), 0, "full tie goes to the lowest id");
+    }
+
+    #[test]
+    fn memory_aware_skips_devices_where_arguments_do_not_fit() {
+        let mut p = MemoryAware;
+        // Device 0 is cheapest by transfer time but has no headroom for
+        // the 4 KiB argument set; device 1 fits (2 KiB already resident
+        // there, so only 2 KiB must land).
+        let c = PlacementCtx {
+            device_count: 2,
+            parent_devices: &[],
+            resident_bytes: &[0, 2048],
+            est_transfer_time: &[0.0, 1e-3],
+            inflight: &[0, 4],
+            free_bytes: &[1024, 2048],
+            arg_bytes: 4096,
+        };
+        assert!(!c.fits(0) && c.fits(1));
+        assert_eq!(c.needed_bytes(1), 2048);
+        assert_eq!(p.select(&c), 1, "the full device is skipped");
+        // Transfer-aware walks straight into the full device.
+        let mut ta = TransferAware;
+        assert_eq!(ta.select(&c), 0);
+    }
+
+    #[test]
+    fn memory_aware_prefers_cheapest_fitting_then_degrades_to_most_free() {
+        let mut p = MemoryAware;
+        // Both fit: cheapest transfer wins.
+        let both = PlacementCtx {
+            device_count: 2,
+            parent_devices: &[],
+            resident_bytes: &[0, 0],
+            est_transfer_time: &[2e-3, 1e-3],
+            inflight: &[0, 0],
+            free_bytes: &[1 << 20, 1 << 20],
+            arg_bytes: 4096,
+        };
+        assert_eq!(p.select(&both), 1);
+        // Nothing fits: go where the pressure is lowest.
+        let none = PlacementCtx {
+            device_count: 2,
+            parent_devices: &[],
+            resident_bytes: &[0, 0],
+            est_transfer_time: &[0.0, 1e-3],
+            inflight: &[0, 0],
+            free_bytes: &[256, 1024],
+            arg_bytes: 4096,
+        };
+        assert_eq!(
+            p.select(&none),
+            1,
+            "most free bytes when eviction is forced"
+        );
+        // Unlimited machines never skip anything.
+        let roomy = ctx(&[0, 0], &[1, 0], &[]);
+        assert_eq!(p.select(&roomy), 1, "falls back to transfer/load ordering");
     }
 
     #[test]
@@ -285,6 +425,6 @@ mod tests {
         for p in PlacementPolicy::ALL {
             assert_eq!(p.build().name(), p.name());
         }
-        assert_eq!(PlacementPolicy::ALL.len(), 5);
+        assert_eq!(PlacementPolicy::ALL.len(), 6);
     }
 }

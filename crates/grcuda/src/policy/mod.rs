@@ -14,7 +14,10 @@
 //!   data), [`PlacementPolicy::LocalityAware`] (minimize migrated
 //!   bytes), [`PlacementPolicy::TransferAware`] (minimize estimated
 //!   transfer time given the interconnect's link bandwidths),
-//!   [`PlacementPolicy::StreamAware`] (minimize per-device load).
+//!   [`PlacementPolicy::StreamAware`] (minimize per-device load),
+//!   [`PlacementPolicy::MemoryAware`] (skip devices whose free memory
+//!   cannot hold the arguments, tie-break by transfer cost — the
+//!   capacity-aware choice under finite device memory).
 //! * **Stream retrieval** ([`StreamRetrievalPolicy`]) — which CUDA
 //!   stream on the chosen device carries it. This absorbs the paper's
 //!   §IV-C policy pairs ([`crate::DepStreamPolicy`] ×
@@ -33,8 +36,8 @@ pub mod device;
 pub mod stream;
 
 pub use device::{
-    DeviceSelectionPolicy, LocalityAware, PlacementCtx, PlacementPolicy, RoundRobin, SingleGpu,
-    StreamAware, TransferAware,
+    DeviceSelectionPolicy, LocalityAware, MemoryAware, PlacementCtx, PlacementPolicy, RoundRobin,
+    SingleGpu, StreamAware, TransferAware,
 };
 pub use stream::{
     make_stream_policy, ClassicStreams, ParentStream, StreamChoice, StreamRetrievalCtx,

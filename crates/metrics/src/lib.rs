@@ -12,6 +12,9 @@
 //!   Fig. 9 (longest dependency path using solo durations);
 //! * [`links`] — per-interconnect-link usage (busy time, bytes,
 //!   utilization) over host and peer links;
+//! * [`memory`] — per-device resident-bytes timelines under finite
+//!   device memory (peak/mean pressure from the memory manager's step
+//!   samples);
 //! * [`ascii_timeline`] — the Fig. 10-style execution timeline rendering;
 //! * [`chrome_trace`] — Perfetto/`chrome://tracing` JSON export of the
 //!   same timelines.
@@ -22,6 +25,7 @@ pub mod critical_path;
 pub mod hardware;
 pub mod interval_ops;
 pub mod links;
+pub mod memory;
 pub mod overlap;
 
 pub use ascii_timeline::render_timeline;
@@ -29,4 +33,5 @@ pub use chrome_trace::to_chrome_trace;
 pub use critical_path::critical_path;
 pub use hardware::HardwareMetrics;
 pub use links::{link_usage, LinkUsage};
+pub use memory::MemoryTimeline;
 pub use overlap::OverlapMetrics;

@@ -1,0 +1,125 @@
+//! Per-device resident-bytes timelines under finite device memory.
+//!
+//! The capacity-aware memory manager samples every residency change as
+//! a `(time, resident bytes)` step point per device (see
+//! `gpu_sim::memgr`). This module turns those raw samples into the
+//! queries the evaluation wants: peak pressure, the resident set at an
+//! instant, and the time-weighted mean — the memory counterpart of the
+//! overlap and link-usage metrics.
+
+use gpu_sim::Time;
+
+/// Per-device resident-bytes step functions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemoryTimeline {
+    /// For each device, `(time, resident bytes)` change points in
+    /// non-decreasing time order. Devices start at zero resident bytes.
+    pub per_device: Vec<Vec<(Time, usize)>>,
+}
+
+impl MemoryTimeline {
+    /// Wrap the samples a context recorded (e.g.
+    /// `Cuda::memory_timeline` / `GrCuda::memory_timeline`). Samples
+    /// are empty under unlimited capacity — every query then reports
+    /// zero pressure.
+    pub fn from_samples(per_device: Vec<Vec<(Time, usize)>>) -> Self {
+        debug_assert!(per_device
+            .iter()
+            .all(|s| s.windows(2).all(|w| w[0].0 <= w[1].0)));
+        MemoryTimeline { per_device }
+    }
+
+    /// Number of devices covered.
+    pub fn device_count(&self) -> usize {
+        self.per_device.len()
+    }
+
+    /// Peak bytes resident on a device over the recorded window.
+    pub fn peak(&self, device: u32) -> usize {
+        self.per_device[device as usize]
+            .iter()
+            .map(|&(_, b)| b)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Resident bytes on a device at time `t` (step semantics: the last
+    /// change at or before `t`; zero before the first sample).
+    pub fn at(&self, device: u32, t: Time) -> usize {
+        self.per_device[device as usize]
+            .iter()
+            .take_while(|&&(st, _)| st <= t)
+            .last()
+            .map(|&(_, b)| b)
+            .unwrap_or(0)
+    }
+
+    /// Time-weighted mean resident bytes on a device over `[0,
+    /// horizon]`. The step value before the first sample is zero; the
+    /// last sample extends to the horizon.
+    pub fn mean(&self, device: u32, horizon: Time) -> f64 {
+        if horizon <= 0.0 {
+            return 0.0;
+        }
+        let samples = &self.per_device[device as usize];
+        let mut acc = 0.0;
+        let mut level = 0usize;
+        let mut t_prev: Time = 0.0;
+        for &(t, b) in samples {
+            let t = t.min(horizon);
+            acc += level as f64 * (t - t_prev).max(0.0);
+            level = b;
+            t_prev = t;
+            if t >= horizon {
+                break;
+            }
+        }
+        acc += level as f64 * (horizon - t_prev).max(0.0);
+        acc / horizon
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tl() -> MemoryTimeline {
+        MemoryTimeline::from_samples(vec![
+            vec![(1.0, 100), (2.0, 300), (3.0, 50)],
+            Vec::new(), // idle device
+        ])
+    }
+
+    #[test]
+    fn peak_and_at_follow_the_steps() {
+        let t = tl();
+        assert_eq!(t.device_count(), 2);
+        assert_eq!(t.peak(0), 300);
+        assert_eq!(t.peak(1), 0);
+        assert_eq!(t.at(0, 0.5), 0, "zero before the first sample");
+        assert_eq!(t.at(0, 1.0), 100);
+        assert_eq!(t.at(0, 2.5), 300);
+        assert_eq!(t.at(0, 99.0), 50);
+        assert_eq!(t.at(1, 99.0), 0);
+    }
+
+    #[test]
+    fn mean_is_time_weighted() {
+        let t = tl();
+        // [0,1): 0, [1,2): 100, [2,3): 300, [3,4): 50 → mean over 4 s.
+        let want = (0.0 + 100.0 + 300.0 + 50.0) / 4.0;
+        assert!((t.mean(0, 4.0) - want).abs() < 1e-9);
+        assert_eq!(t.mean(0, 0.0), 0.0);
+        assert_eq!(t.mean(1, 4.0), 0.0);
+        // A horizon inside the samples truncates them.
+        assert!((t.mean(0, 2.0) - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unlimited_runs_report_zero_pressure() {
+        let t = MemoryTimeline::from_samples(vec![Vec::new()]);
+        assert_eq!(t.peak(0), 0);
+        assert_eq!(t.at(0, 1.0), 0);
+        assert_eq!(t.mean(0, 1.0), 0.0);
+    }
+}

@@ -237,6 +237,80 @@ fn multi_gpu_soak_drains_all_scheduler_maps_after_every_sync() {
 }
 
 #[test]
+fn finite_memory_soak_drains_to_the_live_working_set() {
+    // The `memory` section of scheduler_stats under a finite capacity:
+    // across launch/sync cycles over an oversubscribed working set, the
+    // per-device resident bytes must never exceed the capacity, and
+    // after every sync() they must be bounded by the live working set
+    // (what the program's arrays could occupy at most) — eviction keeps
+    // the resident set honest, and nothing leaks cycle over cycle.
+    use gpu_sim::{EvictionPolicy, MemoryConfig, TopologyKind};
+    use grcuda::{MultiArg, MultiGpu, PlacementPolicy};
+    use kernels::util::SCALE;
+
+    let n = 1 << 12; // 16 KiB arrays
+    let bytes = 4 * n;
+    let capacity = 2 * bytes + bytes / 2; // 2.5 arrays per device
+    let mut m = MultiGpu::with_memory(
+        DeviceProfile::tesla_p100(),
+        2,
+        Options::parallel(),
+        PlacementPolicy::MemoryAware,
+        TopologyKind::PcieOnly,
+        MemoryConfig::with_capacity(capacity).with_eviction(EvictionPolicy::CostAware),
+    );
+    // 6 arrays = 96 KiB working set vs 40 KiB per-device capacity.
+    let arrays: Vec<_> = (0..6).map(|_| m.array_f32(n)).collect();
+    let working_set: usize = arrays.iter().map(|a| a.byte_len()).sum();
+    for (i, a) in arrays.iter().enumerate() {
+        m.write_f32(a, &vec![i as f32; n]);
+    }
+    let mut last_evictions = 0;
+    for cycle in 0..15 {
+        for i in 0..arrays.len() {
+            let (src, dst) = (&arrays[i], &arrays[(i + 1) % arrays.len()]);
+            m.launch(
+                &SCALE,
+                gpu_sim::Grid::d1(16, 256),
+                &[
+                    MultiArg::array(src),
+                    MultiArg::array(dst),
+                    MultiArg::scalar(1.0),
+                    MultiArg::scalar(n as f64),
+                ],
+            )
+            .unwrap();
+            let mem = m.scheduler_stats().memory;
+            for (d, &r) in mem.resident_bytes.iter().enumerate() {
+                assert!(r <= capacity, "cycle {cycle}: device {d} over capacity");
+            }
+        }
+        m.sync();
+        m.clear_timeline();
+        let st = m.scheduler_stats();
+        let ctx = format!("cycle {cycle}: {:?}", st.memory);
+        // Everything per-vertex drained, as always...
+        assert_eq!(st.live_vertices, 0, "{ctx}");
+        assert_eq!(st.vertex_tasks, 0, "{ctx}");
+        // ...and the memory section drains to the live working set:
+        // what remains resident is real array data, within capacity.
+        assert_eq!(st.memory.capacity, Some(capacity), "{ctx}");
+        assert!(st.memory.total_resident() <= working_set, "{ctx}");
+        for (d, &r) in st.memory.resident_bytes.iter().enumerate() {
+            assert!(r <= capacity, "{ctx}: device {d}");
+            assert!(st.memory.peak_resident[d] <= capacity, "{ctx}: device {d}");
+        }
+        // The memory timeline is cleared with the engine timeline, so a
+        // long-running service stays bounded.
+        assert!(m.memory_timeline().iter().all(|s| s.is_empty()), "{ctx}");
+        assert!(st.memory.evictions >= last_evictions, "monotone counter");
+        last_evictions = st.memory.evictions;
+    }
+    assert!(last_evictions > 0, "the working set must have evicted");
+    assert_eq!(m.races(), 0);
+}
+
+#[test]
 fn sync_after_heavy_traffic_resets_to_empty_frontier_baseline() {
     let g = GrCuda::new(DeviceProfile::gtx1660_super(), Options::parallel());
     use kernels::vec_ops::SQUARE;

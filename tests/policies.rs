@@ -2,8 +2,10 @@
 //! every device-selection policy is correct; policies only change
 //! performance and placement, never results.
 
-use benchmarks::{run_grcuda, run_multi_gpu, scales, transfer_chain, Bench};
-use gpu_sim::{DeviceProfile, Grid, TopologyKind};
+use benchmarks::{
+    oversub_capacity, oversubscribe, run_grcuda, run_multi_gpu, scales, transfer_chain, Bench,
+};
+use gpu_sim::{DeviceProfile, EvictionPolicy, Grid, MemoryConfig, TopologyKind};
 use grcuda::{
     DepStreamPolicy, MultiArg, MultiGpu, Options, PlacementPolicy, PrefetchPolicy,
     StreamReusePolicy,
@@ -213,6 +215,160 @@ fn peer_links_accelerate_migration_heavy_schedules() {
     );
     assert!(nvswitch.host_link_bytes < pcie.host_link_bytes);
     assert_eq!(nvswitch.checksum, pcie.checksum);
+}
+
+#[test]
+fn memory_aware_cost_aware_beats_transfer_aware_lru_when_oversubscribed() {
+    // The tentpole acceptance check for finite device memory: with
+    // per-device capacity at roughly half the working set, capacity-
+    // aware scheduling (MemoryAware placement + cost-aware eviction)
+    // must yield strictly lower makespan AND strictly fewer spilled
+    // bytes than capacity-blind scheduling (TransferAware + LRU) —
+    // while both compute identical results.
+    let n = 1 << 16;
+    let iters = 4;
+    let cap = Some(oversub_capacity(n));
+    let aware = oversubscribe(
+        PlacementPolicy::MemoryAware,
+        EvictionPolicy::CostAware,
+        cap,
+        n,
+        iters,
+    );
+    let blind = oversubscribe(
+        PlacementPolicy::TransferAware,
+        EvictionPolicy::Lru,
+        cap,
+        n,
+        iters,
+    );
+    assert_eq!(aware.races, 0);
+    assert_eq!(blind.races, 0);
+    assert!(
+        blind.evictions > 0 && blind.spilled_bytes > 0,
+        "the workload must oversubscribe the capacity-blind schedule: {blind:?}"
+    );
+    assert!(
+        aware.makespan < blind.makespan,
+        "capacity-aware must yield strictly lower makespan: {} vs {}",
+        aware.makespan,
+        blind.makespan
+    );
+    assert!(
+        aware.spilled_bytes < blind.spilled_bytes,
+        "capacity-aware must spill strictly fewer bytes: {} vs {}",
+        aware.spilled_bytes,
+        blind.spilled_bytes
+    );
+    // Capacity-blind placement chases the anchor onto one device and
+    // thrashes it; capacity-aware spreads the working set.
+    assert_eq!(blind.peak_resident[1], 0, "transfer-aware never leaves d0");
+    assert!(aware.peak_resident.iter().all(|&p| p > 0));
+    // Scheduling never changes the numbers.
+    assert_eq!(aware.checksum, blind.checksum);
+}
+
+#[test]
+fn cost_aware_eviction_spills_strictly_less_than_lru_at_fixed_placement() {
+    // Isolate the eviction policy: same MemoryAware placement, same
+    // capacity — cost-aware eviction prefers dropping clean read-only
+    // weights (free, one cheap re-fetch) over spilling dirty states,
+    // so its spill traffic must be strictly lower than LRU's.
+    let n = 1 << 16;
+    let cap = Some(oversub_capacity(n));
+    let run = |ev| oversubscribe(PlacementPolicy::MemoryAware, ev, cap, n, 4);
+    let cost = run(EvictionPolicy::CostAware);
+    let lru = run(EvictionPolicy::Lru);
+    assert!(lru.spilled_bytes > 0, "LRU must pay dirty spills: {lru:?}");
+    assert!(
+        cost.spilled_bytes < lru.spilled_bytes,
+        "cost-aware must spill strictly fewer bytes: {} vs {}",
+        cost.spilled_bytes,
+        lru.spilled_bytes
+    );
+    assert_eq!(cost.checksum, lru.checksum);
+}
+
+#[test]
+fn unlimited_capacity_is_bit_identical_and_eviction_free() {
+    // Backward compatibility: the default (unlimited) configuration
+    // must never evict, never spill, and produce the same numbers as
+    // any finite-capacity run.
+    let n = 1 << 14;
+    let unlimited = oversubscribe(
+        PlacementPolicy::MemoryAware,
+        EvictionPolicy::CostAware,
+        None,
+        n,
+        2,
+    );
+    assert_eq!(unlimited.evictions, 0);
+    assert_eq!(unlimited.spilled_bytes, 0);
+    let limited = oversubscribe(
+        PlacementPolicy::MemoryAware,
+        EvictionPolicy::CostAware,
+        Some(oversub_capacity(n)),
+        n,
+        2,
+    );
+    assert!(limited.evictions > 0, "finite capacity must evict here");
+    assert_eq!(unlimited.checksum, limited.checksum);
+}
+
+#[test]
+fn out_of_memory_is_a_loud_launch_error() {
+    use kernels::util::SCALE;
+    // 64 KiB capacity, 256 KiB arrays: no device can ever hold the
+    // argument set — the launch must fail recoverably, not panic.
+    let mut m = MultiGpu::with_memory(
+        DeviceProfile::tesla_p100(),
+        2,
+        Options::parallel(),
+        PlacementPolicy::MemoryAware,
+        TopologyKind::PcieOnly,
+        MemoryConfig::with_capacity(64 << 10),
+    );
+    let n = 1 << 16;
+    let x = m.array_f32(n);
+    let y = m.array_f32(n);
+    let err = m
+        .launch(
+            &SCALE,
+            Grid::d1(64, 256),
+            &[
+                MultiArg::array(&x),
+                MultiArg::array(&y),
+                MultiArg::scalar(2.0),
+                MultiArg::scalar(n as f64),
+            ],
+        )
+        .unwrap_err();
+    match err {
+        grcuda::LaunchError::OutOfMemory {
+            needed, capacity, ..
+        } => {
+            assert_eq!(needed, 2 * 4 * n);
+            assert_eq!(capacity, 64 << 10);
+        }
+        other => panic!("expected OutOfMemory, got {other}"),
+    }
+    assert!(err.to_string().contains("out of memory"));
+    // A fitting launch on the same runtime still works.
+    let small = m.array_f32(1 << 10);
+    let small2 = m.array_f32(1 << 10);
+    m.launch(
+        &SCALE,
+        Grid::d1(16, 256),
+        &[
+            MultiArg::array(&small),
+            MultiArg::array(&small2),
+            MultiArg::scalar(2.0),
+            MultiArg::scalar((1 << 10) as f64),
+        ],
+    )
+    .unwrap();
+    m.sync();
+    assert_eq!(m.races(), 0);
 }
 
 #[test]
