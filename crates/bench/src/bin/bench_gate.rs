@@ -10,11 +10,12 @@
 //!
 //! * keys whose first segment is `wall` are wall-clock measurements —
 //!   machine-dependent, so they are printed for context but never gated;
-//! * keys containing `launches_per_s` or `overlap` are higher-is-better;
-//!   everything else (makespans, migrated bytes, migration counts) is
-//!   lower-is-better;
+//! * keys containing `launches_per_s`, `overlap`, `hit_pct` or
+//!   `speedup` are higher-is-better; everything else (makespans,
+//!   migrated bytes, migration counts) is lower-is-better;
 //! * the gate fails (exit 1) when any gated metric regresses by more
-//!   than the tolerance (default 15%) relative to the baseline.
+//!   than the tolerance (default 15%) relative to the baseline, or when
+//!   a metric with an absolute floor (`FLOORS`) measures below it.
 //!
 //! Gated metrics are simulated-virtual-time quantities, so they are
 //! deterministic: a regression is a real behavior change, not noise. To
@@ -30,8 +31,16 @@ fn higher_is_better(key: &str) -> bool {
     key.contains("launches_per_s")
         || key.contains("overlap")
         || key.contains("hit_pct")
+        || key.contains("speedup")
         || key.ends_with(".launches")
 }
+
+/// Absolute floors on (higher-is-better) metrics, enforced in addition
+/// to the relative-to-baseline gate: a sequence of sub-tolerance
+/// regressions can never walk a floored metric below the level a past
+/// optimization was sized for. The soak floor is the "10× the scheduler
+/// hot path" acceptance bar (~24k/s seed → ≥240k/s).
+const FLOORS: &[(&str, f64)] = &[("soak.virtual_launches_per_s", 240_000.0)];
 
 /// True for wall-clock metrics: recorded, never gated.
 fn informational(key: &str) -> bool {
@@ -105,6 +114,15 @@ fn main() {
     for (key, _) in &current {
         if lookup(&baseline, key).is_none() && !informational(key) {
             println!("  (new) {key}: not in baseline — refresh BENCH_baseline.json to track it");
+        }
+    }
+    for (key, floor) in FLOORS {
+        match lookup(&current, key) {
+            Some(cur) if cur >= *floor => {
+                println!("  [ok] {key}: {cur:.0} >= absolute floor {floor:.0}");
+            }
+            Some(cur) => failures.push(format!("{key}: {cur:.0} below absolute floor {floor:.0}")),
+            None => failures.push(format!("{key}: absolute floor {floor:.0} but not measured")),
         }
     }
 

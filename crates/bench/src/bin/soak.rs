@@ -12,10 +12,18 @@
 //! engine's retained task states) is bounded by the live frontier, while
 //! the lifetime counters keep growing.
 //!
+//! Each service request submits its whole kernel chain as **one**
+//! [`GrCuda::launch_batch`] — the batched-submission fast path that
+//! amortizes the host API and scheduling charges over the chain — and
+//! reads its outputs back every `--read-every` requests rather than
+//! after every one, like a pipelined service draining responses in
+//! groups.
+//!
 //! Run:  `cargo run --release -p bench --bin soak`
 //! CI:   `cargo run --release -p bench --bin soak -- --smoke --json BENCH_sched.json`
 //! Args: `--launches N` (total, default 102000), `--sync-every K`
-//!       (launches between full syncs, default 64), `--smoke`
+//!       (launches between full syncs, default 64), `--read-every R`
+//!       (requests between output reads, default 8), `--smoke`
 //!       (reduced iteration count for CI), `--json FILE` (merge
 //!       machine-readable metrics into a flat benchmark-JSON file).
 //!
@@ -33,7 +41,7 @@ use benchmarks::{
     grcuda_arrays, read_grcuda_outputs, refresh_grcuda_arrays, scales, Bench, PlanArg,
 };
 use gpu_sim::DeviceProfile;
-use grcuda::{Arg, GrCuda, Options, SchedulerStats};
+use grcuda::{Arg, BatchLaunch, GrCuda, Options, SchedulerStats};
 
 struct SuiteReport {
     name: &'static str,
@@ -62,78 +70,119 @@ fn assert_drained(name: &str, launches: usize, st: &SchedulerStats, retained_tas
     assert_eq!(retained_tasks, 0, "engine task-state leak — {ctx}");
 }
 
-fn soak_suite(b: Bench, quota: usize, sync_every: usize) -> SuiteReport {
+fn soak_suite(b: Bench, quota: usize, sync_every: usize, read_every: usize) -> SuiteReport {
     let spec = b.build(scales::tiny(b));
     let g = GrCuda::new(DeviceProfile::tesla_p100(), Options::parallel());
-    let arrays = grcuda_arrays(&g, &spec);
+    // `read_every` independent request slots (double-buffering, like a
+    // pipelined service with R requests in flight): requests on
+    // different slots share no arrays, so their chains overlap on the
+    // device instead of serializing behind the previous request.
+    let slots: Vec<_> = (0..read_every).map(|_| grcuda_arrays(&g, &spec)).collect();
     let kernels: Vec<_> = spec
         .ops
         .iter()
         .map(|op| g.build_kernel(op.def).expect("suite signatures parse"))
         .collect();
+    // Argument lists never change across requests: build them once per
+    // slot.
+    let slot_arg_lists: Vec<Vec<Vec<Arg>>> = slots
+        .iter()
+        .map(|arrays| {
+            spec.ops
+                .iter()
+                .map(|op| {
+                    op.args
+                        .iter()
+                        .map(|a| match a {
+                            PlanArg::Arr(i) => Arg::array(&arrays[*i]),
+                            PlanArg::Scalar(v) => Arg::scalar(*v),
+                        })
+                        .collect()
+                })
+                .collect()
+        })
+        .collect();
     g.sync();
     g.clear_timeline();
 
     // The live frontier between syncs is at most the launches since the
-    // last sync plus the modeled CPU accesses of one request; storage may
-    // additionally hold up to one compaction threshold of retired
-    // garbage. Anything past this bound is a leak.
+    // last sync plus the modeled CPU accesses of one request group;
+    // storage may additionally hold up to one compaction threshold of
+    // retired garbage. Anything past this bound is a leak. Syncs are
+    // checked at group boundaries, so the frontier can overshoot
+    // `sync_every` by at most one group of chains.
     let out_reads: usize = spec.outputs.iter().map(|(_, cnt)| *cnt).sum();
-    let live_bound = sync_every + spec.ops.len() + out_reads + 8;
+    let live_bound = sync_every + read_every * spec.ops.len() + out_reads + 8;
     let stored_bound = 2 * live_bound + 64;
 
     let start = Instant::now();
     let (mut launches, mut since_sync) = (0usize, 0usize);
     let (mut peak_live, mut peak_stored) = (0usize, 0usize);
-    'outer: loop {
-        // One service request: fresh streaming inputs, the suite's kernel
-        // chain, then the host reads its results.
-        refresh_grcuda_arrays(&spec, &arrays);
-        for (op, k) in spec.ops.iter().zip(&kernels) {
-            let args: Vec<Arg> = op
-                .args
-                .iter()
-                .map(|a| match a {
-                    PlanArg::Arr(i) => Arg::array(&arrays[*i]),
-                    PlanArg::Scalar(v) => Arg::scalar(*v),
-                })
-                .collect();
-            k.launch(op.grid, &args).expect("suite launches validate");
-            launches += 1;
-            since_sync += 1;
-            let st = g.scheduler_stats();
-            peak_live = peak_live.max(st.live_vertices);
-            peak_stored = peak_stored.max(st.stored_vertices);
-            assert!(
-                st.live_vertices <= live_bound,
-                "{}: live vertices {} exceed the frontier bound {live_bound}",
+    for arrays in &slots {
+        refresh_grcuda_arrays(&spec, arrays);
+    }
+    let mut drain_slot = 0usize;
+    loop {
+        // One request group: every slot's whole kernel chain as a
+        // single batched submission. The batch fast path charges the
+        // host API and scheduling overheads once for the group, and the
+        // slots share no arrays, so their chains run concurrently on
+        // the device.
+        let calls: Vec<BatchLaunch<'_>> = slot_arg_lists
+            .iter()
+            .flat_map(|arg_lists| {
+                spec.ops
+                    .iter()
+                    .zip(&kernels)
+                    .zip(arg_lists)
+                    .map(|((op, kernel), args)| BatchLaunch {
+                        kernel,
+                        grid: op.grid,
+                        args,
+                    })
+            })
+            .collect();
+        g.launch_batch(&calls).expect("suite launches validate");
+        launches += calls.len();
+        since_sync += calls.len();
+        let st = g.scheduler_stats();
+        peak_live = peak_live.max(st.live_vertices);
+        peak_stored = peak_stored.max(st.stored_vertices);
+        assert!(
+            st.live_vertices <= live_bound,
+            "{}: live vertices {} exceed the frontier bound {live_bound}",
+            spec.name,
+            st.live_vertices
+        );
+        assert!(
+            st.stored_vertices <= stored_bound,
+            "{}: stored vertices {} exceed the compaction bound {stored_bound}",
+            spec.name,
+            st.stored_vertices
+        );
+        if since_sync >= sync_every {
+            g.sync();
+            g.clear_timeline();
+            assert_drained(
                 spec.name,
-                st.live_vertices
+                launches,
+                &g.scheduler_stats(),
+                g.stats().retained_tasks,
             );
-            assert!(
-                st.stored_vertices <= stored_bound,
-                "{}: stored vertices {} exceed the compaction bound {stored_bound}",
-                spec.name,
-                st.stored_vertices
-            );
-            if since_sync >= sync_every {
-                g.sync();
-                g.clear_timeline();
-                assert_drained(
-                    spec.name,
-                    launches,
-                    &g.scheduler_stats(),
-                    g.stats().retained_tasks,
-                );
-                since_sync = 0;
-            }
-            if launches >= quota {
-                break 'outer;
-            }
+            since_sync = 0;
         }
-        // Fine-grained end of request: reads retire the producing chains
-        // without a device-wide sync.
-        read_grcuda_outputs(&spec, &arrays);
+        if launches >= quota {
+            break;
+        }
+        // Fine-grained response drain: one read per `read_every`
+        // requests, rotating through the slots — the host reads that
+        // slot's outputs (retiring its chains without a device-wide
+        // sync) and refreshes its streaming inputs; the other slots
+        // stay pipelined, retiring through write-after-write
+        // dependencies when their next chain lands.
+        read_grcuda_outputs(&spec, &slots[drain_slot]);
+        refresh_grcuda_arrays(&spec, &slots[drain_slot]);
+        drain_slot = (drain_slot + 1) % read_every;
     }
     g.sync();
     g.clear_timeline();
@@ -165,6 +214,7 @@ fn soak_suite(b: Bench, quota: usize, sync_every: usize) -> SuiteReport {
 fn main() {
     let mut total_launches = 102_000usize;
     let mut sync_every = 64usize;
+    let mut read_every = 8usize;
     let mut explicit_launches = false;
     let mut json_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
@@ -183,6 +233,13 @@ fn main() {
                     .and_then(|v| v.parse().ok())
                     .expect("--sync-every K");
             }
+            "--read-every" => {
+                read_every = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&v: &usize| v > 0)
+                    .expect("--read-every R (positive)");
+            }
             "--smoke" => {
                 if !explicit_launches {
                     total_launches = 6_000;
@@ -190,20 +247,22 @@ fn main() {
             }
             "--json" => json_path = Some(args.next().expect("--json FILE")),
             other => panic!(
-                "unknown argument `{other}` (try --launches/--sync-every/--smoke/--json FILE)"
+                "unknown argument `{other}` \
+                 (try --launches/--sync-every/--read-every/--smoke/--json FILE)"
             ),
         }
     }
     let quota = total_launches.div_ceil(Bench::ALL.len());
 
     println!(
-        "soak: ~{total_launches} launches over {} suites, full sync every {sync_every} launches\n",
+        "soak: ~{total_launches} launches over {} suites, full sync every {sync_every} \
+         launches, output reads every {read_every} requests\n",
         Bench::ALL.len()
     );
     let start = Instant::now();
     let reports: Vec<SuiteReport> = Bench::ALL
         .iter()
-        .map(|&b| soak_suite(b, quota, sync_every))
+        .map(|&b| soak_suite(b, quota, sync_every, read_every))
         .collect();
     let wall = start.elapsed().as_secs_f64();
 

@@ -174,6 +174,55 @@ impl Cuda {
         self.inner.borrow().engine.device_load(device)
     }
 
+    /// Fill `out` with every device's in-flight load under a single
+    /// borrow — the per-launch placement path calls this once instead
+    /// of polling [`Cuda::device_load`] per device.
+    pub fn device_loads_into(&self, out: &mut Vec<usize>) {
+        let inner = self.inner.borrow();
+        out.clear();
+        out.extend((0..inner.n_devices).map(|d| inner.engine.device_load(d)));
+    }
+
+    /// Fill `out` with every device's free memory bytes under a single
+    /// borrow (`usize::MAX` per device when unlimited).
+    pub fn free_device_bytes_into(&self, out: &mut Vec<usize>) {
+        let inner = self.inner.borrow();
+        out.clear();
+        out.extend((0..inner.n_devices).map(|d| inner.memgr.free_bytes(d)));
+    }
+
+    /// One-borrow placement probe for one argument array: adds its
+    /// estimated transfer time to `est[d]` for every device `d` (the
+    /// exact math of [`Cuda::transfer_time_estimate`], applied in the
+    /// same per-device order) and returns the device holding its
+    /// current device copy, if any.
+    pub fn placement_probe(&self, a: &UnifiedArray, est: &mut [f64]) -> Option<u32> {
+        let inner = self.inner.borrow();
+        debug_assert_eq!(est.len(), inner.n_devices as usize);
+        let st = &inner.arrays[&a.id];
+        let bytes = st.bytes as f64;
+        let topo = inner.engine.topology();
+        for (d, acc) in est.iter_mut().enumerate() {
+            let target = d as u32;
+            let host = topo.link(topo.host_link(target));
+            let host_leg = host.latency + bytes / host.bandwidth;
+            *acc += match st.residency {
+                Residency::Host => host_leg,
+                Residency::Both if st.device == target => 0.0,
+                Residency::Both => host_leg,
+                Residency::Device if st.device == target => 0.0,
+                Residency::Device => match topo.d2d_link(st.device, target) {
+                    Some(l) => {
+                        let link = topo.link(l);
+                        link.latency + bytes / link.bandwidth
+                    }
+                    None => 2.0 * host_leg,
+                },
+            };
+        }
+        st.residency.on_device().then_some(st.device)
+    }
+
     /// Cross-device migrations performed so far as `(count, bytes)`,
     /// peer-to-peer and host-mediated combined.
     pub fn migration_stats(&self) -> (usize, usize) {
@@ -470,6 +519,18 @@ impl Cuda {
     /// API of the paper's era cannot capture prefetches, which is the
     /// root cause of the Fig. 8 performance gap.
     pub fn prefetch_async(&self, stream: StreamId, a: &UnifiedArray) -> Option<TaskId> {
+        self.prefetch_inner(stream, a, true)
+    }
+
+    /// [`Cuda::prefetch_async`] without the per-call host API charge —
+    /// for batched submission paths that pay one amortized charge up
+    /// front for the whole batch. Virtual-time effects are otherwise
+    /// identical.
+    pub fn prefetch_async_uncharged(&self, stream: StreamId, a: &UnifiedArray) -> Option<TaskId> {
+        self.prefetch_inner(stream, a, false)
+    }
+
+    fn prefetch_inner(&self, stream: StreamId, a: &UnifiedArray, charge: bool) -> Option<TaskId> {
         let mut inner = self.inner.borrow_mut();
         if inner.capture.is_some() {
             return None; // not capturable
@@ -491,8 +552,10 @@ impl Cuda {
             return None;
         }
         let dev = inner.dev.clone();
-        let overhead = dev.host_api_overhead;
-        inner.engine.advance_host(overhead);
+        if charge {
+            let overhead = dev.host_api_overhead;
+            inner.engine.advance_host(overhead);
+        }
         // Current copy only on another device: direct peer-to-peer DMA
         // when the topology has a link, host-mediated migration (the D2H
         // leg on the source device, chained on the producer) otherwise.
@@ -559,13 +622,37 @@ impl Cuda {
         exec: &KernelExec,
         extra_deps: &[TaskId],
     ) -> Option<TaskId> {
+        self.launch_inner(stream, exec, extra_deps, true)
+    }
+
+    /// [`Cuda::launch_with_extra_deps`] without the per-call host API
+    /// charge — for batched submission paths that pay one amortized
+    /// charge up front for the whole batch.
+    pub fn launch_uncharged(
+        &self,
+        stream: StreamId,
+        exec: &KernelExec,
+        extra_deps: &[TaskId],
+    ) -> Option<TaskId> {
+        self.launch_inner(stream, exec, extra_deps, false)
+    }
+
+    fn launch_inner(
+        &self,
+        stream: StreamId,
+        exec: &KernelExec,
+        extra_deps: &[TaskId],
+        charge: bool,
+    ) -> Option<TaskId> {
         let mut inner = self.inner.borrow_mut();
         if let Some(cap) = &mut inner.capture {
             cap.record_kernel(stream, exec);
             return None;
         }
-        let overhead = inner.dev.host_api_overhead;
-        inner.engine.advance_host(overhead);
+        if charge {
+            let overhead = inner.dev.host_api_overhead;
+            inner.engine.advance_host(overhead);
+        }
         Some(inner.submit_kernel(stream, exec, extra_deps))
     }
 

@@ -1,7 +1,6 @@
 //! The incrementally-built computation DAG.
 
-use std::collections::HashMap;
-
+use crate::dense::DenseMap;
 use crate::vertex::{ArgAccess, ElementKind, Value, Vertex, VertexId};
 
 /// A dependency edge, labeled (as in the paper's figures) with the value
@@ -92,7 +91,9 @@ pub struct ComputationDag {
     /// Count of stored vertices that are retired — compaction fuel.
     retired_stored: usize,
     edges: Vec<DepEdge>,
-    values: HashMap<Value, ValueState>,
+    /// Per-value ordering state, arena-addressed by the monotonic value
+    /// id — dependency inference does zero hashing.
+    values: DenseMap<Value, ValueState>,
     /// Eviction/prefetch annotations, pruned with their vertices on
     /// compaction so they stay O(live computations) too.
     mem_notes: Vec<MemNote>,
@@ -211,7 +212,7 @@ impl ComputationDag {
 
         let mut deps: Vec<VertexId> = Vec::new();
         for arg in &args {
-            let state = self.values.entry(arg.value).or_default();
+            let state = self.values.entry_or_default(arg.value);
             if arg.read_only {
                 if let Some(w) = state.last_writer {
                     if w != id && self.is_dep_source(w, arg.value) {
@@ -219,18 +220,14 @@ impl ComputationDag {
                         self.record_edge(w, id, arg.value, true);
                     }
                 }
-                let state = self.values.entry(arg.value).or_default();
+                let state = self.values.entry_or_default(arg.value);
                 state.readers_since_write.push(id);
             } else {
                 // Writer: WAR on readers if any, else RAW/WAW on writer.
                 let readers = std::mem::take(
-                    &mut self
-                        .values
-                        .entry(arg.value)
-                        .or_default()
-                        .readers_since_write,
+                    &mut self.values.entry_or_default(arg.value).readers_since_write,
                 );
-                let prev_writer = self.values.entry(arg.value).or_default().last_writer;
+                let prev_writer = self.values.entry_or_default(arg.value).last_writer;
                 let mut found_dep = false;
                 for r in readers {
                     if r == id {
@@ -252,7 +249,7 @@ impl ComputationDag {
                         self.consume(w, arg.value);
                     }
                 }
-                self.values.entry(arg.value).or_default().last_writer = Some(id);
+                self.values.entry_or_default(arg.value).last_writer = Some(id);
             }
         }
 
@@ -294,7 +291,7 @@ impl ComputationDag {
 
     /// Whether a CPU access to `value` would depend on active GPU work.
     pub fn access_conflicts(&self, value: Value, write: bool) -> bool {
-        let Some(state) = self.values.get(&value) else {
+        let Some(state) = self.values.get(value) else {
             return false;
         };
         if let Some(w) = state.last_writer {
@@ -371,7 +368,7 @@ impl ComputationDag {
                 .binary_search_by_key(&id, |v| v.id)
                 .is_ok_and(|i| vertices[i].active && vertices[i].dep_set.contains(&value))
         };
-        self.values.retain(|&value, st| {
+        self.values.retain(|value, st| {
             st.readers_since_write.retain(|&r| is_source(r, value));
             if st.last_writer.is_some_and(|w| !is_source(w, value)) {
                 st.last_writer = None;

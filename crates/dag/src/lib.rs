@@ -40,10 +40,21 @@
 //! Lifetime vs resident counts are exposed via [`ComputationDag::len`],
 //! [`ComputationDag::stored_len`] and [`ComputationDag::live_len`].
 
+//!
+//! ## Arena storage for scheduler bookkeeping
+//!
+//! The same monotonic-id discipline lets every per-vertex (and per-value)
+//! side table drop hashing entirely: [`DenseMap`]/[`DenseSet`] address a
+//! sliding `VecDeque` window by `id - base`, giving O(1) hash-free
+//! lookups on the launch hot path while retirement trims the window back
+//! to the live frontier.
+
+pub mod dense;
 pub mod dot;
 pub mod graph;
 pub mod vertex;
 
+pub use dense::{DenseKey, DenseMap, DenseSet};
 pub use dot::to_dot;
 pub use graph::{ComputationDag, DepEdge, MemNote, MemNoteKind};
 pub use vertex::{ArgAccess, ElementKind, Value, Vertex, VertexId};

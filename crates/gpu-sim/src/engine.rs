@@ -76,6 +76,10 @@ struct TaskState {
     dependents: Vec<TaskId>,
     /// When the task became ready (start of its timeline interval).
     started: Time,
+    /// Rate from the last solve that covered this task's component.
+    /// Valid while the task is active and its component is clean: the
+    /// incremental refresh reuses it instead of re-solving.
+    rate: f64,
 }
 
 /// Aggregate counters exposed for quick sanity checks and stats tables.
@@ -95,6 +99,16 @@ pub struct EngineStats {
     /// reclaims the completed prefix, so on a long-running service this
     /// tracks the in-flight window, not the lifetime submission count.
     pub retained_tasks: usize,
+    /// Rate refreshes that found the active set dirty and re-solved at
+    /// least one component.
+    pub rate_refreshes: usize,
+    /// Active-task rates recomputed by the incremental solver (members
+    /// of a dirty component at refresh time).
+    pub rate_tasks_solved: usize,
+    /// Active-task rates reused from a clean component's cache instead
+    /// of being re-solved. `reused / (solved + reused)` is the
+    /// incremental solver's hit rate.
+    pub rate_tasks_reused: usize,
 }
 
 /// The simulator engine. See the [crate docs](crate) for the model.
@@ -125,6 +139,13 @@ pub struct Engine {
     /// Cached rates aligned with `active`; rebuilt when `rates_dirty`.
     rates: Vec<f64>,
     rates_dirty: bool,
+    /// Devices whose active-set membership changed since the last rate
+    /// refresh. Seeds the incremental solve: only connected components
+    /// touching a dirty device (or link) are re-solved.
+    dirty_dev: Vec<bool>,
+    /// Links whose active-set membership changed, aligned with
+    /// [`Topology::links`].
+    dirty_link: Vec<bool>,
     /// Pending activation events: (time, task) min-heap.
     latent: BinaryHeap<Reverse<(TimeKey, u32)>>,
     /// Submitted-but-unfinished task count per device, maintained at
@@ -185,6 +206,8 @@ impl Engine {
             active: Vec::new(),
             rates: Vec::new(),
             rates_dirty: false,
+            dirty_dev: vec![false; n],
+            dirty_link: vec![false; n_links],
             latent: BinaryHeap::new(),
             inflight: vec![0; n],
             timeline: Timeline::new(),
@@ -277,6 +300,7 @@ impl Engine {
             phase: Phase::Waiting(open_deps),
             dependents: Vec::new(),
             started: 0.0,
+            rate: 1.0,
         });
         for d in deps {
             if self.is_complete(*d) {
@@ -445,10 +469,168 @@ impl Engine {
         self.races.extend(found);
     }
 
+    /// Record that a task entered or left the active set: its device —
+    /// and link, if any — seed the dirty set for the next incremental
+    /// rate refresh. Because every active task couples exactly its
+    /// device and (optionally) one link, any component whose membership
+    /// changed necessarily contains one of the transitioning task's two
+    /// endpoints, so marking them finds every component that needs a
+    /// re-solve.
+    fn mark_transition(&mut self, slot: usize) {
+        let t = &self.tasks[slot];
+        self.dirty_dev[t.device as usize] = true;
+        if let Some(l) = t.link {
+            self.dirty_link[l.0 as usize] = true;
+        }
+    }
+
+    /// Recompute `rates` for the current active set, re-solving only the
+    /// connected components (devices coupled by shared links) whose
+    /// membership changed since the last refresh; tasks in clean
+    /// components keep their cached rate.
+    ///
+    /// This is bit-identical to the full solve ([`Engine::solve_rates_full`],
+    /// cross-checked in debug builds) because progressive filling
+    /// decomposes exactly along components: a task's demand is zero
+    /// outside its own device/link block, adding those zeros to load
+    /// sums is exact in IEEE arithmetic, a binding resource only ever
+    /// freezes tasks of its own component, and freezing them subtracts
+    /// exact zeros from every other component's residuals — so each
+    /// component's freeze sequence is independent of the others.
     fn refresh_rates(&mut self) {
         if !self.rates_dirty {
             return;
         }
+        let n_dev = self.n_devices as usize;
+        let n_links = self.topo.links().len();
+        let n_nodes = n_dev + n_links;
+        let base = self.base;
+
+        // Union-find over device and link nodes (path-halving find):
+        // each active link occupant couples its device to its link, so
+        // chains of shared links merge devices into one component.
+        fn find(parent: &mut [u32], mut x: u32) -> u32 {
+            while parent[x as usize] != x {
+                let g = parent[parent[x as usize] as usize];
+                parent[x as usize] = g;
+                x = g;
+            }
+            x
+        }
+        let mut parent: Vec<u32> = (0..n_nodes as u32).collect();
+        for &i in &self.active {
+            let t = &self.tasks[(i - base) as usize];
+            if let Some(l) = t.link {
+                let a = find(&mut parent, t.device);
+                let b = find(&mut parent, n_dev as u32 + l.0);
+                if a != b {
+                    parent[a as usize] = b;
+                }
+            }
+        }
+
+        // A component needs re-solving iff it contains a dirty node.
+        let mut comp_dirty = vec![false; n_nodes];
+        for d in 0..n_dev {
+            if self.dirty_dev[d] {
+                comp_dirty[find(&mut parent, d as u32) as usize] = true;
+            }
+        }
+        for l in 0..n_links {
+            if self.dirty_link[l] {
+                comp_dirty[find(&mut parent, (n_dev + l) as u32) as usize] = true;
+            }
+        }
+
+        // Scatter cached rates for clean components; bucket dirty
+        // components' active positions for re-solving.
+        self.rates.clear();
+        self.rates.resize(self.active.len(), 1.0);
+        let mut comp_has_link = vec![false; n_nodes];
+        let mut members: Vec<Vec<usize>> = vec![Vec::new(); n_nodes];
+        let (mut solved, mut reused) = (0usize, 0usize);
+        for (k, &i) in self.active.iter().enumerate() {
+            let t = &self.tasks[(i - base) as usize];
+            let root = find(&mut parent, t.device) as usize;
+            if t.link.is_some() {
+                comp_has_link[root] = true;
+            }
+            if comp_dirty[root] {
+                members[root].push(k);
+                solved += 1;
+            } else {
+                self.rates[k] = t.rate;
+                reused += 1;
+            }
+        }
+        self.stats.rate_refreshes += 1;
+        self.stats.rate_tasks_solved += solved;
+        self.stats.rate_tasks_reused += reused;
+
+        for root in 0..n_nodes {
+            let idxs = &members[root];
+            if idxs.is_empty() {
+                continue;
+            }
+            let rs = if comp_has_link[root] {
+                // Link-coupled component: solve over the global resource
+                // space (per-device blocks plus one slot per link) so
+                // resource indexing — and hence tie-breaking — matches
+                // the full solve exactly. Other components' slots carry
+                // zero demand and never bind.
+                let dev_caps = capacities(&self.dev);
+                let mut caps = Vec::with_capacity(n_dev * NUM_RESOURCES + n_links);
+                for _ in 0..n_dev {
+                    caps.extend_from_slice(&dev_caps);
+                }
+                caps.extend(self.topo.links().iter().map(|l| l.bandwidth));
+                let demands: Vec<Vec<f64>> = idxs
+                    .iter()
+                    .map(|&k| {
+                        let t = &self.tasks[(self.active[k] - base) as usize];
+                        let mut d = vec![0.0; caps.len()];
+                        let dbase = t.device as usize * NUM_RESOURCES;
+                        d[dbase..dbase + NUM_RESOURCES].copy_from_slice(&t.demand.as_vec());
+                        if let Some(l) = t.link {
+                            d[n_dev * NUM_RESOURCES + l.0 as usize] = t.demand.link_bps;
+                        }
+                        d
+                    })
+                    .collect();
+                max_min_rates_vec(&demands, &caps)
+            } else {
+                // Single-device component: the fixed-width solve.
+                let demands: Vec<ResourceDemand> = idxs
+                    .iter()
+                    .map(|&k| self.tasks[(self.active[k] - base) as usize].demand)
+                    .collect();
+                max_min_rates(&demands, &self.dev)
+            };
+            for (&k, r) in idxs.iter().zip(rs) {
+                self.rates[k] = r;
+                self.tasks[(self.active[k] - base) as usize].rate = r;
+            }
+        }
+
+        self.dirty_dev.iter_mut().for_each(|d| *d = false);
+        self.dirty_link.iter_mut().for_each(|d| *d = false);
+        self.rates_dirty = false;
+
+        #[cfg(debug_assertions)]
+        {
+            let full = self.solve_rates_full();
+            assert_eq!(
+                self.rates, full,
+                "incremental component solve diverged from the full solve"
+            );
+        }
+    }
+
+    /// The pre-incremental full solve over the whole active set — the
+    /// reference the incremental refresh must match bit for bit. Kept as
+    /// the debug-mode cross-check and the differential-test oracle.
+    #[cfg(any(test, debug_assertions))]
+    fn solve_rates_full(&self) -> Vec<f64> {
         let any_link = self
             .active
             .iter()
@@ -479,18 +661,18 @@ impl Engine {
                     d
                 })
                 .collect();
-            self.rates = max_min_rates_vec(&demands, &caps);
+            max_min_rates_vec(&demands, &caps)
         } else if self.n_devices == 1 {
             let demands: Vec<ResourceDemand> = self
                 .active
                 .iter()
                 .map(|&i| self.tasks[self.slot(i)].demand)
                 .collect();
-            self.rates = max_min_rates(&demands, &self.dev);
+            max_min_rates(&demands, &self.dev)
         } else {
             // Each device has its own resource pool: solve max–min
             // fairness per device over that device's active tasks.
-            self.rates = vec![1.0; self.active.len()];
+            let mut rates = vec![1.0; self.active.len()];
             let mut devices: Vec<u32> = self
                 .active
                 .iter()
@@ -509,11 +691,11 @@ impl Engine {
                     .collect();
                 let rs = max_min_rates(&demands, &self.dev);
                 for (k, r) in idxs.into_iter().zip(rs) {
-                    self.rates[k] = r;
+                    rates[k] = r;
                 }
             }
+            rates
         }
-        self.rates_dirty = false;
     }
 
     /// Earliest fluid completion under current rates, if any task is
@@ -607,6 +789,34 @@ impl Engine {
         }
     }
 
+    /// Test oracle: refresh (incrementally) and assert the resulting
+    /// rates are bit-identical to the full whole-active-set solve.
+    #[cfg(test)]
+    pub(crate) fn assert_rates_match_full_solve(&mut self) {
+        self.refresh_rates();
+        assert_eq!(
+            self.rates,
+            self.solve_rates_full(),
+            "incremental component solve diverged from the full solve"
+        );
+    }
+
+    /// Move a latent task whose fixed-latency timer just expired into the
+    /// fluid phase (or complete it immediately if it carries no fluid
+    /// work).
+    fn activate(&mut self, idx: u32) {
+        let i = self.slot(idx);
+        debug_assert!(matches!(self.tasks[i].phase, Phase::Latent));
+        if self.tasks[i].fluid_work > 0.0 {
+            self.tasks[i].phase = Phase::Active(self.tasks[i].fluid_work);
+            self.active.push(idx);
+            self.rates_dirty = true;
+            self.mark_transition(i);
+        } else {
+            self.complete(idx);
+        }
+    }
+
     /// Run the event loop until `target` time (if given) or until `stop`
     /// completes (if given). At least one must be provided.
     fn run(&mut self, target: Option<Time>, stop: Option<TaskId>) {
@@ -664,20 +874,32 @@ impl Engine {
                     self.integrate_to(et);
                     if is_activation {
                         self.latent.pop();
-                        let i = self.slot(idx);
-                        debug_assert!(matches!(self.tasks[i].phase, Phase::Latent));
-                        if self.tasks[i].fluid_work > 0.0 {
-                            self.tasks[i].phase = Phase::Active(self.tasks[i].fluid_work);
-                            self.active.push(idx);
-                            self.rates_dirty = true;
-                        } else {
-                            self.complete(idx);
+                        self.activate(idx);
+                        // Coalesce same-instant activations: rates are
+                        // never consulted between them (activations win
+                        // ties over completions, and a completion cannot
+                        // precede `now`), so the rate solve runs once for
+                        // the whole batch instead of once per task.
+                        // Bails out when `stop` completes, exactly as the
+                        // outer loop would.
+                        loop {
+                            if stop.is_some_and(|s| self.is_complete(s)) {
+                                return;
+                            }
+                            match self.latent.peek() {
+                                Some(&Reverse((TimeKey(t2), idx2))) if t2 <= et => {
+                                    self.latent.pop();
+                                    self.activate(idx2);
+                                }
+                                _ => break,
+                            }
                         }
                     } else {
                         // A fluid completion: the chosen task's remaining
                         // work reached zero (up to float error).
                         self.active.retain(|&i| i != idx);
                         self.rates_dirty = true;
+                        self.mark_transition(self.slot(idx));
                         self.complete(idx);
                     }
                 }
@@ -1121,5 +1343,70 @@ mod tests {
         e.clear_timeline();
         assert!(e.timeline().intervals().is_empty());
         assert!(e.is_complete(a));
+    }
+}
+
+#[cfg(test)]
+mod prop {
+    use super::*;
+    use crate::task::TaskSpec;
+    use crate::topology::{Topology, TopologyKind};
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Differential test for the incremental rate solver: drive
+        /// randomized mixes of kernels, host copies and p2p copies over
+        /// randomized device counts and dependency chains, and after
+        /// every submission / host advance assert the incrementally
+        /// maintained rates are bit-identical to the full
+        /// whole-active-set solve.
+        #[test]
+        fn incremental_solver_matches_full_solve(
+            n_dev in 1usize..5,
+            ops in proptest::collection::vec(
+                (0u8..3, 0u32..4, 0u32..4, 1u32..20, proptest::bool::ANY), 1..24),
+        ) {
+            let d = DeviceProfile::gtx1660_super();
+            let topo = Topology::preset(TopologyKind::FullyConnected, n_dev, &d);
+            let mut e = Engine::with_topology(d.clone(), topo.clone());
+            let mut prev: Option<TaskId> = None;
+            for (i, &(kind, da, db, work, chain)) in ops.iter().enumerate() {
+                let dev_a = da % n_dev as u32;
+                let dev_b = db % n_dev as u32;
+                let w = work as f64 * 1e-4;
+                let stream = i as u32;
+                let spec = match (kind, topo.d2d_link(dev_a, dev_b)) {
+                    (2, Some(l)) => TaskSpec::p2p_copy(
+                        format!("p{i}"),
+                        stream,
+                        topo.link(l).bandwidth * w,
+                        l,
+                        topo.link(l),
+                    )
+                    .on_device(dev_a),
+                    (1, _) => TaskSpec::bulk_copy(
+                        TaskKind::CopyH2D,
+                        format!("c{i}"),
+                        stream,
+                        d.pcie_bw * w,
+                        &d,
+                    )
+                    .on_device(dev_a),
+                    _ => TaskSpec::kernel(format!("k{i}"), stream)
+                        .on_device(dev_a)
+                        .fluid(w)
+                        .sm_frac(0.8),
+                };
+                let deps: Vec<TaskId> = if chain { prev.into_iter().collect() } else { Vec::new() };
+                prev = Some(e.submit(spec, &deps));
+                e.assert_rates_match_full_solve();
+                if i % 5 == 4 {
+                    e.advance_host(2e-4);
+                    e.assert_rates_match_full_solve();
+                }
+            }
+            e.sync_all();
+            e.assert_rates_match_full_solve();
+        }
     }
 }

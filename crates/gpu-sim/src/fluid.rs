@@ -56,7 +56,17 @@ fn progressive_fill<D: AsRef<[f64]>>(demands: &[D], caps: &[f64]) -> Vec<f64> {
     if n == 0 {
         return rates;
     }
-    debug_assert!(demands.iter().all(|d| d.as_ref().len() == nr));
+    // Validate shapes up front: a short demand vector would otherwise
+    // panic deep inside the solve with an index error that names neither
+    // the task nor the expected width (release builds skipped the old
+    // debug_assert entirely).
+    for (i, d) in demands.iter().enumerate() {
+        let got = d.as_ref().len();
+        assert_eq!(
+            got, nr,
+            "demand vector of task {i} has {got} entries but the solve spans {nr} resources"
+        );
+    }
     let mut frozen = vec![false; n];
     // Residual capacity after subtracting frozen tasks' consumption.
     let mut residual = caps.to_vec();
@@ -106,7 +116,32 @@ fn progressive_fill<D: AsRef<[f64]>>(demands: &[D], caps: &[f64]) -> Vec<f64> {
                         }
                     }
                 }
-                debug_assert!(any, "binding resource with no users");
+                // Float-drift guard: the `res -= t * d` subtractions can
+                // round a saturated resource's residual slightly below
+                // zero; clamp it back so later rounds see "exhausted",
+                // never "negative". (A negative residual and a zero one
+                // both yield limit 0, so this is behavior-preserving —
+                // the clamp exists so the invariant `residual ≥ 0` holds
+                // for callers and future arithmetic on it.)
+                for res in residual.iter_mut() {
+                    if *res < 0.0 {
+                        *res = 0.0;
+                    }
+                }
+                // Loop-progress guard: a binding resource must freeze at
+                // least one task, or this loop would spin forever. Float
+                // noise (NaN/∞ demands) could in principle report
+                // `load > 0` with no freezable user; rather than hang
+                // the simulator, release the remaining tasks at solo
+                // speed and bail out.
+                if !any {
+                    for i in 0..n {
+                        if !frozen[i] {
+                            rates[i] = 1.0;
+                        }
+                    }
+                    break;
+                }
                 if frozen.iter().all(|&f| f) {
                     break;
                 }
@@ -278,6 +313,45 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "demand vector of task 1 has 2 entries")]
+    fn mismatched_demand_length_names_the_task() {
+        let caps = vec![1.0, 1.0, 1.0];
+        let demands = vec![vec![0.5, 0.5, 0.5], vec![0.5, 0.5]];
+        max_min_rates_vec(&demands, &caps);
+    }
+
+    #[test]
+    fn pathological_inputs_terminate() {
+        // NaN demands make `load <= 0` false and `limit = NaN.max(0) = 0`
+        // bind with no freezable user — the loop-progress guard must bail
+        // out instead of spinning. Infinite and negative demands must
+        // also terminate with every rate inside the clamped range.
+        let caps = [1.0; NUM_RESOURCES];
+        let cases: Vec<Vec<[f64; NUM_RESOURCES]>> = vec![
+            vec![
+                [f64::NAN, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0],
+                [1.0; NUM_RESOURCES],
+            ],
+            vec![
+                [f64::INFINITY, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0],
+                [0.5; NUM_RESOURCES],
+            ],
+            vec![
+                [-2.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0],
+                [1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0],
+            ],
+            vec![[f64::NAN; NUM_RESOURCES]; 3],
+        ];
+        for demands in cases {
+            let rates = max_min_rates_raw(&demands, &caps);
+            assert_eq!(rates.len(), demands.len());
+            for x in rates {
+                assert!((1e-9..=1.0).contains(&x), "rate {x} out of range");
+            }
+        }
+    }
+
+    #[test]
     fn global_solve_matches_fixed_width_solver() {
         let d = dev();
         let demands = [sm(1.0), sm(0.3), dram(d.dram_bw)];
@@ -295,6 +369,104 @@ mod prop {
 
     fn demand_strategy() -> impl Strategy<Value = [f64; NUM_RESOURCES]> {
         proptest::array::uniform7(0.0f64..1.0)
+    }
+
+    /// Exact rational `p/q` with `q > 0`, reduced — the reference
+    /// arithmetic for the float-drift regression test. Demands are small
+    /// integers over a small scale and round counts are bounded by the
+    /// task count, so i128 never overflows here.
+    #[derive(Clone, Copy, PartialEq, Eq, Debug)]
+    struct Ratio {
+        num: i128,
+        den: i128,
+    }
+
+    impl Ratio {
+        fn new(num: i128, den: i128) -> Ratio {
+            assert!(den != 0);
+            let (num, den) = if den < 0 { (-num, -den) } else { (num, den) };
+            let g = gcd(num.abs(), den);
+            Ratio {
+                num: num / g.max(1),
+                den: den / g.max(1),
+            }
+        }
+        fn int(v: i128) -> Ratio {
+            Ratio { num: v, den: 1 }
+        }
+        fn sub(self, o: Ratio) -> Ratio {
+            Ratio::new(self.num * o.den - o.num * self.den, self.den * o.den)
+        }
+        fn mul(self, o: Ratio) -> Ratio {
+            Ratio::new(self.num * o.num, self.den * o.den)
+        }
+        fn div(self, o: Ratio) -> Ratio {
+            Ratio::new(self.num * o.den, self.den * o.num)
+        }
+        fn lt(self, o: Ratio) -> bool {
+            self.num * o.den < o.num * self.den
+        }
+        fn to_f64(self) -> f64 {
+            self.num as f64 / self.den as f64
+        }
+    }
+
+    fn gcd(a: i128, b: i128) -> i128 {
+        if b == 0 {
+            a
+        } else {
+            gcd(b, a % b)
+        }
+    }
+
+    /// Progressive filling in exact rational arithmetic: demands are
+    /// `demands[i][r] / scale`, every capacity is 1. Mirrors
+    /// `progressive_fill` step for step, with no rounding anywhere.
+    fn exact_progressive_fill(demands: &[[i128; NUM_RESOURCES]], scale: i128) -> Vec<Ratio> {
+        let n = demands.len();
+        let mut rates = vec![Ratio::int(0); n];
+        let mut frozen = vec![false; n];
+        let mut residual = vec![Ratio::int(1); NUM_RESOURCES];
+        loop {
+            let mut t = Ratio::int(1);
+            let mut binding: Option<usize> = None;
+            for (r, res) in residual.iter().enumerate() {
+                let load: i128 = (0..n).filter(|&i| !frozen[i]).map(|i| demands[i][r]).sum();
+                if load <= 0 {
+                    continue;
+                }
+                let limit = res.div(Ratio::new(load, scale));
+                if limit.lt(t) {
+                    t = limit;
+                    binding = Some(r);
+                }
+            }
+            match binding {
+                None => {
+                    for i in 0..n {
+                        if !frozen[i] {
+                            rates[i] = Ratio::int(1);
+                        }
+                    }
+                    break;
+                }
+                Some(r) => {
+                    for i in 0..n {
+                        if !frozen[i] && demands[i][r] > 0 {
+                            frozen[i] = true;
+                            rates[i] = t;
+                            for (res, d) in residual.iter_mut().zip(demands[i].iter()) {
+                                *res = res.sub(t.mul(Ratio::new(*d, scale)));
+                            }
+                        }
+                    }
+                    if frozen.iter().all(|&f| f) {
+                        break;
+                    }
+                }
+            }
+        }
+        rates
     }
 
     proptest! {
@@ -317,6 +489,49 @@ mod prop {
                 if d.iter().all(|&v| v == 0.0) {
                     prop_assert_eq!(*x, 1.0);
                 }
+            }
+        }
+
+        /// Float-drift regression (the residual-clamp bugfix): every
+        /// returned rate is at least the fair share computed by the same
+        /// algorithm in exact rational arithmetic, minus epsilon. Before
+        /// the clamp, drift below zero could freeze late tasks at the
+        /// 1e-9 floor even though their exact fair share was large.
+        #[test]
+        fn rates_match_exact_rational_fair_share(
+            raw_demands in proptest::collection::vec(
+                proptest::array::uniform7(0u8..9), 1..6),
+        ) {
+            const SCALE: i128 = 8;
+            let int_demands: Vec<[i128; NUM_RESOURCES]> = raw_demands
+                .iter()
+                .map(|d| d.map(i128::from))
+                .collect();
+            let caps = [1.0; NUM_RESOURCES];
+            let demands: Vec<[f64; NUM_RESOURCES]> = int_demands
+                .iter()
+                .map(|d| {
+                    let mut out = [0.0; NUM_RESOURCES];
+                    for (o, v) in out.iter_mut().zip(d.iter()) {
+                        *o = *v as f64 / SCALE as f64;
+                    }
+                    out
+                })
+                .collect();
+            let float_rates = max_min_rates_raw(&demands, &caps);
+            let exact_rates = exact_progressive_fill(&int_demands, SCALE);
+            for (i, (fx, ex)) in float_rates.iter().zip(&exact_rates).enumerate() {
+                let exact = ex.to_f64().clamp(1e-9, 1.0);
+                prop_assert!(
+                    *fx >= exact - 1e-9,
+                    "task {} collapsed: float rate {} below exact fair share {}",
+                    i, fx, exact
+                );
+                prop_assert!(
+                    *fx <= exact + 1e-9,
+                    "task {} inflated: float rate {} above exact fair share {}",
+                    i, fx, exact
+                );
             }
         }
 

@@ -8,11 +8,10 @@
 //! if it must wait for other computations to finish."
 
 use std::cell::RefCell;
-use std::collections::HashMap;
 use std::rc::Rc;
 
 use cuda_sim::{Cuda, KernelExec, MemEventKind, StreamId, UnifiedArray};
-use dag::{ArgAccess, ComputationDag, ElementKind, Value, VertexId};
+use dag::{ArgAccess, ComputationDag, DenseMap, ElementKind, Value, VertexId};
 use gpu_sim::memgr::{MemoryConfig, MemoryStats};
 use gpu_sim::{
     Architecture, DataBuffer, DeviceProfile, EngineStats, Grid, RaceReport, TaskId, Time, Timeline,
@@ -22,7 +21,7 @@ use kernels::KernelDef;
 
 use crate::array::DeviceArray;
 use crate::history::KernelHistory;
-use crate::kernel::{Arg, Kernel, LaunchError};
+use crate::kernel::{Arg, BatchLaunch, Kernel, LaunchError};
 use crate::nidl::{NidlError, NidlParam, Signature};
 use crate::options::{Options, PrefetchPolicy, SchedulePolicy};
 use crate::policy::{DeviceSelectionPolicy, PlacementCtx, PlacementPolicy};
@@ -35,17 +34,18 @@ pub(crate) struct Ctx {
     pub streams: StreamManager,
     /// Per-vertex device placement decided by [`Ctx::placement`].
     pub placement: Box<dyn DeviceSelectionPolicy>,
-    pub vertex_task: HashMap<VertexId, TaskId>,
-    pub vertex_stream: HashMap<VertexId, StreamId>,
+    pub vertex_task: DenseMap<VertexId, TaskId>,
+    pub vertex_stream: DenseMap<VertexId, StreamId>,
     /// Device each live vertex was placed on (same lifecycle as the
     /// task/stream maps: retired with the vertex).
-    pub vertex_device: HashMap<VertexId, u32>,
+    pub vertex_device: DenseMap<VertexId, u32>,
     /// Measured-performance history feeding the autotuner (§IV-A).
     pub history: KernelHistory,
     /// Launch metadata by engine task, consumed by the history harvest.
     /// Entries are removed when harvested (or found orphaned), so the
     /// map tracks in-flight launches, not every launch ever made.
-    pub launch_info: HashMap<u32, (Grid, usize)>,
+    /// Arena-addressed by the monotonic engine task id.
+    pub launch_info: DenseMap<u32, (Grid, usize)>,
     /// `launch_info` size that triggers the next opportunistic harvest
     /// on the fine-grained retire path (doubling watermark, so sync-free
     /// services pay an amortized, not per-access, harvest cost).
@@ -54,6 +54,22 @@ pub(crate) struct Ctx {
     /// appended in completion order, so each one is visited exactly once
     /// over the context's lifetime (reset when the timeline is cleared).
     pub timeline_cursor: usize,
+    /// Reused per-device vectors for placement consultation: allocated
+    /// once per runtime, not once per launch.
+    pub place_scratch: PlaceScratch,
+}
+
+/// Scratch buffers behind [`crate::PlacementCtx`]: the per-device
+/// vectors the launch path fills for every multi-device placement
+/// decision, reused across launches so the hot path allocates nothing.
+#[derive(Default)]
+pub(crate) struct PlaceScratch {
+    parent_devices: Vec<u32>,
+    resident_bytes: Vec<usize>,
+    est_transfer_time: Vec<f64>,
+    inflight: Vec<usize>,
+    free_bytes: Vec<usize>,
+    seen: Vec<gpu_sim::ValueId>,
 }
 
 /// Initial/minimum value of [`Ctx::harvest_floor`].
@@ -198,13 +214,14 @@ impl GrCuda {
                 dag: ComputationDag::new(),
                 streams: StreamManager::new(options.dep_stream, options.stream_reuse),
                 placement,
-                vertex_task: HashMap::new(),
-                vertex_stream: HashMap::new(),
-                vertex_device: HashMap::new(),
+                vertex_task: DenseMap::new(),
+                vertex_stream: DenseMap::new(),
+                vertex_device: DenseMap::new(),
                 history: KernelHistory::new(),
-                launch_info: HashMap::new(),
+                launch_info: DenseMap::new(),
                 harvest_floor: HARVEST_FLOOR_MIN,
                 timeline_cursor: 0,
+                place_scratch: PlaceScratch::default(),
             })),
         }
     }
@@ -478,6 +495,61 @@ impl GrCuda {
         args: &[Arg],
         kind: ElementKind,
     ) -> Result<u32, LaunchError> {
+        self.launch_validated_inner(kernel, grid, args, kind, true)
+    }
+
+    /// Submit a batch of kernel launches with one amortized host-side
+    /// charge (CUDA-Graphs-style batched submission).
+    ///
+    /// Every call is validated against its NIDL signature before
+    /// anything is submitted — a batch with a bad call enters the DAG
+    /// not at all. Under the parallel scheduler the host API and
+    /// scheduling overheads are charged **once per batch** instead of
+    /// once per launch, and the per-dependency event spins are skipped;
+    /// dependency inference, placement, stream assignment and prefetch
+    /// still run per call, so the resulting DAG and timeline are
+    /// identical to serial submission up to the saved host time (and
+    /// bit-identical under zero overheads). Under the serial scheduler
+    /// batching is a plain loop: the host blocks per launch anyway.
+    ///
+    /// Kernels in the batch must belong to this runtime. Returns the
+    /// device the placement policy chose for each call, in order.
+    pub fn launch_batch(&self, calls: &[BatchLaunch<'_>]) -> Result<Vec<u32>, LaunchError> {
+        for c in calls {
+            c.kernel.validate(c.args)?;
+        }
+        let (amortize, overhead) = {
+            let ctx = self.inner.borrow();
+            let dev = ctx.cuda.device();
+            (
+                ctx.options.schedule == SchedulePolicy::ParallelAsync,
+                dev.host_api_overhead + dev.sched_overhead,
+            )
+        };
+        if amortize && !calls.is_empty() {
+            self.inner.borrow().cuda.host_spin(overhead);
+        }
+        let mut devices = Vec::with_capacity(calls.len());
+        for c in calls {
+            devices.push(self.launch_validated_inner(
+                c.kernel,
+                c.grid,
+                c.args,
+                ElementKind::Kernel,
+                !amortize,
+            )?);
+        }
+        Ok(devices)
+    }
+
+    fn launch_validated_inner(
+        &self,
+        kernel: &Kernel,
+        grid: Grid,
+        args: &[Arg],
+        kind: ElementKind,
+        charge: bool,
+    ) -> Result<u32, LaunchError> {
         let mut ctx = self.inner.borrow_mut();
         let dev = ctx.cuda.device();
 
@@ -556,8 +628,11 @@ impl GrCuda {
             }
             SchedulePolicy::ParallelAsync => {
                 // DAG bookkeeping cost (the "negligible scheduling
-                // overheads" of §V-D — present, but small).
-                ctx.cuda.host_spin(dev.sched_overhead);
+                // overheads" of §V-D — present, but small). Batched
+                // submission charges it once per batch instead.
+                if charge {
+                    ctx.cuda.host_spin(dev.sched_overhead);
+                }
 
                 let (vid, mut deps) = ctx.dag.add_computation(kind, kernel.def.name, dag_args);
                 if !ctx.options.infer_dependencies {
@@ -574,41 +649,44 @@ impl GrCuda {
                 let device = if n_dev == 1 {
                     0
                 } else {
-                    let parent_devices: Vec<u32> = deps
-                        .iter()
-                        .filter_map(|d| ctx.vertex_device.get(d).copied())
-                        .collect();
-                    let mut resident_bytes = vec![0usize; n_dev];
+                    let Ctx {
+                        placement,
+                        vertex_device,
+                        cuda,
+                        place_scratch: s,
+                        ..
+                    } = &mut *ctx;
+                    s.parent_devices.clear();
+                    s.parent_devices
+                        .extend(deps.iter().filter_map(|&d| vertex_device.get(d).copied()));
+                    s.resident_bytes.clear();
+                    s.resident_bytes.resize(n_dev, 0);
                     // Per-candidate estimated transfer time: what moving
                     // this computation's arguments to each device would
                     // cost over the actual links (each distinct array
-                    // counted once, duplicates skipped).
-                    let mut est_transfer_time = vec![0f64; n_dev];
-                    let mut seen: Vec<gpu_sim::ValueId> = Vec::new();
+                    // counted once, duplicates skipped). One borrow per
+                    // distinct array, one per gauge — not per device.
+                    s.est_transfer_time.clear();
+                    s.est_transfer_time.resize(n_dev, 0.0);
+                    s.seen.clear();
                     for arr in &arrays {
-                        if seen.contains(&arr.id) {
+                        if s.seen.contains(&arr.id) {
                             continue;
                         }
-                        seen.push(arr.id);
-                        if let Some(d) = ctx.cuda.device_residency(arr) {
-                            resident_bytes[d as usize] += arr.byte_len();
-                        }
-                        for (d, est) in est_transfer_time.iter_mut().enumerate() {
-                            *est += ctx.cuda.transfer_time_estimate(arr, d as u32);
+                        s.seen.push(arr.id);
+                        if let Some(d) = cuda.placement_probe(arr, &mut s.est_transfer_time) {
+                            s.resident_bytes[d as usize] += arr.byte_len();
                         }
                     }
-                    let inflight: Vec<usize> =
-                        (0..n_dev as u32).map(|d| ctx.cuda.device_load(d)).collect();
-                    let free_bytes: Vec<usize> = (0..n_dev as u32)
-                        .map(|d| ctx.cuda.free_device_bytes(d))
-                        .collect();
-                    ctx.placement.select(&PlacementCtx {
+                    cuda.device_loads_into(&mut s.inflight);
+                    cuda.free_device_bytes_into(&mut s.free_bytes);
+                    placement.select(&PlacementCtx {
                         device_count: n_dev,
-                        parent_devices: &parent_devices,
-                        resident_bytes: &resident_bytes,
-                        est_transfer_time: &est_transfer_time,
-                        inflight: &inflight,
-                        free_bytes: &free_bytes,
+                        parent_devices: &s.parent_devices,
+                        resident_bytes: &s.resident_bytes,
+                        est_transfer_time: &s.est_transfer_time,
+                        inflight: &s.inflight,
+                        free_bytes: &s.free_bytes,
                         arg_bytes,
                     })
                 };
@@ -649,7 +727,7 @@ impl GrCuda {
                 let same_device_deps: Vec<VertexId> = deps
                     .iter()
                     .copied()
-                    .filter(|d| vertex_device.get(d) == Some(&device))
+                    .filter(|&d| vertex_device.get(d) == Some(&device))
                     .collect();
                 let stream = streams.assign(vid, device, &same_device_deps, vertex_stream, cuda);
 
@@ -657,29 +735,35 @@ impl GrCuda {
                 // arguments on the kernel's stream.
                 if ctx.options.prefetch == PrefetchPolicy::Auto {
                     for arr in &arrays {
-                        ctx.cuda.prefetch_async(stream, arr);
+                        if charge {
+                            ctx.cuda.prefetch_async(stream, arr);
+                        } else {
+                            ctx.cuda.prefetch_async_uncharged(stream, arr);
+                        }
                     }
                 }
 
                 // Cross-stream dependencies become events; same-stream
                 // ones are implied by stream ordering.
                 let mut dep_tasks: Vec<TaskId> = Vec::new();
-                for d in &deps {
+                for &d in &deps {
                     if ctx.vertex_stream.get(d) != Some(&stream) {
                         if let Some(&t) = ctx.vertex_task.get(d) {
                             dep_tasks.push(t);
                         }
                     }
                 }
-                if !dep_tasks.is_empty() {
+                if charge && !dep_tasks.is_empty() {
                     let ev = dev.event_overhead * dep_tasks.len() as f64;
                     ctx.cuda.host_spin(ev);
                 }
 
-                let t = ctx
-                    .cuda
-                    .launch_with_extra_deps(stream, &exec, &dep_tasks)
-                    .expect("not capturing");
+                let t = if charge {
+                    ctx.cuda.launch_with_extra_deps(stream, &exec, &dep_tasks)
+                } else {
+                    ctx.cuda.launch_uncharged(stream, &exec, &dep_tasks)
+                }
+                .expect("not capturing");
                 ctx.vertex_task.insert(vid, t);
                 ctx.vertex_stream.insert(vid, stream);
                 let elements = arrays.iter().map(|a| a.len()).max().unwrap_or(0);
@@ -737,7 +821,7 @@ impl GrCuda {
                     let label = if write { "cpu-write" } else { "cpu-read" };
                     let (vertex, deps) = ctx.dag.add_array_access(label, Value(arr.id.0), write);
                     if let Some(v) = vertex {
-                        for d in &deps {
+                        for &d in &deps {
                             if let Some(&t) = ctx.vertex_task.get(d) {
                                 ctx.cuda.task_sync(t);
                             }
@@ -748,7 +832,7 @@ impl GrCuda {
                         // just the direct dependencies.
                         let retired = ctx.dag.retire(v);
                         ctx.streams.forget(&retired);
-                        for r in &retired {
+                        for &r in &retired {
                             ctx.vertex_task.remove(r);
                             ctx.vertex_stream.remove(r);
                             ctx.vertex_device.remove(r);
@@ -794,14 +878,14 @@ impl Ctx {
                 if iv.kind != gpu_sim::TaskKind::Kernel {
                     continue;
                 }
-                if let Some((grid, elements)) = launch_info.remove(&iv.task) {
+                if let Some((grid, elements)) = launch_info.remove(iv.task) {
                     history.record(&iv.label, grid, elements, iv.duration());
                 }
             }
             *timeline_cursor = intervals.len();
         });
         let cuda = &self.cuda;
-        self.launch_info.retain(|&t, _| !cuda.task_query(TaskId(t)));
+        self.launch_info.retain(|t, _| !cuda.task_query(TaskId(t)));
     }
 
     /// Opportunistic harvest keeping `launch_info` bounded for programs

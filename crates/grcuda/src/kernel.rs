@@ -118,6 +118,21 @@ impl fmt::Display for LaunchError {
 
 impl std::error::Error for LaunchError {}
 
+/// One entry of a batched submission ([`GrCuda::launch_batch`]): a
+/// kernel, its grid and its arguments, exactly as a standalone
+/// [`Kernel::launch`] would take them.
+///
+/// [`GrCuda::launch_batch`]: crate::GrCuda::launch_batch
+pub struct BatchLaunch<'a> {
+    /// The kernel to launch.
+    pub kernel: &'a Kernel,
+    /// Launch grid.
+    pub grid: Grid,
+    /// Launch arguments (validated against the NIDL signature before
+    /// anything in the batch is submitted).
+    pub args: &'a [Arg],
+}
+
 /// A compiled kernel bound to a [`GrCuda`] context — what GrCUDA's
 /// `buildkernel` returns. Launch it like a CUDA kernel:
 /// `k.launch(grid, &[args...])`.
@@ -202,7 +217,7 @@ impl Kernel {
     }
 
     /// Check arity, kinds and element types.
-    fn validate(&self, args: &[Arg]) -> Result<(), LaunchError> {
+    pub(crate) fn validate(&self, args: &[Arg]) -> Result<(), LaunchError> {
         if args.len() != self.sig.params.len() {
             return Err(LaunchError::ArityMismatch {
                 kernel: self.def.name.into(),

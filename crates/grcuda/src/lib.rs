@@ -67,7 +67,7 @@ pub mod stream_manager;
 pub use array::DeviceArray;
 pub use context::{GrCuda, SchedulerStats};
 pub use history::KernelHistory;
-pub use kernel::{Arg, Kernel, LaunchError};
+pub use kernel::{Arg, BatchLaunch, Kernel, LaunchError};
 pub use library::Library;
 pub use multi::{MultiArg, MultiArray, MultiGpu};
 pub use nidl::{NidlError, NidlParam, NidlType, Signature};

@@ -29,7 +29,7 @@ use kernels::KernelDef;
 
 use crate::array::DeviceArray;
 use crate::context::{GrCuda, SchedulerStats};
-use crate::kernel::{Arg, LaunchError};
+use crate::kernel::{Arg, BatchLaunch, Kernel, LaunchError};
 use crate::options::Options;
 pub use crate::policy::PlacementPolicy;
 
@@ -238,6 +238,52 @@ impl MultiGpu {
         kernel.launch_placed(grid, &dev_args).map(|d| d as usize)
     }
 
+    /// Launch a batch of kernels with one amortized host-side charge
+    /// (see [`GrCuda::launch_batch`]): validation happens up front for
+    /// the whole batch, the host API and scheduling overheads are paid
+    /// once, and dependency inference/placement still run per call.
+    /// Returns the chosen device per call, in order.
+    pub fn launch_batch(
+        &mut self,
+        calls: &[(&KernelDef, Grid, Vec<MultiArg>)],
+    ) -> Result<Vec<usize>, LaunchError> {
+        let kernels: Vec<Kernel> = calls
+            .iter()
+            .map(|(def, _, _)| {
+                self.g
+                    .build_kernel(def)
+                    .expect("registered signatures parse")
+            })
+            .collect();
+        let arg_lists: Vec<Vec<Arg>> = calls
+            .iter()
+            .map(|(_, _, args)| {
+                args.iter()
+                    .map(|a| match a {
+                        MultiArg::Array(arr) => Arg::array(&arr.inner),
+                        MultiArg::Scalar(v) => Arg::scalar(*v),
+                    })
+                    .collect()
+            })
+            .collect();
+        let batch: Vec<BatchLaunch<'_>> = kernels
+            .iter()
+            .zip(calls)
+            .zip(&arg_lists)
+            .map(|((kernel, (_, grid, _)), args)| BatchLaunch {
+                kernel,
+                grid: *grid,
+                args,
+            })
+            .collect();
+        Ok(self
+            .g
+            .launch_batch(&batch)?
+            .into_iter()
+            .map(|d| d as usize)
+            .collect())
+    }
+
     /// Synchronize every device and reclaim all per-vertex scheduler
     /// state (one engine: one drain).
     pub fn sync(&self) {
@@ -381,6 +427,31 @@ mod tests {
             MultiArg::scalar(0.3),
             MultiArg::scalar(1.0),
         ]
+    }
+
+    #[test]
+    fn batched_launches_spread_and_compute_like_serial_ones() {
+        let mut m = mgpu(2, PlacementPolicy::RoundRobin);
+        let n = 1 << 14;
+        let arrays: Vec<(MultiArray, MultiArray)> = (0..4)
+            .map(|_| {
+                let x = m.array_f64(n);
+                let y = m.array_f64(n);
+                m.write_f64(&x, &vec![100.0; n]);
+                (x, y)
+            })
+            .collect();
+        let calls: Vec<(&KernelDef, Grid, Vec<MultiArg>)> = arrays
+            .iter()
+            .map(|(x, y)| (&BLACK_SCHOLES, G, bs_args(x, y, n)))
+            .collect();
+        let placements = m.launch_batch(&calls).unwrap();
+        m.sync();
+        assert_eq!(placements, vec![0, 1, 0, 1], "batch goes through placement");
+        assert_eq!(m.races(), 0);
+        for (_, y) in &arrays {
+            assert!(m.read_f64(y).iter().all(|&p| p > 0.0));
+        }
     }
 
     #[test]

@@ -11,7 +11,7 @@ use gpu_sim::{DeviceProfile, Grid};
 use kernels::util::{AXPY, COPY_F32, DOT, SCALE};
 use kernels::KernelDef;
 
-use crate::{Arg, GrCuda, Options};
+use crate::{Arg, BatchLaunch, GrCuda, Options};
 
 const N_ARRAYS: usize = 4;
 const ARRAY_LEN: usize = 257; // odd on purpose: catches off-by-ones
@@ -76,6 +76,159 @@ fn step_strategy() -> impl Strategy<Value = Step> {
         (arr.clone(), 0..ARRAY_LEN).prop_map(|(a, i)| Step::HostRead { arr: a, i }),
         (arr, -2..3i32).prop_map(|(a, v)| Step::HostFill { arr: a, v }),
     ]
+}
+
+/// Kernel-only steps (no host accesses): the shapes a batch can hold.
+fn kernel_step_strategy() -> impl Strategy<Value = Step> {
+    let arr = 0..N_ARRAYS;
+    let distinct = |s: usize, d: usize| {
+        if s == d {
+            (s, (d + 1) % N_ARRAYS)
+        } else {
+            (s, d)
+        }
+    };
+    prop_oneof![
+        (arr.clone(), arr.clone(), -3..4i32).prop_map(move |(s, d, a)| {
+            let (src, dst) = distinct(s, d);
+            Step::Scale { src, dst, a }
+        }),
+        (arr.clone(), arr.clone(), -3..4i32).prop_map(move |(s, d, a)| {
+            let (src, dst) = distinct(s, d);
+            Step::Axpy { src, dst, a }
+        }),
+        (arr.clone(), arr.clone()).prop_map(move |(s, d)| {
+            let (src, dst) = distinct(s, d);
+            Step::Copy { src, dst }
+        }),
+        (arr.clone(), arr.clone(), arr).prop_map(move |(a, b, d)| {
+            let dst = if d == a || d == b {
+                (a.max(b) + 1) % N_ARRAYS
+            } else {
+                d
+            };
+            let dst = if dst == a || dst == b {
+                (dst + 1) % N_ARRAYS
+            } else {
+                dst
+            };
+            Step::Dot { a, b, dst }
+        }),
+    ]
+}
+
+/// One timeline interval projected to everything the simulation
+/// determines: task id, kind, stream, device, link, label and the exact
+/// bit patterns of its start/end times.
+type IntervalSig = (u32, String, u32, u32, Option<u32>, String, u64, u64);
+
+/// The timeline projected to [`IntervalSig`] rows.
+fn timeline_sig(g: &GrCuda) -> Vec<IntervalSig> {
+    g.timeline()
+        .intervals()
+        .iter()
+        .map(|iv| {
+            (
+                iv.task,
+                format!("{:?}", iv.kind),
+                iv.stream,
+                iv.device,
+                iv.link,
+                iv.label.clone(),
+                iv.start.to_bits(),
+                iv.end.to_bits(),
+            )
+        })
+        .collect()
+}
+
+/// Run a kernel-only program either as one [`GrCuda::launch_batch`] or
+/// as serial per-call launches. Returns final array contents, the full
+/// timeline signature, the bit pattern of the final virtual time, the
+/// race count, and the host time spent *submitting* (before the sync).
+type BatchRun = (Vec<Vec<f32>>, Vec<IntervalSig>, u64, usize, f64);
+
+fn run_kernel_program(steps: &[Step], dev: DeviceProfile, batch: bool) -> BatchRun {
+    let g = GrCuda::new(dev, Options::parallel());
+    let arrays: Vec<_> = (0..N_ARRAYS).map(|_| g.array_f32(ARRAY_LEN)).collect();
+    for (i, a) in arrays.iter().enumerate() {
+        let init: Vec<f32> = (0..ARRAY_LEN)
+            .map(|j| ((i * 31 + j * 7) % 11) as f32 - 5.0)
+            .collect();
+        a.copy_from_f32(&init);
+    }
+    let grid = Grid::d1(16, 64);
+    let nf = ARRAY_LEN as f64;
+    let k = |def: &KernelDef| g.build_kernel(def).unwrap();
+    let kernels = [k(&SCALE), k(&AXPY), k(&COPY_F32), k(&DOT)];
+    let calls: Vec<(usize, Vec<Arg>)> = steps
+        .iter()
+        .map(|s| match *s {
+            Step::Scale { src, dst, a } => (
+                0,
+                vec![
+                    Arg::array(&arrays[src]),
+                    Arg::array(&arrays[dst]),
+                    Arg::scalar(a as f64),
+                    Arg::scalar(nf),
+                ],
+            ),
+            Step::Axpy { src, dst, a } => (
+                1,
+                vec![
+                    Arg::array(&arrays[src]),
+                    Arg::array(&arrays[dst]),
+                    Arg::scalar(a as f64),
+                    Arg::scalar(nf),
+                ],
+            ),
+            Step::Copy { src, dst } => (
+                2,
+                vec![
+                    Arg::array(&arrays[src]),
+                    Arg::array(&arrays[dst]),
+                    Arg::scalar(nf),
+                ],
+            ),
+            Step::Dot { a, b, dst } => (
+                3,
+                vec![
+                    Arg::array(&arrays[a]),
+                    Arg::array(&arrays[b]),
+                    Arg::array(&arrays[dst]),
+                    Arg::scalar(nf),
+                ],
+            ),
+            Step::HostRead { .. } | Step::HostFill { .. } => {
+                unreachable!("kernel-only programs")
+            }
+        })
+        .collect();
+    let t0 = g.now();
+    if batch {
+        let batch_calls: Vec<BatchLaunch<'_>> = calls
+            .iter()
+            .map(|(ki, args)| BatchLaunch {
+                kernel: &kernels[*ki],
+                grid,
+                args,
+            })
+            .collect();
+        g.launch_batch(&batch_calls).unwrap();
+    } else {
+        for (ki, args) in &calls {
+            kernels[*ki].launch(grid, args).unwrap();
+        }
+    }
+    let submit_time = g.now() - t0;
+    g.sync();
+    (
+        arrays.iter().map(|a| a.to_vec_f32()).collect(),
+        timeline_sig(&g),
+        g.now().to_bits(),
+        g.races().len(),
+        submit_time,
+    )
 }
 
 /// Execute a program and return the final contents of every array.
@@ -151,6 +304,62 @@ fn run_program(steps: &[Step], opts: Options, dev: DeviceProfile) -> (Vec<Vec<f3
     (arrays.iter().map(|a| a.to_vec_f32()).collect(), races)
 }
 
+/// With real overheads, a batch pays the host API + scheduling charge
+/// once instead of once per launch: submission time must shrink by
+/// roughly the batch size.
+#[test]
+fn batched_submission_amortizes_host_overheads() {
+    let steps: Vec<Step> = (0..24)
+        .map(|i| Step::Scale {
+            src: i % 2,
+            dst: 2 + (i % 2),
+            a: 2,
+        })
+        .collect();
+    let dev = DeviceProfile::tesla_p100();
+    let (s_arrays, _, _, _, serial_submit) = run_kernel_program(&steps, dev.clone(), false);
+    let (b_arrays, _, _, _, batch_submit) = run_kernel_program(&steps, dev, true);
+    assert_eq!(s_arrays, b_arrays, "amortization must not change results");
+    assert!(
+        batch_submit < serial_submit / 8.0,
+        "batch submission {batch_submit} vs serial {serial_submit}"
+    );
+}
+
+/// The whole batch is validated before anything is submitted: a bad
+/// call anywhere in the batch means nothing enters the DAG.
+#[test]
+fn launch_batch_validates_before_submitting() {
+    let g = GrCuda::new(DeviceProfile::tesla_p100(), Options::parallel());
+    let x = g.array_f32(ARRAY_LEN);
+    let y = g.array_f32(ARRAY_LEN);
+    let cp = g.build_kernel(&COPY_F32).unwrap();
+    let grid = Grid::d1(16, 64);
+    let good = [
+        Arg::array(&x),
+        Arg::array(&y),
+        Arg::scalar(ARRAY_LEN as f64),
+    ];
+    let bad = [Arg::array(&x)];
+    let calls = [
+        BatchLaunch {
+            kernel: &cp,
+            grid,
+            args: &good,
+        },
+        BatchLaunch {
+            kernel: &cp,
+            grid,
+            args: &bad,
+        },
+    ];
+    assert!(matches!(
+        g.launch_batch(&calls),
+        Err(crate::LaunchError::ArityMismatch { .. })
+    ));
+    assert_eq!(g.dag_len(), 0, "a rejected batch must submit nothing");
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
@@ -168,6 +377,27 @@ proptest! {
         prop_assert_eq!(races_s, 0);
         prop_assert_eq!(races_p, 0, "parallel scheduler raced on {:?}", steps);
         prop_assert_eq!(serial, parallel, "results diverged on {:?}", steps);
+    }
+
+    /// With the host-side charges zeroed, batched submission is
+    /// **bit-identical** to serial submission: same DAG-driven task
+    /// ids, streams, placements and exact start/end times — the batch
+    /// only removes host time, and here there is none to remove.
+    #[test]
+    fn batched_submission_is_bit_identical_under_zero_overheads(
+        steps in proptest::collection::vec(kernel_step_strategy(), 1..20),
+    ) {
+        let mut dev = DeviceProfile::tesla_p100();
+        dev.host_api_overhead = 0.0;
+        dev.sched_overhead = 0.0;
+        dev.event_overhead = 0.0;
+        let (s_arrays, s_sig, s_now, s_races, _) = run_kernel_program(&steps, dev.clone(), false);
+        let (b_arrays, b_sig, b_now, b_races, _) = run_kernel_program(&steps, dev, true);
+        prop_assert_eq!(s_races, 0);
+        prop_assert_eq!(b_races, 0, "batched submission raced on {:?}", steps);
+        prop_assert_eq!(&s_sig, &b_sig, "timelines diverged on {:?}", steps);
+        prop_assert_eq!(s_now, b_now, "final virtual time diverged on {:?}", steps);
+        prop_assert_eq!(s_arrays, b_arrays, "results diverged on {:?}", steps);
     }
 
     /// All stream policies agree with each other.

@@ -8,10 +8,8 @@
 //! on the parent's stream to minimize synchronization events, while
 //! following children are scheduled on other streams."
 
-use std::collections::{HashMap, HashSet};
-
 use cuda_sim::{Cuda, StreamId};
-use dag::VertexId;
+use dag::{DenseMap, DenseSet, VertexId};
 
 use crate::options::{DepStreamPolicy, StreamReusePolicy};
 use crate::policy::{
@@ -29,9 +27,10 @@ pub struct StreamManager {
     pools: Vec<Vec<StreamId>>,
     /// Parents whose stream has already been claimed by a child. Entries
     /// are dropped when the parent retires ([`StreamManager::forget`] /
-    /// [`StreamManager::forget_all`]), so the map tracks the live
-    /// frontier, not every launch ever made.
-    claimed: HashSet<VertexId>,
+    /// [`StreamManager::forget_all`]), so the set tracks the live
+    /// frontier, not every launch ever made — which is exactly the
+    /// sliding id window the hash-free [`DenseSet`] is built for.
+    claimed: DenseSet<VertexId>,
     /// How many streams were created in total (stat for the tests and
     /// the Fig. 6 stream-count checks).
     created: usize,
@@ -49,7 +48,7 @@ impl StreamManager {
         StreamManager {
             policy,
             pools: Vec::new(),
-            claimed: HashSet::new(),
+            claimed: DenseSet::new(),
             created: 0,
         }
     }
@@ -78,7 +77,7 @@ impl StreamManager {
         vertex: VertexId,
         device: u32,
         deps: &[VertexId],
-        stream_of: &HashMap<VertexId, StreamId>,
+        stream_of: &DenseMap<VertexId, StreamId>,
         cuda: &Cuda,
     ) -> StreamId {
         let _ = vertex;
@@ -87,9 +86,9 @@ impl StreamManager {
         }
         let parents: Vec<ParentStream> = deps
             .iter()
-            .filter_map(|d| {
+            .filter_map(|&d| {
                 stream_of.get(d).map(|&s| ParentStream {
-                    vertex: *d,
+                    vertex: d,
                     stream: s,
                     claimed: self.claimed.contains(d),
                 })
@@ -125,7 +124,7 @@ impl StreamManager {
     /// candidates for reuse through the emptiness poll anyway; this just
     /// bounds the map).
     pub fn forget(&mut self, vertices: &[VertexId]) {
-        for v in vertices {
+        for &v in vertices {
             self.claimed.remove(v);
         }
     }
@@ -157,7 +156,7 @@ mod tests {
     fn independent_computations_get_distinct_streams() {
         let c = cuda();
         let mut m = mgr();
-        let map = HashMap::new();
+        let map = DenseMap::new();
         let s1 = m.assign(VertexId(0), 0, &[], &map, &c);
         // Make s1 busy so it cannot be reused.
         let a = c.alloc_f32(16);
@@ -198,7 +197,7 @@ mod tests {
     fn first_child_inherits_parent_stream_second_does_not() {
         let c = cuda();
         let mut m = mgr();
-        let mut map = HashMap::new();
+        let mut map = DenseMap::new();
         let p = VertexId(0);
         let sp = m.assign(p, 0, &[], &map, &c);
         map.insert(p, sp);
@@ -213,7 +212,7 @@ mod tests {
     fn empty_streams_are_reused_in_fifo_order() {
         let c = cuda();
         let mut m = mgr();
-        let map = HashMap::new();
+        let map = DenseMap::new();
         let s1 = m.assign(VertexId(0), 0, &[], &map, &c);
         // Nothing was ever launched on s1 → it is empty → reused.
         let s2 = m.assign(VertexId(1), 0, &[], &map, &c);
@@ -225,7 +224,7 @@ mod tests {
     fn always_parent_policy_reuses_for_every_child() {
         let c = cuda();
         let mut m = StreamManager::new(DepStreamPolicy::AlwaysParent, StreamReusePolicy::FifoReuse);
-        let mut map = HashMap::new();
+        let mut map = DenseMap::new();
         let p = VertexId(0);
         let sp = m.assign(p, 0, &[], &map, &c);
         map.insert(p, sp);
@@ -237,7 +236,7 @@ mod tests {
     fn always_new_reuse_policy_never_reuses() {
         let c = cuda();
         let mut m = StreamManager::new(DepStreamPolicy::AlwaysNew, StreamReusePolicy::AlwaysNew);
-        let map = HashMap::new();
+        let map = DenseMap::new();
         let s1 = m.assign(VertexId(0), 0, &[], &map, &c);
         let s2 = m.assign(VertexId(1), 0, &[], &map, &c);
         assert_ne!(s1, s2);
@@ -248,7 +247,7 @@ mod tests {
     fn fifo_reuse_picks_the_oldest_empty_stream() {
         let c = cuda();
         let mut m = mgr();
-        let map = HashMap::new();
+        let map = DenseMap::new();
         // Force three distinct streams into the pool by keeping each busy
         // while the next one is assigned.
         let s1 = m.assign(VertexId(0), 0, &[], &map, &c);
@@ -270,7 +269,7 @@ mod tests {
     fn busy_streams_become_reusable_after_drain() {
         let c = cuda();
         let mut m = mgr();
-        let map = HashMap::new();
+        let map = DenseMap::new();
         let s1 = m.assign(VertexId(0), 0, &[], &map, &c);
         make_busy(&c, s1);
         // While s1 is busy a new stream is created...
@@ -288,7 +287,7 @@ mod tests {
     fn child_of_two_parents_claims_first_unclaimed_parent() {
         let c = cuda();
         let mut m = mgr();
-        let mut map = HashMap::new();
+        let mut map = DenseMap::new();
         let (pa, pb) = (VertexId(0), VertexId(1));
         let sa = m.assign(pa, 0, &[], &map, &c);
         map.insert(pa, sa);
@@ -309,7 +308,7 @@ mod tests {
     fn first_child_rule_tracks_claims_per_parent() {
         let c = cuda();
         let mut m = mgr();
-        let mut map = HashMap::new();
+        let mut map = DenseMap::new();
         // Two independent parents on two busy streams.
         let (pa, pb) = (VertexId(0), VertexId(1));
         let sa = m.assign(pa, 0, &[], &map, &c);
@@ -334,7 +333,7 @@ mod tests {
     fn forget_clears_claims() {
         let c = cuda();
         let mut m = mgr();
-        let mut map = HashMap::new();
+        let mut map = DenseMap::new();
         let p = VertexId(0);
         let sp = m.assign(p, 0, &[], &map, &c);
         map.insert(p, sp);
