@@ -1,3 +1,6 @@
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 //! # bench — experiment harness reproducing every table and figure
 //!
 //! One binary per paper artifact (run with `cargo run --release -p bench

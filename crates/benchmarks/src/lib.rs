@@ -1,3 +1,6 @@
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 //! # benchmarks — the paper's 6 task-parallel benchmarks
 //!
 //! Each benchmark (§V-B, Fig. 6) is described once as a device-agnostic

@@ -1,3 +1,6 @@
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 //! # cuda-sim — a CUDA-runtime-shaped API over the [`gpu_sim`] engine
 //!
 //! This crate plays the role the CUDA Runtime/Driver API plays in the

@@ -85,6 +85,12 @@ pub fn to_dot(dag: &ComputationDag, title: &str) -> String {
                 ));
                 attrs.push_str(", style=bold, color=red");
             }
+        } else if e.redundant {
+            // Transitively-covered edge (see
+            // [`crate::graph::ComputationDag::mark_redundant_edges`]):
+            // kept for bookkeeping, rendered de-emphasized.
+            label.push_str("\\n(redundant)");
+            attrs.push_str(", style=dashed, color=gray");
         } else if e.read_only {
             attrs.push_str(", style=dashed");
         }
@@ -301,6 +307,34 @@ mod tests {
         dag.annotate_evict(crate::vertex::VertexId(7), Value(0), 64, false);
         dag.annotate_prefetch(crate::vertex::VertexId(7), Value(0), 64);
         assert!(dag.mem_notes().is_empty());
+    }
+
+    #[test]
+    fn redundant_edges_render_dashed_gray() {
+        // K1 writes X,Y; K2 reads X writes Z; K3 reads Y,Z — the direct
+        // K1→K3 edge is covered by the K1→K2→K3 path and must render
+        // de-emphasized once stamped.
+        let mut dag = ComputationDag::new();
+        let (_, _) = dag.add_computation(
+            ElementKind::Kernel,
+            "K1",
+            vec![ArgAccess::write(Value(0)), ArgAccess::write(Value(1))],
+        );
+        let (_, _) = dag.add_computation(
+            ElementKind::Kernel,
+            "K2",
+            vec![ArgAccess::read(Value(0)), ArgAccess::write(Value(2))],
+        );
+        let (_, _) = dag.add_computation(
+            ElementKind::Kernel,
+            "K3",
+            vec![ArgAccess::read(Value(1)), ArgAccess::read(Value(2))],
+        );
+        assert!(!to_dot(&dag, "t").contains("redundant"), "not stamped yet");
+        assert_eq!(dag.mark_redundant_edges(), 1);
+        let dot = to_dot(&dag, "t");
+        assert_eq!(dot.matches("(redundant)").count(), 1);
+        assert_eq!(dot.matches("style=dashed, color=gray").count(), 1);
     }
 
     #[test]

@@ -23,6 +23,13 @@ pub struct DepEdge {
     /// false for host-mediated migrations (meaningful only when
     /// `migrated_bytes > 0`).
     pub p2p: bool,
+    /// True when the edge is individually redundant: a parallel edge or
+    /// transitive path orders the same pair, so dropping just this edge
+    /// changes nothing. Stamped by
+    /// [`ComputationDag::mark_redundant_edges`] (false until then);
+    /// informational only — rendered dashed gray by [`crate::to_dot`]
+    /// and counted by the schedule sanitizer's minimality check.
+    pub redundant: bool,
 }
 
 /// A memory-manager action attributed to a computation — the eviction
@@ -162,6 +169,11 @@ impl ComputationDag {
     /// endpoints were compacted are dropped with them).
     pub fn edges(&self) -> &[DepEdge] {
         &self.edges
+    }
+
+    /// Mutable view of the stored edges, for the redundancy stamper.
+    pub(crate) fn edges_mut(&mut self) -> &mut [DepEdge] {
+        &mut self.edges
     }
 
     /// The current frontier: active vertices whose dependency set is not
@@ -411,6 +423,7 @@ impl ComputationDag {
             read_only,
             migrated_bytes: 0,
             p2p: false,
+            redundant: false,
         });
     }
 

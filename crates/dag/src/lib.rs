@@ -1,3 +1,6 @@
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 //! # dag — the computation DAG with automatic dependency inference
 //!
 //! This crate implements §IV-A of the paper: GPU-touching operations
@@ -52,11 +55,13 @@
 pub mod dense;
 pub mod dot;
 pub mod graph;
+pub mod reach;
 pub mod vertex;
 
 pub use dense::{DenseKey, DenseMap, DenseSet};
 pub use dot::to_dot;
 pub use graph::{ComputationDag, DepEdge, MemNote, MemNoteKind};
+pub use reach::Reachability;
 pub use vertex::{ArgAccess, ElementKind, Value, Vertex, VertexId};
 
 #[cfg(test)]

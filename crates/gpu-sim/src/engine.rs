@@ -453,20 +453,38 @@ impl Engine {
             }
             let other = &self.tasks[self.slot(j)];
             debug_assert!(matches!(other.phase, Phase::Latent | Phase::Active(_)));
+            let new = &self.tasks[new_idx];
             if let Some(r) = check_conflict(
                 self.now,
-                &other.label,
-                &other.reads,
-                &other.writes,
-                &self.tasks[new_idx].label,
-                &self.tasks[new_idx].reads,
-                &self.tasks[new_idx].writes,
+                &crate::race::TaskAccess {
+                    label: &other.label,
+                    device: other.device,
+                    stream: other.stream,
+                    reads: &other.reads,
+                    writes: &other.writes,
+                },
+                &crate::race::TaskAccess {
+                    label: &new.label,
+                    device: new.device,
+                    stream: new.stream,
+                    reads: &new.reads,
+                    writes: &new.writes,
+                },
             ) {
                 found.push(r);
             }
         }
-        self.stats.races += found.len();
-        self.races.extend(found);
+        // Dedup repeated reports of the same conflicting pair: a broken
+        // scheduler re-racing the same kernels every iteration yields one
+        // report per (first, second, value), keeping `races` — and the
+        // `stats.races` counter, which always equals `races().len()` —
+        // bounded by the number of distinct conflicts.
+        for r in found {
+            if !self.races.iter().any(|seen| seen.same_pair(&r)) {
+                self.stats.races += 1;
+                self.races.push(r);
+            }
+        }
     }
 
     /// Record that a task entered or left the active set: its device —
@@ -1289,6 +1307,42 @@ mod tests {
         e.sync_all();
         assert_eq!(e.races().len(), 1);
         assert!(e.races()[0].write_write);
+    }
+
+    #[test]
+    fn repeated_racing_pairs_are_deduplicated() {
+        use crate::data::ValueId;
+        let mut e = Engine::new(dev());
+        let v = ValueId(1);
+        let w = ValueId(2);
+        // The same conflicting pair over and over: one report, not ten.
+        for _ in 0..10 {
+            for (label, stream) in [("w1", 0), ("w2", 1)] {
+                let _ = e.submit(
+                    TaskSpec::kernel(label, stream)
+                        .fluid(1e-3)
+                        .sm_frac(0.1)
+                        .writing(&[v]),
+                    &[],
+                );
+            }
+            e.sync_all();
+        }
+        assert_eq!(e.races().len(), 1, "repeated pair reported once");
+        assert_eq!(e.stats().races, e.races().len(), "counter stays in step");
+        // A distinct value makes a distinct pair again.
+        for (label, stream) in [("w1", 0), ("w2", 1)] {
+            let _ = e.submit(
+                TaskSpec::kernel(label, stream)
+                    .fluid(1e-3)
+                    .sm_frac(0.1)
+                    .writing(&[w]),
+                &[],
+            );
+        }
+        e.sync_all();
+        assert_eq!(e.races().len(), 2);
+        assert!(e.races().iter().any(|r| r.value == w));
     }
 
     #[test]

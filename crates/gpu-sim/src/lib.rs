@@ -1,3 +1,6 @@
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 //! # gpu-sim — a deterministic fluid-rate GPU simulator
 //!
 //! This crate is the hardware substrate for the grcuda-rs reproduction of

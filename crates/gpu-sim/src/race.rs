@@ -8,6 +8,12 @@
 //! scheduler produces zero reports on every benchmark (integration-tested);
 //! a deliberately broken scheduler (dependency inference disabled) must
 //! produce at least one (failure-injection tests).
+//!
+//! Reports carry the device and stream each party ran on, and the engine
+//! deduplicates repeated reports of the same `(first, second, value)`
+//! pair — a broken scheduler re-racing the same kernels every iteration
+//! yields one attributed report per conflicting pair, not an unbounded
+//! stream of copies.
 
 use crate::data::ValueId;
 use crate::Time;
@@ -22,21 +28,42 @@ pub struct RaceReport {
     pub value: ValueId,
     /// Label of the earlier-started task.
     pub first: String,
+    /// Device the earlier-started task ran on.
+    pub first_device: u32,
+    /// Stream the earlier-started task ran on.
+    pub first_stream: u32,
     /// Label of the later-started task.
     pub second: String,
+    /// Device the later-started task ran on.
+    pub second_device: u32,
+    /// Stream the later-started task ran on.
+    pub second_stream: u32,
     /// True if both tasks write (write/write); false for read/write.
     pub write_write: bool,
+}
+
+impl RaceReport {
+    /// Whether `other` reports the same conflicting pair on the same
+    /// value (ignoring when and where the overlap happened) — the
+    /// engine's dedup key for repeated races.
+    pub fn same_pair(&self, other: &RaceReport) -> bool {
+        self.value == other.value && self.first == other.first && self.second == other.second
+    }
 }
 
 impl std::fmt::Display for RaceReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "data race at t={:.6}s on value {:?}: `{}` and `{}` ({})",
+            "data race at t={:.6}s on value {:?}: `{}` (dev {} stream {}) and `{}` (dev {} stream {}) ({})",
             self.at,
             self.value,
             self.first,
+            self.first_device,
+            self.first_stream,
             self.second,
+            self.second_device,
+            self.second_stream,
             if self.write_write {
                 "write/write"
             } else {
@@ -46,49 +73,52 @@ impl std::fmt::Display for RaceReport {
     }
 }
 
+/// One task's identity and access sets, as race detection sees it.
+pub(crate) struct TaskAccess<'a> {
+    /// Task label (kernel name).
+    pub label: &'a str,
+    /// Device the task runs on.
+    pub device: u32,
+    /// Stream the task runs on.
+    pub stream: u32,
+    /// Values the task reads.
+    pub reads: &'a [ValueId],
+    /// Values the task writes.
+    pub writes: &'a [ValueId],
+}
+
 /// Check a starting task against one already-active task; returns a
 /// report if their access sets conflict.
 pub(crate) fn check_conflict(
     now: Time,
-    active_label: &str,
-    active_reads: &[ValueId],
-    active_writes: &[ValueId],
-    new_label: &str,
-    new_reads: &[ValueId],
-    new_writes: &[ValueId],
+    active: &TaskAccess<'_>,
+    new: &TaskAccess<'_>,
 ) -> Option<RaceReport> {
+    let report = |value: ValueId, write_write: bool| RaceReport {
+        at: now,
+        value,
+        first: active.label.to_string(),
+        first_device: active.device,
+        first_stream: active.stream,
+        second: new.label.to_string(),
+        second_device: new.device,
+        second_stream: new.stream,
+        write_write,
+    };
     // write/write first: it is the stronger report.
-    for w in new_writes {
-        if active_writes.contains(w) {
-            return Some(RaceReport {
-                at: now,
-                value: *w,
-                first: active_label.to_string(),
-                second: new_label.to_string(),
-                write_write: true,
-            });
+    for w in new.writes {
+        if active.writes.contains(w) {
+            return Some(report(*w, true));
         }
     }
-    for w in new_writes {
-        if active_reads.contains(w) {
-            return Some(RaceReport {
-                at: now,
-                value: *w,
-                first: active_label.to_string(),
-                second: new_label.to_string(),
-                write_write: false,
-            });
+    for w in new.writes {
+        if active.reads.contains(w) {
+            return Some(report(*w, false));
         }
     }
-    for r in new_reads {
-        if active_writes.contains(r) {
-            return Some(RaceReport {
-                at: now,
-                value: *r,
-                first: active_label.to_string(),
-                second: new_label.to_string(),
-                write_write: false,
-            });
+    for r in new.reads {
+        if active.writes.contains(r) {
+            return Some(report(*r, false));
         }
     }
     None
@@ -101,38 +131,83 @@ mod tests {
     const V: ValueId = ValueId(7);
     const W: ValueId = ValueId(8);
 
+    fn task<'a>(label: &'a str, reads: &'a [ValueId], writes: &'a [ValueId]) -> TaskAccess<'a> {
+        TaskAccess {
+            label,
+            device: 0,
+            stream: 0,
+            reads,
+            writes,
+        }
+    }
+
     #[test]
     fn read_read_is_fine() {
-        assert!(check_conflict(0.0, "a", &[V], &[], "b", &[V], &[]).is_none());
+        assert!(check_conflict(0.0, &task("a", &[V], &[]), &task("b", &[V], &[])).is_none());
     }
 
     #[test]
     fn write_write_detected() {
-        let r = check_conflict(1.0, "a", &[], &[V], "b", &[], &[V]).unwrap();
+        let r = check_conflict(1.0, &task("a", &[], &[V]), &task("b", &[], &[V])).unwrap();
         assert!(r.write_write);
         assert_eq!(r.value, V);
     }
 
     #[test]
     fn read_then_write_detected() {
-        let r = check_conflict(0.0, "a", &[V], &[], "b", &[], &[V]).unwrap();
+        let r = check_conflict(0.0, &task("a", &[V], &[]), &task("b", &[], &[V])).unwrap();
         assert!(!r.write_write);
     }
 
     #[test]
     fn write_then_read_detected() {
-        let r = check_conflict(0.0, "a", &[], &[V], "b", &[V], &[]).unwrap();
+        let r = check_conflict(0.0, &task("a", &[], &[V]), &task("b", &[V], &[])).unwrap();
         assert!(!r.write_write);
     }
 
     #[test]
     fn disjoint_values_are_fine() {
-        assert!(check_conflict(0.0, "a", &[V], &[V], "b", &[W], &[W]).is_none());
+        assert!(check_conflict(0.0, &task("a", &[V], &[V]), &task("b", &[W], &[W])).is_none());
+    }
+
+    #[test]
+    fn report_attributes_device_and_stream() {
+        let a = TaskAccess {
+            label: "k1",
+            device: 1,
+            stream: 3,
+            reads: &[],
+            writes: &[V],
+        };
+        let b = TaskAccess {
+            label: "k2",
+            device: 0,
+            stream: 5,
+            reads: &[V],
+            writes: &[],
+        };
+        let r = check_conflict(0.25, &a, &b).unwrap();
+        assert_eq!((r.first_device, r.first_stream), (1, 3));
+        assert_eq!((r.second_device, r.second_stream), (0, 5));
+        let s = r.to_string();
+        assert!(s.contains("dev 1 stream 3") && s.contains("dev 0 stream 5"));
+    }
+
+    #[test]
+    fn same_pair_ignores_time_and_placement() {
+        let r1 = check_conflict(0.5, &task("k1", &[], &[V]), &task("k2", &[], &[V])).unwrap();
+        let mut r2 = r1.clone();
+        r2.at = 9.0;
+        r2.first_stream = 4;
+        assert!(r1.same_pair(&r2));
+        let mut r3 = r1.clone();
+        r3.value = W;
+        assert!(!r1.same_pair(&r3));
     }
 
     #[test]
     fn display_is_readable() {
-        let r = check_conflict(0.5, "k1", &[], &[V], "k2", &[], &[V]).unwrap();
+        let r = check_conflict(0.5, &task("k1", &[], &[V]), &task("k2", &[], &[V])).unwrap();
         let s = r.to_string();
         assert!(s.contains("k1") && s.contains("k2") && s.contains("write/write"));
     }

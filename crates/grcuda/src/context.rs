@@ -57,6 +57,11 @@ pub(crate) struct Ctx {
     /// Reused per-device vectors for placement consultation: allocated
     /// once per runtime, not once per launch.
     pub place_scratch: PlaceScratch,
+    /// Declared-vs-actual effect metadata of every kernel built in this
+    /// context, consumed by the schedule sanitizer ([`GrCuda::audit`]).
+    /// Populated by [`GrCuda::build_kernel`]; never read on the launch
+    /// hot path.
+    pub effects: crate::audit::EffectsTable,
 }
 
 /// Scratch buffers behind [`crate::PlacementCtx`]: the per-device
@@ -222,6 +227,7 @@ impl GrCuda {
                 harvest_floor: HARVEST_FLOOR_MIN,
                 timeline_cursor: 0,
                 place_scratch: PlaceScratch::default(),
+                effects: crate::audit::EffectsTable::new(),
             })),
         }
     }
@@ -342,6 +348,9 @@ impl GrCuda {
     /// its NIDL signature (GrCUDA's `buildkernel(code, name, signature)`).
     pub fn build_kernel(&self, def: &KernelDef) -> Result<Kernel, NidlError> {
         let sig = Signature::parse(def.nidl)?;
+        // Feed the schedule sanitizer: what this kernel declares vs what
+        // its implementation actually writes.
+        self.inner.borrow_mut().effects.register(def, &sig);
         Ok(Kernel {
             ctx: self.clone(),
             def: *def,
@@ -359,9 +368,57 @@ impl GrCuda {
     /// scheduler's footprint is back to its empty-frontier baseline no
     /// matter how many launches preceded it.
     pub fn sync(&self) {
+        // Debug builds audit the schedule before it is retired away:
+        // every violation the sanitizer can prove statically panics the
+        // test that produced it. Compiled out in release, so the soak
+        // throughput floor never pays for it.
+        #[cfg(debug_assertions)]
+        self.debug_audit_on_sync();
         let mut ctx = self.inner.borrow_mut();
         ctx.cuda.device_sync();
         ctx.retire_everything();
+    }
+
+    /// The debug-mode half of [`GrCuda::sync`]: audit unless the user
+    /// opted out or inference is off (failure injection would trip it
+    /// by design — those runs audit explicitly and assert on the
+    /// violation class instead).
+    #[cfg(debug_assertions)]
+    fn debug_audit_on_sync(&self) {
+        let enabled = {
+            let ctx = self.inner.borrow();
+            ctx.options.audit_on_sync && ctx.options.infer_dependencies
+        };
+        if enabled {
+            let report = self.audit();
+            assert!(
+                report.is_clean(),
+                "schedule sanitizer found violations at sync():\n{report}"
+            );
+        }
+    }
+
+    /// Run the schedule sanitizer over the current DAG: prove every
+    /// conflicting access pair ordered (soundness), cross-check NIDL
+    /// `const` annotations against the kernels' declared write effects
+    /// (signature honesty), count transitively-redundant edges
+    /// (minimality — also stamped on the edges, so a subsequent
+    /// [`GrCuda::dag_dot`] renders them dashed gray) and surface
+    /// dead-write / never-read liveness lints. See [`crate::audit`].
+    ///
+    /// With dependency inference disabled the audit automatically
+    /// switches to [`crate::EdgeView::KernelDepsDropped`] — the edges
+    /// the crippled scheduler actually honored — so failure-injection
+    /// runs can assert that every dynamic race has a static counterpart.
+    pub fn audit(&self) -> crate::audit::AuditReport {
+        let mut ctx = self.inner.borrow_mut();
+        ctx.dag.mark_redundant_edges();
+        let view = if ctx.options.infer_dependencies {
+            crate::audit::EdgeView::Full
+        } else {
+            crate::audit::EdgeView::KernelDepsDropped
+        };
+        crate::audit::audit_dag(&ctx.dag, &ctx.effects, view)
     }
 
     /// Fold completed kernel executions into the per-kernel history

@@ -1,3 +1,6 @@
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 //! # grcuda — the paper's runtime scheduler
 //!
 //! This crate is the reproduction of the paper's contribution (§IV): a
@@ -54,6 +57,7 @@
 //! ```
 
 pub mod array;
+pub mod audit;
 pub mod context;
 pub mod history;
 pub mod kernel;
@@ -65,6 +69,10 @@ pub mod policy;
 pub mod stream_manager;
 
 pub use array::DeviceArray;
+pub use audit::{
+    audit_dag, AuditReport, ConflictKind, EdgeView, EffectsTable, KernelEffects, Lint, LintKind,
+    ScheduleViolation,
+};
 pub use context::{GrCuda, SchedulerStats};
 pub use history::KernelHistory;
 pub use kernel::{Arg, BatchLaunch, Kernel, LaunchError};

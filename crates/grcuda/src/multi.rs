@@ -379,6 +379,12 @@ impl MultiGpu {
     pub fn dag_dot(&self, title: &str) -> String {
         self.g.dag_dot(title)
     }
+
+    /// Run the schedule sanitizer over the multi-GPU schedule (same
+    /// unified DAG core as the single-GPU path; see [`GrCuda::audit`]).
+    pub fn audit(&self) -> crate::audit::AuditReport {
+        self.g.audit()
+    }
 }
 
 /// A multi-GPU launch argument.

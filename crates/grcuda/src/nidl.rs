@@ -91,6 +91,12 @@ pub enum NidlParam {
         ty: NidlType,
         /// True for `const`/`in` parameters: the kernel only reads it.
         read_only: bool,
+        /// True for `out`-annotated parameters: the kernel overwrites the
+        /// array without reading it. A plain (unannotated) writable
+        /// pointer is treated as `inout` — it *may* read what it
+        /// overwrites — so only pure `out` parameters let the schedule
+        /// sanitizer prove an earlier write dead.
+        declared_out: bool,
     },
     /// A scalar passed by copy — never a dependency source.
     Scalar {
@@ -117,6 +123,17 @@ impl NidlParam {
             }
         )
     }
+
+    /// Is this parameter a pure-`out` pointer (overwritten, never read)?
+    pub fn is_declared_out(&self) -> bool {
+        matches!(
+            self,
+            NidlParam::Pointer {
+                declared_out: true,
+                ..
+            }
+        )
+    }
 }
 
 /// A fully parsed kernel signature.
@@ -131,11 +148,28 @@ pub struct Signature {
 pub struct NidlError {
     /// Human-readable description with the offending parameter.
     pub message: String,
+    /// Byte offset of the offending token (or parameter) within the
+    /// signature string. Signatures are single-line, so the 1-based
+    /// column is `offset + 1`.
+    pub offset: usize,
+}
+
+impl NidlError {
+    /// 1-based column of the offending token (signatures are one line).
+    pub fn column(&self) -> usize {
+        self.offset + 1
+    }
 }
 
 impl fmt::Display for NidlError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "NIDL parse error: {}", self.message)
+        write!(
+            f,
+            "NIDL parse error at byte {} (column {}): {}",
+            self.offset,
+            self.column(),
+            self.message
+        )
     }
 }
 
@@ -145,31 +179,52 @@ impl Signature {
     /// Parse a NIDL signature string.
     pub fn parse(s: &str) -> Result<Signature, NidlError> {
         let mut params = Vec::new();
-        for (i, raw) in s.split(',').enumerate() {
-            let raw = raw.trim();
+        let mut pos = 0usize;
+        for (i, seg) in s.split(',').enumerate() {
+            let seg_start = pos;
+            pos += seg.len() + 1; // past this segment and its comma
+            let raw = seg.trim();
             if raw.is_empty() {
                 return Err(NidlError {
                     message: format!("parameter {i} is empty in `{s}`"),
+                    offset: seg_start,
                 });
             }
-            params.push(Self::parse_param(raw, i)?);
+            // Byte offset of the trimmed parameter within `s`; every
+            // token inside `raw` is a subslice of `s`, so token offsets
+            // fall out of pointer arithmetic against `s` below.
+            let param_start = seg_start + (seg.len() - seg.trim_start().len());
+            params.push(Self::parse_param(s, raw, param_start, i)?);
         }
         Ok(Signature { params })
     }
 
-    fn parse_param(raw: &str, index: usize) -> Result<NidlParam, NidlError> {
+    fn parse_param(
+        full: &str,
+        raw: &str,
+        param_start: usize,
+        index: usize,
+    ) -> Result<NidlParam, NidlError> {
+        // Byte offset of a token (a subslice of `full`) within `full`.
+        let offset_of = |tok: &str| tok.as_ptr() as usize - full.as_ptr() as usize;
+        debug_assert_eq!(offset_of(raw), param_start);
         // Optional `name :` prefix.
         let (name, rest) = match raw.split_once(':') {
             Some((n, r)) => (Some(n.trim().to_string()), r.trim()),
             None => (None, raw),
         };
         let mut read_only = false;
+        let mut declared_out = false;
         let mut is_pointer = false;
         let mut ty: Option<NidlType> = None;
         for tok in rest.split_whitespace() {
             match tok {
                 "const" | "in" => read_only = true,
-                "out" | "inout" => read_only = false,
+                "out" => {
+                    read_only = false;
+                    declared_out = true;
+                }
+                "inout" => read_only = false,
                 "pointer" => is_pointer = true,
                 "ptr" => {
                     is_pointer = true;
@@ -180,6 +235,7 @@ impl Signature {
                         if ty.is_some() && ty != Some(NidlType::Untyped) {
                             return Err(NidlError {
                                 message: format!("parameter {index} `{raw}` has two types"),
+                                offset: offset_of(tok),
                             });
                         }
                         ty = Some(t);
@@ -189,6 +245,7 @@ impl Signature {
                             message: format!(
                                 "unknown token `{other}` in parameter {index} `{raw}`"
                             ),
+                            offset: offset_of(tok),
                         })
                     }
                 },
@@ -196,12 +253,14 @@ impl Signature {
         }
         let ty = ty.ok_or_else(|| NidlError {
             message: format!("parameter {index} `{raw}` has no type"),
+            offset: param_start,
         })?;
         if is_pointer {
             Ok(NidlParam::Pointer {
                 name,
                 ty,
                 read_only,
+                declared_out,
             })
         } else {
             if read_only {
@@ -209,6 +268,7 @@ impl Signature {
                     message: format!(
                         "parameter {index} `{raw}` is a const scalar — scalars are always by-copy"
                     ),
+                    offset: param_start,
                 });
             }
             Ok(NidlParam::Scalar { name, ty })
@@ -309,6 +369,48 @@ mod tests {
     #[test]
     fn rejects_empty_params() {
         assert!(Signature::parse("float,,sint32").is_err());
+    }
+
+    #[test]
+    fn parses_pure_out_qualifier() {
+        let sig =
+            Signature::parse("out pointer float, inout pointer float, pointer float").unwrap();
+        assert!(sig.params[0].is_declared_out());
+        assert!(!sig.params[0].is_read_only());
+        assert!(!sig.params[1].is_declared_out(), "inout may read");
+        assert!(!sig.params[2].is_declared_out(), "plain pointer is inout");
+        assert!(!Signature::parse("const ptr").unwrap().params[0].is_declared_out());
+    }
+
+    #[test]
+    fn errors_carry_the_offending_tokens_byte_offset() {
+        let src = "pointer float, pointer quux";
+        let err = Signature::parse(src).unwrap_err();
+        assert_eq!(err.offset, src.find("quux").unwrap());
+        assert_eq!(err.column(), err.offset + 1);
+
+        // Second type token, not the first, is the offender.
+        let src = "x: pointer float sint32";
+        let err = Signature::parse(src).unwrap_err();
+        assert_eq!(err.offset, src.find("sint32").unwrap());
+
+        // Structural errors point at the parameter start.
+        let src = "float,  const pointer";
+        let err = Signature::parse(src).unwrap_err();
+        assert_eq!(err.offset, src.find("const").unwrap());
+        let src = "float,,sint32";
+        assert_eq!(Signature::parse(src).unwrap_err().offset, 6);
+    }
+
+    #[test]
+    fn error_rendering_names_byte_and_column() {
+        let err = Signature::parse("const ptr, bogus ptr").unwrap_err();
+        let rendered = err.to_string();
+        assert_eq!(
+            rendered,
+            "NIDL parse error at byte 11 (column 12): unknown token `bogus` \
+             in parameter 1 `bogus ptr`"
+        );
     }
 
     #[test]

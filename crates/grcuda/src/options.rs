@@ -77,6 +77,14 @@ pub struct Options {
     /// race detector — the negative control showing the dependency
     /// machinery is load-bearing.
     pub infer_dependencies: bool,
+    /// Debug-mode schedule sanitizer (default `true`). When enabled,
+    /// debug builds run [`crate::GrCuda::audit`] on every
+    /// [`crate::GrCuda::sync`] (before the DAG is retired) and panic on
+    /// any [`crate::ScheduleViolation`]. Compiled out entirely in
+    /// release builds, so the launch hot path never pays for it; has no
+    /// effect when `infer_dependencies` is off (failure-injection runs
+    /// audit explicitly instead).
+    pub audit_on_sync: bool,
 }
 
 impl Options {
@@ -89,6 +97,7 @@ impl Options {
             prefetch: PrefetchPolicy::Auto,
             visibility_restriction: true,
             infer_dependencies: true,
+            audit_on_sync: true,
         }
     }
 
@@ -101,6 +110,7 @@ impl Options {
             prefetch: PrefetchPolicy::None,
             visibility_restriction: true,
             infer_dependencies: true,
+            audit_on_sync: true,
         }
     }
 
@@ -132,6 +142,13 @@ impl Options {
     /// see [`Options::infer_dependencies`]).
     pub fn without_dependency_inference(mut self) -> Self {
         self.infer_dependencies = false;
+        self
+    }
+
+    /// Builder-style: toggle the debug-mode sanitizer run on every
+    /// `sync()` (see [`Options::audit_on_sync`]).
+    pub fn with_sync_audit(mut self, on: bool) -> Self {
+        self.audit_on_sync = on;
         self
     }
 

@@ -400,6 +400,125 @@ proptest! {
         prop_assert_eq!(s_arrays, b_arrays, "results diverged on {:?}", steps);
     }
 
+    /// No false positives: the audit of a correctly-inferred schedule is
+    /// clean on any random program, under every placement policy. (The
+    /// sanitizer re-derives the ordering obligations independently from
+    /// the access modes, so agreement here is two implementations
+    /// cross-checking each other over program space.)
+    #[test]
+    fn audit_of_inferred_schedule_is_clean_under_all_policies(
+        steps in proptest::collection::vec(kernel_step_strategy(), 1..16),
+    ) {
+        use crate::{MultiArg, MultiGpu, PlacementPolicy};
+        for policy in PlacementPolicy::ALL {
+            let mut mg = MultiGpu::new(
+                DeviceProfile::tesla_p100(),
+                2,
+                Options::parallel(),
+                policy,
+            );
+            let arrays: Vec<_> = (0..N_ARRAYS).map(|_| mg.array_f32(ARRAY_LEN)).collect();
+            let grid = Grid::d1(16, 64);
+            let nf = ARRAY_LEN as f64;
+            for s in &steps {
+                let (def, args) = match *s {
+                    Step::Scale { src, dst, a } => (&SCALE, vec![
+                        MultiArg::Array(arrays[src].clone()),
+                        MultiArg::Array(arrays[dst].clone()),
+                        MultiArg::Scalar(a as f64),
+                        MultiArg::Scalar(nf),
+                    ]),
+                    Step::Axpy { src, dst, a } => (&AXPY, vec![
+                        MultiArg::Array(arrays[src].clone()),
+                        MultiArg::Array(arrays[dst].clone()),
+                        MultiArg::Scalar(a as f64),
+                        MultiArg::Scalar(nf),
+                    ]),
+                    Step::Copy { src, dst } => (&COPY_F32, vec![
+                        MultiArg::Array(arrays[src].clone()),
+                        MultiArg::Array(arrays[dst].clone()),
+                        MultiArg::Scalar(nf),
+                    ]),
+                    Step::Dot { a, b, dst } => (&DOT, vec![
+                        MultiArg::Array(arrays[a].clone()),
+                        MultiArg::Array(arrays[b].clone()),
+                        MultiArg::Array(arrays[dst].clone()),
+                        MultiArg::Scalar(nf),
+                    ]),
+                    Step::HostRead { .. } | Step::HostFill { .. } => {
+                        unreachable!("kernel-only programs")
+                    }
+                };
+                mg.launch(def, grid, &args).unwrap();
+            }
+            // Audit before the sync retires the schedule away.
+            let report = mg.audit();
+            prop_assert!(
+                report.is_clean(),
+                "{policy:?} audit found violations on {steps:?}:\n{report}"
+            );
+            prop_assert!(report.dead_writes.is_empty(), "{policy:?}:\n{report}");
+            mg.sync();
+            prop_assert_eq!(mg.races(), 0, "{:?}", policy);
+        }
+    }
+
+    /// No false negatives: deleting any single load-bearing (non-
+    /// redundant) inferred edge always produces at least one violation
+    /// naming exactly that edge's endpoints.
+    #[test]
+    fn deleting_one_inferred_edge_is_always_caught(
+        ops in proptest::collection::vec(
+            (proptest::collection::vec(proptest::bool::ANY, 4..5), 0..4usize),
+            2..20,
+        ),
+        pick in 0..1usize << 30,
+    ) {
+        use dag::{ArgAccess, ComputationDag, ElementKind, Reachability, Value};
+        use crate::audit::{audit_dag, EdgeView, EffectsTable, ScheduleViolation};
+        let mut d = ComputationDag::new();
+        for (mask, written) in &ops {
+            // One access per value; the `written` value writes, the rest
+            // of the mask reads — every op touches at least one value.
+            let args: Vec<ArgAccess> = (0..4)
+                .filter_map(|v| {
+                    if v == *written {
+                        Some(ArgAccess::write(Value(v as u64)))
+                    } else if mask[v] {
+                        Some(ArgAccess::read(Value(v as u64)))
+                    } else {
+                        None
+                    }
+                })
+                .collect();
+            d.add_computation(ElementKind::Kernel, "K", args);
+        }
+        let effects = EffectsTable::new();
+        let full = audit_dag(&d, &effects, EdgeView::Full);
+        prop_assert!(full.is_clean(), "{full}");
+
+        let flags = Reachability::new(&d).redundant_edges(&d);
+        let load_bearing: Vec<usize> = (0..d.edges().len())
+            .filter(|&k| !flags[k])
+            .collect();
+        if load_bearing.is_empty() {
+            return Ok(()); // every edge covered elsewhere: nothing to delete
+        }
+        let k = load_bearing[pick % load_bearing.len()];
+        let e = &d.edges()[k];
+        let report = audit_dag(&d, &effects, EdgeView::Without(k));
+        let names_the_pair = report.violations.iter().any(|v| matches!(
+            v,
+            ScheduleViolation::UnorderedConflict { first, second, .. }
+                if *first == e.from && *second == e.to
+        ));
+        prop_assert!(
+            names_the_pair,
+            "deleting edge {k} ({:?}→{:?} on {:?}) went unnoticed:\n{report}",
+            e.from, e.to, e.value
+        );
+    }
+
     /// All stream policies agree with each other.
     #[test]
     fn all_policies_agree_on_random_programs(

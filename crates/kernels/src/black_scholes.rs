@@ -24,6 +24,7 @@ pub static BLACK_SCHOLES: KernelDef = KernelDef {
     nidl: "const pointer double, pointer double, sint32, double, double, double, double",
     func: bs_func,
     cost: bs_cost,
+    writes: &[false, true],
 };
 
 /// Cumulative normal distribution via the Abramowitz–Stegun polynomial

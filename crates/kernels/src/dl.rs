@@ -23,6 +23,7 @@ pub static CONV2D: KernelDef = KernelDef {
            sint32, sint32, sint32, sint32, sint32",
     func: conv2d_func,
     cost: conv2d_cost,
+    writes: &[false, false, true],
 };
 
 /// Output spatial size of a valid convolution.
@@ -88,6 +89,7 @@ pub static POOL2D: KernelDef = KernelDef {
     nidl: "const pointer float, pointer float, sint32, sint32, sint32",
     func: pool2d_func,
     cost: pool2d_cost,
+    writes: &[false, true],
 };
 
 fn pool2d_func(bufs: &[DataBuffer], scalars: &[f64]) {
@@ -121,6 +123,7 @@ pub static GAP: KernelDef = KernelDef {
     nidl: "const pointer float, pointer float, sint32, sint32",
     func: gap_func,
     cost: gap_cost,
+    writes: &[false, true],
 };
 
 fn gap_func(bufs: &[DataBuffer], scalars: &[f64]) {
@@ -147,6 +150,7 @@ pub static CONCAT: KernelDef = KernelDef {
     nidl: "const pointer float, const pointer float, pointer float, sint32, sint32",
     func: concat_func,
     cost: concat_cost,
+    writes: &[false, false, true],
 };
 
 fn concat_func(bufs: &[DataBuffer], scalars: &[f64]) {
@@ -171,6 +175,7 @@ pub static DENSE: KernelDef = KernelDef {
     nidl: "const pointer float, const pointer float, pointer float, sint32",
     func: dense_func,
     cost: dense_cost,
+    writes: &[false, false, true],
 };
 
 fn dense_func(bufs: &[DataBuffer], scalars: &[f64]) {

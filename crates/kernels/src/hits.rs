@@ -24,6 +24,7 @@ pub static SPMV: KernelDef = KernelDef {
            const pointer float, pointer float, sint32",
     func: spmv_func,
     cost: spmv_cost,
+    writes: &[false, false, false, false, true],
 };
 
 fn spmv_func(bufs: &[DataBuffer], scalars: &[f64]) {
@@ -66,6 +67,7 @@ pub static SUM_REDUCE: KernelDef = KernelDef {
     nidl: "const pointer float, pointer float, sint32",
     func: sum_func,
     cost: sum_cost,
+    writes: &[false, true],
 };
 
 fn sum_func(bufs: &[DataBuffer], scalars: &[f64]) {
@@ -86,6 +88,7 @@ pub static DIVIDE: KernelDef = KernelDef {
     nidl: "const pointer float, const pointer float, pointer float, sint32",
     func: divide_func,
     cost: divide_cost,
+    writes: &[false, false, true],
 };
 
 fn divide_func(bufs: &[DataBuffer], scalars: &[f64]) {

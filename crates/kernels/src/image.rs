@@ -21,6 +21,7 @@ pub static GAUSSIAN_BLUR: KernelDef = KernelDef {
     nidl: "const pointer float, pointer float, sint32, sint32, const pointer float, sint32",
     func: blur_func,
     cost: blur_cost,
+    writes: &[false, true, false],
 };
 
 fn blur_func(bufs: &[DataBuffer], scalars: &[f64]) {
@@ -63,6 +64,7 @@ pub static SOBEL: KernelDef = KernelDef {
     nidl: "const pointer float, pointer float, sint32, sint32",
     func: sobel_func,
     cost: sobel_cost,
+    writes: &[false, true],
 };
 
 fn sobel_func(bufs: &[DataBuffer], scalars: &[f64]) {
@@ -101,6 +103,7 @@ pub static MAXIMUM: KernelDef = KernelDef {
     nidl: "const pointer float, pointer float, sint32",
     func: max_func,
     cost: minmax_cost,
+    writes: &[false, true],
 };
 
 fn max_func(bufs: &[DataBuffer], scalars: &[f64]) {
@@ -115,6 +118,7 @@ pub static MINIMUM: KernelDef = KernelDef {
     nidl: "const pointer float, pointer float, sint32",
     func: min_func,
     cost: minmax_cost,
+    writes: &[false, true],
 };
 
 fn min_func(bufs: &[DataBuffer], scalars: &[f64]) {
@@ -134,6 +138,7 @@ pub static EXTEND: KernelDef = KernelDef {
     nidl: "pointer float, const pointer float, const pointer float, sint32",
     func: extend_func,
     cost: extend_cost,
+    writes: &[true, false, false],
 };
 
 fn extend_func(bufs: &[DataBuffer], scalars: &[f64]) {
@@ -159,6 +164,7 @@ pub static UNSHARPEN: KernelDef = KernelDef {
     nidl: "const pointer float, const pointer float, pointer float, float, sint32",
     func: unsharpen_func,
     cost: unsharpen_cost,
+    writes: &[false, false, true],
 };
 
 fn unsharpen_func(bufs: &[DataBuffer], scalars: &[f64]) {
@@ -184,6 +190,7 @@ pub static COMBINE: KernelDef = KernelDef {
     nidl: "const pointer float, const pointer float, const pointer float, pointer float, sint32",
     func: combine_func,
     cost: combine_cost,
+    writes: &[false, false, false, true],
 };
 
 fn combine_func(bufs: &[DataBuffer], scalars: &[f64]) {
@@ -208,6 +215,7 @@ pub static COPY_IMG: KernelDef = KernelDef {
     nidl: "const pointer float, pointer float, sint32",
     func: copy_func,
     cost: copy_cost,
+    writes: &[false, true],
 };
 
 fn copy_func(bufs: &[DataBuffer], scalars: &[f64]) {

@@ -1,3 +1,6 @@
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 //! # kernels — the paper's 33 benchmark kernels
 //!
 //! The paper evaluates its scheduler on "6 benchmarks and a total of 33
@@ -55,7 +58,19 @@ pub struct KernelDef {
     pub func: KernelFn,
     /// Analytic cost model.
     pub cost: CostFn,
+    /// Declared write effects: one flag per *pointer* parameter, in
+    /// declaration order — true iff the implementation writes that
+    /// buffer. This is ground truth about `func`, declared independently
+    /// of the NIDL string, so the schedule sanitizer can cross-check the
+    /// two: a parameter annotated `const` in [`KernelDef::nidl`] but
+    /// flagged written here is a lying signature (the scheduler would
+    /// under-synchronize it).
+    pub writes: WriteEffects,
 }
+
+/// Per-pointer-parameter write effects of a kernel implementation (see
+/// [`KernelDef::writes`]).
+pub type WriteEffects = &'static [bool];
 
 impl std::fmt::Debug for KernelDef {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -136,6 +151,40 @@ mod tests {
         for k in all_kernels() {
             assert!(!k.nidl.is_empty(), "{} has no signature", k.name);
             assert!(k.nidl.contains("pointer"), "{} takes no arrays?", k.name);
+        }
+    }
+
+    #[test]
+    fn write_effects_match_signatures_exactly() {
+        // Every shipped kernel is honest: its declared write effects
+        // must line up one-to-one with the NIDL pointer parameters, and
+        // a parameter is written iff it is not `const`/`in`-annotated.
+        // (The schedule sanitizer relies on this agreement; lying
+        // signatures are exercised separately with hand-built defs.)
+        let mut kernels = all_kernels();
+        kernels.extend([&util::PIN, &util::JOIN]);
+        kernels.extend([&util::SCALE_I32, &util::MEMSET_U8, &util::THRESHOLD_U8]);
+        for k in kernels {
+            let pointer_params: Vec<&str> = k
+                .nidl
+                .split(',')
+                .map(str::trim)
+                .filter(|p| p.contains("pointer") || p.split_whitespace().any(|w| w == "ptr"))
+                .collect();
+            assert_eq!(
+                k.writes.len(),
+                pointer_params.len(),
+                "{}: one write-effect flag per pointer parameter",
+                k.name
+            );
+            for (i, p) in pointer_params.iter().enumerate() {
+                let read_only = p.split_whitespace().any(|w| w == "const" || w == "in");
+                assert_eq!(
+                    k.writes[i], !read_only,
+                    "{}: pointer param {i} ({p:?}) disagrees with its write effect",
+                    k.name
+                );
+            }
         }
     }
 

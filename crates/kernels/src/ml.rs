@@ -23,6 +23,7 @@ pub static RR_NORMALIZE: KernelDef = KernelDef {
     nidl: "const pointer float, pointer float, sint32, sint32",
     func: rr_normalize_func,
     cost: rr_normalize_cost,
+    writes: &[false, true],
 };
 
 fn rr_normalize_func(bufs: &[DataBuffer], scalars: &[f64]) {
@@ -63,6 +64,7 @@ pub static RR_MATMUL: KernelDef = KernelDef {
     nidl: "const pointer float, const pointer float, pointer float, sint32, sint32, sint32",
     func: matmul_func,
     cost: matmul_cost,
+    writes: &[false, false, true],
 };
 
 /// `nb_matmul(x, logp, out, rows, features, classes)`: Naïve Bayes
@@ -73,6 +75,7 @@ pub static NB_MATMUL: KernelDef = KernelDef {
     nidl: "const pointer float, const pointer float, pointer float, sint32, sint32, sint32",
     func: matmul_func,
     cost: matmul_cost,
+    writes: &[false, false, true],
 };
 
 fn matmul_func(bufs: &[DataBuffer], scalars: &[f64]) {
@@ -120,6 +123,7 @@ pub static RR_ADD_INTERCEPT: KernelDef = KernelDef {
     nidl: "pointer float, const pointer float, sint32, sint32",
     func: add_intercept_func,
     cost: add_intercept_cost,
+    writes: &[true, false],
 };
 
 fn add_intercept_func(bufs: &[DataBuffer], scalars: &[f64]) {
@@ -145,6 +149,7 @@ pub static SOFTMAX: KernelDef = KernelDef {
     nidl: "pointer float, sint32, sint32",
     func: softmax_func,
     cost: softmax_cost,
+    writes: &[true],
 };
 
 fn softmax_func(bufs: &[DataBuffer], scalars: &[f64]) {
@@ -177,6 +182,7 @@ pub static NB_ROW_MAX: KernelDef = KernelDef {
     nidl: "const pointer float, pointer float, sint32, sint32",
     func: nb_row_max_func,
     cost: rowwise_cost,
+    writes: &[false, true],
 };
 
 fn nb_row_max_func(bufs: &[DataBuffer], scalars: &[f64]) {
@@ -199,6 +205,7 @@ pub static NB_LSE: KernelDef = KernelDef {
     nidl: "const pointer float, const pointer float, pointer float, sint32, sint32",
     func: nb_lse_func,
     cost: rowwise_cost,
+    writes: &[false, false, true],
 };
 
 fn nb_lse_func(bufs: &[DataBuffer], scalars: &[f64]) {
@@ -224,6 +231,7 @@ pub static NB_EXP: KernelDef = KernelDef {
     nidl: "pointer float, const pointer float, const pointer float, sint32, sint32",
     func: nb_exp_func,
     cost: rowwise_cost,
+    writes: &[true, false, false],
 };
 
 fn nb_exp_func(bufs: &[DataBuffer], scalars: &[f64]) {
@@ -254,6 +262,7 @@ pub static ARGMAX_COMBINE: KernelDef = KernelDef {
     nidl: "const pointer float, const pointer float, pointer sint32, sint32, sint32",
     func: argmax_func,
     cost: argmax_cost,
+    writes: &[false, false, true],
 };
 
 fn argmax_func(bufs: &[DataBuffer], scalars: &[f64]) {

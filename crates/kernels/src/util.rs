@@ -15,6 +15,7 @@ pub static MEMSET_F32: KernelDef = KernelDef {
     nidl: "pointer float, float, sint32",
     func: memset_func,
     cost: memset_cost,
+    writes: &[true],
 };
 
 fn memset_func(bufs: &[DataBuffer], scalars: &[f64]) {
@@ -35,6 +36,7 @@ pub static AXPY: KernelDef = KernelDef {
     nidl: "const pointer float, pointer float, float, sint32",
     func: axpy_func,
     cost: axpy_cost,
+    writes: &[false, true],
 };
 
 fn axpy_func(bufs: &[DataBuffer], scalars: &[f64]) {
@@ -58,6 +60,7 @@ pub static SCALE: KernelDef = KernelDef {
     nidl: "const pointer float, pointer float, float, sint32",
     func: scale_func,
     cost: scale_cost,
+    writes: &[false, true],
 };
 
 fn scale_func(bufs: &[DataBuffer], scalars: &[f64]) {
@@ -81,6 +84,7 @@ pub static DOT: KernelDef = KernelDef {
     nidl: "const pointer float, const pointer float, pointer float, sint32",
     func: dot_func,
     cost: dot_cost,
+    writes: &[false, false, true],
 };
 
 fn dot_func(bufs: &[DataBuffer], scalars: &[f64]) {
@@ -112,6 +116,7 @@ pub static PIN: KernelDef = KernelDef {
     nidl: "const pointer float, pointer float, sint32, sint32",
     func: pin_func,
     cost: pin_cost,
+    writes: &[false, true],
 };
 
 fn pin_func(bufs: &[DataBuffer], scalars: &[f64]) {
@@ -142,6 +147,7 @@ pub static JOIN: KernelDef = KernelDef {
     nidl: "const pointer float, const pointer float, pointer float, sint32, sint32, sint32",
     func: join_func,
     cost: join_cost,
+    writes: &[false, false, true],
 };
 
 fn join_func(bufs: &[DataBuffer], scalars: &[f64]) {
@@ -168,6 +174,7 @@ pub static COPY_F32: KernelDef = KernelDef {
     nidl: "const pointer float, pointer float, sint32",
     func: copy_func,
     cost: copy_cost,
+    writes: &[false, true],
 };
 
 fn copy_func(bufs: &[DataBuffer], scalars: &[f64]) {
@@ -189,6 +196,7 @@ pub static SCALE_I32: KernelDef = KernelDef {
     nidl: "const pointer sint32, pointer sint32, float, sint32",
     func: scale_i32_func,
     cost: scale_i32_cost,
+    writes: &[false, true],
 };
 
 fn scale_i32_func(bufs: &[DataBuffer], scalars: &[f64]) {
@@ -212,6 +220,7 @@ pub static MEMSET_U8: KernelDef = KernelDef {
     nidl: "pointer char, float, sint32",
     func: memset_u8_func,
     cost: memset_u8_cost,
+    writes: &[true],
 };
 
 fn memset_u8_func(bufs: &[DataBuffer], scalars: &[f64]) {
@@ -235,6 +244,7 @@ pub static THRESHOLD_U8: KernelDef = KernelDef {
     nidl: "const pointer char, pointer char, float, sint32",
     func: threshold_u8_func,
     cost: threshold_u8_cost,
+    writes: &[false, true],
 };
 
 fn threshold_u8_func(bufs: &[DataBuffer], scalars: &[f64]) {

@@ -17,6 +17,7 @@ pub static SQUARE: KernelDef = KernelDef {
     nidl: "pointer float, sint32",
     func: square_func,
     cost: square_cost,
+    writes: &[true],
 };
 
 fn square_func(bufs: &[DataBuffer], scalars: &[f64]) {
@@ -40,6 +41,7 @@ pub static REDUCE_SUM_DIFF: KernelDef = KernelDef {
     nidl: "const pointer float, const pointer float, pointer float, sint32",
     func: reduce_func,
     cost: reduce_cost,
+    writes: &[false, false, true],
 };
 
 fn reduce_func(bufs: &[DataBuffer], scalars: &[f64]) {

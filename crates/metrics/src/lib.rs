@@ -1,3 +1,6 @@
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 //! # metrics — timeline analysis for the paper's evaluation figures
 //!
 //! Post-processing over [`gpu_sim::Timeline`]s:

@@ -1,3 +1,6 @@
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 //! Offline stand-in for `serde`.
 //!
 //! Re-exports the no-op `Serialize`/`Deserialize` derive macros so that

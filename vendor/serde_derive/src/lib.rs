@@ -1,3 +1,6 @@
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 //! Offline stand-in for `serde_derive`.
 //!
 //! The build environment has no registry access, and nothing in this
@@ -8,11 +11,15 @@
 
 use proc_macro::TokenStream;
 
+/// No-op `#[derive(Serialize)]`: accepts `#[serde(...)]` attributes and
+/// expands to nothing.
 #[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(_input: TokenStream) -> TokenStream {
     TokenStream::new()
 }
 
+/// No-op `#[derive(Deserialize)]`: accepts `#[serde(...)]` attributes
+/// and expands to nothing.
 #[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
     TokenStream::new()
