@@ -28,7 +28,7 @@ use std::collections::HashMap;
 use std::hint::black_box;
 use std::time::Instant;
 
-use bench::{render_table, write_bench_json};
+use bench::{render_table, round_sig, write_bench_json};
 use dag::DenseMap;
 use gpu_sim::{DeviceProfile, Grid};
 use grcuda::{Arg, BatchLaunch, GrCuda, MultiArg, MultiGpu, Options, PlacementPolicy};
@@ -135,7 +135,7 @@ fn main() {
     let (batch_wall_ns, batch_virt_us) = time_submit(&g, || {
         g.launch_batch(&calls).expect("batched launch");
     });
-    let batch_speedup = serial_virt_us / batch_virt_us;
+    let batch_speedup = round_sig(serial_virt_us / batch_virt_us, 6);
 
     // --- pipeline: 4-device round-robin chains (placement + solver) ---
     let mut m = MultiGpu::new(

@@ -169,6 +169,23 @@ pub fn write_bench_json(path: &str, entries: &[(String, f64)]) -> std::io::Resul
     std::fs::write(path, render_bench_json(&merged))
 }
 
+/// Round to `digits` significant decimal digits. Derived ratios
+/// (speedups, scaling factors) go through this before RESULT/JSON
+/// emission: the quotient of two exact virtual times can land on a
+/// value like `63.999999999999`, and committing that representation
+/// makes baseline diffs wobble on pure formatting. Six significant
+/// digits keep far more precision than the 15% gate tolerance needs
+/// while collapsing such artifacts back to `64`. Raw measurements
+/// (times, rates, counts) are **not** rounded — only derived ratios.
+pub fn round_sig(x: f64, digits: i32) -> f64 {
+    if x == 0.0 || !x.is_finite() {
+        return x;
+    }
+    let magnitude = x.abs().log10().floor() as i32;
+    let factor = 10f64.powi(digits - 1 - magnitude);
+    (x * factor).round() / factor
+}
+
 /// Pretty milliseconds.
 pub fn ms(t: f64) -> String {
     if t >= 0.1 {
@@ -204,6 +221,16 @@ mod tests {
         assert!(t.contains("2.54x"));
         let lines: Vec<&str> = t.lines().collect();
         assert_eq!(lines.len(), 4);
+    }
+
+    #[test]
+    fn round_sig_collapses_float_drift() {
+        assert_eq!(round_sig(63.999999999999, 6), 64.0);
+        assert_eq!(round_sig(63.4567891, 6), 63.4568);
+        assert_eq!(round_sig(0.000123456789, 6), 0.000123457);
+        assert_eq!(round_sig(-2.0000000001, 6), -2.0);
+        assert_eq!(round_sig(0.0, 6), 0.0);
+        assert!(round_sig(f64::INFINITY, 6).is_infinite());
     }
 
     #[test]

@@ -212,3 +212,141 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------
+// DenseMap/DenseSet window edges under a drain-style workload.
+//
+// The serving layer retires requests out of arrival order (fairness
+// policies reorder admissions), so the arena maps see exactly the
+// patterns that stress the sliding window: removal at the window base
+// followed by compaction, queries below the new base, and re-insertion
+// into freed interior slots. Model-checked against std HashMap/HashSet.
+// ---------------------------------------------------------------------
+
+use crate::dense::{DenseMap, DenseSet};
+use std::collections::{BTreeMap, HashSet};
+
+/// One step of the window workload.
+#[derive(Debug, Clone, Copy)]
+enum WinOp {
+    /// Insert key `k` (possibly re-inserting a freed slot or extending
+    /// the window at either end).
+    Insert(u32),
+    /// Remove key `k` (hit or miss; removing the minimum compacts).
+    Remove(u32),
+    /// Remove the smallest live key, then probe it again — it now sits
+    /// at (or below) the compacted `base`.
+    RemoveHead,
+    /// Probe a key strictly below the window base.
+    GetBelowBase,
+    /// Re-insert the most recently removed key into its freed slot.
+    ReinsertFreed,
+    /// Reset the window anchor entirely.
+    Clear,
+}
+
+fn win_op_strategy() -> impl Strategy<Value = WinOp> {
+    let key = 0..48u32;
+    prop_oneof![
+        key.clone().prop_map(WinOp::Insert),
+        key.clone().prop_map(WinOp::Insert), // bias toward growth
+        key.prop_map(WinOp::Remove),
+        Just(WinOp::RemoveHead),
+        Just(WinOp::GetBelowBase),
+        Just(WinOp::ReinsertFreed),
+        Just(WinOp::Clear),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// DenseMap and DenseSet agree with HashMap/HashSet semantics on
+    /// random window workloads, iterate in ascending key order, and
+    /// keep their window exactly as wide as the live key span.
+    #[test]
+    fn dense_window_matches_model_on_drain_patterns(
+        ops in proptest::collection::vec(win_op_strategy(), 1..60),
+    ) {
+        let mut map: DenseMap<u32, u64> = DenseMap::new();
+        let mut set: DenseSet<u32> = DenseSet::new();
+        let mut model: BTreeMap<u32, u64> = BTreeMap::new();
+        let mut model_set: HashSet<u32> = HashSet::new();
+        let mut last_removed: Option<u32> = None;
+        let mut stamp: u64 = 0;
+
+        for op in &ops {
+            stamp += 1;
+            match *op {
+                WinOp::Insert(k) => {
+                    prop_assert_eq!(map.insert(k, stamp), model.insert(k, stamp));
+                    prop_assert_eq!(set.insert(k), model_set.insert(k));
+                }
+                WinOp::Remove(k) => {
+                    prop_assert_eq!(map.remove(k), model.remove(&k));
+                    prop_assert_eq!(set.remove(k), model_set.remove(&k));
+                    last_removed = Some(k);
+                }
+                WinOp::RemoveHead => {
+                    if let Some((&k, _)) = model.iter().next() {
+                        // The head key is exactly `base` after the
+                        // previous compaction.
+                        prop_assert!(map.contains_key(k));
+                        prop_assert_eq!(map.remove(k), model.remove(&k));
+                        set.remove(k);
+                        model_set.remove(&k);
+                        // Compaction moved base past k: the slot is gone,
+                        // not merely vacant.
+                        prop_assert_eq!(map.get(k), None);
+                        prop_assert!(!set.contains(k));
+                        last_removed = Some(k);
+                    }
+                }
+                WinOp::GetBelowBase => {
+                    if let Some((&min, _)) = model.iter().next() {
+                        if min > 0 {
+                            prop_assert_eq!(map.get(min - 1), None);
+                            prop_assert_eq!(map.remove(min - 1), None);
+                            prop_assert!(!set.contains(min - 1));
+                        }
+                    } else {
+                        prop_assert_eq!(map.get(0), None);
+                    }
+                }
+                WinOp::ReinsertFreed => {
+                    if let Some(k) = last_removed.take() {
+                        prop_assert_eq!(map.insert(k, stamp), model.insert(k, stamp));
+                        prop_assert_eq!(set.insert(k), model_set.insert(k));
+                        prop_assert_eq!(map.get(k), Some(&stamp));
+                    }
+                }
+                WinOp::Clear => {
+                    map.clear();
+                    set.clear();
+                    model.clear();
+                    model_set.clear();
+                    // A cleared window re-anchors: a low key after high
+                    // keys must not allocate a giant window.
+                    prop_assert_eq!(map.window(), 0);
+                }
+            }
+            // Global invariants after every step.
+            prop_assert_eq!(map.len(), model.len());
+            prop_assert_eq!(set.len(), model_set.len());
+            let got: Vec<(u32, u64)> = map.iter().map(|(k, v)| (k, *v)).collect();
+            let want: Vec<(u32, u64)> = model.iter().map(|(k, v)| (*k, *v)).collect();
+            prop_assert_eq!(got, want, "map iteration diverged after {:?}", op);
+            let got_set: Vec<u32> = set.iter().collect();
+            let mut want_set: Vec<u32> = model_set.iter().copied().collect();
+            want_set.sort_unstable();
+            prop_assert_eq!(got_set, want_set, "set iteration diverged after {:?}", op);
+            // The trimmed window is exactly the live key span.
+            match (model.iter().next(), model.iter().next_back()) {
+                (Some((&lo, _)), Some((&hi, _))) => {
+                    prop_assert_eq!(map.window(), (hi - lo + 1) as usize);
+                }
+                _ => prop_assert_eq!(map.window(), 0),
+            }
+        }
+    }
+}

@@ -87,6 +87,17 @@ impl DeviceArray {
         self.arr.buf.type_name()
     }
 
+    /// Block the virtual host until every computation writing this
+    /// array has completed, retiring the synchronized chain's scheduler
+    /// bookkeeping — the same fine-grained wait a CPU read performs,
+    /// but without charging a unified-memory migration: nothing is
+    /// read, so this is an event wait on the producing streams, not a
+    /// data access. Use it to observe completion of a chain (e.g. a
+    /// served request) without pulling its output back to the host.
+    pub fn sync_writes(&self) {
+        self.ctx.await_writers(&self.arr);
+    }
+
     /// The raw host-visible buffer, bypassing synchronization — for
     /// validators and analysis tools that inspect final state after a
     /// full [`crate::GrCuda::sync`]. Normal code should use the typed

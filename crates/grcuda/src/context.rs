@@ -281,6 +281,16 @@ impl GrCuda {
         self.inner.borrow().cuda.memory_stats()
     }
 
+    /// Per-device memory capacity in bytes under a finite
+    /// [`gpu_sim::MemoryConfig`], `None` when memory is unlimited. A
+    /// launch whose distinct argument bytes exceed this fails with
+    /// [`crate::LaunchError::OutOfMemory`]; the serving layer's
+    /// admission control applies the same bound before a request is
+    /// queued.
+    pub fn device_capacity(&self) -> Option<usize> {
+        self.inner.borrow().cuda.device_capacity()
+    }
+
     /// Per-device `(time, resident bytes)` step samples recorded while
     /// a finite capacity is configured — feed them to
     /// `metrics::MemoryTimeline` for peak/mean pressure analysis.
@@ -854,6 +864,32 @@ impl GrCuda {
     /// long as the dependencies require, then charges the unified-memory
     /// migration cost.
     pub(crate) fn host_access(&self, arr: &UnifiedArray, bytes: usize, write: bool) {
+        let label = if write { "cpu-write" } else { "cpu-read" };
+        self.sync_array_deps(arr, label, write);
+        let ctx = self.inner.borrow_mut();
+        // Unified-memory residency: reads migrate back as touched;
+        // writes invalidate the device copy.
+        ctx.cuda.host_read(arr, bytes);
+        if write {
+            ctx.cuda.host_written(arr);
+        }
+    }
+
+    /// Block the virtual host until every computation writing `arr` has
+    /// completed, and retire the synchronized chain's bookkeeping — the
+    /// same fine-grained wait a CPU read performs, but **without** the
+    /// unified-memory migration: nothing is read, so this models an
+    /// event wait on the producing streams, not a data access. The
+    /// serving layer uses it to observe request completion without
+    /// serializing every request through the fault controller.
+    pub(crate) fn await_writers(&self, arr: &UnifiedArray) {
+        self.sync_array_deps(arr, "event-wait", false);
+    }
+
+    /// The dependency-synchronization half of a fine-grained CPU access:
+    /// wait for exactly the streams operating on `arr` (per the paper's
+    /// access-time policy) and retire the synchronized chain.
+    fn sync_array_deps(&self, arr: &UnifiedArray, label: &str, write: bool) {
         let mut ctx = self.inner.borrow_mut();
         match ctx.options.schedule {
             SchedulePolicy::SerialSync => {
@@ -875,7 +911,6 @@ impl GrCuda {
                     // "If the CPU requires data for a computation, we
                     // synchronize only the streams that are currently
                     // operating on this data."
-                    let label = if write { "cpu-write" } else { "cpu-read" };
                     let (vertex, deps) = ctx.dag.add_array_access(label, Value(arr.id.0), write);
                     if let Some(v) = vertex {
                         for &d in &deps {
@@ -898,12 +933,6 @@ impl GrCuda {
                     }
                 }
             }
-        }
-        // Unified-memory residency: reads migrate back as touched;
-        // writes invalidate the device copy.
-        ctx.cuda.host_read(arr, bytes);
-        if write {
-            ctx.cuda.host_written(arr);
         }
     }
 }

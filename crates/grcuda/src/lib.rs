@@ -66,6 +66,7 @@ pub mod multi;
 pub mod nidl;
 pub mod options;
 pub mod policy;
+pub mod serve;
 pub mod stream_manager;
 
 pub use array::DeviceArray;

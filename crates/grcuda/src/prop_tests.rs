@@ -537,3 +537,125 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------
+// Serving layer: determinism over arrival order (the Bobpp-style claim:
+// a parallel front-end may feed the core from many threads, but a given
+// arrival order must always produce the same schedule).
+// ---------------------------------------------------------------------
+
+use crate::serve::{ArgSpec, CallSpec, ElemKind, Fairness, RequestSpec, ServeConfig, ServiceCore};
+
+/// One random request of a random tenant: a 1–3 call chain over the
+/// tenant's two arrays, optionally deadlined, optionally followed by an
+/// explicit pump cycle.
+#[derive(Debug, Clone)]
+struct ServeReq {
+    tenant: usize,
+    calls: Vec<(usize, usize, i32)>,
+    deadline: usize,
+    pump_after: bool,
+}
+
+fn serve_req_strategy() -> impl Strategy<Value = ServeReq> {
+    (
+        0..3usize,
+        proptest::collection::vec((0..2usize, 0..2usize, -3..4i32), 1..4),
+        0..3usize,
+        proptest::bool::ANY,
+    )
+        .prop_map(|(tenant, calls, deadline, pump_after)| ServeReq {
+            tenant,
+            calls,
+            deadline,
+            pump_after,
+        })
+}
+
+/// Everything the service run determines, bit-exactly: the full
+/// timeline signature, the final virtual time, and every tenant's
+/// per-request latencies in completion order.
+type ServeSig = (Vec<IntervalSig>, u64, Vec<Vec<u64>>);
+
+fn run_serve_script(script: &[ServeReq], fairness: Fairness) -> ServeSig {
+    let config = ServeConfig::new(DeviceProfile::tesla_p100(), Options::parallel())
+        .with_fairness(fairness)
+        .with_pipeline(4, 2);
+    let mut core = ServiceCore::new(config);
+    let mut tenants = Vec::new();
+    for i in 0..3usize {
+        let t = core.add_tenant(&format!("t{i}"), 3 - i as u32);
+        let x = core.alloc(t, ElemKind::F32, ARRAY_LEN).unwrap();
+        let y = core.alloc(t, ElemKind::F32, ARRAY_LEN).unwrap();
+        core.fill(t, x, (i + 1) as f64).unwrap();
+        core.fill(t, y, -(i as f64)).unwrap();
+        let sc = core.register_kernel(t, &SCALE).unwrap();
+        let ax = core.register_kernel(t, &AXPY).unwrap();
+        tenants.push((t, x, y, sc, ax));
+    }
+    for req in script {
+        let (t, x, y, sc, ax) = tenants[req.tenant];
+        let calls = req
+            .calls
+            .iter()
+            .map(|&(k, src, a)| {
+                let (s, d) = if src == 0 { (x, y) } else { (y, x) };
+                CallSpec {
+                    kernel: if k == 0 { sc } else { ax },
+                    grid: Grid::d1(16, 64),
+                    args: vec![
+                        ArgSpec::Array(s),
+                        ArgSpec::Array(d),
+                        ArgSpec::Scalar(a as f64),
+                        ArgSpec::Scalar(ARRAY_LEN as f64),
+                    ],
+                }
+            })
+            .collect();
+        let deadline_us = [None, Some(20.0), Some(200.0)][req.deadline];
+        core.submit(t, RequestSpec { calls, deadline_us }).unwrap();
+        if req.pump_after {
+            core.pump();
+        }
+    }
+    core.drain_all();
+    assert_eq!(core.runtime().races().len(), 0, "service run raced");
+    let stats = core.all_stats();
+    for s in &stats {
+        assert_eq!(s.completed, s.submitted, "tenant {} lost requests", s.name);
+        assert_eq!(s.queued + s.inflight, 0, "tenant {} not drained", s.name);
+    }
+    let latencies = stats
+        .iter()
+        .map(|s| s.latencies.iter().map(|l| l.to_bits()).collect())
+        .collect();
+    (
+        timeline_sig(core.runtime()),
+        core.now().to_bits(),
+        latencies,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Replaying the same multi-tenant arrival order through the service
+    /// core produces a **bit-identical** virtual timeline, final clock
+    /// and per-request latency vector — under every fairness policy.
+    #[test]
+    fn serving_is_deterministic_for_a_given_arrival_order(
+        script in proptest::collection::vec(serve_req_strategy(), 1..20),
+        fairness_idx in 0..3usize,
+    ) {
+        let fairness = [
+            Fairness::Fifo,
+            Fairness::WeightedRoundRobin,
+            Fairness::DeadlineAware,
+        ][fairness_idx];
+        let a = run_serve_script(&script, fairness);
+        let b = run_serve_script(&script, fairness);
+        prop_assert_eq!(&a.0, &b.0, "timelines diverged under {:?} on {:?}", fairness, script);
+        prop_assert_eq!(a.1, b.1, "final virtual time diverged under {:?}", fairness);
+        prop_assert_eq!(&a.2, &b.2, "latencies diverged under {:?}", fairness);
+    }
+}

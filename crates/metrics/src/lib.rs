@@ -15,6 +15,8 @@
 //!   Fig. 9 (longest dependency path using solo durations);
 //! * [`links`] — per-interconnect-link usage (busy time, bytes,
 //!   utilization) over host and peer links;
+//! * [`latency`] — nearest-rank per-request latency percentiles
+//!   (p50/p90/p99) for the multi-tenant serving benchmarks;
 //! * [`memory`] — per-device resident-bytes timelines under finite
 //!   device memory (peak/mean pressure from the memory manager's step
 //!   samples);
@@ -27,6 +29,7 @@ pub mod chrome_trace;
 pub mod critical_path;
 pub mod hardware;
 pub mod interval_ops;
+pub mod latency;
 pub mod links;
 pub mod memory;
 pub mod overlap;
@@ -35,6 +38,7 @@ pub use ascii_timeline::render_timeline;
 pub use chrome_trace::to_chrome_trace;
 pub use critical_path::critical_path;
 pub use hardware::HardwareMetrics;
+pub use latency::{percentile, LatencySummary};
 pub use links::{link_usage, LinkUsage};
 pub use memory::MemoryTimeline;
 pub use overlap::OverlapMetrics;

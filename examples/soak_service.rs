@@ -1,110 +1,263 @@
-//! Soak service — bounded scheduler memory under sustained traffic.
+//! Multi-tenant soak service — four concurrent clients, one scheduler.
 //!
 //! The paper's evaluation runs each benchmark for a handful of
-//! iterations; a production runtime serves requests for the life of the
-//! process. This example simulates such a service: every "request" is
-//! the Fig. 4 VEC pipeline (two independent squares, a reduction, a CPU
-//! read of the result), requests arrive back-to-back forever, and the
-//! process must not grow.
+//! iterations from a single host thread; a production runtime serves
+//! many clients for the life of the process. This example runs such a
+//! service: a [`Server`] owns the scheduler on its service thread, and
+//! four tenants submit from their own OS threads through `Send + Clone`
+//! [`Client`] handles:
 //!
-//! Two mechanisms keep the footprint O(live computations):
+//! * `vec`   — the Fig. 4 VEC pipeline (two independent squares fenced
+//!   by a reduction), result checked every round;
+//! * `scale` — short SCALE→AXPY chains, result checked every round;
+//! * `axpy`  — single-kernel AXPY requests at a steady trickle;
+//! * `greedy` — a misbehaving tenant that floods 4 requests per round.
 //!
-//! * fine-grained CPU reads retire their producing chain, and the
-//!   scheduler immediately drops the chain's stream claims and
-//!   vertex→task/stream entries, auto-compacting the DAG as retired
-//!   vertices accumulate;
-//! * the periodic `sync()` (a request-loop heartbeat) retires
-//!   everything, compacts the DAG to zero stored vertices, harvests the
-//!   kernel history and reclaims the engine's completed task states.
+//! The service runs **weighted round-robin** fairness with `greedy`
+//! weighted 1 against everyone else's 4: its backlog is admitted one
+//! deficit-credit at a time, so flooding buys it queueing delay instead
+//! of a larger share of the device. The per-tenant report at the end
+//! makes the throttling visible: `greedy` completes everything it
+//! submitted, but at a far worse mean/p99 virtual latency than the
+//! well-behaved tenants.
+//!
+//! Cross-client submissions that land in the same pump cycle are
+//! coalesced into one `launch_batch`, so the host-side overhead is paid
+//! per cycle, not per client. Requests submitted here are admission-
+//! checked synchronously and executed asynchronously; each tenant's
+//! final `drain()` returns its stats (including per-request virtual
+//! latencies), and reading an output element synchronizes with exactly
+//! the chain producing it.
 //!
 //! Run: `cargo run --release --example soak_service`
 
-use gpu_sim::{DeviceProfile, Grid};
-use grcuda::{Arg, GrCuda, Options};
+use gpu_sim::DeviceProfile;
+use grcuda::serve::{
+    ArgSpec, ArrayRef, CallSpec, ElemKind, Fairness, KernelRef, RequestSpec, ServeConfig, Server,
+    TenantStats,
+};
+use grcuda::{Grid, Options};
+use kernels::util::{AXPY, SCALE};
 use kernels::vec_ops::{REDUCE_SUM_DIFF, SQUARE};
+use metrics::LatencySummary;
 
-const REQUESTS: usize = 8_000;
-const SYNC_EVERY: usize = 50;
-const REPORT_EVERY: usize = 2_000;
+const ROUNDS: usize = 300;
+const FLOOD_FACTOR: usize = 4;
+const N: usize = 1 << 10;
 
-fn main() {
-    let g = GrCuda::new(DeviceProfile::tesla_p100(), Options::parallel());
-    let n = 1 << 12;
-    let x = g.array_f32(n);
-    let y = g.array_f32(n);
-    let z = g.array_f32(1);
-    let square = g.build_kernel(&SQUARE).expect("signature parses");
-    let reduce = g.build_kernel(&REDUCE_SUM_DIFF).expect("signature parses");
-    let grid = Grid::d1(16, 256);
+fn grid() -> Grid {
+    Grid::d1(16, 256)
+}
 
-    let start = std::time::Instant::now();
-    let mut peak_stored = 0usize;
-    for req in 1..=REQUESTS {
-        // New input data for this request.
-        x.fill_f32(3.0);
-        y.fill_f32(2.0);
-        square
-            .launch(grid, &[Arg::array(&x), Arg::scalar(n as f64)])
-            .unwrap();
-        square
-            .launch(grid, &[Arg::array(&y), Arg::scalar(n as f64)])
-            .unwrap();
-        reduce
-            .launch(
-                grid,
-                &[
-                    Arg::array(&x),
-                    Arg::array(&y),
-                    Arg::array(&z),
-                    Arg::scalar(n as f64),
+fn call(kernel: KernelRef, args: Vec<ArgSpec>) -> CallSpec {
+    CallSpec {
+        kernel,
+        grid: grid(),
+        args,
+    }
+}
+
+/// The Fig. 4 VEC pipeline as one request: square x, square y
+/// (independent — the scheduler overlaps them), then reduce.
+fn run_vec(client: grcuda::serve::Client) -> TenantStats {
+    let x = client.alloc(ElemKind::F32, N).unwrap();
+    let y = client.alloc(ElemKind::F32, N).unwrap();
+    let z = client.alloc(ElemKind::F32, 1).unwrap();
+    let square = client.kernel(&SQUARE).unwrap();
+    let reduce = client.kernel(&REDUCE_SUM_DIFF).unwrap();
+    let nf = N as f64;
+    for _ in 0..ROUNDS {
+        client.fill(x, 3.0).unwrap();
+        client.fill(y, 2.0).unwrap();
+        client
+            .submit(RequestSpec {
+                calls: vec![
+                    call(square, vec![ArgSpec::Array(x), ArgSpec::Scalar(nf)]),
+                    call(square, vec![ArgSpec::Array(y), ArgSpec::Scalar(nf)]),
+                    call(
+                        reduce,
+                        vec![
+                            ArgSpec::Array(x),
+                            ArgSpec::Array(y),
+                            ArgSpec::Array(z),
+                            ArgSpec::Scalar(nf),
+                        ],
+                    ),
                 ],
-            )
+                deadline_us: None,
+            })
             .unwrap();
-        // The response: a fine-grained read that retires the chain.
-        assert_eq!(z.get_f32(0), n as f32 * 5.0);
-        peak_stored = peak_stored.max(g.scheduler_stats().stored_vertices);
+        // The response read synchronizes with exactly this chain.
+        assert_eq!(client.read(z, 0).unwrap(), (N as f32 * 5.0) as f64);
+    }
+    client.drain().unwrap()
+}
 
-        if req % SYNC_EVERY == 0 {
-            // Heartbeat: full sync + timeline reset, after which the
-            // scheduler is back at its empty-frontier baseline.
-            g.sync();
-            g.clear_timeline();
-            let st = g.scheduler_stats();
-            assert_eq!(st.stored_vertices, 0, "request {req}: DAG leak");
-            assert_eq!(st.stream_claims, 0, "request {req}: claim leak");
-            assert_eq!(st.vertex_tasks, 0, "request {req}: task-map leak");
-            assert_eq!(st.launch_infos, 0, "request {req}: launch-info leak");
-            assert_eq!(g.stats().retained_tasks, 0, "request {req}: engine leak");
-        }
-        if req % REPORT_EVERY == 0 {
-            let st = g.scheduler_stats();
-            println!(
-                "req {req:>6}: lifetime vertices {:>7}  stored {:>3} (peak {peak_stored:>3})  \
-                 live {:>3}  claims {}  maps {}/{}  launch_info {}",
-                st.lifetime_vertices,
-                st.stored_vertices,
-                st.live_vertices,
-                st.stream_claims,
-                st.vertex_tasks,
-                st.vertex_streams,
-                st.launch_infos,
-            );
+/// Short SCALE→AXPY chains: y = 2x, then y += x, so y[0] == 3 with
+/// x filled once to 1 — stable across rounds, checked every round.
+fn run_scale(client: grcuda::serve::Client) -> TenantStats {
+    let (x, y, scale, axpy) = setup_pair(&client);
+    let nf = N as f64;
+    for _ in 0..ROUNDS {
+        client
+            .submit(RequestSpec {
+                calls: vec![
+                    call(
+                        scale,
+                        vec![
+                            ArgSpec::Array(x),
+                            ArgSpec::Array(y),
+                            ArgSpec::Scalar(2.0),
+                            ArgSpec::Scalar(nf),
+                        ],
+                    ),
+                    call(
+                        axpy,
+                        vec![
+                            ArgSpec::Array(x),
+                            ArgSpec::Array(y),
+                            ArgSpec::Scalar(1.0),
+                            ArgSpec::Scalar(nf),
+                        ],
+                    ),
+                ],
+                deadline_us: None,
+            })
+            .unwrap();
+        assert_eq!(client.read(y, 0).unwrap(), 3.0);
+    }
+    client.drain().unwrap()
+}
+
+/// A steady trickle of single-AXPY requests, drained at the end.
+fn run_axpy(client: grcuda::serve::Client) -> TenantStats {
+    let (x, y, _scale, axpy) = setup_pair(&client);
+    let nf = N as f64;
+    for _ in 0..ROUNDS {
+        client
+            .submit(RequestSpec {
+                calls: vec![call(
+                    axpy,
+                    vec![
+                        ArgSpec::Array(x),
+                        ArgSpec::Array(y),
+                        ArgSpec::Scalar(0.5),
+                        ArgSpec::Scalar(nf),
+                    ],
+                )],
+                deadline_us: None,
+            })
+            .unwrap();
+    }
+    client.drain().unwrap()
+}
+
+/// The misbehaving tenant: floods several requests per round without
+/// ever waiting. Weighted round-robin (weight 1 vs 4) admits its
+/// backlog one credit at a time.
+fn run_greedy(client: grcuda::serve::Client) -> TenantStats {
+    let (x, y, scale, _axpy) = setup_pair(&client);
+    let nf = N as f64;
+    for _ in 0..ROUNDS {
+        for _ in 0..FLOOD_FACTOR {
+            client
+                .submit(RequestSpec {
+                    calls: vec![call(
+                        scale,
+                        vec![
+                            ArgSpec::Array(x),
+                            ArgSpec::Array(y),
+                            ArgSpec::Scalar(1.5),
+                            ArgSpec::Scalar(nf),
+                        ],
+                    )],
+                    deadline_us: None,
+                })
+                .unwrap();
         }
     }
+    client.drain().unwrap()
+}
+
+fn setup_pair(client: &grcuda::serve::Client) -> (ArrayRef, ArrayRef, KernelRef, KernelRef) {
+    let x = client.alloc(ElemKind::F32, N).unwrap();
+    let y = client.alloc(ElemKind::F32, N).unwrap();
+    client.fill(x, 1.0).unwrap();
+    client.fill(y, 1.0).unwrap();
+    let scale = client.kernel(&SCALE).unwrap();
+    let axpy = client.kernel(&AXPY).unwrap();
+    (x, y, scale, axpy)
+}
+
+fn main() {
+    let config = ServeConfig::new(DeviceProfile::tesla_p100(), Options::parallel())
+        .with_fairness(Fairness::WeightedRoundRobin)
+        .with_pipeline(8, 4);
+    let server = Server::start(config);
+
+    let start = std::time::Instant::now();
+    let workers: Vec<std::thread::JoinHandle<TenantStats>> = vec![
+        {
+            let c = server.client("vec", 4);
+            std::thread::spawn(move || run_vec(c))
+        },
+        {
+            let c = server.client("scale", 4);
+            std::thread::spawn(move || run_scale(c))
+        },
+        {
+            let c = server.client("axpy", 4);
+            std::thread::spawn(move || run_axpy(c))
+        },
+        {
+            let c = server.client("greedy", 1);
+            std::thread::spawn(move || run_greedy(c))
+        },
+    ];
+    let stats: Vec<TenantStats> = workers
+        .into_iter()
+        .map(|h| h.join().expect("tenant thread panicked"))
+        .collect();
     let wall = start.elapsed().as_secs_f64();
-    let st = g.scheduler_stats();
+    let report = server.shutdown();
+
+    println!("tenant   weight  submitted  completed  launches    mean vµs     p99 vµs");
+    println!("{}", "-".repeat(76));
+    for s in &stats {
+        let lat = LatencySummary::from_samples(&s.latencies).expect("completed requests");
+        println!(
+            "{:<8} {:>6}  {:>9}  {:>9}  {:>8}  {:>10.2}  {:>10.2}",
+            s.name,
+            s.weight,
+            s.submitted,
+            s.completed,
+            s.launches,
+            lat.mean * 1e6,
+            lat.p99 * 1e6,
+        );
+        assert_eq!(s.completed, s.submitted, "tenant {} lost requests", s.name);
+        assert_eq!(s.rejected, 0);
+    }
     println!(
-        "\n{REQUESTS} requests ({} launches) in {wall:.2} s wall — {:.0} requests/s",
-        REQUESTS * 3,
-        REQUESTS as f64 / wall
+        "\n{} requests ({} launches) from 4 client threads in {wall:.2} s wall — \
+         virtual time {:.2} ms, {} races",
+        report.total_completed(),
+        report.total_launches(),
+        report.virtual_now * 1e3,
+        report.races,
     );
+    assert_eq!(report.races, 0);
+
+    // The flooding tenant was throttled, not starved: everything it
+    // submitted completed, but its queueing delay dwarfs the
+    // well-behaved tenants'.
+    let greedy = stats.iter().find(|s| s.name == "greedy").unwrap();
+    let scale = stats.iter().find(|s| s.name == "scale").unwrap();
+    let g = LatencySummary::from_samples(&greedy.latencies).unwrap();
+    let s = LatencySummary::from_samples(&scale.latencies).unwrap();
     println!(
-        "lifetime vertices {}, stored at exit {}, peak stored {} — memory is O(live), not O(lifetime)",
-        st.lifetime_vertices, st.stored_vertices, peak_stored
-    );
-    assert!(g.races().is_empty());
-    assert!(
-        peak_stored <= 256,
-        "peak stored {peak_stored} is not bounded"
+        "greedy mean latency {:.1} vµs vs scale {:.1} vµs — flooding bought delay, not share",
+        g.mean * 1e6,
+        s.mean * 1e6
     );
 }
