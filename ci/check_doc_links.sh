@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# Check intra-repo markdown links in README.md and docs/*.md.
+#
+# A link breaks the build when its target file does not exist
+# (relative to the file containing the link) or, for a same-repo
+# `file.md#anchor` / `#anchor` link, when no heading in the target
+# renders to that GitHub-style anchor. External links (http/https) and
+# mailto links are ignored.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# GitHub's heading -> anchor rule: lowercase, drop everything but
+# alphanumerics/spaces/hyphens, spaces become hyphens.
+anchors_of() {
+    sed -n 's/^#\{1,6\} \(.*\)$/\1/p' "$1" |
+        tr '[:upper:]' '[:lower:]' |
+        sed 's/[^a-z0-9 -]//g; s/ /-/g'
+}
+
+scan() {
+    for doc in README.md docs/*.md; do
+        [ -f "$doc" ] || continue
+        dir=$(dirname "$doc")
+        # Inline markdown link targets: [text](target)
+        grep -o '\[[^]]*\]([^)]*)' "$doc" | sed 's/^\[[^]]*\](\(.*\))$/\1/' |
+            while IFS= read -r target; do
+                case "$target" in
+                http://* | https://* | mailto:*) continue ;;
+                esac
+                file=${target%%#*}
+                anchor=${target#*#}
+                [ "$anchor" = "$target" ] && anchor=""
+                if [ -z "$file" ]; then
+                    resolved=$doc # pure #anchor link: same file
+                else
+                    resolved=$dir/$file
+                fi
+                if [ ! -e "$resolved" ]; then
+                    echo "BROKEN LINK in $doc: ($target) -> missing file $resolved"
+                    continue
+                fi
+                if [ -n "$anchor" ] && [[ $resolved == *.md ]]; then
+                    if ! anchors_of "$resolved" | grep -qx "$anchor"; then
+                        echo "BROKEN ANCHOR in $doc: ($target) -> no heading #$anchor in $resolved"
+                    fi
+                fi
+            done
+    done
+}
+
+errors=$(scan)
+if [ -n "$errors" ]; then
+    echo "$errors"
+    echo "doc link check: FAILED ($(echo "$errors" | wc -l) broken link(s))"
+    exit 1
+fi
+echo "doc link check: all intra-repo links in README.md and docs/*.md resolve"

@@ -1,0 +1,124 @@
+//! Adaptive-scheduling smoke — the history loop closed end to end.
+//!
+//! Sweeps the mixed workload (transfer chain, oversubscription, fanout
+//! mix — see `benchmarks::mixed`) across every placement policy. The
+//! static policies run with default options; `adaptive` runs with
+//! online calibration enabled ([`grcuda::Options::with_calibration`]),
+//! which is what feeds its per-kernel duration priors.
+//!
+//! The acceptance bar, asserted here and in `tests/policies.rs`: no
+//! single static policy wins every suite, and Adaptive matches or beats
+//! the best static policy on each one — including a strict >5% win on
+//! the fanout mix, the suite only history can win.
+//!
+//! Usage: `cargo run --release -p bench --bin adaptive [-- --smoke]
+//! [--json FILE]` (`--smoke` shrinks scales for CI; `--json` merges
+//! `adaptive.*` metrics into a flat `BENCH_sched.json`-style file).
+
+use bench::{ms, render_table, round_sig, write_bench_json};
+use benchmarks::{fanout_mix, mixed_makespans, MixedScale, MIXED_SUITES};
+use grcuda::PlacementPolicy;
+
+fn main() {
+    let mut smoke = false;
+    let mut json_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--json" => json_path = Some(args.next().expect("--json FILE")),
+            other => panic!("unknown argument `{other}` (try --smoke/--json FILE)"),
+        }
+    }
+    let wall_start = std::time::Instant::now();
+    let scale = if smoke {
+        MixedScale::quick()
+    } else {
+        MixedScale::smoke()
+    };
+
+    // Makespans of every policy on every suite, adaptive last so the
+    // table reads statics-then-challenger.
+    let statics: Vec<(PlacementPolicy, [(&'static str, f64); 3])> = PlacementPolicy::STATIC
+        .iter()
+        .map(|&p| (p, mixed_makespans(p, &scale)))
+        .collect();
+    let adaptive = mixed_makespans(PlacementPolicy::Adaptive, &scale);
+
+    let mut rows = Vec::new();
+    for (policy, m) in statics
+        .iter()
+        .chain(std::iter::once(&(PlacementPolicy::Adaptive, adaptive)))
+    {
+        let mut cells = vec![policy.name().to_string()];
+        cells.extend(m.iter().map(|&(_, t)| ms(t)));
+        rows.push(cells);
+    }
+    println!("Mixed workload x placement policies (adaptive runs calibrated)\n");
+    println!(
+        "{}",
+        render_table(&["policy", "chain", "oversub", "fanout"], &rows)
+    );
+
+    let mut json = Vec::new();
+    for (i, &suite) in MIXED_SUITES.iter().enumerate() {
+        let a = adaptive[i].1;
+        let (best_policy, best) = statics
+            .iter()
+            .map(|&(p, m)| (p, m[i].1))
+            .min_by(|x, y| x.1.total_cmp(&y.1))
+            .expect("static policies");
+        let speedup = round_sig(best / a, 6);
+        println!(
+            "RESULT adaptive suite={suite} adaptive_ms={:.3} best_static={} \
+             best_static_ms={:.3} speedup={speedup}",
+            a * 1e3,
+            best_policy.name(),
+            best * 1e3,
+        );
+        json.push((format!("adaptive.{suite}.makespan_ms"), a * 1e3));
+        json.push((format!("adaptive.{suite}.best_static_ms"), best * 1e3));
+        json.push((format!("adaptive.{suite}.speedup"), speedup));
+
+        // The acceptance bar: never worse than the best static (2%
+        // headroom for exact ties), strictly better on the fanout.
+        assert!(
+            a <= best * 1.02,
+            "{suite}: adaptive {:.3} ms must match best static \
+             {best_policy:?} {:.3} ms",
+            a * 1e3,
+            best * 1e3,
+        );
+    }
+    for &(policy, m) in &statics {
+        assert!(
+            adaptive[2].1 < m[2].1 * 0.95,
+            "fanout: {policy:?} ({:.3} ms) must lose to adaptive ({:.3} ms) by >5%",
+            m[2].1 * 1e3,
+            adaptive[2].1 * 1e3,
+        );
+    }
+
+    // Calibration actually fed the decisions: the adaptive fanout run
+    // accumulated per-kernel duration observations.
+    let samples = fanout_mix(
+        PlacementPolicy::Adaptive,
+        scale.fanout_n,
+        scale.fanout_rounds,
+    )
+    .calib_kernel_samples;
+    assert!(samples > 0, "calibration must observe kernel durations");
+    println!("RESULT adaptive calib kernel_samples={samples}");
+    json.push(("adaptive.calib.kernel.samples".to_string(), samples as f64));
+
+    println!("\n(acceptance: adaptive matched or beat the best static policy on");
+    println!(" every suite and won the fanout mix outright, asserted)");
+
+    let wall = wall_start.elapsed().as_secs_f64();
+    json.push(("wall.adaptive.wall_s".to_string(), wall));
+    if let Some(path) = json_path {
+        write_bench_json(&path, &json).expect("write bench json");
+        println!("\nwrote {} metrics to {path}", json.len());
+    }
+    println!("\nRESULT adaptive ok wall_s={wall:.2}");
+}

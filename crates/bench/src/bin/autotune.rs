@@ -4,19 +4,33 @@
 //!
 //! Runs each 1-D benchmark kernel repeatedly through
 //! `Kernel::launch_autotuned`, then reports the per-kernel choice and
-//! how it compares to the naive fixed configuration.
+//! how it compares to the worst candidate, as gated `autotune.*`
+//! metrics.
 //!
-//! Usage: `cargo run --release -p bench --bin autotune`
+//! Usage: `cargo run --release -p bench --bin autotune [-- --smoke]
+//! [--json FILE]` (`--smoke` shrinks the input for CI; `--json` merges
+//! `autotune.*` metrics into a flat `BENCH_sched.json`-style file).
 
-use bench::{ms, render_table};
-use gpu_sim::{DeviceProfile, Grid};
+use bench::{ms, render_table, round_sig, write_bench_json};
+use gpu_sim::DeviceProfile;
 use grcuda::history::CANDIDATE_BLOCK_SIZES;
 use grcuda::{Arg, GrCuda, Options};
 use kernels::vec_ops::{REDUCE_SUM_DIFF, SQUARE};
 
 fn main() {
+    let mut smoke = false;
+    let mut json_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--json" => json_path = Some(args.next().expect("--json FILE")),
+            other => panic!("unknown argument `{other}` (try --smoke/--json FILE)"),
+        }
+    }
+    let wall_start = std::time::Instant::now();
     let g = GrCuda::new(DeviceProfile::gtx1660_super(), Options::parallel());
-    let n = 1 << 22;
+    let n = if smoke { 1 << 20 } else { 1 << 22 };
     let x = g.array_f32(n);
     let y = g.array_f32(n);
     let z = g.array_f32(1);
@@ -50,18 +64,44 @@ fn main() {
     }
 
     let mut rows = Vec::new();
+    let mut json = Vec::new();
     for name in ["square", "reduce_sum_diff"] {
         let best = g.best_block_size(name, n).unwrap();
         let mut cells = vec![name.to_string(), format!("{best}")];
+        let mut tuned = None;
+        let mut worst: f64 = 0.0;
         for &bs in &CANDIDATE_BLOCK_SIZES {
             cells.push(match g.mean_kernel_duration(name, bs, n) {
-                Some(d) => ms(d),
+                Some(d) => {
+                    if bs == best {
+                        tuned = Some(d);
+                    }
+                    worst = worst.max(d);
+                    ms(d)
+                }
                 None => "-".into(),
             });
         }
         rows.push(cells);
+
+        // The tuned choice must strictly beat the worst explored
+        // candidate — otherwise the history taught the tuner nothing.
+        let tuned = tuned.expect("best block size was explored");
+        assert!(
+            tuned < worst,
+            "{name}: tuned bs={best} ({tuned}) must beat the worst candidate ({worst})"
+        );
+        let samples = g.history_samples(name);
+        let speedup = round_sig(worst / tuned, 6);
+        println!(
+            "RESULT autotune kernel={name} best_block={best} \
+             speedup_vs_worst={speedup} samples={samples}"
+        );
+        json.push((format!("autotune.{name}.best_block"), best as f64));
+        json.push((format!("autotune.{name}.speedup_vs_worst"), speedup));
+        json.push((format!("autotune.{name}.samples"), samples as f64));
     }
-    println!("Block-size autotuner after 9 rounds (input: {n} elements, 64 blocks)");
+    println!("\nBlock-size autotuner after 9 rounds (input: {n} elements, 64 blocks)");
     let mut headers = vec!["kernel", "chosen"];
     let labels: Vec<String> = CANDIDATE_BLOCK_SIZES
         .iter()
@@ -70,10 +110,15 @@ fn main() {
     headers.extend(labels.iter().map(|s| s.as_str()));
     println!("{}", render_table(&headers, &rows));
 
-    // Sanity: the tuned choice must beat the worst candidate.
-    let fixed = Grid::d1(64, 32);
-    let _ = fixed;
     println!("(paper §V-C: with serial scheduling small blocks under-utilize the GPU;");
     println!(" the tuner discovers this automatically instead of requiring profiling)");
     assert_eq!(g.races().len(), 0);
+
+    let wall = wall_start.elapsed().as_secs_f64();
+    json.push(("wall.autotune.wall_s".to_string(), wall));
+    if let Some(path) = json_path {
+        write_bench_json(&path, &json).expect("write bench json");
+        println!("\nwrote {} metrics to {path}", json.len());
+    }
+    println!("\nRESULT autotune ok wall_s={wall:.2}");
 }

@@ -41,6 +41,7 @@ fn higher_is_better(key: &str) -> bool {
         || key.contains("scaling")
         || key.ends_with(".launches")
         || key.ends_with(".checked_pairs")
+        || key.ends_with(".samples")
 }
 
 /// True for latency metrics, which gate lower-is-better. Checked

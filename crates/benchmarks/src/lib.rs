@@ -23,6 +23,7 @@
 //! simulator's race detector must stay silent.
 
 pub mod bound;
+pub mod mixed;
 pub mod oversub;
 pub mod runners;
 pub mod scales;
@@ -31,8 +32,13 @@ pub mod suite;
 pub mod transfer;
 
 pub use bound::{contention_free_time, contention_free_time_warm};
+pub use mixed::{
+    fanout_mix, fanout_mix_opts, mixed_makespans, mixed_options, FanoutMixResult, MixedScale,
+    FANOUT_DEVICES, MIXED_SUITES,
+};
 pub use oversub::{
-    oversub_capacity, oversub_configs, oversubscribe, OversubResult, OVERSUB_DEVICES,
+    oversub_capacity, oversub_configs, oversubscribe, oversubscribe_opts, OversubResult,
+    OVERSUB_DEVICES,
 };
 pub use runners::{
     grcuda_arrays, multi_gpu_arrays, read_grcuda_outputs, read_multi_gpu_outputs,
@@ -40,7 +46,9 @@ pub use runners::{
     run_grcuda, run_handtuned, run_multi_gpu, run_multi_gpu_topo, MultiRunResult, RunResult,
 };
 pub use spec::{ArraySpec, BenchSpec, PlanArg, PlanOp};
-pub use transfer::{transfer_chain, TransferChainResult, TRANSFER_CHAIN_DEVICES};
+pub use transfer::{
+    transfer_chain, transfer_chain_opts, TransferChainResult, TRANSFER_CHAIN_DEVICES,
+};
 
 /// The six benchmarks, in the paper's figure order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]

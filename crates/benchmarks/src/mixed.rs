@@ -1,0 +1,287 @@
+//! The *fanout mix*: the independent mixed-duration fan-out that
+//! separates history-driven placement from every count-based heuristic —
+//! and the cross-suite sweep ("mixed workload") that shows no single
+//! static policy wins everywhere.
+//!
+//! Per round, on 2 devices: one *heavy* kernel (Black–Scholes fp64
+//! pricing over `n` options — compute-bound on the fp64-starved
+//! GTX 1660 Super the suite runs on) and three *short* kernels
+//! (Gaussian blur over a small image, whose stencil compute dwarfs its
+//! tiny transfer), all mutually independent and all on **fresh
+//! host-resident arrays** — so residency and transfer estimates tie
+//! across devices and placement is decided purely by each policy's load
+//! model. The heavy kernel's duration is ~3–4× a short's. The round
+//! ends with a sync (the next round's decisions start from an idle
+//! machine).
+//!
+//! Count-based tie-breaks (round-robin, stream-aware, and the
+//! transfer/memory-aware policies' in-flight tie-break) all see "one
+//! task here, one task there" and give the heavy kernel's device a
+//! short kernel too: makespan ≈ heavy + short. A policy that knows the
+//! *durations* — [`grcuda::PlacementPolicy::Adaptive`] with online
+//! calibration ([`grcuda::Options::calibrate`]) — charges the heavy
+//! kernel's predicted seconds to its device and routes all three shorts
+//! to the other one: makespan ≈ max(heavy, 3·short), strictly better
+//! whenever heavy ≥ 3·short. The first round is an unmeasured warmup
+//! that primes the calibration priors; measurement starts at its sync.
+
+use gpu_sim::DeviceProfile;
+use gpu_sim::{EvictionPolicy, Grid, TopologyKind};
+use grcuda::{MultiArg, MultiArray, MultiGpu, Options, PlacementPolicy};
+use kernels::black_scholes::BLACK_SCHOLES;
+use kernels::image::GAUSSIAN_BLUR;
+
+use crate::oversub::{oversub_capacity, oversubscribe_opts};
+use crate::transfer::transfer_chain_opts;
+
+/// Devices the fan-out is shaped for.
+pub const FANOUT_DEVICES: usize = 2;
+/// Short kernels per round.
+pub const FANOUT_SHORTS: usize = 3;
+/// Blur stencil diameter for the short kernels (compute ∝ diameter²,
+/// so the shorts' durations are compute- not transfer-dominated).
+const BLUR_DIAMETER: usize = 31;
+
+/// What one fanout-mix run measured.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FanoutMixResult {
+    /// Simulated makespan of the measured rounds (warmup excluded),
+    /// in seconds.
+    pub makespan: f64,
+    /// Checksum over sampled outputs — identical across policies
+    /// (placement moves work, never changes results).
+    pub checksum: f64,
+    /// Kernel-duration observations the calibration layer accumulated
+    /// (0 unless the options enabled it).
+    pub calib_kernel_samples: u64,
+    /// Data races observed (must be 0).
+    pub races: usize,
+}
+
+/// The options a policy naturally runs the mixed workload under:
+/// defaults for the static policies, defaults + online calibration for
+/// [`PlacementPolicy::Adaptive`] (which is history-blind without it).
+pub fn mixed_options(policy: PlacementPolicy) -> Options {
+    Options::parallel().with_calibration(policy == PlacementPolicy::Adaptive)
+}
+
+/// Run the fanout mix under a policy with its natural options
+/// ([`mixed_options`]). `n` is the short kernels' element count;
+/// `rounds` the number of measured rounds (one warmup round is added).
+pub fn fanout_mix(policy: PlacementPolicy, n: usize, rounds: usize) -> FanoutMixResult {
+    fanout_mix_opts(policy, n, rounds, mixed_options(policy))
+}
+
+/// [`fanout_mix`] with explicit scheduler options.
+pub fn fanout_mix_opts(
+    policy: PlacementPolicy,
+    n: usize,
+    rounds: usize,
+    options: Options,
+) -> FanoutMixResult {
+    let grid = Grid::d1(256, 256);
+    let mut m = MultiGpu::new(
+        DeviceProfile::gtx1660_super(),
+        FANOUT_DEVICES,
+        options,
+        policy,
+    );
+    // Short kernels blur a side×side image whose pixel count is n/4;
+    // the heavy kernel prices 2n fp64 options (~300 fp64 ops each on a
+    // 1/32-rate part), so one heavy ≈ 3–4 shorts in duration.
+    let heavy_n = 2 * n;
+    let side = ((n / 4) as f64).sqrt() as usize;
+    let d = BLUR_DIAMETER;
+    let mut checksum = 0.0;
+    let mut t0 = 0.0;
+    for round in 0..=rounds {
+        // Fresh arrays every round: all-host data costs every device the
+        // same single H2D leg, so the placement decision is exactly the
+        // policy's load model — nothing is pinned by prior residency.
+        let hx = m.array_f64(heavy_n);
+        let hy = m.array_f64(heavy_n);
+        m.write_f64(&hx, &vec![90.0 + round as f64; heavy_n]);
+        m.launch(
+            &BLACK_SCHOLES,
+            grid,
+            &[
+                MultiArg::array(&hx),
+                MultiArg::array(&hy),
+                MultiArg::scalar(heavy_n as f64),
+                MultiArg::scalar(100.0),
+                MultiArg::scalar(0.02),
+                MultiArg::scalar(0.30),
+                MultiArg::scalar(1.0),
+            ],
+        )
+        .unwrap();
+        let shorts: Vec<MultiArray> = (0..FANOUT_SHORTS)
+            .map(|k| {
+                let img = m.array_f32(side * side);
+                let out = m.array_f32(side * side);
+                let kern = m.array_f32(d * d);
+                m.write_f32(&img, &vec![0.5 + 0.25 * k as f32; side * side]);
+                m.write_f32(&kern, &vec![1.0 / (d * d) as f32; d * d]);
+                m.launch(
+                    &GAUSSIAN_BLUR,
+                    grid,
+                    &[
+                        MultiArg::array(&img),
+                        MultiArg::array(&out),
+                        MultiArg::scalar(side as f64),
+                        MultiArg::scalar(side as f64),
+                        MultiArg::array(&kern),
+                        MultiArg::scalar(d as f64),
+                    ],
+                )
+                .unwrap();
+                out
+            })
+            .collect();
+        m.sync();
+        if round == 0 {
+            // Warmup done: priors are primed, the machine is idle.
+            // Measure from here.
+            t0 = m.runtime().now();
+        } else if round == rounds {
+            // Verify outputs once, on the final round — host read-back
+            // is policy-neutral noise, so keep it out of the middle of
+            // the measurement.
+            checksum += m.get_f64(&hy, 1);
+            for out in &shorts {
+                checksum += m.get_f32(out, 1) as f64;
+            }
+        }
+    }
+    FanoutMixResult {
+        makespan: m.runtime().now() - t0,
+        checksum,
+        calib_kernel_samples: m.runtime().calibration_stats().kernel_samples,
+        races: m.races(),
+    }
+}
+
+/// The mixed workload's suites, in sweep order.
+pub const MIXED_SUITES: [&str; 3] = ["chain", "oversub", "fanout"];
+
+/// Problem sizes for one mixed-workload sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct MixedScale {
+    /// Transfer-chain input elements.
+    pub chain_n: usize,
+    /// Transfer-chain iterations.
+    pub chain_iters: usize,
+    /// Oversubscription state-array elements.
+    pub oversub_n: usize,
+    /// Oversubscription passes.
+    pub oversub_iters: usize,
+    /// Fanout-mix short-kernel elements.
+    pub fanout_n: usize,
+    /// Fanout-mix measured rounds.
+    pub fanout_rounds: usize,
+}
+
+impl MixedScale {
+    /// The scale the `adaptive` benchmark binary runs.
+    pub fn smoke() -> Self {
+        MixedScale {
+            chain_n: 1 << 17,
+            chain_iters: 6,
+            oversub_n: 1 << 16,
+            oversub_iters: 4,
+            fanout_n: 1 << 16,
+            fanout_rounds: 4,
+        }
+    }
+
+    /// A smaller scale for unit/integration tests.
+    pub fn quick() -> Self {
+        MixedScale {
+            chain_n: 1 << 15,
+            chain_iters: 4,
+            oversub_n: 1 << 15,
+            oversub_iters: 2,
+            fanout_n: 1 << 15,
+            fanout_rounds: 3,
+        }
+    }
+}
+
+/// Makespans of one policy across every suite of the mixed workload
+/// (suite names from [`MIXED_SUITES`]), each run under the policy's
+/// natural options ([`mixed_options`]) and, for the oversubscription
+/// suite, LRU eviction — eviction is held fixed so placement is the
+/// only variable under test.
+pub fn mixed_makespans(policy: PlacementPolicy, scale: &MixedScale) -> [(&'static str, f64); 3] {
+    let opts = mixed_options(policy);
+    let chain = transfer_chain_opts(
+        policy,
+        TopologyKind::NvlinkPair,
+        scale.chain_n,
+        scale.chain_iters,
+        opts,
+    )
+    .makespan;
+    let oversub = oversubscribe_opts(
+        policy,
+        EvictionPolicy::Lru,
+        Some(oversub_capacity(scale.oversub_n)),
+        scale.oversub_n,
+        scale.oversub_iters,
+        opts,
+    )
+    .makespan;
+    let fanout = fanout_mix_opts(policy, scale.fanout_n, scale.fanout_rounds, opts).makespan;
+    [("chain", chain), ("oversub", oversub), ("fanout", fanout)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const N: usize = 1 << 15;
+
+    #[test]
+    fn fanout_mix_is_deterministic_and_race_free() {
+        let a = fanout_mix(PlacementPolicy::Adaptive, N, 3);
+        let b = fanout_mix(PlacementPolicy::Adaptive, N, 3);
+        assert_eq!(a, b);
+        assert_eq!(a.races, 0);
+        assert!(a.checksum.is_finite());
+        assert!(
+            a.calib_kernel_samples > 0,
+            "adaptive runs calibrated: {a:?}"
+        );
+    }
+
+    #[test]
+    fn results_are_identical_across_policies() {
+        let reference = fanout_mix(PlacementPolicy::SingleGpu, N, 3);
+        assert_eq!(
+            reference.calib_kernel_samples, 0,
+            "statics run uncalibrated"
+        );
+        for policy in PlacementPolicy::ALL {
+            let r = fanout_mix(policy, N, 3);
+            assert_eq!(r.races, 0, "{policy:?} raced");
+            assert_eq!(
+                r.checksum, reference.checksum,
+                "{policy:?} changed the numbers"
+            );
+        }
+    }
+
+    #[test]
+    fn adaptive_strictly_beats_every_count_based_policy_on_the_fanout() {
+        let adaptive = fanout_mix(PlacementPolicy::Adaptive, N, 3);
+        for policy in PlacementPolicy::STATIC {
+            let r = fanout_mix(policy, N, 3);
+            assert!(
+                adaptive.makespan < r.makespan * 0.95,
+                "{policy:?} ({} ms) should lose to adaptive ({} ms) by >5%",
+                r.makespan * 1e3,
+                adaptive.makespan * 1e3,
+            );
+        }
+    }
+}

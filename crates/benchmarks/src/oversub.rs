@@ -94,12 +94,26 @@ pub fn oversubscribe(
     n: usize,
     iters: usize,
 ) -> OversubResult {
+    oversubscribe_opts(policy, eviction, capacity, n, iters, Options::parallel())
+}
+
+/// [`oversubscribe`] with explicit scheduler options — what calibrated
+/// (adaptive) runs use; the plain entry point keeps the default options
+/// so committed metrics stay bit-identical.
+pub fn oversubscribe_opts(
+    policy: PlacementPolicy,
+    eviction: EvictionPolicy,
+    capacity: Option<usize>,
+    n: usize,
+    iters: usize,
+    options: Options,
+) -> OversubResult {
     let grid = Grid::d1(64, 256);
     let memory = MemoryConfig { capacity, eviction };
     let mut m = MultiGpu::with_memory(
         DeviceProfile::tesla_p100(),
         OVERSUB_DEVICES,
-        Options::parallel(),
+        options,
         policy,
         TopologyKind::PcieOnly,
         memory,

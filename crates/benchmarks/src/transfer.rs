@@ -62,11 +62,24 @@ pub fn transfer_chain(
     n: usize,
     iters: usize,
 ) -> TransferChainResult {
+    transfer_chain_opts(policy, topology, n, iters, Options::parallel())
+}
+
+/// [`transfer_chain`] with explicit scheduler options — what calibrated
+/// (adaptive) runs use; the plain entry point keeps the default options
+/// so committed metrics stay bit-identical.
+pub fn transfer_chain_opts(
+    policy: PlacementPolicy,
+    topology: TopologyKind,
+    n: usize,
+    iters: usize,
+    options: Options,
+) -> TransferChainResult {
     let grid = Grid::d1(64, 256);
     let mut m = MultiGpu::with_topology(
         DeviceProfile::tesla_p100(),
         TRANSFER_CHAIN_DEVICES,
-        Options::parallel(),
+        options,
         policy,
         topology,
     );

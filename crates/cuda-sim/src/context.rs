@@ -202,10 +202,16 @@ impl Cuda {
         let st = &inner.arrays[&a.id];
         let bytes = st.bytes as f64;
         let topo = inner.engine.topology();
+        let calib = inner.engine.calibration();
         for (d, acc) in est.iter_mut().enumerate() {
             let target = d as u32;
-            let host = topo.link(topo.host_link(target));
-            let host_leg = host.latency + bytes / host.bandwidth;
+            let host_id = topo.host_link(target);
+            let host = topo.link(host_id);
+            // Observed contention scales the uncontended leg estimates
+            // when calibration is enabled; `link_scale` is exactly 1.0
+            // otherwise, keeping the default bit-identical.
+            let host_leg =
+                (host.latency + bytes / host.bandwidth) * calib.link_scale(host_id.0 as usize);
             *acc += match st.residency {
                 Residency::Host => host_leg,
                 Residency::Both if st.device == target => 0.0,
@@ -214,7 +220,7 @@ impl Cuda {
                 Residency::Device => match topo.d2d_link(st.device, target) {
                     Some(l) => {
                         let link = topo.link(l);
-                        link.latency + bytes / link.bandwidth
+                        (link.latency + bytes / link.bandwidth) * calib.link_scale(l.0 as usize)
                     }
                     None => 2.0 * host_leg,
                 },
@@ -333,11 +339,17 @@ impl Cuda {
         let st = &inner.arrays[&a.id];
         let bytes = st.bytes as f64;
         let topo = inner.engine.topology();
-        let host = topo.link(topo.host_link(target));
+        let calib = inner.engine.calibration();
+        let host_id = topo.host_link(target);
+        let host = topo.link(host_id);
         // Every leg carries its link's fixed latency, so small-array
         // estimates do not spuriously favor a host-mediated route (two
-        // legs, two setups) over a low-latency peer link.
-        let host_leg = host.latency + bytes / host.bandwidth;
+        // legs, two setups) over a low-latency peer link. With
+        // calibration enabled, each leg is additionally scaled by its
+        // link's observed contention ratio (`link_scale` is exactly 1.0
+        // otherwise — the default estimate is bit-identical).
+        let host_leg =
+            (host.latency + bytes / host.bandwidth) * calib.link_scale(host_id.0 as usize);
         match st.residency {
             Residency::Host => host_leg,
             Residency::Both if st.device == target => 0.0,
@@ -346,11 +358,45 @@ impl Cuda {
             Residency::Device => match topo.d2d_link(st.device, target) {
                 Some(l) => {
                     let link = topo.link(l);
-                    link.latency + bytes / link.bandwidth
+                    (link.latency + bytes / link.bandwidth) * calib.link_scale(l.0 as usize)
                 }
                 None => 2.0 * host_leg,
             },
         }
+    }
+
+    /// Enable (or disable) online calibration: from then on every
+    /// completed kernel feeds a decaying per-signature duration prior
+    /// ([`Cuda::kernel_duration_prior`]) and every completed transfer
+    /// feeds its link's contention scale, which multiplies into
+    /// [`Cuda::transfer_time_estimate`] / [`Cuda::placement_probe`].
+    /// Off by default: a default context estimates and measures
+    /// bit-identically to one built before calibration existed.
+    pub fn enable_calibration(&self, on: bool) {
+        self.inner
+            .borrow_mut()
+            .engine
+            .calibration_mut()
+            .set_enabled(on);
+    }
+
+    /// True when online calibration is collecting observations.
+    pub fn calibration_enabled(&self) -> bool {
+        self.inner.borrow().engine.calibration().enabled()
+    }
+
+    /// The decaying mean duration observed for a kernel signature, or
+    /// `None` while calibration is disabled or has no samples for it —
+    /// the task-duration prior history-driven placement weighs
+    /// in-flight work by.
+    pub fn kernel_duration_prior(&self, label: &str) -> Option<Time> {
+        self.inner.borrow().engine.calibration().kernel_prior(label)
+    }
+
+    /// Aggregate calibration sample counters (kernel samples, transfer
+    /// samples, distinct signatures).
+    pub fn calibration_stats(&self) -> gpu_sim::CalibrationStats {
+        self.inner.borrow().engine.calibration().stats()
     }
 
     /// Current virtual time in seconds.

@@ -1,0 +1,230 @@
+//! Online calibration: decaying means of *observed* task behavior that
+//! feed back into the estimates the layers above plan with.
+//!
+//! The engine's cost model predicts solo durations analytically; the
+//! scheduler's transfer-time estimates assume uncontended links. Both
+//! are good priors and both drift under load — concurrent transfers
+//! share link bandwidth, co-running kernels slow each other down. This
+//! module closes the measurement→decision loop: every completed task is
+//! an observation, folded into
+//!
+//! * a **per-kernel-signature duration prior** (decaying mean of the
+//!   measured wall duration per task label), consumed by
+//!   history-driven placement policies, and
+//! * a **per-link contention scale** (decaying mean of
+//!   `observed / solo` duration per link), consumed by the
+//!   transfer-time estimators above the engine.
+//!
+//! Calibration is **off by default** and observation is skipped
+//! entirely while disabled, so a default-configured engine behaves —
+//! and benchmarks measure — bit-identically to one built before this
+//! module existed. [`Calibration::link_scale`] returns exactly `1.0`
+//! whenever it has nothing to say (disabled, or no samples for the
+//! link), and multiplying an estimate by `1.0` is bit-exact.
+
+use std::collections::HashMap;
+
+use crate::Time;
+
+/// Weight of the newest observation in the decaying mean. High enough
+/// to adapt within a handful of samples, low enough that one outlier
+/// (e.g. a cold-start transfer) does not dominate the prior.
+pub const DEFAULT_DECAY: f64 = 0.25;
+
+/// Contention scales are clamped to this range: a link estimate may be
+/// inflated or deflated by calibration, but never to the point where a
+/// single pathological window inverts every placement margin.
+pub const LINK_SCALE_CLAMP: (f64, f64) = (0.25, 4.0);
+
+/// One decaying-mean accumulator.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+struct Ewma {
+    mean: f64,
+    samples: u64,
+}
+
+impl Ewma {
+    fn observe(&mut self, x: f64, decay: f64) {
+        if self.samples == 0 {
+            self.mean = x;
+        } else {
+            self.mean = (1.0 - decay) * self.mean + decay * x;
+        }
+        self.samples += 1;
+    }
+}
+
+/// Aggregate sample counters, exposed for reporting and smoke gates.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CalibrationStats {
+    /// Kernel completions observed into duration priors.
+    pub kernel_samples: u64,
+    /// Transfer completions observed into link contention scales.
+    pub transfer_samples: u64,
+    /// Distinct kernel signatures (labels) with at least one sample.
+    pub kernel_signatures: usize,
+}
+
+/// The online calibration state owned by an [`crate::Engine`]. See the
+/// [module docs](self).
+#[derive(Debug, Default)]
+pub struct Calibration {
+    enabled: bool,
+    kernels: HashMap<String, Ewma>,
+    /// Indexed like the engine topology's links.
+    links: Vec<Ewma>,
+    stats: CalibrationStats,
+}
+
+impl Calibration {
+    /// A disabled calibration with no observations.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Turn observation (and estimate scaling) on or off. Accumulated
+    /// observations survive a disable/enable cycle; they simply stop
+    /// being collected and consulted while off.
+    pub fn set_enabled(&mut self, on: bool) {
+        self.enabled = on;
+    }
+
+    /// True when observations are being collected and consulted.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Fold a completed kernel's measured duration into the decaying
+    /// prior for its signature. No-op while disabled.
+    pub fn observe_kernel(&mut self, label: &str, duration: Time) {
+        if !self.enabled || !duration.is_finite() || duration < 0.0 {
+            return;
+        }
+        match self.kernels.get_mut(label) {
+            Some(e) => e.observe(duration, DEFAULT_DECAY),
+            None => {
+                let mut e = Ewma::default();
+                e.observe(duration, DEFAULT_DECAY);
+                self.kernels.insert(label.to_string(), e);
+                self.stats.kernel_signatures += 1;
+            }
+        }
+        self.stats.kernel_samples += 1;
+    }
+
+    /// Fold a completed transfer's `observed / solo` duration ratio into
+    /// the decaying contention scale for its link. No-op while disabled.
+    pub fn observe_transfer(&mut self, link: usize, observed: Time, solo: Time) {
+        if !self.enabled || !solo.is_finite() || solo <= 0.0 || !observed.is_finite() {
+            return;
+        }
+        if self.links.len() <= link {
+            self.links.resize(link + 1, Ewma::default());
+        }
+        self.links[link].observe(observed / solo, DEFAULT_DECAY);
+        self.stats.transfer_samples += 1;
+    }
+
+    /// Decaying mean duration observed for a kernel signature, or `None`
+    /// while disabled or with no samples — the *task-duration prior*
+    /// history-driven placement weighs in-flight work by.
+    pub fn kernel_prior(&self, label: &str) -> Option<Time> {
+        if !self.enabled {
+            return None;
+        }
+        self.kernels
+            .get(label)
+            .filter(|e| e.samples > 0)
+            .map(|e| e.mean)
+    }
+
+    /// Multiplier for a link's estimated transfer legs: the clamped
+    /// decaying mean of observed contention on that link. Exactly `1.0`
+    /// while disabled or with no samples, so scaling an estimate by it
+    /// is bit-exact in the default configuration.
+    pub fn link_scale(&self, link: usize) -> f64 {
+        if !self.enabled {
+            return 1.0;
+        }
+        match self.links.get(link) {
+            Some(e) if e.samples > 0 => e.mean.clamp(LINK_SCALE_CLAMP.0, LINK_SCALE_CLAMP.1),
+            _ => 1.0,
+        }
+    }
+
+    /// Aggregate sample counters.
+    pub fn stats(&self) -> CalibrationStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_calibration_observes_nothing_and_scales_by_one() {
+        let mut c = Calibration::new();
+        c.observe_kernel("k", 1e-3);
+        c.observe_transfer(0, 2e-3, 1e-3);
+        assert_eq!(c.stats(), CalibrationStats::default());
+        assert_eq!(c.kernel_prior("k"), None);
+        assert_eq!(c.link_scale(0), 1.0);
+        assert_eq!(c.link_scale(99), 1.0);
+    }
+
+    #[test]
+    fn kernel_prior_is_a_decaying_mean() {
+        let mut c = Calibration::new();
+        c.set_enabled(true);
+        c.observe_kernel("k", 1e-3);
+        assert_eq!(c.kernel_prior("k"), Some(1e-3), "first sample seeds");
+        c.observe_kernel("k", 2e-3);
+        let p = c.kernel_prior("k").unwrap();
+        assert!(p > 1e-3 && p < 2e-3, "mean moves toward the new sample");
+        let expect = (1.0 - DEFAULT_DECAY) * 1e-3 + DEFAULT_DECAY * 2e-3;
+        assert!((p - expect).abs() < 1e-15);
+        assert_eq!(c.kernel_prior("other"), None);
+        assert_eq!(c.stats().kernel_samples, 2);
+        assert_eq!(c.stats().kernel_signatures, 1);
+    }
+
+    #[test]
+    fn link_scale_tracks_contention_and_clamps() {
+        let mut c = Calibration::new();
+        c.set_enabled(true);
+        c.observe_transfer(1, 3e-3, 1e-3); // 3x slower than solo
+        assert!((c.link_scale(1) - 3.0).abs() < 1e-12);
+        assert_eq!(c.link_scale(0), 1.0, "unobserved link is neutral");
+        for _ in 0..64 {
+            c.observe_transfer(1, 1.0, 1e-9); // pathological ratio
+        }
+        assert_eq!(c.link_scale(1), LINK_SCALE_CLAMP.1, "clamped");
+        assert_eq!(c.stats().transfer_samples, 65);
+    }
+
+    #[test]
+    fn re_enabling_keeps_accumulated_observations() {
+        let mut c = Calibration::new();
+        c.set_enabled(true);
+        c.observe_kernel("k", 5e-4);
+        c.set_enabled(false);
+        assert_eq!(c.kernel_prior("k"), None, "silent while off");
+        c.observe_kernel("k", 9e9); // dropped
+        c.set_enabled(true);
+        assert_eq!(c.kernel_prior("k"), Some(5e-4));
+        assert_eq!(c.stats().kernel_samples, 1);
+    }
+
+    #[test]
+    fn garbage_observations_are_rejected() {
+        let mut c = Calibration::new();
+        c.set_enabled(true);
+        c.observe_kernel("k", f64::NAN);
+        c.observe_kernel("k", -1.0);
+        c.observe_transfer(0, 1e-3, 0.0);
+        c.observe_transfer(0, 1e-3, -2.0);
+        assert_eq!(c.stats().kernel_samples, 0);
+        assert_eq!(c.stats().transfer_samples, 0);
+    }
+}

@@ -19,6 +19,7 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
+use crate::calibrate::Calibration;
 use crate::fluid::{max_min_rates, max_min_rates_vec};
 use crate::profile::DeviceProfile;
 use crate::race::{check_conflict, RaceReport};
@@ -155,6 +156,11 @@ pub struct Engine {
     timeline: Timeline,
     races: Vec<RaceReport>,
     stats: EngineStats,
+    /// Online calibration: decaying per-kernel-signature duration
+    /// priors and per-link contention scales harvested from completed
+    /// tasks. Off by default — observation is skipped entirely while
+    /// disabled (see [`crate::calibrate`]).
+    calib: Calibration,
 }
 
 impl Engine {
@@ -213,7 +219,20 @@ impl Engine {
             timeline: Timeline::new(),
             races: Vec::new(),
             stats: EngineStats::default(),
+            calib: Calibration::new(),
         }
+    }
+
+    /// The online calibration state (off by default; see
+    /// [`crate::calibrate`]).
+    pub fn calibration(&self) -> &Calibration {
+        &self.calib
+    }
+
+    /// Mutable access to the calibration state — how the layers above
+    /// enable it ([`Calibration::set_enabled`]).
+    pub fn calibration_mut(&mut self) -> &mut Calibration {
+        &mut self.calib
     }
 
     /// The device this engine simulates.
@@ -783,6 +802,23 @@ impl Engine {
             if let Some(l) = link {
                 self.link_bytes[l.0 as usize] += iv.meta.bytes;
                 self.link_transfers[l.0 as usize] += 1;
+            }
+        }
+        if self.calib.enabled() {
+            // Every completion is a calibration observation: kernels
+            // feed the per-signature duration prior, transfers feed
+            // their link's contention scale (observed wall duration
+            // over the solo time the specs were submitted with).
+            match iv.kind {
+                TaskKind::Kernel => self.calib.observe_kernel(&iv.label, iv.duration()),
+                k if k.is_transfer() => {
+                    if let Some(l) = link {
+                        let solo = self.tasks[i].fixed_latency + self.tasks[i].fluid_work;
+                        self.calib
+                            .observe_transfer(l.0 as usize, iv.duration(), solo);
+                    }
+                }
+                _ => {}
             }
         }
         self.timeline.push(iv);

@@ -58,6 +58,7 @@
 //! let _ = (a, b);
 //! ```
 
+pub mod calibrate;
 pub mod cost;
 pub mod data;
 pub mod engine;
@@ -75,6 +76,7 @@ pub mod topology;
 /// layers above import it by).
 pub use memory_manager as memgr;
 
+pub use calibrate::{Calibration, CalibrationStats};
 pub use cost::{Grid, KernelCost};
 pub use data::{DataBuffer, TypedData, ValueId};
 pub use engine::{Engine, EngineStats, TaskId};

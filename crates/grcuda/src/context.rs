@@ -164,6 +164,41 @@ impl GrCuda {
     /// [`GrCuda::new_multi`] with a custom [`DeviceSelectionPolicy`] —
     /// the extension point for placement strategies beyond the built-in
     /// ones (sharding, batching, heterogeneous-device weighting, ...).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use grcuda::{
+    ///     Arg, DeviceProfile, DeviceSelectionPolicy, GrCuda, Grid, Options, PlacementCtx,
+    /// };
+    /// use kernels::vec_ops::SQUARE;
+    ///
+    /// /// Sticky placement: follow the first parent, else device 0.
+    /// struct FollowParent;
+    ///
+    /// impl DeviceSelectionPolicy for FollowParent {
+    ///     fn name(&self) -> &'static str {
+    ///         "follow-parent"
+    ///     }
+    ///     fn select(&mut self, ctx: &PlacementCtx) -> u32 {
+    ///         ctx.parent_devices.first().copied().unwrap_or(0)
+    ///     }
+    /// }
+    ///
+    /// let g = GrCuda::with_placement(
+    ///     DeviceProfile::tesla_p100(),
+    ///     4,
+    ///     Options::parallel(),
+    ///     Box::new(FollowParent),
+    /// );
+    /// let x = g.array_f32(256);
+    /// x.fill_f32(3.0);
+    /// let sq = g.build_kernel(&SQUARE).unwrap();
+    /// sq.launch(Grid::d1(1, 256), &[Arg::array(&x), Arg::scalar(256.0)])
+    ///     .unwrap();
+    /// g.sync();
+    /// assert_eq!(x.get_f32(0), 9.0);
+    /// ```
     pub fn with_placement(
         dev: DeviceProfile,
         n: usize,
@@ -212,6 +247,9 @@ impl GrCuda {
         // launch to annotate its DAG; recording is safe to leave on
         // because the drain keeps the buffer bounded.
         cuda.record_mem_events(true);
+        if options.calibrate {
+            cuda.enable_calibration(true);
+        }
         GrCuda {
             inner: Rc::new(RefCell::new(Ctx {
                 cuda,
@@ -475,6 +513,33 @@ impl GrCuda {
             .mean_duration(kernel, block_size, elements)
     }
 
+    /// True when online calibration is feeding observed durations and
+    /// transfer contention back into the estimate seams (see
+    /// [`Options::calibrate`]).
+    pub fn calibration_enabled(&self) -> bool {
+        self.inner.borrow().cuda.calibration_enabled()
+    }
+
+    /// Toggle online calibration at run time (the constructor applies
+    /// [`Options::calibrate`]; this flips it afterwards — accumulated
+    /// observations survive a disable/re-enable cycle).
+    pub fn set_calibration(&self, on: bool) {
+        self.inner.borrow().cuda.enable_calibration(on);
+    }
+
+    /// The calibrated decaying-mean duration for a kernel signature, or
+    /// `None` while calibration is off or has no samples for it. This
+    /// is the prior [`crate::policy::Adaptive`] weights its
+    /// predicted-seconds ledger by.
+    pub fn kernel_duration_prior(&self, kernel: &str) -> Option<Time> {
+        self.inner.borrow().cuda.kernel_duration_prior(kernel)
+    }
+
+    /// Observation counters for the online calibration layer.
+    pub fn calibration_stats(&self) -> gpu_sim::CalibrationStats {
+        self.inner.borrow().cuda.calibration_stats()
+    }
+
     /// Execution timeline snapshot.
     pub fn timeline(&self) -> Timeline {
         self.inner.borrow().cuda.timeline()
@@ -581,6 +646,31 @@ impl GrCuda {
     ///
     /// Kernels in the batch must belong to this runtime. Returns the
     /// device the placement policy chose for each call, in order.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use grcuda::{Arg, BatchLaunch, DeviceProfile, GrCuda, Grid, Options};
+    /// use kernels::vec_ops::SQUARE;
+    ///
+    /// let g = GrCuda::new(DeviceProfile::tesla_p100(), Options::parallel());
+    /// let x = g.array_f32(1024);
+    /// x.fill_f32(2.0);
+    /// let sq = g.build_kernel(&SQUARE).unwrap();
+    /// let grid = Grid::d1(4, 256);
+    /// let args = [Arg::array(&x), Arg::scalar(1024.0)];
+    ///
+    /// // Two dependent squarings, one amortized host-side charge.
+    /// let devices = g
+    ///     .launch_batch(&[
+    ///         BatchLaunch { kernel: &sq, grid, args: &args },
+    ///         BatchLaunch { kernel: &sq, grid, args: &args },
+    ///     ])
+    ///     .unwrap();
+    /// assert_eq!(devices.len(), 2);
+    /// g.sync();
+    /// assert_eq!(x.get_f32(0), 16.0); // 2² then 4²
+    /// ```
     pub fn launch_batch(&self, calls: &[BatchLaunch<'_>]) -> Result<Vec<u32>, LaunchError> {
         for c in calls {
             c.kernel.validate(c.args)?;
@@ -755,6 +845,8 @@ impl GrCuda {
                         inflight: &s.inflight,
                         free_bytes: &s.free_bytes,
                         arg_bytes,
+                        kernel: kernel.def.name,
+                        duration_prior: cuda.kernel_duration_prior(kernel.def.name),
                     })
                 };
                 if n_dev > 1 {
@@ -1453,6 +1545,88 @@ mod tests {
             2,
             "out-of-order completion must not lose history samples"
         );
+    }
+
+    #[test]
+    fn harvest_accumulates_duplicate_samples_for_one_signature() {
+        // Several identical launches of one kernel signature between
+        // harvests must each land as a distinct sample (no dedup, no
+        // overwrite), and a mixed batch must split by label.
+        let g = p100();
+        let n = 1 << 14;
+        let x = g.array_f32(n);
+        let y = g.array_f32(n);
+        let sq = g.build_kernel(&SQUARE).unwrap();
+        let sc = g.build_kernel(&SCALE).unwrap();
+        for _ in 0..3 {
+            sq.launch(G, &[Arg::array(&x), Arg::scalar(n as f64)])
+                .unwrap();
+        }
+        sc.launch(
+            G,
+            &[
+                Arg::array(&x),
+                Arg::array(&y),
+                Arg::scalar(2.0),
+                Arg::scalar(n as f64),
+            ],
+        )
+        .unwrap();
+        g.sync();
+        assert_eq!(g.history_samples("square"), 3);
+        assert_eq!(g.history_samples("scale"), 1);
+        // All three squares ran the same configuration, so the mean is
+        // one kernel's duration, not a 3× sum.
+        let d = g.mean_kernel_duration("square", 256, n).unwrap();
+        assert!(d > 0.0 && d < 1.0, "per-sample mean, not a sum: {d}");
+    }
+
+    #[test]
+    fn unknown_signatures_and_empty_harvests_are_inert() {
+        let g = p100();
+        // Nothing launched: a harvest is a no-op and unknown signatures
+        // report "no data" rather than panicking or fabricating values.
+        g.harvest_history();
+        assert_eq!(g.history_samples("nonexistent"), 0);
+        assert_eq!(g.best_block_size("nonexistent", 1 << 14), None);
+        assert_eq!(g.mean_kernel_duration("nonexistent", 256, 1 << 14), None);
+        // After real samples exist, unknown signatures still miss.
+        let n = 1 << 14;
+        let x = g.array_f32(n);
+        let sq = g.build_kernel(&SQUARE).unwrap();
+        sq.launch(G, &[Arg::array(&x), Arg::scalar(n as f64)])
+            .unwrap();
+        g.sync();
+        assert_eq!(g.history_samples("square"), 1);
+        assert_eq!(g.history_samples("sqaure"), 0, "no fuzzy matching");
+        // A redundant harvest right after sync finds no new completions
+        // and must not double-count the existing ones.
+        g.harvest_history();
+        assert_eq!(g.history_samples("square"), 1);
+    }
+
+    #[test]
+    fn harvest_after_compact_neither_loses_nor_duplicates_samples() {
+        // sync() retires the DAG, compacts storage and harvests; a
+        // manual harvest after the compaction must see an empty frontier
+        // (cursor already advanced) and later launches must keep
+        // harvesting into the same history.
+        let g = p100();
+        let n = 1 << 14;
+        let x = g.array_f32(n);
+        let sq = g.build_kernel(&SQUARE).unwrap();
+        for round in 1..=3 {
+            sq.launch(G, &[Arg::array(&x), Arg::scalar(n as f64)])
+                .unwrap();
+            g.sync(); // retire_everything(): compact + harvest
+            g.harvest_history(); // must be a no-op on compacted state
+            assert_eq!(g.history_samples("square"), round);
+            assert_eq!(
+                g.scheduler_stats().launch_infos,
+                0,
+                "no launch metadata may survive the post-sync harvest"
+            );
+        }
     }
 
     #[test]

@@ -109,6 +109,35 @@ impl MultiGpu {
     /// DAG scheduled on a different machine. Peer links carry direct
     /// P2P migrations and feed the transfer-time estimates the placement
     /// policy sees.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use grcuda::{
+    ///     DeviceProfile, Grid, MultiArg, MultiGpu, Options, PlacementPolicy, TopologyKind,
+    /// };
+    /// use kernels::vec_ops::SQUARE;
+    ///
+    /// let mut m = MultiGpu::with_topology(
+    ///     DeviceProfile::tesla_p100(),
+    ///     4,
+    ///     Options::parallel(),
+    ///     PlacementPolicy::TransferAware,
+    ///     TopologyKind::NvlinkPair,
+    /// );
+    /// let n = 1 << 12;
+    /// let x = m.array_f32(n);
+    /// m.write_f32(&x, &vec![3.0; n]);
+    /// m.launch(
+    ///     &SQUARE,
+    ///     Grid::d1(16, 256),
+    ///     &[MultiArg::array(&x), MultiArg::scalar(n as f64)],
+    /// )
+    /// .unwrap();
+    /// m.sync();
+    /// assert_eq!(m.get_f32(&x, 0), 9.0);
+    /// assert!(m.makespan() > 0.0);
+    /// ```
     pub fn with_topology(
         dev: DeviceProfile,
         n: usize,

@@ -85,6 +85,15 @@ pub struct Options {
     /// effect when `infer_dependencies` is off (failure-injection runs
     /// audit explicitly instead).
     pub audit_on_sync: bool,
+    /// Online calibration (default `false`). When enabled, every
+    /// completed kernel feeds a decaying per-signature duration prior
+    /// and every completed transfer feeds its link's observed
+    /// contention scale, which multiplies into the transfer-time
+    /// estimates placement policies see — closing the
+    /// measurement→decision loop the history module opens. Off by
+    /// default so every previously-committed simulated metric stays
+    /// bit-identical.
+    pub calibrate: bool,
 }
 
 impl Options {
@@ -98,6 +107,7 @@ impl Options {
             visibility_restriction: true,
             infer_dependencies: true,
             audit_on_sync: true,
+            calibrate: false,
         }
     }
 
@@ -111,6 +121,7 @@ impl Options {
             visibility_restriction: true,
             infer_dependencies: true,
             audit_on_sync: true,
+            calibrate: false,
         }
     }
 
@@ -152,6 +163,15 @@ impl Options {
         self
     }
 
+    /// Builder-style: toggle online calibration (see
+    /// [`Options::calibrate`]). The natural companion of
+    /// [`crate::PlacementPolicy::Adaptive`], which is history-blind
+    /// without it.
+    pub fn with_calibration(mut self, on: bool) -> Self {
+        self.calibrate = on;
+        self
+    }
+
     /// True for the parallel scheduler.
     pub fn is_parallel(&self) -> bool {
         self.schedule == SchedulePolicy::ParallelAsync
@@ -176,6 +196,13 @@ mod tests {
         assert_eq!(o.prefetch, PrefetchPolicy::Auto);
         assert!(o.visibility_restriction);
         assert!(o.is_parallel());
+        assert!(!o.calibrate, "calibration is opt-in");
+    }
+
+    #[test]
+    fn calibration_is_a_builder_toggle() {
+        assert!(Options::parallel().with_calibration(true).calibrate);
+        assert!(!Options::serial().calibrate);
     }
 
     #[test]

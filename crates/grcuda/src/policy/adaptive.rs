@@ -1,0 +1,280 @@
+//! History-driven placement: calibrated priors turn the load gauge from
+//! *task counts* into *predicted seconds*.
+//!
+//! Every count-based policy has the same blind spot: a device running one
+//! 9 ms kernel and a device running one 3 ms kernel look equally busy.
+//! On an independent fan-out of mixed-duration kernels the counts
+//! collide work onto the device that happens to be numerically less
+//! loaded, even when it is *temporally* the bottleneck. [`Adaptive`]
+//! closes that gap with the per-signature duration priors online
+//! calibration accumulates (see [`crate::Options::calibrate`]): it keeps
+//! a per-device ledger of predicted outstanding seconds and places each
+//! root where transfer cost *plus predicted queue* is smallest.
+//!
+//! [`Portfolio`] is the complementary coarse-grained knob: instead of
+//! reweighting individual decisions it records observed makespans per
+//! workload and replays whichever *static* policy won there.
+
+use std::collections::HashMap;
+
+use super::device::{DeviceSelectionPolicy, PlacementCtx, PlacementPolicy};
+
+/// [`PlacementPolicy::MemoryAware`]'s capacity filter and transfer-cost
+/// ordering, augmented with a per-device *predicted-seconds ledger*:
+/// each placed root adds its signature's calibrated duration prior to
+/// the chosen device's ledger, and subsequent roots see that predicted
+/// queue as part of the placement cost. Dependent vertices (non-roots)
+/// are placed by transfer cost alone — their timing is dominated by the
+/// parent chain, not by queueing.
+///
+/// The ledger drains at synchronization points: when the scheduler
+/// reports every device idle (`inflight` all zero) the predicted queue
+/// has demonstrably completed and the ledger resets. Without calibration
+/// (no priors) the ledger never grows, and the policy degrades exactly
+/// to capacity-filtered transfer-aware placement.
+#[derive(Debug, Default)]
+pub struct Adaptive {
+    /// Predicted outstanding seconds per device.
+    ledger: Vec<f64>,
+}
+
+impl Adaptive {
+    /// Predicted outstanding seconds currently on `device` (0 when the
+    /// device is unknown — the ledger sizes lazily on first use).
+    pub fn predicted_backlog(&self, device: usize) -> f64 {
+        self.ledger.get(device).copied().unwrap_or(0.0)
+    }
+}
+
+impl DeviceSelectionPolicy for Adaptive {
+    fn name(&self) -> &'static str {
+        "adaptive"
+    }
+
+    fn select(&mut self, ctx: &PlacementCtx) -> u32 {
+        if self.ledger.len() != ctx.device_count {
+            self.ledger = vec![0.0; ctx.device_count];
+        }
+        // All devices idle: everything the ledger predicted has
+        // finished, so the predicted queue is empty too.
+        if ctx.inflight.iter().all(|&n| n == 0) {
+            self.ledger.iter_mut().for_each(|s| *s = 0.0);
+        }
+        let is_root = ctx.parent_devices.is_empty();
+        // Roots queue behind the predicted backlog; dependents wait on
+        // their parents regardless, so only transfer cost matters.
+        let score =
+            |d: usize| ctx.est_transfer_time[d] + if is_root { self.ledger[d] } else { 0.0 };
+        let fitting = (0..ctx.device_count)
+            .filter(|&d| ctx.fits(d))
+            .min_by(|&a, &b| {
+                score(a)
+                    .total_cmp(&score(b))
+                    .then(ctx.inflight[a].cmp(&ctx.inflight[b]))
+                    .then(a.cmp(&b))
+            });
+        let chosen = match fitting {
+            Some(d) => d,
+            // Nothing fits: eviction is unavoidable — minimize pressure,
+            // exactly like memory-aware placement.
+            None => (0..ctx.device_count)
+                .min_by(|&a, &b| {
+                    ctx.free_bytes[b]
+                        .cmp(&ctx.free_bytes[a])
+                        .then(ctx.est_transfer_time[a].total_cmp(&ctx.est_transfer_time[b]))
+                        .then(a.cmp(&b))
+                })
+                .unwrap_or(0),
+        };
+        if is_root {
+            if let Some(prior) = ctx.duration_prior {
+                self.ledger[chosen] += prior;
+            }
+        }
+        chosen as u32
+    }
+}
+
+/// Per-workload policy portfolio: record the makespan each *static*
+/// policy achieved on a named workload, then replay the winner.
+///
+/// This is the coarse-grained half of adaptive scheduling — no single
+/// static policy wins every workload (transfer-aware wins transfer
+/// chains, memory-aware wins oversubscription, count-balancing wins
+/// uniform fan-outs), so a scheduler that has run the sweep once can
+/// simply pick per workload. [`Portfolio::best`] returns the winner so
+/// far; [`Portfolio::pick`] falls back to a caller-supplied default for
+/// workloads never measured.
+#[derive(Debug, Default)]
+pub struct Portfolio {
+    best: HashMap<String, (PlacementPolicy, f64)>,
+}
+
+impl Portfolio {
+    /// Empty portfolio: every workload falls back to the default.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one observed `makespan` (seconds) for `policy` on
+    /// `workload`. Keeps only the best (smallest makespan) entry per
+    /// workload; non-finite or negative observations are ignored.
+    pub fn record(&mut self, workload: &str, policy: PlacementPolicy, makespan: f64) {
+        if !makespan.is_finite() || makespan < 0.0 {
+            return;
+        }
+        match self.best.get_mut(workload) {
+            Some(entry) if entry.1 <= makespan => {}
+            Some(entry) => *entry = (policy, makespan),
+            None => {
+                self.best.insert(workload.to_string(), (policy, makespan));
+            }
+        }
+    }
+
+    /// The best (policy, makespan) observed for `workload`, if any.
+    pub fn best(&self, workload: &str) -> Option<(PlacementPolicy, f64)> {
+        self.best.get(workload).copied()
+    }
+
+    /// The policy to use for `workload`: the observed winner, or
+    /// `default` when the workload was never measured.
+    pub fn pick(&self, workload: &str, default: PlacementPolicy) -> PlacementPolicy {
+        self.best(workload).map(|(p, _)| p).unwrap_or(default)
+    }
+
+    /// Number of workloads with at least one recorded observation.
+    pub fn len(&self) -> usize {
+        self.best.len()
+    }
+
+    /// True when nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.best.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ROOMY: [usize; 2] = [usize::MAX; 2];
+
+    fn root_ctx<'a>(est: &'a [f64], inflight: &'a [usize], prior: Option<f64>) -> PlacementCtx<'a> {
+        PlacementCtx {
+            device_count: est.len(),
+            parent_devices: &[],
+            resident_bytes: &[0, 0],
+            est_transfer_time: est,
+            inflight,
+            free_bytes: &ROOMY,
+            arg_bytes: 0,
+            kernel: "k",
+            duration_prior: prior,
+        }
+    }
+
+    #[test]
+    fn ledger_splits_a_mixed_fanout_that_counts_cannot() {
+        let mut p = Adaptive::default();
+        let est = [0.0, 0.0];
+        // One long root (predicted 3 s) then three short roots (1 s
+        // each): the seconds ledger routes every short to the other
+        // device. A count-based policy would give the long device a
+        // short kernel too.
+        assert_eq!(p.select(&root_ctx(&est, &[0, 0], Some(3.0))), 0);
+        assert_eq!(p.select(&root_ctx(&est, &[2, 0], Some(1.0))), 1);
+        assert_eq!(p.select(&root_ctx(&est, &[2, 2], Some(1.0))), 1);
+        assert_eq!(p.select(&root_ctx(&est, &[2, 4], Some(1.0))), 1);
+        assert_eq!(p.predicted_backlog(0), 3.0);
+        assert_eq!(p.predicted_backlog(1), 3.0);
+    }
+
+    #[test]
+    fn without_priors_it_is_transfer_aware() {
+        let mut p = Adaptive::default();
+        // No calibration: the ledger never grows, so placement follows
+        // transfer estimates (ties → load → id) exactly.
+        assert_eq!(p.select(&root_ctx(&[2e-3, 1e-3], &[0, 5], None)), 1);
+        assert_eq!(p.select(&root_ctx(&[1e-3, 1e-3], &[3, 1], None)), 1);
+        assert_eq!(p.select(&root_ctx(&[1e-3, 1e-3], &[2, 2], None)), 0);
+        assert_eq!(p.predicted_backlog(0), 0.0);
+    }
+
+    #[test]
+    fn capacity_filter_skips_full_devices_like_memory_aware() {
+        let mut p = Adaptive::default();
+        // Device 0 is cheapest but has no headroom for the arguments.
+        let c = PlacementCtx {
+            device_count: 2,
+            parent_devices: &[],
+            resident_bytes: &[0, 2048],
+            est_transfer_time: &[0.0, 1e-3],
+            inflight: &[0, 4],
+            free_bytes: &[1024, 2048],
+            arg_bytes: 4096,
+            kernel: "k",
+            duration_prior: None,
+        };
+        assert_eq!(p.select(&c), 1);
+        // Nothing fits: degrade to the most-free device.
+        let none = PlacementCtx {
+            free_bytes: &[256, 1024],
+            resident_bytes: &[0, 0],
+            ..c
+        };
+        assert_eq!(p.select(&none), 1);
+    }
+
+    #[test]
+    fn ledger_resets_when_every_device_goes_idle() {
+        let mut p = Adaptive::default();
+        let est = [0.0, 0.0];
+        assert_eq!(p.select(&root_ctx(&est, &[0, 0], Some(5.0))), 0);
+        assert_eq!(p.predicted_backlog(0), 5.0);
+        // A sync drained everything: the next all-idle decision starts
+        // from a clean ledger, so the tie goes back to device 0.
+        assert_eq!(p.select(&root_ctx(&est, &[0, 0], Some(1.0))), 0);
+        assert_eq!(p.predicted_backlog(0), 1.0);
+    }
+
+    #[test]
+    fn non_roots_do_not_charge_the_ledger() {
+        let mut p = Adaptive::default();
+        let c = PlacementCtx {
+            device_count: 2,
+            parent_devices: &[1],
+            resident_bytes: &[0, 0],
+            est_transfer_time: &[0.0, 0.0],
+            inflight: &[1, 1],
+            free_bytes: &ROOMY,
+            arg_bytes: 0,
+            kernel: "k",
+            duration_prior: Some(2.0),
+        };
+        assert_eq!(p.select(&c), 0);
+        assert_eq!(p.predicted_backlog(0), 0.0, "dependents are free");
+    }
+
+    #[test]
+    fn portfolio_replays_the_observed_winner_per_workload() {
+        let mut f = Portfolio::new();
+        assert!(f.is_empty());
+        f.record("chain", PlacementPolicy::RoundRobin, 9.0);
+        f.record("chain", PlacementPolicy::TransferAware, 4.0);
+        f.record("chain", PlacementPolicy::StreamAware, 6.0);
+        f.record("oversub", PlacementPolicy::MemoryAware, 2.0);
+        f.record("oversub", PlacementPolicy::TransferAware, f64::NAN);
+        assert_eq!(f.best("chain"), Some((PlacementPolicy::TransferAware, 4.0)));
+        assert_eq!(
+            f.pick("oversub", PlacementPolicy::SingleGpu),
+            PlacementPolicy::MemoryAware
+        );
+        assert_eq!(
+            f.pick("never-seen", PlacementPolicy::SingleGpu),
+            PlacementPolicy::SingleGpu,
+            "unmeasured workloads fall back to the default"
+        );
+        assert_eq!(f.len(), 2);
+    }
+}

@@ -37,6 +37,15 @@ pub struct PlacementCtx<'a> {
     /// Total bytes of this computation's distinct array arguments (what
     /// must be resident, somewhere, for it to run).
     pub arg_bytes: usize,
+    /// The computation's signature (its kernel name) — what
+    /// history-driven policies key their per-signature state by.
+    pub kernel: &'a str,
+    /// Decaying mean duration observed for this signature by online
+    /// calibration, or `None` while calibration is off or has no
+    /// samples yet (see [`crate::Options::calibrate`]). This is the
+    /// per-signature weight [`crate::policy::Adaptive`] reweights
+    /// in-flight work by.
+    pub duration_prior: Option<f64>,
 }
 
 impl PlacementCtx<'_> {
@@ -228,11 +237,30 @@ pub enum PlacementPolicy {
     /// tie-break by transfer cost (capacity-aware: sees device memory,
     /// not just links and load).
     MemoryAware,
+    /// History-driven placement: [`MemoryAware`]'s capacity filter and
+    /// transfer-cost ordering, plus a per-device ledger of *predicted
+    /// outstanding seconds* weighted by each signature's calibrated
+    /// duration prior — so independent fan-outs balance by how long
+    /// work actually takes, not by how many tasks are in flight.
+    /// Degrades to transfer-aware behavior while calibration is off.
+    Adaptive,
 }
 
 impl PlacementPolicy {
     /// All built-in policies, in sweep order.
-    pub const ALL: [PlacementPolicy; 6] = [
+    pub const ALL: [PlacementPolicy; 7] = [
+        PlacementPolicy::SingleGpu,
+        PlacementPolicy::RoundRobin,
+        PlacementPolicy::LocalityAware,
+        PlacementPolicy::TransferAware,
+        PlacementPolicy::StreamAware,
+        PlacementPolicy::MemoryAware,
+        PlacementPolicy::Adaptive,
+    ];
+
+    /// The static (history-blind) policies — what
+    /// [`crate::policy::Portfolio`] picks between per workload.
+    pub const STATIC: [PlacementPolicy; 6] = [
         PlacementPolicy::SingleGpu,
         PlacementPolicy::RoundRobin,
         PlacementPolicy::LocalityAware,
@@ -250,6 +278,7 @@ impl PlacementPolicy {
             PlacementPolicy::TransferAware => Box::new(TransferAware),
             PlacementPolicy::StreamAware => Box::new(StreamAware),
             PlacementPolicy::MemoryAware => Box::new(MemoryAware),
+            PlacementPolicy::Adaptive => Box::new(super::adaptive::Adaptive::default()),
         }
     }
 
@@ -262,6 +291,7 @@ impl PlacementPolicy {
             PlacementPolicy::TransferAware => "transfer-aware",
             PlacementPolicy::StreamAware => "stream-aware",
             PlacementPolicy::MemoryAware => "memory-aware",
+            PlacementPolicy::Adaptive => "adaptive",
         }
     }
 }
@@ -289,6 +319,8 @@ mod tests {
             inflight,
             free_bytes: &ROOMY[..resident.len()],
             arg_bytes: 0,
+            kernel: "k",
+            duration_prior: None,
         }
     }
 
@@ -332,6 +364,8 @@ mod tests {
             inflight: &[5, 0],
             free_bytes: &ROOMY[..2],
             arg_bytes: 0,
+            kernel: "k",
+            duration_prior: None,
         };
         assert_eq!(p.select(&c), 0);
         let mut loc = LocalityAware;
@@ -349,6 +383,8 @@ mod tests {
             inflight: &[2, 1, 2],
             free_bytes: &ROOMY[..3],
             arg_bytes: 0,
+            kernel: "k",
+            duration_prior: None,
         };
         assert_eq!(p.select(&c), 1);
         let c2 = PlacementCtx {
@@ -359,6 +395,8 @@ mod tests {
             inflight: &[2, 2, 2],
             free_bytes: &ROOMY[..3],
             arg_bytes: 0,
+            kernel: "k",
+            duration_prior: None,
         };
         assert_eq!(p.select(&c2), 0, "full tie goes to the lowest id");
     }
@@ -377,6 +415,8 @@ mod tests {
             inflight: &[0, 4],
             free_bytes: &[1024, 2048],
             arg_bytes: 4096,
+            kernel: "k",
+            duration_prior: None,
         };
         assert!(!c.fits(0) && c.fits(1));
         assert_eq!(c.needed_bytes(1), 2048);
@@ -398,6 +438,8 @@ mod tests {
             inflight: &[0, 0],
             free_bytes: &[1 << 20, 1 << 20],
             arg_bytes: 4096,
+            kernel: "k",
+            duration_prior: None,
         };
         assert_eq!(p.select(&both), 1);
         // Nothing fits: go where the pressure is lowest.
@@ -409,6 +451,8 @@ mod tests {
             inflight: &[0, 0],
             free_bytes: &[256, 1024],
             arg_bytes: 4096,
+            kernel: "k",
+            duration_prior: None,
         };
         assert_eq!(
             p.select(&none),
@@ -425,6 +469,7 @@ mod tests {
         for p in PlacementPolicy::ALL {
             assert_eq!(p.build().name(), p.name());
         }
-        assert_eq!(PlacementPolicy::ALL.len(), 6);
+        assert_eq!(PlacementPolicy::ALL.len(), 7);
+        assert_eq!(PlacementPolicy::STATIC.len(), 6);
     }
 }

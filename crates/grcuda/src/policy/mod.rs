@@ -17,7 +17,12 @@
 //!   [`PlacementPolicy::StreamAware`] (minimize per-device load),
 //!   [`PlacementPolicy::MemoryAware`] (skip devices whose free memory
 //!   cannot hold the arguments, tie-break by transfer cost — the
-//!   capacity-aware choice under finite device memory).
+//!   capacity-aware choice under finite device memory),
+//!   [`PlacementPolicy::Adaptive`] (memory-aware's filter plus a
+//!   predicted-seconds ledger fed by online calibration — the
+//!   history-driven choice; see [`adaptive`]). The [`Portfolio`] helper
+//!   complements them by replaying whichever static policy won a named
+//!   workload before.
 //! * **Stream retrieval** ([`StreamRetrievalPolicy`]) — which CUDA
 //!   stream on the chosen device carries it. This absorbs the paper's
 //!   §IV-C policy pairs ([`crate::DepStreamPolicy`] ×
@@ -32,9 +37,11 @@
 //! numeric results — policies only move work, never reorder conflicting
 //! accesses, because ordering always comes from the shared DAG.
 
+pub mod adaptive;
 pub mod device;
 pub mod stream;
 
+pub use adaptive::{Adaptive, Portfolio};
 pub use device::{
     DeviceSelectionPolicy, LocalityAware, MemoryAware, PlacementCtx, PlacementPolicy, RoundRobin,
     SingleGpu, StreamAware, TransferAware,

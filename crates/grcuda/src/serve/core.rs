@@ -24,7 +24,7 @@
 //!   which synchronizes exactly its producing chain, timestamps its
 //!   virtual latency, and lets the scheduler retire the chain's state.
 
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 
 use gpu_sim::{DeviceProfile, Grid, MemoryConfig, TopologyKind, TypedData};
 use kernels::KernelDef;
@@ -302,6 +302,10 @@ struct Tenant {
     completed: u64,
     rejected: u64,
     launches: u64,
+    // Launches by kernel signature — the per-tenant attribution the
+    // history/calibration layer keys by (BTreeMap for deterministic
+    // iteration order in stats output).
+    kernel_launches: BTreeMap<&'static str, u64>,
     latencies: Vec<f64>,
 }
 
@@ -359,6 +363,7 @@ impl ServiceCore {
             completed: 0,
             rejected: 0,
             launches: 0,
+            kernel_launches: BTreeMap::new(),
             latencies: Vec::new(),
         });
         id
@@ -628,6 +633,12 @@ impl ServiceCore {
                 break;
             };
             self.tenants[ti].launches += req.calls.len() as u64;
+            for (k, _, _) in &req.calls {
+                *self.tenants[ti]
+                    .kernel_launches
+                    .entry(k.name())
+                    .or_insert(0) += 1;
+            }
             admitted.push(req);
         }
         if admitted.is_empty() {
@@ -733,6 +744,20 @@ impl ServiceCore {
             inflight: self.inflight.iter().filter(|r| r.id.tenant == t).count(),
             latencies: tenant.latencies.clone(),
         })
+    }
+
+    /// Per-kernel-signature launch counts for one tenant, in signature
+    /// order — who ran what, the attribution that lets an operator (or
+    /// a calibration consumer) explain where a tenant's device time
+    /// went. Counts are attributed at admission, like
+    /// [`TenantStats::launches`].
+    pub fn tenant_kernel_stats(&self, t: TenantId) -> Result<Vec<(String, u64)>, ServeError> {
+        let tenant = self.tenant(t)?;
+        Ok(tenant
+            .kernel_launches
+            .iter()
+            .map(|(k, &n)| (k.to_string(), n))
+            .collect())
     }
 
     /// Snapshot every tenant's statistics, in tenant-id order.

@@ -233,6 +233,45 @@ impl Client {
 
     /// Submit a request (admission-checked synchronously, executed
     /// asynchronously).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use grcuda::serve::{ArgSpec, CallSpec, ElemKind, RequestSpec, ServeConfig, Server};
+    /// use grcuda::{DeviceProfile, Grid, Options};
+    /// use kernels::util::SCALE;
+    ///
+    /// let server = Server::start(ServeConfig::new(
+    ///     DeviceProfile::tesla_p100(),
+    ///     Options::parallel(),
+    /// ));
+    /// let client = server.client("alice", 1);
+    /// let n = 256;
+    /// let x = client.alloc(ElemKind::F32, n).unwrap();
+    /// let y = client.alloc(ElemKind::F32, n).unwrap();
+    /// client.fill(x, 2.0).unwrap();
+    /// let scale = client.kernel(&SCALE).unwrap();
+    ///
+    /// let request = RequestSpec {
+    ///     calls: vec![CallSpec {
+    ///         kernel: scale,
+    ///         grid: Grid::d1(2, 128),
+    ///         args: vec![
+    ///             ArgSpec::Array(x),
+    ///             ArgSpec::Array(y),
+    ///             ArgSpec::Scalar(1.5),
+    ///             ArgSpec::Scalar(n as f64),
+    ///         ],
+    ///     }],
+    ///     deadline_us: None,
+    /// };
+    /// client.submit(request).unwrap(); // admitted now, runs asynchronously
+    ///
+    /// assert_eq!(client.read(y, 0).unwrap(), 3.0); // syncs with the GPU work
+    /// let stats = client.drain().unwrap();
+    /// assert_eq!(stats.completed, 1);
+    /// server.shutdown();
+    /// ```
     pub fn submit(&self, spec: RequestSpec) -> Result<RequestId, ServeError> {
         self.rpc(|reply| Envelope::Submit {
             tenant: self.tenant,

@@ -3,7 +3,8 @@
 //! performance and placement, never results.
 
 use benchmarks::{
-    oversub_capacity, oversubscribe, run_grcuda, run_multi_gpu, scales, transfer_chain, Bench,
+    mixed_makespans, oversub_capacity, oversubscribe, run_grcuda, run_multi_gpu, scales,
+    transfer_chain, Bench, MixedScale,
 };
 use gpu_sim::{DeviceProfile, EvictionPolicy, Grid, MemoryConfig, TopologyKind};
 use grcuda::{
@@ -439,6 +440,59 @@ fn placement_policies_compute_identical_results_on_every_suite() {
                 .as_ref()
                 .unwrap_or_else(|e| panic!("{} {policy:?}: {e}", spec.name));
         }
+    }
+}
+
+#[test]
+fn adaptive_matches_the_best_static_policy_on_every_suite_of_the_mixed_workload() {
+    // The history loop's acceptance bar: across a mixed workload
+    // (transfer chain + oversubscription + fanout mix), the
+    // history-driven Adaptive policy matches or beats the best static
+    // policy on *every* suite, and no static policy manages the same —
+    // each one loses at least one suite to Adaptive outright.
+    let scale = MixedScale::quick();
+    let adaptive = mixed_makespans(PlacementPolicy::Adaptive, &scale);
+    let statics: Vec<(PlacementPolicy, [(&str, f64); 3])> = PlacementPolicy::STATIC
+        .iter()
+        .map(|&p| (p, mixed_makespans(p, &scale)))
+        .collect();
+
+    for (i, &(suite, a)) in adaptive.iter().enumerate() {
+        let (best_policy, best) = statics
+            .iter()
+            .map(|&(p, m)| (p, m[i].1))
+            .min_by(|x, y| x.1.total_cmp(&y.1))
+            .unwrap();
+        // "Matches" = within 2% (exact ties on chain/oversub, a strict
+        // win on the fanout); the margin absorbs nothing structural.
+        assert!(
+            a <= best * 1.02,
+            "{suite}: adaptive {:.3} ms vs best static {best_policy:?} {:.3} ms",
+            a * 1e3,
+            best * 1e3,
+        );
+    }
+
+    // The fanout is the suite only history can win: every static loses
+    // it to Adaptive by more than 5%.
+    let fanout_adaptive = adaptive[2].1;
+    for &(policy, m) in &statics {
+        assert!(
+            fanout_adaptive < m[2].1 * 0.95,
+            "fanout: {policy:?} {:.3} ms should lose to adaptive {:.3} ms by >5%",
+            m[2].1 * 1e3,
+            fanout_adaptive * 1e3,
+        );
+    }
+
+    // And no static policy matches Adaptive across the board: each one
+    // is beaten by >2% on at least one suite.
+    for &(policy, m) in &statics {
+        let beaten = (0..adaptive.len()).any(|i| adaptive[i].1 < m[i].1 * 0.98);
+        assert!(
+            beaten,
+            "{policy:?} was never beaten: static {m:?} vs adaptive {adaptive:?}"
+        );
     }
 }
 

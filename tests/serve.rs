@@ -372,3 +372,48 @@ fn malformed_requests_fail_cleanly() {
     core.fill(t, x, 2.0).unwrap();
     assert_eq!(core.read(t, x, 3).unwrap(), 2.0);
 }
+
+#[test]
+fn per_tenant_kernel_attribution_counts_signatures_at_admission() {
+    let mut core = ServiceCore::new(base_config());
+    let a = core.add_tenant("alice", 1);
+    let b = core.add_tenant("bob", 1);
+    let n = 256;
+    let xa = core.alloc(a, ElemKind::F32, n).unwrap();
+    let ya = core.alloc(a, ElemKind::F32, n).unwrap();
+    let sca = core.register_kernel(a, &SCALE).unwrap();
+    let axa = core.register_kernel(a, &AXPY).unwrap();
+    let xb = core.alloc(b, ElemKind::F32, n).unwrap();
+    let yb = core.alloc(b, ElemKind::F32, n).unwrap();
+    let scb = core.register_kernel(b, &SCALE).unwrap();
+
+    // Alice submits a 4-call SCALE/AXPY chain (two of each signature),
+    // Bob a single SCALE. Attribution is per tenant AND per signature.
+    core.submit(
+        a,
+        RequestSpec {
+            calls: chain(4, sca, axa, xa, ya, n),
+            deadline_us: None,
+        },
+    )
+    .unwrap();
+    core.submit(
+        b,
+        RequestSpec {
+            calls: chain(1, scb, scb, xb, yb, n),
+            deadline_us: None,
+        },
+    )
+    .unwrap();
+    // Counts are attributed at admission (pump), not at submit.
+    assert!(core.tenant_kernel_stats(a).unwrap().is_empty());
+    core.drain_all();
+    assert_eq!(
+        core.tenant_kernel_stats(a).unwrap(),
+        vec![("axpy".to_string(), 2), ("scale".to_string(), 2)]
+    );
+    assert_eq!(
+        core.tenant_kernel_stats(b).unwrap(),
+        vec![("scale".to_string(), 1)]
+    );
+}
