@@ -1,0 +1,276 @@
+//! Cluster-scale workloads: the multi-node suites behind the
+//! `bench --bin cluster` sweep.
+//!
+//! Three batch-submitted suites stress the deterministic DAG
+//! partitioner (see `grcuda::partition`) and node-aware placement on a
+//! [`Cluster`] of NIC-joined nodes:
+//!
+//! * **chain** — `2 × nodes + 1` independent dependent chains, one
+//!   batch of kernels per step (odd on purpose, so the chain count
+//!   never divides the GPU total). The partitioner keeps every chain
+//!   on one node,
+//!   so [`grcuda::PlacementPolicy::NodeAware`] placement never crosses
+//!   a NIC; round-robin across all GPUs ping-pongs each chain between
+//!   nodes and pays a GPU→host→NIC→host→GPU route *per step*;
+//! * **fanout** — embarrassingly parallel: every step writes fresh host
+//!   inputs and batch-launches independent kernels. Any policy scales;
+//!   the suite pins down the no-dependency corner of the partitioner;
+//! * **mixed** — chains and fanout work interleaved in the same
+//!   batches, so whole-component placement and BFS-grow splitting both
+//!   run.
+//!
+//! Every run reports simulated makespan, cross-**node** migration
+//! traffic, the partitioner's cut size, and a checksum that must be
+//! identical across policies (placement moves work, never results).
+
+use gpu_sim::{DeviceProfile, Grid, TopologyKind};
+use grcuda::{Cluster, MultiArg, MultiArray, MultiGpu, NicKind, Options, PlacementPolicy};
+use kernels::util::SCALE;
+use kernels::KernelDef;
+
+/// The three cluster suites, in sweep order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ClusterSuite {
+    /// `2 × nodes + 1` dependent chains.
+    Chain,
+    /// Independent per-step work on fresh host inputs.
+    Fanout,
+    /// Chains and fanout interleaved in the same batches.
+    Mixed,
+}
+
+impl ClusterSuite {
+    /// All suites in sweep order.
+    pub const ALL: [ClusterSuite; 3] = [
+        ClusterSuite::Chain,
+        ClusterSuite::Fanout,
+        ClusterSuite::Mixed,
+    ];
+
+    /// Short name used in tables and metric keys.
+    pub fn name(self) -> &'static str {
+        match self {
+            ClusterSuite::Chain => "chain",
+            ClusterSuite::Fanout => "fanout",
+            ClusterSuite::Mixed => "mixed",
+        }
+    }
+}
+
+/// What one cluster run measured.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterResult {
+    /// Simulated makespan in seconds.
+    pub makespan: f64,
+    /// Cross-**node** migrations `(count, bytes)` — NIC legs only.
+    pub cross_node: (usize, usize),
+    /// Total cross-device migrations `(count, bytes)`.
+    pub migrations: (usize, usize),
+    /// Batches the pre-pass partitioned.
+    pub partitioned_batches: usize,
+    /// Bytes of values the partitioner left spanning nodes.
+    pub cut_bytes: usize,
+    /// Checksum over the outputs — identical across policies.
+    pub checksum: f64,
+    /// Data races observed (must be 0).
+    pub races: usize,
+}
+
+const G: Grid = Grid {
+    blocks: (64, 1, 1),
+    threads: (256, 1, 1),
+};
+
+/// Run a cluster suite under a placement policy on `nodes` ×
+/// `gpus_per_node` Tesla P100s joined by InfiniBand HDR NICs (PCIe
+/// inside each node). `n` is the per-array element count; `steps` the
+/// number of batch rounds.
+pub fn cluster_run(
+    suite: ClusterSuite,
+    policy: PlacementPolicy,
+    nodes: usize,
+    gpus_per_node: usize,
+    n: usize,
+    steps: usize,
+) -> ClusterResult {
+    let cluster = Cluster::new(
+        nodes,
+        gpus_per_node,
+        TopologyKind::PcieOnly,
+        NicKind::InfinibandHdr,
+    );
+    let mut m = MultiGpu::with_cluster(
+        DeviceProfile::tesla_p100(),
+        &cluster,
+        Options::parallel(),
+        policy,
+    );
+
+    // An odd chain count never divides an even GPU total, so policies
+    // that ignore the partition (e.g. round-robin) provably rotate
+    // every chain across node boundaries between steps.
+    let chains = match suite {
+        ClusterSuite::Fanout => 0,
+        _ => 2 * nodes + 1,
+    };
+    let fans = match suite {
+        ClusterSuite::Chain => 0,
+        _ => 2 * nodes,
+    };
+
+    // Chain state: each chain scales x into y and back, forever on the
+    // same pair of arrays — the partitioner sees one component per
+    // chain in every batch and must pin it to one node.
+    let chain_arrays: Vec<(MultiArray, MultiArray)> = (0..chains)
+        .map(|c| {
+            let x = m.array_f32(n);
+            let y = m.array_f32(n);
+            m.write_f32(&x, &vec![1.0 + c as f32; n]);
+            (x, y)
+        })
+        .collect();
+
+    let mut last_fans: Vec<MultiArray> = Vec::new();
+    for step in 0..steps {
+        let mut calls: Vec<(&KernelDef, Grid, Vec<MultiArg>)> = Vec::new();
+        for (x, y) in &chain_arrays {
+            let (src, dst) = if step.is_multiple_of(2) {
+                (x, y)
+            } else {
+                (y, x)
+            };
+            calls.push((
+                &SCALE,
+                G,
+                vec![
+                    MultiArg::array(src),
+                    MultiArg::array(dst),
+                    MultiArg::scalar(1.001),
+                    MultiArg::scalar(n as f64),
+                ],
+            ));
+        }
+        // Fanout work is fresh every step: host-written inputs, so the
+        // H2D leg is cheap anywhere and no node owns the data yet.
+        let fan_arrays: Vec<(MultiArray, MultiArray)> = (0..fans)
+            .map(|f| {
+                let src = m.array_f32(n);
+                let dst = m.array_f32(n);
+                m.write_f32(&src, &vec![0.5 + f as f32; n]);
+                (src, dst)
+            })
+            .collect();
+        for (src, dst) in &fan_arrays {
+            calls.push((
+                &SCALE,
+                G,
+                vec![
+                    MultiArg::array(src),
+                    MultiArg::array(dst),
+                    MultiArg::scalar(2.0),
+                    MultiArg::scalar(n as f64),
+                ],
+            ));
+        }
+        m.launch_batch(&calls).unwrap();
+        // Keep the final round's fanout outputs alive so they join the
+        // cross-policy checksum.
+        if step + 1 == steps {
+            last_fans = fan_arrays.into_iter().map(|(_, dst)| dst).collect();
+        }
+    }
+    m.sync();
+
+    let mut checksum = 0.0f64;
+    for (x, y) in &chain_arrays {
+        let last = if steps.is_multiple_of(2) { x } else { y };
+        checksum += m.get_f32(last, 7) as f64;
+    }
+    for dst in &last_fans {
+        checksum += m.get_f32(dst, 7) as f64;
+    }
+
+    let stats = m.scheduler_stats();
+    ClusterResult {
+        makespan: m.makespan(),
+        cross_node: m.cross_node_migration_stats(),
+        migrations: m.migration_stats(),
+        partitioned_batches: stats.cluster.partitioned_batches,
+        cut_bytes: stats.cluster.partition_cut_bytes,
+        checksum,
+        races: m.races(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cluster_runs_are_deterministic_and_race_free() {
+        let a = cluster_run(
+            ClusterSuite::Chain,
+            PlacementPolicy::NodeAware,
+            2,
+            2,
+            4096,
+            4,
+        );
+        let b = cluster_run(
+            ClusterSuite::Chain,
+            PlacementPolicy::NodeAware,
+            2,
+            2,
+            4096,
+            4,
+        );
+        assert_eq!(a, b);
+        assert_eq!(a.races, 0);
+        assert!(a.partitioned_batches >= 4);
+    }
+
+    #[test]
+    fn node_aware_keeps_chains_off_the_nics() {
+        let na = cluster_run(
+            ClusterSuite::Chain,
+            PlacementPolicy::NodeAware,
+            2,
+            2,
+            4096,
+            6,
+        );
+        let rr = cluster_run(
+            ClusterSuite::Chain,
+            PlacementPolicy::RoundRobin,
+            2,
+            2,
+            4096,
+            6,
+        );
+        assert_eq!(na.cross_node, (0, 0), "chains are node-local components");
+        assert!(
+            rr.cross_node.1 > 0,
+            "round-robin must ping-pong across nodes: {rr:?}"
+        );
+        assert_eq!(na.checksum, rr.checksum, "placement changed the numbers");
+    }
+
+    #[test]
+    fn every_suite_is_checksum_identical_across_policies() {
+        for suite in ClusterSuite::ALL {
+            let mut checksum = None;
+            for policy in [
+                PlacementPolicy::NodeAware,
+                PlacementPolicy::RoundRobin,
+                PlacementPolicy::TransferAware,
+            ] {
+                let r = cluster_run(suite, policy, 2, 2, 2048, 3);
+                assert_eq!(r.races, 0, "{} {policy:?} raced", suite.name());
+                match checksum {
+                    None => checksum = Some(r.checksum),
+                    Some(c) => assert_eq!(r.checksum, c, "{} {policy:?}", suite.name()),
+                }
+            }
+        }
+    }
+}

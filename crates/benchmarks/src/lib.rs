@@ -23,6 +23,7 @@
 //! simulator's race detector must stay silent.
 
 pub mod bound;
+pub mod cluster;
 pub mod mixed;
 pub mod oversub;
 pub mod runners;
@@ -32,6 +33,7 @@ pub mod suite;
 pub mod transfer;
 
 pub use bound::{contention_free_time, contention_free_time_warm};
+pub use cluster::{cluster_run, ClusterResult, ClusterSuite};
 pub use mixed::{
     fanout_mix, fanout_mix_opts, mixed_makespans, mixed_options, FanoutMixResult, MixedScale,
     FANOUT_DEVICES, MIXED_SUITES,

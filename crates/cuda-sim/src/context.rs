@@ -74,6 +74,12 @@ pub(crate) struct Inner {
     /// direct peer link instead of staging through the host.
     p2p_migrations: usize,
     p2p_migrated_bytes: usize,
+    /// NIC legs of cross-node migrations (count, bytes): host-mediated
+    /// migrations whose source and target devices sit on different
+    /// cluster nodes additionally forward the host copy over the NIC
+    /// link between the nodes. Zero on single-node machines.
+    cross_node_migrations: usize,
+    cross_node_bytes: usize,
     /// Capacity accounting, eviction-victim selection and prefetch
     /// bookkeeping (built from the topology's [`gpu_sim::MemoryConfig`];
     /// unlimited by default, in which case every check is a no-op).
@@ -146,6 +152,8 @@ impl Cuda {
                 migrated_bytes: 0,
                 p2p_migrations: 0,
                 p2p_migrated_bytes: 0,
+                cross_node_migrations: 0,
+                cross_node_bytes: 0,
                 memgr,
                 prefetched: vec![HashSet::new(); n],
                 mem_events: Vec::new(),
@@ -222,7 +230,21 @@ impl Cuda {
                         let link = topo.link(l);
                         (link.latency + bytes / link.bandwidth) * calib.link_scale(l.0 as usize)
                     }
-                    None => 2.0 * host_leg,
+                    // Host-mediated route: two host-link legs, plus the
+                    // NIC leg when the source sits on another node
+                    // (`nic_link` is `None` in-node, so single-box
+                    // estimates are bit-identical).
+                    None => {
+                        let mut t = 2.0 * host_leg;
+                        if let Some(l) =
+                            topo.nic_link(topo.node_of(st.device), topo.node_of(target))
+                        {
+                            let link = topo.link(l);
+                            t += (link.latency + bytes / link.bandwidth)
+                                * calib.link_scale(l.0 as usize);
+                        }
+                        t
+                    }
                 },
             };
         }
@@ -251,6 +273,15 @@ impl Cuda {
             inner.migrations - inner.p2p_migrations,
             inner.migrated_bytes - inner.p2p_migrated_bytes,
         )
+    }
+
+    /// NIC legs of cross-node migrations, as `(count, bytes)`: the
+    /// subset of host-mediated migrations whose source and target
+    /// devices sit on different cluster nodes. Always zero on a
+    /// single-node machine.
+    pub fn cross_node_migration_stats(&self) -> (usize, usize) {
+        let inner = self.inner.borrow();
+        (inner.cross_node_migrations, inner.cross_node_bytes)
     }
 
     /// The interconnect topology of this context.
@@ -360,7 +391,18 @@ impl Cuda {
                     let link = topo.link(l);
                     (link.latency + bytes / link.bandwidth) * calib.link_scale(l.0 as usize)
                 }
-                None => 2.0 * host_leg,
+                // Host-mediated route; cross-node sources additionally
+                // pay the NIC leg between the two nodes (see
+                // [`Cuda::placement_probe`] — the two must agree).
+                None => {
+                    let mut t = 2.0 * host_leg;
+                    if let Some(l) = topo.nic_link(topo.node_of(st.device), topo.node_of(target)) {
+                        let link = topo.link(l);
+                        t += (link.latency + bytes / link.bandwidth)
+                            * calib.link_scale(l.0 as usize);
+                    }
+                    t
+                }
             },
         }
     }
@@ -611,6 +653,7 @@ impl Cuda {
                 return Some(t);
             }
             inner.migrate_to_host(a.id);
+            let _ = inner.nic_forward(a.id, st.device, target);
         }
         let spec = TaskSpec::bulk_copy(
             TaskKind::CopyH2D,
@@ -885,7 +928,9 @@ impl Inner {
                 if self.p2p_migrate(*v, kdev, stream).is_some() {
                     continue;
                 }
+                let src = st.device;
                 self.migrate_to_host(*v);
+                let _ = self.nic_forward(*v, src, kdev);
             }
             let bytes = st.bytes as f64;
             let spec = if dev.supports_page_faults() {
@@ -1008,6 +1053,44 @@ impl Inner {
             stm.last_writer = Some(t);
         }
         self.move_resident_record(v, Some(src), dst, st.bytes);
+        Some(t)
+    }
+
+    /// NIC leg of a cross-node migration: after [`Inner::migrate_to_host`]
+    /// lands the current copy in the *source node's* host memory, this
+    /// forwards it host→host over the NIC link joining the two nodes (a
+    /// no-op when both devices share a node, or on single-node
+    /// machines). The copy is chained on the D2H leg via the array's
+    /// `last_writer` and serialized through the link's same-direction
+    /// DMA engine; the H2D leg the caller submits next chains on it the
+    /// same way, so the full GPU→host→NIC→host→GPU route is ordered
+    /// without new bookkeeping. Counts toward
+    /// [`Cuda::cross_node_migration_stats`].
+    fn nic_forward(&mut self, v: ValueId, src: u32, dst: u32) -> Option<TaskId> {
+        let topo = self.engine.topology();
+        let (sn, dn) = (topo.node_of(src), topo.node_of(dst));
+        let lid = topo.nic_link(sn, dn)?;
+        let link = topo.link(lid).clone();
+        let st = self.arrays[&v].clone();
+        let dir = (sn > dn) as usize;
+        let spec = TaskSpec::p2p_copy(
+            format!("nic {v:?} n{sn}->n{dn}"),
+            u32::MAX,
+            st.bytes as f64,
+            lid,
+            &link,
+        )
+        .on_device(dst)
+        .reading(&[v]);
+        let mut deps: Vec<TaskId> = st.last_writer.into_iter().collect();
+        deps.extend(self.last_p2p[lid.0 as usize][dir]);
+        let t = self.engine.submit(spec, &deps);
+        self.last_p2p[lid.0 as usize][dir] = Some(t);
+        self.cross_node_migrations += 1;
+        self.cross_node_bytes += st.bytes;
+        // The host copy stays current (`Residency::Both`), now on the
+        // target's node; only the ordering handle moves forward.
+        self.arrays.get_mut(&v).unwrap().last_writer = Some(t);
         Some(t)
     }
 
@@ -1956,6 +2039,21 @@ mod edge_tests {
     use gpu_sim::{Grid, KernelCost};
     use std::rc::Rc;
 
+    fn simple_kernel(c: &Cuda, name: &str, arr: &UnifiedArray, ms: f64) -> KernelExec {
+        let _ = c;
+        KernelExec::new(
+            name,
+            Grid::d1(4096, 256),
+            KernelCost {
+                min_time: ms * 1e-3,
+                ..Default::default()
+            },
+            vec![arr.buf.clone()],
+            vec![(arr.id, false)],
+            Rc::new(|_| {}),
+        )
+    }
+
     #[test]
     fn event_sync_blocks_until_the_event() {
         let c = Cuda::new(DeviceProfile::gtx1660_super());
@@ -2061,5 +2159,69 @@ mod edge_tests {
         assert_eq!(c.residency(&a), Residency::Both);
         c.host_written(&a);
         assert_eq!(c.residency(&a), Residency::Host);
+    }
+
+    #[test]
+    fn cross_node_migrations_route_over_the_nic_link() {
+        let dev = DeviceProfile::tesla_p100();
+        let topo = gpu_sim::Cluster::new(
+            2,
+            2,
+            TopologyKind::PcieOnly,
+            gpu_sim::NicKind::InfinibandHdr,
+        )
+        .build(&dev);
+        let c = Cuda::with_topology(dev, topo.clone());
+        let a = c.alloc_f32(1 << 20);
+        let k0 = simple_kernel(&c, "produce", &a, 0.5);
+        c.launch(c.default_stream(), &k0);
+        // The producing kernel wrote `a` on device 0: the estimates must
+        // price the NIC leg into cross-node candidates only.
+        let same_node = c.transfer_time_estimate(&a, 1);
+        let cross_node = c.transfer_time_estimate(&a, 2);
+        assert!(
+            cross_node > same_node,
+            "cross-node route must cost more: {cross_node} vs {same_node}"
+        );
+        // Consume on device 2 — the other node: the migration routes
+        // GPU→host→NIC→host→GPU.
+        let s2 = c.stream_create_on(2);
+        let k2 = simple_kernel(&c, "consume", &a, 0.5);
+        let t = c.launch(s2, &k2).unwrap();
+        c.task_sync(t);
+        let (n, bytes) = c.cross_node_migration_stats();
+        assert_eq!(n, 1);
+        assert_eq!(bytes, 4 << 20);
+        // The NIC link carried exactly that transfer.
+        let nic = topo.nic_link(0, 1).unwrap();
+        let traffic = c.link_traffic();
+        assert_eq!(traffic[nic.0 as usize].1, 1);
+        assert!((traffic[nic.0 as usize].0 - (4 << 20) as f64).abs() < 1.0);
+        assert_eq!(c.races().len(), 0);
+    }
+
+    #[test]
+    fn same_node_migrations_pay_no_nic_leg() {
+        let dev = DeviceProfile::tesla_p100();
+        let topo = gpu_sim::Cluster::new(
+            2,
+            2,
+            TopologyKind::PcieOnly,
+            gpu_sim::NicKind::InfinibandHdr,
+        )
+        .build(&dev);
+        let c = Cuda::with_topology(dev, topo.clone());
+        let a = c.alloc_f32(1 << 18);
+        let k0 = simple_kernel(&c, "produce", &a, 0.5);
+        c.launch(c.default_stream(), &k0);
+        // Consume on device 1 — same node: host-mediated, no NIC leg.
+        let s1 = c.stream_create_on(1);
+        let k1 = simple_kernel(&c, "consume", &a, 0.5);
+        let t = c.launch(s1, &k1).unwrap();
+        c.task_sync(t);
+        assert_eq!(c.cross_node_migration_stats(), (0, 0));
+        assert!(c.migration_stats().0 >= 1, "the migration itself happened");
+        let nic = topo.nic_link(0, 1).unwrap();
+        assert_eq!(c.link_traffic()[nic.0 as usize], (0.0, 0));
     }
 }

@@ -37,10 +37,30 @@ const DEVICE_COLORS: [&str; 8] = [
 /// for free drops of clean copies), and each ahead-of-launch prefetch
 /// as a green note node with a dotted edge *into* the vertex.
 pub fn to_dot(dag: &ComputationDag, title: &str) -> String {
+    render(dag, title, &[])
+}
+
+/// [`to_dot`] with cluster-node boundaries drawn: devices are grouped
+/// by `node_of` (indexed by device id, as [`gpu_sim`-style] topologies
+/// report it) and every node's placed vertices are boxed in a Graphviz
+/// `subgraph cluster_N`. Migration edges that crossed a node boundary
+/// (stamped via
+/// [`crate::graph::ComputationDag::annotate_migration_route`]) are
+/// drawn bold magenta with a `cross-node` tag, visually separating NIC
+/// round trips from in-node peer or host-staged moves. Unplaced
+/// vertices render outside any box; an empty `node_of` degrades to the
+/// plain single-box render.
+///
+/// [`gpu_sim`-style]: ../gpu_sim/index.html
+pub fn to_dot_clustered(dag: &ComputationDag, title: &str, node_of: &[u32]) -> String {
+    render(dag, title, node_of)
+}
+
+fn render(dag: &ComputationDag, title: &str, node_of: &[u32]) -> String {
     let mut out = String::new();
     out.push_str(&format!("digraph \"{}\" {{\n", escape(title)));
     out.push_str("  rankdir=TB;\n  node [shape=ellipse, fontname=\"monospace\"];\n");
-    for v in dag.vertices() {
+    let vertex_line = |v: &crate::vertex::Vertex| {
         let set: Vec<String> = v.dep_set.iter().map(|x| format!("v{}", x.0)).collect();
         let mut attrs = String::new();
         let mut styles: Vec<&str> = Vec::new();
@@ -59,20 +79,59 @@ pub fn to_dot(dag: &ComputationDag, title: &str) -> String {
         if !styles.is_empty() {
             attrs.push_str(&format!(", style=\"{}\"", styles.join(",")));
         }
-        out.push_str(&format!(
+        format!(
             "  n{} [label=\"{}{}\\n{{{}}}\"{}];\n",
             v.id.0,
             escape(&v.label),
             label_dev,
             set.join(","),
             attrs,
-        ));
+        )
+    };
+    // Node the vertex belongs to, when the machine is clustered and the
+    // vertex was placed on a known device.
+    let node_home = |v: &crate::vertex::Vertex| -> Option<u32> {
+        v.device.and_then(|d| node_of.get(d as usize).copied())
+    };
+    if node_of.is_empty() {
+        for v in dag.vertices() {
+            out.push_str(&vertex_line(v));
+        }
+    } else {
+        let nodes = node_of.iter().copied().max().unwrap_or(0) as usize + 1;
+        for nd in 0..nodes {
+            let mut body = String::new();
+            for v in dag.vertices() {
+                if node_home(v) == Some(nd as u32) {
+                    body.push_str("  ");
+                    body.push_str(&vertex_line(v));
+                }
+            }
+            if !body.is_empty() {
+                out.push_str(&format!(
+                    "  subgraph cluster_{nd} {{\n    label=\"node {nd}\";\n    style=dashed;\n"
+                ));
+                out.push_str(&body);
+                out.push_str("  }\n");
+            }
+        }
+        for v in dag.vertices() {
+            if node_home(v).is_none() {
+                out.push_str(&vertex_line(v));
+            }
+        }
     }
     for e in dag.edges() {
         let mut label = format!("v{}", e.value.0);
         let mut attrs = String::new();
         if e.migrated_bytes > 0 {
-            if e.p2p {
+            if e.cross_node {
+                label.push_str(&format!(
+                    "\\n{} migrated (cross-node)",
+                    human_bytes(e.migrated_bytes)
+                ));
+                attrs.push_str(", style=bold, color=magenta");
+            } else if e.p2p {
                 label.push_str(&format!(
                     "\\n{} migrated (p2p)",
                     human_bytes(e.migrated_bytes)
@@ -335,6 +394,65 @@ mod tests {
         let dot = to_dot(&dag, "t");
         assert_eq!(dot.matches("(redundant)").count(), 1);
         assert_eq!(dot.matches("style=dashed, color=gray").count(), 1);
+    }
+
+    #[test]
+    fn clustered_render_boxes_nodes_and_colors_cross_node_edges() {
+        // 2 nodes × 2 GPUs: K1@dev0 (node 0) feeds K2@dev2 (node 1) —
+        // a cross-node migration — and K2 feeds K3@dev3 in-node.
+        let mut dag = ComputationDag::new();
+        let (k1, _) =
+            dag.add_computation(ElementKind::Kernel, "K1", vec![ArgAccess::write(Value(0))]);
+        let (k2, _) = dag.add_computation(
+            ElementKind::Kernel,
+            "K2",
+            vec![ArgAccess::read(Value(0)), ArgAccess::write(Value(1))],
+        );
+        let (k3, _) = dag.add_computation(
+            ElementKind::Kernel,
+            "K3",
+            vec![ArgAccess::read(Value(1)), ArgAccess::write(Value(2))],
+        );
+        dag.set_device(k1, 0);
+        dag.set_device(k2, 2);
+        dag.set_device(k3, 3);
+        dag.annotate_migration_route(k2, Value(0), 4 << 20, false, true);
+        dag.annotate_migration_route(k3, Value(1), 1 << 20, true, false);
+        let node_of = [0, 0, 1, 1];
+        let dot = to_dot_clustered(&dag, "cluster", &node_of);
+        // One box per node, each holding its vertices.
+        assert!(dot.contains("subgraph cluster_0"));
+        assert!(dot.contains("subgraph cluster_1"));
+        assert!(dot.contains("label=\"node 0\""));
+        assert!(dot.contains("label=\"node 1\""));
+        let c1 = dot.find("subgraph cluster_1").unwrap();
+        assert!(dot[c1..].contains("@dev2") && dot[c1..].contains("@dev3"));
+        assert!(!dot[..c1].contains("@dev2"));
+        // Cross-node edge styled distinctly from the in-node p2p one.
+        assert!(dot.contains("4.0 MiB migrated (cross-node)"));
+        assert_eq!(dot.matches("color=magenta").count(), 1);
+        assert!(dot.contains("1.0 MiB migrated (p2p)"));
+        assert_eq!(dot.matches("color=blue").count(), 1);
+        // The plain render stays box-free (single-box path untouched).
+        assert!(!to_dot(&dag, "plain").contains("subgraph"));
+        // An empty map degrades to the plain render.
+        assert_eq!(to_dot_clustered(&dag, "plain", &[]), to_dot(&dag, "plain"));
+    }
+
+    #[test]
+    fn unplaced_vertices_render_outside_cluster_boxes() {
+        let mut dag = ComputationDag::new();
+        let (k1, _) =
+            dag.add_computation(ElementKind::Kernel, "K1", vec![ArgAccess::write(Value(0))]);
+        let (_, _) =
+            dag.add_computation(ElementKind::Kernel, "K2", vec![ArgAccess::read(Value(0))]);
+        dag.set_device(k1, 1);
+        let dot = to_dot_clustered(&dag, "partial", &[0, 0, 1, 1]);
+        assert!(dot.contains("subgraph cluster_0"), "placed vertex boxed");
+        assert!(!dot.contains("subgraph cluster_1"), "empty nodes omitted");
+        let close = dot.rfind('}').unwrap();
+        let after_boxes = &dot[dot.rfind("  }\n").unwrap()..close];
+        assert!(after_boxes.contains("K2"), "unplaced vertex at top level");
     }
 
     #[test]

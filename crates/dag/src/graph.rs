@@ -23,6 +23,12 @@ pub struct DepEdge {
     /// false for host-mediated migrations (meaningful only when
     /// `migrated_bytes > 0`).
     pub p2p: bool,
+    /// True when the migration crossed a cluster-node boundary (a
+    /// GPU→host→NIC→host→GPU route; meaningful only when
+    /// `migrated_bytes > 0`). Set via
+    /// [`ComputationDag::annotate_migration_route`]; rendered with its
+    /// own color by [`crate::to_dot_clustered`].
+    pub cross_node: bool,
     /// True when the edge is individually redundant: a parallel edge or
     /// transitive path orders the same pair, so dropping just this edge
     /// changes nothing. Stamped by
@@ -423,6 +429,7 @@ impl ComputationDag {
             read_only,
             migrated_bytes: 0,
             p2p: false,
+            cross_node: false,
             redundant: false,
         });
     }
@@ -445,6 +452,20 @@ impl ComputationDag {
     /// the edge whose source sits on another device, else the first
     /// match.
     pub fn annotate_migration(&mut self, to: VertexId, value: Value, bytes: usize, p2p: bool) {
+        self.annotate_migration_route(to, value, bytes, p2p, false);
+    }
+
+    /// [`ComputationDag::annotate_migration`] with the cluster route
+    /// recorded: `cross_node` marks migrations whose endpoints sit on
+    /// different cluster nodes (the GPU→host→NIC→host→GPU path).
+    pub fn annotate_migration_route(
+        &mut self,
+        to: VertexId,
+        value: Value,
+        bytes: usize,
+        p2p: bool,
+        cross_node: bool,
+    ) {
         let to_device = self.try_vertex(to).and_then(|v| v.device);
         let matches: Vec<usize> = self
             .edges
@@ -461,6 +482,7 @@ impl ComputationDag {
         if let Some(i) = cross.or_else(|| matches.first().copied()) {
             self.edges[i].migrated_bytes = bytes;
             self.edges[i].p2p = p2p;
+            self.edges[i].cross_node = cross_node;
         }
     }
 

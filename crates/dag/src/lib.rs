@@ -59,7 +59,7 @@ pub mod reach;
 pub mod vertex;
 
 pub use dense::{DenseKey, DenseMap, DenseSet};
-pub use dot::to_dot;
+pub use dot::{to_dot, to_dot_clustered};
 pub use graph::{ComputationDag, DepEdge, MemNote, MemNoteKind};
 pub use reach::Reachability;
 pub use vertex::{ArgAccess, ElementKind, Value, Vertex, VertexId};

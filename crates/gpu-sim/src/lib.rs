@@ -85,7 +85,7 @@ pub use profile::{Architecture, DeviceProfile};
 pub use race::RaceReport;
 pub use task::{ResourceDemand, TaskKind, TaskMeta, TaskSpec};
 pub use timeline::{Interval, Timeline};
-pub use topology::{Endpoint, Link, LinkId, Topology, TopologyKind};
+pub use topology::{Cluster, Endpoint, Link, LinkId, NicKind, Topology, TopologyKind};
 
 /// Virtual time, in seconds.
 pub type Time = f64;

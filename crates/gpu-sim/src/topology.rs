@@ -28,6 +28,25 @@ pub const NVLINK_LATENCY: Time = 5e-6;
 /// copy launch overhead the host links already charge).
 pub const HOST_LINK_LATENCY: Time = 4e-6;
 
+/// 25 Gbit/s Ethernet NIC bandwidth, bytes/s.
+pub const ETHERNET_25G_BW: f64 = 3.125e9;
+
+/// One-way latency charged per transfer on a 25 GbE NIC link.
+pub const ETHERNET_25G_LATENCY: Time = 20e-6;
+
+/// HDR InfiniBand (200 Gbit/s) NIC bandwidth, bytes/s.
+pub const INFINIBAND_HDR_BW: f64 = 25.0e9;
+
+/// One-way latency charged per transfer on an HDR InfiniBand link.
+pub const INFINIBAND_HDR_LATENCY: Time = 2e-6;
+
+/// NVSwitch-island inter-node fabric bandwidth, bytes/s — an
+/// NVLink-class fabric stretched across node boundaries.
+pub const NVSWITCH_ISLAND_BW: f64 = 40.0e9;
+
+/// One-way latency charged per transfer on an NVSwitch-island link.
+pub const NVSWITCH_ISLAND_LATENCY: Time = 1e-6;
+
 /// Handle to a link in a [`Topology`] (index into [`Topology::links`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct LinkId(pub u32);
@@ -39,6 +58,9 @@ pub enum Endpoint {
     Host,
     /// A GPU device.
     Device(u32),
+    /// A whole cluster node (its host/NIC attachment point): NIC links
+    /// join node pairs, not individual devices.
+    Node(u32),
 }
 
 /// A bidirectional interconnect link with an aggregate capacity.
@@ -57,12 +79,13 @@ pub struct Link {
 }
 
 impl Link {
-    /// Human-readable label (`host-d0`, `d0-d1`, ...), used by metrics
-    /// tables and DOT renders.
+    /// Human-readable label (`host-d0`, `d0-d1`, `n0-n1`, ...), used by
+    /// metrics tables and DOT renders.
     pub fn label(&self) -> String {
         let end = |e: Endpoint| match e {
             Endpoint::Host => "host".to_string(),
             Endpoint::Device(d) => format!("d{d}"),
+            Endpoint::Node(n) => format!("n{n}"),
         };
         format!("{}-{}", end(self.a), end(self.b))
     }
@@ -70,6 +93,11 @@ impl Link {
     /// True for a device↔device (peer-to-peer capable) link.
     pub fn is_d2d(&self) -> bool {
         matches!((self.a, self.b), (Endpoint::Device(_), Endpoint::Device(_)))
+    }
+
+    /// True for a node↔node network (NIC) link.
+    pub fn is_nic(&self) -> bool {
+        matches!((self.a, self.b), (Endpoint::Node(_), Endpoint::Node(_)))
     }
 }
 
@@ -115,18 +143,25 @@ impl TopologyKind {
 }
 
 /// The interconnect of a simulated machine: `n` devices, one host link
-/// per device, plus the preset's device↔device links.
+/// per device, plus the preset's device↔device links — and, on a
+/// multi-node [`Cluster`], the node↔node NIC links after those.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Topology {
     kind: TopologyKind,
     n_devices: u32,
     /// Links `0..n_devices` are the host links (link `d` serves device
-    /// `d`); the rest are device↔device links.
+    /// `d`); then the device↔device links; then (multi-node machines
+    /// only) the node↔node NIC links.
     links: Vec<Link>,
     /// Device-memory capacities and eviction policy (the machine
     /// description owns its memories as well as its links). Default
     /// unlimited.
     memory: MemoryConfig,
+    /// The cluster node each device belongs to (all zeros on a
+    /// single-box machine). Devices of one node are contiguous.
+    node_of: Vec<u32>,
+    /// Number of cluster nodes (1 for a single-box machine).
+    n_nodes: u32,
 }
 
 impl Topology {
@@ -158,48 +193,14 @@ impl Topology {
                 latency: HOST_LINK_LATENCY,
             })
             .collect();
-        let mut pair = |a: u32, b: u32| {
-            links.push(Link {
-                a: Endpoint::Device(a.min(b)),
-                b: Endpoint::Device(a.max(b)),
-                bandwidth: d2d_bw,
-                latency: NVLINK_LATENCY,
-            });
-        };
-        match kind {
-            TopologyKind::PcieOnly => {}
-            TopologyKind::NvlinkPair => {
-                let mut d = 0;
-                while d + 1 < n as u32 {
-                    pair(d, d + 1);
-                    d += 2;
-                }
-            }
-            TopologyKind::FullyConnected => {
-                for a in 0..n as u32 {
-                    for b in (a + 1)..n as u32 {
-                        pair(a, b);
-                    }
-                }
-            }
-            TopologyKind::Ring => {
-                // A ring over n >= 3 devices; for n == 2 the ring
-                // degenerates to the single pair link (not two parallel
-                // links), and a 1-device ring has no peers at all.
-                if n == 2 {
-                    pair(0, 1);
-                } else if n >= 3 {
-                    for d in 0..n as u32 {
-                        pair(d, (d + 1) % n as u32);
-                    }
-                }
-            }
-        }
+        push_d2d_links(&mut links, kind, 0, n, d2d_bw);
         Topology {
             kind,
             n_devices: n as u32,
             links,
             memory: MemoryConfig::default(),
+            node_of: vec![0; n],
+            n_nodes: 1,
         }
     }
 
@@ -256,6 +257,249 @@ impl Topology {
             .iter()
             .position(|l| l.a == lo && l.b == hi)
             .map(|i| LinkId(i as u32))
+    }
+
+    /// Number of cluster nodes this machine spans (1 for a single box).
+    pub fn node_count(&self) -> usize {
+        self.n_nodes as usize
+    }
+
+    /// The cluster node a device belongs to (always 0 on a single box).
+    pub fn node_of(&self, device: u32) -> u32 {
+        self.node_of[device as usize]
+    }
+
+    /// The NIC link joining two cluster nodes, if the machine has one
+    /// (`None` for the same node or on single-box machines).
+    pub fn nic_link(&self, a: u32, b: u32) -> Option<LinkId> {
+        if a == b {
+            return None;
+        }
+        let (lo, hi) = (Endpoint::Node(a.min(b)), Endpoint::Node(a.max(b)));
+        self.links
+            .iter()
+            .position(|l| l.a == lo && l.b == hi)
+            .map(|i| LinkId(i as u32))
+    }
+}
+
+/// Append the device↔device links of a preset wired over devices
+/// `base..base + n` (one node's worth of peer wiring).
+fn push_d2d_links(links: &mut Vec<Link>, kind: TopologyKind, base: u32, n: usize, d2d_bw: f64) {
+    let mut pair = |a: u32, b: u32| {
+        links.push(Link {
+            a: Endpoint::Device(base + a.min(b)),
+            b: Endpoint::Device(base + a.max(b)),
+            bandwidth: d2d_bw,
+            latency: NVLINK_LATENCY,
+        });
+    };
+    match kind {
+        TopologyKind::PcieOnly => {}
+        TopologyKind::NvlinkPair => {
+            let mut d = 0;
+            while d + 1 < n as u32 {
+                pair(d, d + 1);
+                d += 2;
+            }
+        }
+        TopologyKind::FullyConnected => {
+            for a in 0..n as u32 {
+                for b in (a + 1)..n as u32 {
+                    pair(a, b);
+                }
+            }
+        }
+        TopologyKind::Ring => {
+            // A ring over n >= 3 devices; for n == 2 the ring
+            // degenerates to the single pair link (not two parallel
+            // links), and a 1-device ring has no peers at all.
+            if n == 2 {
+                pair(0, 1);
+            } else if n >= 3 {
+                for d in 0..n as u32 {
+                    pair(d, (d + 1) % n as u32);
+                }
+            }
+        }
+    }
+}
+
+/// The built-in network-interconnect presets joining cluster nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NicKind {
+    /// 25 Gbit/s Ethernet: commodity scale-out, high latency.
+    Ethernet25g,
+    /// HDR InfiniBand (200 Gbit/s): HPC-fabric class.
+    InfinibandHdr,
+    /// An NVSwitch island: NVLink-class bandwidth stretched across
+    /// node boundaries (the fastest preset).
+    NvswitchIsland,
+}
+
+impl NicKind {
+    /// All NIC presets, in sweep order.
+    pub const ALL: [NicKind; 3] = [
+        NicKind::Ethernet25g,
+        NicKind::InfinibandHdr,
+        NicKind::NvswitchIsland,
+    ];
+
+    /// Aggregate NIC bandwidth in bytes/s.
+    pub fn bandwidth(self) -> f64 {
+        match self {
+            NicKind::Ethernet25g => ETHERNET_25G_BW,
+            NicKind::InfinibandHdr => INFINIBAND_HDR_BW,
+            NicKind::NvswitchIsland => NVSWITCH_ISLAND_BW,
+        }
+    }
+
+    /// One-way latency charged per transfer.
+    pub fn latency(self) -> Time {
+        match self {
+            NicKind::Ethernet25g => ETHERNET_25G_LATENCY,
+            NicKind::InfinibandHdr => INFINIBAND_HDR_LATENCY,
+            NicKind::NvswitchIsland => NVSWITCH_ISLAND_LATENCY,
+        }
+    }
+
+    /// Short display name for tables and sweeps.
+    pub fn name(self) -> &'static str {
+        match self {
+            NicKind::Ethernet25g => "ethernet-25g",
+            NicKind::InfinibandHdr => "infiniband-hdr",
+            NicKind::NvswitchIsland => "nvswitch-island",
+        }
+    }
+
+    /// Parse a sweep/CLI name produced by [`NicKind::name`].
+    pub fn parse(s: &str) -> Option<NicKind> {
+        NicKind::ALL.into_iter().find(|k| k.name() == s)
+    }
+}
+
+/// A two-tier machine description: `nodes` identical nodes, each an
+/// existing single-box [`Topology`] of `gpus_per_node` devices, joined
+/// by a full mesh of node↔node NIC links. [`Cluster::build`] flattens it
+/// into one [`Topology`] whose NIC links join the same global max–min
+/// rate solve as every other link, so cross-node copies contend
+/// machine-wide.
+///
+/// A 1-node cluster builds a topology bit-identical to
+/// [`Topology::preset`] — the single-box path is the degenerate case,
+/// not a separate code path.
+///
+/// # Examples
+///
+/// ```
+/// use gpu_sim::{Cluster, DeviceProfile, NicKind, TopologyKind};
+///
+/// let dev = DeviceProfile::tesla_p100();
+/// let topo = Cluster::new(2, 4, TopologyKind::NvlinkPair, NicKind::InfinibandHdr).build(&dev);
+/// assert_eq!(topo.device_count(), 8);
+/// assert_eq!(topo.node_count(), 2);
+/// assert_eq!(topo.node_of(3), 0);
+/// assert_eq!(topo.node_of(4), 1);
+/// // In-node peer wiring never crosses the node boundary...
+/// assert!(topo.d2d_link(2, 3).is_some());
+/// assert!(topo.d2d_link(3, 4).is_none());
+/// // ...cross-node traffic goes over the NIC link instead.
+/// let nic = topo.nic_link(0, 1).unwrap();
+/// assert!(topo.link(nic).is_nic());
+/// assert_eq!(topo.link(nic).label(), "n0-n1");
+///
+/// // One node degenerates to the single-box preset, bit-identically.
+/// let single = Cluster::new(1, 4, TopologyKind::NvlinkPair, NicKind::InfinibandHdr).build(&dev);
+/// assert_eq!(single, gpu_sim::Topology::preset(TopologyKind::NvlinkPair, 4, &dev));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cluster {
+    nodes: usize,
+    gpus_per_node: usize,
+    node_kind: TopologyKind,
+    nic: NicKind,
+    memory: MemoryConfig,
+}
+
+impl Cluster {
+    /// Describe a cluster of `nodes` nodes, each wiring `gpus_per_node`
+    /// devices with the `node_kind` in-node preset, joined by `nic`
+    /// links.
+    pub fn new(nodes: usize, gpus_per_node: usize, node_kind: TopologyKind, nic: NicKind) -> Self {
+        assert!(nodes >= 1, "need at least one node");
+        assert!(gpus_per_node >= 1, "need at least one GPU per node");
+        Cluster {
+            nodes,
+            gpus_per_node,
+            node_kind,
+            nic,
+            memory: MemoryConfig::default(),
+        }
+    }
+
+    /// Give every device a finite memory (builder-style), exactly like
+    /// [`Topology::with_memory`].
+    pub fn with_memory(mut self, memory: MemoryConfig) -> Self {
+        self.memory = memory;
+        self
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes
+    }
+
+    /// Devices per node.
+    pub fn gpus_per_node(&self) -> usize {
+        self.gpus_per_node
+    }
+
+    /// The NIC preset joining the nodes.
+    pub fn nic(&self) -> NicKind {
+        self.nic
+    }
+
+    /// Flatten into one machine-wide [`Topology`]: host links for every
+    /// device first, then each node's device↔device wiring (device ids
+    /// are contiguous per node), then the NIC full mesh over node pairs.
+    pub fn build(&self, dev: &DeviceProfile) -> Topology {
+        let n = self.nodes * self.gpus_per_node;
+        let mut links: Vec<Link> = (0..n as u32)
+            .map(|d| Link {
+                a: Endpoint::Host,
+                b: Endpoint::Device(d),
+                bandwidth: dev.pcie_bw,
+                latency: HOST_LINK_LATENCY,
+            })
+            .collect();
+        for node in 0..self.nodes {
+            push_d2d_links(
+                &mut links,
+                self.node_kind,
+                (node * self.gpus_per_node) as u32,
+                self.gpus_per_node,
+                NVLINK_BW,
+            );
+        }
+        for a in 0..self.nodes as u32 {
+            for b in (a + 1)..self.nodes as u32 {
+                links.push(Link {
+                    a: Endpoint::Node(a),
+                    b: Endpoint::Node(b),
+                    bandwidth: self.nic.bandwidth(),
+                    latency: self.nic.latency(),
+                });
+            }
+        }
+        let node_of = (0..n).map(|d| (d / self.gpus_per_node) as u32).collect();
+        Topology {
+            kind: self.node_kind,
+            n_devices: n as u32,
+            links,
+            memory: self.memory.clone(),
+            node_of,
+            n_nodes: self.nodes as u32,
+        }
     }
 }
 
@@ -359,5 +603,85 @@ mod tests {
             assert_eq!(topo(kind, 4).kind(), kind);
         }
         assert_eq!(TopologyKind::parse("nope"), None);
+    }
+
+    #[test]
+    fn nic_names_round_trip_and_presets_order_by_speed() {
+        for nic in NicKind::ALL {
+            assert_eq!(NicKind::parse(nic.name()), Some(nic));
+            assert!(nic.bandwidth() > 0.0 && nic.latency() > 0.0);
+        }
+        assert_eq!(NicKind::parse("token-ring"), None);
+        assert!(NicKind::Ethernet25g.bandwidth() < NicKind::InfinibandHdr.bandwidth());
+        assert!(NicKind::InfinibandHdr.bandwidth() < NicKind::NvswitchIsland.bandwidth());
+        assert!(NicKind::Ethernet25g.latency() > NicKind::NvswitchIsland.latency());
+    }
+
+    #[test]
+    fn single_box_presets_are_single_node() {
+        for kind in TopologyKind::ALL {
+            let t = topo(kind, 4);
+            assert_eq!(t.node_count(), 1);
+            for d in 0..4 {
+                assert_eq!(t.node_of(d), 0);
+            }
+            assert_eq!(t.nic_link(0, 1), None);
+            assert!(t.links().iter().all(|l| !l.is_nic()));
+        }
+    }
+
+    #[test]
+    fn cluster_builds_host_then_d2d_then_nic_links() {
+        let dev = DeviceProfile::tesla_p100();
+        let t = Cluster::new(2, 4, TopologyKind::NvlinkPair, NicKind::InfinibandHdr).build(&dev);
+        assert_eq!(t.device_count(), 8);
+        assert_eq!(t.node_count(), 2);
+        // Host links first (one per device)...
+        for d in 0..8 {
+            assert_eq!(t.host_link(d), LinkId(d));
+            assert!(!t.link(LinkId(d)).is_d2d() && !t.link(LinkId(d)).is_nic());
+        }
+        // ...then per-node NVLink pairs, offset by the node base...
+        assert_eq!(d2d_pairs(&t), vec![(0, 1), (2, 3), (4, 5), (6, 7)]);
+        assert_eq!(t.d2d_link(3, 4), None, "no peer link across nodes");
+        // ...then the NIC mesh, last.
+        let nic = t.nic_link(0, 1).unwrap();
+        assert_eq!(nic.0 as usize, t.links().len() - 1);
+        let l = t.link(nic);
+        assert!(l.is_nic());
+        assert_eq!(l.bandwidth, INFINIBAND_HDR_BW);
+        assert_eq!(l.latency, INFINIBAND_HDR_LATENCY);
+        assert_eq!(t.nic_link(1, 0), Some(nic), "NIC links are bidirectional");
+        assert_eq!(t.nic_link(0, 0), None);
+        // Node membership is contiguous.
+        assert_eq!(
+            (0..8).map(|d| t.node_of(d)).collect::<Vec<_>>(),
+            [0, 0, 0, 0, 1, 1, 1, 1]
+        );
+    }
+
+    #[test]
+    fn cluster_nic_mesh_is_full_over_node_pairs() {
+        let dev = DeviceProfile::tesla_p100();
+        let t = Cluster::new(4, 2, TopologyKind::PcieOnly, NicKind::Ethernet25g).build(&dev);
+        let nic_links = t.links().iter().filter(|l| l.is_nic()).count();
+        assert_eq!(nic_links, 6, "4 choose 2 node pairs");
+        for a in 0..4 {
+            for b in 0..4 {
+                assert_eq!(t.nic_link(a, b).is_some(), a != b);
+            }
+        }
+        assert_eq!(t.link(t.nic_link(2, 3).unwrap()).label(), "n2-n3");
+    }
+
+    #[test]
+    fn one_node_cluster_is_bit_identical_to_the_single_box_preset() {
+        let dev = DeviceProfile::tesla_p100();
+        for kind in TopologyKind::ALL {
+            for g in [1usize, 2, 4] {
+                let c = Cluster::new(1, g, kind, NicKind::InfinibandHdr).build(&dev);
+                assert_eq!(c, Topology::preset(kind, g, &dev));
+            }
+        }
     }
 }

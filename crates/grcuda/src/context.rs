@@ -62,6 +62,15 @@ pub(crate) struct Ctx {
     /// Populated by [`GrCuda::build_kernel`]; never read on the launch
     /// hot path.
     pub effects: crate::audit::EffectsTable,
+    /// Node of each device, cached from the topology at construction.
+    /// Empty on single-node machines, so the single-box launch path is
+    /// untouched by the cluster layer.
+    pub node_of: Vec<u32>,
+    /// Batches the deterministic partitioning pre-pass sharded across
+    /// nodes (lifetime counter; see [`crate::partition`]).
+    pub partitioned_batches: usize,
+    /// Cut bytes accumulated across all partitioned batches.
+    pub partition_cut_bytes: usize,
 }
 
 /// Scratch buffers behind [`crate::PlacementCtx`]: the per-device
@@ -113,6 +122,30 @@ pub struct SchedulerStats {
     /// eviction/spill counters stay zero; residency and prefetch
     /// accounting are tracked either way.
     pub memory: MemoryStats,
+    /// Multi-node gauges: per-node in-flight load, cross-node migration
+    /// accounting and the partitioning pre-pass counters. On single-box
+    /// machines this is the one-node degenerate form (no NIC links, no
+    /// partitioning, every counter zero).
+    pub cluster: ClusterStats,
+}
+
+/// The `cluster` section of [`SchedulerStats`]: what the multi-node
+/// layer did (see [`crate::partition`] and [`gpu_sim::Cluster`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ClusterStats {
+    /// Nodes in the machine (1 on single-box machines).
+    pub nodes: usize,
+    /// Submitted-but-unfinished tasks per node — the per-device load
+    /// gauge summed over each node's GPUs. Drains to zero at sync.
+    pub node_inflight: Vec<usize>,
+    /// Lifetime cross-node migrations performed (NIC legs submitted).
+    pub cross_node_migrations: usize,
+    /// Lifetime bytes carried over NIC links by those migrations.
+    pub cross_node_bytes: usize,
+    /// Batches the deterministic partitioning pre-pass sharded.
+    pub partitioned_batches: usize,
+    /// Cut bytes accumulated across all partitioned batches.
+    pub partition_cut_bytes: usize,
 }
 
 /// The GrCUDA runtime: allocate arrays, build kernels, launch, read
@@ -241,6 +274,25 @@ impl GrCuda {
         Self::from_cuda(cuda, options, placement)
     }
 
+    /// [`GrCuda::new_multi`] over a multi-node [`gpu_sim::Cluster`]:
+    /// one scheduler core spanning every GPU of every node, with NIC
+    /// links in the same global rate solve, the deterministic batch
+    /// partitioner active on [`GrCuda::launch_batch`], and cross-node
+    /// migrations routed GPU→host→NIC→host→GPU. Pair it with
+    /// [`PlacementPolicy::NodeAware`] so placement honors the
+    /// partition; a one-node cluster is bit-identical to
+    /// [`GrCuda::new_multi_topo`] on the same preset.
+    pub fn with_cluster(
+        dev: DeviceProfile,
+        cluster: &gpu_sim::Cluster,
+        options: Options,
+        placement: PlacementPolicy,
+    ) -> Self {
+        let topo = cluster.build(&dev);
+        let cuda = Cuda::with_topology(dev, topo);
+        Self::from_cuda(cuda, options, placement.build())
+    }
+
     /// Shared constructor tail over a ready [`Cuda`] context.
     fn from_cuda(cuda: Cuda, options: Options, placement: Box<dyn DeviceSelectionPolicy>) -> Self {
         // The scheduler drains eviction/prefetch events after every
@@ -250,6 +302,14 @@ impl GrCuda {
         if options.calibrate {
             cuda.enable_calibration(true);
         }
+        let topo = cuda.topology();
+        let node_of: Vec<u32> = if topo.node_count() > 1 {
+            (0..topo.device_count() as u32)
+                .map(|d| topo.node_of(d))
+                .collect()
+        } else {
+            Vec::new()
+        };
         GrCuda {
             inner: Rc::new(RefCell::new(Ctx {
                 cuda,
@@ -266,6 +326,9 @@ impl GrCuda {
                 timeline_cursor: 0,
                 place_scratch: PlaceScratch::default(),
                 effects: crate::audit::EffectsTable::new(),
+                node_of,
+                partitioned_batches: 0,
+                partition_cut_bytes: 0,
             })),
         }
     }
@@ -294,6 +357,19 @@ impl GrCuda {
     /// `(count, bytes)`.
     pub fn host_migration_stats(&self) -> (usize, usize) {
         self.inner.borrow().cuda.host_migration_stats()
+    }
+
+    /// Cross-**node** migrations performed so far as `(count, bytes)`
+    /// — the NIC legs of GPU→host→NIC→host→GPU routes. Always `(0, 0)`
+    /// on single-node machines.
+    pub fn cross_node_migration_stats(&self) -> (usize, usize) {
+        self.inner.borrow().cuda.cross_node_migration_stats()
+    }
+
+    /// Number of cluster nodes this runtime spans (1 on single-box
+    /// machines).
+    pub fn node_count(&self) -> usize {
+        self.inner.borrow().cuda.topology().node_count()
     }
 
     /// The interconnect topology this runtime schedules over.
@@ -574,6 +650,22 @@ impl GrCuda {
     /// long-running service watches (see [`SchedulerStats`]).
     pub fn scheduler_stats(&self) -> SchedulerStats {
         let ctx = self.inner.borrow();
+        let topo = ctx.cuda.topology();
+        let mut loads = Vec::new();
+        ctx.cuda.device_loads_into(&mut loads);
+        let mut node_inflight = vec![0usize; topo.node_count()];
+        for (d, &l) in loads.iter().enumerate() {
+            node_inflight[topo.node_of(d as u32) as usize] += l;
+        }
+        let (cross_node_migrations, cross_node_bytes) = ctx.cuda.cross_node_migration_stats();
+        let cluster = ClusterStats {
+            nodes: topo.node_count(),
+            node_inflight,
+            cross_node_migrations,
+            cross_node_bytes,
+            partitioned_batches: ctx.partitioned_batches,
+            partition_cut_bytes: ctx.partition_cut_bytes,
+        };
         SchedulerStats {
             lifetime_vertices: ctx.dag.len(),
             stored_vertices: ctx.dag.stored_len(),
@@ -586,6 +678,7 @@ impl GrCuda {
             vertex_devices: ctx.vertex_device.len(),
             launch_infos: ctx.launch_info.len(),
             memory: ctx.cuda.memory_stats(),
+            cluster,
         }
     }
 
@@ -595,9 +688,17 @@ impl GrCuda {
     }
 
     /// The computation DAG rendered as Graphviz DOT (current frontier
-    /// state included), for the Fig. 2/4/6-style visualizations.
+    /// state included), for the Fig. 2/4/6-style visualizations. On
+    /// multi-node machines the devices are grouped into one
+    /// `subgraph cluster_N` box per node and cross-node migration edges
+    /// are colored distinctly.
     pub fn dag_dot(&self, title: &str) -> String {
-        dag::to_dot(&self.inner.borrow().dag, title)
+        let ctx = self.inner.borrow();
+        if ctx.node_of.is_empty() {
+            dag::to_dot(&ctx.dag, title)
+        } else {
+            dag::to_dot_clustered(&ctx.dag, title, &ctx.node_of)
+        }
     }
 
     /// Number of computational elements registered so far.
@@ -627,7 +728,7 @@ impl GrCuda {
         args: &[Arg],
         kind: ElementKind,
     ) -> Result<u32, LaunchError> {
-        self.launch_validated_inner(kernel, grid, args, kind, true)
+        self.launch_validated_inner(kernel, grid, args, kind, true, None)
     }
 
     /// Submit a batch of kernel launches with one amortized host-side
@@ -686,14 +787,44 @@ impl GrCuda {
         if amortize && !calls.is_empty() {
             self.inner.borrow().cuda.host_spin(overhead);
         }
+        // Multi-node machines: the batch is a whole subgraph, so shard
+        // it across nodes before per-vertex placement (see
+        // [`crate::partition`]). The hints only steer policies that
+        // consult them ([`PlacementPolicy::NodeAware`]); single-node
+        // machines skip the pre-pass entirely.
+        let node_hints: Option<Vec<u32>> = {
+            let mut ctx = self.inner.borrow_mut();
+            if ctx.node_of.is_empty() || calls.is_empty() {
+                None
+            } else {
+                let nodes = ctx.cuda.topology().node_count();
+                let items: Vec<Vec<(u64, usize)>> = calls
+                    .iter()
+                    .map(|c| {
+                        c.args
+                            .iter()
+                            .filter_map(|a| match a {
+                                Arg::Array(arr) => Some((arr.arr.id.0, arr.arr.byte_len())),
+                                Arg::Scalar(_) => None,
+                            })
+                            .collect()
+                    })
+                    .collect();
+                let part = crate::partition::partition_batch(&items, nodes);
+                ctx.partitioned_batches += 1;
+                ctx.partition_cut_bytes += part.cut_bytes;
+                Some(part.assignment)
+            }
+        };
         let mut devices = Vec::with_capacity(calls.len());
-        for c in calls {
+        for (i, c) in calls.iter().enumerate() {
             devices.push(self.launch_validated_inner(
                 c.kernel,
                 c.grid,
                 c.args,
                 ElementKind::Kernel,
                 !amortize,
+                node_hints.as_ref().map(|h| h[i]),
             )?);
         }
         Ok(devices)
@@ -706,6 +837,7 @@ impl GrCuda {
         args: &[Arg],
         kind: ElementKind,
         charge: bool,
+        node_hint: Option<u32>,
     ) -> Result<u32, LaunchError> {
         let mut ctx = self.inner.borrow_mut();
         let dev = ctx.cuda.device();
@@ -811,6 +943,7 @@ impl GrCuda {
                         vertex_device,
                         cuda,
                         place_scratch: s,
+                        node_of,
                         ..
                     } = &mut *ctx;
                     s.parent_devices.clear();
@@ -847,6 +980,8 @@ impl GrCuda {
                         arg_bytes,
                         kernel: kernel.def.name,
                         duration_prior: cuda.kernel_duration_prior(kernel.def.name),
+                        node_hint,
+                        node_of,
                     })
                 };
                 if n_dev > 1 {
@@ -868,8 +1003,15 @@ impl GrCuda {
                         {
                             let src = ctx.cuda.device_residency(arr).unwrap_or(0);
                             let p2p = ctx.cuda.has_p2p(src, device);
-                            ctx.dag
-                                .annotate_migration(vid, Value(arr.id.0), arr.byte_len(), p2p);
+                            let cross_node = !ctx.node_of.is_empty()
+                                && ctx.node_of[src as usize] != ctx.node_of[device as usize];
+                            ctx.dag.annotate_migration_route(
+                                vid,
+                                Value(arr.id.0),
+                                arr.byte_len(),
+                                p2p,
+                                cross_node,
+                            );
                         }
                     }
                 }

@@ -65,6 +65,7 @@ pub mod library;
 pub mod multi;
 pub mod nidl;
 pub mod options;
+pub mod partition;
 pub mod policy;
 pub mod serve;
 pub mod stream_manager;
@@ -81,12 +82,15 @@ pub use library::Library;
 pub use multi::{MultiArg, MultiArray, MultiGpu};
 pub use nidl::{NidlError, NidlParam, NidlType, Signature};
 pub use options::{DepStreamPolicy, Options, PrefetchPolicy, SchedulePolicy, StreamReusePolicy};
+pub use partition::{partition_batch, BatchPartition, NodeAware};
 pub use policy::{
     DeviceSelectionPolicy, MemoryAware, PlacementCtx, PlacementPolicy, StreamRetrievalPolicy,
 };
 
+pub use context::ClusterStats;
 pub use gpu_sim::{
-    DeviceProfile, EvictionPolicy, Grid, MemoryConfig, MemoryStats, Topology, TopologyKind,
+    Cluster, DeviceProfile, EvictionPolicy, Grid, MemoryConfig, MemoryStats, NicKind, Topology,
+    TopologyKind,
 };
 
 #[cfg(test)]

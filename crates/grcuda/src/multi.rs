@@ -24,7 +24,7 @@
 //! kernel) otherwise — charged to the actual links and counted in
 //! [`MultiGpu::migration_stats`] / [`MultiGpu::link_traffic`].
 
-use gpu_sim::{DeviceProfile, EngineStats, Grid, Time, Topology, TopologyKind};
+use gpu_sim::{Cluster, DeviceProfile, EngineStats, Grid, Time, Topology, TopologyKind};
 use kernels::KernelDef;
 
 use crate::array::DeviceArray;
@@ -146,6 +146,68 @@ impl MultiGpu {
         topology: TopologyKind,
     ) -> Self {
         let g = GrCuda::new_multi_topo(dev, n, options, policy, topology);
+        let start = g.now();
+        MultiGpu { g, start }
+    }
+
+    /// [`MultiGpu::with_topology`] on a **multi-node [`Cluster`]**: the
+    /// same unified scheduler core spanning every GPU of every node,
+    /// with NIC links joining the global rate solve, batched launches
+    /// sharded across nodes by the deterministic partitioner (see
+    /// [`crate::partition`]), and cross-node migrations routed
+    /// GPU→host→NIC→host→GPU. Use [`PlacementPolicy::NodeAware`] so
+    /// placement honors the partition; a one-node cluster is
+    /// bit-identical to [`MultiGpu::with_topology`] on the same preset.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use grcuda::{
+    ///     Cluster, DeviceProfile, Grid, MultiArg, MultiGpu, NicKind, Options, PlacementPolicy,
+    ///     TopologyKind,
+    /// };
+    /// use kernels::util::SCALE;
+    ///
+    /// // 2 nodes × 2 GPUs joined by InfiniBand HDR NICs.
+    /// let cluster = Cluster::new(2, 2, TopologyKind::PcieOnly, NicKind::InfinibandHdr);
+    /// let mut m = MultiGpu::with_cluster(
+    ///     DeviceProfile::tesla_p100(),
+    ///     &cluster,
+    ///     Options::parallel(),
+    ///     PlacementPolicy::NodeAware,
+    /// );
+    /// assert_eq!(m.device_count(), 4);
+    /// assert_eq!(m.node_count(), 2);
+    ///
+    /// // Two independent chains, batch-submitted: the partitioner keeps
+    /// // each chain on one node, so nothing crosses the NICs.
+    /// let n = 1 << 12;
+    /// let arrays: Vec<_> = (0..4).map(|_| m.array_f32(n)).collect();
+    /// let calls: Vec<_> = (0..2)
+    ///     .map(|c| {
+    ///         (
+    ///             &SCALE,
+    ///             Grid::d1(16, 256),
+    ///             vec![
+    ///                 MultiArg::array(&arrays[2 * c]),
+    ///                 MultiArg::array(&arrays[2 * c + 1]),
+    ///                 MultiArg::scalar(2.0),
+    ///                 MultiArg::scalar(n as f64),
+    ///             ],
+    ///         )
+    ///     })
+    ///     .collect();
+    /// m.launch_batch(&calls).unwrap();
+    /// m.sync();
+    /// assert_eq!(m.cross_node_migration_stats(), (0, 0));
+    /// ```
+    pub fn with_cluster(
+        dev: DeviceProfile,
+        cluster: &Cluster,
+        options: Options,
+        policy: PlacementPolicy,
+    ) -> Self {
+        let g = GrCuda::with_cluster(dev, cluster, options, policy);
         let start = g.now();
         MultiGpu { g, start }
     }
@@ -338,6 +400,17 @@ impl MultiGpu {
     /// Migrations that staged through the host, as `(count, bytes)`.
     pub fn host_migration_stats(&self) -> (usize, usize) {
         self.g.host_migration_stats()
+    }
+
+    /// Cross-**node** migrations (NIC legs), as `(count, bytes)`.
+    /// Always `(0, 0)` on single-node machines.
+    pub fn cross_node_migration_stats(&self) -> (usize, usize) {
+        self.g.cross_node_migration_stats()
+    }
+
+    /// Number of cluster nodes (1 on single-box machines).
+    pub fn node_count(&self) -> usize {
+        self.g.node_count()
     }
 
     /// The interconnect topology this front-end schedules over.

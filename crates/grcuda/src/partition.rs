@@ -1,0 +1,439 @@
+//! Deterministic DAG partitioning across cluster nodes.
+//!
+//! On a multi-node machine ([`gpu_sim::Cluster`]) a placement mistake is
+//! no longer a PCIe hop — it is a D2H + NIC + H2D round trip. The right
+//! moment to avoid that cost is *before* per-vertex placement: a batch
+//! submitted through [`crate::GrCuda::launch_batch`] is a whole subgraph,
+//! so the scheduler can shard it across nodes to minimize the bytes that
+//! must cross the network, then let the in-node policy pick the GPU.
+//!
+//! The pre-pass here follows the deterministic-partitioning shape of
+//! Bobpp-style frameworks: the *policy* (which node) is a pure function
+//! of the submitted batch, with every tie broken on vertex id — no
+//! `HashMap` iteration order, no randomness — so the same batch always
+//! shards the same way:
+//!
+//! 1. **Seed by connected components.** Two launches sharing an array
+//!    argument are connected; components are the natural unsplittable
+//!    units (assigning one entirely to a node costs zero cut bytes).
+//! 2. **Greedy bin-pack whole components** onto the least-loaded node,
+//!    largest component first (ties: smallest member vertex id, then
+//!    lowest node id).
+//! 3. **BFS-grow split** only components larger than the fair share:
+//!    grow a part from the smallest unassigned vertex id, repeatedly
+//!    absorbing the frontier vertex with the most connecting bytes
+//!    (ties: lowest vertex id) until the part reaches the share, then
+//!    start the next part.
+//!
+//! The companion [`NodeAware`] placement policy consumes the resulting
+//! per-vertex node hints: it narrows the placement context to the
+//! hinted node's GPUs and delegates the in-node choice to a wrapped
+//! single-box policy (transfer-aware by default).
+
+use std::collections::HashMap;
+
+use crate::policy::{DeviceSelectionPolicy, PlacementCtx, PlacementPolicy};
+
+/// The result of partitioning one submitted batch across cluster nodes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchPartition {
+    /// Node assigned to each batch item, indexed like the input batch.
+    pub assignment: Vec<u32>,
+    /// Bytes of array arguments shared across parts: for every value
+    /// referenced from `k` distinct nodes, its size counts `k - 1`
+    /// times (each extra node implies one cross-node replica).
+    pub cut_bytes: usize,
+    /// Number of distinct nodes actually used.
+    pub parts: usize,
+}
+
+/// Shard a submitted batch across `nodes` to minimize cut bytes.
+///
+/// Each item is described by its array arguments as `(value id, bytes)`
+/// pairs (duplicates within an item are ignored). The result is a pure,
+/// deterministic function of the input: identical batches produce
+/// bit-identical assignments, and `nodes <= 1` maps everything to node
+/// 0 with zero cut.
+pub fn partition_batch(items: &[Vec<(u64, usize)>], nodes: usize) -> BatchPartition {
+    let n = items.len();
+    if nodes <= 1 || n == 0 {
+        return BatchPartition {
+            assignment: vec![0; n],
+            cut_bytes: 0,
+            parts: usize::from(n > 0),
+        };
+    }
+
+    // Values in first-encounter order: (bytes, referencing items). The
+    // HashMap is only probed, never iterated, so bucket order cannot
+    // leak into the result.
+    let mut value_slot: HashMap<u64, usize> = HashMap::new();
+    let mut values: Vec<(usize, Vec<usize>)> = Vec::new();
+    let mut item_values: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut weight = vec![0usize; n];
+    for (i, args) in items.iter().enumerate() {
+        for &(v, bytes) in args {
+            let slot = *value_slot.entry(v).or_insert_with(|| {
+                values.push((bytes, Vec::new()));
+                values.len() - 1
+            });
+            if item_values[i].contains(&slot) {
+                continue;
+            }
+            item_values[i].push(slot);
+            weight[i] += bytes;
+            let entry = &mut values[slot];
+            entry.0 = entry.0.max(bytes);
+            entry.1.push(i);
+        }
+    }
+
+    // Union-find over items through shared values.
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        x
+    }
+    for (_, refs) in &values {
+        for w in refs.windows(2) {
+            let (a, b) = (find(&mut parent, w[0]), find(&mut parent, w[1]));
+            if a != b {
+                // Root at the smaller id, so representatives are stable.
+                parent[a.max(b)] = a.min(b);
+            }
+        }
+    }
+
+    // Components, members ascending by construction.
+    let mut comp_of_root = vec![usize::MAX; n];
+    let mut comps: Vec<(usize, Vec<usize>)> = Vec::new(); // (weight, members)
+    for (i, &w) in weight.iter().enumerate() {
+        let r = find(&mut parent, i);
+        if comp_of_root[r] == usize::MAX {
+            comp_of_root[r] = comps.len();
+            comps.push((0, Vec::new()));
+        }
+        let c = &mut comps[comp_of_root[r]];
+        c.0 += w;
+        c.1.push(i);
+    }
+    // Largest first; ties toward the smallest member vertex id.
+    comps.sort_by(|a, b| b.0.cmp(&a.0).then(a.1[0].cmp(&b.1[0])));
+
+    let total: usize = weight.iter().sum();
+    let target = total.div_ceil(nodes).max(1);
+    let mut load = vec![0usize; nodes];
+    let mut assignment = vec![0u32; n];
+    let least_loaded =
+        |load: &[usize]| (0..load.len()).min_by_key(|&d| (load[d], d)).unwrap_or(0) as u32;
+
+    let mut in_s = vec![false; n];
+    let mut gain = vec![0usize; n];
+    for (comp_weight, members) in &comps {
+        if *comp_weight <= target {
+            let node = least_loaded(&load);
+            load[node as usize] += comp_weight;
+            for &i in members {
+                assignment[i] = node;
+            }
+            continue;
+        }
+        // Oversized component: carve fair-share parts by BFS growth.
+        let mut assigned = vec![false; members.len()];
+        let pos: HashMap<usize, usize> = members.iter().enumerate().map(|(p, &i)| (i, p)).collect();
+        while let Some(seed_pos) = (0..members.len()).find(|&p| !assigned[p]) {
+            let mut part: Vec<usize> = Vec::new();
+            let mut part_weight = 0usize;
+            let absorb = |i: usize,
+                          part: &mut Vec<usize>,
+                          part_weight: &mut usize,
+                          in_s: &mut [bool],
+                          gain: &mut [usize]| {
+                part.push(i);
+                *part_weight += weight[i];
+                in_s[i] = true;
+                gain[i] = 0;
+                for &slot in &item_values[i] {
+                    let (bytes, refs) = &values[slot];
+                    for &j in refs {
+                        if !in_s[j] && !assigned[pos[&j]] {
+                            gain[j] += bytes;
+                        }
+                    }
+                }
+            };
+            absorb(
+                members[seed_pos],
+                &mut part,
+                &mut part_weight,
+                &mut in_s,
+                &mut gain,
+            );
+            while part_weight < target {
+                // Frontier vertex with the most connecting bytes; ties
+                // break to the lowest vertex id (members are ascending).
+                let next = members
+                    .iter()
+                    .copied()
+                    .filter(|&j| !in_s[j] && !assigned[pos[&j]] && gain[j] > 0)
+                    .max_by(|&a, &b| gain[a].cmp(&gain[b]).then(b.cmp(&a)));
+                let Some(j) = next else { break };
+                absorb(j, &mut part, &mut part_weight, &mut in_s, &mut gain);
+            }
+            let node = least_loaded(&load);
+            load[node as usize] += part_weight;
+            for &i in &part {
+                assignment[i] = node;
+                assigned[pos[&i]] = true;
+                in_s[i] = false;
+            }
+            // Reset gains touched while growing this part.
+            for &i in members {
+                gain[i] = 0;
+            }
+        }
+    }
+
+    // Cut accounting: each value pays once per extra node touching it.
+    let mut cut_bytes = 0usize;
+    let mut seen_nodes: Vec<u32> = Vec::new();
+    for (bytes, refs) in &values {
+        seen_nodes.clear();
+        for &i in refs {
+            if !seen_nodes.contains(&assignment[i]) {
+                seen_nodes.push(assignment[i]);
+            }
+        }
+        cut_bytes += bytes * seen_nodes.len().saturating_sub(1);
+    }
+    let mut used: Vec<u32> = Vec::new();
+    for &a in &assignment {
+        if !used.contains(&a) {
+            used.push(a);
+        }
+    }
+    BatchPartition {
+        assignment,
+        cut_bytes,
+        parts: used.len(),
+    }
+}
+
+/// Cluster-aware placement: honor the partitioner's node hint, delegate
+/// the GPU choice within the node to a wrapped single-box policy.
+///
+/// When a vertex carries a [`PlacementCtx::node_hint`] (set by the
+/// [`crate::GrCuda::launch_batch`] partitioning pre-pass on multi-node
+/// machines), the context is narrowed to that node's contiguous GPU
+/// range — residency, transfer estimates, load and headroom re-indexed
+/// in-node, out-of-node parents dropped — and the wrapped policy
+/// (transfer-aware by default, [`NodeAware::with_inner`] for others,
+/// e.g. [`crate::policy::Adaptive`]) picks among the node's GPUs.
+/// Vertices without a hint (single launches, single-node machines) are
+/// delegated unchanged, so outside a cluster this behaves exactly like
+/// its inner policy.
+pub struct NodeAware {
+    inner: Box<dyn DeviceSelectionPolicy>,
+    parents: Vec<u32>,
+}
+
+impl NodeAware {
+    /// Node-aware placement over the default in-node policy
+    /// (transfer-aware).
+    pub fn new() -> Self {
+        Self::with_inner(PlacementPolicy::TransferAware.build())
+    }
+
+    /// Node-aware placement over an explicit in-node policy.
+    pub fn with_inner(inner: Box<dyn DeviceSelectionPolicy>) -> Self {
+        Self {
+            inner,
+            parents: Vec::new(),
+        }
+    }
+}
+
+impl Default for NodeAware {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for NodeAware {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NodeAware")
+            .field("inner", &self.inner.name())
+            .finish()
+    }
+}
+
+impl DeviceSelectionPolicy for NodeAware {
+    fn name(&self) -> &'static str {
+        "node-aware"
+    }
+
+    fn select(&mut self, ctx: &PlacementCtx) -> u32 {
+        let Some(node) = ctx.node_hint else {
+            return self.inner.select(ctx);
+        };
+        // The hinted node's devices are a contiguous id range by
+        // cluster construction.
+        let Some(base) = ctx.node_of.iter().position(|&m| m == node) else {
+            return self.inner.select(ctx);
+        };
+        let len = ctx.node_of[base..]
+            .iter()
+            .take_while(|&&m| m == node)
+            .count();
+        if len == 0 || base + len > ctx.device_count {
+            return self.inner.select(ctx);
+        }
+        self.parents.clear();
+        for &d in ctx.parent_devices {
+            let d = d as usize;
+            if (base..base + len).contains(&d) {
+                self.parents.push((d - base) as u32);
+            }
+        }
+        let narrowed = PlacementCtx {
+            device_count: len,
+            parent_devices: &self.parents,
+            resident_bytes: &ctx.resident_bytes[base..base + len],
+            est_transfer_time: &ctx.est_transfer_time[base..base + len],
+            inflight: &ctx.inflight[base..base + len],
+            free_bytes: &ctx.free_bytes[base..base + len],
+            arg_bytes: ctx.arg_bytes,
+            kernel: ctx.kernel,
+            duration_prior: ctx.duration_prior,
+            node_hint: None,
+            node_of: &[],
+        };
+        base as u32 + self.inner.select(&narrowed).min(len as u32 - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MIB: usize = 1 << 20;
+
+    /// A dependent chain of `k` items over fresh values `base..`: item i
+    /// shares value `base + i` with item i+1.
+    fn chain(k: usize, base: u64, bytes: usize) -> Vec<Vec<(u64, usize)>> {
+        (0..k)
+            .map(|i| {
+                let mut args = vec![(base + i as u64, bytes)];
+                if i + 1 < k {
+                    args.push((base + i as u64 + 1, bytes));
+                }
+                args
+            })
+            .collect()
+    }
+
+    #[test]
+    fn independent_chains_land_whole_on_separate_nodes_with_zero_cut() {
+        let mut items = chain(4, 0, MIB);
+        items.extend(chain(4, 100, MIB));
+        let p = partition_batch(&items, 2);
+        assert_eq!(p.cut_bytes, 0, "whole components never pay cut");
+        assert_eq!(p.parts, 2);
+        // Each chain is one component on one node.
+        assert!(p.assignment[..4].iter().all(|&a| a == p.assignment[0]));
+        assert!(p.assignment[4..].iter().all(|&a| a == p.assignment[4]));
+        assert_ne!(p.assignment[0], p.assignment[4]);
+    }
+
+    #[test]
+    fn single_node_assigns_everything_to_node_zero() {
+        let items = chain(6, 0, MIB);
+        let p = partition_batch(&items, 1);
+        assert_eq!(p.assignment, vec![0; 6]);
+        assert_eq!(p.cut_bytes, 0);
+        assert_eq!(p.parts, 1);
+    }
+
+    #[test]
+    fn oversized_component_splits_contiguously_with_one_cut_value() {
+        // One 8-item chain, 2 nodes: BFS growth from vertex 0 absorbs
+        // the chain in order, so the split is contiguous and exactly one
+        // shared value crosses.
+        let items = chain(8, 0, MIB);
+        let p = partition_batch(&items, 2);
+        assert_eq!(p.parts, 2);
+        let flips = p.assignment.windows(2).filter(|w| w[0] != w[1]).count();
+        assert_eq!(flips, 1, "chain split in one place: {:?}", p.assignment);
+        assert_eq!(p.cut_bytes, MIB, "exactly the boundary value crosses");
+    }
+
+    #[test]
+    fn assignment_is_invariant_under_value_id_relabeling() {
+        // Relabeling value ids scrambles HashMap bucket order; the
+        // assignment must not move (all tie-breaks are on vertex id).
+        let mut items = chain(5, 0, MIB);
+        items.extend(chain(3, 50, 2 * MIB));
+        items.push(vec![(200, 512)]);
+        let relabeled: Vec<Vec<(u64, usize)>> = items
+            .iter()
+            .map(|args| {
+                args.iter()
+                    .map(|&(v, b)| (v.wrapping_mul(1_000_003).wrapping_add(17), b))
+                    .collect()
+            })
+            .collect();
+        for nodes in [2, 3, 4] {
+            let a = partition_batch(&items, nodes);
+            let b = partition_batch(&relabeled, nodes);
+            assert_eq!(a, b, "nodes={nodes}");
+        }
+    }
+
+    #[test]
+    fn node_aware_honors_the_hint_and_delegates_without_one() {
+        let mut p = NodeAware::new();
+        let node_of = [0, 0, 1, 1];
+        // Device 0 is globally cheapest, but the hint pins node 1.
+        let ctx = PlacementCtx {
+            device_count: 4,
+            parent_devices: &[0, 3],
+            resident_bytes: &[0, 0, 0, 4096],
+            est_transfer_time: &[0.0, 1e-3, 2e-3, 1e-3],
+            inflight: &[0, 0, 5, 0],
+            free_bytes: &[usize::MAX; 4],
+            arg_bytes: 0,
+            kernel: "k",
+            duration_prior: None,
+            node_hint: Some(1),
+            node_of: &node_of,
+        };
+        assert_eq!(p.select(&ctx), 3, "cheapest GPU within the hinted node");
+        let unhinted = PlacementCtx {
+            node_hint: None,
+            ..ctx
+        };
+        assert_eq!(p.select(&unhinted), 0, "no hint: plain transfer-aware");
+    }
+
+    #[test]
+    fn node_aware_falls_back_when_the_hint_names_no_device() {
+        let mut p = NodeAware::new();
+        let ctx = PlacementCtx {
+            device_count: 2,
+            parent_devices: &[],
+            resident_bytes: &[0, 0],
+            est_transfer_time: &[1e-3, 0.0],
+            inflight: &[0, 0],
+            free_bytes: &[usize::MAX; 2],
+            arg_bytes: 0,
+            kernel: "k",
+            duration_prior: None,
+            node_hint: Some(7),
+            node_of: &[0, 0],
+        };
+        assert_eq!(p.select(&ctx), 1, "unknown node: machine-wide choice");
+    }
+}

@@ -171,6 +171,8 @@ mod tests {
             arg_bytes: 0,
             kernel: "k",
             duration_prior: prior,
+            node_hint: None,
+            node_of: &[],
         }
     }
 
@@ -215,6 +217,8 @@ mod tests {
             arg_bytes: 4096,
             kernel: "k",
             duration_prior: None,
+            node_hint: None,
+            node_of: &[],
         };
         assert_eq!(p.select(&c), 1);
         // Nothing fits: degrade to the most-free device.
@@ -251,6 +255,8 @@ mod tests {
             arg_bytes: 0,
             kernel: "k",
             duration_prior: Some(2.0),
+            node_hint: None,
+            node_of: &[],
         };
         assert_eq!(p.select(&c), 0);
         assert_eq!(p.predicted_backlog(0), 0.0, "dependents are free");

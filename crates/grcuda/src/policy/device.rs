@@ -46,6 +46,15 @@ pub struct PlacementCtx<'a> {
     /// per-signature weight [`crate::policy::Adaptive`] reweights
     /// in-flight work by.
     pub duration_prior: Option<f64>,
+    /// Cluster node the partitioning pre-pass assigned this vertex to
+    /// (`None` for single launches, single-node machines, or when the
+    /// pre-pass is off). Only [`crate::partition::NodeAware`] consults
+    /// it; every other policy ignores the hint.
+    pub node_hint: Option<u32>,
+    /// Node of each device (indexed by device id), empty on single-node
+    /// machines — the map [`crate::partition::NodeAware`] uses to narrow
+    /// the context to the hinted node's GPU range.
+    pub node_of: &'a [u32],
 }
 
 impl PlacementCtx<'_> {
@@ -244,11 +253,17 @@ pub enum PlacementPolicy {
     /// work actually takes, not by how many tasks are in flight.
     /// Degrades to transfer-aware behavior while calibration is off.
     Adaptive,
+    /// Cluster-aware placement: honor the node hint the deterministic
+    /// batch partitioner assigned (see [`crate::partition`]), delegate
+    /// the in-node GPU choice to transfer-aware placement. Without a
+    /// hint (single launches, single-node machines) it behaves exactly
+    /// like [`PlacementPolicy::TransferAware`].
+    NodeAware,
 }
 
 impl PlacementPolicy {
     /// All built-in policies, in sweep order.
-    pub const ALL: [PlacementPolicy; 7] = [
+    pub const ALL: [PlacementPolicy; 8] = [
         PlacementPolicy::SingleGpu,
         PlacementPolicy::RoundRobin,
         PlacementPolicy::LocalityAware,
@@ -256,6 +271,7 @@ impl PlacementPolicy {
         PlacementPolicy::StreamAware,
         PlacementPolicy::MemoryAware,
         PlacementPolicy::Adaptive,
+        PlacementPolicy::NodeAware,
     ];
 
     /// The static (history-blind) policies — what
@@ -279,6 +295,7 @@ impl PlacementPolicy {
             PlacementPolicy::StreamAware => Box::new(StreamAware),
             PlacementPolicy::MemoryAware => Box::new(MemoryAware),
             PlacementPolicy::Adaptive => Box::new(super::adaptive::Adaptive::default()),
+            PlacementPolicy::NodeAware => Box::new(crate::partition::NodeAware::new()),
         }
     }
 
@@ -292,6 +309,7 @@ impl PlacementPolicy {
             PlacementPolicy::StreamAware => "stream-aware",
             PlacementPolicy::MemoryAware => "memory-aware",
             PlacementPolicy::Adaptive => "adaptive",
+            PlacementPolicy::NodeAware => "node-aware",
         }
     }
 }
@@ -321,6 +339,8 @@ mod tests {
             arg_bytes: 0,
             kernel: "k",
             duration_prior: None,
+            node_hint: None,
+            node_of: &[],
         }
     }
 
@@ -366,6 +386,8 @@ mod tests {
             arg_bytes: 0,
             kernel: "k",
             duration_prior: None,
+            node_hint: None,
+            node_of: &[],
         };
         assert_eq!(p.select(&c), 0);
         let mut loc = LocalityAware;
@@ -385,6 +407,8 @@ mod tests {
             arg_bytes: 0,
             kernel: "k",
             duration_prior: None,
+            node_hint: None,
+            node_of: &[],
         };
         assert_eq!(p.select(&c), 1);
         let c2 = PlacementCtx {
@@ -397,6 +421,8 @@ mod tests {
             arg_bytes: 0,
             kernel: "k",
             duration_prior: None,
+            node_hint: None,
+            node_of: &[],
         };
         assert_eq!(p.select(&c2), 0, "full tie goes to the lowest id");
     }
@@ -417,6 +443,8 @@ mod tests {
             arg_bytes: 4096,
             kernel: "k",
             duration_prior: None,
+            node_hint: None,
+            node_of: &[],
         };
         assert!(!c.fits(0) && c.fits(1));
         assert_eq!(c.needed_bytes(1), 2048);
@@ -440,6 +468,8 @@ mod tests {
             arg_bytes: 4096,
             kernel: "k",
             duration_prior: None,
+            node_hint: None,
+            node_of: &[],
         };
         assert_eq!(p.select(&both), 1);
         // Nothing fits: go where the pressure is lowest.
@@ -453,6 +483,8 @@ mod tests {
             arg_bytes: 4096,
             kernel: "k",
             duration_prior: None,
+            node_hint: None,
+            node_of: &[],
         };
         assert_eq!(
             p.select(&none),
@@ -469,7 +501,7 @@ mod tests {
         for p in PlacementPolicy::ALL {
             assert_eq!(p.build().name(), p.name());
         }
-        assert_eq!(PlacementPolicy::ALL.len(), 7);
+        assert_eq!(PlacementPolicy::ALL.len(), 8);
         assert_eq!(PlacementPolicy::STATIC.len(), 6);
     }
 }

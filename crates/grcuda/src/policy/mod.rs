@@ -20,7 +20,10 @@
 //!   capacity-aware choice under finite device memory),
 //!   [`PlacementPolicy::Adaptive`] (memory-aware's filter plus a
 //!   predicted-seconds ledger fed by online calibration — the
-//!   history-driven choice; see [`adaptive`]). The [`Portfolio`] helper
+//!   history-driven choice; see [`adaptive`]),
+//!   [`PlacementPolicy::NodeAware`] (honor the cluster partitioner's
+//!   node hint, delegate the in-node GPU choice — the multi-node
+//!   choice; see [`crate::partition`]). The [`Portfolio`] helper
 //!   complements them by replaying whichever static policy won a named
 //!   workload before.
 //! * **Stream retrieval** ([`StreamRetrievalPolicy`]) — which CUDA

@@ -636,6 +636,96 @@ fn run_serve_script(script: &[ServeReq], fairness: Fairness) -> ServeSig {
     )
 }
 
+// ---------------------------------------------------------------------
+// Cluster layer: the batch partitioner is a pure deterministic function
+// of the argument lists — no HashMap iteration order, no value-id
+// numerology may leak into node assignments.
+// ---------------------------------------------------------------------
+
+/// A random batch: each item is a small bag of `(value id, bytes)`.
+fn batch_strategy() -> impl Strategy<Value = Vec<Vec<(u64, usize)>>> {
+    proptest::collection::vec(
+        proptest::collection::vec((0..12u64, 1..5usize), 0..4),
+        1..14,
+    )
+    .prop_map(|items| {
+        items
+            .into_iter()
+            .map(|item| {
+                item.into_iter()
+                    .map(|(v, kib)| (v, kib << 10))
+                    .collect::<Vec<_>>()
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Re-partitioning the same batch gives bit-identical assignments
+    /// (two calls build distinct, differently-seeded HashMaps — any
+    /// iteration-order dependence would show up here), and relabeling
+    /// every value id through an injective map changes nothing either:
+    /// the partition depends on the *sharing structure*, not the ids.
+    #[test]
+    fn partitioner_is_deterministic_and_label_independent(
+        items in batch_strategy(),
+        nodes in 1..5usize,
+    ) {
+        use crate::partition::partition_batch;
+        let a = partition_batch(&items, nodes);
+        let b = partition_batch(&items, nodes);
+        prop_assert_eq!(&a, &b, "same input diverged on {:?}", items);
+
+        let relabeled: Vec<Vec<(u64, usize)>> = items
+            .iter()
+            .map(|item| {
+                item.iter()
+                    .map(|&(v, bytes)| (v.wrapping_mul(1_000_003).wrapping_add(17), bytes))
+                    .collect()
+            })
+            .collect();
+        let c = partition_batch(&relabeled, nodes);
+        prop_assert_eq!(&a, &c, "relabeling moved items on {:?}", items);
+
+        // Structural sanity: every item lands on a real node, the part
+        // count is honest, and a 1-node "cluster" never partitions.
+        prop_assert_eq!(a.assignment.len(), items.len());
+        prop_assert!(a.assignment.iter().all(|&n| (n as usize) < nodes));
+        prop_assert!(a.parts <= nodes);
+        if nodes == 1 {
+            prop_assert!(a.assignment.iter().all(|&n| n == 0));
+            prop_assert_eq!(a.cut_bytes, 0);
+        }
+        let total: usize = {
+            let mut seen = std::collections::HashSet::new();
+            items
+                .iter()
+                .flatten()
+                .filter(|&&(v, _)| seen.insert(v))
+                .map(|&(_, b)| b)
+                .sum()
+        };
+        prop_assert!(a.cut_bytes <= total * nodes, "cut exceeds all replicas");
+
+        // Items that share a value must share a node unless the
+        // partitioner explicitly counted that value as cut.
+        if a.cut_bytes == 0 {
+            let mut home: std::collections::HashMap<u64, u32> = std::collections::HashMap::new();
+            for (i, item) in items.iter().enumerate() {
+                for &(v, _) in item {
+                    let node = *home.entry(v).or_insert(a.assignment[i]);
+                    prop_assert_eq!(
+                        node, a.assignment[i],
+                        "zero cut but value {} spans nodes", v
+                    );
+                }
+            }
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 

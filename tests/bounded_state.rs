@@ -311,6 +311,66 @@ fn finite_memory_soak_drains_to_the_live_working_set() {
 }
 
 #[test]
+fn cluster_soak_drains_the_cluster_section_after_every_sync() {
+    // The multi-node path: repeated partitioned batch rounds on a
+    // 2-node cluster must leave the cluster section of scheduler_stats
+    // drained after each sync — per-node in-flight work back to zero —
+    // while the partition and cross-node counters stay monotone.
+    use gpu_sim::TopologyKind;
+    use grcuda::{Cluster, MultiArg, MultiGpu, NicKind, PlacementPolicy};
+    use kernels::util::SCALE;
+
+    let cluster = Cluster::new(2, 2, TopologyKind::PcieOnly, NicKind::Ethernet25g);
+    let mut m = MultiGpu::with_cluster(
+        DeviceProfile::tesla_p100(),
+        &cluster,
+        Options::parallel(),
+        PlacementPolicy::NodeAware,
+    );
+    let n = 1 << 12;
+    let pairs: Vec<_> = (0..4).map(|_| (m.array_f32(n), m.array_f32(n))).collect();
+    for (x, _) in &pairs {
+        m.write_f32(x, &vec![1.0; n]);
+    }
+    let mut last_batches = 0;
+    for cycle in 0..20 {
+        let calls: Vec<_> = pairs
+            .iter()
+            .map(|(x, y)| {
+                let (src, dst) = if cycle % 2 == 0 { (x, y) } else { (y, x) };
+                (
+                    &SCALE,
+                    gpu_sim::Grid::d1(16, 256),
+                    vec![
+                        MultiArg::array(src),
+                        MultiArg::array(dst),
+                        MultiArg::scalar(1.0),
+                        MultiArg::scalar(n as f64),
+                    ],
+                )
+            })
+            .collect();
+        m.launch_batch(&calls).unwrap();
+        m.sync();
+        m.clear_timeline();
+        let st = m.scheduler_stats();
+        let ctx = format!("cycle {cycle}: {:?}", st.cluster);
+        assert_eq!(st.cluster.nodes, 2, "{ctx}");
+        assert_eq!(st.cluster.node_inflight, vec![0, 0], "{ctx}");
+        assert_eq!(st.live_vertices, 0, "{ctx}");
+        assert_eq!(st.vertex_tasks, 0, "{ctx}");
+        assert!(st.cluster.partitioned_batches > last_batches, "{ctx}");
+        last_batches = st.cluster.partitioned_batches;
+        assert_eq!(
+            st.cluster.cross_node_bytes, 0,
+            "{ctx}: node-local components never cross the NICs"
+        );
+    }
+    assert_eq!(last_batches, 20);
+    assert_eq!(m.races(), 0);
+}
+
+#[test]
 fn sync_after_heavy_traffic_resets_to_empty_frontier_baseline() {
     let g = GrCuda::new(DeviceProfile::gtx1660_super(), Options::parallel());
     use kernels::vec_ops::SQUARE;

@@ -3,13 +3,13 @@
 //! performance and placement, never results.
 
 use benchmarks::{
-    mixed_makespans, oversub_capacity, oversubscribe, run_grcuda, run_multi_gpu, scales,
-    transfer_chain, Bench, MixedScale,
+    cluster_run, mixed_makespans, oversub_capacity, oversubscribe, run_grcuda, run_multi_gpu,
+    scales, transfer_chain, Bench, ClusterSuite, MixedScale,
 };
 use gpu_sim::{DeviceProfile, EvictionPolicy, Grid, MemoryConfig, TopologyKind};
 use grcuda::{
-    DepStreamPolicy, MultiArg, MultiGpu, Options, PlacementPolicy, PrefetchPolicy,
-    StreamReusePolicy,
+    Cluster, DepStreamPolicy, MultiArg, MultiGpu, NicKind, Options, PlacementPolicy,
+    PrefetchPolicy, StreamReusePolicy,
 };
 
 #[test]
@@ -190,6 +190,136 @@ fn transfer_aware_beats_byte_count_locality_on_an_nvlink_pair() {
     // Placement must never change the numbers.
     assert_eq!(ta.checksum, rr.checksum);
     assert_eq!(ta.checksum, loc.checksum);
+}
+
+#[test]
+fn node_aware_beats_round_robin_across_a_cluster() {
+    // The multi-node acceptance check: at 2 nodes × 4 GPUs on the
+    // dependent-chain suite, partition-honoring NodeAware placement
+    // must move strictly fewer cross-node bytes AND yield strictly
+    // lower makespan than round-robin across all GPUs — while both
+    // compute identical results. The partitioner keeps every chain a
+    // node-local component, so NodeAware never touches a NIC at all;
+    // round-robin rotates each chain across the node boundary and pays
+    // a GPU→host→NIC→host→GPU route per step.
+    let (nodes, gpus, n, steps) = (2, 4, 1 << 16, 6);
+    let na = cluster_run(
+        ClusterSuite::Chain,
+        PlacementPolicy::NodeAware,
+        nodes,
+        gpus,
+        n,
+        steps,
+    );
+    let rr = cluster_run(
+        ClusterSuite::Chain,
+        PlacementPolicy::RoundRobin,
+        nodes,
+        gpus,
+        n,
+        steps,
+    );
+    assert_eq!(na.races, 0);
+    assert_eq!(rr.races, 0);
+    assert_eq!(
+        na.cross_node,
+        (0, 0),
+        "node-aware must keep partitioned chains off the NICs"
+    );
+    assert!(
+        rr.cross_node.1 > 0,
+        "round-robin must pay cross-node routes on the chain: {rr:?}"
+    );
+    assert!(
+        na.cross_node.1 < rr.cross_node.1,
+        "node-aware must move strictly fewer cross-node bytes: {} vs {}",
+        na.cross_node.1,
+        rr.cross_node.1
+    );
+    assert!(
+        na.makespan < rr.makespan,
+        "node-aware must yield strictly lower makespan: {} vs {}",
+        na.makespan,
+        rr.makespan
+    );
+    assert_eq!(na.checksum, rr.checksum, "placement changed the numbers");
+    // Both runs went through the same batch partitioner.
+    assert_eq!(na.partitioned_batches, steps);
+    assert_eq!(na.partitioned_batches, rr.partitioned_batches);
+}
+
+/// Every observable the committed bench metrics are built from.
+#[derive(Debug, PartialEq)]
+struct Observables {
+    makespan: f64,
+    migrations: (usize, usize),
+    host_migrations: (usize, usize),
+    host_link_bytes: f64,
+    data: Vec<f32>,
+}
+
+/// Drive the same small workload through any `MultiGpu` and report
+/// every observable the committed bench metrics are built from.
+fn observables(mut m: MultiGpu) -> Observables {
+    use kernels::util::SCALE;
+    let n = 1 << 14;
+    let x = m.array_f32(n);
+    let y = m.array_f32(n);
+    m.write_f32(&x, &vec![1.5; n]);
+    for i in 0..6usize {
+        let (src, dst) = if i.is_multiple_of(2) {
+            (&x, &y)
+        } else {
+            (&y, &x)
+        };
+        m.launch(
+            &SCALE,
+            Grid::d1(64, 256),
+            &[
+                MultiArg::array(src),
+                MultiArg::array(dst),
+                MultiArg::scalar(2.0),
+                MultiArg::scalar(n as f64),
+            ],
+        )
+        .unwrap();
+    }
+    m.sync();
+    assert_eq!(m.races(), 0);
+    Observables {
+        makespan: m.makespan(),
+        migrations: m.migration_stats(),
+        host_migrations: m.host_migration_stats(),
+        host_link_bytes: m.host_link_bytes(),
+        data: m.read_f32(&x),
+    }
+}
+
+#[test]
+fn single_node_clusters_are_bit_identical_to_the_single_box_path() {
+    // Backward compatibility: a 1-node Cluster must take the exact
+    // single-box code path — no partition pre-pass, no node hints —
+    // and reproduce every committed metric bit-for-bit.
+    let dev = DeviceProfile::tesla_p100;
+    for policy in [
+        PlacementPolicy::RoundRobin,
+        PlacementPolicy::TransferAware,
+        PlacementPolicy::NodeAware,
+    ] {
+        let cluster = Cluster::new(1, 4, TopologyKind::NvlinkPair, NicKind::Ethernet25g);
+        let clustered = MultiGpu::with_cluster(dev(), &cluster, Options::parallel(), policy);
+        assert_eq!(clustered.node_count(), 1);
+        let boxed = MultiGpu::with_topology(
+            dev(),
+            4,
+            Options::parallel(),
+            policy,
+            TopologyKind::NvlinkPair,
+        );
+        let a = observables(clustered);
+        let b = observables(boxed);
+        assert_eq!(a, b, "{policy:?} diverged between cluster and box");
+    }
 }
 
 #[test]
